@@ -1,0 +1,58 @@
+//! End-to-end Criterion bench: every join algorithm on the tiny workload.
+//!
+//! This measures the *simulator's* wall-clock, not the paper's cluster
+//! times (those come from the cost-model harness binaries); its purpose is
+//! regression tracking of the engines themselves, plus the Bloom-vs-
+//! semijoin ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrid_core::{run, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::WorkloadSpec;
+use hybrid_storage::FileFormat;
+
+fn system() -> (HybridSystem, hybrid_datagen::Workload) {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    let mut cfg = SystemConfig::paper_shape(4, 4);
+    cfg.rows_per_block = 1_000;
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload
+        .load_into(&mut sys, FileFormat::Columnar)
+        .unwrap();
+    (sys, workload)
+}
+
+fn algorithms(c: &mut Criterion) {
+    let (mut sys, workload) = system();
+    let query = workload.query();
+    let mut g = c.benchmark_group("join_algorithms_tiny");
+    g.sample_size(10);
+    for alg in JoinAlgorithm::paper_variants()
+        .into_iter()
+        .chain([JoinAlgorithm::SemiJoin])
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(alg), &alg, |b, &alg| {
+            b.iter(|| run(&mut sys, &query, alg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bloom_vs_semijoin_wire(c: &mut Criterion) {
+    // Ablation: the Bloom filter vs the exact key set — measure the
+    // simulator work; the wire-byte comparison is asserted in the
+    // integration tests.
+    let (mut sys, workload) = system();
+    let query = workload.query();
+    let mut g = c.benchmark_group("bloom_vs_semijoin");
+    g.sample_size(10);
+    g.bench_function("repartition_bloom", |b| {
+        b.iter(|| run(&mut sys, &query, JoinAlgorithm::Repartition { bloom: true }).unwrap())
+    });
+    g.bench_function("semijoin_exact_keys", |b| {
+        b.iter(|| run(&mut sys, &query, JoinAlgorithm::SemiJoin).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, algorithms, bloom_vs_semijoin_wire);
+criterion_main!(benches);

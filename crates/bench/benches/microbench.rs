@@ -1,0 +1,173 @@
+//! Criterion microbenchmarks for the performance-critical substrates:
+//! Bloom filters (standard vs register-blocked — the ablation called out in
+//! DESIGN.md), the hash join, storage format encode/decode with projection
+//! pushdown, and the shuffle partitioner.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrid_bloom::{ApproxMembership, BlockedBloomFilter, BloomFilter, BloomParams};
+use hybrid_common::batch::{Batch, Column};
+use hybrid_common::datum::DataType;
+use hybrid_common::hash::agreed_shuffle_partition;
+use hybrid_common::ops::{partition_by_key, HashJoiner};
+use hybrid_common::schema::Schema;
+use hybrid_storage::{decode, encode, FileFormat};
+
+const N_KEYS: usize = 100_000;
+
+fn bloom_benches(c: &mut Criterion) {
+    let keys: Vec<i64> = (0..N_KEYS as i64).map(|i| i * 2654435761).collect();
+    let params = BloomParams::new(N_KEYS * 8, 2).unwrap();
+
+    let mut g = c.benchmark_group("bloom_insert");
+    g.bench_function("standard", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::new(params);
+            f.insert_all(black_box(&keys));
+            f
+        })
+    });
+    g.bench_function("blocked", |b| {
+        b.iter(|| {
+            let mut f = BlockedBloomFilter::new(params);
+            f.insert_all(black_box(&keys));
+            f
+        })
+    });
+    g.finish();
+
+    let mut standard = BloomFilter::new(params);
+    standard.insert_all(&keys);
+    let mut blocked = BlockedBloomFilter::new(params);
+    blocked.insert_all(&keys);
+    let probes: Vec<i64> = (0..N_KEYS as i64).map(|i| i * 7919 + 13).collect();
+
+    let mut g = c.benchmark_group("bloom_probe");
+    g.bench_function("standard", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&k| standard.may_contain(black_box(k)))
+                .count()
+        })
+    });
+    g.bench_function("blocked", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&k| blocked.may_contain(black_box(k)))
+                .count()
+        })
+    });
+    g.finish();
+
+    c.bench_function("bloom_merge_30_workers", |b| {
+        // the combine_filter UDF: merge 30 per-worker filters
+        let locals: Vec<BloomFilter> = (0..30)
+            .map(|w| {
+                let mut f = BloomFilter::new(params);
+                for k in keys.iter().skip(w).step_by(30) {
+                    f.insert(*k);
+                }
+                f
+            })
+            .collect();
+        b.iter(|| {
+            let mut global = BloomFilter::new(params);
+            for l in &locals {
+                global.merge(black_box(l)).unwrap();
+            }
+            global
+        })
+    });
+}
+
+fn join_benches(c: &mut Criterion) {
+    let build_schema = Schema::from_pairs(&[("k", DataType::I32), ("v", DataType::I64)]);
+    let build = Batch::new(
+        build_schema.clone(),
+        vec![
+            Column::I32((0..50_000).map(|i| i % 10_000).collect()),
+            Column::I64((0..50_000).collect()),
+        ],
+    )
+    .unwrap();
+    let probe = Batch::new(
+        Schema::from_pairs(&[("k", DataType::I32)]),
+        vec![Column::I32((0..20_000).map(|i| (i * 7) % 20_000).collect())],
+    )
+    .unwrap();
+
+    c.bench_function("hash_join_build_50k", |b| {
+        b.iter(|| {
+            let mut j = HashJoiner::new(build_schema.clone(), 0);
+            j.build(black_box(build.clone())).unwrap();
+            j
+        })
+    });
+    let mut joiner = HashJoiner::new(build_schema, 0);
+    joiner.build(build).unwrap();
+    c.bench_function("hash_join_probe_20k", |b| {
+        b.iter(|| joiner.probe(black_box(&probe), 0).unwrap())
+    });
+}
+
+fn storage_benches(c: &mut Criterion) {
+    let schema = Schema::from_pairs(&[
+        ("joinKey", DataType::I32),
+        ("corPred", DataType::I32),
+        ("date", DataType::Date),
+        ("url", DataType::Utf8),
+    ]);
+    let batch = Batch::new(
+        schema.clone(),
+        vec![
+            Column::I32((0..20_000).collect()),
+            Column::I32((0..20_000).map(|i| i % 1024).collect()),
+            Column::Date((0..20_000).map(|i| i % 32).collect()),
+            Column::Utf8((0..20_000).map(|i| format!("url_{}/pages/item{i}", i % 64)).collect()),
+        ],
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("storage_encode");
+    for fmt in [FileFormat::Text, FileFormat::Columnar] {
+        g.bench_with_input(BenchmarkId::from_parameter(fmt), &fmt, |b, &fmt| {
+            b.iter(|| encode(fmt, black_box(&batch)))
+        });
+    }
+    g.finish();
+
+    let text = encode(FileFormat::Text, &batch);
+    let col = encode(FileFormat::Columnar, &batch);
+    let mut g = c.benchmark_group("storage_decode_projected");
+    g.bench_function("text_full_parse", |b| {
+        b.iter(|| decode(FileFormat::Text, &schema, black_box(&text), Some(&[0, 2])).unwrap())
+    });
+    g.bench_function("columnar_pushdown", |b| {
+        b.iter(|| decode(FileFormat::Columnar, &schema, black_box(&col), Some(&[0, 2])).unwrap())
+    });
+    g.finish();
+}
+
+fn shuffle_benches(c: &mut Criterion) {
+    let batch = Batch::new(
+        Schema::from_pairs(&[("k", DataType::I32), ("v", DataType::I64)]),
+        vec![
+            Column::I32((0..50_000).collect()),
+            Column::I64((0..50_000).collect()),
+        ],
+    )
+    .unwrap();
+    c.bench_function("partition_50k_rows_30_ways", |b| {
+        b.iter(|| partition_by_key(black_box(&batch), 0, 30, agreed_shuffle_partition).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bloom_benches,
+    join_benches,
+    storage_benches,
+    shuffle_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! §5.5 discussion — the algorithm advisor across the evaluation grid.
+//!
+//! For each configuration, prints the advisor's pre-execution choice and
+//! the algorithm the cost model actually ranks best after measurement, so
+//! the decision rules of the discussion section can be audited.
+
+use hybrid_bench::report::{print_table, verdict};
+use hybrid_bench::{spec_from_env, ExpSystem};
+use hybrid_core::advisor::advise;
+use hybrid_core::JoinAlgorithm;
+use hybrid_datagen::WorkloadSpec;
+use hybrid_storage::FileFormat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = spec_from_env();
+    let grid: [(f64, f64); 8] = [
+        (0.001, 0.2),
+        (0.01, 0.2),
+        (0.05, 0.001),
+        (0.05, 0.01),
+        (0.05, 0.2),
+        (0.1, 0.001),
+        (0.1, 0.1),
+        (0.1, 0.4),
+    ];
+    let mut rows = Vec::new();
+    let mut agreements = 0usize;
+    for (sigma_t, sigma_l) in grid {
+        let spec = WorkloadSpec { sigma_t, sigma_l, st: 0.2, sl: 0.1, ..base };
+        let mut exp = ExpSystem::build(spec, FileFormat::Columnar)?;
+        let advised = advise(&exp.workload.estimates(30));
+        let mut best: Option<(JoinAlgorithm, f64)> = None;
+        for alg in JoinAlgorithm::paper_variants() {
+            let m = exp.run(alg)?;
+            if best.is_none() || m.cost.total_s < best.unwrap().1 {
+                best = Some((alg, m.cost.total_s));
+            }
+        }
+        let (best_alg, best_s) = best.expect("ran all variants");
+        // "agreement" = advised algorithm within 25% of the measured best
+        let advised_s = {
+            let m = exp.run(advised)?;
+            m.cost.total_s
+        };
+        let agree = advised_s <= best_s * 1.25;
+        agreements += usize::from(agree);
+        rows.push(vec![
+            format!("sigma_T={sigma_t} sigma_L={sigma_l}"),
+            advised.name().to_string(),
+            best_alg.name().to_string(),
+            format!("{advised_s:.0}s vs {best_s:.0}s"),
+            if agree { "agree" } else { "miss" }.to_string(),
+        ]);
+    }
+    print_table(
+        "Advisor (§5.5 rules) vs measured-best algorithm",
+        &["config", "advised", "measured best", "advised vs best time", "verdict"],
+        &rows,
+    );
+    println!(
+        "\n  advisor within 25% of best on {agreements}/{} configs: {}",
+        rows.len(),
+        verdict(agreements >= rows.len() - 1)
+    );
+    Ok(())
+}

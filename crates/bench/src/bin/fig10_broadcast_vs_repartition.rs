@@ -1,0 +1,58 @@
+//! Figure 10 — broadcast join vs repartition join.
+//!
+//! (a) σT = 0.001; (b) σT = 0.01; σL ∈ {0.001, 0.01, 0.1, 0.2}.
+//!
+//! Paper shape: broadcast wins only when T' is very small (σT ≈ 0.001) and
+//! L' is large enough that avoiding the shuffle matters; at σT = 0.01 the
+//! 30× replication of T' already loses to shipping T' once.
+
+use hybrid_bench::harness::run_config;
+use hybrid_bench::report::{print_table, secs, verdict};
+use hybrid_bench::spec_from_env;
+use hybrid_core::JoinAlgorithm;
+use hybrid_storage::FileFormat;
+
+const ALGS: [JoinAlgorithm; 2] = [
+    JoinAlgorithm::Broadcast,
+    JoinAlgorithm::Repartition { bloom: false },
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = spec_from_env();
+    let mut broadcast_wins_at_selective_t = false;
+    let mut repartition_wins_at_001 = true;
+    for (panel, sigma_t) in [("10(a)", 0.001), ("10(b)", 0.01)] {
+        let mut rows = Vec::new();
+        for sigma_l in [0.001, 0.01, 0.1, 0.2] {
+            // default join-key selectivities of the evaluation grid
+            let ms = run_config(base, sigma_t, sigma_l, 0.2, 0.1, FileFormat::Columnar, &ALGS)?;
+            let (bc, rep) = (ms[0].cost.total_s, ms[1].cost.total_s);
+            if sigma_t <= 0.001 && sigma_l >= 0.1 && bc < rep {
+                broadcast_wins_at_selective_t = true;
+            }
+            if sigma_t >= 0.01 && bc < rep * 0.95 {
+                repartition_wins_at_001 = false;
+            }
+            rows.push(vec![
+                format!("sigma_L={sigma_l}"),
+                secs(bc),
+                secs(rep),
+                if bc < rep { "broadcast" } else { "repartition" }.to_string(),
+            ]);
+        }
+        print_table(
+            &format!("Fig {panel}: sigma_T={sigma_t} (Parquet) — estimated paper-scale time"),
+            &["config", "broadcast", "repartition", "winner"],
+            &rows,
+        );
+    }
+    println!(
+        "\n  broadcast wins somewhere at sigma_T=0.001 with large L': {}",
+        verdict(broadcast_wins_at_selective_t)
+    );
+    println!(
+        "  repartition (at worst ties) everywhere at sigma_T=0.01: {}",
+        verdict(repartition_wins_at_001)
+    );
+    Ok(())
+}

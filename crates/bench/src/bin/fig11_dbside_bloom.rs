@@ -1,0 +1,56 @@
+//! Figure 11 — DB-side join with and without the Bloom filter.
+//!
+//! (a) σT = 0.05, S_L' = 0.05; (b) σT = 0.1, S_L' = 0.1;
+//! σL ∈ {0.001, 0.01, 0.1, 0.2}.
+//!
+//! Paper shape: the Bloom filter helps more and more as L' grows; at very
+//! selective σL (≤ 0.001) the BF's own cost cancels the benefit.
+
+use hybrid_bench::harness::run_config;
+use hybrid_bench::report::{print_table, secs, verdict};
+use hybrid_bench::spec_from_env;
+use hybrid_core::JoinAlgorithm;
+use hybrid_storage::FileFormat;
+
+const ALGS: [JoinAlgorithm; 2] = [
+    JoinAlgorithm::DbSide { bloom: false },
+    JoinAlgorithm::DbSide { bloom: true },
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = spec_from_env();
+    for (panel, sigma_t, sl) in [("11(a)", 0.05, 0.05), ("11(b)", 0.1, 0.1)] {
+        let mut rows = Vec::new();
+        let mut benefits = Vec::new();
+        for sigma_l in [0.001, 0.01, 0.1, 0.2] {
+            let ms = run_config(base, sigma_t, sigma_l, 0.2, sl, FileFormat::Columnar, &ALGS)?;
+            let (plain, bf) = (ms[0].cost.total_s, ms[1].cost.total_s);
+            benefits.push(plain / bf);
+            rows.push(vec![
+                format!("sigma_L={sigma_l}"),
+                secs(plain),
+                secs(bf),
+                format!("{:.2}x", plain / bf),
+            ]);
+        }
+        print_table(
+            &format!("Fig {panel}: sigma_T={sigma_t}, SL'={sl} (Parquet) — estimated paper-scale time"),
+            &["config", "db", "db(BF)", "BF benefit"],
+            &rows,
+        );
+        // benefit grows with sigma_L, and is marginal at sigma_L=0.001
+        let growing = benefits.windows(2).all(|w| w[1] >= w[0] * 0.95);
+        println!("  BF benefit grows with sigma_L: {}", verdict(growing));
+        println!(
+            "  BF benefit marginal at sigma_L=0.001 ({:.2}x): {}",
+            benefits[0],
+            verdict(benefits[0] < 1.2)
+        );
+        println!(
+            "  BF clearly helps at sigma_L=0.2 ({:.2}x): {}",
+            benefits[3],
+            verdict(benefits[3] > 1.3)
+        );
+    }
+    Ok(())
+}

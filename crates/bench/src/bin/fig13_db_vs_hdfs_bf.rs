@@ -1,0 +1,84 @@
+//! Figure 13 — best DB-side join vs best HDFS-side join, *with* Bloom
+//! filters.
+//!
+//! (a) σT = 0.05; (b) σT = 0.1; σL ∈ {0.001, 0.01, 0.1, 0.2}.
+//!
+//! Paper shape: db(BF) is the best DB-side variant and zigzag the best
+//! HDFS-side variant in most cases; the DB side still only wins at very
+//! selective σL, and zigzag's execution time grows only slightly with L'
+//! while the DB-side curve climbs steeply.
+
+use hybrid_bench::harness::run_config;
+use hybrid_bench::report::{print_table, secs, verdict};
+use hybrid_bench::spec_from_env;
+use hybrid_core::JoinAlgorithm;
+use hybrid_storage::FileFormat;
+
+const ALGS: [JoinAlgorithm; 4] = [
+    JoinAlgorithm::DbSide { bloom: false },
+    JoinAlgorithm::DbSide { bloom: true },
+    JoinAlgorithm::Repartition { bloom: true },
+    JoinAlgorithm::Zigzag,
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = spec_from_env();
+    for (panel, sigma_t) in [("13(a)", 0.05), ("13(b)", 0.1)] {
+        let mut rows = Vec::new();
+        let mut zz_times = Vec::new();
+        let mut db_times = Vec::new();
+        let mut db_wins_selective = true;
+        for sigma_l in [0.001, 0.01, 0.1, 0.2] {
+            let ms = run_config(base, sigma_t, sigma_l, 0.2, 0.1, FileFormat::Columnar, &ALGS)?;
+            let db_best = ms[..2]
+                .iter()
+                .map(|m| m.cost.total_s)
+                .fold(f64::INFINITY, f64::min);
+            let hdfs_best = ms[2..]
+                .iter()
+                .map(|m| m.cost.total_s)
+                .fold(f64::INFINITY, f64::min);
+            db_times.push(db_best);
+            zz_times.push(ms[3].cost.total_s);
+            if sigma_l <= 0.01 && db_best > hdfs_best {
+                db_wins_selective = false;
+            }
+            rows.push(vec![
+                format!("sigma_L={sigma_l}"),
+                secs(db_best),
+                secs(hdfs_best),
+                secs(ms[3].cost.total_s),
+                if db_best < hdfs_best { "db" } else { "hdfs" }.to_string(),
+            ]);
+        }
+        print_table(
+            &format!("Fig {panel}: sigma_T={sigma_t}, with Bloom filters (Parquet) — estimated paper-scale time"),
+            &["config", "db-best", "hdfs-best", "zigzag", "winner"],
+            &rows,
+        );
+        // zigzag's "very steady performance" vs the db side's steep slope
+        let zz_growth = zz_times[3] / zz_times[0];
+        let db_growth = db_times[3] / db_times[0];
+        println!(
+            "  zigzag growth over sigma_L range {zz_growth:.2}x vs db-side {db_growth:.2}x: {}",
+            verdict(zz_growth < db_growth && zz_growth < 1.8)
+        );
+        println!(
+            "  db side wins for sigma_L <= 0.01 (\"the same cases as before\"): {}",
+            verdict(db_wins_selective)
+        );
+        let last_winner = rows
+            .last()
+            .and_then(|r| r.get(4))
+            .map(String::as_str)
+            .unwrap_or("?");
+        if last_winner != "hdfs" {
+            println!(
+                "  note: at sigma_L=0.2 the model keeps db(BF) competitive; the paper's \
+measured curves degrade faster — our EDW simulator does not charge the \
+DB-internal ingestion overheads of the real DB2 read_hdfs path (see EXPERIMENTS.md)"
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Figure 8 — zigzag vs repartition joins: execution time.
+//!
+//! (a) σT = 0.1, S_L' = 0.1; (b) σT = 0.2, S_L' = 0.2; each with
+//! σL ∈ {0.1, 0.2, 0.4} paired with S_T' ∈ {0.05, 0.1, 0.2}.
+//!
+//! Paper shape: zigzag is fastest everywhere — up to 2.1× over repartition
+//! and up to 1.8× over repartition(BF) — and the gap widens with σL.
+
+use hybrid_bench::harness::run_config;
+use hybrid_bench::report::{print_table, secs, verdict};
+use hybrid_bench::spec_from_env;
+use hybrid_core::JoinAlgorithm;
+use hybrid_storage::FileFormat;
+
+const ALGS: [JoinAlgorithm; 3] = [
+    JoinAlgorithm::Repartition { bloom: false },
+    JoinAlgorithm::Repartition { bloom: true },
+    JoinAlgorithm::Zigzag,
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = spec_from_env();
+    for (panel, sigma_t, sl) in [("8(a)", 0.1, 0.1), ("8(b)", 0.2, 0.2)] {
+        let mut rows = Vec::new();
+        let mut max_rep_over_zz = 0.0f64;
+        let mut max_bf_over_zz = 0.0f64;
+        let mut zigzag_always_best = true;
+        for (sigma_l, st) in [(0.1, 0.05), (0.2, 0.1), (0.4, 0.2)] {
+            let ms = run_config(base, sigma_t, sigma_l, st, sl, FileFormat::Columnar, &ALGS)?;
+            let (rep, bf, zz) = (ms[0].cost.total_s, ms[1].cost.total_s, ms[2].cost.total_s);
+            zigzag_always_best &= zz <= bf && zz <= rep;
+            max_rep_over_zz = max_rep_over_zz.max(rep / zz);
+            max_bf_over_zz = max_bf_over_zz.max(bf / zz);
+            rows.push(vec![
+                format!("sigma_L={sigma_l} ST'={st}"),
+                secs(rep),
+                secs(bf),
+                secs(zz),
+            ]);
+        }
+        print_table(
+            &format!("Fig {panel}: sigma_T={sigma_t}, SL'={sl} (Parquet) — estimated paper-scale time"),
+            &["config", "repartition", "repartition(BF)", "zigzag"],
+            &rows,
+        );
+        println!(
+            "  zigzag fastest in every config: {}",
+            verdict(zigzag_always_best)
+        );
+        println!(
+            "  max speedup vs repartition {max_rep_over_zz:.1}x (paper: up to 2.1x)  {}",
+            verdict((1.3..3.5).contains(&max_rep_over_zz))
+        );
+        println!(
+            "  max speedup vs repartition(BF) {max_bf_over_zz:.1}x (paper: up to 1.8x)  {}",
+            verdict((1.1..2.6).contains(&max_bf_over_zz))
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! `hwjoin` — run one hybrid-warehouse join from the command line.
+//!
+//! ```text
+//! hwjoin [--alg zigzag|db|db-bf|broadcast|repartition|repartition-bf|semijoin|perf|auto|all]
+//!        [--sigma-t F] [--sigma-l F] [--st F] [--sl F]
+//!        [--format columnar|text] [--scale tiny|small|default]
+//!        [--spill-limit ROWS]
+//! ```
+//!
+//! Generates the paper's workload at the requested selectivities, executes
+//! the chosen strategy (or lets the sampling advisor pick with `auto`, or
+//! runs them `all`), and prints the result size, data-movement summary,
+//! and the cost model's paper-scale estimate.
+
+use hybrid_bench::report::{print_table, secs};
+use hybrid_bench::{default_system_config, ExpSystem};
+use hybrid_core::{run_auto, JoinAlgorithm};
+use hybrid_datagen::WorkloadSpec;
+use hybrid_storage::FileFormat;
+
+fn parse_alg(s: &str) -> Option<JoinAlgorithm> {
+    Some(match s {
+        "zigzag" => JoinAlgorithm::Zigzag,
+        "db" => JoinAlgorithm::DbSide { bloom: false },
+        "db-bf" => JoinAlgorithm::DbSide { bloom: true },
+        "broadcast" => JoinAlgorithm::Broadcast,
+        "repartition" => JoinAlgorithm::Repartition { bloom: false },
+        "repartition-bf" => JoinAlgorithm::Repartition { bloom: true },
+        "semijoin" => JoinAlgorithm::SemiJoin,
+        "perf" => JoinAlgorithm::PerfJoin,
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hwjoin [--alg NAME|auto|all] [--sigma-t F] [--sigma-l F] \
+         [--st F] [--sl F] [--format columnar|text] [--scale tiny|small|default] \
+         [--spill-limit ROWS]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut alg_arg = "zigzag".to_string();
+    let mut spec = WorkloadSpec::tiny();
+    let mut format = FileFormat::Columnar;
+    let mut spill_limit: Option<usize> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--alg" => alg_arg = value().to_string(),
+            "--sigma-t" => spec.sigma_t = value().parse()?,
+            "--sigma-l" => spec.sigma_l = value().parse()?,
+            "--st" => spec.st = value().parse()?,
+            "--sl" => spec.sl = value().parse()?,
+            "--spill-limit" => spill_limit = Some(value().parse()?),
+            "--format" => {
+                format = match value() {
+                    "columnar" | "parquet" => FileFormat::Columnar,
+                    "text" => FileFormat::Text,
+                    other => {
+                        eprintln!("unknown format {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--scale" => {
+                spec = match value() {
+                    "tiny" => WorkloadSpec { sigma_t: spec.sigma_t, sigma_l: spec.sigma_l, st: spec.st, sl: spec.sl, ..WorkloadSpec::tiny() },
+                    "small" => WorkloadSpec {
+                        t_rows: 40_000,
+                        l_rows: 375_000,
+                        num_keys: 400,
+                        sigma_t: spec.sigma_t,
+                        sigma_l: spec.sigma_l,
+                        st: spec.st,
+                        sl: spec.sl,
+                        ..WorkloadSpec::scaled_default()
+                    },
+                    "default" => WorkloadSpec { sigma_t: spec.sigma_t, sigma_l: spec.sigma_l, st: spec.st, sl: spec.sl, ..WorkloadSpec::scaled_default() },
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    println!(
+        "workload: T={} rows, L={} rows, sigma_T={}, sigma_L={}, ST'={}, SL'={}, {format}",
+        spec.t_rows, spec.l_rows, spec.sigma_t, spec.sigma_l, spec.st, spec.sl
+    );
+    let mut exp = ExpSystem::build(spec, format)?;
+    if let Some(limit) = spill_limit {
+        // rebuild with the spill budget
+        let mut cfg = default_system_config();
+        cfg.jen_memory_limit_rows = Some(limit);
+        let mut system = hybrid_core::HybridSystem::new(cfg)?;
+        exp.workload.load_into(&mut system, format)?;
+        exp.system = system;
+    }
+
+    let algorithms: Vec<JoinAlgorithm> = match alg_arg.as_str() {
+        "all" => JoinAlgorithm::paper_variants()
+            .into_iter()
+            .chain([JoinAlgorithm::SemiJoin, JoinAlgorithm::PerfJoin])
+            .collect(),
+        "auto" => {
+            let query = exp.workload.query();
+            let (choice, out) = run_auto(&mut exp.system, &query)?;
+            println!(
+                "\nadvisor chose {choice}: {} result groups, {} HDFS tuples shuffled, {} DB tuples sent",
+                out.result.num_rows(),
+                out.summary.hdfs_tuples_shuffled,
+                out.summary.db_tuples_sent
+            );
+            return Ok(());
+        }
+        name => vec![parse_alg(name).unwrap_or_else(|| usage())],
+    };
+
+    let mut rows = Vec::new();
+    for alg in algorithms {
+        let m = exp.run(alg)?;
+        rows.push(vec![
+            alg.name().to_string(),
+            m.result_rows.to_string(),
+            m.summary.hdfs_tuples_shuffled.to_string(),
+            m.summary.db_tuples_sent.to_string(),
+            m.summary.cross_bytes.to_string(),
+            secs(m.cost.total_s),
+        ]);
+    }
+    print_table(
+        "hwjoin results",
+        &[
+            "algorithm",
+            "result groups",
+            "tuples shuffled",
+            "DB tuples sent",
+            "cross bytes",
+            "est. paper-scale time",
+        ],
+        &rows,
+    );
+    Ok(())
+}

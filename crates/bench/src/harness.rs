@@ -1,0 +1,135 @@
+//! Shared experiment machinery.
+
+use hybrid_common::error::Result;
+use hybrid_core::{run, HybridSystem, JoinAlgorithm, JoinSummary, SystemConfig};
+use hybrid_costmodel::{CostBreakdown, CostModel, ScaleFactors};
+use hybrid_datagen::{Workload, WorkloadSpec};
+use hybrid_storage::FileFormat;
+
+/// The paper's topology: 30 DB2 workers and 30 JEN workers. Experiments run
+/// with the *same worker counts* so fan-out-dependent volumes (broadcast
+/// copies, the (n−1)/n shuffle fraction) extrapolate 1:1.
+pub fn default_system_config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_shape(30, 30);
+    cfg.rows_per_block = 5_000;
+    cfg
+}
+
+/// Base workload spec, selectable via `HYBRID_BENCH_SCALE`:
+/// `default` = 160 k × 1.5 M rows (1/10 000 of the paper), `small` = 1/4 of
+/// that, `tiny` = the test-sized workload.
+pub fn spec_from_env() -> WorkloadSpec {
+    match std::env::var("HYBRID_BENCH_SCALE").as_deref() {
+        Ok("tiny") => WorkloadSpec::tiny(),
+        Ok("small") => WorkloadSpec {
+            t_rows: 40_000,
+            l_rows: 375_000,
+            num_keys: 400,
+            ..WorkloadSpec::scaled_default()
+        },
+        _ => WorkloadSpec::scaled_default(),
+    }
+}
+
+/// One measured + modeled algorithm run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub algorithm: JoinAlgorithm,
+    pub summary: JoinSummary,
+    pub cost: CostBreakdown,
+    pub result_rows: usize,
+}
+
+/// A loaded system for one experiment configuration.
+pub struct ExpSystem {
+    pub system: HybridSystem,
+    pub workload: Workload,
+    pub format: FileFormat,
+    model: CostModel,
+}
+
+impl ExpSystem {
+    /// Generate the workload for `spec` and load it in `format`.
+    pub fn build(spec: WorkloadSpec, format: FileFormat) -> Result<ExpSystem> {
+        let workload = spec.generate()?;
+        let mut system = HybridSystem::new(default_system_config())?;
+        workload.load_into(&mut system, format)?;
+        Ok(ExpSystem {
+            system,
+            workload,
+            format,
+            model: CostModel::paper(),
+        })
+    }
+
+    /// Scale factors mapping this workload to the paper's dataset.
+    pub fn scale(&self) -> ScaleFactors {
+        let s = &self.workload.spec;
+        ScaleFactors::to_paper(s.t_rows, s.l_rows, s.num_keys)
+    }
+
+    /// Run one algorithm, returning measured volumes + modeled time.
+    pub fn run(&mut self, algorithm: JoinAlgorithm) -> Result<Measurement> {
+        let query = self.workload.query();
+        let out = run(&mut self.system, &query, algorithm)?;
+        let cost = self.model.estimate(algorithm, &out.summary, &self.scale());
+        Ok(Measurement {
+            algorithm,
+            summary: out.summary,
+            cost,
+            result_rows: out.result.num_rows(),
+        })
+    }
+
+    /// Run several algorithms on the same loaded data.
+    pub fn run_all(&mut self, algorithms: &[JoinAlgorithm]) -> Result<Vec<Measurement>> {
+        algorithms.iter().map(|&a| self.run(a)).collect()
+    }
+}
+
+/// Build, run, and return measurements for one selectivity configuration.
+pub fn run_config(
+    base: WorkloadSpec,
+    sigma_t: f64,
+    sigma_l: f64,
+    st: f64,
+    sl: f64,
+    format: FileFormat,
+    algorithms: &[JoinAlgorithm],
+) -> Result<Vec<Measurement>> {
+    let spec = WorkloadSpec { sigma_t, sigma_l, st, sl, ..base };
+    let mut exp = ExpSystem::build(spec, format)?;
+    exp.run_all(algorithms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_experiment_runs_and_models() {
+        let mut exp = ExpSystem::build(WorkloadSpec::tiny(), FileFormat::Columnar).unwrap();
+        let ms = exp
+            .run_all(&[
+                JoinAlgorithm::Repartition { bloom: true },
+                JoinAlgorithm::Zigzag,
+            ])
+            .unwrap();
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert!(m.cost.total_s > 0.0);
+            assert!(m.result_rows > 0);
+        }
+        // same query, same answer
+        assert_eq!(ms[0].result_rows, ms[1].result_rows);
+        // zigzag ships no more DB tuples than repartition(BF)
+        assert!(ms[1].summary.db_tuples_sent <= ms[0].summary.db_tuples_sent);
+    }
+
+    #[test]
+    fn env_scale_selection() {
+        // no env → default spec
+        std::env::remove_var("HYBRID_BENCH_SCALE");
+        assert_eq!(spec_from_env().t_rows, 160_000);
+    }
+}

@@ -1,0 +1,87 @@
+//! Applying a Bloom filter to a batch of tuples.
+//!
+//! Both engines do exactly this in their scan loops: probe the join-key
+//! column of every row against a filter from the *other* system and keep
+//! only possible joiners (paper §3: "prune out the non-joinable records").
+
+use crate::ApproxMembership;
+use hybrid_common::batch::Batch;
+use hybrid_common::error::Result;
+
+/// Keep only the rows of `batch` whose key in `key_col` may be in `filter`.
+pub fn filter_batch<F: ApproxMembership + ?Sized>(
+    batch: &Batch,
+    key_col: usize,
+    filter: &F,
+) -> Result<(Batch, FilStats)> {
+    let keys = batch.column(key_col)?;
+    let mut mask = Vec::with_capacity(batch.num_rows());
+    let mut kept = 0usize;
+    for row in 0..batch.num_rows() {
+        let keep = filter.may_contain(keys.key_at(row)?);
+        kept += usize::from(keep);
+        mask.push(keep);
+    }
+    let out = batch.filter(&mask)?;
+    Ok((
+        out,
+        FilStats { kept, dropped: batch.num_rows() - kept },
+    ))
+}
+
+/// Rows kept/dropped by one filter application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilStats {
+    pub kept: usize,
+    pub dropped: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BloomFilter, BloomParams};
+    use hybrid_common::batch::Column;
+    use hybrid_common::datum::DataType;
+    use hybrid_common::schema::Schema;
+
+    fn batch(keys: &[i32]) -> Batch {
+        Batch::new(
+            Schema::from_pairs(&[("k", DataType::I32), ("v", DataType::I64)]),
+            vec![
+                Column::I32(keys.to_vec()),
+                Column::I64(keys.iter().map(|&k| i64::from(k) * 2).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keeps_members_drops_rest() {
+        let mut f = BloomFilter::new(BloomParams::new(1 << 14, 2).unwrap());
+        f.insert(3);
+        f.insert(5);
+        let (out, stats) = filter_batch(&batch(&[1, 3, 5, 7, 3]), 0, &f).unwrap();
+        // all true members kept; nonmembers *may* survive as false positives
+        let kept_keys = out.column(0).unwrap().as_i32().unwrap();
+        assert!(kept_keys.contains(&3) && kept_keys.contains(&5));
+        assert_eq!(stats.kept, out.num_rows());
+        assert_eq!(stats.kept + stats.dropped, 5);
+        assert!(stats.kept >= 3);
+    }
+
+    #[test]
+    fn empty_filter_drops_everything_probably() {
+        let f = BloomFilter::new(BloomParams::new(1 << 14, 2).unwrap());
+        let (out, stats) = filter_batch(&batch(&[1, 2, 3]), 0, &f).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(stats.dropped, 3);
+    }
+
+    #[test]
+    fn value_columns_travel_with_keys() {
+        let mut f = BloomFilter::new(BloomParams::new(1 << 14, 2).unwrap());
+        f.insert(9);
+        let (out, _) = filter_batch(&batch(&[8, 9]), 0, &f).unwrap();
+        assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[18]);
+    }
+}

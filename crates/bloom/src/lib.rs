@@ -1,0 +1,45 @@
+//! Bloom filters for hybrid-warehouse joins.
+//!
+//! The paper's key mechanism for minimizing data movement (§3) is a Bloom
+//! filter built on the join keys of one side and applied while scanning the
+//! other. This crate provides:
+//!
+//! * [`BloomFilter`] — the standard `m`-bit / `k`-hash filter with the
+//!   bitwise-OR [`BloomFilter::merge`] that DB workers use to aggregate their
+//!   local filters into the global `BF_DB` (the paper's `combine_filter`
+//!   UDF), plus Kirsch–Mitzenmacher double hashing so any `k` costs two
+//!   64-bit hashes per key;
+//! * [`params::BloomParams`] — false-positive-rate math and optimal sizing.
+//!   The paper uses 128 M bits / 2 hashes for 16 M keys (~5% FPR, §5); the
+//!   same `bits_per_key = 8, k = 2` shape is this crate's
+//!   [`params::BloomParams::paper_default`];
+//! * [`blocked::BlockedBloomFilter`] — a register-blocked variant where all
+//!   `k` probes land in one 64-byte block (one cache miss per op), included
+//!   as an ablation subject for the benchmark suite.
+//!
+//! Both filter types share [`ApproxMembership`] so join operators are generic
+//! over the choice.
+
+pub mod apply;
+pub mod blocked;
+pub mod filter;
+pub mod params;
+
+pub use apply::{filter_batch, FilStats};
+pub use blocked::BlockedBloomFilter;
+pub use filter::BloomFilter;
+pub use params::BloomParams;
+
+/// Anything that can answer approximate membership queries over join keys.
+///
+/// Implementations must be *one-sided*: `false` is always correct ("key
+/// definitely absent"), `true` may be a false positive. The join algorithms
+/// rely on exactly this contract — a false positive only wastes network
+/// bytes, never drops a result row.
+pub trait ApproxMembership {
+    /// Test whether `key` may have been inserted.
+    fn may_contain(&self, key: i64) -> bool;
+
+    /// Number of bytes this filter occupies when shipped between clusters.
+    fn wire_bytes(&self) -> usize;
+}

@@ -1,0 +1,124 @@
+//! Bloom filter sizing and false-positive-rate math.
+
+use hybrid_common::error::{HybridError, Result};
+
+/// Size parameters of a Bloom filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BloomParams {
+    /// Number of bits `m` (rounded up to a multiple of 64 on allocation).
+    pub bits: usize,
+    /// Number of hash functions `k`.
+    pub hashes: u32,
+}
+
+impl BloomParams {
+    /// Validated constructor.
+    pub fn new(bits: usize, hashes: u32) -> Result<BloomParams> {
+        if bits == 0 {
+            return Err(HybridError::config("bloom filter needs at least 1 bit"));
+        }
+        if hashes == 0 || hashes > 32 {
+            return Err(HybridError::config(format!(
+                "bloom filter hash count {hashes} outside 1..=32"
+            )));
+        }
+        Ok(BloomParams { bits, hashes })
+    }
+
+    /// The paper's configuration shape (§5): 128 M bits and 2 hashes for
+    /// 16 M unique join keys, i.e. 8 bits per expected key — ~5% FPR.
+    /// `expected_keys` scales the same shape to any experiment size.
+    pub fn paper_default(expected_keys: usize) -> BloomParams {
+        BloomParams {
+            bits: (expected_keys.max(1)) * 8,
+            hashes: 2,
+        }
+    }
+
+    /// The textbook optimal parameters for `n` keys at target FPR `p`:
+    /// `m = -n ln p / (ln 2)^2`, `k = (m/n) ln 2`.
+    pub fn optimal(n: usize, p: f64) -> Result<BloomParams> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(HybridError::config(format!("target FPR {p} outside (0,1)")));
+        }
+        let n = n.max(1) as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-n * p.ln() / (ln2 * ln2)).ceil().max(64.0) as usize;
+        let k = ((m as f64 / n) * ln2).round().clamp(1.0, 32.0) as u32;
+        BloomParams::new(m, k)
+    }
+
+    /// Expected false-positive rate after inserting `n` distinct keys:
+    /// `(1 - e^{-kn/m})^k`.
+    pub fn expected_fpr(&self, n: usize) -> f64 {
+        let k = f64::from(self.hashes);
+        let exponent = -k * (n as f64) / (self.bits as f64);
+        (1.0 - exponent.exp()).powf(k)
+    }
+
+    /// Bytes of the bit array on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        self.bits.div_ceil(64) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(BloomParams::new(0, 2).is_err());
+        assert!(BloomParams::new(64, 0).is_err());
+        assert!(BloomParams::new(64, 33).is_err());
+        assert!(BloomParams::new(64, 2).is_ok());
+    }
+
+    #[test]
+    fn paper_default_matches_published_fpr() {
+        // 16M keys -> 128M bits, k=2: the paper reports "roughly 5%".
+        let p = BloomParams::paper_default(16_000_000);
+        assert_eq!(p.bits, 128_000_000);
+        assert_eq!(p.hashes, 2);
+        let fpr = p.expected_fpr(16_000_000);
+        assert!((0.035..0.06).contains(&fpr), "fpr={fpr}");
+    }
+
+    #[test]
+    fn optimal_hits_target() {
+        for &target in &[0.01, 0.05, 0.1] {
+            let p = BloomParams::optimal(100_000, target).unwrap();
+            let achieved = p.expected_fpr(100_000);
+            assert!(
+                achieved <= target * 1.15,
+                "target {target}, achieved {achieved} with {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_rejects_silly_fpr() {
+        assert!(BloomParams::optimal(10, 0.0).is_err());
+        assert!(BloomParams::optimal(10, 1.0).is_err());
+        assert!(BloomParams::optimal(10, -0.5).is_err());
+    }
+
+    #[test]
+    fn fpr_monotone_in_n() {
+        let p = BloomParams::new(1 << 16, 3).unwrap();
+        let mut last = 0.0;
+        for n in [100, 1_000, 10_000, 100_000] {
+            let f = p.expected_fpr(n);
+            assert!(f >= last);
+            last = f;
+        }
+        assert!(last <= 1.0);
+    }
+
+    #[test]
+    fn wire_bytes_rounds_to_words() {
+        assert_eq!(BloomParams::new(1, 1).unwrap().wire_bytes(), 8);
+        assert_eq!(BloomParams::new(64, 1).unwrap().wire_bytes(), 8);
+        assert_eq!(BloomParams::new(65, 1).unwrap().wire_bytes(), 16);
+    }
+}

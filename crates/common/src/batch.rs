@@ -1,0 +1,458 @@
+//! Columnar batches — the unit of data flow in both engines.
+//!
+//! A [`Batch`] is a set of equally-long typed [`Column`]s. Operators consume
+//! and produce batches; the simulated network ships batches and meters their
+//! [`Batch::serialized_bytes`]. This mirrors how JEN pipelines record batches
+//! between its read / process / send threads (paper §4.4) without paying for
+//! per-row boxing.
+
+use crate::datum::{DataType, Datum};
+use crate::error::{HybridError, Result};
+use crate::schema::Schema;
+
+/// A typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    Date(Vec<i32>),
+    Utf8(Vec<String>),
+}
+
+impl Column {
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I32(v) | Column::Date(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::Utf8(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::I32(_) => DataType::I32,
+            Column::I64(_) => DataType::I64,
+            Column::Date(_) => DataType::Date,
+            Column::Utf8(_) => DataType::Utf8,
+        }
+    }
+
+    /// Allocate an empty column of the given type with `capacity` reserved.
+    pub fn with_capacity(dt: DataType, capacity: usize) -> Column {
+        match dt {
+            DataType::I32 => Column::I32(Vec::with_capacity(capacity)),
+            DataType::I64 => Column::I64(Vec::with_capacity(capacity)),
+            DataType::Date => Column::Date(Vec::with_capacity(capacity)),
+            DataType::Utf8 => Column::Utf8(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// The value at `row` as a [`Datum`] (edge-of-system use only).
+    pub fn datum(&self, row: usize) -> Datum {
+        match self {
+            Column::I32(v) => Datum::I32(v[row]),
+            Column::I64(v) => Datum::I64(v[row]),
+            Column::Date(v) => Datum::Date(v[row]),
+            Column::Utf8(v) => Datum::Utf8(v[row].clone()),
+        }
+    }
+
+    /// View as `&[i32]` (shared by `I32` and `Date`).
+    pub fn as_i32(&self) -> Result<&[i32]> {
+        match self {
+            Column::I32(v) | Column::Date(v) => Ok(v),
+            other => Err(HybridError::TypeMismatch {
+                expected: "i32",
+                found: other.data_type().name(),
+            }),
+        }
+    }
+
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match self {
+            Column::I64(v) => Ok(v),
+            other => Err(HybridError::TypeMismatch {
+                expected: "i64",
+                found: other.data_type().name(),
+            }),
+        }
+    }
+
+    pub fn as_utf8(&self) -> Result<&[String]> {
+        match self {
+            Column::Utf8(v) => Ok(v),
+            other => Err(HybridError::TypeMismatch {
+                expected: "utf8",
+                found: other.data_type().name(),
+            }),
+        }
+    }
+
+    /// The join-key view: any integer column widened to `i64`.
+    ///
+    /// Join keys in the paper are 4-byte ints, but the engines accept either
+    /// integer width, so the hash-join key path is written once over `i64`.
+    pub fn key_at(&self, row: usize) -> Result<i64> {
+        match self {
+            Column::I32(v) | Column::Date(v) => Ok(i64::from(v[row])),
+            Column::I64(v) => Ok(v[row]),
+            Column::Utf8(_) => Err(HybridError::TypeMismatch {
+                expected: "integer join key",
+                found: "utf8",
+            }),
+        }
+    }
+
+    /// Append the value at `row` of `src` (same type) onto `self`.
+    pub fn push_from(&mut self, src: &Column, row: usize) -> Result<()> {
+        match (self, src) {
+            (Column::I32(d), Column::I32(s)) => d.push(s[row]),
+            (Column::I64(d), Column::I64(s)) => d.push(s[row]),
+            (Column::Date(d), Column::Date(s)) => d.push(s[row]),
+            (Column::Utf8(d), Column::Utf8(s)) => d.push(s[row].clone()),
+            (d, s) => {
+                return Err(HybridError::TypeMismatch {
+                    expected: d.data_type().name(),
+                    found: s.data_type().name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Keep only the rows whose index appears in `rows` (in order).
+    pub fn take(&self, rows: &[u32]) -> Column {
+        match self {
+            Column::I32(v) => Column::I32(rows.iter().map(|&r| v[r as usize]).collect()),
+            Column::I64(v) => Column::I64(rows.iter().map(|&r| v[r as usize]).collect()),
+            Column::Date(v) => Column::Date(rows.iter().map(|&r| v[r as usize]).collect()),
+            Column::Utf8(v) => {
+                Column::Utf8(rows.iter().map(|&r| v[r as usize].clone()).collect())
+            }
+        }
+    }
+
+    /// Serialized payload bytes of this column (fixed width or string bytes).
+    pub fn serialized_bytes(&self) -> usize {
+        match self {
+            Column::I32(v) | Column::Date(v) => v.len() * 4,
+            Column::I64(v) => v.len() * 8,
+            Column::Utf8(v) => v.iter().map(|s| 4 + s.len()).sum(),
+        }
+    }
+}
+
+/// A horizontal slice of a table: one column vector per schema field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Batch {
+    /// Build a batch, validating column count, types, and lengths.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Batch> {
+        if schema.len() != columns.len() {
+            return Err(HybridError::SchemaMismatch(format!(
+                "schema has {} fields but {} columns supplied",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (i, c) in columns.iter().enumerate() {
+            let expected = schema.field(i)?.data_type;
+            if c.data_type() != expected {
+                return Err(HybridError::TypeMismatch {
+                    expected: expected.name(),
+                    found: c.data_type().name(),
+                });
+            }
+            if c.len() != rows {
+                return Err(HybridError::SchemaMismatch(format!(
+                    "column {i} has {} rows, expected {rows}",
+                    c.len()
+                )));
+            }
+        }
+        Ok(Batch { schema, columns, rows })
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: Schema) -> Batch {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.data_type, 0))
+            .collect();
+        Batch { schema, columns, rows: 0 }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn column(&self, index: usize) -> Result<&Column> {
+        self.columns
+            .get(index)
+            .ok_or(HybridError::ColumnOutOfBounds { index, width: self.columns.len() })
+    }
+
+    /// The row at `row` as datums (edge-of-system / tests only).
+    pub fn row(&self, row: usize) -> Vec<Datum> {
+        self.columns.iter().map(|c| c.datum(row)).collect()
+    }
+
+    /// Project to the given column indexes.
+    pub fn project(&self, indexes: &[usize]) -> Result<Batch> {
+        let schema = self.schema.project(indexes)?;
+        let mut columns = Vec::with_capacity(indexes.len());
+        for &i in indexes {
+            columns.push(self.column(i)?.clone());
+        }
+        Ok(Batch { schema, columns, rows: self.rows })
+    }
+
+    /// Keep only the listed rows.
+    pub fn take(&self, rows: &[u32]) -> Batch {
+        debug_assert!(rows.iter().all(|&r| (r as usize) < self.rows));
+        let columns = self.columns.iter().map(|c| c.take(rows)).collect();
+        Batch { schema: self.schema.clone(), columns, rows: rows.len() }
+    }
+
+    /// Keep only rows where `mask` is true. `mask.len()` must equal rows.
+    pub fn filter(&self, mask: &[bool]) -> Result<Batch> {
+        if mask.len() != self.rows {
+            return Err(HybridError::SchemaMismatch(format!(
+                "mask of {} entries applied to batch of {} rows",
+                mask.len(),
+                self.rows
+            )));
+        }
+        let rows: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i as u32))
+            .collect();
+        Ok(self.take(&rows))
+    }
+
+    /// Concatenate many same-schema batches into one.
+    pub fn concat(schema: Schema, batches: &[Batch]) -> Result<Batch> {
+        let total: usize = batches.iter().map(Batch::num_rows).sum();
+        let mut columns: Vec<Column> = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.data_type, total))
+            .collect();
+        for b in batches {
+            if b.schema != schema {
+                return Err(HybridError::SchemaMismatch(
+                    "concat over mismatched schemas".into(),
+                ));
+            }
+            for (dst, src) in columns.iter_mut().zip(&b.columns) {
+                for row in 0..b.rows {
+                    dst.push_from(src, row)?;
+                }
+            }
+        }
+        Ok(Batch { schema, columns, rows: total })
+    }
+
+    /// Total wire size: per-column payloads (used by the metered fabric).
+    pub fn serialized_bytes(&self) -> usize {
+        self.columns.iter().map(Column::serialized_bytes).sum()
+    }
+
+    /// Split into chunks of at most `chunk_rows` rows (network batching).
+    pub fn chunks(&self, chunk_rows: usize) -> Vec<Batch> {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        if self.rows <= chunk_rows {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::with_capacity(self.rows.div_ceil(chunk_rows));
+        let mut start = 0usize;
+        while start < self.rows {
+            let end = (start + chunk_rows).min(self.rows);
+            let rows: Vec<u32> = (start as u32..end as u32).collect();
+            out.push(self.take(&rows));
+            start = end;
+        }
+        out
+    }
+}
+
+/// Incrementally builds a [`Batch`] row by row from a source batch
+/// (used by partitioning operators that scatter rows to destinations).
+#[derive(Debug)]
+pub struct BatchBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl BatchBuilder {
+    pub fn new(schema: Schema) -> BatchBuilder {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.data_type, 64))
+            .collect();
+        BatchBuilder { schema, columns, rows: 0 }
+    }
+
+    /// Append row `row` of `src` (which must share the schema's types).
+    pub fn push_row(&mut self, src: &Batch, row: usize) -> Result<()> {
+        for (dst, col) in self.columns.iter_mut().zip(src.columns()) {
+            dst.push_from(col, row)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Append a row made of two source batches side by side (join output).
+    pub fn push_joined(&mut self, left: &Batch, lrow: usize, right: &Batch, rrow: usize) -> Result<()> {
+        let lw = left.columns().len();
+        for (i, dst) in self.columns.iter_mut().enumerate() {
+            if i < lw {
+                dst.push_from(&left.columns()[i], lrow)?;
+            } else {
+                dst.push_from(&right.columns()[i - lw], rrow)?;
+            }
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn finish(self) -> Batch {
+        Batch { schema: self.schema, columns: self.columns, rows: self.rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn b() -> Batch {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::I32),
+            ("v", DataType::I64),
+            ("s", DataType::Utf8),
+        ]);
+        Batch::new(
+            schema,
+            vec![
+                Column::I32(vec![1, 2, 3, 4]),
+                Column::I64(vec![10, 20, 30, 40]),
+                Column::Utf8(vec!["a".into(), "bb".into(), "ccc".into(), "".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_arity_type_length() {
+        let schema = Schema::from_pairs(&[("k", DataType::I32)]);
+        assert!(Batch::new(schema.clone(), vec![]).is_err());
+        assert!(Batch::new(schema.clone(), vec![Column::I64(vec![1])]).is_err());
+        let two = Schema::from_pairs(&[("a", DataType::I32), ("b", DataType::I32)]);
+        assert!(Batch::new(
+            two,
+            vec![Column::I32(vec![1, 2]), Column::I32(vec![1])]
+        )
+        .is_err());
+        assert!(Batch::new(schema, vec![Column::I32(vec![5])]).is_ok());
+    }
+
+    #[test]
+    fn filter_take_project() {
+        let batch = b();
+        let f = batch.filter(&[true, false, true, false]).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.column(0).unwrap().as_i32().unwrap(), &[1, 3]);
+        let p = batch.project(&[2, 0]).unwrap();
+        assert_eq!(p.schema().field(0).unwrap().name, "s");
+        assert_eq!(p.column(1).unwrap().as_i32().unwrap(), &[1, 2, 3, 4]);
+        let t = batch.take(&[3, 0]);
+        assert_eq!(t.column(1).unwrap().as_i64().unwrap(), &[40, 10]);
+    }
+
+    #[test]
+    fn filter_wrong_mask_len_errors() {
+        assert!(b().filter(&[true]).is_err());
+    }
+
+    #[test]
+    fn serialized_bytes_counts_strings() {
+        let batch = b();
+        // 4*4 (i32) + 4*8 (i64) + 4*(4+len): lens 1,2,3,0 => 16+32+(16+6)=70
+        assert_eq!(batch.serialized_bytes(), 70);
+    }
+
+    #[test]
+    fn concat_roundtrip() {
+        let batch = b();
+        let parts = batch.chunks(3);
+        assert_eq!(parts.len(), 2);
+        let whole = Batch::concat(batch.schema().clone(), &parts).unwrap();
+        assert_eq!(whole, batch);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_schema() {
+        let other = Batch::empty(Schema::from_pairs(&[("z", DataType::I32)]));
+        assert!(Batch::concat(b().schema().clone(), &[b(), other]).is_err());
+    }
+
+    #[test]
+    fn builder_joins_rows() {
+        let left = b();
+        let right = b();
+        let joined_schema = left.schema().join(right.schema());
+        let mut builder = BatchBuilder::new(joined_schema);
+        builder.push_joined(&left, 0, &right, 3).unwrap();
+        let out = builder.finish();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0)[0], Datum::I32(1));
+        assert_eq!(out.row(0)[3], Datum::I32(4));
+    }
+
+    #[test]
+    fn key_at_widens_integers() {
+        let batch = b();
+        assert_eq!(batch.column(0).unwrap().key_at(2).unwrap(), 3);
+        assert_eq!(batch.column(1).unwrap().key_at(1).unwrap(), 20);
+        assert!(batch.column(2).unwrap().key_at(0).is_err());
+    }
+
+    #[test]
+    fn empty_batch_has_schema_and_no_rows() {
+        let e = Batch::empty(b().schema().clone());
+        assert!(e.is_empty());
+        assert_eq!(e.schema().len(), 3);
+        assert_eq!(e.serialized_bytes(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Scalar values and their types.
+
+use std::fmt;
+
+/// The scalar types supported by the engines.
+///
+/// Four types cover the paper's schemas: 4-byte ints (`joinKey`, `corPred`,
+/// `indPred`, extracted group ids), 8-byte ints (`uniqKey`, counts/sums),
+/// dates (stored as days-since-epoch, the natural encoding for the paper's
+/// `days(a) - days(b)` predicate), and variable-length strings
+/// (`groupByExtractCol`, dummy varchars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    I32,
+    I64,
+    /// Days since an arbitrary epoch; arithmetic happens on the raw i32.
+    Date,
+    Utf8,
+}
+
+impl DataType {
+    /// Bytes a single value of this type occupies on the (simulated) wire.
+    ///
+    /// `Utf8` is variable-width; this returns the fixed 4-byte length prefix,
+    /// with the payload accounted for separately by
+    /// [`crate::Batch::serialized_bytes`].
+    pub fn fixed_wire_width(self) -> usize {
+        match self {
+            DataType::I32 | DataType::Date => 4,
+            DataType::I64 => 8,
+            DataType::Utf8 => 4,
+        }
+    }
+
+    /// Human-readable name (used in error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::I32 => "i32",
+            DataType::I64 => "i64",
+            DataType::Date => "date",
+            DataType::Utf8 => "utf8",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar value.
+///
+/// Used at the edges of the system (literals in expressions, group-by keys in
+/// result rows, test assertions). The hot paths operate on
+/// [`crate::Column`] vectors instead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Datum {
+    I32(i32),
+    I64(i64),
+    Date(i32),
+    Utf8(String),
+}
+
+impl Datum {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Datum::I32(_) => DataType::I32,
+            Datum::I64(_) => DataType::I64,
+            Datum::Date(_) => DataType::Date,
+            Datum::Utf8(_) => DataType::Utf8,
+        }
+    }
+
+    /// Extract an `i32`, if that is what this datum holds.
+    pub fn as_i32(&self) -> Option<i32> {
+        match self {
+            Datum::I32(v) | Datum::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `i64`, widening `i32`/`Date` losslessly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Datum::I32(v) | Datum::Date(v) => Some(i64::from(*v)),
+            Datum::I64(v) => Some(*v),
+            Datum::Utf8(_) => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Utf8(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::I32(v) => write!(f, "{v}"),
+            Datum::I64(v) => write!(f, "{v}"),
+            Datum::Date(v) => write!(f, "date({v})"),
+            Datum::Utf8(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(DataType::I32.fixed_wire_width(), 4);
+        assert_eq!(DataType::I64.fixed_wire_width(), 8);
+        assert_eq!(DataType::Date.fixed_wire_width(), 4);
+        assert_eq!(DataType::Utf8.fixed_wire_width(), 4);
+    }
+
+    #[test]
+    fn datum_conversions() {
+        assert_eq!(Datum::I32(7).as_i64(), Some(7));
+        assert_eq!(Datum::Date(3).as_i32(), Some(3));
+        assert_eq!(Datum::I64(1 << 40).as_i64(), Some(1 << 40));
+        assert_eq!(Datum::I64(5).as_i32(), None);
+        assert_eq!(Datum::Utf8("x".into()).as_str(), Some("x"));
+        assert_eq!(Datum::Utf8("x".into()).as_i64(), None);
+    }
+
+    #[test]
+    fn datum_type_roundtrip() {
+        for d in [
+            Datum::I32(1),
+            Datum::I64(2),
+            Datum::Date(3),
+            Datum::Utf8("a".into()),
+        ] {
+            // every datum reports a type whose name is non-empty
+            assert!(!d.data_type().name().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Datum::I32(1).to_string(), "1");
+        assert_eq!(Datum::Date(9).to_string(), "date(9)");
+        assert_eq!(Datum::Utf8("u".into()).to_string(), "\"u\"");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, HybridError>;
+
+/// Errors surfaced by the simulated warehouse components.
+///
+/// The variants are coarse on purpose: each subsystem attaches a
+/// human-readable message, and the integration tests assert on the variant,
+/// not the text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HybridError {
+    /// A schema/arity mismatch between producer and consumer.
+    SchemaMismatch(String),
+    /// A value had a different [`crate::DataType`] than the operation needed.
+    TypeMismatch { expected: &'static str, found: &'static str },
+    /// Column index out of bounds for the schema at hand.
+    ColumnOutOfBounds { index: usize, width: usize },
+    /// Underlying storage failure (simulated HDFS / format decode).
+    Storage(String),
+    /// Simulated network failure (peer gone, channel closed).
+    Net(String),
+    /// Query execution failure (e.g. hash table memory limit exceeded).
+    Exec(String),
+    /// A worker died or was killed by failure injection.
+    WorkerFailed { worker: usize, reason: String },
+    /// Invalid configuration (cluster sizes, selectivities, BF parameters).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for HybridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HybridError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            HybridError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            HybridError::ColumnOutOfBounds { index, width } => {
+                write!(f, "column index {index} out of bounds for schema of width {width}")
+            }
+            HybridError::Storage(m) => write!(f, "storage error: {m}"),
+            HybridError::Net(m) => write!(f, "network error: {m}"),
+            HybridError::Exec(m) => write!(f, "execution error: {m}"),
+            HybridError::WorkerFailed { worker, reason } => {
+                write!(f, "worker {worker} failed: {reason}")
+            }
+            HybridError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HybridError {}
+
+impl HybridError {
+    /// Short helper used by executors.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        HybridError::Exec(msg.into())
+    }
+
+    /// Short helper used by config validation.
+    pub fn config(msg: impl Into<String>) -> Self {
+        HybridError::InvalidConfig(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = HybridError::ColumnOutOfBounds { index: 9, width: 4 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+    }
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert!(matches!(HybridError::exec("x"), HybridError::Exec(_)));
+        assert!(matches!(HybridError::config("x"), HybridError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&HybridError::Net("down".into()));
+    }
+}

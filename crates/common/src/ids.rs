@@ -1,0 +1,82 @@
+//! Identifier newtypes for the simulated clusters.
+//!
+//! Keeping worker / node / block identifiers as distinct types prevents the
+//! classic "passed a DB worker index to a JEN routing table" bug at compile
+//! time — the two clusters have different sizes (§5: 30 DB2 workers on 5
+//! servers vs 30 JEN workers on 30 DataNodes) and must never be conflated.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A worker of the shared-nothing parallel database (DB2 DPF agent).
+    DbWorkerId,
+    "db-worker-"
+);
+
+id_newtype!(
+    /// A JEN worker, one per HDFS DataNode.
+    JenWorkerId,
+    "jen-worker-"
+);
+
+id_newtype!(
+    /// A physical DataNode in the simulated HDFS cluster.
+    DataNodeId,
+    "datanode-"
+);
+
+id_newtype!(
+    /// An HDFS block.
+    BlockId,
+    "block-"
+);
+
+id_newtype!(
+    /// A disk within a DataNode (the paper uses 4 data disks per node).
+    DiskId,
+    "disk-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(DbWorkerId(3).to_string(), "db-worker-3");
+        assert_eq!(JenWorkerId(0).to_string(), "jen-worker-0");
+        assert_eq!(BlockId(12).to_string(), "block-12");
+    }
+
+    #[test]
+    fn ordering_and_conversion() {
+        assert!(DataNodeId(1) < DataNodeId(2));
+        assert_eq!(DiskId::from(5).index(), 5);
+    }
+}

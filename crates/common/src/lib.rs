@@ -1,0 +1,33 @@
+//! Shared building blocks for the hybrid-warehouse join reproduction.
+//!
+//! This crate holds everything the substrate crates (`hybrid-edw`,
+//! `hybrid-jen`, `hybrid-hdfs`, …) and the core join algorithms share:
+//!
+//! * a small typed columnar data model ([`batch::Batch`], [`batch::Column`],
+//!   [`schema::Schema`], [`datum::Datum`]),
+//! * an expression AST and vectorized evaluator ([`expr`]) covering the
+//!   paper's example query (local predicates, date-difference post-join
+//!   predicate, the `extract_group` / `region` UDFs),
+//! * hashing utilities ([`hash`]) including the *agreed shuffle hash
+//!   function* that the database and JEN share (paper §3.3/§3.4),
+//! * identifier newtypes ([`ids`]), error types ([`error`]) and a metrics
+//!   registry ([`metrics`]).
+//!
+//! The data model is deliberately minimal — four scalar types are enough for
+//! the paper's schemas — but it is a real engine substrate: every operator in
+//! the EDW and JEN executes against these batches.
+
+pub mod batch;
+pub mod datum;
+pub mod error;
+pub mod expr;
+pub mod hash;
+pub mod ids;
+pub mod metrics;
+pub mod ops;
+pub mod schema;
+
+pub use batch::{Batch, Column};
+pub use datum::{DataType, Datum};
+pub use error::{HybridError, Result};
+pub use schema::{Field, Schema};

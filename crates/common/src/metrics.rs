@@ -1,0 +1,137 @@
+//! A tiny shared metrics registry.
+//!
+//! Every component of the simulation (fabric links, scans, Bloom filter
+//! builds, hash joins) increments named counters here. The experiment
+//! harness reads a [`MetricsSnapshot`] after each run; Table 1 of the paper
+//! ("# tuples shuffled / sent") is literally two counters from this registry.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Cloneable handle to a set of named `u64` counters.
+///
+/// Clones share the same underlying counters (the registry is handed to
+/// every worker thread of both engines).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<BTreeMap<String, u64>>>,
+}
+
+/// An immutable copy of all counters at a point in time.
+pub type MetricsSnapshot = BTreeMap<String, u64>;
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `delta` to the counter `name`, creating it at zero if absent.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut m = self.inner.lock().expect("metrics mutex poisoned");
+        *m.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Increment by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Read one counter (0 if never written).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("metrics mutex poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Copy out all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().expect("metrics mutex poisoned").clone()
+    }
+
+    /// Reset all counters (between experiment configurations).
+    pub fn reset(&self) {
+        self.inner.lock().expect("metrics mutex poisoned").clear();
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    ///
+    /// Link-class accounting uses hierarchical names such as
+    /// `net.cross.bytes` / `net.intra_hdfs.bytes`, so callers can aggregate
+    /// with `sum_prefix("net.")`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("metrics mutex poisoned")
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn add_get_reset() {
+        let m = Metrics::new();
+        assert_eq!(m.get("x"), 0);
+        m.add("x", 5);
+        m.incr("x");
+        assert_eq!(m.get("x"), 6);
+        m.reset();
+        assert_eq!(m.get("x"), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.add("shared", 3);
+        assert_eq!(m.get("shared"), 3);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let m = Metrics::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.incr("c");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.get("c"), 8000);
+    }
+
+    #[test]
+    fn prefix_sum_aggregates() {
+        let m = Metrics::new();
+        m.add("net.cross.bytes", 10);
+        m.add("net.intra_hdfs.bytes", 20);
+        m.add("scan.bytes", 99);
+        assert_eq!(m.sum_prefix("net."), 30);
+        assert_eq!(m.sum_prefix("nope."), 0);
+    }
+
+    #[test]
+    fn snapshot_is_a_copy() {
+        let m = Metrics::new();
+        m.add("a", 1);
+        let snap = m.snapshot();
+        m.add("a", 1);
+        assert_eq!(snap.get("a"), Some(&1));
+        assert_eq!(m.get("a"), 2);
+    }
+}

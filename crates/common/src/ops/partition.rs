@@ -1,0 +1,95 @@
+//! Hash partitioning of batches — the shuffle's local half.
+//!
+//! Given a batch and a partitioning function over the join key, scatter the
+//! rows into one output batch per destination. The repartition and zigzag
+//! joins use [`crate::hash::agreed_shuffle_partition`] here (the hash
+//! function JEN exposes to the database, §4.3); the EDW's internal shuffles
+//! use [`crate::hash::db_partition`].
+
+use crate::batch::{Batch, BatchBuilder};
+use crate::error::Result;
+
+/// Split `batch` into `n` batches by applying `part_fn(key, n)` to the join
+/// key in column `key_col` of every row.
+pub fn partition_by_key(
+    batch: &Batch,
+    key_col: usize,
+    n: usize,
+    part_fn: impl Fn(i64, usize) -> usize,
+) -> Result<Vec<Batch>> {
+    assert!(n > 0, "cannot partition into zero parts");
+    let mut builders: Vec<BatchBuilder> = (0..n)
+        .map(|_| BatchBuilder::new(batch.schema().clone()))
+        .collect();
+    let keys = batch.column(key_col)?;
+    for row in 0..batch.num_rows() {
+        let key = keys.key_at(row)?;
+        let dest = part_fn(key, n);
+        debug_assert!(dest < n, "partition function out of range");
+        builders[dest].push_row(batch, row)?;
+    }
+    Ok(builders.into_iter().map(BatchBuilder::finish).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Column;
+    use crate::datum::DataType;
+    use crate::hash::agreed_shuffle_partition;
+    use crate::schema::Schema;
+
+    fn batch(keys: &[i32]) -> Batch {
+        Batch::new(
+            Schema::from_pairs(&[("k", DataType::I32), ("v", DataType::I64)]),
+            vec![
+                Column::I32(keys.to_vec()),
+                Column::I64(keys.iter().map(|&k| i64::from(k) * 10).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partitions_cover_input_exactly() {
+        let b = batch(&(0..100).collect::<Vec<_>>());
+        let parts = partition_by_key(&b, 0, 7, agreed_shuffle_partition).unwrap();
+        assert_eq!(parts.len(), 7);
+        let total: usize = parts.iter().map(Batch::num_rows).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn same_key_always_same_partition() {
+        let b = batch(&[5, 5, 5, 9, 9]);
+        let parts = partition_by_key(&b, 0, 4, agreed_shuffle_partition).unwrap();
+        let p5 = agreed_shuffle_partition(5, 4);
+        let p9 = agreed_shuffle_partition(9, 4);
+        // all copies of a key land together
+        let k5 = parts[p5].column(0).unwrap().as_i32().unwrap();
+        assert_eq!(k5.iter().filter(|&&k| k == 5).count(), 3);
+        let k9 = parts[p9].column(0).unwrap().as_i32().unwrap();
+        assert_eq!(k9.iter().filter(|&&k| k == 9).count(), 2);
+        for (i, p) in parts.iter().enumerate() {
+            if i != p5 && i != p9 {
+                assert_eq!(p.num_rows(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_keep_all_columns() {
+        let b = batch(&[3]);
+        let parts = partition_by_key(&b, 0, 2, |_, _| 1).unwrap();
+        assert_eq!(parts[0].num_rows(), 0);
+        assert_eq!(parts[1].num_rows(), 1);
+        assert_eq!(parts[1].column(1).unwrap().as_i64().unwrap(), &[30]);
+    }
+
+    #[test]
+    fn single_partition_is_identity() {
+        let b = batch(&[1, 2, 3]);
+        let parts = partition_by_key(&b, 0, 1, agreed_shuffle_partition).unwrap();
+        assert_eq!(parts[0], b);
+    }
+}

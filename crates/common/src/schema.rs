@@ -1,0 +1,135 @@
+//! Table schemas.
+
+use crate::datum::DataType;
+use crate::error::{HybridError, Result};
+
+/// A named, typed column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+}
+
+/// An ordered list of fields.
+///
+/// Projection in the engines is expressed as a list of column indexes into a
+/// schema; [`Schema::project`] derives the output schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, index: usize) -> Result<&Field> {
+        self.fields
+            .get(index)
+            .ok_or(HybridError::ColumnOutOfBounds { index, width: self.fields.len() })
+    }
+
+    /// Resolve a column name to its index.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| HybridError::SchemaMismatch(format!("no column named {name:?}")))
+    }
+
+    /// Derive the schema produced by projecting `indexes`.
+    pub fn project(&self, indexes: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(indexes.len());
+        for &i in indexes {
+            fields.push(self.field(i)?.clone());
+        }
+        Ok(Schema::new(fields))
+    }
+
+    /// Schema of `self` concatenated with `other` (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// Fixed per-row wire width: the sum of fixed widths of all fields.
+    /// String payload bytes are variable and accounted per-batch.
+    pub fn fixed_row_width(&self) -> usize {
+        self.fields.iter().map(|f| f.data_type.fixed_wire_width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("joinKey", DataType::I32),
+            ("uniqKey", DataType::I64),
+            ("url", DataType::Utf8),
+            ("d", DataType::Date),
+        ])
+    }
+
+    #[test]
+    fn index_of_and_field() {
+        let s = sample();
+        assert_eq!(s.index_of("url").unwrap(), 2);
+        assert!(s.index_of("nope").is_err());
+        assert_eq!(s.field(0).unwrap().name, "joinKey");
+        assert!(matches!(
+            s.field(9),
+            Err(HybridError::ColumnOutOfBounds { index: 9, width: 4 })
+        ));
+    }
+
+    #[test]
+    fn projection_derives_sub_schema() {
+        let s = sample();
+        let p = s.project(&[3, 0]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.field(0).unwrap().name, "d");
+        assert_eq!(p.field(1).unwrap().name, "joinKey");
+        assert!(s.project(&[17]).is_err());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = sample();
+        let j = s.join(&Schema::from_pairs(&[("x", DataType::I32)]));
+        assert_eq!(j.len(), 5);
+        assert_eq!(j.field(4).unwrap().name, "x");
+    }
+
+    #[test]
+    fn fixed_row_width_sums_fields() {
+        // 4 + 8 + 4(len prefix) + 4
+        assert_eq!(sample().fixed_row_width(), 20);
+    }
+}

@@ -1,0 +1,158 @@
+//! Algorithm advisor — the decision rules of the paper's discussion (§5.5).
+//!
+//! "Broadcast join only works for very limited cases … the DB-side join
+//! works well only when the HDFS table after predicates and projection is
+//! relatively small … for a large HDFS table without highly selective
+//! predicates, zigzag join is the most reliable join method."
+//!
+//! The advisor turns those findings into a transfer-volume estimate per
+//! algorithm and picks the cheapest. Scan cost is excluded: every strategy
+//! scans `L` exactly once, so transfers are what separates them — precisely
+//! the quantity the paper's Bloom filters attack.
+
+use crate::algorithms::JoinAlgorithm;
+
+/// Pre-execution estimates about one query (from catalog statistics in a
+/// real system; the experiment harness derives them from the generator's
+/// spec).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEstimates {
+    /// Bytes of the database table after local predicates + projection.
+    pub t_prime_bytes: u64,
+    /// Bytes of the HDFS table after local predicates + projection.
+    pub l_prime_bytes: u64,
+    /// Join-key selectivity on `T'` (fraction of `T'` join keys that appear
+    /// in `L'` — `S_T'` in the paper). 1.0 when unknown.
+    pub st: f64,
+    /// Join-key selectivity on `L'` (`S_L'`). 1.0 when unknown.
+    pub sl: f64,
+    /// JEN worker count (broadcast fan-out).
+    pub num_jen_workers: usize,
+    /// Wire size of one Bloom filter.
+    pub bloom_bytes: u64,
+}
+
+/// Relative cost of an intra-HDFS byte vs a cross-cluster byte. The paper's
+/// testbed has 30 × 1 GbE inside the HDFS cluster vs a 20 Gbit switch
+/// between clusters — aggregate intra bandwidth is moderately higher.
+const INTRA_WEIGHT: f64 = 0.7;
+
+/// Per-byte penalty for data *leaving* the database: the paper exports
+/// tuples through C UDFs writing to sockets row by row — far more expensive
+/// than raw link bandwidth (this is why zigzag's `T''` reduction matters).
+const DB_EXPORT_WEIGHT: f64 = 3.0;
+
+/// Per-byte penalty for data *entering* the database through the
+/// `read_hdfs` table UDF (the steep σL slope of the DB-side joins).
+const DB_INGEST_WEIGHT: f64 = 2.0;
+
+/// Estimated transfer cost (in cross-cluster byte-equivalents) of each
+/// strategy.
+pub fn estimated_costs(est: &QueryEstimates) -> Vec<(JoinAlgorithm, f64)> {
+    let t = est.t_prime_bytes as f64;
+    let l = est.l_prime_bytes as f64;
+    let bf = est.bloom_bytes as f64;
+    let n = est.num_jen_workers as f64;
+    let st = est.st.clamp(0.0, 1.0);
+    let sl = est.sl.clamp(0.0, 1.0);
+    vec![
+        (JoinAlgorithm::Broadcast, DB_EXPORT_WEIGHT * t * n),
+        (JoinAlgorithm::DbSide { bloom: false }, DB_INGEST_WEIGHT * l),
+        (
+            JoinAlgorithm::DbSide { bloom: true },
+            DB_INGEST_WEIGHT * l * sl + bf * n,
+        ),
+        (
+            JoinAlgorithm::Repartition { bloom: false },
+            DB_EXPORT_WEIGHT * t + INTRA_WEIGHT * l,
+        ),
+        (
+            JoinAlgorithm::Repartition { bloom: true },
+            DB_EXPORT_WEIGHT * t + INTRA_WEIGHT * l * sl + bf * n,
+        ),
+        (
+            JoinAlgorithm::Zigzag,
+            DB_EXPORT_WEIGHT * t * st + INTRA_WEIGHT * l * sl + bf * n + bf * n,
+        ),
+    ]
+}
+
+/// Pick the algorithm with the lowest estimated transfer volume.
+pub fn advise(est: &QueryEstimates) -> JoinAlgorithm {
+    estimated_costs(est)
+        .into_iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+        .expect("cost list is non-empty")
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper-scale sizes: T = 97 GB, L(parquet) = 421 GB, 30+30 workers,
+    /// 16 MB Bloom filters.
+    fn paper_estimates(sigma_t: f64, sigma_l: f64, st: f64, sl: f64) -> QueryEstimates {
+        // projected T' carries ~1/4 of T row width, L' similar.
+        let t_full: f64 = 25e9;
+        let l_full: f64 = 120e9;
+        QueryEstimates {
+            t_prime_bytes: (t_full * sigma_t) as u64,
+            l_prime_bytes: (l_full * sigma_l) as u64,
+            st,
+            sl,
+            num_jen_workers: 30,
+            bloom_bytes: 16 << 20,
+        }
+    }
+
+    #[test]
+    fn tiny_db_predicate_means_broadcast() {
+        // σT = 0.001 → T' ≈ 25 MB: the paper's broadcast regime (§5.1.2)
+        let est = paper_estimates(0.001, 0.2, 1.0, 1.0);
+        assert_eq!(advise(&est), JoinAlgorithm::Broadcast);
+    }
+
+    #[test]
+    fn tiny_hdfs_predicate_means_db_side() {
+        // σL = 0.001 → L' ≈ 120 MB: DB-side wins (§5.3), and with such a
+        // small L' the plain variant beats paying for the Bloom filter
+        // (§5.2: "the overhead … can cancel out or even outweigh its benefit")
+        let est = paper_estimates(0.1, 0.001, 1.0, 1.0);
+        assert_eq!(advise(&est), JoinAlgorithm::DbSide { bloom: false });
+    }
+
+    #[test]
+    fn moderate_hdfs_predicate_with_selective_join_means_db_bloom() {
+        // σL = 0.01 with a selective join: DB-side with Bloom (§5.2)
+        let est = paper_estimates(0.1, 0.01, 0.5, 0.1);
+        assert_eq!(advise(&est), JoinAlgorithm::DbSide { bloom: true });
+    }
+
+    #[test]
+    fn common_case_means_zigzag() {
+        // no highly selective predicate anywhere, selective join keys:
+        // the robust choice is zigzag (§5.5)
+        let est = paper_estimates(0.1, 0.4, 0.2, 0.1);
+        assert_eq!(advise(&est), JoinAlgorithm::Zigzag);
+    }
+
+    #[test]
+    fn unselective_join_keys_fall_back_to_repartition_family() {
+        // join-key predicates filter nothing (st = sl = 1): zigzag's two
+        // Bloom exchanges are pure overhead
+        let est = paper_estimates(0.1, 0.4, 1.0, 1.0);
+        let choice = advise(&est);
+        assert_eq!(choice, JoinAlgorithm::Repartition { bloom: false });
+    }
+
+    #[test]
+    fn costs_cover_all_paper_variants() {
+        let est = paper_estimates(0.1, 0.1, 0.5, 0.5);
+        let costs = estimated_costs(&est);
+        assert_eq!(costs.len(), 6);
+        for (_, c) in costs {
+            assert!(c.is_finite() && c >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! HDFS-side broadcast join — paper §3.2, Figure 2.
+//!
+//! Every DB worker broadcasts its filtered partition `T'_w` to every JEN
+//! worker, so each JEN worker holds the complete `T'` and joins purely
+//! locally against its share of the HDFS scan — no HDFS data is shuffled at
+//! all. Group-by and aggregation are pushed down: only the small final
+//! aggregate crosses back to the database.
+//!
+//! The paper finds this wins only when `T'` is very small (σT ≲ 0.001);
+//! the Fig. 10 harness reproduces that crossover.
+
+use crate::algorithms::{db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox};
+use crate::query::HybridQuery;
+use crate::system::HybridSystem;
+use hybrid_common::batch::Batch;
+use hybrid_common::error::Result;
+use hybrid_common::ids::DbWorkerId;
+use hybrid_common::ops::{HashAggregator, HashJoiner};
+use hybrid_jen::pipeline::scan_blocks_pipelined;
+use hybrid_jen::ScanSpec;
+use hybrid_net::{Endpoint, StreamTag};
+
+pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Batch> {
+    let num_db = sys.config.db_workers;
+
+    // Step 1: local predicates + projection on every DB worker.
+    let t_prime = db_apply_local(sys, query)?;
+
+    // Step 2: every DB worker broadcasts its filtered partition to every
+    // JEN worker (the paper's chosen "first transfer pattern", §4.3).
+    let jen_eps = sys.fabric.jen_endpoints();
+    for (w, part) in t_prime.iter().enumerate() {
+        let src = Endpoint::Db(DbWorkerId(w));
+        for &dst in &jen_eps {
+            send_data(sys, src, dst, StreamTag::DbData, part)?;
+            send_eos(sys, src, dst, StreamTag::DbData)?;
+        }
+    }
+
+    // Step 3: each JEN worker assembles T', scans its share of L, joins
+    // locally, and computes a partial aggregate.
+    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let scan_spec = ScanSpec {
+        pred: query.hdfs_pred.clone(),
+        proj: query.hdfs_proj.clone(),
+        bloom_key: None,
+    };
+    let t_schema = t_prime[0].schema().clone();
+    let mut partials: Vec<Batch> = Vec::with_capacity(sys.config.jen_workers);
+    for worker in &sys.jen_workers {
+        let me = Endpoint::Jen(worker.id());
+        let mut mb = Mailbox::new(sys, me)?;
+        let got = mb.take_stream(StreamTag::DbData, num_db)?;
+
+        // Build the hash table on the (small) broadcast T' — output layout
+        // is the canonical T' ++ L', so the query expressions apply as-is.
+        let mut joiner = HashJoiner::new(t_schema.clone(), query.db_key);
+        for b in got.batches {
+            joiner.build(b)?;
+        }
+        let (l_share, _) = scan_blocks_pipelined(
+            worker,
+            &plan.table,
+            &plan.blocks[worker.id().index()],
+            &scan_spec,
+            None,
+        )?;
+        let joined = joiner.probe(&l_share, query.hdfs_key)?;
+        let joined = match &query.post_predicate {
+            Some(p) => {
+                let mask = p.eval_predicate(&joined)?;
+                joined.filter(&mask)?
+            }
+            None => joined,
+        };
+        let groups = query.group_expr.eval_i64(&joined)?;
+        let mut agg = HashAggregator::new(query.aggs.clone());
+        agg.update(&groups, &joined)?;
+        partials.push(agg.finish());
+    }
+
+    // Steps 4–5: final aggregation at the designated worker, result to DB.
+    hdfs_side_final_aggregation(sys, query, partials)
+}

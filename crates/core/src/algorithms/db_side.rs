@@ -1,0 +1,116 @@
+//! DB-side join (±Bloom filter) — paper §3.1, Figures 1 and 5.
+//!
+//! The strategy used by PolyBase / HAWQ / SQL-H / Big Data SQL: the HDFS
+//! side applies local predicates, projection (and optionally the database's
+//! Bloom filter), and ships the surviving rows **into the database**, where
+//! the optimizer picks broadcast or repartition for the final join. JEN
+//! workers are divided into one group per DB worker (Fig. 5) so ingestion
+//! is parallel on both ends.
+
+use crate::algorithms::{db_apply_local, send_data, send_eos, Mailbox};
+use crate::query::HybridQuery;
+use crate::system::HybridSystem;
+use hybrid_bloom::BloomFilter;
+use hybrid_common::batch::Batch;
+use hybrid_common::error::Result;
+use hybrid_common::ids::DbWorkerId;
+use hybrid_edw::DbJoinSpec;
+use hybrid_jen::pipeline::scan_blocks_pipelined;
+use hybrid_jen::ScanSpec;
+use hybrid_net::{Endpoint, Message, StreamTag};
+
+pub(crate) fn execute(
+    sys: &mut HybridSystem,
+    query: &HybridQuery,
+    use_bloom: bool,
+) -> Result<Batch> {
+    let num_db = sys.config.db_workers;
+
+    // Step 1: local predicates + projection on every DB worker.
+    let t_prime = db_apply_local(sys, query)?;
+
+    // Step 2: compute the global BF_DB and multicast it to the JEN workers.
+    if use_bloom {
+        let bf = sys.db.build_global_bloom(
+            &query.db_table,
+            &query.db_pred,
+            query.db_key_base(),
+            query.bloom,
+        )?;
+        let bytes = bf.to_bytes();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        for jen in sys.fabric.jen_endpoints() {
+            sys.fabric.send(
+                db0,
+                jen,
+                Message::Bloom { stream: StreamTag::DbBloom, bytes: bytes.clone() },
+            )?;
+            send_eos(sys, db0, jen, StreamTag::DbBloom)?;
+        }
+    }
+
+    // Step 3: JEN scans, filters, and sends to its DB worker. The
+    // coordinator groups workers: group[i] feeds DB worker i (Fig. 5).
+    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let groups = sys.coordinator.group_workers_for_db(num_db);
+    let scan_spec = ScanSpec {
+        pred: query.hdfs_pred.clone(),
+        proj: query.hdfs_proj.clone(),
+        bloom_key: use_bloom.then(|| query.hdfs_key_base()),
+    };
+    for (db_idx, group) in groups.iter().enumerate() {
+        for wid in group {
+            let worker = &sys.jen_workers[wid.index()];
+            let bloom = if use_bloom {
+                let mut mb = Mailbox::new(sys, Endpoint::Jen(worker.id()))?;
+                let got = mb.take_stream(StreamTag::DbBloom, 1)?;
+                got.blooms
+                    .first()
+                    .map(|b| BloomFilter::from_bytes(b))
+                    .transpose()?
+            } else {
+                None
+            };
+            let (batch, _) = scan_blocks_pipelined(
+                worker,
+                &plan.table,
+                &plan.blocks[wid.index()],
+                &scan_spec,
+                bloom.as_ref(),
+            )?;
+            let dst = Endpoint::Db(DbWorkerId(db_idx));
+            let src = Endpoint::Jen(worker.id());
+            send_data(sys, src, dst, StreamTag::HdfsData, &batch)?;
+            send_eos(sys, src, dst, StreamTag::HdfsData)?;
+        }
+    }
+
+    // Step 4: DB workers land their group's HDFS data.
+    let hdfs_out_schema = plan.table.schema.project(&query.hdfs_proj)?;
+    let mut landed: Vec<Batch> = Vec::with_capacity(num_db);
+    for (db_idx, group) in groups.iter().enumerate().take(num_db) {
+        let expected = group.len();
+        let batch = if expected == 0 {
+            Batch::empty(hdfs_out_schema.clone())
+        } else {
+            let mut mb = Mailbox::new(sys, Endpoint::Db(DbWorkerId(db_idx)))?;
+            let got = mb.take_stream(StreamTag::HdfsData, expected)?;
+            Batch::concat(hdfs_out_schema.clone(), &got.batches)?
+        };
+        landed.push(batch);
+    }
+
+    // Step 5: the database's own optimizer finishes the join + aggregation.
+    // Canonical layout T' ++ L'' matches DbJoinSpec's left ++ right.
+    let spec = DbJoinSpec {
+        left_key: query.db_key,
+        right_key: query.hdfs_key,
+        post_predicate: query.post_predicate.clone(),
+        group_expr: query.group_expr.clone(),
+        aggs: query.aggs.clone(),
+    };
+    let (result, choice) = sys.db.join_and_aggregate(&t_prime, &landed, &spec)?;
+    sys.metrics
+        .incr(&format!("db.join.plan.{choice:?}").to_lowercase());
+    Ok(result)
+}

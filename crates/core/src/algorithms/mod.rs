@@ -1,0 +1,503 @@
+//! The join algorithms and their shared plumbing.
+//!
+//! Every algorithm is a pure orchestration over the substrates: database
+//! scans and Bloom UDFs from `hybrid-edw`, block scans from `hybrid-jen`,
+//! and metered transfers over the `hybrid-net` fabric. The orchestration
+//! here executes the steps of Figures 1–4 in their stated order; the data
+//! volumes that the paper's evaluation hinges on are measured, not modeled.
+
+pub mod broadcast;
+pub mod db_side;
+pub mod perf;
+pub mod repartition;
+pub mod semijoin;
+pub mod zigzag;
+
+use crate::query::HybridQuery;
+use crate::stats::{JoinSummary, RunOutput};
+use crate::system::HybridSystem;
+use hybrid_common::batch::Batch;
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::ids::DbWorkerId;
+use hybrid_common::ops::HashAggregator;
+use hybrid_net::{Delivery, Endpoint, Message, StreamTag};
+use std::collections::HashMap;
+
+/// Which join strategy to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinAlgorithm {
+    /// Fetch filtered HDFS data into the database; join there (§3.1).
+    DbSide { bloom: bool },
+    /// Broadcast the filtered database table to every JEN worker (§3.2).
+    Broadcast,
+    /// Shuffle both filtered tables to JEN workers by the agreed hash (§3.3).
+    Repartition { bloom: bool },
+    /// 2-way Bloom filters; join on the HDFS side (§3.4).
+    Zigzag,
+    /// Repartition with an exact key set instead of `BF_DB` (the classic
+    /// semi-join baseline the paper contrasts Bloom joins against, §6).
+    SemiJoin,
+    /// PERF join (Li & Ross, §6): positional bitmaps instead of a reverse
+    /// Bloom filter — exact, but its forward transfer duplicates keys per
+    /// tuple.
+    PerfJoin,
+}
+
+impl JoinAlgorithm {
+    /// Short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinAlgorithm::DbSide { bloom: false } => "db",
+            JoinAlgorithm::DbSide { bloom: true } => "db(BF)",
+            JoinAlgorithm::Broadcast => "broadcast",
+            JoinAlgorithm::Repartition { bloom: false } => "repartition",
+            JoinAlgorithm::Repartition { bloom: true } => "repartition(BF)",
+            JoinAlgorithm::Zigzag => "zigzag",
+            JoinAlgorithm::SemiJoin => "semijoin",
+            JoinAlgorithm::PerfJoin => "perf",
+        }
+    }
+
+    /// All variants evaluated in the paper's experiments.
+    pub fn paper_variants() -> [JoinAlgorithm; 6] {
+        [
+            JoinAlgorithm::DbSide { bloom: false },
+            JoinAlgorithm::DbSide { bloom: true },
+            JoinAlgorithm::Broadcast,
+            JoinAlgorithm::Repartition { bloom: false },
+            JoinAlgorithm::Repartition { bloom: true },
+            JoinAlgorithm::Zigzag,
+        ]
+    }
+}
+
+impl std::fmt::Display for JoinAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Execute `algorithm` for `query` on `system`, starting from clean
+/// metrics; returns the result plus the movement summary.
+pub fn run(
+    system: &mut HybridSystem,
+    query: &HybridQuery,
+    algorithm: JoinAlgorithm,
+) -> Result<RunOutput> {
+    query.validate()?;
+    system.reset_metrics();
+    // a previously failed run may have left in-flight messages behind
+    system.fabric.purge();
+    let result = match algorithm {
+        JoinAlgorithm::DbSide { bloom } => db_side::execute(system, query, bloom)?,
+        JoinAlgorithm::Broadcast => broadcast::execute(system, query)?,
+        JoinAlgorithm::Repartition { bloom } => repartition::execute(system, query, bloom)?,
+        JoinAlgorithm::Zigzag => zigzag::execute(system, query)?,
+        JoinAlgorithm::SemiJoin => semijoin::execute(system, query)?,
+        JoinAlgorithm::PerfJoin => perf::execute(system, query)?,
+    };
+    let snapshot = system.metrics.snapshot();
+    Ok(RunOutput {
+        result,
+        summary: JoinSummary::from_snapshot(&snapshot),
+        snapshot,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// shared plumbing
+// ---------------------------------------------------------------------------
+
+/// Rows per `Data` message — data is streamed in chunks, as JEN's send
+/// buffers do, rather than one giant message.
+pub(crate) const CHUNK_ROWS: usize = 4096;
+
+/// Send `batch` as chunked data messages on `stream` (no EOS).
+pub(crate) fn send_data(
+    sys: &HybridSystem,
+    from: Endpoint,
+    to: Endpoint,
+    stream: StreamTag,
+    batch: &Batch,
+) -> Result<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    for chunk in batch.chunks(CHUNK_ROWS) {
+        sys.fabric.send(from, to, Message::Data { stream, batch: chunk })?;
+    }
+    Ok(())
+}
+
+/// Send an end-of-stream marker.
+pub(crate) fn send_eos(
+    sys: &HybridSystem,
+    from: Endpoint,
+    to: Endpoint,
+    stream: StreamTag,
+) -> Result<()> {
+    sys.fabric.send(from, to, Message::Eos { stream })
+}
+
+/// A per-endpoint demultiplexer: pulls deliveries off the endpoint's inbox,
+/// buffering messages for streams other than the one currently awaited.
+///
+/// A zigzag JEN worker's inbox legitimately interleaves shuffled HDFS
+/// batches with (later) database tuples; the mailbox lets the algorithm
+/// consume one logical stream at a time without losing the other.
+pub(crate) struct Mailbox {
+    endpoint: Endpoint,
+    rx: crossbeam::channel::Receiver<Delivery<Message>>,
+    buffered: HashMap<StreamTag, Vec<Delivery<Message>>>,
+    eos_seen: HashMap<StreamTag, usize>,
+    timeout: std::time::Duration,
+}
+
+/// Everything received on one stream.
+#[derive(Debug, Default)]
+pub(crate) struct StreamData {
+    pub batches: Vec<Batch>,
+    /// Sender of each batch, aligned with `batches` (channels are FIFO, so
+    /// per-sender arrival order is send order).
+    pub batch_senders: Vec<Endpoint>,
+    pub blooms: Vec<Vec<u8>>,
+}
+
+impl Mailbox {
+    pub(crate) fn new(sys: &HybridSystem, endpoint: Endpoint) -> Result<Mailbox> {
+        Ok(Mailbox {
+            endpoint,
+            rx: sys.fabric.receiver(endpoint)?,
+            buffered: HashMap::new(),
+            eos_seen: HashMap::new(),
+            timeout: sys.config.recv_timeout,
+        })
+    }
+
+    /// Block until `expected_eos` end-of-stream markers have arrived on
+    /// `stream`; return all of its data. Messages of other streams are
+    /// buffered for later `take_stream` calls.
+    pub(crate) fn take_stream(
+        &mut self,
+        stream: StreamTag,
+        expected_eos: usize,
+    ) -> Result<StreamData> {
+        let mut out = StreamData::default();
+        // consume anything already buffered for this stream
+        for d in self.buffered.remove(&stream).unwrap_or_default() {
+            absorb(&mut out, d.from, d.msg);
+        }
+        while self.eos_seen.get(&stream).copied().unwrap_or(0) < expected_eos {
+            let d = self.rx.recv_timeout(self.timeout).map_err(|_| {
+                HybridError::Net(format!(
+                    "{} timed out waiting for {stream:?} ({}/{} EOS)",
+                    self.endpoint,
+                    self.eos_seen.get(&stream).copied().unwrap_or(0),
+                    expected_eos
+                ))
+            })?;
+            let tag = d.msg.stream();
+            if let Message::Eos { .. } = d.msg {
+                *self.eos_seen.entry(tag).or_insert(0) += 1;
+                continue;
+            }
+            if tag == stream {
+                absorb(&mut out, d.from, d.msg);
+            } else {
+                self.buffered.entry(tag).or_default().push(d);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn absorb(out: &mut StreamData, from: Endpoint, msg: Message) {
+    match msg {
+        Message::Data { batch, .. } => {
+            out.batch_senders.push(from);
+            out.batches.push(batch);
+        }
+        Message::Bloom { bytes, .. } => out.blooms.push(bytes),
+        Message::Eos { .. } => unreachable!("EOS handled by caller"),
+    }
+}
+
+/// HDFS-side epilogue shared by broadcast/repartition/zigzag/semijoin:
+/// partial aggregates travel to the designated worker, which merges them
+/// and ships the final result to DB worker 0 (Figures 2–4, final steps).
+///
+/// `partials[w]` is worker `w`'s partial aggregate batch.
+pub(crate) fn hdfs_side_final_aggregation(
+    sys: &HybridSystem,
+    query: &HybridQuery,
+    partials: Vec<Batch>,
+) -> Result<Batch> {
+    let designated = sys.coordinator.designated_worker()?;
+    let mut merger = HashAggregator::new(query.aggs.clone());
+    let mut expected = 0usize;
+    for (w, partial) in partials.iter().enumerate() {
+        if w == designated.index() {
+            merger.merge_partial(partial)?;
+        } else {
+            let from = Endpoint::Jen(hybrid_common::ids::JenWorkerId(w));
+            let to = Endpoint::Jen(designated);
+            send_data(sys, from, to, StreamTag::PartialAgg, partial)?;
+            send_eos(sys, from, to, StreamTag::PartialAgg)?;
+            expected += 1;
+        }
+    }
+    let mut mailbox = Mailbox::new(sys, Endpoint::Jen(designated))?;
+    let received = mailbox.take_stream(StreamTag::PartialAgg, expected)?;
+    for p in &received.batches {
+        merger.merge_partial(p)?;
+    }
+    let final_batch = merger.finish();
+
+    // ship to the database (a single DB worker returns it to the user)
+    let db0 = Endpoint::Db(DbWorkerId(0));
+    let from = Endpoint::Jen(designated);
+    send_data(sys, from, db0, StreamTag::FinalResult, &final_batch)?;
+    send_eos(sys, from, db0, StreamTag::FinalResult)?;
+    let mut db_mailbox = Mailbox::new(sys, db0)?;
+    let result = db_mailbox.take_stream(StreamTag::FinalResult, 1)?;
+    if result.batches.is_empty() {
+        return Ok(final_batch); // empty result: EOS only
+    }
+    Batch::concat(final_batch.schema().clone(), &result.batches)
+}
+
+/// The database half every algorithm starts with: apply local predicates
+/// and projection on each DB worker, producing `T'` (Fig. 1–4, step 1).
+pub(crate) fn db_apply_local(sys: &HybridSystem, query: &HybridQuery) -> Result<Vec<Batch>> {
+    let parts = sys
+        .db
+        .scan_filter_project(&query.db_table, &query.db_pred, &query.db_proj)?;
+    let rows: u64 = parts.iter().map(|b| b.num_rows() as u64).sum();
+    sys.metrics.add("core.t_prime_rows", rows);
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use crate::system::SystemConfig;
+    use hybrid_bloom::BloomParams;
+    use hybrid_common::batch::Column;
+    use hybrid_common::datum::DataType;
+    use hybrid_common::expr::Expr;
+    use hybrid_common::hash::splitmix64;
+    use hybrid_common::ops::AggSpec;
+    use hybrid_common::schema::Schema;
+    use hybrid_storage::FileFormat;
+
+    fn t_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("uniqKey", DataType::I64),
+            ("joinKey", DataType::I32),
+            ("corPred", DataType::I32),
+            ("tdate", DataType::Date),
+        ])
+    }
+
+    fn l_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("joinKey", DataType::I32),
+            ("corPred", DataType::I32),
+            ("ldate", DataType::Date),
+            ("grp", DataType::Utf8),
+        ])
+    }
+
+    /// Deterministic pseudo-random tables: T has 400 rows over 50 keys,
+    /// L has 1200 rows over 80 keys (keys 0..50 overlap T).
+    fn t_data() -> Batch {
+        let n = 400usize;
+        Batch::new(
+            t_schema(),
+            vec![
+                Column::I64((0..n as i64).collect()),
+                Column::I32((0..n).map(|i| (splitmix64(i as u64) % 50) as i32).collect()),
+                Column::I32((0..n).map(|i| (splitmix64(i as u64 ^ 7) % 100) as i32).collect()),
+                Column::Date((0..n).map(|i| (splitmix64(i as u64 ^ 9) % 30) as i32).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn l_data() -> Batch {
+        let n = 1200usize;
+        Batch::new(
+            l_schema(),
+            vec![
+                Column::I32((0..n).map(|i| (splitmix64(i as u64 ^ 100) % 80) as i32).collect()),
+                Column::I32((0..n).map(|i| (splitmix64(i as u64 ^ 101) % 100) as i32).collect()),
+                Column::Date((0..n).map(|i| (splitmix64(i as u64 ^ 102) % 30) as i32).collect()),
+                Column::Utf8(
+                    (0..n)
+                        .map(|i| format!("url_{}/p", splitmix64(i as u64 ^ 103) % 7))
+                        .collect(),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn paper_query() -> HybridQuery {
+        HybridQuery {
+            db_table: "T".into(),
+            hdfs_table: "L".into(),
+            db_pred: Expr::col_le(2, 49),
+            db_proj: vec![1, 3], // joinKey, tdate
+            db_key: 0,
+            hdfs_pred: Expr::col_le(1, 59),
+            hdfs_proj: vec![0, 2, 3], // joinKey, ldate, grp
+            hdfs_key: 0,
+            post_predicate: Some(
+                Expr::col(1)
+                    .sub(Expr::col(3))
+                    .ge(Expr::lit_i64(0))
+                    .and(Expr::col(1).sub(Expr::col(3)).le(Expr::lit_i64(1))),
+            ),
+            group_expr: Expr::ExtractGroup(Box::new(Expr::col(4))),
+            aggs: vec![AggSpec::Count],
+            bloom: BloomParams::new(1 << 12, 2).unwrap(),
+        }
+    }
+
+    fn system(format: FileFormat) -> HybridSystem {
+        let mut cfg = SystemConfig::paper_shape(3, 4);
+        cfg.rows_per_block = 100;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        sys.load_db_table("T", 0, t_data()).unwrap();
+        sys.create_db_index("T", &[2, 1]).unwrap();
+        sys.load_hdfs_table("L", format, l_schema(), &l_data()).unwrap();
+        sys
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_reference() {
+        let expected = run_reference(&t_data(), &l_data(), &paper_query()).unwrap();
+        assert!(expected.num_rows() > 0, "test query must be non-trivial");
+        for format in [FileFormat::Columnar, FileFormat::Text] {
+            let mut sys = system(format);
+            for alg in JoinAlgorithm::paper_variants()
+                .into_iter()
+                .chain([JoinAlgorithm::SemiJoin])
+            {
+                let out = run(&mut sys, &paper_query(), alg).unwrap();
+                assert_eq!(
+                    out.result, expected,
+                    "algorithm {alg} diverged on {format} format"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_variants_move_fewer_tuples() {
+        let mut sys = system(FileFormat::Columnar);
+        let q = paper_query();
+        let plain = run(&mut sys, &q, JoinAlgorithm::Repartition { bloom: false }).unwrap();
+        let bloomed = run(&mut sys, &q, JoinAlgorithm::Repartition { bloom: true }).unwrap();
+        let zz = run(&mut sys, &q, JoinAlgorithm::Zigzag).unwrap();
+        assert!(
+            bloomed.summary.hdfs_tuples_shuffled <= plain.summary.hdfs_tuples_shuffled,
+            "BF should not increase shuffle volume"
+        );
+        assert!(
+            zz.summary.db_tuples_sent <= bloomed.summary.db_tuples_sent,
+            "zigzag's BF_H should shrink the DB transfer"
+        );
+    }
+
+    #[test]
+    fn db_side_bloom_reduces_cross_traffic() {
+        let mut sys = system(FileFormat::Columnar);
+        let q = paper_query();
+        let plain = run(&mut sys, &q, JoinAlgorithm::DbSide { bloom: false }).unwrap();
+        let bloomed = run(&mut sys, &q, JoinAlgorithm::DbSide { bloom: true }).unwrap();
+        assert!(bloomed.summary.hdfs_tuples_sent <= plain.summary.hdfs_tuples_sent);
+        assert!(plain.summary.hdfs_tuples_sent > 0);
+    }
+
+    #[test]
+    fn broadcast_sends_t_prime_to_every_worker() {
+        let mut sys = system(FileFormat::Columnar);
+        let q = paper_query();
+        let out = run(&mut sys, &q, JoinAlgorithm::Broadcast).unwrap();
+        // T' rows × 4 JEN workers
+        let t_rows: u64 = db_apply_local(&sys, &q)
+            .unwrap()
+            .iter()
+            .map(|b| b.num_rows() as u64)
+            .sum();
+        assert_eq!(out.summary.db_tuples_sent, t_rows * 4);
+        assert_eq!(out.summary.hdfs_tuples_shuffled, 0, "broadcast never shuffles HDFS data");
+    }
+
+    #[test]
+    fn mailbox_demultiplexes_streams() {
+        let sys = HybridSystem::new(SystemConfig::paper_shape(1, 2)).unwrap();
+        let j0 = Endpoint::Jen(hybrid_common::ids::JenWorkerId(0));
+        let j1 = Endpoint::Jen(hybrid_common::ids::JenWorkerId(1));
+        let mk = |n: i32| {
+            Batch::new(
+                Schema::from_pairs(&[("x", DataType::I32)]),
+                vec![Column::I32(vec![n])],
+            )
+            .unwrap()
+        };
+        // interleave two streams
+        send_data(&sys, j1, j0, StreamTag::HdfsShuffle, &mk(1)).unwrap();
+        send_data(&sys, j1, j0, StreamTag::DbData, &mk(2)).unwrap();
+        send_data(&sys, j1, j0, StreamTag::HdfsShuffle, &mk(3)).unwrap();
+        send_eos(&sys, j1, j0, StreamTag::HdfsShuffle).unwrap();
+        send_eos(&sys, j1, j0, StreamTag::DbData).unwrap();
+        let mut mb = Mailbox::new(&sys, j0).unwrap();
+        let shuffle = mb.take_stream(StreamTag::HdfsShuffle, 1).unwrap();
+        assert_eq!(shuffle.batches.len(), 2);
+        let db = mb.take_stream(StreamTag::DbData, 1).unwrap();
+        assert_eq!(db.batches.len(), 1);
+        assert_eq!(db.batches[0].column(0).unwrap().as_i32().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn mailbox_timeout_on_missing_eos() {
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.recv_timeout = std::time::Duration::from_millis(20);
+        let sys = HybridSystem::new(cfg).unwrap();
+        let j0 = Endpoint::Jen(hybrid_common::ids::JenWorkerId(0));
+        let mut mb = Mailbox::new(&sys, j0).unwrap();
+        let err = mb.take_stream(StreamTag::DbData, 1).unwrap_err();
+        assert!(matches!(err, HybridError::Net(_)));
+    }
+
+    #[test]
+    fn algorithm_names_are_unique() {
+        let mut names: Vec<&str> = JoinAlgorithm::paper_variants()
+            .into_iter()
+            .chain([JoinAlgorithm::SemiJoin])
+            .map(|a| a.name())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn single_worker_clusters_work() {
+        // degenerate 1×1 deployment exercises the "no peers" paths
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.rows_per_block = 64;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        sys.load_db_table("T", 0, t_data()).unwrap();
+        sys.load_hdfs_table("L", FileFormat::Columnar, l_schema(), &l_data())
+            .unwrap();
+        let expected = run_reference(&t_data(), &l_data(), &paper_query()).unwrap();
+        for alg in JoinAlgorithm::paper_variants() {
+            let out = run(&mut sys, &paper_query(), alg).unwrap();
+            assert_eq!(out.result, expected, "algorithm {alg} on 1x1");
+        }
+    }
+}

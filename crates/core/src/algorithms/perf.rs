@@ -1,0 +1,298 @@
+//! PERF join baseline — Li & Ross (CIKM '95), discussed in the paper's §6.
+//!
+//! PERF replaces the second semi-join value transfer with a **bitmap of
+//! positions**: the first table ships its join keys *in tuple-scan order*
+//! (duplicates included), the other side replies with one bit per received
+//! key ("this position has a partner"), and the sender then selects exactly
+//! the matching tuples by position — no values travel back, and no false
+//! positives occur.
+//!
+//! The paper's criticism — "unlike Bloom join, it doesn't work well in
+//! parallel settings, when there are lots of duplicated values" — falls out
+//! of the construction: the forward transfer is one key **per tuple** of
+//! `T'` (a Bloom filter's size is independent of duplication), and in a
+//! partitioned cluster every key must be routed to the worker that owns its
+//! hash partition before it can be tested. The ablation tests quantify
+//! both effects against the zigzag join.
+//!
+//! Flow implemented here (the zigzag-compatible parallel adaptation):
+//!
+//! 1. JEN scans `L` under local predicates and shuffles `L'` by the agreed
+//!    hash (as in the repartition join), so each worker owns a key range;
+//! 2. DB workers route their `T'` join keys — in order, duplicates kept —
+//!    to the owning JEN workers (`PerfKeys`);
+//! 3. each JEN worker replies to each DB worker with a positional bitmap
+//!    over the keys that worker sent it (`PerfBitmap`);
+//! 4. DB workers reassemble the bitmaps (the routing is deterministic, so
+//!    positions align), select the matching `T'` tuples, and ship only
+//!    those (`DbData`), exactly like the zigzag join's `T''`;
+//! 5. local joins + aggregation as in the repartition join.
+
+use crate::algorithms::{
+    db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox,
+};
+use crate::query::HybridQuery;
+use crate::system::HybridSystem;
+use hybrid_common::batch::{Batch, Column};
+use hybrid_common::datum::DataType;
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::hash::agreed_shuffle_partition;
+use hybrid_common::ids::{DbWorkerId, JenWorkerId};
+use hybrid_common::ops::{partition_by_key, HashAggregator};
+use hybrid_common::schema::Schema;
+use hybrid_jen::pipeline::scan_blocks_pipelined;
+use hybrid_jen::LocalJoiner;
+use hybrid_jen::ScanSpec;
+use hybrid_net::{Endpoint, Message, StreamTag};
+use std::collections::HashSet;
+
+pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Batch> {
+    let num_db = sys.config.db_workers;
+    let num_jen = sys.config.jen_workers;
+
+    // Step 0: T' per DB worker.
+    let t_prime = db_apply_local(sys, query)?;
+
+    // Step 1: JEN scans and shuffles L' (repartition-style); each worker
+    // then owns the keys of its hash partition.
+    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let scan_spec = ScanSpec {
+        pred: query.hdfs_pred.clone(),
+        proj: query.hdfs_proj.clone(),
+        bloom_key: None,
+    };
+    let l_schema = plan.table.schema.project(&query.hdfs_proj)?;
+    let mut mailboxes: Vec<Mailbox> = sys
+        .jen_workers
+        .iter()
+        .map(|w| Mailbox::new(sys, Endpoint::Jen(w.id())))
+        .collect::<Result<_>>()?;
+    let mut local_parts: Vec<Batch> = Vec::with_capacity(num_jen);
+    for worker in &sys.jen_workers {
+        let w = worker.id().index();
+        let me = Endpoint::Jen(worker.id());
+        let (l_share, _) =
+            scan_blocks_pipelined(worker, &plan.table, &plan.blocks[w], &scan_spec, None)?;
+        let routed =
+            partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
+        let mut mine = Batch::empty(l_schema.clone());
+        for (dst_idx, piece) in routed.into_iter().enumerate() {
+            if dst_idx == w {
+                mine = piece;
+            } else {
+                let dst = Endpoint::Jen(JenWorkerId(dst_idx));
+                send_data(sys, me, dst, StreamTag::HdfsShuffle, &piece)?;
+                send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
+            }
+        }
+        local_parts.push(mine);
+    }
+
+    // Step 2: DB workers ship their T' key columns in tuple order,
+    // duplicates included — PERF's forward transfer grows with |T'|, not
+    // with the number of distinct keys.
+    let key_schema = Schema::from_pairs(&[("joinKey", DataType::I64)]);
+    for (w, part) in t_prime.iter().enumerate() {
+        let me = Endpoint::Db(DbWorkerId(w));
+        let keys = part.column(query.db_key)?;
+        let mut per_dest: Vec<Vec<i64>> = vec![Vec::new(); num_jen];
+        for row in 0..part.num_rows() {
+            let k = keys.key_at(row)?;
+            per_dest[agreed_shuffle_partition(k, num_jen)].push(k);
+        }
+        for (dst_idx, dest_keys) in per_dest.into_iter().enumerate() {
+            let dst = Endpoint::Jen(JenWorkerId(dst_idx));
+            let batch = Batch::new(key_schema.clone(), vec![Column::I64(dest_keys)])?;
+            send_data(sys, me, dst, StreamTag::PerfKeys, &batch)?;
+            send_eos(sys, me, dst, StreamTag::PerfKeys)?;
+        }
+    }
+
+    // Step 3: each JEN worker assembles its owned key set (local partition
+    // + received shuffle) into the local joiner, and answers every DB
+    // worker's key stream with a positional bitmap.
+    let mut joiners: Vec<Option<LocalJoiner>> = Vec::with_capacity(num_jen);
+    for worker in &sys.jen_workers {
+        let w = worker.id().index();
+        let me = Endpoint::Jen(worker.id());
+        let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
+        let mut owned_keys: HashSet<i64> = HashSet::new();
+        collect_keys(&local_parts[w], query.hdfs_key, &mut owned_keys)?;
+        let mut joiner = LocalJoiner::new(
+            l_schema.clone(),
+            query.hdfs_key,
+            sys.config.jen_memory_limit_rows,
+            sys.metrics.clone(),
+        )?;
+        joiner.build(std::mem::replace(&mut local_parts[w], Batch::empty(l_schema.clone())))?;
+        for b in shuffled.batches {
+            collect_keys(&b, query.hdfs_key, &mut owned_keys)?;
+            joiner.build(b)?;
+        }
+        joiners.push(Some(joiner));
+
+        // Bitmap replies: deliveries from one sender arrive in send order,
+        // so concatenating a sender's batches reproduces its routing order
+        // and the bitmap positions align.
+        let key_data = mailboxes[w].take_stream(StreamTag::PerfKeys, num_db)?;
+        let mut per_sender: Vec<Vec<bool>> = vec![Vec::new(); num_db];
+        for (batch, from) in key_data.batches.iter().zip(&key_data.batch_senders) {
+            let d = match from {
+                Endpoint::Db(id) => id.index(),
+                other => {
+                    return Err(HybridError::exec(format!(
+                        "PERF keys from non-DB endpoint {other}"
+                    )))
+                }
+            };
+            let keys = batch.column(0)?;
+            for row in 0..batch.num_rows() {
+                per_sender[d].push(owned_keys.contains(&keys.key_at(row)?));
+            }
+        }
+        for (d, bits) in per_sender.into_iter().enumerate() {
+            let bytes = pack_bits(&bits);
+            let dst = Endpoint::Db(DbWorkerId(d));
+            sys.fabric.send(
+                me,
+                dst,
+                Message::Bloom { stream: StreamTag::PerfBitmap, bytes },
+            )?;
+            send_eos(sys, me, dst, StreamTag::PerfBitmap)?;
+        }
+    }
+
+    // Step 4: DB workers reassemble bitmaps into per-position matches and
+    // ship exactly the matching tuples.
+    for (w, part) in t_prime.iter().enumerate() {
+        let me = Endpoint::Db(DbWorkerId(w));
+        let mut mb = Mailbox::new(sys, me)?;
+        let replies = mb.take_stream(StreamTag::PerfBitmap, num_jen)?;
+        // replies arrive in JEN-worker order (workers are driven in order);
+        // reassemble: walk T' rows, taking the next bit from the bitmap of
+        // the owning worker.
+        let mut bitmaps: Vec<BitReader> = replies.blooms.iter().map(|b| BitReader::new(b)).collect();
+        if bitmaps.len() != num_jen {
+            return Err(HybridError::exec(format!(
+                "PERF join expected {num_jen} bitmaps, got {}",
+                bitmaps.len()
+            )));
+        }
+        let keys = part.column(query.db_key)?;
+        let mut mask = Vec::with_capacity(part.num_rows());
+        for row in 0..part.num_rows() {
+            let owner = agreed_shuffle_partition(keys.key_at(row)?, num_jen);
+            mask.push(bitmaps[owner].next()?);
+        }
+        let t_second = part.filter(&mask)?;
+        sys.metrics
+            .add("db.perf.t_rows_after_bitmap", t_second.num_rows() as u64);
+        let routed =
+            partition_by_key(&t_second, query.db_key, num_jen, agreed_shuffle_partition)?;
+        for (jen_idx, piece) in routed.into_iter().enumerate() {
+            let dst = Endpoint::Jen(JenWorkerId(jen_idx));
+            send_data(sys, me, dst, StreamTag::DbData, &piece)?;
+            send_eos(sys, me, dst, StreamTag::DbData)?;
+        }
+    }
+
+    // Step 5: probe + aggregate (identical to the repartition epilogue).
+    let post_pred = query.post_predicate_hdfs_layout();
+    let group_expr = query.group_expr_hdfs_layout();
+    let hdfs_aggs = query.aggs_hdfs_layout();
+    let mut partials: Vec<Batch> = Vec::with_capacity(num_jen);
+    let t_schema = t_prime[0].schema().clone();
+    for worker in &sys.jen_workers {
+        let w = worker.id().index();
+        let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
+        let joiner = joiners[w].take().expect("joiner built in step 3");
+        let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
+        let joined = match &post_pred {
+            Some(p) => {
+                let m = p.eval_predicate(&joined)?;
+                joined.filter(&m)?
+            }
+            None => joined,
+        };
+        let mut agg = HashAggregator::new(hdfs_aggs.clone());
+        let groups = group_expr.eval_i64(&joined)?;
+        agg.update(&groups, &joined)?;
+        partials.push(agg.finish());
+    }
+
+    hdfs_side_final_aggregation(sys, query, partials)
+}
+
+fn collect_keys(batch: &Batch, key_col: usize, out: &mut HashSet<i64>) -> Result<()> {
+    let keys = batch.column(key_col)?;
+    for row in 0..batch.num_rows() {
+        out.insert(keys.key_at(row)?);
+    }
+    Ok(())
+}
+
+/// Pack booleans LSB-first into bytes — the PERF bitmap wire format.
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Sequential reader over a packed bitmap.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    fn next(&mut self) -> Result<bool> {
+        let byte = self
+            .bytes
+            .get(self.pos / 8)
+            .ok_or_else(|| HybridError::exec("PERF bitmap shorter than the key stream"))?;
+        let bit = (byte >> (self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_packing_roundtrip() {
+        let bits = vec![true, false, true, true, false, false, false, true, true, false];
+        let bytes = pack_bits(&bits);
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &bits {
+            assert_eq!(r.next().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn bit_reader_overrun_errors() {
+        let bytes = pack_bits(&[true]);
+        let mut r = BitReader::new(&bytes);
+        for _ in 0..8 {
+            r.next().unwrap();
+        }
+        assert!(r.next().is_err());
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        assert!(pack_bits(&[]).is_empty());
+        let mut r = BitReader::new(&[]);
+        assert!(r.next().is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! HDFS-side repartition join (±Bloom filter) — paper §3.3, Figure 3.
+//!
+//! The database and JEN agree on a hash function over the join key. DB
+//! workers ship `T'` directly to the owning JEN worker (no second shuffle on
+//! arrival); JEN workers scan `L`, optionally apply `BF_DB`, and shuffle the
+//! survivors among themselves with the same hash. Each JEN worker then joins
+//! its partition locally (hash table built on the HDFS side, as in §4.4),
+//! aggregates partially, and the designated worker returns the final result.
+
+use crate::algorithms::{
+    db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox,
+};
+use crate::query::HybridQuery;
+use crate::system::HybridSystem;
+use hybrid_bloom::BloomFilter;
+use hybrid_common::batch::Batch;
+use hybrid_common::error::Result;
+use hybrid_common::hash::agreed_shuffle_partition;
+use hybrid_common::ids::DbWorkerId;
+use hybrid_common::ops::{partition_by_key, HashAggregator};
+use hybrid_jen::pipeline::scan_blocks_pipelined;
+use hybrid_jen::LocalJoiner;
+use hybrid_jen::ScanSpec;
+use hybrid_net::{Endpoint, Message, StreamTag};
+
+pub(crate) fn execute(
+    sys: &mut HybridSystem,
+    query: &HybridQuery,
+    use_bloom: bool,
+) -> Result<Batch> {
+    let num_db = sys.config.db_workers;
+    let num_jen = sys.config.jen_workers;
+
+    // Step 1: T' per DB worker (+ global BF_DB if requested).
+    let t_prime = db_apply_local(sys, query)?;
+    if use_bloom {
+        let bf = sys.db.build_global_bloom(
+            &query.db_table,
+            &query.db_pred,
+            query.db_key_base(),
+            query.bloom,
+        )?;
+        let bytes = bf.to_bytes();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        for jen in sys.fabric.jen_endpoints() {
+            sys.fabric.send(
+                db0,
+                jen,
+                Message::Bloom { stream: StreamTag::DbBloom, bytes: bytes.clone() },
+            )?;
+            send_eos(sys, db0, jen, StreamTag::DbBloom)?;
+        }
+    }
+
+    // Step 2: DB workers route T' with the agreed hash — data lands on the
+    // JEN worker that will join it, no re-shuffle needed (§3.3).
+    for (w, part) in t_prime.iter().enumerate() {
+        let src = Endpoint::Db(DbWorkerId(w));
+        let routed = partition_by_key(part, query.db_key, num_jen, agreed_shuffle_partition)?;
+        for (jen_idx, piece) in routed.into_iter().enumerate() {
+            let dst = Endpoint::Jen(hybrid_common::ids::JenWorkerId(jen_idx));
+            send_data(sys, src, dst, StreamTag::DbData, &piece)?;
+            send_eos(sys, src, dst, StreamTag::DbData)?;
+        }
+    }
+
+    // Step 3: JEN workers scan (applying BF_DB if present) and shuffle the
+    // filtered HDFS data with the same hash. The local partition stays put.
+    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let scan_spec = ScanSpec {
+        pred: query.hdfs_pred.clone(),
+        proj: query.hdfs_proj.clone(),
+        bloom_key: use_bloom.then(|| query.hdfs_key_base()),
+    };
+    let l_schema = plan.table.schema.project(&query.hdfs_proj)?;
+    // One mailbox per JEN worker for the whole run: messages of later
+    // streams that arrive early are buffered, never lost.
+    let mut mailboxes: Vec<Mailbox> = sys
+        .jen_workers
+        .iter()
+        .map(|w| Mailbox::new(sys, Endpoint::Jen(w.id())))
+        .collect::<Result<_>>()?;
+    let mut local_parts: Vec<Batch> = Vec::with_capacity(num_jen);
+    for worker in &sys.jen_workers {
+        let w = worker.id().index();
+        let me = Endpoint::Jen(worker.id());
+        let bloom = if use_bloom {
+            let got = mailboxes[w].take_stream(StreamTag::DbBloom, 1)?;
+            got.blooms
+                .first()
+                .map(|b| BloomFilter::from_bytes(b))
+                .transpose()?
+        } else {
+            None
+        };
+        let (l_share, _) = scan_blocks_pipelined(
+            worker,
+            &plan.table,
+            &plan.blocks[w],
+            &scan_spec,
+            bloom.as_ref(),
+        )?;
+        let routed =
+            partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
+        let mut mine = Batch::empty(l_schema.clone());
+        for (dst_idx, piece) in routed.into_iter().enumerate() {
+            if dst_idx == w {
+                mine = piece; // local partition: no network traffic
+            } else {
+                let dst = Endpoint::Jen(hybrid_common::ids::JenWorkerId(dst_idx));
+                send_data(sys, me, dst, StreamTag::HdfsShuffle, &piece)?;
+                send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
+            }
+        }
+        local_parts.push(mine);
+    }
+
+    // Step 4: each JEN worker builds its hash table from the shuffled HDFS
+    // data (local + received) and probes with the database tuples; layout
+    // is L' ++ T', so the canonical expressions are remapped.
+    let post_pred = query.post_predicate_hdfs_layout();
+    let group_expr = query.group_expr_hdfs_layout();
+    let hdfs_aggs = query.aggs_hdfs_layout();
+    let mut partials: Vec<Batch> = Vec::with_capacity(num_jen);
+    for worker in &sys.jen_workers {
+        let w = worker.id().index();
+        let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
+        // the local join: in-memory by default, grace-hash with spilling
+        // when the engine is configured with a build-side memory budget
+        let mut joiner = LocalJoiner::new(
+            l_schema.clone(),
+            query.hdfs_key,
+            sys.config.jen_memory_limit_rows,
+            sys.metrics.clone(),
+        )?;
+        joiner.build(std::mem::replace(&mut local_parts[w], Batch::empty(l_schema.clone())))?;
+        for b in shuffled.batches {
+            joiner.build(b)?;
+        }
+        let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
+        let t_schema = t_prime[0].schema().clone();
+        let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
+        let joined = match &post_pred {
+            Some(p) => {
+                let mask = p.eval_predicate(&joined)?;
+                joined.filter(&mask)?
+            }
+            None => joined,
+        };
+        let mut agg = HashAggregator::new(hdfs_aggs.clone());
+        let groups = group_expr.eval_i64(&joined)?;
+        agg.update(&groups, &joined)?;
+        partials.push(agg.finish());
+    }
+
+    // Steps 5–6: final aggregation + return to the database.
+    hdfs_side_final_aggregation(sys, query, partials)
+}

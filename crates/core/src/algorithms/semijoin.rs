@@ -1,0 +1,155 @@
+//! Semi-join baseline: ship the exact distinct join-key set instead of a
+//! Bloom filter.
+//!
+//! The classic pre-Bloom technique (§6 cites Mackert & Lohman's comparison
+//! of Bloom join vs semijoin): the database computes the *exact* set of
+//! distinct `T'` join keys and ships it to the HDFS side, which filters `L`
+//! with zero false positives but pays for a much larger transfer when the
+//! key set is big. Everything after the key-set exchange mirrors the
+//! repartition join. The ablation bench `bloom_vs_semijoin` quantifies the
+//! trade.
+
+use crate::algorithms::{
+    db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox,
+};
+use crate::query::HybridQuery;
+use crate::system::HybridSystem;
+use hybrid_common::batch::{Batch, Column};
+use hybrid_common::datum::DataType;
+use hybrid_common::error::Result;
+use hybrid_common::hash::agreed_shuffle_partition;
+use hybrid_common::ids::{DbWorkerId, JenWorkerId};
+use hybrid_common::ops::{partition_by_key, HashAggregator};
+use hybrid_common::schema::Schema;
+use hybrid_jen::pipeline::scan_blocks_pipelined;
+use hybrid_jen::LocalJoiner;
+use hybrid_jen::ScanSpec;
+use hybrid_net::{Endpoint, StreamTag};
+use std::collections::HashSet;
+
+pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Batch> {
+    let num_db = sys.config.db_workers;
+    let num_jen = sys.config.jen_workers;
+
+    // Step 1: T' per DB worker; collect the exact distinct key set.
+    let t_prime = db_apply_local(sys, query)?;
+    let mut distinct: HashSet<i64> = HashSet::new();
+    for part in &t_prime {
+        let keys = part.column(query.db_key)?;
+        for row in 0..part.num_rows() {
+            distinct.insert(keys.key_at(row)?);
+        }
+    }
+    let mut key_list: Vec<i64> = distinct.iter().copied().collect();
+    key_list.sort_unstable();
+    let key_schema = Schema::from_pairs(&[("joinKey", DataType::I64)]);
+    let key_batch = Batch::new(key_schema, vec![Column::I64(key_list)])?;
+
+    // Step 2: ship the exact key set to every JEN worker (this is what the
+    // Bloom filter replaces — compare wire bytes in the ablation bench).
+    let db0 = Endpoint::Db(DbWorkerId(0));
+    for jen in sys.fabric.jen_endpoints() {
+        send_data(sys, db0, jen, StreamTag::DbKeySet, &key_batch)?;
+        send_eos(sys, db0, jen, StreamTag::DbKeySet)?;
+    }
+
+    // Step 3: DB workers route T' with the agreed hash (as in repartition).
+    for (w, part) in t_prime.iter().enumerate() {
+        let src = Endpoint::Db(DbWorkerId(w));
+        let routed = partition_by_key(part, query.db_key, num_jen, agreed_shuffle_partition)?;
+        for (jen_idx, piece) in routed.into_iter().enumerate() {
+            let dst = Endpoint::Jen(JenWorkerId(jen_idx));
+            send_data(sys, src, dst, StreamTag::DbData, &piece)?;
+            send_eos(sys, src, dst, StreamTag::DbData)?;
+        }
+    }
+
+    // Step 4: JEN workers scan, filter by the exact key set, and shuffle.
+    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let scan_spec = ScanSpec {
+        pred: query.hdfs_pred.clone(),
+        proj: query.hdfs_proj.clone(),
+        bloom_key: None,
+    };
+    let l_schema = plan.table.schema.project(&query.hdfs_proj)?;
+    let mut mailboxes: Vec<Mailbox> = sys
+        .jen_workers
+        .iter()
+        .map(|w| Mailbox::new(sys, Endpoint::Jen(w.id())))
+        .collect::<Result<_>>()?;
+    let mut local_parts: Vec<Batch> = Vec::with_capacity(num_jen);
+    for worker in &sys.jen_workers {
+        let w = worker.id().index();
+        let me = Endpoint::Jen(worker.id());
+        let got = mailboxes[w].take_stream(StreamTag::DbKeySet, 1)?;
+        let mut keys: HashSet<i64> = HashSet::new();
+        for b in &got.batches {
+            let col = b.column(0)?;
+            for row in 0..b.num_rows() {
+                keys.insert(col.key_at(row)?);
+            }
+        }
+        let (l_share, _) =
+            scan_blocks_pipelined(worker, &plan.table, &plan.blocks[w], &scan_spec, None)?;
+        // exact filtering — zero false positives
+        let key_col = l_share.column(query.hdfs_key)?;
+        let mask: Vec<bool> = (0..l_share.num_rows())
+            .map(|row| key_col.key_at(row).map(|k| keys.contains(&k)))
+            .collect::<Result<_>>()?;
+        let l_share = l_share.filter(&mask)?;
+        sys.metrics
+            .add("jen.semijoin.rows_after_keyset", l_share.num_rows() as u64);
+
+        let routed =
+            partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
+        let mut mine = Batch::empty(l_schema.clone());
+        for (dst_idx, piece) in routed.into_iter().enumerate() {
+            if dst_idx == w {
+                mine = piece;
+            } else {
+                let dst = Endpoint::Jen(JenWorkerId(dst_idx));
+                send_data(sys, me, dst, StreamTag::HdfsShuffle, &piece)?;
+                send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
+            }
+        }
+        local_parts.push(mine);
+    }
+
+    // Step 5: local joins exactly as in the repartition join.
+    let post_pred = query.post_predicate_hdfs_layout();
+    let group_expr = query.group_expr_hdfs_layout();
+    let hdfs_aggs = query.aggs_hdfs_layout();
+    let mut partials: Vec<Batch> = Vec::with_capacity(num_jen);
+    for worker in &sys.jen_workers {
+        let w = worker.id().index();
+        let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
+        // the local join: in-memory by default, grace-hash with spilling
+        // when the engine is configured with a build-side memory budget
+        let mut joiner = LocalJoiner::new(
+            l_schema.clone(),
+            query.hdfs_key,
+            sys.config.jen_memory_limit_rows,
+            sys.metrics.clone(),
+        )?;
+        joiner.build(std::mem::replace(&mut local_parts[w], Batch::empty(l_schema.clone())))?;
+        for b in shuffled.batches {
+            joiner.build(b)?;
+        }
+        let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
+        let t_schema = t_prime[0].schema().clone();
+        let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
+        let joined = match &post_pred {
+            Some(p) => {
+                let mask = p.eval_predicate(&joined)?;
+                joined.filter(&mask)?
+            }
+            None => joined,
+        };
+        let mut agg = HashAggregator::new(hdfs_aggs.clone());
+        let groups = group_expr.eval_i64(&joined)?;
+        agg.update(&groups, &joined)?;
+        partials.push(agg.finish());
+    }
+
+    hdfs_side_final_aggregation(sys, query, partials)
+}

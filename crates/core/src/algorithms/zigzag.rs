@@ -1,0 +1,224 @@
+//! The zigzag join — the paper's contribution (§3.4, Figure 4).
+//!
+//! Bloom filters flow **both ways**:
+//!
+//! 1. DB workers filter/project `T'`, build local filters, merge them into
+//!    the global `BF_DB` and send it to every JEN worker;
+//! 2. JEN workers scan `L` under the local predicates *and* `BF_DB`,
+//!    computing a local `BF_H` over the survivors while shuffling them by
+//!    the agreed hash (scan ∥ shuffle ∥ BF-build, the Fig. 7 pipeline);
+//! 3. local `BF_H`s merge at the designated worker and travel to every DB
+//!    worker;
+//! 4. DB workers apply `BF_H` to `T'`, shrinking it to `T''` — only tuples
+//!    that actually join (modulo false positives) cross the switch;
+//! 5. JEN workers build hash tables on the shuffled HDFS data (it arrived
+//!    first, §4.4), probe with `T''`, apply the post-join predicate,
+//!    aggregate partially, and return the final aggregate to the database.
+//!
+//! The zigzag join is the only algorithm that exploits the join-key
+//! predicates on *both* sides on top of both local predicates.
+
+use crate::algorithms::{
+    db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox,
+};
+use crate::query::HybridQuery;
+use crate::system::{HybridSystem, ZigzagReaccess};
+use hybrid_bloom::{filter_batch, BloomFilter};
+use hybrid_common::batch::Batch;
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::hash::agreed_shuffle_partition;
+use hybrid_common::ids::{DbWorkerId, JenWorkerId};
+use hybrid_common::ops::{partition_by_key, HashAggregator};
+use hybrid_jen::pipeline::scan_blocks_pipelined;
+use hybrid_jen::LocalJoiner;
+use hybrid_jen::ScanSpec;
+use hybrid_net::{Endpoint, Message, StreamTag};
+
+pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Batch> {
+    let num_db = sys.config.db_workers;
+    let num_jen = sys.config.jen_workers;
+
+    // Steps 1–2: T' per DB worker, global BF_DB, multicast to JEN workers.
+    let t_prime = db_apply_local(sys, query)?;
+    let bf_db = sys.db.build_global_bloom(
+        &query.db_table,
+        &query.db_pred,
+        query.db_key_base(),
+        query.bloom,
+    )?;
+    {
+        let bytes = bf_db.to_bytes();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        for jen in sys.fabric.jen_endpoints() {
+            sys.fabric.send(
+                db0,
+                jen,
+                Message::Bloom { stream: StreamTag::DbBloom, bytes: bytes.clone() },
+            )?;
+            send_eos(sys, db0, jen, StreamTag::DbBloom)?;
+        }
+    }
+
+    // Step 3: scan with BF_DB, build local BF_H, shuffle L' by the agreed
+    // hash. 3a/3b/3c run per worker; shuffling overlaps scanning in the
+    // real engine — here the byte counts are what matters.
+    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let designated = sys.coordinator.designated_worker()?;
+    let scan_spec = ScanSpec {
+        pred: query.hdfs_pred.clone(),
+        proj: query.hdfs_proj.clone(),
+        bloom_key: Some(query.hdfs_key_base()),
+    };
+    let l_schema = plan.table.schema.project(&query.hdfs_proj)?;
+    let mut mailboxes: Vec<Mailbox> = sys
+        .jen_workers
+        .iter()
+        .map(|w| Mailbox::new(sys, Endpoint::Jen(w.id())))
+        .collect::<Result<_>>()?;
+    let mut local_parts: Vec<Batch> = Vec::with_capacity(num_jen);
+    let mut designated_local_bf: Option<BloomFilter> = None;
+    for worker in &sys.jen_workers {
+        let w = worker.id().index();
+        let me = Endpoint::Jen(worker.id());
+        let got = mailboxes[w].take_stream(StreamTag::DbBloom, 1)?;
+        let bf = got
+            .blooms
+            .first()
+            .map(|b| BloomFilter::from_bytes(b))
+            .transpose()?
+            .ok_or_else(|| HybridError::Net("BF_DB never arrived".into()))?;
+        let (l_share, _) =
+            scan_blocks_pipelined(worker, &plan.table, &plan.blocks[w], &scan_spec, Some(&bf))?;
+
+        // 3b: local BF_H over the filtered share
+        let local_bf =
+            worker.build_bloom_from(&l_share, query.hdfs_key, BloomFilter::new(query.bloom))?;
+        if worker.id() == designated {
+            designated_local_bf = Some(local_bf);
+        } else {
+            sys.fabric.send(
+                me,
+                Endpoint::Jen(designated),
+                Message::Bloom { stream: StreamTag::HdfsBloom, bytes: local_bf.to_bytes() },
+            )?;
+            send_eos(sys, me, Endpoint::Jen(designated), StreamTag::HdfsBloom)?;
+        }
+
+        // 3c: shuffle by the agreed hash; local partition stays put
+        let routed =
+            partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
+        let mut mine = Batch::empty(l_schema.clone());
+        for (dst_idx, piece) in routed.into_iter().enumerate() {
+            if dst_idx == w {
+                mine = piece;
+            } else {
+                let dst = Endpoint::Jen(JenWorkerId(dst_idx));
+                send_data(sys, me, dst, StreamTag::HdfsShuffle, &piece)?;
+                send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
+            }
+        }
+        local_parts.push(mine);
+    }
+
+    // Step 4: merge local BF_H's at the designated worker; broadcast the
+    // global BF_H to every DB worker.
+    let mut bf_h = designated_local_bf
+        .ok_or_else(|| HybridError::exec("designated worker produced no local BF_H"))?;
+    let received = mailboxes[designated.index()].take_stream(StreamTag::HdfsBloom, num_jen - 1)?;
+    for bytes in &received.blooms {
+        bf_h.merge(&BloomFilter::from_bytes(bytes)?)?;
+    }
+    {
+        let from = Endpoint::Jen(designated);
+        let bytes = bf_h.to_bytes();
+        for db in sys.fabric.db_endpoints() {
+            sys.fabric.send(
+                from,
+                db,
+                Message::Bloom { stream: StreamTag::HdfsBloom, bytes: bytes.clone() },
+            )?;
+            send_eos(sys, from, db, StreamTag::HdfsBloom)?;
+        }
+    }
+
+    // Steps 5–6: DB workers apply BF_H to T' and route the survivors T''
+    // with the agreed hash. §3.4 leaves the T' access strategy to the
+    // database optimizer: either the materialized step-1 output or an
+    // index re-access of the base table — both are implemented, selected
+    // by `SystemConfig::zigzag_reaccess`.
+    for (w, part) in t_prime.iter().enumerate() {
+        let me = Endpoint::Db(DbWorkerId(w));
+        let mut mb = Mailbox::new(sys, me)?;
+        let got = mb.take_stream(StreamTag::HdfsBloom, 1)?;
+        let bf = got
+            .blooms
+            .first()
+            .map(|b| BloomFilter::from_bytes(b))
+            .transpose()?
+            .ok_or_else(|| HybridError::Net("BF_H never arrived".into()))?;
+        let reaccessed;
+        let part = match sys.config.zigzag_reaccess {
+            ZigzagReaccess::Materialize => part,
+            ZigzagReaccess::IndexReaccess => {
+                // second access of T — index-only when the paper's covering
+                // indexes exist; metered as db.index.* / db.scan.*
+                reaccessed = sys.db.worker(w).scan_filter_project(
+                    &query.db_table,
+                    &query.db_pred,
+                    &query.db_proj,
+                )?;
+                &reaccessed
+            }
+        };
+        let (t_second, _) = filter_batch(part, query.db_key, &bf)?;
+        sys.metrics
+            .add("db.bloom.t_rows_after_bfh", t_second.num_rows() as u64);
+        let routed =
+            partition_by_key(&t_second, query.db_key, num_jen, agreed_shuffle_partition)?;
+        for (jen_idx, piece) in routed.into_iter().enumerate() {
+            let dst = Endpoint::Jen(JenWorkerId(jen_idx));
+            send_data(sys, me, dst, StreamTag::DbData, &piece)?;
+            send_eos(sys, me, dst, StreamTag::DbData)?;
+        }
+    }
+
+    // Step 7: build on the shuffled HDFS data, probe with T'' (layout
+    // L' ++ T'), post-join predicate, partial aggregation.
+    let post_pred = query.post_predicate_hdfs_layout();
+    let group_expr = query.group_expr_hdfs_layout();
+    let hdfs_aggs = query.aggs_hdfs_layout();
+    let mut partials: Vec<Batch> = Vec::with_capacity(num_jen);
+    for worker in &sys.jen_workers {
+        let w = worker.id().index();
+        let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
+        // the local join: in-memory by default, grace-hash with spilling
+        // when the engine is configured with a build-side memory budget
+        let mut joiner = LocalJoiner::new(
+            l_schema.clone(),
+            query.hdfs_key,
+            sys.config.jen_memory_limit_rows,
+            sys.metrics.clone(),
+        )?;
+        joiner.build(std::mem::replace(&mut local_parts[w], Batch::empty(l_schema.clone())))?;
+        for b in shuffled.batches {
+            joiner.build(b)?;
+        }
+        let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
+        let t_schema = t_prime[0].schema().clone();
+        let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
+        let joined = match &post_pred {
+            Some(p) => {
+                let mask = p.eval_predicate(&joined)?;
+                joined.filter(&mask)?
+            }
+            None => joined,
+        };
+        let mut agg = HashAggregator::new(hdfs_aggs.clone());
+        let groups = group_expr.eval_i64(&joined)?;
+        agg.update(&groups, &joined)?;
+        partials.push(agg.finish());
+    }
+
+    // Steps 8–9: final aggregation at the designated worker, result to DB.
+    hdfs_side_final_aggregation(sys, query, partials)
+}

@@ -1,0 +1,214 @@
+//! Sampling-based query estimation.
+//!
+//! The advisor (§5.5 rules) needs `T'`/`L'` sizes and the join-key
+//! selectivities *before* running the query. A real warehouse reads these
+//! from catalog statistics; this module derives them the way a planner
+//! without statistics would — by sampling:
+//!
+//! * **database side**: every worker evaluates the local predicate over a
+//!   bounded prefix-stride sample of its partition (cheap; an index-only
+//!   plan in the real system);
+//! * **HDFS side**: a handful of blocks, spread across the file, are
+//!   decoded and filtered;
+//! * **join-key selectivities**: the overlap of the sampled surviving key
+//!   sets. Sampling shrinks both sets, so the overlap fractions are noisy —
+//!   good enough to steer the §5.5 decision rules, and clearly documented
+//!   as estimates.
+//!
+//! [`run_auto`] chains it all: estimate → advise → execute.
+
+use crate::advisor::{advise, QueryEstimates};
+use crate::algorithms::{run, JoinAlgorithm};
+use crate::query::HybridQuery;
+use crate::stats::RunOutput;
+use crate::system::HybridSystem;
+use hybrid_common::error::Result;
+use hybrid_storage::decode;
+use std::collections::HashSet;
+
+/// How many rows each DB worker samples from its partition.
+const DB_SAMPLE_ROWS: usize = 1_000;
+
+/// Sampling-derived statistics for one query.
+#[derive(Debug, Clone, Copy)]
+pub struct SampledStats {
+    pub sigma_t: f64,
+    pub sigma_l: f64,
+    pub st: f64,
+    pub sl: f64,
+    /// Estimated `T'` rows across the cluster.
+    pub t_prime_rows: f64,
+    /// Estimated `L'` rows across the cluster.
+    pub l_prime_rows: f64,
+    /// Estimated average wire width of a projected `T'` row, bytes.
+    pub t_row_bytes: f64,
+    pub l_row_bytes: f64,
+}
+
+impl SampledStats {
+    /// Convert to the advisor's input.
+    pub fn to_estimates(&self, query: &HybridQuery, num_jen_workers: usize) -> QueryEstimates {
+        QueryEstimates {
+            t_prime_bytes: (self.t_prime_rows * self.t_row_bytes) as u64,
+            l_prime_bytes: (self.l_prime_rows * self.l_row_bytes) as u64,
+            st: self.st,
+            sl: self.sl,
+            num_jen_workers,
+            bloom_bytes: query.bloom.wire_bytes() as u64,
+        }
+    }
+}
+
+/// Estimate the query's selectivities by sampling both tables.
+///
+/// `sample_blocks` bounds how many HDFS blocks are decoded (they are taken
+/// at even strides through the file so clustered data does not bias the
+/// estimate).
+pub fn sample_stats(
+    sys: &HybridSystem,
+    query: &HybridQuery,
+    sample_blocks: usize,
+) -> Result<SampledStats> {
+    query.validate()?;
+
+    // --- database side ---
+    let mut t_sampled = 0usize;
+    let mut t_passed = 0usize;
+    let mut t_bytes = 0usize;
+    let mut t_total_rows = 0usize;
+    let mut t_keys: HashSet<i64> = HashSet::new();
+    for w in 0..sys.db.num_workers() {
+        let partition = sys.db.worker(w).partition(&query.db_table)?;
+        t_total_rows += partition.num_rows();
+        let n = partition.num_rows().min(DB_SAMPLE_ROWS);
+        if n == 0 {
+            continue;
+        }
+        let stride = (partition.num_rows() / n).max(1);
+        let rows: Vec<u32> = (0..n).map(|i| (i * stride) as u32).collect();
+        let sample = partition.take(&rows);
+        let mask = query.db_pred.eval_predicate(&sample)?;
+        let survivors = sample.filter(&mask)?.project(&query.db_proj)?;
+        t_sampled += n;
+        t_passed += survivors.num_rows();
+        t_bytes += survivors.serialized_bytes();
+        let keys = survivors.column(query.db_key)?;
+        for row in 0..survivors.num_rows() {
+            t_keys.insert(keys.key_at(row)?);
+        }
+    }
+
+    // --- HDFS side ---
+    let meta = sys.coordinator.lookup_table(&query.hdfs_table)?;
+    let blocks = sys.hdfs.read().file_blocks(&meta.path)?;
+    let n_blocks = blocks.len();
+    let picked = sample_blocks.clamp(1, n_blocks.max(1));
+    let mut l_sampled = 0usize;
+    let mut l_passed = 0usize;
+    let mut l_bytes = 0usize;
+    let mut l_keys: HashSet<i64> = HashSet::new();
+    for i in 0..picked {
+        let idx = i * n_blocks / picked;
+        let block = &blocks[idx];
+        let reader = sys.jen_workers[0].datanode();
+        let bytes = sys.hdfs.read().read_block(block.id, reader)?;
+        let decoded = decode(meta.format, &meta.schema, &bytes, None)?;
+        let mask = query.hdfs_pred.eval_predicate(&decoded.batch)?;
+        let survivors = decoded.batch.filter(&mask)?.project(&query.hdfs_proj)?;
+        l_sampled += decoded.batch.num_rows();
+        l_passed += survivors.num_rows();
+        l_bytes += survivors.serialized_bytes();
+        let keys = survivors.column(query.hdfs_key)?;
+        for row in 0..survivors.num_rows() {
+            l_keys.insert(keys.key_at(row)?);
+        }
+    }
+    // total L rows ≈ rows per sampled block × block count
+    let l_total_rows = if l_sampled == 0 {
+        0.0
+    } else {
+        (l_sampled as f64 / picked as f64) * n_blocks as f64
+    };
+
+    let sigma_t = ratio(t_passed, t_sampled);
+    let sigma_l = ratio(l_passed, l_sampled);
+    let inter = t_keys.intersection(&l_keys).count() as f64;
+    Ok(SampledStats {
+        sigma_t,
+        sigma_l,
+        st: if t_keys.is_empty() { 1.0 } else { inter / t_keys.len() as f64 },
+        sl: if l_keys.is_empty() { 1.0 } else { inter / l_keys.len() as f64 },
+        t_prime_rows: sigma_t * t_total_rows as f64,
+        l_prime_rows: sigma_l * l_total_rows,
+        t_row_bytes: avg(t_bytes, t_passed),
+        l_row_bytes: avg(l_bytes, l_passed),
+    })
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn avg(bytes: usize, rows: usize) -> f64 {
+    if rows == 0 {
+        // conservative default width when nothing survived the sample
+        16.0
+    } else {
+        bytes as f64 / rows as f64
+    }
+}
+
+/// Estimate, let the advisor choose, and execute — the "just run my query"
+/// entry point a downstream user wants.
+pub fn run_auto(
+    sys: &mut HybridSystem,
+    query: &HybridQuery,
+) -> Result<(JoinAlgorithm, RunOutput)> {
+    let stats = sample_stats(sys, query, 8)?;
+    let est = stats.to_estimates(query, sys.config.jen_workers);
+    let choice = advise(&est);
+    let out = run(sys, query, choice)?;
+    Ok((choice, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+
+    // The estimation tests that exercise generated workloads live in the
+    // cross-crate integration suite (`tests/estimation.rs`); here we cover
+    // the arithmetic edges.
+
+    #[test]
+    fn ratio_and_avg_guards() {
+        assert_eq!(ratio(0, 0), 0.0);
+        assert_eq!(ratio(1, 2), 0.5);
+        assert_eq!(avg(0, 0), 16.0);
+        assert_eq!(avg(64, 4), 16.0);
+    }
+
+    #[test]
+    fn sampling_missing_table_errors() {
+        let sys = HybridSystem::new(SystemConfig::paper_shape(1, 1)).unwrap();
+        let query = crate::query::HybridQuery {
+            db_table: "nope".into(),
+            hdfs_table: "nope".into(),
+            db_pred: hybrid_common::expr::Expr::col_le(0, 1),
+            db_proj: vec![0],
+            db_key: 0,
+            hdfs_pred: hybrid_common::expr::Expr::col_le(0, 1),
+            hdfs_proj: vec![0],
+            hdfs_key: 0,
+            post_predicate: None,
+            group_expr: hybrid_common::expr::Expr::col(0),
+            aggs: vec![hybrid_common::ops::AggSpec::Count],
+            bloom: hybrid_bloom::BloomParams::new(64, 2).unwrap(),
+        };
+        assert!(sample_stats(&sys, &query, 4).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Joins for hybrid warehouses — the paper's primary contribution.
+//!
+//! This crate implements the five join strategies of *"Joins for Hybrid
+//! Warehouses: Exploiting Massive Parallelism in Hadoop and Enterprise Data
+//! Warehouses"* (EDBT 2015) over the substrate crates:
+//!
+//! | algorithm | paper | where the join runs |
+//! |---|---|---|
+//! | [`JoinAlgorithm::DbSide`] (± Bloom) | §3.1, Fig. 1 | database |
+//! | [`JoinAlgorithm::Broadcast`] | §3.2, Fig. 2 | HDFS (JEN) |
+//! | [`JoinAlgorithm::Repartition`] (± Bloom) | §3.3, Fig. 3 | HDFS (JEN) |
+//! | [`JoinAlgorithm::Zigzag`] | §3.4, Fig. 4 | HDFS (JEN) |
+//! | [`JoinAlgorithm::SemiJoin`] | §6 baseline | HDFS (JEN) |
+//!
+//! A [`system::HybridSystem`] wires together the parallel database
+//! (`hybrid-edw`), the HDFS cluster (`hybrid-hdfs`), the JEN engine
+//! (`hybrid-jen`) and the metered fabric (`hybrid-net`). A query is a
+//! [`query::HybridQuery`] — local predicates on both tables, an equi-join,
+//! a post-join predicate, and a group-by/aggregate — exactly the shape of
+//! the paper's workload (§2, §5). [`algorithms::run`] executes any strategy
+//! and returns the result **plus** a [`stats::JoinSummary`] with the
+//! tuple/byte movement counters that reproduce Table 1 and feed the cost
+//! model.
+//!
+//! All strategies compute identical results; the integration tests verify
+//! every algorithm against [`reference::run_reference`], a single-node
+//! evaluation of the same query.
+
+pub mod advisor;
+pub mod algorithms;
+pub mod estimation;
+pub mod query;
+pub mod reference;
+pub mod stats;
+pub mod system;
+
+pub use algorithms::{run, JoinAlgorithm};
+pub use estimation::{run_auto, sample_stats, SampledStats};
+pub use query::HybridQuery;
+pub use stats::{JoinSummary, RunOutput};
+pub use system::{HybridSystem, SystemConfig, ZigzagReaccess};

@@ -1,0 +1,147 @@
+//! Single-node reference evaluation of a hybrid query.
+//!
+//! Used by tests and examples as ground truth: every distributed algorithm
+//! must produce exactly this batch. The implementation is deliberately
+//! simple — filter, hash join, filter, aggregate, all on one thread — and
+//! shares only the lowest-level operators with the engines.
+
+use crate::query::HybridQuery;
+use hybrid_common::batch::Batch;
+use hybrid_common::error::Result;
+use hybrid_common::ops::{HashAggregator, HashJoiner};
+
+/// Evaluate `query` against the full `T` and `L` tables directly.
+pub fn run_reference(t: &Batch, l: &Batch, query: &HybridQuery) -> Result<Batch> {
+    query.validate()?;
+    // local predicates + projection
+    let t_mask = query.db_pred.eval_predicate(t)?;
+    let t_prime = t.filter(&t_mask)?.project(&query.db_proj)?;
+    let l_mask = query.hdfs_pred.eval_predicate(l)?;
+    let l_prime = l.filter(&l_mask)?.project(&query.hdfs_proj)?;
+
+    // equi-join in canonical orientation: build on T', probe with L'
+    let mut joiner = HashJoiner::new(t_prime.schema().clone(), query.db_key);
+    joiner.build(t_prime)?;
+    let joined = joiner.probe(&l_prime, query.hdfs_key)?;
+
+    // post-join predicate (canonical layout: T' ++ L')
+    let joined = match &query.post_predicate {
+        Some(p) => {
+            let mask = p.eval_predicate(&joined)?;
+            joined.filter(&mask)?
+        }
+        None => joined,
+    };
+
+    // group + aggregate
+    let groups = query.group_expr.eval_i64(&joined)?;
+    let mut agg = HashAggregator::new(query.aggs.clone());
+    agg.update(&groups, &joined)?;
+    Ok(agg.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_bloom::BloomParams;
+    use hybrid_common::batch::Column;
+    use hybrid_common::datum::DataType;
+    use hybrid_common::expr::Expr;
+    use hybrid_common::ops::AggSpec;
+    use hybrid_common::schema::Schema;
+
+    fn t() -> Batch {
+        Batch::new(
+            Schema::from_pairs(&[
+                ("uniqKey", DataType::I64),
+                ("joinKey", DataType::I32),
+                ("corPred", DataType::I32),
+                ("tdate", DataType::Date),
+            ]),
+            vec![
+                Column::I64(vec![0, 1, 2, 3]),
+                Column::I32(vec![10, 20, 30, 40]),
+                Column::I32(vec![0, 0, 1, 0]),
+                Column::Date(vec![5, 6, 7, 8]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn l() -> Batch {
+        Batch::new(
+            Schema::from_pairs(&[
+                ("joinKey", DataType::I32),
+                ("corPred", DataType::I32),
+                ("ldate", DataType::Date),
+                ("grp", DataType::Utf8),
+            ]),
+            vec![
+                Column::I32(vec![10, 10, 20, 30, 99]),
+                Column::I32(vec![0, 0, 0, 0, 0]),
+                Column::Date(vec![5, 4, 5, 7, 5]),
+                Column::Utf8(vec![
+                    "url_1/a".into(),
+                    "url_1/b".into(),
+                    "url_2/c".into(),
+                    "url_1/d".into(),
+                    "url_9/e".into(),
+                ]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn query() -> HybridQuery {
+        HybridQuery {
+            db_table: "T".into(),
+            hdfs_table: "L".into(),
+            db_pred: Expr::col_le(2, 0),  // corPred == 0: drops joinKey 30
+            db_proj: vec![1, 3],          // joinKey, tdate
+            db_key: 0,
+            hdfs_pred: Expr::col_le(1, 0), // keeps everything
+            hdfs_proj: vec![0, 2, 3],      // joinKey, ldate, grp
+            hdfs_key: 0,
+            // 0 <= tdate - ldate <= 1 over canonical (t_k, tdate, l_k, ldate, grp)
+            post_predicate: Some(
+                Expr::col(1)
+                    .sub(Expr::col(3))
+                    .ge(Expr::lit_i64(0))
+                    .and(Expr::col(1).sub(Expr::col(3)).le(Expr::lit_i64(1))),
+            ),
+            group_expr: Expr::ExtractGroup(Box::new(Expr::col(4))),
+            aggs: vec![AggSpec::Count],
+            bloom: BloomParams::new(1 << 10, 2).unwrap(),
+        }
+    }
+
+    #[test]
+    fn reference_computes_expected_counts() {
+        // joins: L rows with key 10 (tdate 5): ldate 5 (diff 0 ✓), 4 (diff 1 ✓)
+        //        L row key 20 (tdate 6): ldate 5 (diff 1 ✓)
+        //        L row key 30: T row filtered out by corPred
+        //        L row key 99: no T partner
+        // groups: url_1 → 2 (ldate5 & ldate4), url_2 → 1
+        let out = run_reference(&t(), &l(), &query()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column(0).unwrap().as_i64().unwrap(), &[1, 2]);
+        assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[2, 1]);
+    }
+
+    #[test]
+    fn no_post_predicate_counts_all_matches() {
+        let mut q = query();
+        q.post_predicate = None;
+        let out = run_reference(&t(), &l(), &q).unwrap();
+        // key 10 ×2 (url_1), key 20 ×1 (url_2), key 30 dropped by T pred
+        assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[2, 1]);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_result() {
+        let q = query();
+        let empty_t = Batch::empty(t().schema().clone());
+        let out = run_reference(&empty_t, &l(), &q).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+}

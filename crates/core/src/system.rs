@@ -1,0 +1,235 @@
+//! The hybrid warehouse: both clusters plus the fabric between them.
+
+use hybrid_common::batch::Batch;
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::ids::JenWorkerId;
+use hybrid_common::metrics::Metrics;
+use hybrid_common::schema::Schema;
+use hybrid_edw::DbCluster;
+use hybrid_hdfs::{Catalog, HdfsCluster, TableMeta};
+use hybrid_jen::{JenCoordinator, JenWorker};
+use hybrid_net::{Fabric, Message};
+use hybrid_storage::{encode, FileFormat};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How the zigzag join's step 5 obtains `T'` again after `BF_H` arrives
+/// (paper §3.4: "we rely on the advanced database optimizer to choose the
+/// best strategy: either to materialize the intermediate table … or to
+/// utilize indexes to access the original table").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ZigzagReaccess {
+    /// Keep `T'` materialized from step 1 (no second table access).
+    #[default]
+    Materialize,
+    /// Re-run the predicate scan — an index-only plan when the paper's
+    /// covering indexes exist — instead of holding `T'` in memory.
+    IndexReaccess,
+}
+
+/// Sizing of the two clusters.
+///
+/// The paper's testbed is 30 DB2 workers (5 servers × 6) and 30 JEN workers
+/// (one per DataNode), HDFS replication 2 — [`SystemConfig::paper_shape`]
+/// at a reduced worker count is what the experiment harness uses.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    pub db_workers: usize,
+    pub jen_workers: usize,
+    pub replication: usize,
+    /// Rows per HDFS block when loading tables (controls block counts).
+    pub rows_per_block: usize,
+    /// Deadline for any single fabric receive — a dead peer surfaces as an
+    /// error rather than a hang.
+    pub recv_timeout: Duration,
+    /// Build-side row budget for each JEN worker's local hash join.
+    /// `None` reproduces the paper's all-in-memory JEN (§4.4); `Some(n)`
+    /// enables the grace-hash spill-to-disk path (the paper's stated
+    /// future work) past `n` buffered rows.
+    pub jen_memory_limit_rows: Option<usize>,
+    /// The zigzag join's step-5 strategy (§3.4).
+    pub zigzag_reaccess: ZigzagReaccess,
+}
+
+impl SystemConfig {
+    /// A scaled-down version of the paper's 30+30 testbed.
+    pub fn paper_shape(db_workers: usize, jen_workers: usize) -> SystemConfig {
+        SystemConfig {
+            db_workers,
+            jen_workers,
+            replication: 2.min(jen_workers),
+            rows_per_block: 8192,
+            recv_timeout: Duration::from_secs(30),
+            jen_memory_limit_rows: None,
+            zigzag_reaccess: ZigzagReaccess::default(),
+        }
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if self.db_workers == 0 || self.jen_workers == 0 {
+            return Err(HybridError::config("both clusters need at least one worker"));
+        }
+        if self.rows_per_block == 0 {
+            return Err(HybridError::config("rows_per_block must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Everything a join algorithm needs: the EDW, HDFS + JEN, and the fabric.
+pub struct HybridSystem {
+    pub db: DbCluster,
+    pub hdfs: Arc<RwLock<HdfsCluster>>,
+    pub catalog: Arc<RwLock<Catalog>>,
+    pub coordinator: JenCoordinator,
+    pub jen_workers: Vec<JenWorker>,
+    pub fabric: Fabric<Message>,
+    pub metrics: Metrics,
+    pub config: SystemConfig,
+}
+
+impl HybridSystem {
+    pub fn new(config: SystemConfig) -> Result<HybridSystem> {
+        config.validate()?;
+        let metrics = Metrics::new();
+        let db = DbCluster::new(config.db_workers, metrics.clone())?;
+        let hdfs = Arc::new(RwLock::new(HdfsCluster::new(
+            config.jen_workers,
+            config.replication,
+            metrics.clone(),
+        )?));
+        let catalog = Arc::new(RwLock::new(Catalog::new()));
+        let coordinator =
+            JenCoordinator::new(Arc::clone(&catalog), Arc::clone(&hdfs), config.jen_workers)?;
+        let jen_workers = (0..config.jen_workers)
+            .map(|i| JenWorker::new(JenWorkerId(i), Arc::clone(&hdfs), metrics.clone()))
+            .collect();
+        let fabric = Fabric::new(config.db_workers, config.jen_workers, metrics.clone());
+        Ok(HybridSystem {
+            db,
+            hdfs,
+            catalog,
+            coordinator,
+            jen_workers,
+            fabric,
+            metrics,
+            config,
+        })
+    }
+
+    /// Load `data` into the parallel database as table `name`, distributed
+    /// on `dist_col` (the paper distributes `T` on `uniqKey`).
+    pub fn load_db_table(&mut self, name: &str, dist_col: usize, data: Batch) -> Result<()> {
+        self.db.load_table(name, dist_col, data)
+    }
+
+    /// Build a covering index on the database table (e.g. the paper's
+    /// `(corPred, indPred, joinKey)` index for index-only Bloom builds).
+    pub fn create_db_index(&mut self, table: &str, base_cols: &[usize]) -> Result<()> {
+        self.db.create_index(table, base_cols)
+    }
+
+    /// Load `data` onto HDFS as table `name` in the given format, split into
+    /// blocks of `config.rows_per_block` rows, and register it in the
+    /// catalog.
+    pub fn load_hdfs_table(
+        &mut self,
+        name: &str,
+        format: FileFormat,
+        schema: Schema,
+        data: &Batch,
+    ) -> Result<()> {
+        if data.schema() != &schema {
+            return Err(HybridError::SchemaMismatch(
+                "HDFS table data does not match declared schema".into(),
+            ));
+        }
+        let path = format!("/warehouse/{name}");
+        let blocks: Vec<Vec<u8>> = data
+            .chunks(self.config.rows_per_block)
+            .iter()
+            .map(|chunk| encode(format, chunk))
+            .collect();
+        self.hdfs.write().write_file(&path, blocks)?;
+        self.catalog.write().register(TableMeta {
+            name: name.to_string(),
+            path,
+            format,
+            schema,
+        });
+        Ok(())
+    }
+
+    /// Reset all counters (between experiment runs).
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_common::batch::Column;
+    use hybrid_common::datum::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("joinKey", DataType::I32), ("v", DataType::I64)])
+    }
+
+    fn data(n: usize) -> Batch {
+        Batch::new(
+            schema(),
+            vec![
+                Column::I32((0..n as i32).collect()),
+                Column::I64((0..n as i64).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construct_and_load() {
+        let mut sys = HybridSystem::new(SystemConfig::paper_shape(3, 4)).unwrap();
+        sys.load_db_table("T", 0, data(100)).unwrap();
+        sys.load_hdfs_table("L", FileFormat::Columnar, schema(), &data(300))
+            .unwrap();
+        let plan = sys.coordinator.plan_scan("L").unwrap();
+        let total: usize = plan.blocks.iter().map(Vec::len).sum();
+        assert!(total >= 1);
+        assert_eq!(sys.coordinator.lookup_table("L").unwrap().name, "L");
+    }
+
+    #[test]
+    fn block_count_follows_rows_per_block() {
+        let mut cfg = SystemConfig::paper_shape(2, 3);
+        cfg.rows_per_block = 64;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        sys.load_hdfs_table("L", FileFormat::Text, schema(), &data(300))
+            .unwrap();
+        let blocks = sys
+            .hdfs
+            .read()
+            .file_blocks("/warehouse/L")
+            .unwrap();
+        assert_eq!(blocks.len(), 5); // ceil(300/64)
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut sys = HybridSystem::new(SystemConfig::paper_shape(1, 1)).unwrap();
+        let wrong = Schema::from_pairs(&[("x", DataType::I64)]);
+        assert!(sys
+            .load_hdfs_table("L", FileFormat::Text, wrong, &data(10))
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(HybridSystem::new(SystemConfig::paper_shape(0, 3)).is_err());
+        assert!(HybridSystem::new(SystemConfig::paper_shape(3, 0)).is_err());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.rows_per_block = 0;
+        assert!(HybridSystem::new(cfg).is_err());
+    }
+}

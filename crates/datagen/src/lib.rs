@@ -1,0 +1,31 @@
+//! Synthetic workload generator for the paper's evaluation (§5, *Dataset*).
+//!
+//! The paper's tables:
+//!
+//! ```text
+//! T(uniqKey bigint, joinKey int, corPred int, indPred int,
+//!   predAfterJoin date, dummy1 varchar(50), dummy2 int, dummy3 time)
+//! L(joinKey int, corPred int, indPred int, predAfterJoin date,
+//!   groupByExtractCol varchar(46), dummy char(8))
+//! ```
+//!
+//! and its four experiment knobs: the combined local-predicate
+//! selectivities σT and σL, and the join-key selectivities `S_T'` and
+//! `S_L'`. The paper achieves independent control by putting a
+//! key-correlated predicate column (`corPred`) and an independent one
+//! (`indPred`) in both tables and trading the thresholds off against each
+//! other; this crate reproduces that exactly (see [`spec::KeyPlan`] for the
+//! pool arithmetic).
+//!
+//! [`WorkloadSpec::generate`] produces the two tables plus a ready-made
+//! [`hybrid_core::HybridQuery`] whose thresholds realize the requested
+//! selectivities. [`workload::Workload::load_into`] installs everything in
+//! a [`hybrid_core::HybridSystem`], including the paper's two covering
+//! indexes on `T`.
+
+pub mod spec;
+pub mod tables;
+pub mod workload;
+
+pub use spec::{KeyPlan, WorkloadSpec};
+pub use workload::Workload;

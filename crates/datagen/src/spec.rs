@@ -1,0 +1,311 @@
+//! Workload parameters and the join-key pool arithmetic.
+
+use hybrid_common::error::{HybridError, Result};
+
+/// The predicate-value domain for `corPred`/`indPred` (20-bit ints, like
+/// the paper's int predicate columns scaled down).
+pub const PRED_DOMAIN: i64 = 1 << 20;
+
+/// Requested workload shape.
+///
+/// `sigma_t`/`sigma_l` are the *combined* local-predicate selectivities on
+/// `T`/`L`; `st`/`sl` are the join-key selectivities on `T'`/`L'` as
+/// defined in §3.4:
+/// `S_T' = |JK(T') ∩ JK(L')| / |JK(T')|`, `S_L'` symmetric.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    pub t_rows: usize,
+    pub l_rows: usize,
+    /// Nominal join-key universe size (the paper uses 16 M keys for 1.6 B
+    /// `T` rows; keep the same 1:100 ratio at smaller scales).
+    pub num_keys: usize,
+    pub sigma_t: f64,
+    pub sigma_l: f64,
+    pub st: f64,
+    pub sl: f64,
+    /// Number of distinct `url_<g>` groups in `groupByExtractCol`.
+    pub num_groups: usize,
+    /// Width of the date window (both tables draw dates uniformly from
+    /// `[0, date_days)`; the workload's post-join predicate keeps pairs
+    /// within one day).
+    pub date_days: i32,
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A convenient default at 1/10000 of the paper's row counts: 160 k-row
+    /// `T`, 1.5 M-row `L`, 1.6 k keys. The keys-per-row ratio (100 rows/key
+    /// in T, ~940 in L) matches the paper's 16 M keys for 1.6 B rows — the
+    /// ratio, not the absolute key count, is what keeps the per-tuple
+    /// `indPred` from diluting the join-key selectivities. Selectivities
+    /// default to the Table 1 setting.
+    pub fn scaled_default() -> WorkloadSpec {
+        WorkloadSpec {
+            t_rows: 160_000,
+            l_rows: 1_500_000,
+            num_keys: 1_600,
+            sigma_t: 0.1,
+            sigma_l: 0.4,
+            st: 0.2,
+            sl: 0.1,
+            num_groups: 64,
+            date_days: 32,
+            seed: 0xEDB7_2015,
+        }
+    }
+
+    /// A small variant for fast tests.
+    pub fn tiny() -> WorkloadSpec {
+        WorkloadSpec {
+            t_rows: 2_000,
+            l_rows: 12_000,
+            num_keys: 100,
+            sigma_t: 0.1,
+            sigma_l: 0.4,
+            st: 0.2,
+            sl: 0.1,
+            num_groups: 8,
+            date_days: 32,
+            seed: 0xEDB7_2015,
+        }
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("sigma_t", self.sigma_t),
+            ("sigma_l", self.sigma_l),
+            ("st", self.st),
+            ("sl", self.sl),
+        ] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(HybridError::config(format!("{name}={v} outside (0, 1]")));
+            }
+        }
+        if self.t_rows == 0 || self.l_rows == 0 || self.num_keys == 0 {
+            return Err(HybridError::config("row/key counts must be positive"));
+        }
+        if self.num_groups == 0 || self.date_days <= 0 {
+            return Err(HybridError::config("groups and date window must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Derive the key-pool plan realizing the requested selectivities.
+    pub fn key_plan(&self) -> Result<KeyPlan> {
+        self.validate()?;
+        KeyPlan::derive(self)
+    }
+}
+
+/// Disjoint join-key pools (as contiguous integer ranges):
+///
+/// ```text
+/// [0, common)                                — in JK(T') ∩ JK(L')
+/// [common, t_selected)                       — in JK(T') only
+/// [t_selected, t_selected + l_only)          — in JK(L') only
+/// next t_nonsel ids                          — T keys failing corPred_T
+/// next l_nonsel ids                          — L keys failing corPred_L
+/// ```
+///
+/// Sizes are chosen so that
+/// `S_T' = common / t_selected`, `S_L' = common / l_selected`, and each
+/// table's `corPred` key-fraction `a` admits an `indPred` threshold `b ≤ 1`
+/// with `a · b = σ` — precisely the paper's "modify a and c … but also
+/// modify b and d so the selectivity of the combined predicates stays
+/// intact" scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyPlan {
+    /// |JK(T') ∩ JK(L')|
+    pub common: usize,
+    /// |JK(T')| — keys of T passing `corPred_T`
+    pub t_selected: usize,
+    /// |JK(L')|
+    pub l_selected: usize,
+    /// keys of T failing `corPred_T`
+    pub t_nonsel: usize,
+    /// keys of L failing `corPred_L`
+    pub l_nonsel: usize,
+    /// `indPred` pass fraction on T (`b` in the paper)
+    pub t_ind_frac: f64,
+    /// `indPred` pass fraction on L (`d` in the paper)
+    pub l_ind_frac: f64,
+}
+
+impl KeyPlan {
+    fn derive(spec: &WorkloadSpec) -> Result<KeyPlan> {
+        let n = spec.num_keys as f64;
+        // t_selected must be big enough that (1) b_T = σT/a_T ≤ 1 and
+        // (2) l_selected = st·t_selected/sl ≥ σL·N so b_L ≤ 1.
+        let a_t = (spec.sigma_t).max(spec.sigma_l * spec.sl / spec.st).min(1.0);
+        let t_selected = ((a_t * n).round() as usize).max(1);
+        let common = ((spec.st * t_selected as f64).round() as usize).max(1);
+        let l_selected = ((common as f64 / spec.sl).round() as usize).max(common);
+
+        // full key sets: at least the nominal universe, at least the
+        // selected sets themselves
+        let t_full = spec.num_keys.max(t_selected);
+        let l_full = spec.num_keys.max(l_selected);
+        let t_nonsel = t_full - t_selected;
+        let l_nonsel = l_full - l_selected;
+
+        let t_ind_frac = (spec.sigma_t * t_full as f64 / t_selected as f64).min(1.0);
+        let l_ind_frac = (spec.sigma_l * l_full as f64 / l_selected as f64).min(1.0);
+        let plan = KeyPlan {
+            common,
+            t_selected,
+            l_selected,
+            t_nonsel,
+            l_nonsel,
+            t_ind_frac,
+            l_ind_frac,
+        };
+        plan.check(spec)?;
+        Ok(plan)
+    }
+
+    fn check(&self, spec: &WorkloadSpec) -> Result<()> {
+        if self.common > self.t_selected || self.common > self.l_selected {
+            return Err(HybridError::config(format!(
+                "infeasible key plan for spec {spec:?}: {self:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Total distinct key ids used across both tables.
+    pub fn universe(&self) -> usize {
+        // common + T-only-selected + L-only-selected + both non-selected pools
+        self.t_selected + (self.l_selected - self.common) + self.t_nonsel + self.l_nonsel
+    }
+
+    /// `corPred` key-fraction on T (`a` in the paper's terms).
+    pub fn t_cor_frac(&self) -> f64 {
+        self.t_selected as f64 / (self.t_selected + self.t_nonsel) as f64
+    }
+
+    pub fn l_cor_frac(&self) -> f64 {
+        self.l_selected as f64 / (self.l_selected + self.l_nonsel) as f64
+    }
+
+    /// Achieved selectivities (may differ from requested by rounding).
+    pub fn achieved(&self) -> (f64, f64, f64, f64) {
+        (
+            self.t_cor_frac() * self.t_ind_frac,
+            self.l_cor_frac() * self.l_ind_frac,
+            self.common as f64 / self.t_selected as f64,
+            self.common as f64 / self.l_selected as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(sigma_t: f64, sigma_l: f64, st: f64, sl: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            sigma_t,
+            sigma_l,
+            st,
+            sl,
+            ..WorkloadSpec::tiny()
+        }
+    }
+
+    /// Every (σT, σL, ST', SL') combination used anywhere in §5.
+    pub(crate) fn paper_grid() -> Vec<(f64, f64, f64, f64)> {
+        let mut grid = vec![
+            // Fig 8(a): σT=0.1, SL'=0.1
+            (0.1, 0.1, 0.05, 0.1),
+            (0.1, 0.2, 0.1, 0.1),
+            (0.1, 0.4, 0.2, 0.1),
+            // Fig 8(b): σT=0.2, SL'=0.2
+            (0.2, 0.1, 0.05, 0.2),
+            (0.2, 0.2, 0.1, 0.2),
+            (0.2, 0.4, 0.2, 0.2),
+            // Fig 9(a): fixed ST'=0.5, varying SL'
+            (0.1, 0.4, 0.5, 0.8),
+            (0.1, 0.4, 0.5, 0.4),
+            (0.1, 0.4, 0.5, 0.1),
+            // Fig 9(b): fixed SL'=0.4, varying ST'
+            (0.1, 0.4, 0.5, 0.4),
+            (0.1, 0.4, 0.35, 0.4),
+            (0.1, 0.4, 0.2, 0.4),
+        ];
+        // Figs 10-15: σT ∈ {0.001..0.2} × σL ∈ {0.001..0.2}, default S
+        for sigma_t in [0.001, 0.01, 0.05, 0.1, 0.2] {
+            for sigma_l in [0.001, 0.01, 0.1, 0.2] {
+                grid.push((sigma_t, sigma_l, 0.2, 0.1));
+            }
+        }
+        grid
+    }
+
+    #[test]
+    fn all_paper_configs_are_feasible() {
+        for (sigma_t, sigma_l, st, sl) in paper_grid() {
+            let plan = spec(sigma_t, sigma_l, st, sl).key_plan();
+            assert!(
+                plan.is_ok(),
+                "infeasible: σT={sigma_t} σL={sigma_l} ST'={st} SL'={sl}: {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn achieved_selectivities_close_to_requested() {
+        for (sigma_t, sigma_l, st, sl) in paper_grid() {
+            let s = WorkloadSpec {
+                sigma_t,
+                sigma_l,
+                st,
+                sl,
+                num_keys: 16_000,
+                ..WorkloadSpec::scaled_default()
+            };
+            let plan = s.key_plan().unwrap();
+            let (at, al, ast, asl) = plan.achieved();
+            let tol: f64 = 0.02;
+            assert!((at - sigma_t).abs() < tol.max(sigma_t * 0.1), "σT {at} vs {sigma_t}");
+            assert!((al - sigma_l).abs() < tol.max(sigma_l * 0.1), "σL {al} vs {sigma_l}");
+            assert!((ast - st).abs() < tol, "ST' {ast} vs {st}");
+            assert!((asl - sl).abs() < tol, "SL' {asl} vs {sl}");
+        }
+    }
+
+    #[test]
+    fn table1_plan_matches_hand_computation() {
+        // σT=0.1, σL=0.4, ST'=0.2, SL'=0.1, N=100:
+        // a_T = max(0.1, 0.4·0.1/0.2) = 0.2 → t_selected = 20
+        // common = 0.2·20 = 4; l_selected = 40
+        let plan = spec(0.1, 0.4, 0.2, 0.1).key_plan().unwrap();
+        assert_eq!(plan.t_selected, 20);
+        assert_eq!(plan.common, 4);
+        assert_eq!(plan.l_selected, 40);
+        assert_eq!(plan.t_nonsel, 80);
+        assert_eq!(plan.l_nonsel, 60);
+        assert!((plan.t_ind_frac - 0.5).abs() < 1e-9);
+        assert!((plan.l_ind_frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(spec(0.0, 0.1, 0.1, 0.1).key_plan().is_err());
+        assert!(spec(0.1, 1.5, 0.1, 0.1).key_plan().is_err());
+        let mut s = WorkloadSpec::tiny();
+        s.t_rows = 0;
+        assert!(s.key_plan().is_err());
+        let mut s = WorkloadSpec::tiny();
+        s.date_days = 0;
+        assert!(s.key_plan().is_err());
+    }
+
+    #[test]
+    fn universe_covers_all_pools() {
+        let plan = spec(0.1, 0.4, 0.2, 0.1).key_plan().unwrap();
+        assert_eq!(
+            plan.universe(),
+            20 + (40 - 4) + 80 + 60
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! Row generation for `T` and `L`.
+
+use crate::spec::{KeyPlan, WorkloadSpec, PRED_DOMAIN};
+use hybrid_common::batch::{Batch, Column};
+use hybrid_common::datum::DataType;
+use hybrid_common::error::Result;
+use hybrid_common::hash::{hash_key_seeded, splitmix64};
+use hybrid_common::schema::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `T`'s schema — the paper's transaction table.
+pub fn t_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("uniqKey", DataType::I64),
+        ("joinKey", DataType::I32),
+        ("corPred", DataType::I32),
+        ("indPred", DataType::I32),
+        ("predAfterJoin", DataType::Date),
+        ("dummy1", DataType::Utf8),
+        ("dummy2", DataType::I32),
+        ("dummy3", DataType::I32),
+    ])
+}
+
+/// `L`'s schema — the paper's click-log table.
+pub fn l_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("joinKey", DataType::I32),
+        ("corPred", DataType::I32),
+        ("indPred", DataType::I32),
+        ("predAfterJoin", DataType::Date),
+        ("groupByExtractCol", DataType::Utf8),
+        ("dummy", DataType::Utf8),
+    ])
+}
+
+/// Column indexes of `T` used when building queries.
+pub mod t_cols {
+    pub const UNIQ_KEY: usize = 0;
+    pub const JOIN_KEY: usize = 1;
+    pub const COR_PRED: usize = 2;
+    pub const IND_PRED: usize = 3;
+    pub const DATE: usize = 4;
+}
+
+/// Column indexes of `L`.
+pub mod l_cols {
+    pub const JOIN_KEY: usize = 0;
+    pub const COR_PRED: usize = 1;
+    pub const IND_PRED: usize = 2;
+    pub const DATE: usize = 3;
+    pub const GROUP: usize = 4;
+}
+
+/// Key-pool geometry shared by both generators (see [`KeyPlan`] docs).
+pub(crate) struct Pools {
+    common: usize,
+    t_selected: usize,
+    l_only_base: usize,
+    l_only: usize,
+    t_non_base: usize,
+    t_non: usize,
+    l_non_base: usize,
+    l_non: usize,
+}
+
+impl Pools {
+    pub(crate) fn new(plan: &KeyPlan) -> Pools {
+        let l_only = plan.l_selected - plan.common;
+        let l_only_base = plan.t_selected;
+        let t_non_base = l_only_base + l_only;
+        let l_non_base = t_non_base + plan.t_nonsel;
+        Pools {
+            common: plan.common,
+            t_selected: plan.t_selected,
+            l_only_base,
+            l_only,
+            t_non_base,
+            t_non: plan.t_nonsel,
+            l_non_base,
+            l_non: plan.l_nonsel,
+        }
+    }
+
+    /// T's i-th key (i over T's full key set).
+    fn t_key(&self, i: usize) -> usize {
+        if i < self.t_selected {
+            i // common ∪ T-only-selected
+        } else {
+            self.t_non_base + (i - self.t_selected)
+        }
+    }
+
+    fn t_full(&self) -> usize {
+        self.t_selected + self.t_non
+    }
+
+    /// L's j-th key.
+    fn l_key(&self, j: usize) -> usize {
+        if j < self.common {
+            j
+        } else if j < self.common + self.l_only {
+            self.l_only_base + (j - self.common)
+        } else {
+            self.l_non_base + (j - self.common - self.l_only)
+        }
+    }
+
+    fn l_full(&self) -> usize {
+        self.common + self.l_only + self.l_non
+    }
+
+    /// Is key id `k` in `JK(T')` (passes T's `corPred`)?
+    fn t_key_selected(&self, k: usize) -> bool {
+        k < self.t_selected
+    }
+
+    /// Is key id `k` in `JK(L')`?
+    fn l_key_selected(&self, k: usize) -> bool {
+        k < self.common || (self.l_only_base..self.l_only_base + self.l_only).contains(&k)
+    }
+}
+
+/// Query thresholds realizing the spec's selectivities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Thresholds {
+    /// `T.corPred <= t_cor` (inclusive bound).
+    pub t_cor: i64,
+    pub t_ind: i64,
+    pub l_cor: i64,
+    pub l_ind: i64,
+}
+
+/// Derive the `a/b/c/d` thresholds of the paper's query from a key plan.
+pub fn thresholds(plan: &KeyPlan) -> Thresholds {
+    Thresholds {
+        t_cor: cor_threshold(plan.t_cor_frac()) - 1,
+        t_ind: ind_threshold(plan.t_ind_frac) - 1,
+        l_cor: cor_threshold(plan.l_cor_frac()) - 1,
+        l_ind: ind_threshold(plan.l_ind_frac) - 1,
+    }
+}
+
+fn cor_threshold(frac: f64) -> i64 {
+    ((frac * PRED_DOMAIN as f64).round() as i64).clamp(1, PRED_DOMAIN)
+}
+
+fn ind_threshold(frac: f64) -> i64 {
+    ((frac * PRED_DOMAIN as f64).round() as i64).clamp(1, PRED_DOMAIN)
+}
+
+/// `corPred` is a deterministic function of the join key (that is what
+/// makes it *correlated*): selected keys land uniformly below the
+/// threshold, non-selected keys uniformly at or above it.
+fn cor_pred_value(key: usize, selected: bool, frac: f64, seed: u64) -> i32 {
+    let thr = cor_threshold(frac);
+    let h = hash_key_seeded(key as i64, seed) as i64;
+    let v = if selected {
+        h.rem_euclid(thr)
+    } else if thr >= PRED_DOMAIN {
+        // degenerate: everything selected; non-selected pool is empty anyway
+        PRED_DOMAIN - 1
+    } else {
+        thr + h.rem_euclid(PRED_DOMAIN - thr)
+    };
+    v as i32
+}
+
+/// Generate the transaction table `T`.
+pub fn generate_t(spec: &WorkloadSpec, plan: &KeyPlan) -> Result<Batch> {
+    let pools = Pools::new(plan);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ T_SEED_X);
+    let n = spec.t_rows;
+    let mut uniq = Vec::with_capacity(n);
+    let mut join = Vec::with_capacity(n);
+    let mut cor = Vec::with_capacity(n);
+    let mut ind = Vec::with_capacity(n);
+    let mut date = Vec::with_capacity(n);
+    let mut d1 = Vec::with_capacity(n);
+    let mut d2 = Vec::with_capacity(n);
+    let mut d3 = Vec::with_capacity(n);
+    for i in 0..n {
+        let ki = rng.gen_range(0..pools.t_full());
+        let key = pools.t_key(ki);
+        uniq.push(i as i64);
+        join.push(key as i32);
+        cor.push(cor_pred_value(
+            key,
+            pools.t_key_selected(key),
+            plan.t_cor_frac(),
+            spec.seed ^ 0x7C0,
+        ));
+        ind.push(rng.gen_range(0..PRED_DOMAIN) as i32);
+        date.push(rng.gen_range(0..spec.date_days));
+        // dummy columns pad the row to a realistic ~60-byte width
+        d1.push(format!("txn-{:016x}-{:08x}", splitmix64(i as u64), key));
+        d2.push(rng.gen_range(0..1_000_000));
+        d3.push(rng.gen_range(0..86_400));
+    }
+    Batch::new(
+        t_schema(),
+        vec![
+            Column::I64(uniq),
+            Column::I32(join),
+            Column::I32(cor),
+            Column::I32(ind),
+            Column::Date(date),
+            Column::Utf8(d1),
+            Column::I32(d2),
+            Column::I32(d3),
+        ],
+    )
+}
+
+/// Generate the log table `L`.
+pub fn generate_l(spec: &WorkloadSpec, plan: &KeyPlan) -> Result<Batch> {
+    let pools = Pools::new(plan);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ L_SEED_X);
+    let n = spec.l_rows;
+    let mut join = Vec::with_capacity(n);
+    let mut cor = Vec::with_capacity(n);
+    let mut ind = Vec::with_capacity(n);
+    let mut date = Vec::with_capacity(n);
+    let mut grp = Vec::with_capacity(n);
+    let mut dummy = Vec::with_capacity(n);
+    for i in 0..n {
+        let kj = rng.gen_range(0..pools.l_full());
+        let key = pools.l_key(kj);
+        join.push(key as i32);
+        cor.push(cor_pred_value(
+            key,
+            pools.l_key_selected(key),
+            plan.l_cor_frac(),
+            spec.seed ^ 0x1C0,
+        ));
+        ind.push(rng.gen_range(0..PRED_DOMAIN) as i32);
+        date.push(rng.gen_range(0..spec.date_days));
+        // url_<group>/<path> — the paper's 46-char varchar group column
+        let g = rng.gen_range(0..spec.num_groups);
+        grp.push(format!("url_{g}/pages/{:024x}", splitmix64(i as u64)));
+        dummy.push(format!("{:08x}", splitmix64(i as u64 ^ 0xD)));
+    }
+    Batch::new(
+        l_schema(),
+        vec![
+            Column::I32(join),
+            Column::I32(cor),
+            Column::I32(ind),
+            Column::Date(date),
+            Column::Utf8(grp),
+            Column::Utf8(dummy),
+        ],
+    )
+}
+
+const T_SEED_X: u64 = 0x7AB_1E0F_7000;
+const L_SEED_X: u64 = 0x106_0F10_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(sigma_t: f64, sigma_l: f64, st: f64, sl: f64) -> (WorkloadSpec, KeyPlan, Batch, Batch) {
+        let spec = WorkloadSpec {
+            sigma_t,
+            sigma_l,
+            st,
+            sl,
+            t_rows: 20_000,
+            l_rows: 60_000,
+            num_keys: 500,
+            ..WorkloadSpec::tiny()
+        };
+        let plan = spec.key_plan().unwrap();
+        let t = generate_t(&spec, &plan).unwrap();
+        let l = generate_l(&spec, &plan).unwrap();
+        (spec, plan, t, l)
+    }
+
+    fn measured_selectivities(
+        plan: &KeyPlan,
+        t: &Batch,
+        l: &Batch,
+    ) -> (f64, f64, f64, f64) {
+        use hybrid_common::expr::Expr;
+        use std::collections::HashSet;
+        let th = thresholds(plan);
+        let t_pred = Expr::col_le(t_cols::COR_PRED, th.t_cor)
+            .and(Expr::col_le(t_cols::IND_PRED, th.t_ind));
+        let l_pred = Expr::col_le(l_cols::COR_PRED, th.l_cor)
+            .and(Expr::col_le(l_cols::IND_PRED, th.l_ind));
+        let t_mask = t_pred.eval_predicate(t).unwrap();
+        let l_mask = l_pred.eval_predicate(l).unwrap();
+        let sigma_t = t_mask.iter().filter(|&&x| x).count() as f64 / t.num_rows() as f64;
+        let sigma_l = l_mask.iter().filter(|&&x| x).count() as f64 / l.num_rows() as f64;
+
+        let t_keys: HashSet<i32> = t
+            .filter(&t_mask)
+            .unwrap()
+            .column(t_cols::JOIN_KEY)
+            .unwrap()
+            .as_i32()
+            .unwrap()
+            .iter()
+            .copied()
+            .collect();
+        let l_keys: HashSet<i32> = l
+            .filter(&l_mask)
+            .unwrap()
+            .column(l_cols::JOIN_KEY)
+            .unwrap()
+            .as_i32()
+            .unwrap()
+            .iter()
+            .copied()
+            .collect();
+        let inter = t_keys.intersection(&l_keys).count() as f64;
+        (
+            sigma_t,
+            sigma_l,
+            inter / t_keys.len() as f64,
+            inter / l_keys.len() as f64,
+        )
+    }
+
+    #[test]
+    fn table1_selectivities_realized() {
+        let (_, plan, t, l) = setup(0.1, 0.4, 0.2, 0.1);
+        let (sigma_t, sigma_l, st, sl) = measured_selectivities(&plan, &t, &l);
+        assert!((sigma_t - 0.1).abs() < 0.02, "σT measured {sigma_t}");
+        assert!((sigma_l - 0.4).abs() < 0.02, "σL measured {sigma_l}");
+        assert!((st - 0.2).abs() < 0.03, "ST' measured {st}");
+        assert!((sl - 0.1).abs() < 0.03, "SL' measured {sl}");
+    }
+
+    #[test]
+    fn fig9_extreme_selectivities_realized() {
+        let (_, plan, t, l) = setup(0.1, 0.4, 0.5, 0.8);
+        let (sigma_t, sigma_l, st, sl) = measured_selectivities(&plan, &t, &l);
+        assert!((sigma_t - 0.1).abs() < 0.02, "σT measured {sigma_t}");
+        assert!((sigma_l - 0.4).abs() < 0.02, "σL measured {sigma_l}");
+        assert!((st - 0.5).abs() < 0.04, "ST' measured {st}");
+        assert!((sl - 0.8).abs() < 0.04, "SL' measured {sl}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, _, t1, _) = setup(0.1, 0.4, 0.2, 0.1);
+        let (_, _, t2, _) = setup(0.1, 0.4, 0.2, 0.1);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn cor_pred_is_key_correlated() {
+        // the same join key always gets the same corPred value
+        let (_, _, t, _) = setup(0.1, 0.4, 0.2, 0.1);
+        use std::collections::HashMap;
+        let keys = t.column(t_cols::JOIN_KEY).unwrap().as_i32().unwrap();
+        let cors = t.column(t_cols::COR_PRED).unwrap().as_i32().unwrap();
+        let mut seen: HashMap<i32, i32> = HashMap::new();
+        for (k, c) in keys.iter().zip(cors) {
+            let prev = seen.insert(*k, *c);
+            if let Some(p) = prev {
+                assert_eq!(p, *c, "corPred must be a function of the key");
+            }
+        }
+    }
+
+    #[test]
+    fn schemas_have_paper_shape() {
+        assert_eq!(t_schema().len(), 8);
+        assert_eq!(l_schema().len(), 6);
+        assert_eq!(t_schema().field(t_cols::JOIN_KEY).unwrap().name, "joinKey");
+        assert_eq!(l_schema().field(l_cols::GROUP).unwrap().name, "groupByExtractCol");
+    }
+
+    #[test]
+    fn group_column_parses_via_extract_group() {
+        let (_, _, _, l) = setup(0.1, 0.4, 0.2, 0.1);
+        let groups = l.column(l_cols::GROUP).unwrap().as_utf8().unwrap();
+        for g in groups.iter().take(100) {
+            let v = hybrid_common::expr::extract_group(g);
+            assert!((0..8).contains(&v), "bad group value {g} -> {v}");
+        }
+    }
+}

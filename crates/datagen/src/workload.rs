@@ -1,0 +1,172 @@
+//! A generated workload: tables + the paper's query, ready to run.
+
+use crate::spec::WorkloadSpec;
+use crate::tables::{self, l_cols, t_cols, thresholds, Thresholds};
+use hybrid_bloom::BloomParams;
+use hybrid_common::batch::Batch;
+use hybrid_common::error::Result;
+use hybrid_common::expr::Expr;
+use hybrid_common::ops::AggSpec;
+use hybrid_core::advisor::QueryEstimates;
+use hybrid_core::{HybridQuery, HybridSystem};
+use hybrid_storage::FileFormat;
+
+/// The generated tables, thresholds, and query for one experiment config.
+///
+/// End-to-end:
+///
+/// ```
+/// use hybrid_core::{run, HybridSystem, JoinAlgorithm, SystemConfig};
+/// use hybrid_datagen::WorkloadSpec;
+/// use hybrid_storage::FileFormat;
+///
+/// let workload = WorkloadSpec::tiny().generate().unwrap();
+/// let mut system = HybridSystem::new(SystemConfig::paper_shape(2, 3)).unwrap();
+/// workload.load_into(&mut system, FileFormat::Columnar).unwrap();
+/// let out = run(&mut system, &workload.query(), JoinAlgorithm::Zigzag).unwrap();
+/// assert!(out.result.num_rows() > 0);
+/// assert!(out.summary.hdfs_tuples_shuffled > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub spec: WorkloadSpec,
+    pub t: Batch,
+    pub l: Batch,
+    pub thresholds: Thresholds,
+    bloom: BloomParams,
+}
+
+impl WorkloadSpec {
+    /// Generate the tables and derive the query thresholds.
+    pub fn generate(&self) -> Result<Workload> {
+        let plan = self.key_plan()?;
+        Ok(Workload {
+            spec: *self,
+            t: tables::generate_t(self, &plan)?,
+            l: tables::generate_l(self, &plan)?,
+            thresholds: thresholds(&plan),
+            // the paper's ratio: 8 bits/key, 2 hashes (~5% FPR), sized for
+            // the key universe
+            bloom: BloomParams::paper_default(plan.universe()),
+        })
+    }
+}
+
+impl Workload {
+    /// The paper's experiment query (§5):
+    ///
+    /// ```sql
+    /// select extract_group(L.groupByExtractCol), count(*)
+    /// from T, L
+    /// where T.corPred <= a and T.indPred <= b
+    ///   and L.corPred <= c and L.indPred <= d
+    ///   and T.joinKey = L.joinKey
+    ///   and days(T.predAfterJoin) - days(L.predAfterJoin) between 0 and 1
+    /// group by extract_group(L.groupByExtractCol)
+    /// ```
+    pub fn query(&self) -> HybridQuery {
+        let th = self.thresholds;
+        // canonical joined layout: (T.joinKey, T.date) ++ (L.joinKey, L.date, L.grp)
+        let date_diff = Expr::col(1).sub(Expr::col(3));
+        HybridQuery {
+            db_table: "T".into(),
+            hdfs_table: "L".into(),
+            db_pred: Expr::col_le(t_cols::COR_PRED, th.t_cor)
+                .and(Expr::col_le(t_cols::IND_PRED, th.t_ind)),
+            db_proj: vec![t_cols::JOIN_KEY, t_cols::DATE],
+            db_key: 0,
+            hdfs_pred: Expr::col_le(l_cols::COR_PRED, th.l_cor)
+                .and(Expr::col_le(l_cols::IND_PRED, th.l_ind)),
+            hdfs_proj: vec![l_cols::JOIN_KEY, l_cols::DATE, l_cols::GROUP],
+            hdfs_key: 0,
+            post_predicate: Some(
+                date_diff
+                    .clone()
+                    .ge(Expr::lit_i64(0))
+                    .and(date_diff.le(Expr::lit_i64(1))),
+            ),
+            group_expr: Expr::ExtractGroup(Box::new(Expr::col(4))),
+            aggs: vec![AggSpec::Count],
+            bloom: self.bloom,
+        }
+    }
+
+    /// Load `T` into the database (distributed on `uniqKey`, with the
+    /// paper's two covering indexes) and `L` onto HDFS in `format`.
+    pub fn load_into(&self, sys: &mut HybridSystem, format: FileFormat) -> Result<()> {
+        sys.load_db_table("T", t_cols::UNIQ_KEY, self.t.clone())?;
+        // the paper's indexes: (corPred, indPred) and (corPred, indPred, joinKey)
+        sys.create_db_index("T", &[t_cols::COR_PRED, t_cols::IND_PRED])?;
+        sys.create_db_index(
+            "T",
+            &[t_cols::COR_PRED, t_cols::IND_PRED, t_cols::JOIN_KEY],
+        )?;
+        sys.load_hdfs_table("L", format, tables::l_schema(), &self.l)
+    }
+
+    /// Advisor inputs derived from the generator's ground truth.
+    pub fn estimates(&self, num_jen_workers: usize) -> QueryEstimates {
+        let q = self.query();
+        let t_prime_row = 12u64; // i32 key + date + overhead
+        let l_prime_row = 40u64; // key + date + url string
+        let _ = q;
+        QueryEstimates {
+            t_prime_bytes: (self.spec.t_rows as f64 * self.spec.sigma_t * t_prime_row as f64)
+                as u64,
+            l_prime_bytes: (self.spec.l_rows as f64 * self.spec.sigma_l * l_prime_row as f64)
+                as u64,
+            st: self.spec.st,
+            sl: self.spec.sl,
+            num_jen_workers,
+            bloom_bytes: self.bloom.wire_bytes() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_core::reference::run_reference;
+    use hybrid_core::{run, JoinAlgorithm, SystemConfig};
+
+    #[test]
+    fn generated_query_validates() {
+        let w = WorkloadSpec::tiny().generate().unwrap();
+        w.query().validate().unwrap();
+        assert_eq!(w.t.num_rows(), 2_000);
+        assert_eq!(w.l.num_rows(), 12_000);
+    }
+
+    #[test]
+    fn query_has_nonempty_result() {
+        let w = WorkloadSpec::tiny().generate().unwrap();
+        let out = run_reference(&w.t, &w.l, &w.query()).unwrap();
+        assert!(out.num_rows() > 0, "workload query produced nothing");
+        // groups are extract_group outputs in range
+        let groups = out.column(0).unwrap().as_i64().unwrap();
+        assert!(groups.iter().all(|&g| (0..8).contains(&g)));
+    }
+
+    #[test]
+    fn end_to_end_zigzag_matches_reference() {
+        let w = WorkloadSpec::tiny().generate().unwrap();
+        let mut cfg = SystemConfig::paper_shape(2, 3);
+        cfg.rows_per_block = 1000;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        w.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let expected = run_reference(&w.t, &w.l, &w.query()).unwrap();
+        let out = run(&mut sys, &w.query(), JoinAlgorithm::Zigzag).unwrap();
+        assert_eq!(out.result, expected);
+    }
+
+    #[test]
+    fn estimates_scale_with_selectivities() {
+        let mut spec = WorkloadSpec::tiny();
+        spec.sigma_l = 0.1;
+        let low = spec.generate().unwrap().estimates(4);
+        spec.sigma_l = 0.4;
+        let high = spec.generate().unwrap().estimates(4);
+        assert!(high.l_prime_bytes > low.l_prime_bytes * 3);
+        assert_eq!(low.num_jen_workers, 4);
+    }
+}

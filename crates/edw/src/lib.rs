@@ -1,0 +1,34 @@
+//! The enterprise data warehouse: a simulated shared-nothing parallel
+//! database in the mold of the paper's DB2 DPF deployment (§4, §5).
+//!
+//! What the join algorithms need from the EDW — and what this crate
+//! implements for real over `hybrid-common` batches:
+//!
+//! * **hash-distributed tables** across `n` workers, partitioned on a
+//!   distribution column with the database's *internal* hash function
+//!   (deliberately different from the DB↔JEN agreed shuffle hash, since the
+//!   paper's DB2 partitioning scheme is opaque to the HDFS side);
+//! * **covering indexes** with prefix range access, including the paper's
+//!   index-only plan for Bloom filter construction ("the second index
+//!   enables calculations of Bloom filters on T using an index-only access
+//!   plan", §5);
+//! * **local predicate + projection scans** per worker, metered by rows and
+//!   bytes so the cost model can price table vs index access;
+//! * the **Bloom filter UDF pipeline** (`cal_filter` → `get_filter` →
+//!   `combine_filter` of §4.1.1): local filters per worker, aggregated to a
+//!   global filter on one worker with intra-DB traffic metered;
+//! * a small **optimizer + distributed join executor** for the DB-side
+//!   join: broadcast the smaller side or repartition both on the join key,
+//!   then hash-join, apply the post-join predicate, and aggregate with
+//!   partial/final phases — the paper's "we take advantage of the query
+//!   optimizer of the parallel database" (§3.1).
+
+pub mod cluster;
+pub mod index;
+pub mod optimizer;
+pub mod worker;
+
+pub use cluster::DbCluster;
+pub use index::CoveringIndex;
+pub use optimizer::{DbJoinChoice, DbJoinSpec};
+pub use worker::DbWorker;

@@ -1,0 +1,102 @@
+//! The in-database join optimizer.
+//!
+//! For the DB-side join the paper relies on the warehouse's own optimizer:
+//! "After the filtered HDFS data is brought into the database, it is joined
+//! with the database data using the join algorithm (broadcast or
+//! repartition) chosen by the query optimizer" (§3.1). This module is that
+//! chooser: a volume-based cost comparison of the three physical plans.
+
+use hybrid_common::expr::Expr;
+use hybrid_common::ops::AggSpec;
+
+/// Physical plan for the in-database distributed join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbJoinChoice {
+    /// Replicate the left input on every worker.
+    BroadcastLeft,
+    /// Replicate the right input on every worker.
+    BroadcastRight,
+    /// Hash-repartition both inputs on the join key.
+    Repartition,
+}
+
+/// Logical description of the in-database join + aggregation.
+///
+/// The joined schema seen by `post_predicate` and `group_expr` is
+/// `left ++ right` (left columns first), regardless of the physical plan.
+#[derive(Debug, Clone)]
+pub struct DbJoinSpec {
+    /// Join key column in the left input.
+    pub left_key: usize,
+    /// Join key column in the right input.
+    pub right_key: usize,
+    /// Residual predicate evaluated on joined rows (e.g. the date window).
+    pub post_predicate: Option<Expr>,
+    /// Group-by key expression over joined rows.
+    pub group_expr: Expr,
+    /// Aggregates over joined rows.
+    pub aggs: Vec<AggSpec>,
+}
+
+/// Pick the cheapest plan by bytes moved across the DB interconnect.
+///
+/// With `n` workers holding roughly even shares:
+/// * broadcasting side `S` ships `bytes(S) × (n-1)` (every worker sends its
+///   piece to the `n-1` others);
+/// * repartitioning ships `(bytes(L)+bytes(R)) × (n-1)/n` (each row moves
+///   unless it already lives on its hash destination).
+pub fn choose(left_bytes: usize, right_bytes: usize, num_workers: usize) -> DbJoinChoice {
+    if num_workers <= 1 {
+        // everything is local; broadcasting the smaller side is a no-op plan
+        return DbJoinChoice::Repartition;
+    }
+    let n = num_workers as f64;
+    let bl = left_bytes as f64 * (n - 1.0);
+    let br = right_bytes as f64 * (n - 1.0);
+    let rp = (left_bytes + right_bytes) as f64 * (n - 1.0) / n;
+    if bl <= br && bl <= rp {
+        DbJoinChoice::BroadcastLeft
+    } else if br <= bl && br <= rp {
+        DbJoinChoice::BroadcastRight
+    } else {
+        DbJoinChoice::Repartition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_left_is_broadcast() {
+        // left is 1/100 of right: broadcasting left beats repartition
+        assert_eq!(choose(1_000, 100_000, 30), DbJoinChoice::BroadcastLeft);
+    }
+
+    #[test]
+    fn tiny_right_is_broadcast() {
+        assert_eq!(choose(100_000, 1_000, 30), DbJoinChoice::BroadcastRight);
+    }
+
+    #[test]
+    fn comparable_sizes_repartition() {
+        assert_eq!(choose(100_000, 100_000, 30), DbJoinChoice::Repartition);
+        assert_eq!(choose(100_000, 60_000, 30), DbJoinChoice::Repartition);
+    }
+
+    #[test]
+    fn crossover_at_cost_equality() {
+        // broadcast-left cost = L(n-1); repartition = (L+R)(n-1)/n
+        // equal when L·n = L + R  ⇔  R = L(n-1)
+        let n = 10;
+        let l = 1_000usize;
+        let r_equal = l * (n - 1);
+        assert_eq!(choose(l, r_equal + 1000, n), DbJoinChoice::BroadcastLeft);
+        assert_eq!(choose(l, r_equal - 1000, n), DbJoinChoice::Repartition);
+    }
+
+    #[test]
+    fn single_worker_degenerates() {
+        assert_eq!(choose(5, 5, 1), DbJoinChoice::Repartition);
+    }
+}

@@ -1,0 +1,222 @@
+//! Locality-aware balanced block assignment (paper §4.2).
+//!
+//! "When the JEN coordinator assigns the HDFS blocks to workers, it
+//! carefully considers the locations of each HDFS block to create balanced
+//! assignments and maximize the locality of data in a best-effort manner."
+//!
+//! JEN runs one worker per DataNode, so worker `i` is co-located with
+//! DataNode `i`. The assignment must (a) give every worker an even share —
+//! within one block of `ceil(total/workers)` — and (b) among balanced
+//! assignments, maximize the number of blocks read from a local replica.
+
+use crate::cluster::BlockMeta;
+use hybrid_common::ids::BlockId;
+#[cfg(test)]
+use hybrid_common::ids::DataNodeId;
+
+/// Outcome statistics of an assignment, used in tests and reported by the
+/// coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssignmentStats {
+    pub total_blocks: usize,
+    /// Blocks whose assigned worker is co-located with a replica.
+    pub local_blocks: usize,
+    pub max_per_worker: usize,
+    pub min_per_worker: usize,
+}
+
+impl AssignmentStats {
+    pub fn locality_fraction(&self) -> f64 {
+        if self.total_blocks == 0 {
+            return 1.0;
+        }
+        self.local_blocks as f64 / self.total_blocks as f64
+    }
+}
+
+/// Assign `blocks` to `num_workers` workers (worker `i` ⇔ DataNode `i`).
+///
+/// Two passes:
+/// 1. **local pass** — every block is offered to the *least-loaded* worker
+///    co-located with one of its replicas, provided that worker is still
+///    under the per-worker cap `ceil(total/num_workers)`;
+/// 2. **spill pass** — blocks that could not be placed locally go to the
+///    globally least-loaded worker.
+///
+/// Returns the per-worker block lists and the stats.
+pub fn assign_blocks(
+    blocks: &[BlockMeta],
+    num_workers: usize,
+) -> (Vec<Vec<BlockId>>, AssignmentStats) {
+    assert!(num_workers > 0, "need at least one worker");
+    let cap = blocks.len().div_ceil(num_workers);
+    let mut assignment: Vec<Vec<BlockId>> = vec![Vec::new(); num_workers];
+    let mut load = vec![0usize; num_workers];
+    let mut local_blocks = 0usize;
+    let mut spill: Vec<&BlockMeta> = Vec::new();
+
+    // Pass 1: prefer local placement under the cap. Process blocks in order
+    // of fewest co-located candidate workers first, so constrained blocks
+    // grab their only local slot before flexible ones fill it.
+    let mut ordered: Vec<&BlockMeta> = blocks.iter().collect();
+    ordered.sort_by_key(|b| {
+        b.locations
+            .iter()
+            .filter(|dn| dn.index() < num_workers)
+            .count()
+    });
+    for block in ordered {
+        let candidate = block
+            .locations
+            .iter()
+            .filter(|dn| dn.index() < num_workers)
+            .map(|dn| dn.index())
+            .filter(|&w| load[w] < cap)
+            .min_by_key(|&w| load[w]);
+        match candidate {
+            Some(w) => {
+                assignment[w].push(block.id);
+                load[w] += 1;
+                local_blocks += 1;
+            }
+            None => spill.push(block),
+        }
+    }
+
+    // Pass 2: spill to least-loaded workers.
+    for block in spill {
+        let w = (0..num_workers).min_by_key(|&w| load[w]).expect("non-empty");
+        assignment[w].push(block.id);
+        load[w] += 1;
+    }
+
+    let stats = AssignmentStats {
+        total_blocks: blocks.len(),
+        local_blocks,
+        max_per_worker: load.iter().copied().max().unwrap_or(0),
+        min_per_worker: load.iter().copied().min().unwrap_or(0),
+    };
+    (assignment, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: usize, locs: &[usize]) -> BlockMeta {
+        BlockMeta {
+            id: BlockId(id),
+            size: 1,
+            locations: locs.iter().copied().map(DataNodeId).collect(),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (a, s) = assign_blocks(&[], 4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(s.total_blocks, 0);
+        assert_eq!(s.locality_fraction(), 1.0);
+    }
+
+    #[test]
+    fn perfectly_local_when_possible() {
+        // one block per node, each with a replica there
+        let blocks: Vec<BlockMeta> = (0..8).map(|i| meta(i, &[i, (i + 1) % 8])).collect();
+        let (a, s) = assign_blocks(&blocks, 8);
+        assert_eq!(s.local_blocks, 8);
+        assert_eq!(s.max_per_worker, 1);
+        assert!(a.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn balance_is_enforced_even_when_locality_suffers() {
+        // all blocks live on node 0 only: balance must still spread them
+        let blocks: Vec<BlockMeta> = (0..12).map(|i| meta(i, &[0])).collect();
+        let (_, s) = assign_blocks(&blocks, 4);
+        assert_eq!(s.max_per_worker, 3);
+        assert_eq!(s.min_per_worker, 3);
+        // only cap-many can be local
+        assert_eq!(s.local_blocks, 3);
+    }
+
+    #[test]
+    fn constrained_blocks_get_priority_for_their_slot() {
+        // Block A can only be local on node 0; blocks B and C can be local
+        // on either node. With cap 2 per worker (3 blocks, 2 workers),
+        // A must get node 0.
+        let blocks = vec![meta(0, &[0]), meta(1, &[0, 1]), meta(2, &[0, 1])];
+        let (_, s) = assign_blocks(&blocks, 2);
+        assert_eq!(s.local_blocks, 3, "all three should be local");
+    }
+
+    #[test]
+    fn replicas_on_nonworker_nodes_are_ignored() {
+        // locations point past the worker range (e.g. decommissioned nodes)
+        let blocks = vec![meta(0, &[7, 9]), meta(1, &[8])];
+        let (a, s) = assign_blocks(&blocks, 2);
+        assert_eq!(s.local_blocks, 0);
+        assert_eq!(a[0].len() + a[1].len(), 2);
+    }
+
+    #[test]
+    fn large_random_layout_is_balanced_and_mostly_local() {
+        // 30 nodes, replication 2, 300 blocks — the paper's shape.
+        use hybrid_common::hash::splitmix64;
+        let blocks: Vec<BlockMeta> = (0..300)
+            .map(|i| {
+                let a = (splitmix64(i as u64) % 30) as usize;
+                let mut b = (splitmix64(i as u64 ^ 0xABCD) % 30) as usize;
+                if b == a {
+                    b = (b + 1) % 30;
+                }
+                meta(i, &[a, b])
+            })
+            .collect();
+        let (_, s) = assign_blocks(&blocks, 30);
+        assert_eq!(s.max_per_worker, 10);
+        assert!(s.min_per_worker >= 9);
+        assert!(
+            s.locality_fraction() > 0.9,
+            "locality {}",
+            s.locality_fraction()
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        /// Every block assigned exactly once, and load spread is within one
+        /// of perfect balance.
+        #[test]
+        fn assignment_is_a_balanced_partition(
+            n_workers in 1usize..12,
+            locs in proptest::collection::vec(
+                proptest::collection::vec(0usize..12, 1..3), 0..60),
+        ) {
+            let blocks: Vec<BlockMeta> = locs
+                .iter()
+                .enumerate()
+                .map(|(i, l)| BlockMeta {
+                    id: BlockId(i),
+                    size: 1,
+                    locations: l.iter().copied().map(DataNodeId).collect(),
+                })
+                .collect();
+            let (a, s) = assign_blocks(&blocks, n_workers);
+            let mut seen = HashSet::new();
+            for w in &a {
+                for id in w {
+                    prop_assert!(seen.insert(*id), "block assigned twice");
+                }
+            }
+            prop_assert_eq!(seen.len(), blocks.len());
+            prop_assert!(s.max_per_worker <= blocks.len().div_ceil(n_workers));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! HCatalog stand-in: table name → (HDFS path, input format, schema).
+//!
+//! The paper's JEN coordinator "is responsible for retrieving the meta data
+//! (HDFS path, input format, etc.) for HDFS tables from HCatalog" (§4.1).
+
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::schema::Schema;
+use hybrid_storage::FileFormat;
+use std::collections::HashMap;
+
+/// Metadata for one HDFS-resident table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMeta {
+    pub name: String,
+    pub path: String,
+    pub format: FileFormat,
+    pub schema: Schema,
+}
+
+/// A registry of HDFS table metadata.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, TableMeta>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&mut self, meta: TableMeta) {
+        self.tables.insert(meta.name.clone(), meta);
+    }
+
+    /// Look up a table by name.
+    pub fn lookup(&self, name: &str) -> Result<&TableMeta> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| HybridError::Storage(format!("table {name:?} not in catalog")))
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.tables.remove(name).is_some()
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_common::datum::DataType;
+
+    fn meta(name: &str) -> TableMeta {
+        TableMeta {
+            name: name.to_string(),
+            path: format!("/warehouse/{name}"),
+            format: FileFormat::Columnar,
+            schema: Schema::from_pairs(&[("joinKey", DataType::I32)]),
+        }
+    }
+
+    #[test]
+    fn register_lookup_drop() {
+        let mut c = Catalog::new();
+        assert!(c.lookup("L").is_err());
+        c.register(meta("L"));
+        assert_eq!(c.lookup("L").unwrap().path, "/warehouse/L");
+        assert!(c.drop_table("L"));
+        assert!(!c.drop_table("L"));
+        assert!(c.lookup("L").is_err());
+    }
+
+    #[test]
+    fn replace_updates_format() {
+        let mut c = Catalog::new();
+        c.register(meta("L"));
+        let mut m = meta("L");
+        m.format = FileFormat::Text;
+        c.register(m);
+        assert_eq!(c.lookup("L").unwrap().format, FileFormat::Text);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.register(meta("zeta"));
+        c.register(meta("alpha"));
+        assert_eq!(c.table_names(), vec!["alpha", "zeta"]);
+    }
+}

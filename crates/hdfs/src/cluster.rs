@@ -1,0 +1,290 @@
+//! NameNode + DataNodes with replicated block storage.
+
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::ids::{BlockId, DataNodeId};
+use hybrid_common::metrics::Metrics;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Metadata the NameNode hands out per block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    pub id: BlockId,
+    pub size: usize,
+    /// DataNodes holding a replica (all distinct).
+    pub locations: Vec<DataNodeId>,
+}
+
+#[derive(Debug)]
+struct DataNode {
+    alive: bool,
+    blocks: HashMap<BlockId, Arc<Vec<u8>>>,
+}
+
+/// The simulated HDFS cluster: one NameNode worth of metadata plus the
+/// DataNodes' actual block bytes.
+///
+/// Placement policy: each block's `replication` replicas land on distinct
+/// DataNodes chosen by a seeded RNG, so layouts are reproducible across
+/// experiment runs.
+#[derive(Debug)]
+pub struct HdfsCluster {
+    datanodes: Vec<DataNode>,
+    replication: usize,
+    /// file path -> ordered block ids
+    files: HashMap<String, Vec<BlockId>>,
+    /// block id -> metadata
+    blocks: HashMap<BlockId, BlockMeta>,
+    next_block: usize,
+    rng: StdRng,
+    metrics: Metrics,
+}
+
+impl HdfsCluster {
+    /// Create a cluster of `num_datanodes` nodes with the given replication
+    /// factor (the paper uses 30 DataNodes, replication 2).
+    pub fn new(num_datanodes: usize, replication: usize, metrics: Metrics) -> Result<HdfsCluster> {
+        if num_datanodes == 0 {
+            return Err(HybridError::config("HDFS needs at least one DataNode"));
+        }
+        if replication == 0 || replication > num_datanodes {
+            return Err(HybridError::config(format!(
+                "replication {replication} invalid for {num_datanodes} DataNodes"
+            )));
+        }
+        Ok(HdfsCluster {
+            datanodes: (0..num_datanodes)
+                .map(|_| DataNode { alive: true, blocks: HashMap::new() })
+                .collect(),
+            replication,
+            files: HashMap::new(),
+            blocks: HashMap::new(),
+            next_block: 0,
+            rng: StdRng::seed_from_u64(0x4DF5_0001),
+            metrics,
+        })
+    }
+
+    pub fn num_datanodes(&self) -> usize {
+        self.datanodes.len()
+    }
+
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Write a file as a sequence of pre-encoded blocks. Replaces any
+    /// existing file at `path`.
+    pub fn write_file(&mut self, path: &str, block_payloads: Vec<Vec<u8>>) -> Result<()> {
+        if let Some(old) = self.files.remove(path) {
+            for id in old {
+                if let Some(meta) = self.blocks.remove(&id) {
+                    for dn in meta.locations {
+                        self.datanodes[dn.index()].blocks.remove(&id);
+                    }
+                }
+            }
+        }
+        let mut ids = Vec::with_capacity(block_payloads.len());
+        let all_nodes: Vec<DataNodeId> = (0..self.datanodes.len()).map(DataNodeId).collect();
+        for payload in block_payloads {
+            let id = BlockId(self.next_block);
+            self.next_block += 1;
+            let mut locations = all_nodes.clone();
+            locations.shuffle(&mut self.rng);
+            locations.truncate(self.replication);
+            let bytes = Arc::new(payload);
+            for &dn in &locations {
+                self.datanodes[dn.index()].blocks.insert(id, Arc::clone(&bytes));
+            }
+            self.blocks.insert(
+                id,
+                BlockMeta { id, size: bytes.len(), locations },
+            );
+            ids.push(id);
+        }
+        self.files.insert(path.to_string(), ids);
+        Ok(())
+    }
+
+    /// NameNode lookup: ordered block metadata of a file.
+    pub fn file_blocks(&self, path: &str) -> Result<Vec<BlockMeta>> {
+        let ids = self
+            .files
+            .get(path)
+            .ok_or_else(|| HybridError::Storage(format!("no such HDFS file: {path}")))?;
+        Ok(ids.iter().map(|id| self.blocks[id].clone()).collect())
+    }
+
+    /// Total size of a file in bytes.
+    pub fn file_size(&self, path: &str) -> Result<usize> {
+        Ok(self.file_blocks(path)?.iter().map(|b| b.size).sum())
+    }
+
+    pub fn file_exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Read a block from the perspective of a reader co-located with
+    /// DataNode `reader` (JEN workers run one per DataNode).
+    ///
+    /// Prefers a local replica (short-circuit read); falls back to any live
+    /// remote replica. Metrics record `hdfs.read.local_bytes` vs
+    /// `hdfs.read.remote_bytes`, which the cost model prices differently.
+    pub fn read_block(&self, id: BlockId, reader: DataNodeId) -> Result<Arc<Vec<u8>>> {
+        let meta = self
+            .blocks
+            .get(&id)
+            .ok_or_else(|| HybridError::Storage(format!("unknown block {id}")))?;
+        // local replica first
+        if meta.locations.contains(&reader) && self.datanodes[reader.index()].alive {
+            let bytes = self.datanodes[reader.index()]
+                .blocks
+                .get(&id)
+                .expect("namenode/datanode metadata out of sync");
+            self.metrics.add("hdfs.read.local_bytes", bytes.len() as u64);
+            self.metrics.incr("hdfs.read.local_blocks");
+            return Ok(Arc::clone(bytes));
+        }
+        for &dn in &meta.locations {
+            if self.datanodes[dn.index()].alive {
+                let bytes = self.datanodes[dn.index()]
+                    .blocks
+                    .get(&id)
+                    .expect("namenode/datanode metadata out of sync");
+                self.metrics.add("hdfs.read.remote_bytes", bytes.len() as u64);
+                self.metrics.incr("hdfs.read.remote_blocks");
+                return Ok(Arc::clone(bytes));
+            }
+        }
+        Err(HybridError::Storage(format!(
+            "all replicas of {id} are on dead DataNodes"
+        )))
+    }
+
+    /// Failure injection: take a DataNode offline.
+    pub fn kill_datanode(&mut self, dn: DataNodeId) {
+        if let Some(node) = self.datanodes.get_mut(dn.index()) {
+            node.alive = false;
+        }
+    }
+
+    /// Bring a DataNode back (replicas it held become readable again).
+    pub fn revive_datanode(&mut self, dn: DataNodeId) {
+        if let Some(node) = self.datanodes.get_mut(dn.index()) {
+            node.alive = true;
+        }
+    }
+
+    pub fn is_alive(&self, dn: DataNodeId) -> bool {
+        self.datanodes.get(dn.index()).is_some_and(|n| n.alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, r: usize) -> HdfsCluster {
+        HdfsCluster::new(n, r, Metrics::new()).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(HdfsCluster::new(0, 1, Metrics::new()).is_err());
+        assert!(HdfsCluster::new(3, 0, Metrics::new()).is_err());
+        assert!(HdfsCluster::new(3, 4, Metrics::new()).is_err());
+        assert!(HdfsCluster::new(3, 3, Metrics::new()).is_ok());
+    }
+
+    #[test]
+    fn write_and_read_roundtrip() {
+        let mut c = cluster(5, 2);
+        c.write_file("/t/l", vec![vec![1, 2, 3], vec![4, 5]]).unwrap();
+        let blocks = c.file_blocks("/t/l").unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(c.file_size("/t/l").unwrap(), 5);
+        for b in &blocks {
+            assert_eq!(b.locations.len(), 2);
+            let mut sorted = b.locations.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 2, "replicas must be on distinct nodes");
+            let bytes = c.read_block(b.id, b.locations[0]).unwrap();
+            assert_eq!(bytes.len(), b.size);
+        }
+    }
+
+    #[test]
+    fn local_reads_preferred_and_metered() {
+        let m = Metrics::new();
+        let mut c = HdfsCluster::new(4, 2, m.clone()).unwrap();
+        c.write_file("/f", vec![vec![9; 100]]).unwrap();
+        let b = &c.file_blocks("/f").unwrap()[0];
+        // read from a replica holder: local
+        c.read_block(b.id, b.locations[0]).unwrap();
+        assert_eq!(m.get("hdfs.read.local_bytes"), 100);
+        // read from a non-holder: remote
+        let outsider = (0..4)
+            .map(DataNodeId)
+            .find(|dn| !b.locations.contains(dn))
+            .unwrap();
+        c.read_block(b.id, outsider).unwrap();
+        assert_eq!(m.get("hdfs.read.remote_bytes"), 100);
+    }
+
+    #[test]
+    fn failure_falls_back_to_surviving_replica() {
+        let mut c = cluster(4, 2);
+        c.write_file("/f", vec![vec![7; 10]]).unwrap();
+        let b = c.file_blocks("/f").unwrap()[0].clone();
+        c.kill_datanode(b.locations[0]);
+        assert!(!c.is_alive(b.locations[0]));
+        // reading "from" the dead node's position falls back to the replica
+        let bytes = c.read_block(b.id, b.locations[0]).unwrap();
+        assert_eq!(bytes.len(), 10);
+        // kill the second replica too: now unreadable
+        c.kill_datanode(b.locations[1]);
+        assert!(c.read_block(b.id, b.locations[0]).is_err());
+        c.revive_datanode(b.locations[1]);
+        assert!(c.read_block(b.id, b.locations[0]).is_ok());
+    }
+
+    #[test]
+    fn rewrite_replaces_file_and_frees_old_blocks() {
+        let mut c = cluster(3, 1);
+        c.write_file("/f", vec![vec![1]]).unwrap();
+        let old = c.file_blocks("/f").unwrap()[0].clone();
+        c.write_file("/f", vec![vec![2, 2]]).unwrap();
+        assert_eq!(c.file_size("/f").unwrap(), 2);
+        assert!(c.read_block(old.id, old.locations[0]).is_err());
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let c = cluster(2, 1);
+        assert!(c.file_blocks("/nope").is_err());
+        assert!(!c.file_exists("/nope"));
+    }
+
+    #[test]
+    fn placement_spreads_blocks() {
+        let mut c = cluster(10, 2);
+        c.write_file("/big", (0..200).map(|i| vec![i as u8; 4]).collect()).unwrap();
+        let blocks = c.file_blocks("/big").unwrap();
+        let mut per_node = vec![0usize; 10];
+        for b in &blocks {
+            for dn in &b.locations {
+                per_node[dn.index()] += 1;
+            }
+        }
+        // 400 replicas over 10 nodes: each node should hold a fair share
+        assert!(per_node.iter().all(|&n| n > 15 && n < 70), "{per_node:?}");
+    }
+}

@@ -1,0 +1,29 @@
+//! A simulated HDFS: NameNode metadata, DataNode block storage, replica
+//! placement, and the locality-aware balanced block assignment that JEN's
+//! coordinator performs (paper §4.2).
+//!
+//! The simulation stores real bytes (encoded by `hybrid-storage`) and
+//! reproduces the properties the join algorithms observe:
+//!
+//! * files are sequences of replicated blocks; the NameNode knows where the
+//!   replicas live ([`cluster::HdfsCluster::file_blocks`]);
+//! * scan-based access only — there is no record-level index, matching the
+//!   paper's assumption about HQP engines (§2);
+//! * reads are **local** (short-circuit) when the reader sits on a DataNode
+//!   holding a replica, **remote** otherwise; both are metered so the cost
+//!   model can price them differently;
+//! * DataNodes can be killed for failure-injection tests; reads fall back to
+//!   surviving replicas and error only when none remain.
+//!
+//! The [`assignment`] module implements the coordinator's balanced,
+//! best-effort-local assignment of blocks to JEN workers, and [`catalog`]
+//! is the HCatalog stand-in mapping table names to paths, formats, and
+//! schemas.
+
+pub mod assignment;
+pub mod catalog;
+pub mod cluster;
+
+pub use assignment::{assign_blocks, AssignmentStats};
+pub use catalog::{Catalog, TableMeta};
+pub use cluster::{BlockMeta, HdfsCluster};

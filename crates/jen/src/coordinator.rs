@@ -1,0 +1,234 @@
+//! The JEN coordinator.
+//!
+//! Paper §4.1: the coordinator (1) manages workers and their liveness,
+//! (2) brokers connections between DB2 workers and JEN workers, (3) fetches
+//! table metadata from HCatalog and block locations from the NameNode, and
+//! evenly assigns blocks to workers respecting locality.
+
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::ids::{BlockId, JenWorkerId};
+use hybrid_hdfs::{assign_blocks, AssignmentStats, Catalog, HdfsCluster, TableMeta};
+use parking_lot::RwLock;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A per-worker scan plan: the blocks each JEN worker will read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanPlan {
+    pub table: TableMeta,
+    /// `blocks[i]` is worker `i`'s share.
+    pub blocks: Vec<Vec<BlockId>>,
+    pub stats: AssignmentStats,
+}
+
+/// The coordinator: registry + metadata brokerage + block assignment.
+pub struct JenCoordinator {
+    catalog: Arc<RwLock<Catalog>>,
+    hdfs: Arc<RwLock<HdfsCluster>>,
+    num_workers: usize,
+    alive: RwLock<BTreeSet<JenWorkerId>>,
+}
+
+impl JenCoordinator {
+    pub fn new(
+        catalog: Arc<RwLock<Catalog>>,
+        hdfs: Arc<RwLock<HdfsCluster>>,
+        num_workers: usize,
+    ) -> Result<JenCoordinator> {
+        if num_workers == 0 {
+            return Err(HybridError::config("JEN needs at least one worker"));
+        }
+        Ok(JenCoordinator {
+            catalog,
+            hdfs,
+            num_workers,
+            alive: RwLock::new((0..num_workers).map(JenWorkerId).collect()),
+        })
+    }
+
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// HCatalog lookup (role 3 of §4.1).
+    pub fn lookup_table(&self, name: &str) -> Result<TableMeta> {
+        self.catalog.read().lookup(name).cloned()
+    }
+
+    /// Liveness registry (role 1 of §4.1).
+    pub fn alive_workers(&self) -> Vec<JenWorkerId> {
+        self.alive.read().iter().copied().collect()
+    }
+
+    pub fn mark_dead(&self, w: JenWorkerId) {
+        self.alive.write().remove(&w);
+    }
+
+    pub fn mark_alive(&self, w: JenWorkerId) {
+        if w.index() < self.num_workers {
+            self.alive.write().insert(w);
+        }
+    }
+
+    /// Resolve a table via HCatalog and assign its blocks to the live
+    /// workers, locality-aware and balanced (§4.2). Dead workers get empty
+    /// shares.
+    pub fn plan_scan(&self, table: &str) -> Result<ScanPlan> {
+        let meta = self.lookup_table(table)?;
+        let blocks = self.hdfs.read().file_blocks(&meta.path)?;
+        let live: Vec<JenWorkerId> = self.alive_workers();
+        if live.is_empty() {
+            return Err(HybridError::exec("no live JEN workers"));
+        }
+        // Assign over the live workers only, then scatter back to absolute
+        // worker slots.
+        // `assign_blocks` works with worker index == datanode index; for
+        // dead workers we remap their would-be-local blocks like any other.
+        let (assignment, stats) = assign_blocks(&blocks, self.num_workers);
+        let mut final_assignment: Vec<Vec<BlockId>> = vec![Vec::new(); self.num_workers];
+        let live_set: BTreeSet<usize> = live.iter().map(|w| w.index()).collect();
+        let mut spill: Vec<BlockId> = Vec::new();
+        for (w, ids) in assignment.into_iter().enumerate() {
+            if live_set.contains(&w) {
+                final_assignment[w] = ids;
+            } else {
+                spill.extend(ids);
+            }
+        }
+        // redistribute a dead worker's share round-robin over live workers
+        for (i, id) in spill.into_iter().enumerate() {
+            let w = live[i % live.len()];
+            final_assignment[w.index()].push(id);
+        }
+        Ok(ScanPlan { table: meta, blocks: final_assignment, stats })
+    }
+
+    /// Fig. 5: divide the `n` JEN workers into `m` roughly even groups, one
+    /// per DB worker, for parallel HDFS→DB data transfer. Works for `m > n`
+    /// too (some groups are empty beyond `n`; callers with more DB workers
+    /// than JEN workers share by round-robin).
+    pub fn group_workers_for_db(&self, num_db_workers: usize) -> Vec<Vec<JenWorkerId>> {
+        assert!(num_db_workers > 0);
+        let live = self.alive_workers();
+        let mut groups: Vec<Vec<JenWorkerId>> = vec![Vec::new(); num_db_workers];
+        for (i, w) in live.into_iter().enumerate() {
+            groups[i % num_db_workers].push(w);
+        }
+        groups
+    }
+
+    /// The designated worker that merges Bloom filters / partial aggregates
+    /// (§4.3: "each worker sends the local results … to a single designated
+    /// worker chosen by the coordinator").
+    pub fn designated_worker(&self) -> Result<JenWorkerId> {
+        self.alive
+            .read()
+            .iter()
+            .next()
+            .copied()
+            .ok_or_else(|| HybridError::exec("no live JEN workers"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_common::datum::DataType;
+    use hybrid_common::metrics::Metrics;
+    use hybrid_common::schema::Schema;
+    use hybrid_storage::FileFormat;
+
+    fn setup(blocks: usize, workers: usize) -> JenCoordinator {
+        let mut hdfs = HdfsCluster::new(workers, 2.min(workers), Metrics::new()).unwrap();
+        hdfs.write_file("/w/L", (0..blocks).map(|i| vec![i as u8; 8]).collect())
+            .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register(TableMeta {
+            name: "L".into(),
+            path: "/w/L".into(),
+            format: FileFormat::Columnar,
+            schema: Schema::from_pairs(&[("joinKey", DataType::I32)]),
+        });
+        JenCoordinator::new(Arc::new(RwLock::new(catalog)), Arc::new(RwLock::new(hdfs)), workers).unwrap()
+    }
+
+    #[test]
+    fn plan_scan_covers_all_blocks_evenly() {
+        let c = setup(20, 5);
+        let plan = c.plan_scan("L").unwrap();
+        assert_eq!(plan.blocks.len(), 5);
+        let total: usize = plan.blocks.iter().map(Vec::len).sum();
+        assert_eq!(total, 20);
+        assert!(plan.blocks.iter().all(|b| b.len() == 4));
+        assert_eq!(plan.table.name, "L");
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let c = setup(4, 2);
+        assert!(c.plan_scan("NOPE").is_err());
+    }
+
+    #[test]
+    fn dead_worker_share_is_redistributed() {
+        let c = setup(20, 5);
+        c.mark_dead(JenWorkerId(2));
+        let plan = c.plan_scan("L").unwrap();
+        assert!(plan.blocks[2].is_empty());
+        let total: usize = plan.blocks.iter().map(Vec::len).sum();
+        assert_eq!(total, 20);
+        assert_eq!(c.alive_workers().len(), 4);
+        c.mark_alive(JenWorkerId(2));
+        assert_eq!(c.alive_workers().len(), 5);
+    }
+
+    #[test]
+    fn all_dead_errors() {
+        let c = setup(4, 2);
+        c.mark_dead(JenWorkerId(0));
+        c.mark_dead(JenWorkerId(1));
+        assert!(c.plan_scan("L").is_err());
+        assert!(c.designated_worker().is_err());
+    }
+
+    #[test]
+    fn worker_groups_partition_the_workers() {
+        let c = setup(4, 10);
+        let groups = c.group_workers_for_db(3);
+        assert_eq!(groups.len(), 3);
+        let mut all: Vec<usize> = groups
+            .iter()
+            .flatten()
+            .map(|w| w.index())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // roughly even: sizes 4,3,3
+        let mut sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn more_db_workers_than_jen_workers() {
+        let c = setup(4, 2);
+        let groups = c.group_workers_for_db(5);
+        let non_empty = groups.iter().filter(|g| !g.is_empty()).count();
+        assert_eq!(non_empty, 2);
+    }
+
+    #[test]
+    fn designated_worker_is_lowest_live() {
+        let c = setup(4, 3);
+        assert_eq!(c.designated_worker().unwrap(), JenWorkerId(0));
+        c.mark_dead(JenWorkerId(0));
+        assert_eq!(c.designated_worker().unwrap(), JenWorkerId(1));
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let hdfs = HdfsCluster::new(1, 1, Metrics::new()).unwrap();
+        let catalog = Arc::new(RwLock::new(Catalog::new()));
+        assert!(JenCoordinator::new(catalog, Arc::new(RwLock::new(hdfs)), 0).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! JEN — the join execution engine on HDFS (paper §4).
+//!
+//! JEN is the paper's purpose-built HQP: "a single coordinator and a number
+//! of workers, with each worker running on an HDFS DataNode", multi-threaded
+//! and pipelined, borrowing parallel-database runtime techniques. This crate
+//! reproduces the engine:
+//!
+//! * [`coordinator::JenCoordinator`] — worker registry, HCatalog lookup,
+//!   locality-aware balanced block assignment, and the worker-grouping used
+//!   when DB workers pull HDFS data in parallel (Fig. 5: `n` JEN workers are
+//!   divided into `m` groups, one per DB worker);
+//! * [`worker::JenWorker`] — scan-based processing over HDFS blocks: decode
+//!   (with projection pushdown and columnar chunk skipping), local
+//!   predicates, database Bloom filter application, and join-key collection
+//!   for `BF_H`, all metered;
+//! * [`pipeline`] — the Fig. 7 structure: a dedicated read thread pulls raw
+//!   blocks off (simulated) disks while the process thread parses, filters
+//!   and partitions — reading and processing genuinely overlap;
+//! * [`spill`] — the paper's stated future work ("we plan to support
+//!   spilling to disk"): a grace-hash fallback that partitions build and
+//!   probe sides to temporary files when the in-memory limit is exceeded.
+//!
+//! The cross-worker choreography (who shuffles what to whom, and when) is
+//! the subject of the paper's join algorithms and lives in `hybrid-core`;
+//! this crate supplies the per-worker machinery those algorithms drive.
+
+pub mod coordinator;
+pub mod local_join;
+pub mod pipeline;
+pub mod spill;
+pub mod worker;
+
+pub use coordinator::JenCoordinator;
+pub use local_join::LocalJoiner;
+pub use worker::{JenWorker, ScanSpec, ScanStats};

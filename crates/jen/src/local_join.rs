@@ -1,0 +1,154 @@
+//! The per-worker local join, with optional spilling.
+//!
+//! [`LocalJoiner`] is what a JEN worker uses for its repartition-based
+//! local join: an in-memory hash join by default (the paper's JEN), or a
+//! [`GraceHashJoiner`] when the engine is configured with a build-side
+//! memory budget — the paper's stated future work, reachable through
+//! `HybridSystem` configuration.
+
+use crate::spill::GraceHashJoiner;
+use hybrid_common::batch::Batch;
+use hybrid_common::error::Result;
+use hybrid_common::metrics::Metrics;
+use hybrid_common::ops::HashJoiner;
+use hybrid_common::schema::Schema;
+
+/// How many spill partitions the grace join fans out to.
+const SPILL_PARTITIONS: usize = 8;
+
+/// A local join that is in-memory when it fits and grace-hash otherwise.
+pub enum LocalJoiner {
+    InMemory(HashJoiner),
+    Grace(GraceHashJoiner),
+}
+
+impl LocalJoiner {
+    /// `memory_limit_rows = None` reproduces the paper's all-in-memory JEN;
+    /// `Some(limit)` enables spilling past `limit` buffered build rows.
+    pub fn new(
+        build_schema: Schema,
+        build_key: usize,
+        memory_limit_rows: Option<usize>,
+        metrics: Metrics,
+    ) -> Result<LocalJoiner> {
+        Ok(match memory_limit_rows {
+            None => LocalJoiner::InMemory(HashJoiner::new(build_schema, build_key)),
+            Some(limit) => LocalJoiner::Grace(GraceHashJoiner::new(
+                build_schema,
+                build_key,
+                limit,
+                SPILL_PARTITIONS,
+                metrics,
+            )?),
+        })
+    }
+
+    /// Add a build-side batch (shuffled HDFS data).
+    pub fn build(&mut self, batch: Batch) -> Result<()> {
+        match self {
+            LocalJoiner::InMemory(j) => j.build(batch),
+            LocalJoiner::Grace(g) => g.add_build(batch),
+        }
+    }
+
+    /// Probe with every batch and return the concatenated join output
+    /// (`build_row ++ probe_row`).
+    pub fn probe_all(
+        self,
+        probe_schema: &Schema,
+        probes: Vec<Batch>,
+        probe_key: usize,
+    ) -> Result<Batch> {
+        match self {
+            LocalJoiner::InMemory(j) => {
+                let outs: Vec<Batch> = probes
+                    .iter()
+                    .map(|p| j.probe(p, probe_key))
+                    .collect::<Result<_>>()?;
+                match outs.first() {
+                    Some(first) => Batch::concat(first.schema().clone(), &outs),
+                    None => {
+                        // no probe data at all: empty joined output
+                        let empty_probe = Batch::empty(probe_schema.clone());
+                        j.probe(&empty_probe, probe_key)
+                    }
+                }
+            }
+            LocalJoiner::Grace(mut g) => {
+                for p in probes {
+                    g.add_probe(p, probe_key)?;
+                }
+                g.finish()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_common::batch::Column;
+    use hybrid_common::datum::DataType;
+
+    fn build_schema() -> Schema {
+        Schema::from_pairs(&[("k", DataType::I32)])
+    }
+
+    fn probe_schema() -> Schema {
+        Schema::from_pairs(&[("k", DataType::I32), ("v", DataType::I64)])
+    }
+
+    fn batch_build(keys: &[i32]) -> Batch {
+        Batch::new(build_schema(), vec![Column::I32(keys.to_vec())]).unwrap()
+    }
+
+    fn batch_probe(keys: &[i32]) -> Batch {
+        Batch::new(
+            probe_schema(),
+            vec![
+                Column::I32(keys.to_vec()),
+                Column::I64(keys.iter().map(|&k| i64::from(k) * 10).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sorted_rows(b: &Batch) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = (0..b.num_rows())
+            .map(|r| b.row(r).iter().map(|d| d.to_string()).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn in_memory_and_grace_agree() {
+        let build: Vec<Batch> = (0..4).map(|i| batch_build(&[i, i + 10, i])).collect();
+        let probes: Vec<Batch> = (0..3).map(|i| batch_probe(&[i, 11, 99])).collect();
+
+        let mut mem = LocalJoiner::new(build_schema(), 0, None, Metrics::new()).unwrap();
+        for b in build.clone() {
+            mem.build(b).unwrap();
+        }
+        let mem_out = mem.probe_all(&probe_schema(), probes.clone(), 0).unwrap();
+
+        let m = Metrics::new();
+        let mut grace = LocalJoiner::new(build_schema(), 0, Some(2), m.clone()).unwrap();
+        for b in build {
+            grace.build(b).unwrap();
+        }
+        let grace_out = grace.probe_all(&probe_schema(), probes, 0).unwrap();
+
+        assert_eq!(sorted_rows(&mem_out), sorted_rows(&grace_out));
+        assert!(m.get("jen.spill.activations") > 0, "limit of 2 must spill");
+    }
+
+    #[test]
+    fn empty_probes_yield_empty_output_with_joined_schema() {
+        let mut j = LocalJoiner::new(build_schema(), 0, None, Metrics::new()).unwrap();
+        j.build(batch_build(&[1])).unwrap();
+        let out = j.probe_all(&probe_schema(), vec![], 0).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.schema().len(), 3);
+    }
+}

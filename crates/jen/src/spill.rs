@@ -1,0 +1,519 @@
+//! Grace hash join with spill-to-disk.
+//!
+//! The paper's JEN "requires that all data fit in memory for the local
+//! hash-based join on each worker. In the future, we plan to support
+//! spilling to disk to overcome this limitation" (§4.4). This module is
+//! that future work: when the build side exceeds a row budget, both sides
+//! are hash-partitioned into on-disk runs (encoded with the columnar
+//! format), and partitions are joined one at a time — classic grace hash
+//! join. Partitioning on the join key guarantees matching rows land in the
+//! same partition, so the result equals the in-memory join exactly.
+
+use hybrid_common::batch::Batch;
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::hash::hash_key_seeded;
+use hybrid_common::metrics::Metrics;
+use hybrid_common::ops::{partition_by_key, HashJoiner};
+use hybrid_common::schema::Schema;
+use hybrid_storage::columnar;
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Seed for the spill partitioning hash — distinct from both the agreed
+/// shuffle hash and the DB partitioning hash, so spill partitions are
+/// uncorrelated with how rows were routed to this worker.
+const SPILL_SEED: u64 = 0x5B11_1ED0_0000_0001;
+
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn spill_partition(key: i64, n: usize) -> usize {
+    (hash_key_seeded(key, SPILL_SEED) % n as u64) as usize
+}
+
+/// One side's on-disk runs: a file per partition of length-prefixed
+/// columnar-encoded batches.
+struct SpillSide {
+    schema: Schema,
+    key_col: usize,
+    files: Vec<PathBuf>,
+    rows: usize,
+}
+
+impl SpillSide {
+    fn create(schema: Schema, key_col: usize, dir: &Path, tag: &str, parts: usize) -> Result<SpillSide> {
+        let run = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let files = (0..parts)
+            .map(|p| dir.join(format!("hybrid-spill-{}-{run}-{tag}-{p}.col", std::process::id())))
+            .collect();
+        Ok(SpillSide { schema, key_col, files, rows: 0 })
+    }
+
+    fn append(&mut self, batch: &Batch, metrics: &Metrics) -> Result<()> {
+        let parts = partition_by_key(batch, self.key_col, self.files.len(), spill_partition)?;
+        for (path, part) in self.files.iter().zip(parts) {
+            if part.is_empty() {
+                continue;
+            }
+            let payload = columnar::encode(&part);
+            let mut f = File::options()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| HybridError::Storage(format!("spill open {path:?}: {e}")))?;
+            f.write_all(&(payload.len() as u32).to_le_bytes())
+                .and_then(|()| f.write_all(&payload))
+                .map_err(|e| HybridError::Storage(format!("spill write: {e}")))?;
+            metrics.add("jen.spill.bytes_written", (payload.len() + 4) as u64);
+        }
+        self.rows += batch.num_rows();
+        Ok(())
+    }
+
+    fn read_partition(&self, p: usize, metrics: &Metrics) -> Result<Vec<Batch>> {
+        let path = &self.files[p];
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)
+                    .map_err(|e| HybridError::Storage(format!("spill read: {e}")))?;
+            }
+            Err(_) => return Ok(Vec::new()), // partition never received rows
+        }
+        metrics.add("jen.spill.bytes_read", bytes.len() as u64);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            if pos + 4 > bytes.len() {
+                return Err(HybridError::Storage("spill run truncated".into()));
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            let chunk = bytes
+                .get(pos..pos + len)
+                .ok_or_else(|| HybridError::Storage("spill chunk truncated".into()))?;
+            pos += len;
+            let (batch, _) = columnar::decode(&self.schema, chunk, None)?;
+            out.push(batch);
+        }
+        Ok(out)
+    }
+
+    fn cleanup(&self) {
+        for f in &self.files {
+            let _ = fs::remove_file(f);
+        }
+    }
+}
+
+impl Drop for SpillSide {
+    fn drop(&mut self) {
+        self.cleanup();
+    }
+}
+
+/// A hash join that holds the build side in memory while it fits and
+/// gracefully degrades to partitioned on-disk runs when it does not.
+pub struct GraceHashJoiner {
+    build_schema: Schema,
+    build_key: usize,
+    max_in_memory_rows: usize,
+    num_partitions: usize,
+    spill_dir: PathBuf,
+    metrics: Metrics,
+    /// In-memory mode state (until the budget is blown).
+    mem_build: Vec<Batch>,
+    mem_rows: usize,
+    /// Spill mode state. The probe run is created lazily on the first
+    /// probe batch after spilling, so its schema is always the real one.
+    spilled_build: Option<SpillSide>,
+    spilled_probe: Option<SpillSide>,
+    probe_schema: Option<Schema>,
+    probe_key: Option<usize>,
+    /// Probe batches that arrive while still in memory mode are joined
+    /// immediately on [`GraceHashJoiner::finish`]; in spill mode they go to
+    /// disk. We therefore buffer probes until finish in memory mode.
+    mem_probe: Vec<Batch>,
+}
+
+impl GraceHashJoiner {
+    pub fn new(
+        build_schema: Schema,
+        build_key: usize,
+        max_in_memory_rows: usize,
+        num_partitions: usize,
+        metrics: Metrics,
+    ) -> Result<GraceHashJoiner> {
+        if num_partitions == 0 {
+            return Err(HybridError::config("grace join needs at least one partition"));
+        }
+        Ok(GraceHashJoiner {
+            build_schema,
+            build_key,
+            max_in_memory_rows,
+            num_partitions,
+            spill_dir: std::env::temp_dir(),
+            metrics,
+            mem_build: Vec::new(),
+            mem_rows: 0,
+            spilled_build: None,
+            spilled_probe: None,
+            probe_schema: None,
+            probe_key: None,
+            mem_probe: Vec::new(),
+        })
+    }
+
+    /// Whether the join has degraded to on-disk partitions.
+    pub fn is_spilled(&self) -> bool {
+        self.spilled_build.is_some()
+    }
+
+    /// Feed a build-side batch.
+    pub fn add_build(&mut self, batch: Batch) -> Result<()> {
+        if batch.schema() != &self.build_schema {
+            return Err(HybridError::SchemaMismatch("grace join build schema".into()));
+        }
+        if let Some(build) = &mut self.spilled_build {
+            return build.append(&batch, &self.metrics);
+        }
+        self.mem_rows += batch.num_rows();
+        self.mem_build.push(batch);
+        if self.mem_rows > self.max_in_memory_rows {
+            self.spill_now()?;
+        }
+        Ok(())
+    }
+
+    /// Feed a probe-side batch. The first probe batch fixes the probe schema
+    /// and key column.
+    pub fn add_probe(&mut self, batch: Batch, probe_key: usize) -> Result<()> {
+        match (&self.probe_schema, &self.probe_key) {
+            (None, _) => {
+                self.probe_schema = Some(batch.schema().clone());
+                self.probe_key = Some(probe_key);
+            }
+            (Some(s), Some(k)) => {
+                if s != batch.schema() || *k != probe_key {
+                    return Err(HybridError::SchemaMismatch(
+                        "grace join probe schema/key changed mid-stream".into(),
+                    ));
+                }
+            }
+            _ => unreachable!(),
+        }
+        if self.spilled_build.is_some() {
+            if self.spilled_probe.is_none() {
+                self.spilled_probe = Some(SpillSide::create(
+                    batch.schema().clone(),
+                    probe_key,
+                    &self.spill_dir,
+                    "probe",
+                    self.num_partitions,
+                )?);
+            }
+            self.spilled_probe
+                .as_mut()
+                .expect("just created")
+                .append(&batch, &self.metrics)
+        } else {
+            self.mem_probe.push(batch);
+            Ok(())
+        }
+    }
+
+    fn spill_now(&mut self) -> Result<()> {
+        let mut build_side = SpillSide::create(
+            self.build_schema.clone(),
+            self.build_key,
+            &self.spill_dir,
+            "build",
+            self.num_partitions,
+        )?;
+        for b in self.mem_build.drain(..) {
+            build_side.append(&b, &self.metrics)?;
+        }
+        // Probe batches buffered in memory mode move to disk too; the
+        // probe run is created here only if its schema is already known.
+        if let (Some(schema), Some(key)) = (self.probe_schema.clone(), self.probe_key) {
+            let mut probe_side = SpillSide::create(
+                schema,
+                key,
+                &self.spill_dir,
+                "probe",
+                self.num_partitions,
+            )?;
+            for b in self.mem_probe.drain(..) {
+                probe_side.append(&b, &self.metrics)?;
+            }
+            self.spilled_probe = Some(probe_side);
+        }
+        self.metrics.incr("jen.spill.activations");
+        self.spilled_build = Some(build_side);
+        self.mem_rows = 0;
+        Ok(())
+    }
+
+    /// Run the join and return the concatenated output
+    /// (`build_row ++ probe_row`, like [`HashJoiner::probe`]).
+    pub fn finish(self) -> Result<Batch> {
+        let probe_key = match self.probe_key {
+            Some(k) => k,
+            None => {
+                // no probe data at all: empty output with the joined schema
+                let probe_schema = self
+                    .probe_schema
+                    .unwrap_or_else(|| self.build_schema.clone());
+                return Ok(Batch::empty(self.build_schema.join(&probe_schema)));
+            }
+        };
+        match self.spilled_build {
+            None => {
+                let mut joiner = HashJoiner::new(self.build_schema.clone(), self.build_key);
+                for b in self.mem_build {
+                    joiner.build(b)?;
+                }
+                let probe_schema = self.probe_schema.expect("probe_key implies schema");
+                let outs: Vec<Batch> = self
+                    .mem_probe
+                    .iter()
+                    .map(|p| joiner.probe(p, probe_key))
+                    .collect::<Result<_>>()?;
+                Batch::concat(self.build_schema.join(&probe_schema), &outs)
+            }
+            Some(build_side) => {
+                let probe_schema = self.probe_schema.expect("probe_key implies schema");
+                let out_schema = self.build_schema.join(&probe_schema);
+                let mut outs: Vec<Batch> = Vec::new();
+                if let Some(probe_side) = &self.spilled_probe {
+                    for p in 0..self.num_partitions {
+                        let build_batches = build_side.read_partition(p, &self.metrics)?;
+                        if build_batches.is_empty() {
+                            continue;
+                        }
+                        let mut joiner =
+                            HashJoiner::new(self.build_schema.clone(), self.build_key);
+                        for b in build_batches {
+                            joiner.build(b)?;
+                        }
+                        for pb in probe_side.read_partition(p, &self.metrics)? {
+                            outs.push(joiner.probe(&pb, probe_key)?);
+                        }
+                    }
+                }
+                Batch::concat(out_schema, &outs)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_common::batch::Column;
+    use hybrid_common::datum::DataType;
+
+    fn build_schema() -> Schema {
+        Schema::from_pairs(&[("k", DataType::I32), ("v", DataType::I64)])
+    }
+
+    fn probe_schema() -> Schema {
+        Schema::from_pairs(&[("k", DataType::I32), ("s", DataType::Utf8)])
+    }
+
+    fn build_batch(range: std::ops::Range<i32>) -> Batch {
+        Batch::new(
+            build_schema(),
+            vec![
+                Column::I32(range.clone().collect()),
+                Column::I64(range.map(i64::from).map(|v| v * 10).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn probe_batch(keys: &[i32]) -> Batch {
+        Batch::new(
+            probe_schema(),
+            vec![
+                Column::I32(keys.to_vec()),
+                Column::Utf8(keys.iter().map(|k| format!("p{k}")).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn reference_join(build: &Batch, probe: &Batch) -> Batch {
+        let mut j = HashJoiner::new(build.schema().clone(), 0);
+        j.build(build.clone()).unwrap();
+        j.probe(probe, 0).unwrap()
+    }
+
+    fn sorted_rows(b: &Batch) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = (0..b.num_rows())
+            .map(|r| b.row(r).iter().map(|d| d.to_string()).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn in_memory_path_matches_reference() {
+        let m = Metrics::new();
+        let mut g = GraceHashJoiner::new(build_schema(), 0, 1000, 4, m.clone()).unwrap();
+        g.add_build(build_batch(0..50)).unwrap();
+        g.add_probe(probe_batch(&[1, 2, 99, 2]), 0).unwrap();
+        assert!(!g.is_spilled());
+        let out = g.finish().unwrap();
+        let expected = reference_join(&build_batch(0..50), &probe_batch(&[1, 2, 99, 2]));
+        assert_eq!(sorted_rows(&out), sorted_rows(&expected));
+        assert_eq!(m.get("jen.spill.activations"), 0);
+    }
+
+    #[test]
+    fn spilled_path_matches_in_memory() {
+        let m = Metrics::new();
+        let mut g = GraceHashJoiner::new(build_schema(), 0, 64, 4, m.clone()).unwrap();
+        // probe arrives early (buffered), then the build blows the budget
+        g.add_probe(probe_batch(&(0..300).map(|i| i % 120).collect::<Vec<_>>()), 0)
+            .unwrap();
+        for chunk in 0..5 {
+            g.add_build(build_batch(chunk * 40..(chunk + 1) * 40)).unwrap();
+        }
+        assert!(g.is_spilled());
+        // more probes after the spill go straight to disk
+        g.add_probe(probe_batch(&[5, 199, 250]), 0).unwrap();
+        let out = g.finish().unwrap();
+
+        let all_build = build_batch(0..200);
+        let mut probe_keys: Vec<i32> = (0..300).map(|i| i % 120).collect();
+        probe_keys.extend([5, 199, 250]);
+        let expected = reference_join(&all_build, &probe_batch(&probe_keys));
+        assert_eq!(sorted_rows(&out), sorted_rows(&expected));
+        assert_eq!(m.get("jen.spill.activations"), 1);
+        assert!(m.get("jen.spill.bytes_written") > 0);
+        assert!(m.get("jen.spill.bytes_read") > 0);
+    }
+
+    #[test]
+    fn no_probe_data_yields_empty_joined_schema() {
+        let m = Metrics::new();
+        let mut g = GraceHashJoiner::new(build_schema(), 0, 10, 2, m).unwrap();
+        g.add_build(build_batch(0..5)).unwrap();
+        let out = g.finish().unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.schema().len(), 4);
+    }
+
+    #[test]
+    fn probe_schema_change_rejected() {
+        let m = Metrics::new();
+        let mut g = GraceHashJoiner::new(build_schema(), 0, 10, 2, m).unwrap();
+        g.add_probe(probe_batch(&[1]), 0).unwrap();
+        assert!(g.add_probe(build_batch(0..1), 0).is_err());
+        assert!(g.add_probe(probe_batch(&[1]), 1).is_err());
+    }
+
+    #[test]
+    fn build_schema_mismatch_rejected() {
+        let m = Metrics::new();
+        let mut g = GraceHashJoiner::new(build_schema(), 0, 10, 2, m).unwrap();
+        assert!(g.add_build(probe_batch(&[1])).is_err());
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        assert!(GraceHashJoiner::new(build_schema(), 0, 10, 0, Metrics::new()).is_err());
+    }
+
+    #[test]
+    fn spill_files_cleaned_up() {
+        let m = Metrics::new();
+        let dir = std::env::temp_dir();
+        let before = count_spill_files(&dir);
+        {
+            let mut g = GraceHashJoiner::new(build_schema(), 0, 8, 4, m).unwrap();
+            for chunk in 0..4 {
+                g.add_build(build_batch(chunk * 10..(chunk + 1) * 10)).unwrap();
+            }
+            g.add_probe(probe_batch(&[1, 2]), 0).unwrap();
+            assert!(g.is_spilled());
+            let _ = g.finish().unwrap();
+        }
+        assert_eq!(count_spill_files(&dir), before);
+    }
+
+    fn count_spill_files(dir: &std::path::Path) -> usize {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with(&format!("hybrid-spill-{}", std::process::id()))
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use hybrid_common::batch::Column;
+    use hybrid_common::datum::DataType;
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("k", DataType::I32), ("v", DataType::I64)])
+    }
+
+    fn batch(rows: &[(i32, i64)]) -> Batch {
+        Batch::new(
+            schema(),
+            vec![
+                Column::I32(rows.iter().map(|r| r.0).collect()),
+                Column::I64(rows.iter().map(|r| r.1).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sorted_rows(b: &Batch) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = (0..b.num_rows())
+            .map(|r| b.row(r).iter().map(|d| d.to_string()).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The grace (spilled) join equals the in-memory join for arbitrary
+        /// build/probe streams, memory budgets, and partition counts.
+        #[test]
+        fn grace_equals_in_memory(
+            build in proptest::collection::vec((0i32..15, any::<i64>()), 0..60),
+            probe in proptest::collection::vec((0i32..15, any::<i64>()), 0..60),
+            limit in 1usize..30,
+            parts in 1usize..6,
+        ) {
+            let mut mem = HashJoiner::new(schema(), 0);
+            mem.build(batch(&build)).unwrap();
+            let expected = mem.probe(&batch(&probe), 0).unwrap();
+
+            let mut grace =
+                GraceHashJoiner::new(schema(), 0, limit, parts, Metrics::new()).unwrap();
+            // feed in small chunks to exercise incremental appends
+            for chunk in build.chunks(7) {
+                grace.add_build(batch(chunk)).unwrap();
+            }
+            for chunk in probe.chunks(5) {
+                grace.add_probe(batch(chunk), 0).unwrap();
+            }
+            let got = grace.finish().unwrap();
+            prop_assert_eq!(sorted_rows(&got), sorted_rows(&expected));
+        }
+    }
+}

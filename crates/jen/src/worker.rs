@@ -1,0 +1,368 @@
+//! A JEN worker: scan-based processing of its assigned HDFS blocks.
+
+use hybrid_bloom::{filter_batch, ApproxMembership, BloomFilter};
+use hybrid_common::batch::Batch;
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::expr::Expr;
+use hybrid_common::ids::{BlockId, DataNodeId, JenWorkerId};
+use hybrid_common::metrics::Metrics;
+use hybrid_hdfs::{HdfsCluster, TableMeta};
+use hybrid_storage::{columnar, decode, FileFormat};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// What one scan should do to every block (paper step: "scan HDFS table,
+/// apply local predicates, projection and `BF_DB`").
+#[derive(Debug, Clone)]
+pub struct ScanSpec {
+    /// Local predicate over the table's base schema.
+    pub pred: Expr,
+    /// Output columns (base-schema indexes).
+    pub proj: Vec<usize>,
+    /// Join-key column (base-schema index) a Bloom filter applies to, if any.
+    pub bloom_key: Option<usize>,
+}
+
+impl ScanSpec {
+    /// Columns that must be materialized from storage: predicate inputs,
+    /// outputs, and the Bloom-filter key.
+    fn read_cols(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self
+            .pred
+            .referenced_columns()
+            .into_iter()
+            .chain(self.proj.iter().copied())
+            .chain(self.bloom_key)
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+}
+
+/// Counters from one worker's scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    pub blocks_read: usize,
+    pub blocks_skipped: usize,
+    pub bytes_read: usize,
+    pub rows_raw: usize,
+    pub rows_after_pred: usize,
+    pub rows_after_bloom: usize,
+}
+
+/// A JEN worker, co-located with DataNode `id` (one worker per DataNode).
+pub struct JenWorker {
+    id: JenWorkerId,
+    hdfs: Arc<RwLock<HdfsCluster>>,
+    metrics: Metrics,
+}
+
+impl JenWorker {
+    pub fn new(id: JenWorkerId, hdfs: Arc<RwLock<HdfsCluster>>, metrics: Metrics) -> JenWorker {
+        JenWorker { id, hdfs, metrics }
+    }
+
+    pub fn id(&self) -> JenWorkerId {
+        self.id
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The DataNode this worker is co-located with.
+    pub fn datanode(&self) -> DataNodeId {
+        DataNodeId(self.id.index())
+    }
+
+    /// Scan `blocks` of `table`, applying the spec and an optional database
+    /// Bloom filter. Returns the filtered, projected rows of this worker's
+    /// share plus the scan statistics.
+    ///
+    /// Per block: (columnar only) skip via chunk min/max when a `col <= b`
+    /// predicate excludes it; otherwise decode the needed columns (text
+    /// parses everything), evaluate the predicate, apply `BF_DB`, project.
+    pub fn scan_blocks(
+        &self,
+        table: &TableMeta,
+        blocks: &[BlockId],
+        spec: &ScanSpec,
+        bloom: Option<&BloomFilter>,
+    ) -> Result<(Batch, ScanStats)> {
+        let read_cols = spec.read_cols();
+        let out_schema = table.schema.project(&spec.proj)?;
+        let mut stats = ScanStats::default();
+        let mut parts: Vec<Batch> = Vec::with_capacity(blocks.len());
+        for &block in blocks {
+            let bytes = self.hdfs.read().read_block(block, self.datanode())?;
+            match self.process_block(table, &bytes, &read_cols, spec, bloom, &mut stats)? {
+                Some(batch) => parts.push(batch),
+                None => continue,
+            }
+        }
+        self.report(&stats);
+        let out = Batch::concat(out_schema, &parts)?;
+        Ok((out, stats))
+    }
+
+    /// Decode + filter + Bloom + project one raw block. `None` means the
+    /// block was skipped entirely via columnar statistics.
+    pub(crate) fn process_block(
+        &self,
+        table: &TableMeta,
+        bytes: &[u8],
+        read_cols: &[usize],
+        spec: &ScanSpec,
+        bloom: Option<&BloomFilter>,
+        stats: &mut ScanStats,
+    ) -> Result<Option<Batch>> {
+        if table.format == FileFormat::Columnar {
+            // chunk skipping: any `col <= bound` conjunct whose chunk min
+            // exceeds the bound kills the whole block
+            for (col, bound) in spec.pred.le_conjuncts() {
+                if let Some(cs) = columnar::column_stats(&table.schema, bytes, col)? {
+                    if cs.min > bound {
+                        stats.blocks_skipped += 1;
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        let decoded = decode(table.format, &table.schema, bytes, Some(read_cols))?;
+        stats.blocks_read += 1;
+        stats.bytes_read += decoded.bytes_read;
+        stats.rows_raw += decoded.batch.num_rows();
+
+        // positions of base columns within the read set
+        let pos = |base: usize| read_cols.iter().position(|&c| c == base);
+        let pred = spec
+            .pred
+            .remap_columns(&|c| pos(c))
+            .ok_or_else(|| HybridError::exec("scan read set misses a predicate column"))?;
+        let mask = pred.eval_predicate(&decoded.batch)?;
+        let mut batch = decoded.batch.filter(&mask)?;
+        stats.rows_after_pred += batch.num_rows();
+
+        if let (Some(key), Some(bf)) = (spec.bloom_key, bloom) {
+            let key_pos = pos(key)
+                .ok_or_else(|| HybridError::exec("scan read set misses the bloom key"))?;
+            let (filtered, _) = filter_batch(&batch, key_pos, bf)?;
+            batch = filtered;
+        }
+        stats.rows_after_bloom += batch.num_rows();
+
+        let proj_pos: Vec<usize> = spec
+            .proj
+            .iter()
+            .map(|&c| pos(c).expect("projection is part of the read set"))
+            .collect();
+        Ok(Some(batch.project(&proj_pos)?))
+    }
+
+    fn report(&self, stats: &ScanStats) {
+        let m = &self.metrics;
+        m.add("jen.scan.blocks_read", stats.blocks_read as u64);
+        m.add("jen.scan.blocks_skipped", stats.blocks_skipped as u64);
+        m.add("jen.scan.bytes_read", stats.bytes_read as u64);
+        m.add("jen.scan.rows_raw", stats.rows_raw as u64);
+        m.add("jen.scan.rows_after_pred", stats.rows_after_pred as u64);
+        m.add("jen.scan.rows_after_bloom", stats.rows_after_bloom as u64);
+    }
+
+    pub(crate) fn hdfs(&self) -> &Arc<RwLock<HdfsCluster>> {
+        &self.hdfs
+    }
+
+    /// Collect the distinct-ish join keys of a filtered batch into a Bloom
+    /// filter (zigzag step 3b: "compute `BF_H`"). `key_col` indexes into
+    /// `batch` (the already-projected output of [`JenWorker::scan_blocks`]).
+    pub fn build_bloom_from(
+        &self,
+        batch: &Batch,
+        key_col: usize,
+        mut filter: BloomFilter,
+    ) -> Result<BloomFilter> {
+        let keys = batch.column(key_col)?;
+        for row in 0..batch.num_rows() {
+            filter.insert(keys.key_at(row)?);
+        }
+        self.metrics
+            .add("jen.bloom.keys_inserted", batch.num_rows() as u64);
+        Ok(filter)
+    }
+}
+
+/// `true` when a bloom filter would accept the key — exposed for tests.
+pub fn bloom_accepts(bf: &BloomFilter, key: i64) -> bool {
+    bf.may_contain(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_bloom::BloomParams;
+    use hybrid_common::schema::Schema;
+    use hybrid_common::batch::Column;
+    use hybrid_common::datum::DataType;
+    use hybrid_storage::encode;
+
+    fn l_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("joinKey", DataType::I32),
+            ("corPred", DataType::I32),
+            ("indPred", DataType::I32),
+            ("url", DataType::Utf8),
+        ])
+    }
+
+    fn l_block(key_lo: i32, n: i32) -> Batch {
+        Batch::new(
+            l_schema(),
+            vec![
+                Column::I32((key_lo..key_lo + n).collect()),
+                Column::I32((key_lo..key_lo + n).collect()), // corPred == joinKey
+                Column::I32((0..n).map(|i| i % 4).collect()),
+                Column::Utf8((0..n).map(|i| format!("url_{i}/x")).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn setup(format: FileFormat) -> (JenWorker, TableMeta, Vec<BlockId>, Metrics) {
+        let metrics = Metrics::new();
+        let mut hdfs = HdfsCluster::new(2, 1, metrics.clone()).unwrap();
+        let blocks: Vec<Vec<u8>> = (0..4)
+            .map(|i| encode(format, &l_block(i * 100, 100)))
+            .collect();
+        hdfs.write_file("/w/L", blocks).unwrap();
+        let ids: Vec<BlockId> = hdfs
+            .file_blocks("/w/L")
+            .unwrap()
+            .iter()
+            .map(|b| b.id)
+            .collect();
+        let meta = TableMeta {
+            name: "L".into(),
+            path: "/w/L".into(),
+            format,
+            schema: l_schema(),
+        };
+        let worker = JenWorker::new(
+            JenWorkerId(0),
+            Arc::new(RwLock::new(hdfs)),
+            metrics.clone(),
+        );
+        (worker, meta, ids, metrics)
+    }
+
+    fn spec() -> ScanSpec {
+        ScanSpec {
+            pred: Expr::col_le(1, 149).and(Expr::col_le(2, 1)), // corPred<=149, indPred<=1
+            proj: vec![0, 3],
+            bloom_key: Some(0),
+        }
+    }
+
+    #[test]
+    fn scan_filters_and_projects_text() {
+        let (w, meta, ids, _) = setup(FileFormat::Text);
+        let (out, stats) = w.scan_blocks(&meta, &ids, &spec(), None).unwrap();
+        // corPred <= 149: blocks 0 (100 rows) and half of block 1, then
+        // indPred <= 1 halves again
+        assert_eq!(stats.rows_raw, 400);
+        assert_eq!(stats.rows_after_pred, 75+1);
+        assert_eq!(out.num_rows(), 76);
+        assert_eq!(out.schema().len(), 2);
+        assert_eq!(out.schema().field(1).unwrap().name, "url");
+        assert_eq!(stats.blocks_skipped, 0);
+    }
+
+    #[test]
+    fn columnar_skips_blocks_via_stats() {
+        let (w, meta, ids, _) = setup(FileFormat::Columnar);
+        let (out, stats) = w.scan_blocks(&meta, &ids, &spec(), None).unwrap();
+        // blocks 2 and 3 have corPred min 200/300 > 149: skipped outright
+        assert_eq!(stats.blocks_skipped, 2);
+        assert_eq!(stats.blocks_read, 2);
+        assert_eq!(stats.rows_raw, 200);
+        assert_eq!(out.num_rows(), 76);
+    }
+
+    #[test]
+    fn columnar_reads_fewer_bytes_than_text() {
+        let (wt, mt, idst, _) = setup(FileFormat::Text);
+        let (wc, mc, idsc, _) = setup(FileFormat::Columnar);
+        let (_, st) = wt.scan_blocks(&mt, &idst, &spec(), None).unwrap();
+        let (_, sc) = wc.scan_blocks(&mc, &idsc, &spec(), None).unwrap();
+        assert!(
+            sc.bytes_read * 2 < st.bytes_read,
+            "columnar {} vs text {}",
+            sc.bytes_read,
+            st.bytes_read
+        );
+    }
+
+    #[test]
+    fn bloom_filter_prunes_rows() {
+        let (w, meta, ids, _) = setup(FileFormat::Columnar);
+        let mut bf = BloomFilter::new(BloomParams::new(1 << 14, 2).unwrap());
+        // only keys 0..10 may join
+        for k in 0..10 {
+            bf.insert(k);
+        }
+        let (out, stats) = w.scan_blocks(&meta, &ids, &spec(), Some(&bf)).unwrap();
+        assert!(stats.rows_after_bloom < stats.rows_after_pred);
+        // all surviving keys are in the filter (no false negatives ever)
+        let keys = out.column(0).unwrap().as_i32().unwrap();
+        for &k in keys {
+            assert!(bloom_accepts(&bf, i64::from(k)));
+        }
+        // true members with indPred<=1 pass: keys 0..10 with indPred<=1 → 5 rows minimum
+        assert!(stats.rows_after_bloom >= 5);
+    }
+
+    #[test]
+    fn metrics_reported() {
+        let (w, meta, ids, m) = setup(FileFormat::Columnar);
+        w.scan_blocks(&meta, &ids, &spec(), None).unwrap();
+        assert_eq!(m.get("jen.scan.blocks_skipped"), 2);
+        assert!(m.get("jen.scan.bytes_read") > 0);
+        assert_eq!(m.get("jen.scan.rows_after_pred"), 76);
+    }
+
+    #[test]
+    fn build_bloom_from_covers_batch_keys() {
+        let (w, meta, ids, m) = setup(FileFormat::Columnar);
+        let (out, _) = w.scan_blocks(&meta, &ids, &spec(), None).unwrap();
+        let bf = w
+            .build_bloom_from(&out, 0, BloomFilter::new(BloomParams::new(1 << 14, 2).unwrap()))
+            .unwrap();
+        let keys = out.column(0).unwrap().as_i32().unwrap();
+        for &k in keys {
+            assert!(bf.may_contain(i64::from(k)));
+        }
+        assert_eq!(m.get("jen.bloom.keys_inserted"), out.num_rows() as u64);
+    }
+
+    #[test]
+    fn projection_only_scan_without_bloom_key() {
+        let (w, meta, ids, _) = setup(FileFormat::Columnar);
+        let s = ScanSpec {
+            pred: Expr::col_le(1, 99),
+            proj: vec![3],
+            bloom_key: None,
+        };
+        let (out, _) = w.scan_blocks(&meta, &ids, &s, None).unwrap();
+        assert_eq!(out.num_rows(), 100);
+        assert_eq!(out.schema().len(), 1);
+    }
+
+    #[test]
+    fn empty_block_list_gives_empty_batch() {
+        let (w, meta, _, _) = setup(FileFormat::Text);
+        let (out, stats) = w.scan_blocks(&meta, &[], &spec(), None).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(stats.blocks_read, 0);
+    }
+}

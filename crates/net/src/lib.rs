@@ -1,0 +1,442 @@
+//! The instrumented communication fabric between DB2 workers and JEN
+//! workers.
+//!
+//! The paper's implementation connects every pair of cooperating workers
+//! with TCP/IP sockets (§4.1) and its conclusions hinge on *how many bytes
+//! cross which link*: the 1 GbE intra-HDFS network, the DB's internal
+//! interconnect, and the 20 Gbit inter-cluster switch. This crate provides
+//! the simulated equivalent:
+//!
+//! * [`Endpoint`] — addresses for DB workers, JEN workers, and the JEN
+//!   coordinator;
+//! * [`LinkClass`] — the three link categories ([`LinkClass::IntraDb`],
+//!   [`LinkClass::IntraHdfs`], [`LinkClass::Cross`]), derived from the two
+//!   endpoints of a transfer;
+//! * [`Fabric`] — per-endpoint inboxes over crossbeam channels. Every
+//!   [`Fabric::send`] meters bytes, messages and tuples on its link class
+//!   (plus direction for cross-cluster traffic), feeding both Table 1 and
+//!   the cost model;
+//! * failure injection: [`Fabric::disconnect`] makes an endpoint
+//!   unreachable, letting tests verify clean error propagation when a JEN
+//!   worker dies mid-shuffle.
+//!
+//! Message payloads are generic: anything implementing [`Wire`] (a byte/tuple
+//! size report) can travel, so the engines define their own message enums
+//! without this crate depending on them.
+
+pub mod message;
+
+pub use message::{Message, StreamTag};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::ids::{DbWorkerId, JenWorkerId};
+use hybrid_common::metrics::Metrics;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An addressable party on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// A shared-nothing database worker (DB2 DPF agent).
+    Db(DbWorkerId),
+    /// A JEN worker (one per HDFS DataNode).
+    Jen(JenWorkerId),
+    /// The JEN coordinator (runs on the NameNode in the paper's setup).
+    JenCoordinator,
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Db(w) => write!(f, "{w}"),
+            Endpoint::Jen(w) => write!(f, "{w}"),
+            Endpoint::JenCoordinator => write!(f, "jen-coordinator"),
+        }
+    }
+}
+
+/// Which physical network a transfer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Between DB workers (the warehouse's internal interconnect).
+    IntraDb,
+    /// Between JEN workers / coordinator (the HDFS cluster's 1 GbE).
+    IntraHdfs,
+    /// Across the inter-cluster switch (20 Gbit in the paper).
+    Cross,
+}
+
+impl LinkClass {
+    /// Classify a transfer by its endpoints. Coordinator traffic inside the
+    /// HDFS cluster is intra-HDFS; DB ↔ anything-on-HDFS is cross-cluster.
+    pub fn classify(from: Endpoint, to: Endpoint) -> LinkClass {
+        use Endpoint::*;
+        match (from, to) {
+            (Db(_), Db(_)) => LinkClass::IntraDb,
+            (Jen(_) | JenCoordinator, Jen(_) | JenCoordinator) => LinkClass::IntraHdfs,
+            _ => LinkClass::Cross,
+        }
+    }
+
+    /// Metric-name prefix for this class.
+    pub fn metric_prefix(self) -> &'static str {
+        match self {
+            LinkClass::IntraDb => "net.intra_db",
+            LinkClass::IntraHdfs => "net.intra_hdfs",
+            LinkClass::Cross => "net.cross",
+        }
+    }
+}
+
+/// Anything that can be shipped over the fabric.
+///
+/// `wire_bytes` should reflect a realistic serialized size (the engines use
+/// `Batch::serialized_bytes` and `BloomFilter::wire_bytes`); `wire_tuples`
+/// is the row count for data payloads, 0 for control messages. These feed
+/// the metrics that reproduce Table 1.
+pub trait Wire: Send + 'static {
+    fn wire_bytes(&self) -> usize;
+    fn wire_tuples(&self) -> u64 {
+        0
+    }
+    /// Short label of the logical stream this message belongs to, used to
+    /// break metrics down per stream (e.g. Table 1 counts only the
+    /// `hdfs_shuffle` stream, not partial-aggregate traffic).
+    fn wire_stream_label(&self) -> Option<&'static str> {
+        None
+    }
+}
+
+/// An incoming message with its sender.
+#[derive(Debug, Clone)]
+pub struct Delivery<M> {
+    pub from: Endpoint,
+    pub msg: M,
+}
+
+/// An endpoint's inbox: the producing and consuming halves of its channel.
+type Inbox<M> = (Sender<Delivery<M>>, Receiver<Delivery<M>>);
+
+struct Inner<M> {
+    inboxes: HashMap<Endpoint, Inbox<M>>,
+    disconnected: Mutex<HashSet<Endpoint>>,
+    metrics: Metrics,
+}
+
+/// The fabric: a metered, all-to-all message network.
+///
+/// Cloning is cheap (an `Arc`); one clone is handed to each worker thread.
+pub struct Fabric<M> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M> Clone for Fabric<M> {
+    fn clone(&self) -> Self {
+        Fabric { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<M: Wire> Fabric<M> {
+    /// Build a fabric with inboxes for `num_db` DB workers, `num_jen` JEN
+    /// workers, and the JEN coordinator.
+    pub fn new(num_db: usize, num_jen: usize, metrics: Metrics) -> Fabric<M> {
+        let mut inboxes = HashMap::with_capacity(num_db + num_jen + 1);
+        for i in 0..num_db {
+            inboxes.insert(Endpoint::Db(DbWorkerId(i)), unbounded());
+        }
+        for i in 0..num_jen {
+            inboxes.insert(Endpoint::Jen(JenWorkerId(i)), unbounded());
+        }
+        inboxes.insert(Endpoint::JenCoordinator, unbounded());
+        Fabric {
+            inner: Arc::new(Inner {
+                inboxes,
+                disconnected: Mutex::new(HashSet::new()),
+                metrics,
+            }),
+        }
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Send `msg` from `from` to `to`, metering it on the appropriate link.
+    pub fn send(&self, from: Endpoint, to: Endpoint, msg: M) -> Result<()> {
+        if self.inner.disconnected.lock().contains(&to) {
+            return Err(HybridError::Net(format!("{to} is disconnected")));
+        }
+        let (tx, _) = self
+            .inner
+            .inboxes
+            .get(&to)
+            .ok_or_else(|| HybridError::Net(format!("unknown endpoint {to}")))?;
+        let class = LinkClass::classify(from, to);
+        let prefix = class.metric_prefix();
+        let bytes = msg.wire_bytes() as u64;
+        let tuples = msg.wire_tuples();
+        let m = &self.inner.metrics;
+        m.add(&format!("{prefix}.bytes"), bytes);
+        m.add(&format!("{prefix}.msgs"), 1);
+        if tuples > 0 {
+            m.add(&format!("{prefix}.tuples"), tuples);
+        }
+        if let Some(label) = msg.wire_stream_label() {
+            m.add(&format!("{prefix}.stream.{label}.bytes"), bytes);
+            if tuples > 0 {
+                m.add(&format!("{prefix}.stream.{label}.tuples"), tuples);
+            }
+        }
+        if class == LinkClass::Cross {
+            // Direction matters across the switch: "DB tuples sent" in
+            // Table 1 is exactly the db_to_jen tuple counter.
+            let dir = match from {
+                Endpoint::Db(_) => "db_to_jen",
+                _ => "jen_to_db",
+            };
+            m.add(&format!("{prefix}.{dir}.bytes"), bytes);
+            if tuples > 0 {
+                m.add(&format!("{prefix}.{dir}.tuples"), tuples);
+            }
+        }
+        tx.send(Delivery { from, msg })
+            .map_err(|_| HybridError::Net(format!("{to} inbox closed")))
+    }
+
+    /// Send clones of `msg` to every endpoint in `tos` (broadcast /
+    /// multicast — each clone is metered on its own link).
+    pub fn send_all(&self, from: Endpoint, tos: &[Endpoint], msg: &M) -> Result<()>
+    where
+        M: Clone,
+    {
+        for &to in tos {
+            self.send(from, to, msg.clone())?;
+        }
+        Ok(())
+    }
+
+    /// The receiving half of `endpoint`'s inbox.
+    pub fn receiver(&self, endpoint: Endpoint) -> Result<Receiver<Delivery<M>>> {
+        self.inner
+            .inboxes
+            .get(&endpoint)
+            .map(|(_, rx)| rx.clone())
+            .ok_or_else(|| HybridError::Net(format!("unknown endpoint {endpoint}")))
+    }
+
+    /// Blocking receive with a deadline — the engines use this instead of a
+    /// bare `recv()` so a lost peer surfaces as an error, not a hang.
+    pub fn recv_timeout(
+        &self,
+        endpoint: Endpoint,
+        timeout: Duration,
+    ) -> Result<Delivery<M>> {
+        let rx = self.receiver(endpoint)?;
+        rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => {
+                HybridError::Net(format!("{endpoint} timed out waiting for a message"))
+            }
+            RecvTimeoutError::Disconnected => {
+                HybridError::Net(format!("{endpoint} inbox closed"))
+            }
+        })
+    }
+
+    /// Drop every undelivered message in every inbox. Queries run over
+    /// fresh connections in the paper's implementation; the algorithm
+    /// runner purges before each run so a previously *failed* run's
+    /// in-flight messages can never leak into the next query's streams.
+    pub fn purge(&self) {
+        for (_, rx) in self.inner.inboxes.values() {
+            while rx.try_recv().is_ok() {}
+        }
+    }
+
+    /// Failure injection: future sends to `endpoint` fail.
+    pub fn disconnect(&self, endpoint: Endpoint) {
+        self.inner.disconnected.lock().insert(endpoint);
+    }
+
+    /// Undo [`Fabric::disconnect`].
+    pub fn reconnect(&self, endpoint: Endpoint) {
+        self.inner.disconnected.lock().remove(&endpoint);
+    }
+
+    /// All JEN worker endpoints of this fabric, in id order.
+    pub fn jen_endpoints(&self) -> Vec<Endpoint> {
+        let mut v: Vec<Endpoint> = self
+            .inner
+            .inboxes
+            .keys()
+            .filter(|e| matches!(e, Endpoint::Jen(_)))
+            .copied()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// All DB worker endpoints of this fabric, in id order.
+    pub fn db_endpoints(&self) -> Vec<Endpoint> {
+        let mut v: Vec<Endpoint> = self
+            .inner
+            .inboxes
+            .keys()
+            .filter(|e| matches!(e, Endpoint::Db(_)))
+            .copied()
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Msg {
+        bytes: usize,
+        tuples: u64,
+    }
+
+    impl Wire for Msg {
+        fn wire_bytes(&self) -> usize {
+            self.bytes
+        }
+        fn wire_tuples(&self) -> u64 {
+            self.tuples
+        }
+    }
+
+    fn fabric() -> Fabric<Msg> {
+        Fabric::new(2, 3, Metrics::new())
+    }
+
+    #[test]
+    fn classify_links() {
+        use Endpoint::*;
+        let db0 = Db(DbWorkerId(0));
+        let db1 = Db(DbWorkerId(1));
+        let j0 = Jen(JenWorkerId(0));
+        let j1 = Jen(JenWorkerId(1));
+        assert_eq!(LinkClass::classify(db0, db1), LinkClass::IntraDb);
+        assert_eq!(LinkClass::classify(j0, j1), LinkClass::IntraHdfs);
+        assert_eq!(LinkClass::classify(j0, JenCoordinator), LinkClass::IntraHdfs);
+        assert_eq!(LinkClass::classify(db0, j0), LinkClass::Cross);
+        assert_eq!(LinkClass::classify(j0, db0), LinkClass::Cross);
+        assert_eq!(LinkClass::classify(db0, JenCoordinator), LinkClass::Cross);
+    }
+
+    #[test]
+    fn send_receive_and_meter() {
+        let f = fabric();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j1 = Endpoint::Jen(JenWorkerId(1));
+        f.send(db0, j1, Msg { bytes: 100, tuples: 10 }).unwrap();
+        let d = f.recv_timeout(j1, Duration::from_secs(1)).unwrap();
+        assert_eq!(d.from, db0);
+        assert_eq!(d.msg, Msg { bytes: 100, tuples: 10 });
+        let m = f.metrics();
+        assert_eq!(m.get("net.cross.bytes"), 100);
+        assert_eq!(m.get("net.cross.tuples"), 10);
+        assert_eq!(m.get("net.cross.db_to_jen.tuples"), 10);
+        assert_eq!(m.get("net.cross.jen_to_db.tuples"), 0);
+        assert_eq!(m.get("net.intra_hdfs.bytes"), 0);
+    }
+
+    #[test]
+    fn intra_links_metered_separately() {
+        let f = fabric();
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        let j2 = Endpoint::Jen(JenWorkerId(2));
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let db1 = Endpoint::Db(DbWorkerId(1));
+        f.send(j0, j2, Msg { bytes: 7, tuples: 1 }).unwrap();
+        f.send(db0, db1, Msg { bytes: 9, tuples: 2 }).unwrap();
+        assert_eq!(f.metrics().get("net.intra_hdfs.bytes"), 7);
+        assert_eq!(f.metrics().get("net.intra_db.bytes"), 9);
+        assert_eq!(f.metrics().get("net.cross.bytes"), 0);
+    }
+
+    #[test]
+    fn control_messages_do_not_count_tuples() {
+        let f = fabric();
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        f.send(Endpoint::JenCoordinator, j0, Msg { bytes: 4, tuples: 0 }).unwrap();
+        assert_eq!(f.metrics().get("net.intra_hdfs.msgs"), 1);
+        assert_eq!(f.metrics().get("net.intra_hdfs.tuples"), 0);
+    }
+
+    #[test]
+    fn broadcast_meters_each_copy() {
+        let f = fabric();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let targets = f.jen_endpoints();
+        assert_eq!(targets.len(), 3);
+        f.send_all(db0, &targets, &Msg { bytes: 10, tuples: 5 }).unwrap();
+        assert_eq!(f.metrics().get("net.cross.bytes"), 30);
+        assert_eq!(f.metrics().get("net.cross.tuples"), 15);
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let f = fabric();
+        let ghost = Endpoint::Jen(JenWorkerId(99));
+        assert!(f.send(ghost, ghost, Msg { bytes: 1, tuples: 0 }).is_err());
+        assert!(f.receiver(ghost).is_err());
+    }
+
+    #[test]
+    fn disconnect_blocks_sends_until_reconnect() {
+        let f = fabric();
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        f.disconnect(j0);
+        let err = f.send(db0, j0, Msg { bytes: 1, tuples: 0 }).unwrap_err();
+        assert!(matches!(err, HybridError::Net(_)));
+        f.reconnect(j0);
+        assert!(f.send(db0, j0, Msg { bytes: 1, tuples: 0 }).is_ok());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let f = fabric();
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        let err = f.recv_timeout(j0, Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, HybridError::Net(_)));
+    }
+
+    #[test]
+    fn endpoints_listed_in_order() {
+        let f = fabric();
+        assert_eq!(
+            f.db_endpoints(),
+            vec![Endpoint::Db(DbWorkerId(0)), Endpoint::Db(DbWorkerId(1))]
+        );
+        assert_eq!(f.jen_endpoints().len(), 3);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let f = fabric();
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let f2 = f.clone();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                f2.send(db0, j0, Msg { bytes: i, tuples: 1 }).unwrap();
+            }
+        });
+        let rx = f.receiver(j0).unwrap();
+        let mut got = 0;
+        while got < 100 {
+            rx.recv_timeout(Duration::from_secs(1)).unwrap();
+            got += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(f.metrics().get("net.cross.tuples"), 100);
+    }
+}

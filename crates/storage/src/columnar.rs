@@ -1,0 +1,443 @@
+//! Parquet-like columnar format.
+//!
+//! Layout of one encoded row group:
+//!
+//! ```text
+//! magic   u32  = b"HWCF"
+//! ncols   u32
+//! nrows   u32
+//! directory: ncols × { offset u32, len u32 }     (absolute, from byte 0)
+//! chunks:   ncols column chunks
+//! ```
+//!
+//! Column chunk payloads:
+//!
+//! * integer columns (`I32`, `I64`, `Date`): `min i64, max i64` statistics
+//!   (zigzag-varint) followed by zigzag-varint values — random 20-bit values
+//!   like the workload's `corPred` shrink from 4 to ≤3 bytes;
+//! * string columns: front coding — each value stores the length of the
+//!   prefix shared with its predecessor plus the remaining suffix, which
+//!   compresses URL-shaped data heavily.
+//!
+//! Together these reproduce the paper's observed ≈2.4× size reduction of
+//! Parquet+Snappy over text, and the directory enables true **projection
+//! pushdown**: [`decode`] touches only the chunks the query needs, which is
+//! what makes the columnar scan anchor (38 s vs 240 s) possible.
+
+use crate::varint;
+use hybrid_common::batch::{Batch, Column};
+use hybrid_common::datum::DataType;
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::schema::Schema;
+
+const MAGIC: u32 = u32::from_le_bytes(*b"HWCF");
+const HEADER_LEN: usize = 12;
+
+/// Encode a batch as one columnar row group.
+pub fn encode(batch: &Batch) -> Vec<u8> {
+    let ncols = batch.columns().len();
+    let mut chunks: Vec<Vec<u8>> = Vec::with_capacity(ncols);
+    for col in batch.columns() {
+        chunks.push(encode_chunk(col));
+    }
+
+    let dir_len = ncols * 8;
+    let mut out = Vec::with_capacity(HEADER_LEN + dir_len + chunks.iter().map(Vec::len).sum::<usize>());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(ncols as u32).to_le_bytes());
+    out.extend_from_slice(&(batch.num_rows() as u32).to_le_bytes());
+    let mut offset = HEADER_LEN + dir_len;
+    for chunk in &chunks {
+        out.extend_from_slice(&(offset as u32).to_le_bytes());
+        out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        offset += chunk.len();
+    }
+    for chunk in &chunks {
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+fn encode_chunk(col: &Column) -> Vec<u8> {
+    let mut out = Vec::with_capacity(col.len() * 3 + 16);
+    match col {
+        Column::I32(v) | Column::Date(v) => {
+            let (min, max) = int_stats(v.iter().map(|&x| i64::from(x)));
+            varint::write_i64(&mut out, min);
+            varint::write_i64(&mut out, max);
+            for &x in v {
+                varint::write_i64(&mut out, i64::from(x));
+            }
+        }
+        Column::I64(v) => {
+            let (min, max) = int_stats(v.iter().copied());
+            varint::write_i64(&mut out, min);
+            varint::write_i64(&mut out, max);
+            for &x in v {
+                varint::write_i64(&mut out, x);
+            }
+        }
+        Column::Utf8(v) => {
+            let mut prev: &str = "";
+            for s in v {
+                let shared = common_prefix_len(prev, s);
+                varint::write_u64(&mut out, shared as u64);
+                varint::write_u64(&mut out, (s.len() - shared) as u64);
+                out.extend_from_slice(&s.as_bytes()[shared..]);
+                prev = s;
+            }
+        }
+    }
+    out
+}
+
+fn int_stats(values: impl Iterator<Item = i64>) -> (i64, i64) {
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    let mut any = false;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+        any = true;
+    }
+    if any {
+        (min, max)
+    } else {
+        (0, -1) // canonical empty: min > max
+    }
+}
+
+fn common_prefix_len(a: &str, b: &str) -> usize {
+    // Count matching bytes, then back off to a char boundary of `b`.
+    let n = a
+        .as_bytes()
+        .iter()
+        .zip(b.as_bytes())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let mut n = n;
+    while !b.is_char_boundary(n) {
+        n -= 1;
+    }
+    n
+}
+
+/// Per-chunk integer statistics readable without decoding the values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkStats {
+    pub min: i64,
+    pub max: i64,
+    pub rows: usize,
+}
+
+struct Directory {
+    ncols: usize,
+    nrows: usize,
+}
+
+fn read_header(bytes: &[u8]) -> Result<Directory> {
+    if bytes.len() < HEADER_LEN {
+        return Err(HybridError::Storage("columnar payload shorter than header".into()));
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(HybridError::Storage("bad columnar magic".into()));
+    }
+    let ncols = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let nrows = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    if bytes.len() < HEADER_LEN + ncols * 8 {
+        return Err(HybridError::Storage("columnar directory truncated".into()));
+    }
+    Ok(Directory { ncols, nrows })
+}
+
+fn chunk_slice<'a>(bytes: &'a [u8], dir: &Directory, col: usize) -> Result<&'a [u8]> {
+    if col >= dir.ncols {
+        return Err(HybridError::ColumnOutOfBounds { index: col, width: dir.ncols });
+    }
+    let entry = HEADER_LEN + col * 8;
+    let offset = u32::from_le_bytes(bytes[entry..entry + 4].try_into().unwrap()) as usize;
+    let len = u32::from_le_bytes(bytes[entry + 4..entry + 8].try_into().unwrap()) as usize;
+    bytes
+        .get(offset..offset + len)
+        .ok_or_else(|| HybridError::Storage("columnar chunk out of bounds".into()))
+}
+
+/// Decode a row group, reading **only** the projected columns.
+///
+/// Returns the batch and the number of payload bytes actually touched
+/// (header + directory + projected chunks) — the projection-pushdown I/O
+/// saving measured by the cost model.
+pub fn decode(
+    schema: &Schema,
+    bytes: &[u8],
+    projection: Option<&[usize]>,
+) -> Result<(Batch, usize)> {
+    let dir = read_header(bytes)?;
+    if dir.ncols != schema.len() {
+        return Err(HybridError::SchemaMismatch(format!(
+            "columnar payload has {} columns, schema {}",
+            dir.ncols,
+            schema.len()
+        )));
+    }
+    let all: Vec<usize>;
+    let proj: &[usize] = match projection {
+        Some(p) => p,
+        None => {
+            all = (0..dir.ncols).collect();
+            &all
+        }
+    };
+    let mut bytes_read = HEADER_LEN + dir.ncols * 8;
+    let mut columns = Vec::with_capacity(proj.len());
+    for &col in proj {
+        let chunk = chunk_slice(bytes, &dir, col)?;
+        bytes_read += chunk.len();
+        columns.push(decode_chunk(schema.field(col)?.data_type, chunk, dir.nrows)?);
+    }
+    let out_schema = schema.project(proj)?;
+    Ok((Batch::new(out_schema, columns)?, bytes_read))
+}
+
+fn decode_chunk(dt: DataType, chunk: &[u8], nrows: usize) -> Result<Column> {
+    let mut pos = 0usize;
+    match dt {
+        DataType::I32 | DataType::Date => {
+            let _min = varint::read_i64(chunk, &mut pos)?;
+            let _max = varint::read_i64(chunk, &mut pos)?;
+            let mut v = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                let x = varint::read_i64(chunk, &mut pos)?;
+                let x = i32::try_from(x)
+                    .map_err(|_| HybridError::Storage("i32 chunk value out of range".into()))?;
+                v.push(x);
+            }
+            Ok(if dt == DataType::I32 { Column::I32(v) } else { Column::Date(v) })
+        }
+        DataType::I64 => {
+            let _min = varint::read_i64(chunk, &mut pos)?;
+            let _max = varint::read_i64(chunk, &mut pos)?;
+            let mut v = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                v.push(varint::read_i64(chunk, &mut pos)?);
+            }
+            Ok(Column::I64(v))
+        }
+        DataType::Utf8 => {
+            let mut v: Vec<String> = Vec::with_capacity(nrows);
+            let mut prev = String::new();
+            for _ in 0..nrows {
+                let shared = varint::read_u64(chunk, &mut pos)? as usize;
+                let suffix_len = varint::read_u64(chunk, &mut pos)? as usize;
+                if shared > prev.len() {
+                    return Err(HybridError::Storage("front-coding prefix overrun".into()));
+                }
+                let suffix = chunk.get(pos..pos + suffix_len).ok_or_else(|| {
+                    HybridError::Storage("front-coded suffix truncated".into())
+                })?;
+                pos += suffix_len;
+                let mut s = String::with_capacity(shared + suffix_len);
+                s.push_str(&prev[..shared]);
+                s.push_str(
+                    std::str::from_utf8(suffix)
+                        .map_err(|_| HybridError::Storage("non-UTF8 string suffix".into()))?,
+                );
+                prev = s.clone();
+                v.push(s);
+            }
+            Ok(Column::Utf8(v))
+        }
+    }
+}
+
+/// Read the min/max statistics of an integer column chunk without decoding
+/// its values. Returns `None` for string columns or empty chunks.
+///
+/// JEN's scanner uses this for chunk skipping: a predicate `col <= t`
+/// eliminates the whole block when `min > t`.
+pub fn column_stats(schema: &Schema, bytes: &[u8], col: usize) -> Result<Option<ChunkStats>> {
+    let dir = read_header(bytes)?;
+    let dt = schema.field(col)?.data_type;
+    if dt == DataType::Utf8 {
+        return Ok(None);
+    }
+    let chunk = chunk_slice(bytes, &dir, col)?;
+    let mut pos = 0usize;
+    let min = varint::read_i64(chunk, &mut pos)?;
+    let max = varint::read_i64(chunk, &mut pos)?;
+    if min > max {
+        return Ok(None); // canonical empty chunk
+    }
+    Ok(Some(ChunkStats { min, max, rows: dir.nrows }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("k", DataType::I32),
+            ("u", DataType::I64),
+            ("d", DataType::Date),
+            ("s", DataType::Utf8),
+        ])
+    }
+
+    fn batch() -> Batch {
+        Batch::new(
+            schema(),
+            vec![
+                Column::I32(vec![5, -1, 400]),
+                Column::I64(vec![1 << 40, 0, -9]),
+                Column::Date(vec![100, 101, 99]),
+                Column::Utf8(vec![
+                    "url_12/alpha".into(),
+                    "url_12/alpine".into(),
+                    "url_7/x".into(),
+                ]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_full() {
+        let b = batch();
+        let bytes = encode(&b);
+        let (decoded, read) = decode(&schema(), &bytes, None).unwrap();
+        assert_eq!(decoded, b);
+        assert_eq!(read, bytes.len());
+    }
+
+    #[test]
+    fn projection_reads_fewer_bytes() {
+        let b = batch();
+        let bytes = encode(&b);
+        let (decoded, read) = decode(&schema(), &bytes, Some(&[0])).unwrap();
+        assert_eq!(decoded.schema().len(), 1);
+        assert_eq!(decoded.column(0).unwrap().as_i32().unwrap(), &[5, -1, 400]);
+        assert!(read < bytes.len(), "projected read {read} of {}", bytes.len());
+    }
+
+    #[test]
+    fn stats_readable_without_decode() {
+        let b = batch();
+        let bytes = encode(&b);
+        let s = column_stats(&schema(), &bytes, 0).unwrap().unwrap();
+        assert_eq!((s.min, s.max, s.rows), (-1, 400, 3));
+        let s = column_stats(&schema(), &bytes, 2).unwrap().unwrap();
+        assert_eq!((s.min, s.max), (99, 101));
+        assert!(column_stats(&schema(), &bytes, 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_batch_roundtrip_and_stats() {
+        let b = Batch::empty(schema());
+        let bytes = encode(&b);
+        let (decoded, _) = decode(&schema(), &bytes, None).unwrap();
+        assert_eq!(decoded.num_rows(), 0);
+        assert!(column_stats(&schema(), &bytes, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn front_coding_compresses_shared_prefixes() {
+        let urls: Vec<String> = (0..1000)
+            .map(|i| format!("url_42/very/long/common/path/segment/item{i}"))
+            .collect();
+        let s = Schema::from_pairs(&[("s", DataType::Utf8)]);
+        let b = Batch::new(s.clone(), vec![Column::Utf8(urls)]).unwrap();
+        let bytes = encode(&b);
+        assert!(
+            bytes.len() * 3 < b.serialized_bytes(),
+            "front coding only reached {} of {}",
+            bytes.len(),
+            b.serialized_bytes()
+        );
+        let (decoded, _) = decode(&s, &bytes, None).unwrap();
+        assert_eq!(decoded, b);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(decode(&schema(), b"", None).is_err());
+        assert!(decode(&schema(), b"XXXXYYYYZZZZ", None).is_err());
+        let short_schema = Schema::from_pairs(&[("k", DataType::I32)]);
+        let bytes = encode(&batch());
+        assert!(decode(&short_schema, &bytes, None).is_err());
+        // truncating the payload loses chunk bytes
+        let b = batch();
+        let bytes = encode(&b);
+        assert!(decode(&schema(), &bytes[..bytes.len() - 4], None).is_err());
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let s = Schema::from_pairs(&[("s", DataType::Utf8)]);
+        let b = Batch::new(
+            s.clone(),
+            vec![Column::Utf8(vec!["héllo".into(), "héllò".into(), "日本語".into()])],
+        )
+        .unwrap();
+        let (decoded, _) = decode(&s, &encode(&b), None).unwrap();
+        assert_eq!(decoded, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_batch() -> impl Strategy<Value = Batch> {
+        (0..40usize).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(any::<i32>(), n..=n),
+                proptest::collection::vec(any::<i64>(), n..=n),
+                proptest::collection::vec(".{0,12}", n..=n), // arbitrary unicode
+            )
+                .prop_map(|(a, b, c)| {
+                    Batch::new(
+                        Schema::from_pairs(&[
+                            ("k", DataType::I32),
+                            ("u", DataType::I64),
+                            ("s", DataType::Utf8),
+                        ]),
+                        vec![Column::I32(a), Column::I64(b), Column::Utf8(c)],
+                    )
+                    .unwrap()
+                })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(b in arb_batch()) {
+            let bytes = encode(&b);
+            let (decoded, read) = decode(b.schema(), &bytes, None).unwrap();
+            prop_assert_eq!(&decoded, &b);
+            prop_assert_eq!(read, bytes.len());
+        }
+
+        #[test]
+        fn projection_matches_full_decode(b in arb_batch(), cols in proptest::collection::vec(0usize..3, 1..3)) {
+            let bytes = encode(&b);
+            let (full, _) = decode(b.schema(), &bytes, None).unwrap();
+            let (projected, _) = decode(b.schema(), &bytes, Some(&cols)).unwrap();
+            prop_assert_eq!(projected, full.project(&cols).unwrap());
+        }
+
+        #[test]
+        fn stats_bound_values(b in arb_batch()) {
+            let bytes = encode(&b);
+            if b.num_rows() > 0 {
+                let s = column_stats(b.schema(), &bytes, 0).unwrap().unwrap();
+                let vals = b.column(0).unwrap().as_i32().unwrap();
+                for &v in vals {
+                    prop_assert!(i64::from(v) >= s.min && i64::from(v) <= s.max);
+                }
+            }
+        }
+    }
+}

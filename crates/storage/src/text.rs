@@ -1,0 +1,267 @@
+//! Delimited text format.
+//!
+//! One row per line, fields separated by `|`, with backslash escaping for
+//! the delimiter, newlines, and backslashes. This mirrors the paper's "1 TB
+//! text format" baseline: a reader must scan and parse every byte even when
+//! the query needs two of six columns.
+
+use hybrid_common::batch::{Batch, Column};
+use hybrid_common::datum::DataType;
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::schema::Schema;
+
+const DELIM: u8 = b'|';
+const ESCAPE: u8 = b'\\';
+
+/// Encode a batch as delimited text.
+pub fn encode(batch: &Batch) -> Vec<u8> {
+    // Rough preallocation: fixed width + string payloads + delimiters.
+    let mut out = Vec::with_capacity(batch.serialized_bytes() + batch.num_rows() * batch.schema().len());
+    let cols = batch.columns();
+    for row in 0..batch.num_rows() {
+        for (i, col) in cols.iter().enumerate() {
+            if i > 0 {
+                out.push(DELIM);
+            }
+            match col {
+                Column::I32(v) => push_int(&mut out, i64::from(v[row])),
+                Column::Date(v) => push_int(&mut out, i64::from(v[row])),
+                Column::I64(v) => push_int(&mut out, v[row]),
+                Column::Utf8(v) => push_escaped(&mut out, v[row].as_bytes()),
+            }
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+fn push_int(out: &mut Vec<u8>, v: i64) {
+    let mut buf = itoa_buf(v);
+    out.append(&mut buf);
+}
+
+fn itoa_buf(v: i64) -> Vec<u8> {
+    // Small enough to not warrant a dependency.
+    v.to_string().into_bytes()
+}
+
+fn push_escaped(out: &mut Vec<u8>, bytes: &[u8]) {
+    for &b in bytes {
+        if b == DELIM || b == ESCAPE || b == b'\n' {
+            out.push(ESCAPE);
+        }
+        out.push(b);
+    }
+}
+
+/// Decode text back into a batch of `schema`, optionally projecting.
+///
+/// The full payload is parsed either way — that is the point of the text
+/// baseline — and the returned `bytes_read` in [`crate::DecodeResult`]
+/// equals `bytes.len()`.
+pub fn decode(schema: &Schema, bytes: &[u8], projection: Option<&[usize]>) -> Result<Batch> {
+    let width = schema.len();
+    let mut columns: Vec<Column> = schema
+        .fields()
+        .iter()
+        .map(|f| Column::with_capacity(f.data_type, 128))
+        .collect();
+
+    let mut field = Vec::with_capacity(32);
+    let mut col_idx = 0usize;
+    let mut i = 0usize;
+    let mut row_has_content = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            ESCAPE => {
+                let next = *bytes.get(i + 1).ok_or_else(|| {
+                    HybridError::Storage("dangling escape at end of text payload".into())
+                })?;
+                field.push(next);
+                row_has_content = true;
+                i += 2;
+                continue;
+            }
+            DELIM => {
+                finish_field(schema, &mut columns, col_idx, &field)?;
+                field.clear();
+                col_idx += 1;
+                if col_idx >= width {
+                    return Err(HybridError::Storage(format!(
+                        "row has more than {width} fields"
+                    )));
+                }
+                row_has_content = true;
+            }
+            b'\n' => {
+                if col_idx != width - 1 {
+                    return Err(HybridError::Storage(format!(
+                        "row has {} fields, expected {width}",
+                        col_idx + 1
+                    )));
+                }
+                finish_field(schema, &mut columns, col_idx, &field)?;
+                field.clear();
+                col_idx = 0;
+                row_has_content = false;
+            }
+            _ => {
+                field.push(b);
+                row_has_content = true;
+            }
+        }
+        i += 1;
+    }
+    if row_has_content || col_idx != 0 {
+        return Err(HybridError::Storage("text payload missing final newline".into()));
+    }
+
+    let batch = Batch::new(schema.clone(), columns)?;
+    match projection {
+        Some(p) => batch.project(p),
+        None => Ok(batch),
+    }
+}
+
+fn finish_field(
+    schema: &Schema,
+    columns: &mut [Column],
+    col_idx: usize,
+    field: &[u8],
+) -> Result<()> {
+    let dt = schema.field(col_idx)?.data_type;
+    match (dt, &mut columns[col_idx]) {
+        (DataType::I32, Column::I32(v)) => v.push(parse_int(field)? as i32),
+        (DataType::Date, Column::Date(v)) => v.push(parse_int(field)? as i32),
+        (DataType::I64, Column::I64(v)) => v.push(parse_int(field)?),
+        (DataType::Utf8, Column::Utf8(v)) => v.push(
+            String::from_utf8(field.to_vec())
+                .map_err(|_| HybridError::Storage("non-UTF8 text field".into()))?,
+        ),
+        _ => unreachable!("columns allocated from schema"),
+    }
+    Ok(())
+}
+
+fn parse_int(field: &[u8]) -> Result<i64> {
+    let s = std::str::from_utf8(field)
+        .map_err(|_| HybridError::Storage("non-UTF8 numeric field".into()))?;
+    s.parse::<i64>()
+        .map_err(|_| HybridError::Storage(format!("bad integer field {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_common::datum::Datum;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("k", DataType::I32),
+            ("u", DataType::I64),
+            ("d", DataType::Date),
+            ("s", DataType::Utf8),
+        ])
+    }
+
+    fn batch() -> Batch {
+        Batch::new(
+            schema(),
+            vec![
+                Column::I32(vec![1, -2, 3]),
+                Column::I64(vec![10, 20, -30]),
+                Column::Date(vec![100, 0, 5]),
+                Column::Utf8(vec!["plain".into(), "pipe|and\\slash".into(), "new\nline".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_escapes() {
+        let b = batch();
+        let bytes = encode(&b);
+        let decoded = decode(&schema(), &bytes, None).unwrap();
+        assert_eq!(decoded, b);
+    }
+
+    #[test]
+    fn projection_applies_after_full_parse() {
+        let b = batch();
+        let bytes = encode(&b);
+        let decoded = decode(&schema(), &bytes, Some(&[3, 0])).unwrap();
+        assert_eq!(decoded.schema().field(0).unwrap().name, "s");
+        assert_eq!(decoded.num_rows(), 3);
+        assert_eq!(decoded.row(1)[1], Datum::I32(-2));
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let b = Batch::empty(schema());
+        let bytes = encode(&b);
+        assert!(bytes.is_empty());
+        let decoded = decode(&schema(), &bytes, None).unwrap();
+        assert_eq!(decoded.num_rows(), 0);
+    }
+
+    #[test]
+    fn malformed_rows_error() {
+        // too few fields
+        assert!(decode(&schema(), b"1|2|3\n", None).is_err());
+        // too many fields
+        assert!(decode(&schema(), b"1|2|3|x|9\n", None).is_err());
+        // missing trailing newline
+        assert!(decode(&schema(), b"1|2|3|x", None).is_err());
+        // bad int
+        assert!(decode(&schema(), b"zz|2|3|x\n", None).is_err());
+        // dangling escape
+        assert!(decode(&schema(), b"1|2|3|x\\", None).is_err());
+    }
+
+    #[test]
+    fn text_is_wider_than_columnar_for_typical_rows() {
+        // sanity: text carries delimiters + ascii digits
+        let b = batch();
+        assert!(encode(&b).len() > b.serialized_bytes() / 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_batch() -> impl Strategy<Value = Batch> {
+        let rows = 0..50usize;
+        rows.prop_flat_map(|n| {
+            (
+                proptest::collection::vec(any::<i32>(), n..=n),
+                proptest::collection::vec(any::<i64>(), n..=n),
+                proptest::collection::vec(any::<i32>(), n..=n),
+                proptest::collection::vec("[ -~]{0,20}", n..=n), // printable ascii incl. | and backslash
+            )
+                .prop_map(|(a, b, c, d)| {
+                    Batch::new(
+                        Schema::from_pairs(&[
+                            ("k", DataType::I32),
+                            ("u", DataType::I64),
+                            ("d", DataType::Date),
+                            ("s", DataType::Utf8),
+                        ]),
+                        vec![Column::I32(a), Column::I64(b), Column::Date(c), Column::Utf8(d)],
+                    )
+                    .unwrap()
+                })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_batches(b in arb_batch()) {
+            let bytes = encode(&b);
+            let decoded = decode(b.schema(), &bytes, None).unwrap();
+            prop_assert_eq!(decoded, b);
+        }
+    }
+}

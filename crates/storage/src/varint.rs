@@ -1,0 +1,162 @@
+//! LEB128 varints and zigzag transforms used by the columnar format.
+
+use hybrid_common::error::{HybridError, Result};
+
+/// Append `v` to `out` as an LEB128 varint (1–10 bytes).
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a varint starting at `*pos`, advancing `*pos` past it.
+#[inline]
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes
+            .get(*pos)
+            .ok_or_else(|| HybridError::Storage("varint truncated".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(HybridError::Storage("varint overflows u64".into()));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Map signed to unsigned so small-magnitude values stay short.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Write a signed value zigzag-varint encoded.
+#[inline]
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Read a signed zigzag-varint value.
+#[inline]
+pub fn read_i64(bytes: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(unzigzag(read_u64(bytes, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_edges() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 16383, 16384, u64::MAX, u64::MAX - 1];
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn i64_roundtrip_edges() {
+        let mut buf = Vec::new();
+        let values = [0i64, -1, 1, i64::MIN, i64::MAX, -128, 127];
+        for &v in &values {
+            write_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_values_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in -1000..1000 {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+        let mut pos = 0;
+        assert!(read_u64(&[], &mut pos).is_err());
+    }
+
+    #[test]
+    fn malformed_overlong_varint_errors() {
+        // 11 continuation bytes cannot encode a u64.
+        let buf = vec![0xFFu8; 11];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_u64(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn roundtrip_any_i64(v in any::<i64>()) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+
+        #[test]
+        fn roundtrip_sequences(vs in proptest::collection::vec(any::<i64>(), 0..100)) {
+            let mut buf = Vec::new();
+            for &v in &vs {
+                write_i64(&mut buf, v);
+            }
+            let mut pos = 0;
+            for &v in &vs {
+                prop_assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Tour of the algorithm advisor (§5.5 rules): which join strategy to pick
+//! as the predicate selectivities change.
+//!
+//! ```sh
+//! cargo run --release --example advisor_tour
+//! ```
+
+use hybrid_core::advisor::{advise, estimated_costs, QueryEstimates};
+
+fn main() {
+    println!("advisor decisions across the selectivity space (paper-scale sizes):\n");
+    println!(
+        "{:>8} {:>8} {:>6} {:>6}   {:<16} cheapest transfer plan",
+        "sigma_T", "sigma_L", "ST'", "SL'", "advice"
+    );
+    // T projects to ~25 GB, L to ~120 GB, as in the paper's dataset.
+    for (sigma_t, sigma_l, st, sl) in [
+        (0.001, 0.2, 1.0, 1.0),  // tiny T' -> broadcast
+        (0.01, 0.2, 1.0, 1.0),   // T' 10x bigger -> repartition family
+        (0.1, 0.001, 1.0, 1.0),  // tiny L' -> fetch into the DB
+        (0.1, 0.01, 0.5, 0.1),   // small L', selective join -> db(BF)
+        (0.1, 0.4, 0.2, 0.1),    // the common case -> zigzag
+        (0.1, 0.4, 1.0, 1.0),    // join keys filter nothing -> plain repartition
+        (0.2, 0.4, 0.05, 0.4),   // very selective T-side join keys -> zigzag
+    ] {
+        let est = QueryEstimates {
+            t_prime_bytes: (25.0e9 * sigma_t) as u64,
+            l_prime_bytes: (120.0e9 * sigma_l) as u64,
+            st,
+            sl,
+            num_jen_workers: 30,
+            bloom_bytes: 16 << 20,
+        };
+        let choice = advise(&est);
+        let mut costs = estimated_costs(&est);
+        costs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let ranking: Vec<String> = costs
+            .iter()
+            .take(3)
+            .map(|(alg, c)| format!("{alg} ({:.1} GB-eq)", c / 1.0e9))
+            .collect();
+        println!(
+            "{sigma_t:>8} {sigma_l:>8} {st:>6} {sl:>6}   {:<16} {}",
+            choice.name(),
+            ranking.join("  >  ")
+        );
+    }
+    println!(
+        "\nthe paper's conclusions fall out of the volumes: broadcast only for\n\
+         very selective sigma_T, DB-side only for very selective sigma_L, and\n\
+         zigzag as the robust default whenever the join itself is selective."
+    );
+}

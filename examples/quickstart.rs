@@ -1,0 +1,67 @@
+//! Quickstart: generate the paper's workload, run the zigzag join, inspect
+//! the result and the data-movement summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hybrid_core::{run, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::WorkloadSpec;
+use hybrid_storage::FileFormat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A hybrid warehouse: a shared-nothing parallel database plus an
+    //    HDFS cluster running the JEN engine (paper-shaped topology, small).
+    let mut config = SystemConfig::paper_shape(4, 6);
+    config.rows_per_block = 2_000;
+    let mut system = HybridSystem::new(config)?;
+
+    // 2. The paper's synthetic workload: transaction table T in the
+    //    database, click-log table L on HDFS, with controlled predicate and
+    //    join-key selectivities.
+    let workload = WorkloadSpec {
+        t_rows: 20_000,
+        l_rows: 150_000,
+        num_keys: 200,
+        sigma_t: 0.1,
+        sigma_l: 0.4,
+        st: 0.2,
+        sl: 0.1,
+        ..WorkloadSpec::tiny()
+    }
+    .generate()?;
+    workload.load_into(&mut system, FileFormat::Columnar)?;
+
+    // 3. Run the paper's query with the zigzag join.
+    let query = workload.query();
+    let out = run(&mut system, &query, JoinAlgorithm::Zigzag)?;
+
+    println!("query result ({} groups):", out.result.num_rows());
+    for row in 0..out.result.num_rows().min(10) {
+        let cells = out.result.row(row);
+        println!("  group {:>4} -> count {}", cells[0], cells[1]);
+    }
+
+    let s = &out.summary;
+    println!("\ndata movement:");
+    println!("  HDFS rows scanned       {:>10}", s.hdfs_rows_raw);
+    println!("  … after local predicates{:>10}", s.hdfs_rows_after_pred);
+    println!("  … after BF_DB           {:>10}", s.hdfs_rows_after_bloom);
+    println!("  HDFS tuples shuffled    {:>10}", s.hdfs_tuples_shuffled);
+    println!("  DB tuples sent (T'')    {:>10}", s.db_tuples_sent);
+    println!("  Bloom bytes exchanged   {:>10}", s.bloom_cross_bytes);
+
+    // 4. Compare: the same query via the repartition join (no Bloom filters)
+    let rep = run(&mut system, &query, JoinAlgorithm::Repartition { bloom: false })?;
+    assert_eq!(rep.result, out.result, "all algorithms agree");
+    println!(
+        "\nrepartition (no BF) for comparison: {} tuples shuffled, {} DB tuples sent",
+        rep.summary.hdfs_tuples_shuffled, rep.summary.db_tuples_sent
+    );
+    println!(
+        "zigzag moved {:.1}x fewer HDFS tuples and {:.1}x fewer DB tuples",
+        rep.summary.hdfs_tuples_shuffled as f64 / s.hdfs_tuples_shuffled.max(1) as f64,
+        rep.summary.db_tuples_sent as f64 / s.db_tuples_sent.max(1) as f64
+    );
+    Ok(())
+}

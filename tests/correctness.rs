@@ -1,0 +1,156 @@
+//! Cross-crate correctness: every join algorithm, on every storage format,
+//! over a generated workload, must produce exactly the single-node
+//! reference result — the paper's implicit contract that all five
+//! strategies compute the same query.
+
+use hybrid_core::reference::run_reference;
+use hybrid_core::{run, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::WorkloadSpec;
+use hybrid_storage::FileFormat;
+
+fn all_algorithms() -> Vec<JoinAlgorithm> {
+    JoinAlgorithm::paper_variants()
+        .into_iter()
+        .chain([JoinAlgorithm::SemiJoin, JoinAlgorithm::PerfJoin])
+        .collect()
+}
+
+#[test]
+fn every_algorithm_matches_reference_on_both_formats() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert!(expected.num_rows() > 0);
+
+    for format in [FileFormat::Columnar, FileFormat::Text] {
+        let mut cfg = SystemConfig::paper_shape(3, 5);
+        cfg.rows_per_block = 500;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, format).unwrap();
+        for alg in all_algorithms() {
+            let out = run(&mut sys, &query, alg).unwrap();
+            assert_eq!(out.result, expected, "{alg} diverged on {format}");
+        }
+    }
+}
+
+#[test]
+fn selectivity_extremes_still_agree() {
+    // very selective predicates on both sides → near-empty intermediates
+    for (sigma_t, sigma_l, st, sl) in [(0.01, 0.01, 0.05, 0.05), (1.0, 1.0, 1.0, 1.0)] {
+        let spec = WorkloadSpec {
+            sigma_t,
+            sigma_l,
+            st,
+            sl,
+            ..WorkloadSpec::tiny()
+        };
+        let workload = spec.generate().unwrap();
+        let query = workload.query();
+        let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+        let mut cfg = SystemConfig::paper_shape(2, 3);
+        cfg.rows_per_block = 500;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        for alg in all_algorithms() {
+            let out = run(&mut sys, &query, alg).unwrap();
+            assert_eq!(
+                out.result, expected,
+                "{alg} diverged at sigma=({sigma_t},{sigma_l})"
+            );
+        }
+    }
+}
+
+#[test]
+fn asymmetric_cluster_sizes_agree() {
+    // more DB workers than JEN workers and vice versa
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    for (db, jen) in [(7, 2), (2, 7)] {
+        let mut cfg = SystemConfig::paper_shape(db, jen);
+        cfg.rows_per_block = 700;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        for alg in all_algorithms() {
+            let out = run(&mut sys, &query, alg).unwrap();
+            assert_eq!(out.result, expected, "{alg} diverged on {db}x{jen}");
+        }
+    }
+}
+
+#[test]
+fn multi_aggregate_queries_agree() {
+    // beyond the paper's count(*): sum/min/max over the joined date column
+    use hybrid_common::ops::AggSpec;
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    let mut query = workload.query();
+    query.aggs = vec![
+        AggSpec::Count,
+        AggSpec::SumI64(1),  // sum of T'.date over joined rows
+        AggSpec::MinI64(3),  // min of L'.date
+        AggSpec::MaxI64(3),
+    ];
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert_eq!(expected.schema().len(), 5);
+    let mut cfg = SystemConfig::paper_shape(3, 4);
+    cfg.rows_per_block = 500;
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    for alg in all_algorithms() {
+        let out = run(&mut sys, &query, alg).unwrap();
+        assert_eq!(out.result, expected, "{alg} diverged on multi-aggregate query");
+    }
+}
+
+#[test]
+fn zigzag_reaccess_strategies_agree() {
+    // §3.4: materializing T' and re-accessing it via the covering index
+    // must be pure plan alternatives — same answer, different access paths.
+    use hybrid_core::ZigzagReaccess;
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+
+    let mut results = Vec::new();
+    for strategy in [ZigzagReaccess::Materialize, ZigzagReaccess::IndexReaccess] {
+        let mut cfg = SystemConfig::paper_shape(3, 4);
+        cfg.rows_per_block = 500;
+        cfg.zigzag_reaccess = strategy;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let out = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
+        assert_eq!(out.result, expected, "{strategy:?} diverged");
+        results.push(out);
+    }
+    // re-access touches the database storage again (the workload's date
+    // projection is not index-covered, so the second access is a base-table
+    // scan); the materialized plan does not
+    let touched = |s: &hybrid_core::JoinSummary| s.db_rows_scanned + s.db_index_rows;
+    assert!(
+        touched(&results[1].summary) > touched(&results[0].summary),
+        "re-access should touch T again: {} vs {}",
+        touched(&results[1].summary),
+        touched(&results[0].summary)
+    );
+    // and network volumes are identical either way
+    assert_eq!(
+        results[0].summary.db_tuples_sent,
+        results[1].summary.db_tuples_sent
+    );
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    let query = workload.query();
+    let mut cfg = SystemConfig::paper_shape(3, 4);
+    cfg.rows_per_block = 500;
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    let a = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
+    let b = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.summary, b.summary, "volume counters must be deterministic");
+}

@@ -1,0 +1,90 @@
+//! Sampling-based estimation against the generator's ground truth: the
+//! estimated selectivities must land near the requested ones, and
+//! `run_auto` must both pick a §5.5-consistent algorithm and return the
+//! correct answer.
+
+use hybrid_core::reference::run_reference;
+use hybrid_core::{run_auto, sample_stats, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::WorkloadSpec;
+use hybrid_storage::FileFormat;
+
+fn system(spec: WorkloadSpec) -> (HybridSystem, hybrid_datagen::Workload) {
+    let workload = spec.generate().unwrap();
+    let mut cfg = SystemConfig::paper_shape(3, 5);
+    cfg.rows_per_block = 1_000;
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    (sys, workload)
+}
+
+#[test]
+fn sampled_selectivities_near_ground_truth() {
+    let spec = WorkloadSpec {
+        t_rows: 20_000,
+        l_rows: 60_000,
+        num_keys: 300,
+        sigma_t: 0.1,
+        sigma_l: 0.4,
+        st: 0.2,
+        sl: 0.1,
+        ..WorkloadSpec::tiny()
+    };
+    let (sys, workload) = system(spec);
+    let stats = sample_stats(&sys, &workload.query(), 8).unwrap();
+    assert!((stats.sigma_t - 0.1).abs() < 0.04, "sigma_T est {}", stats.sigma_t);
+    assert!((stats.sigma_l - 0.4).abs() < 0.08, "sigma_L est {}", stats.sigma_l);
+    // join-key estimates are sketchy but must have the right order
+    assert!(stats.st < 0.5, "ST' est {}", stats.st);
+    assert!(stats.sl < 0.4, "SL' est {}", stats.sl);
+    // row estimates within 2x
+    let t_ratio = stats.t_prime_rows / (0.1 * 20_000.0);
+    assert!((0.5..2.0).contains(&t_ratio), "T' rows est off: {t_ratio}");
+    let l_ratio = stats.l_prime_rows / (0.4 * 60_000.0);
+    assert!((0.5..2.0).contains(&l_ratio), "L' rows est off: {l_ratio}");
+}
+
+#[test]
+fn run_auto_returns_correct_result() {
+    let (mut sys, workload) = system(WorkloadSpec::tiny());
+    let query = workload.query();
+    let (choice, out) = run_auto(&mut sys, &query).unwrap();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert_eq!(out.result, expected, "auto-chosen {choice} diverged");
+}
+
+#[test]
+fn run_auto_prefers_broadcast_for_tiny_t_prime() {
+    let spec = WorkloadSpec {
+        sigma_t: 0.004,
+        sigma_l: 0.4,
+        st: 0.8,
+        sl: 0.8,
+        t_rows: 20_000,
+        l_rows: 60_000,
+        num_keys: 300,
+        ..WorkloadSpec::tiny()
+    };
+    let (mut sys, workload) = system(spec);
+    let (choice, _) = run_auto(&mut sys, &workload.query()).unwrap();
+    assert_eq!(choice, JoinAlgorithm::Broadcast, "tiny T' should broadcast");
+}
+
+#[test]
+fn run_auto_prefers_db_side_for_tiny_l_prime() {
+    let spec = WorkloadSpec {
+        sigma_t: 0.2,
+        sigma_l: 0.004,
+        st: 0.8,
+        sl: 0.8,
+        t_rows: 20_000,
+        l_rows: 60_000,
+        num_keys: 300,
+        ..WorkloadSpec::tiny()
+    };
+    let (mut sys, workload) = system(spec);
+    let (choice, _) = run_auto(&mut sys, &workload.query()).unwrap();
+    assert!(
+        matches!(choice, JoinAlgorithm::DbSide { .. }),
+        "tiny L' should run in the database, chose {choice}"
+    );
+}

@@ -1,0 +1,94 @@
+//! Failure injection across the stack: dead JEN workers, unreachable
+//! endpoints, lost HDFS replicas. The paper's engines assume fail-stop
+//! workers; the contract we verify is *clean error surfacing* (or recovery
+//! where the coordinator can replan), never a hang or a wrong answer.
+
+use hybrid_common::error::HybridError;
+use hybrid_common::ids::{DataNodeId, JenWorkerId};
+use hybrid_core::reference::run_reference;
+use hybrid_core::{run, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::WorkloadSpec;
+use hybrid_net::Endpoint;
+use hybrid_storage::FileFormat;
+use std::time::Duration;
+
+fn system() -> (HybridSystem, hybrid_datagen::Workload) {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    let mut cfg = SystemConfig::paper_shape(3, 5);
+    cfg.rows_per_block = 500;
+    cfg.recv_timeout = Duration::from_secs(5);
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    (sys, workload)
+}
+
+#[test]
+fn disconnected_jen_worker_fails_cleanly() {
+    let (mut sys, workload) = system();
+    let query = workload.query();
+    sys.fabric.disconnect(Endpoint::Jen(JenWorkerId(2)));
+    for alg in [
+        JoinAlgorithm::Zigzag,
+        JoinAlgorithm::Repartition { bloom: true },
+        JoinAlgorithm::Broadcast,
+    ] {
+        let err = run(&mut sys, &query, alg).unwrap_err();
+        assert!(matches!(err, HybridError::Net(_)), "{alg}: {err}");
+    }
+    // recovery: reconnect and everything works again
+    sys.fabric.reconnect(Endpoint::Jen(JenWorkerId(2)));
+    let out = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert_eq!(out.result, expected);
+}
+
+#[test]
+fn coordinator_replans_around_dead_worker_for_db_side_join() {
+    // The DB-side join only involves the JEN workers the coordinator
+    // assigns; marking a worker dead removes it from groups and block
+    // plans, so the query must still succeed — with the right answer.
+    let (mut sys, workload) = system();
+    let query = workload.query();
+    sys.coordinator.mark_dead(JenWorkerId(4));
+    let out = run(&mut sys, &query, JoinAlgorithm::DbSide { bloom: true }).unwrap();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert_eq!(out.result, expected);
+}
+
+#[test]
+fn all_replicas_lost_surfaces_storage_error() {
+    let (mut sys, workload) = system();
+    let query = workload.query();
+    {
+        let mut hdfs = sys.hdfs.write();
+        // kill every DataNode except one that holds no full replica set
+        for i in 0..5 {
+            hdfs.kill_datanode(DataNodeId(i));
+        }
+    }
+    let err = run(&mut sys, &query, JoinAlgorithm::Repartition { bloom: false }).unwrap_err();
+    assert!(matches!(err, HybridError::Storage(_)), "{err}");
+    // revive and re-run
+    {
+        let mut hdfs = sys.hdfs.write();
+        for i in 0..5 {
+            hdfs.revive_datanode(DataNodeId(i));
+        }
+    }
+    let out = run(&mut sys, &query, JoinAlgorithm::Repartition { bloom: false }).unwrap();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert_eq!(out.result, expected);
+}
+
+#[test]
+fn single_dead_datanode_is_tolerated_via_replication() {
+    // replication factor 2: one dead DataNode must not lose any block
+    let (mut sys, workload) = system();
+    let query = workload.query();
+    sys.hdfs.write().kill_datanode(DataNodeId(3));
+    let out = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert_eq!(out.result, expected);
+    // the reads that would have been local on node 3 became remote
+    assert!(sys.metrics.get("hdfs.read.remote_bytes") > 0);
+}

@@ -1,0 +1,165 @@
+//! Volume accounting invariants: the counters behind Table 1 scale linearly
+//! with the workload, Bloom filters beat exact key sets on the wire when
+//! the key set is large, and the zigzag join's defining reductions hold.
+
+use hybrid_core::{run, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::WorkloadSpec;
+use hybrid_storage::FileFormat;
+
+fn run_at(l_rows: usize, alg: JoinAlgorithm) -> hybrid_core::JoinSummary {
+    let spec = WorkloadSpec {
+        t_rows: l_rows / 6,
+        l_rows,
+        num_keys: 100,
+        ..WorkloadSpec::tiny()
+    };
+    let workload = spec.generate().unwrap();
+    let mut cfg = SystemConfig::paper_shape(3, 5);
+    cfg.rows_per_block = 500;
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    run(&mut sys, &workload.query(), alg).unwrap().summary
+}
+
+#[test]
+fn shuffle_volume_scales_linearly_with_l() {
+    let small = run_at(12_000, JoinAlgorithm::Repartition { bloom: false });
+    let large = run_at(36_000, JoinAlgorithm::Repartition { bloom: false });
+    let ratio = large.hdfs_tuples_shuffled as f64 / small.hdfs_tuples_shuffled as f64;
+    assert!(
+        (2.5..3.5).contains(&ratio),
+        "expected ~3x shuffle volume, got {ratio:.2} ({} -> {})",
+        small.hdfs_tuples_shuffled,
+        large.hdfs_tuples_shuffled
+    );
+}
+
+#[test]
+fn zigzag_reduces_both_directions() {
+    let rep = run_at(24_000, JoinAlgorithm::Repartition { bloom: false });
+    let rep_bf = run_at(24_000, JoinAlgorithm::Repartition { bloom: true });
+    let zz = run_at(24_000, JoinAlgorithm::Zigzag);
+
+    // BF_DB: ~SL' = 0.1 of L' survives (plus false positives)
+    let shuffle_cut = rep.hdfs_tuples_shuffled as f64 / rep_bf.hdfs_tuples_shuffled as f64;
+    assert!(
+        (5.0..14.0).contains(&shuffle_cut),
+        "BF shuffle cut {shuffle_cut:.1}"
+    );
+    // zigzag keeps the same shuffle but also cuts DB tuples by ~ST' = 0.2
+    assert_eq!(zz.hdfs_tuples_shuffled, rep_bf.hdfs_tuples_shuffled);
+    let sent_cut = rep_bf.db_tuples_sent as f64 / zz.db_tuples_sent as f64;
+    assert!((3.0..8.0).contains(&sent_cut), "T'' cut {sent_cut:.1}");
+}
+
+#[test]
+fn bloom_filter_cheaper_than_exact_key_set_on_the_wire() {
+    // With ~20 distinct T' keys at tiny scale the key set is small, so use
+    // a bigger key universe where the semi-join's exact set costs more.
+    let spec = WorkloadSpec {
+        t_rows: 30_000,
+        l_rows: 60_000,
+        num_keys: 3_000,
+        sigma_t: 0.5,
+        ..WorkloadSpec::tiny()
+    };
+    let workload = spec.generate().unwrap();
+    let mut cfg = SystemConfig::paper_shape(3, 5);
+    cfg.rows_per_block = 2_000;
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    let query = workload.query();
+
+    let bf = run(&mut sys, &query, JoinAlgorithm::Repartition { bloom: true }).unwrap();
+    let semi = run(&mut sys, &query, JoinAlgorithm::SemiJoin).unwrap();
+    assert_eq!(bf.result, semi.result);
+    assert!(
+        bf.summary.bloom_cross_bytes < semi.summary.keyset_cross_bytes,
+        "bloom {}B vs exact key set {}B",
+        bf.summary.bloom_cross_bytes,
+        semi.summary.keyset_cross_bytes
+    );
+    // but the exact set filters at least as sharply (no false positives)
+    assert!(semi.summary.hdfs_tuples_shuffled <= bf.summary.hdfs_tuples_shuffled);
+}
+
+#[test]
+fn perf_join_forward_transfer_grows_with_duplicates() {
+    // PERF ships one key per T' *tuple*; the Bloom filter's size depends
+    // only on its geometry. With ~100 rows per key, PERF's forward key
+    // stream dwarfs the zigzag join's fixed-size filters — the paper's §6
+    // criticism, measured.
+    let spec = WorkloadSpec {
+        t_rows: 30_000, // ~300 rows per selected key: heavy duplication
+        l_rows: 60_000,
+        num_keys: 100,
+        ..WorkloadSpec::tiny()
+    };
+    let workload = spec.generate().unwrap();
+    let mut cfg = SystemConfig::paper_shape(3, 5);
+    cfg.rows_per_block = 2_000;
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    let query = workload.query();
+
+    let zz = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
+    let perf = run(&mut sys, &query, JoinAlgorithm::PerfJoin).unwrap();
+    assert_eq!(zz.result, perf.result);
+    // PERF keys = one per T' tuple
+    assert_eq!(perf.summary.perf_keys_tuples, perf.summary.t_prime_rows);
+    assert!(
+        perf.summary.perf_keys_cross_bytes > 4 * zz.summary.bloom_cross_bytes,
+        "perf keys {}B should dwarf zigzag's filters {}B",
+        perf.summary.perf_keys_cross_bytes,
+        zz.summary.bloom_cross_bytes
+    );
+    // but PERF is exact: it never ships a false-positive T' tuple
+    assert!(perf.summary.db_data_tuples <= zz.summary.db_data_tuples);
+}
+
+#[test]
+fn broadcast_volume_scales_with_worker_count() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    let query = workload.query();
+    let mut sent = Vec::new();
+    for jen in [2usize, 6] {
+        let mut cfg = SystemConfig::paper_shape(2, jen);
+        cfg.rows_per_block = 500;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let out = run(&mut sys, &query, JoinAlgorithm::Broadcast).unwrap();
+        sent.push(out.summary.db_tuples_sent);
+    }
+    assert_eq!(sent[1], sent[0] * 3, "broadcast fan-out must scale: {sent:?}");
+}
+
+#[test]
+fn db_side_cross_traffic_tracks_sigma_l() {
+    let narrow = {
+        let spec = WorkloadSpec { sigma_l: 0.1, ..WorkloadSpec::tiny() };
+        let workload = spec.generate().unwrap();
+        let mut cfg = SystemConfig::paper_shape(3, 4);
+        cfg.rows_per_block = 500;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        run(&mut sys, &workload.query(), JoinAlgorithm::DbSide { bloom: false })
+            .unwrap()
+            .summary
+    };
+    let wide = {
+        let spec = WorkloadSpec { sigma_l: 0.4, ..WorkloadSpec::tiny() };
+        let workload = spec.generate().unwrap();
+        let mut cfg = SystemConfig::paper_shape(3, 4);
+        cfg.rows_per_block = 500;
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        run(&mut sys, &workload.query(), JoinAlgorithm::DbSide { bloom: false })
+            .unwrap()
+            .summary
+    };
+    let ratio = wide.hdfs_tuples_sent as f64 / narrow.hdfs_tuples_sent as f64;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "expected ~4x ingestion at 4x sigma_L, got {ratio:.2}"
+    );
+}
