@@ -15,9 +15,7 @@ fn system() -> (HybridSystem, hybrid_datagen::Workload) {
     let mut cfg = SystemConfig::paper_shape(4, 4);
     cfg.rows_per_block = 1_000;
     let mut sys = HybridSystem::new(cfg).unwrap();
-    workload
-        .load_into(&mut sys, FileFormat::Columnar)
-        .unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
     (sys, workload)
 }
 

@@ -1,13 +1,15 @@
 //! Criterion microbenchmarks for the performance-critical substrates:
 //! Bloom filters (standard vs register-blocked — the ablation called out in
 //! DESIGN.md), the hash join, storage format encode/decode with projection
-//! pushdown, and the shuffle partitioner.
+//! pushdown, the shuffle partitioner, and the metrics registry (sharded
+//! lock-free vs the old mutexed map, across thread counts).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hybrid_bloom::{ApproxMembership, BlockedBloomFilter, BloomFilter, BloomParams};
 use hybrid_common::batch::{Batch, Column};
 use hybrid_common::datum::DataType;
 use hybrid_common::hash::agreed_shuffle_partition;
+use hybrid_common::metrics::{Metrics, MutexMetrics};
 use hybrid_common::ops::{partition_by_key, HashJoiner};
 use hybrid_common::schema::Schema;
 use hybrid_storage::{decode, encode, FileFormat};
@@ -124,7 +126,11 @@ fn storage_benches(c: &mut Criterion) {
             Column::I32((0..20_000).collect()),
             Column::I32((0..20_000).map(|i| i % 1024).collect()),
             Column::Date((0..20_000).map(|i| i % 32).collect()),
-            Column::Utf8((0..20_000).map(|i| format!("url_{}/pages/item{i}", i % 64)).collect()),
+            Column::Utf8(
+                (0..20_000)
+                    .map(|i| format!("url_{}/pages/item{i}", i % 64))
+                    .collect(),
+            ),
         ],
     )
     .unwrap();
@@ -144,7 +150,15 @@ fn storage_benches(c: &mut Criterion) {
         b.iter(|| decode(FileFormat::Text, &schema, black_box(&text), Some(&[0, 2])).unwrap())
     });
     g.bench_function("columnar_pushdown", |b| {
-        b.iter(|| decode(FileFormat::Columnar, &schema, black_box(&col), Some(&[0, 2])).unwrap())
+        b.iter(|| {
+            decode(
+                FileFormat::Columnar,
+                &schema,
+                black_box(&col),
+                Some(&[0, 2]),
+            )
+            .unwrap()
+        })
     });
     g.finish();
 }
@@ -163,11 +177,68 @@ fn shuffle_benches(c: &mut Criterion) {
     });
 }
 
+/// Sharded registry vs the old mutexed map under counter contention — the
+/// workload every `Fabric::send` and block read generates. The sharded
+/// registry must win at ≥8 threads (the acceptance bar for replacing the
+/// mutex; the `metrics_registry_contended` ignored test asserts it).
+fn metrics_benches(c: &mut Criterion) {
+    const OPS_PER_THREAD: usize = 5_000;
+    const COUNTERS: usize = 8;
+    let names: Vec<String> = (0..COUNTERS).map(|i| format!("bench.ctr{i}")).collect();
+
+    let mut g = c.benchmark_group("metrics_contended_add");
+    for threads in [1usize, 4, 8, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| {
+                let m = Metrics::new();
+                let ids: Vec<_> = names.iter().map(|n| m.register(n)).collect();
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let m = m.clone();
+                            let ids = &ids;
+                            s.spawn(move || {
+                                for i in 0..OPS_PER_THREAD {
+                                    m.add_id(ids[(t + i) % COUNTERS], 1);
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("mutex", threads),
+            &threads,
+            |b, &threads| {
+                let m = MutexMetrics::new();
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let m = m.clone();
+                            let names = &names;
+                            s.spawn(move || {
+                                for i in 0..OPS_PER_THREAD {
+                                    m.add(&names[(t + i) % COUNTERS], 1);
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bloom_benches,
     join_benches,
     storage_benches,
-    shuffle_benches
+    shuffle_benches,
+    metrics_benches
 );
 criterion_main!(benches);

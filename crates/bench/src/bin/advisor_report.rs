@@ -26,7 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     let mut agreements = 0usize;
     for (sigma_t, sigma_l) in grid {
-        let spec = WorkloadSpec { sigma_t, sigma_l, st: 0.2, sl: 0.1, ..base };
+        let spec = WorkloadSpec {
+            sigma_t,
+            sigma_l,
+            st: 0.2,
+            sl: 0.1,
+            ..base
+        };
         let mut exp = ExpSystem::build(spec, FileFormat::Columnar)?;
         let advised = advise(&exp.workload.estimates(30));
         let mut best: Option<(JoinAlgorithm, f64)> = None;
@@ -54,7 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "Advisor (§5.5 rules) vs measured-best algorithm",
-        &["config", "advised", "measured best", "advised vs best time", "verdict"],
+        &[
+            "config",
+            "advised",
+            "measured best",
+            "advised vs best time",
+            "verdict",
+        ],
         &rows,
     );
     println!(

@@ -25,7 +25,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rows = Vec::new();
         for sigma_l in [0.001, 0.01, 0.1, 0.2] {
             // default join-key selectivities of the evaluation grid
-            let ms = run_config(base, sigma_t, sigma_l, 0.2, 0.1, FileFormat::Columnar, &ALGS)?;
+            let ms = run_config(
+                base,
+                sigma_t,
+                sigma_l,
+                0.2,
+                0.1,
+                FileFormat::Columnar,
+                &ALGS,
+            )?;
             let (bc, rep) = (ms[0].cost.total_s, ms[1].cost.total_s);
             if sigma_t <= 0.001 && sigma_l >= 0.1 && bc < rep {
                 broadcast_wins_at_selective_t = true;

@@ -34,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]);
         }
         print_table(
-            &format!("Fig {panel}: sigma_T={sigma_t}, SL'={sl} (Parquet) — estimated paper-scale time"),
+            &format!(
+                "Fig {panel}: sigma_T={sigma_t}, SL'={sl} (Parquet) — estimated paper-scale time"
+            ),
             &["config", "db", "db(BF)", "BF benefit"],
             &rows,
         );

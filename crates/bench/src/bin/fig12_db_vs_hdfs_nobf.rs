@@ -25,7 +25,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut db_times = Vec::new();
         let mut crossover_ok = true;
         for sigma_l in [0.001, 0.01, 0.1, 0.2] {
-            let ms = run_config(base, sigma_t, sigma_l, 0.2, 0.1, FileFormat::Columnar, &ALGS)?;
+            let ms = run_config(
+                base,
+                sigma_t,
+                sigma_l,
+                0.2,
+                0.1,
+                FileFormat::Columnar,
+                &ALGS,
+            )?;
             let db = ms[0].cost.total_s;
             let hdfs_best = ms[1..]
                 .iter()
@@ -55,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             db_times[3],
             verdict(steep)
         );
-        println!("  HDFS side wins for sigma_L >= 0.1: {}", verdict(crossover_ok));
+        println!(
+            "  HDFS side wins for sigma_L >= 0.1: {}",
+            verdict(crossover_ok)
+        );
     }
     Ok(())
 }

@@ -29,7 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut db_times = Vec::new();
         let mut db_wins_selective = true;
         for sigma_l in [0.001, 0.01, 0.1, 0.2] {
-            let ms = run_config(base, sigma_t, sigma_l, 0.2, 0.1, FileFormat::Columnar, &ALGS)?;
+            let ms = run_config(
+                base,
+                sigma_t,
+                sigma_l,
+                0.2,
+                0.1,
+                FileFormat::Columnar,
+                &ALGS,
+            )?;
             let db_best = ms[..2]
                 .iter()
                 .map(|m| m.cost.total_s)

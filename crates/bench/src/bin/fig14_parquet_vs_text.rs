@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let text =
                 run_config(base, 0.1, sigma_l, 0.2, 0.1, FileFormat::Text, &[alg])?[0].clone();
             let parquet =
-                run_config(base, 0.1, sigma_l, 0.2, 0.1, FileFormat::Columnar, &[alg])?[0]
-                    .clone();
+                run_config(base, 0.1, sigma_l, 0.2, 0.1, FileFormat::Columnar, &[alg])?[0].clone();
             all_faster &= parquet.cost.total_s < text.cost.total_s;
             rows.push(vec![
                 format!("sigma_L={sigma_l}"),
@@ -42,13 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         print_table(
             &format!("Fig {panel}: sigma_T=0.1 — estimated paper-scale time"),
-            &["config", "text", "parquet", "speedup", "bytes-scanned ratio"],
+            &[
+                "config",
+                "text",
+                "parquet",
+                "speedup",
+                "bytes-scanned ratio",
+            ],
             &rows,
         );
-        println!(
-            "  columnar faster in every config: {}",
-            verdict(all_faster)
-        );
+        println!("  columnar faster in every config: {}", verdict(all_faster));
     }
     Ok(())
 }

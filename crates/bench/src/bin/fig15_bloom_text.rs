@@ -54,7 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (sigma_l, st) in [(0.2, 0.1), (0.4, 0.2)] {
         let t = run_config(base, 0.1, sigma_l, st, 0.1, FileFormat::Text, &algs[..2])?;
         gain_text.push(t[0].cost.total_s / t[1].cost.total_s);
-        let pq = run_config(base, 0.1, sigma_l, st, 0.1, FileFormat::Columnar, &algs[..2])?;
+        let pq = run_config(
+            base,
+            0.1,
+            sigma_l,
+            st,
+            0.1,
+            FileFormat::Columnar,
+            &algs[..2],
+        )?;
         gain_parquet.push(pq[0].cost.total_s / pq[1].cost.total_s);
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

@@ -22,8 +22,14 @@ const ALGS: [JoinAlgorithm; 3] = [
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = spec_from_env();
     let panels: [(&str, Vec<(f64, f64)>); 2] = [
-        ("9(a): ST'=0.5, varying SL'", vec![(0.5, 0.8), (0.5, 0.4), (0.5, 0.1)]),
-        ("9(b): SL'=0.4, varying ST'", vec![(0.5, 0.4), (0.35, 0.4), (0.2, 0.4)]),
+        (
+            "9(a): ST'=0.5, varying SL'",
+            vec![(0.5, 0.8), (0.5, 0.4), (0.5, 0.1)],
+        ),
+        (
+            "9(b): SL'=0.4, varying ST'",
+            vec![(0.5, 0.4), (0.35, 0.4), (0.2, 0.4)],
+        ),
     ];
     for (title, configs) in panels {
         let mut rows = Vec::new();
@@ -39,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]);
         }
         print_table(
-            &format!("Fig {title} (sigma_T=0.1, sigma_L=0.4, Parquet) — estimated paper-scale time"),
+            &format!(
+                "Fig {title} (sigma_T=0.1, sigma_L=0.4, Parquet) — estimated paper-scale time"
+            ),
             &["config", "repartition", "repartition(BF)", "zigzag"],
             &rows,
         );

@@ -4,13 +4,16 @@
 //! hwjoin [--alg zigzag|db|db-bf|broadcast|repartition|repartition-bf|semijoin|perf|auto|all]
 //!        [--sigma-t F] [--sigma-l F] [--st F] [--sl F]
 //!        [--format columnar|text] [--scale tiny|small|default]
-//!        [--spill-limit ROWS]
+//!        [--spill-limit ROWS] [--timeline PATH]
 //! ```
 //!
 //! Generates the paper's workload at the requested selectivities, executes
 //! the chosen strategy (or lets the sampling advisor pick with `auto`, or
 //! runs them `all`), and prints the result size, data-movement summary,
-//! and the cost model's paper-scale estimate.
+//! and the cost model's paper-scale estimate — both the assumed-overlap
+//! and the measured-overlap variant (see `timeline_report` for the span
+//! view). `--timeline PATH` writes each run's phase Timeline as JSON
+//! (`PATH` gets an `.<alg>.json` suffix when several algorithms run).
 
 use hybrid_bench::report::{print_table, secs};
 use hybrid_bench::{default_system_config, ExpSystem};
@@ -36,7 +39,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: hwjoin [--alg NAME|auto|all] [--sigma-t F] [--sigma-l F] \
          [--st F] [--sl F] [--format columnar|text] [--scale tiny|small|default] \
-         [--spill-limit ROWS]"
+         [--spill-limit ROWS] [--timeline PATH]"
     );
     std::process::exit(2)
 }
@@ -46,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = WorkloadSpec::tiny();
     let mut format = FileFormat::Columnar;
     let mut spill_limit: Option<usize> = None;
+    let mut timeline_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -58,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--st" => spec.st = value().parse()?,
             "--sl" => spec.sl = value().parse()?,
             "--spill-limit" => spill_limit = Some(value().parse()?),
+            "--timeline" => timeline_path = Some(value().to_string()),
             "--format" => {
                 format = match value() {
                     "columnar" | "parquet" => FileFormat::Columnar,
@@ -70,7 +75,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--scale" => {
                 spec = match value() {
-                    "tiny" => WorkloadSpec { sigma_t: spec.sigma_t, sigma_l: spec.sigma_l, st: spec.st, sl: spec.sl, ..WorkloadSpec::tiny() },
+                    "tiny" => WorkloadSpec {
+                        sigma_t: spec.sigma_t,
+                        sigma_l: spec.sigma_l,
+                        st: spec.st,
+                        sl: spec.sl,
+                        ..WorkloadSpec::tiny()
+                    },
                     "small" => WorkloadSpec {
                         t_rows: 40_000,
                         l_rows: 375_000,
@@ -81,7 +92,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         sl: spec.sl,
                         ..WorkloadSpec::scaled_default()
                     },
-                    "default" => WorkloadSpec { sigma_t: spec.sigma_t, sigma_l: spec.sigma_l, st: spec.st, sl: spec.sl, ..WorkloadSpec::scaled_default() },
+                    "default" => WorkloadSpec {
+                        sigma_t: spec.sigma_t,
+                        sigma_l: spec.sigma_l,
+                        st: spec.st,
+                        sl: spec.sl,
+                        ..WorkloadSpec::scaled_default()
+                    },
                     other => {
                         eprintln!("unknown scale {other:?}");
                         usage()
@@ -129,9 +146,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         name => vec![parse_alg(name).unwrap_or_else(|| usage())],
     };
 
+    let several = algorithms.len() > 1;
     let mut rows = Vec::new();
     for alg in algorithms {
         let m = exp.run(alg)?;
+        if let Some(base) = &timeline_path {
+            let path = if several {
+                format!("{base}.{}.json", alg.name())
+            } else {
+                base.clone()
+            };
+            std::fs::write(&path, m.timeline.to_json())?;
+            eprintln!(
+                "timeline written to {path} ({} spans)",
+                m.timeline.spans.len()
+            );
+        }
         rows.push(vec![
             alg.name().to_string(),
             m.result_rows.to_string(),
@@ -139,6 +169,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m.summary.db_tuples_sent.to_string(),
             m.summary.cross_bytes.to_string(),
             secs(m.cost.total_s),
+            secs(m.cost_measured.total_s),
         ]);
     }
     print_table(
@@ -149,7 +180,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "tuples shuffled",
             "DB tuples sent",
             "cross bytes",
-            "est. paper-scale time",
+            "est. (assumed overlap)",
+            "est. (measured overlap)",
         ],
         &rows,
     );

@@ -1,0 +1,166 @@
+//! `timeline_report` — render a run's phase Timeline (Fig. 7 view).
+//!
+//! ```text
+//! timeline_report TIMELINE.json [--width N]
+//! ```
+//!
+//! Takes the JSON written by `hwjoin --timeline PATH` (or any
+//! [`Timeline::to_json`] output) and prints:
+//!
+//! * a per-worker ASCII Gantt chart of the pipeline stages — one row per
+//!   worker, one glyph per time bucket, so scan/shuffle/build overlap (or
+//!   the lack of it) is visible at a glance;
+//! * per-stage busy time, bytes and tuples;
+//! * the measured overlap-fraction matrix that
+//!   `CostModel::estimate_measured` consumes;
+//! * per-link-class transfer totals (the `net.*` counters that rode along
+//!   in the Timeline's `totals` map).
+
+use hybrid_bench::report::print_table;
+use hybrid_common::trace::{Stage, Timeline};
+use hybrid_costmodel::OverlapProfile;
+
+fn glyph(stage: Stage) -> char {
+    match stage {
+        Stage::Scan => 'S',
+        Stage::BloomBuild => 'b',
+        Stage::BloomApply => 'f',
+        Stage::ShuffleSend => '>',
+        Stage::ShuffleRecv => '<',
+        Stage::HashBuild => 'H',
+        Stage::Probe => 'P',
+        Stage::Aggregate => 'A',
+    }
+}
+
+/// Sort key so workers list as db, db-0.., jen-0.. with numeric order.
+fn worker_key(name: &str) -> (String, usize) {
+    match name.rsplit_once('-') {
+        Some((prefix, idx)) => match idx.parse::<usize>() {
+            Ok(n) => (prefix.to_string(), n),
+            Err(_) => (name.to_string(), 0),
+        },
+        None => (name.to_string(), 0),
+    }
+}
+
+fn gantt(timeline: &Timeline, width: usize) {
+    let makespan = timeline.makespan_us().max(1);
+    let mut workers: Vec<String> = timeline.workers();
+    workers.sort_by_key(|w| worker_key(w));
+    let name_w = workers.iter().map(String::len).max().unwrap_or(0);
+    println!("\n== per-worker timeline ({makespan} us, {width} buckets) ==");
+    for worker in &workers {
+        let mut row = vec!['.'; width];
+        for span in timeline.spans.iter().filter(|s| &s.worker == worker) {
+            let lo = (span.t_start as usize * width) / makespan as usize;
+            let hi = ((span.t_end as usize * width) / makespan as usize).min(width - 1);
+            for cell in &mut row[lo..=hi.max(lo)] {
+                // later pipeline stages win ties inside one bucket, so the
+                // chart shows progression even at coarse resolution
+                *cell = glyph(span.stage);
+            }
+        }
+        println!("  {worker:>name_w$} |{}|", row.iter().collect::<String>());
+    }
+    let legend: Vec<String> = Stage::ALL
+        .iter()
+        .map(|&s| format!("{}={}", glyph(s), s.name()))
+        .collect();
+    println!("  legend: {}", legend.join(" "));
+}
+
+fn stage_table(timeline: &Timeline) {
+    let mut rows = Vec::new();
+    for &stage in &Stage::ALL {
+        let busy = timeline.stage_busy_us(stage);
+        if busy == 0 {
+            continue;
+        }
+        let (mut bytes, mut tuples, mut spans) = (0u64, 0u64, 0usize);
+        for s in timeline.spans.iter().filter(|s| s.stage == stage) {
+            bytes += s.bytes;
+            tuples += s.tuples;
+            spans += 1;
+        }
+        rows.push(vec![
+            stage.name().to_string(),
+            spans.to_string(),
+            busy.to_string(),
+            bytes.to_string(),
+            tuples.to_string(),
+        ]);
+    }
+    print_table(
+        "per-stage totals",
+        &["stage", "spans", "busy us", "bytes", "tuples"],
+        &rows,
+    );
+}
+
+fn overlap_table(timeline: &Timeline) {
+    let profile = OverlapProfile::from_timeline(timeline);
+    let rows: Vec<Vec<String>> = profile
+        .iter()
+        .map(|(a, b, f)| vec![a.to_string(), b.to_string(), format!("{f:.3}")])
+        .collect();
+    if rows.is_empty() {
+        println!("\n(no stage pair observed — overlap matrix empty)");
+        return;
+    }
+    print_table(
+        "measured overlap fractions (input to estimate_measured)",
+        &["stage a", "stage b", "overlap"],
+        &rows,
+    );
+}
+
+fn link_totals(timeline: &Timeline) {
+    let rows: Vec<Vec<String>> = timeline
+        .totals
+        .iter()
+        .map(|(k, v)| vec![k.clone(), v.to_string()])
+        .collect();
+    if rows.is_empty() {
+        println!("\n(no net.* totals in this timeline)");
+        return;
+    }
+    print_table("per-link transfer totals", &["counter", "value"], &rows);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut width = 72usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--width" => {
+                width = it
+                    .next()
+                    .ok_or("--width needs a value")?
+                    .parse::<usize>()?
+                    .clamp(10, 400)
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: timeline_report TIMELINE.json [--width N]");
+                std::process::exit(2);
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            other => return Err(format!("unexpected argument {other:?}").into()),
+        }
+    }
+    let path = path.ok_or("usage: timeline_report TIMELINE.json [--width N]")?;
+    let timeline = Timeline::from_json(&std::fs::read_to_string(&path)?)?;
+    println!(
+        "{path}: {} spans, {} workers, makespan {} us",
+        timeline.spans.len(),
+        timeline.workers().len(),
+        timeline.makespan_us()
+    );
+    gantt(&timeline, width);
+    stage_table(&timeline);
+    overlap_table(&timeline);
+    link_totals(&timeline);
+    Ok(())
+}

@@ -1,8 +1,9 @@
 //! Shared experiment machinery.
 
 use hybrid_common::error::Result;
+use hybrid_common::trace::Timeline;
 use hybrid_core::{run, HybridSystem, JoinAlgorithm, JoinSummary, SystemConfig};
-use hybrid_costmodel::{CostBreakdown, CostModel, ScaleFactors};
+use hybrid_costmodel::{CostBreakdown, CostModel, OverlapProfile, ScaleFactors};
 use hybrid_datagen::{Workload, WorkloadSpec};
 use hybrid_storage::FileFormat;
 
@@ -36,7 +37,16 @@ pub fn spec_from_env() -> WorkloadSpec {
 pub struct Measurement {
     pub algorithm: JoinAlgorithm,
     pub summary: JoinSummary,
+    /// Assumed-overlap estimate (concurrent phases perfectly overlapped).
     pub cost: CostBreakdown,
+    /// Measured-overlap estimate: same volumes, but concurrent phases
+    /// combine with the overlap fractions actually observed in the run's
+    /// [`Timeline`]. `cost_measured.total_s >= cost.total_s` always.
+    pub cost_measured: CostBreakdown,
+    /// Phase spans of the run plus per-link `net.*` byte totals —
+    /// serialize with [`Timeline::to_json`] and render with the
+    /// `timeline_report` binary.
+    pub timeline: Timeline,
     pub result_rows: usize,
 }
 
@@ -72,11 +82,18 @@ impl ExpSystem {
     pub fn run(&mut self, algorithm: JoinAlgorithm) -> Result<Measurement> {
         let query = self.workload.query();
         let out = run(&mut self.system, &query, algorithm)?;
-        let cost = self.model.estimate(algorithm, &out.summary, &self.scale());
+        let scale = self.scale();
+        let cost = self.model.estimate(algorithm, &out.summary, &scale);
+        let profile = OverlapProfile::from_timeline(&out.timeline);
+        let cost_measured = self
+            .model
+            .estimate_measured(algorithm, &out.summary, &scale, &profile);
         Ok(Measurement {
             algorithm,
             summary: out.summary,
             cost,
+            cost_measured,
+            timeline: out.timeline,
             result_rows: out.result.num_rows(),
         })
     }
@@ -97,7 +114,13 @@ pub fn run_config(
     format: FileFormat,
     algorithms: &[JoinAlgorithm],
 ) -> Result<Vec<Measurement>> {
-    let spec = WorkloadSpec { sigma_t, sigma_l, st, sl, ..base };
+    let spec = WorkloadSpec {
+        sigma_t,
+        sigma_l,
+        st,
+        sl,
+        ..base
+    };
     let mut exp = ExpSystem::build(spec, format)?;
     exp.run_all(algorithms)
 }
@@ -119,6 +142,15 @@ mod tests {
         for m in &ms {
             assert!(m.cost.total_s > 0.0);
             assert!(m.result_rows > 0);
+            // the run carried a timeline, and measured overlap can only
+            // add time relative to the assumed-perfect-overlap estimate
+            assert!(!m.timeline.spans.is_empty());
+            assert!(m.cost_measured.total_s >= m.cost.total_s - 1e-9);
+            // per-link totals rode along for timeline_report
+            assert!(m.timeline.totals.keys().any(|k| k.starts_with("net.")));
+            // and the JSON artifact round-trips
+            let back = hybrid_common::trace::Timeline::from_json(&m.timeline.to_json()).unwrap();
+            assert_eq!(back.spans.len(), m.timeline.spans.len());
         }
         // same query, same answer
         assert_eq!(ms[0].result_rows, ms[1].result_rows);

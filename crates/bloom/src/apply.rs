@@ -25,7 +25,10 @@ pub fn filter_batch<F: ApproxMembership + ?Sized>(
     let out = batch.filter(&mask)?;
     Ok((
         out,
-        FilStats { kept, dropped: batch.num_rows() - kept },
+        FilStats {
+            kept,
+            dropped: batch.num_rows() - kept,
+        },
     ))
 }
 

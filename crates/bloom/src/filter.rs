@@ -48,8 +48,15 @@ impl BloomFilter {
         // Normalize to the allocated geometry so a wire roundtrip
         // (`to_bytes`/`from_bytes`) reports identical params and merges
         // with the original filter.
-        let params = BloomParams { bits: words * 64, ..params };
-        BloomFilter { params, bits: vec![0; words], insertions: 0 }
+        let params = BloomParams {
+            bits: words * 64,
+            ..params
+        };
+        BloomFilter {
+            params,
+            bits: vec![0; words],
+            insertions: 0,
+        }
     }
 
     /// Convenience: a filter sized like the paper's for `expected_keys`.
@@ -145,10 +152,17 @@ impl BloomFilter {
             let s = 8 + i * 8;
             bits.push(u64::from_le_bytes(bytes[s..s + 8].try_into().unwrap()));
         }
-        let params = BloomParams::new(words * 64, hashes.try_into().map_err(|_| {
-            HybridError::Storage("bloom wire hash count overflow".into())
-        })?)?;
-        Ok(BloomFilter { params, bits, insertions: 0 })
+        let params = BloomParams::new(
+            words * 64,
+            hashes
+                .try_into()
+                .map_err(|_| HybridError::Storage("bloom wire hash count overflow".into()))?,
+        )?;
+        Ok(BloomFilter {
+            params,
+            bits,
+            insertions: 0,
+        })
     }
 }
 
@@ -316,6 +330,85 @@ mod proptests {
             for &k in a.iter().chain(&b) {
                 prop_assert!(fa.may_contain(k));
             }
+        }
+
+        /// `merge` is *exactly* the filter of the union of the inserts —
+        /// bit-identical, not merely a membership superset — across random
+        /// geometries. This is what makes the paper's per-worker
+        /// build-then-combine plan equivalent to a single global build.
+        #[test]
+        fn merge_equals_filter_of_union(
+            a in proptest::collection::vec(any::<i64>(), 0..150),
+            b in proptest::collection::vec(any::<i64>(), 0..150),
+            bits_pow in 7usize..14,
+            k in 1u32..6,
+        ) {
+            let params = BloomParams::new(1 << bits_pow, k).unwrap();
+            let mut merged = BloomFilter::new(params);
+            merged.insert_all(&a);
+            let mut fb = BloomFilter::new(params);
+            fb.insert_all(&b);
+            merged.merge(&fb).unwrap();
+            let mut union = BloomFilter::new(params);
+            union.insert_all(&a);
+            union.insert_all(&b);
+            prop_assert_eq!(&merged, &union);
+        }
+
+        /// The observed false-positive rate stays within 2× of the
+        /// analytic [`BloomParams::expected_fpr`] across random
+        /// `(m, k, n)`. Ranges keep the expected rate above ~1% so 8192
+        /// probes measure it; the band gets a small binomial-noise slack.
+        #[test]
+        fn observed_fpr_within_2x_of_expected(
+            bits_pow in 8usize..13,
+            bits_per_key in 2usize..9,
+            k in 1u32..5,
+            seed in any::<i64>(),
+        ) {
+            let params = BloomParams::new(1 << bits_pow, k).unwrap();
+            let mut f = BloomFilter::new(params);
+            let n = (f.num_bits() / bits_per_key).max(8);
+            let inserted: std::collections::HashSet<i64> = (0..n)
+                .map(|i| {
+                    seed.wrapping_add(
+                        (i as i64).wrapping_mul(0x9E37_79B9_7F4A_7C15_u64 as i64),
+                    )
+                })
+                .collect();
+            for &key in &inserted {
+                f.insert(key);
+            }
+            let expected = f.params().expected_fpr(inserted.len());
+
+            const PROBES: usize = 8192;
+            let mut fp = 0usize;
+            let mut probes = 0usize;
+            let mut p: i64 = seed ^ 0x0005_DEEC_E66D;
+            while probes < PROBES {
+                p = p
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                if inserted.contains(&p) {
+                    continue; // only true negatives measure the FPR
+                }
+                probes += 1;
+                if f.may_contain(p) {
+                    fp += 1;
+                }
+            }
+            let observed = fp as f64 / probes as f64;
+            let noise = 4.0 * (expected / probes as f64).sqrt();
+            prop_assert!(
+                observed <= 2.0 * expected + noise,
+                "observed {observed:.4} > 2x expected {expected:.4} (m={}, k={k}, n={n})",
+                1usize << bits_pow,
+            );
+            prop_assert!(
+                observed >= 0.5 * expected - noise,
+                "observed {observed:.4} < 0.5x expected {expected:.4} (m={}, k={k}, n={n})",
+                1usize << bits_pow,
+            );
         }
 
         /// Wire roundtrip answers identically on arbitrary probes.

@@ -130,9 +130,7 @@ impl Column {
             Column::I32(v) => Column::I32(rows.iter().map(|&r| v[r as usize]).collect()),
             Column::I64(v) => Column::I64(rows.iter().map(|&r| v[r as usize]).collect()),
             Column::Date(v) => Column::Date(rows.iter().map(|&r| v[r as usize]).collect()),
-            Column::Utf8(v) => {
-                Column::Utf8(rows.iter().map(|&r| v[r as usize].clone()).collect())
-            }
+            Column::Utf8(v) => Column::Utf8(rows.iter().map(|&r| v[r as usize].clone()).collect()),
         }
     }
 
@@ -180,7 +178,11 @@ impl Batch {
                 )));
             }
         }
-        Ok(Batch { schema, columns, rows })
+        Ok(Batch {
+            schema,
+            columns,
+            rows,
+        })
     }
 
     /// An empty batch with the given schema.
@@ -190,7 +192,11 @@ impl Batch {
             .iter()
             .map(|f| Column::with_capacity(f.data_type, 0))
             .collect();
-        Batch { schema, columns, rows: 0 }
+        Batch {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     pub fn schema(&self) -> &Schema {
@@ -212,7 +218,10 @@ impl Batch {
     pub fn column(&self, index: usize) -> Result<&Column> {
         self.columns
             .get(index)
-            .ok_or(HybridError::ColumnOutOfBounds { index, width: self.columns.len() })
+            .ok_or(HybridError::ColumnOutOfBounds {
+                index,
+                width: self.columns.len(),
+            })
     }
 
     /// The row at `row` as datums (edge-of-system / tests only).
@@ -227,14 +236,22 @@ impl Batch {
         for &i in indexes {
             columns.push(self.column(i)?.clone());
         }
-        Ok(Batch { schema, columns, rows: self.rows })
+        Ok(Batch {
+            schema,
+            columns,
+            rows: self.rows,
+        })
     }
 
     /// Keep only the listed rows.
     pub fn take(&self, rows: &[u32]) -> Batch {
         debug_assert!(rows.iter().all(|&r| (r as usize) < self.rows));
         let columns = self.columns.iter().map(|c| c.take(rows)).collect();
-        Batch { schema: self.schema.clone(), columns, rows: rows.len() }
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            rows: rows.len(),
+        }
     }
 
     /// Keep only rows where `mask` is true. `mask.len()` must equal rows.
@@ -274,7 +291,11 @@ impl Batch {
                 }
             }
         }
-        Ok(Batch { schema, columns, rows: total })
+        Ok(Batch {
+            schema,
+            columns,
+            rows: total,
+        })
     }
 
     /// Total wire size: per-column payloads (used by the metered fabric).
@@ -316,7 +337,11 @@ impl BatchBuilder {
             .iter()
             .map(|f| Column::with_capacity(f.data_type, 64))
             .collect();
-        BatchBuilder { schema, columns, rows: 0 }
+        BatchBuilder {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     /// Append row `row` of `src` (which must share the schema's types).
@@ -329,7 +354,13 @@ impl BatchBuilder {
     }
 
     /// Append a row made of two source batches side by side (join output).
-    pub fn push_joined(&mut self, left: &Batch, lrow: usize, right: &Batch, rrow: usize) -> Result<()> {
+    pub fn push_joined(
+        &mut self,
+        left: &Batch,
+        lrow: usize,
+        right: &Batch,
+        rrow: usize,
+    ) -> Result<()> {
         let lw = left.columns().len();
         for (i, dst) in self.columns.iter_mut().enumerate() {
             if i < lw {
@@ -347,7 +378,11 @@ impl BatchBuilder {
     }
 
     pub fn finish(self) -> Batch {
-        Batch { schema: self.schema, columns: self.columns, rows: self.rows }
+        Batch {
+            schema: self.schema,
+            columns: self.columns,
+            rows: self.rows,
+        }
     }
 }
 
@@ -379,11 +414,7 @@ mod tests {
         assert!(Batch::new(schema.clone(), vec![]).is_err());
         assert!(Batch::new(schema.clone(), vec![Column::I64(vec![1])]).is_err());
         let two = Schema::from_pairs(&[("a", DataType::I32), ("b", DataType::I32)]);
-        assert!(Batch::new(
-            two,
-            vec![Column::I32(vec![1, 2]), Column::I32(vec![1])]
-        )
-        .is_err());
+        assert!(Batch::new(two, vec![Column::I32(vec![1, 2]), Column::I32(vec![1])]).is_err());
         assert!(Batch::new(schema, vec![Column::I32(vec![5])]).is_ok());
     }
 

@@ -15,7 +15,10 @@ pub enum HybridError {
     /// A schema/arity mismatch between producer and consumer.
     SchemaMismatch(String),
     /// A value had a different [`crate::DataType`] than the operation needed.
-    TypeMismatch { expected: &'static str, found: &'static str },
+    TypeMismatch {
+        expected: &'static str,
+        found: &'static str,
+    },
     /// Column index out of bounds for the schema at hand.
     ColumnOutOfBounds { index: usize, width: usize },
     /// Underlying storage failure (simulated HDFS / format decode).
@@ -38,7 +41,10 @@ impl fmt::Display for HybridError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             HybridError::ColumnOutOfBounds { index, width } => {
-                write!(f, "column index {index} out of bounds for schema of width {width}")
+                write!(
+                    f,
+                    "column index {index} out of bounds for schema of width {width}"
+                )
             }
             HybridError::Storage(m) => write!(f, "storage error: {m}"),
             HybridError::Net(m) => write!(f, "network error: {m}"),
@@ -79,7 +85,10 @@ mod tests {
     #[test]
     fn helpers_build_expected_variants() {
         assert!(matches!(HybridError::exec("x"), HybridError::Exec(_)));
-        assert!(matches!(HybridError::config("x"), HybridError::InvalidConfig(_)));
+        assert!(matches!(
+            HybridError::config("x"),
+            HybridError::InvalidConfig(_)
+        ));
     }
 
     #[test]

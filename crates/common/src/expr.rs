@@ -188,7 +188,11 @@ impl Expr {
                 out.insert(*i);
             }
             Expr::Lit(_) => {}
-            Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Add(l, r) | Expr::Sub(l, r) => {
+            Expr::Cmp(_, l, r)
+            | Expr::And(l, r)
+            | Expr::Or(l, r)
+            | Expr::Add(l, r)
+            | Expr::Sub(l, r) => {
                 l.collect_columns(out);
                 r.collect_columns(out);
             }
@@ -283,9 +287,9 @@ impl Expr {
             Expr::ExtractGroup(e) => {
                 let v = e.eval(batch)?;
                 match v {
-                    EvalCol::Str(strs) => {
-                        Ok(EvalCol::I64(strs.iter().map(|s| extract_group(s)).collect()))
-                    }
+                    EvalCol::Str(strs) => Ok(EvalCol::I64(
+                        strs.iter().map(|s| extract_group(s)).collect(),
+                    )),
                     EvalCol::ConstStr(s) => Ok(EvalCol::ConstI64(extract_group(&s))),
                     other => Err(HybridError::TypeMismatch {
                         expected: "utf8",
@@ -303,7 +307,9 @@ impl Expr {
 pub fn extract_group(s: &str) -> i64 {
     if let Some(rest) = s.strip_prefix("url_") {
         let digits: &str = {
-            let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
             &rest[..end]
         };
         if let Ok(v) = digits.parse::<i64>() {
@@ -344,12 +350,16 @@ fn cmp_eval(op: CmpOp, l: EvalCol, r: EvalCol, rows: usize) -> Result<EvalCol> {
         (ConstI64(a), I64(b)) => Bool(b.iter().map(|&x| op.apply_ord(a.cmp(&x))).collect()),
         (ConstI64(a), ConstI64(b)) => ConstBool(op.apply_ord(a.cmp(&b))),
         (Str(a), Str(b)) => Bool((0..rows).map(|i| op.apply_ord(a[i].cmp(&b[i]))).collect()),
-        (Str(a), ConstStr(b)) => {
-            Bool(a.iter().map(|x| op.apply_ord(x.as_str().cmp(b.as_str()))).collect())
-        }
-        (ConstStr(a), Str(b)) => {
-            Bool(b.iter().map(|x| op.apply_ord(a.as_str().cmp(x.as_str()))).collect())
-        }
+        (Str(a), ConstStr(b)) => Bool(
+            a.iter()
+                .map(|x| op.apply_ord(x.as_str().cmp(b.as_str())))
+                .collect(),
+        ),
+        (ConstStr(a), Str(b)) => Bool(
+            b.iter()
+                .map(|x| op.apply_ord(a.as_str().cmp(x.as_str())))
+                .collect(),
+        ),
         (ConstStr(a), ConstStr(b)) => ConstBool(op.apply_ord(a.cmp(&b))),
         (l, r) => {
             return Err(HybridError::TypeMismatch {
@@ -360,12 +370,7 @@ fn cmp_eval(op: CmpOp, l: EvalCol, r: EvalCol, rows: usize) -> Result<EvalCol> {
     })
 }
 
-fn arith_eval(
-    l: &Expr,
-    r: &Expr,
-    batch: &Batch,
-    f: impl Fn(i64, i64) -> i64,
-) -> Result<EvalCol> {
+fn arith_eval(l: &Expr, r: &Expr, batch: &Batch, f: impl Fn(i64, i64) -> i64) -> Result<EvalCol> {
     use EvalCol::*;
     let lv = l.eval(batch)?;
     let rv = r.eval(batch)?;
@@ -524,7 +529,10 @@ mod tests {
     #[test]
     fn const_folding_paths() {
         let b = batch();
-        let p = Expr::lit_i64(1).le(Expr::lit_i64(2)).eval_predicate(&b).unwrap();
+        let p = Expr::lit_i64(1)
+            .le(Expr::lit_i64(2))
+            .eval_predicate(&b)
+            .unwrap();
         assert_eq!(p, vec![true; 4]);
         let v = Expr::lit_i64(3).sub(Expr::lit_i64(1)).eval_i64(&b).unwrap();
         assert_eq!(v, vec![2; 4]);

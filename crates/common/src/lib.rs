@@ -26,6 +26,7 @@ pub mod ids;
 pub mod metrics;
 pub mod ops;
 pub mod schema;
+pub mod trace;
 
 pub use batch::{Batch, Column};
 pub use datum::{DataType, Datum};

@@ -63,7 +63,10 @@ pub struct HashAggregator {
 
 impl HashAggregator {
     pub fn new(aggs: Vec<AggSpec>) -> HashAggregator {
-        HashAggregator { aggs, groups: HashMap::new() }
+        HashAggregator {
+            aggs,
+            groups: HashMap::new(),
+        }
     }
 
     /// Consume a batch. `group_keys[i]` is the (already computed) group of

@@ -149,13 +149,18 @@ mod tests {
     fn inner_join_matches() {
         let mut j = HashJoiner::new(build_batch(&[], &[]).schema().clone(), 0);
         j.build(build_batch(&[1, 2, 2], &[10, 20, 21])).unwrap();
-        let out = j.probe(&probe_batch(&[2, 3, 1], &["a", "b", "c"]), 0).unwrap();
+        let out = j
+            .probe(&probe_batch(&[2, 3, 1], &["a", "b", "c"]), 0)
+            .unwrap();
         // key 2 matches two build rows, key 3 none, key 1 one.
         assert_eq!(out.num_rows(), 3);
         let mut rows: Vec<(i64, String)> = (0..3)
             .map(|r| {
                 let row = out.row(r);
-                (row[1].as_i64().unwrap(), row[3].as_str().unwrap().to_string())
+                (
+                    row[1].as_i64().unwrap(),
+                    row[3].as_str().unwrap().to_string(),
+                )
             })
             .collect();
         rows.sort();

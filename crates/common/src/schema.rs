@@ -12,7 +12,10 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type }
+        Field {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ impl Schema {
     pub fn field(&self, index: usize) -> Result<&Field> {
         self.fields
             .get(index)
-            .ok_or(HybridError::ColumnOutOfBounds { index, width: self.fields.len() })
+            .ok_or(HybridError::ColumnOutOfBounds {
+                index,
+                width: self.fields.len(),
+            })
     }
 
     /// Resolve a column name to its index.
@@ -80,7 +86,10 @@ impl Schema {
     /// Fixed per-row wire width: the sum of fixed widths of all fields.
     /// String payload bytes are variable and accounted per-batch.
     pub fn fixed_row_width(&self) -> usize {
-        self.fields.iter().map(|f| f.data_type.fixed_wire_width()).sum()
+        self.fields
+            .iter()
+            .map(|f| f.data_type.fixed_wire_width())
+            .sum()
     }
 }
 

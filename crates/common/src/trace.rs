@@ -1,0 +1,779 @@
+//! Span-based phase recording for the join pipelines.
+//!
+//! The paper's Fig. 7 argues its case with a *timeline*: on each JEN worker
+//! the scan, Bloom-filter application, shuffle and join phases overlap, and
+//! the total elapsed time is governed by the slowest phase rather than the
+//! sum. The metrics registry can't show that — counters have no time axis.
+//! This module adds one:
+//!
+//! * a [`Span`] is one contiguous stretch of work — a worker, a
+//!   [`Stage`], start/end timestamps, and the bytes/tuples it processed;
+//! * a [`Tracer`] is the cloneable recorder handed to workers alongside
+//!   [`crate::metrics::Metrics`]; workers open an [`ActiveSpan`] around
+//!   each phase;
+//! * a [`Timeline`] is the collected, time-sorted span set for one run. It
+//!   serializes to JSON (for the bench harness and `timeline_report`) and
+//!   answers the overlap questions the cost model cares about: how much of
+//!   stage A's busy time coincided with stage B's.
+//!
+//! Timestamps are microseconds relative to the tracer's epoch (set at
+//! construction and on [`Tracer::reset`]), so timelines from different runs
+//! all start near zero.
+//!
+//! Span recording is deliberately coarse — one span per phase per worker
+//! (or per batch group), not per tuple — so a mutex-protected vector is
+//! plenty; the high-frequency path stays in the sharded metrics registry.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A pipeline stage, as drawn in the paper's Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Reading table blocks (HDFS scan or DB partition scan).
+    Scan,
+    /// Building a Bloom filter from join keys.
+    BloomBuild,
+    /// Filtering scanned rows through a received Bloom filter.
+    BloomApply,
+    /// Partitioning + sending tuples to their join site.
+    ShuffleSend,
+    /// Draining shuffled tuples from the fabric.
+    ShuffleRecv,
+    /// Inserting build-side tuples into the join hash table.
+    HashBuild,
+    /// Probing the hash table with the other side.
+    Probe,
+    /// Partial/final aggregation of join output.
+    Aggregate,
+}
+
+impl Stage {
+    /// Stable lowercase name used in JSON and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Scan => "scan",
+            Stage::BloomBuild => "bloom_build",
+            Stage::BloomApply => "bloom_apply",
+            Stage::ShuffleSend => "shuffle_send",
+            Stage::ShuffleRecv => "shuffle_recv",
+            Stage::HashBuild => "hash_build",
+            Stage::Probe => "probe",
+            Stage::Aggregate => "aggregate",
+        }
+    }
+
+    /// Inverse of [`Stage::name`].
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Some(match name {
+            "scan" => Stage::Scan,
+            "bloom_build" => Stage::BloomBuild,
+            "bloom_apply" => Stage::BloomApply,
+            "shuffle_send" => Stage::ShuffleSend,
+            "shuffle_recv" => Stage::ShuffleRecv,
+            "hash_build" => Stage::HashBuild,
+            "probe" => Stage::Probe,
+            "aggregate" => Stage::Aggregate,
+            _ => return None,
+        })
+    }
+
+    pub const ALL: [Stage; 8] = [
+        Stage::Scan,
+        Stage::BloomBuild,
+        Stage::BloomApply,
+        Stage::ShuffleSend,
+        Stage::ShuffleRecv,
+        Stage::HashBuild,
+        Stage::Probe,
+        Stage::Aggregate,
+    ];
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One contiguous stretch of work on one worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Worker label, e.g. `jen-2` or `db-0`.
+    pub worker: String,
+    pub stage: Stage,
+    /// Microseconds since the tracer's epoch.
+    pub t_start: u64,
+    pub t_end: u64,
+    /// Payload volume the span covered (0 when not meaningful).
+    pub bytes: u64,
+    pub tuples: u64,
+}
+
+impl Span {
+    pub fn duration_us(&self) -> u64 {
+        self.t_end.saturating_sub(self.t_start)
+    }
+}
+
+struct TracerInner {
+    epoch: Mutex<Instant>,
+    spans: Mutex<Vec<Span>>,
+}
+
+/// Cloneable span recorder; clones share the same timeline.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.inner.spans.lock().expect("tracer spans").len();
+        f.debug_struct("Tracer").field("spans", &n).finish()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                epoch: Mutex::new(Instant::now()),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Microseconds since the epoch.
+    pub fn now_us(&self) -> u64 {
+        self.inner
+            .epoch
+            .lock()
+            .expect("tracer epoch")
+            .elapsed()
+            .as_micros() as u64
+    }
+
+    /// Open a span; close it with [`ActiveSpan::done`].
+    pub fn start(&self, worker: impl Into<String>, stage: Stage) -> ActiveSpan {
+        ActiveSpan {
+            tracer: self.clone(),
+            worker: worker.into(),
+            stage,
+            t_start: self.now_us(),
+        }
+    }
+
+    /// Record a fully-formed span (for callers that track their own
+    /// timestamps, e.g. per-batch loops that merge adjacent work).
+    pub fn record(&self, span: Span) {
+        self.inner.spans.lock().expect("tracer spans").push(span);
+    }
+
+    /// Clear all spans and restart the clock (between runs).
+    pub fn reset(&self) {
+        self.inner.spans.lock().expect("tracer spans").clear();
+        *self.inner.epoch.lock().expect("tracer epoch") = Instant::now();
+    }
+
+    /// Snapshot the spans recorded so far, sorted by start time.
+    pub fn timeline(&self) -> Timeline {
+        let mut spans = self.inner.spans.lock().expect("tracer spans").clone();
+        spans.sort_by_key(|s| (s.t_start, s.t_end, s.worker.clone()));
+        Timeline {
+            spans,
+            totals: Default::default(),
+        }
+    }
+}
+
+/// A span that has been started but not yet finished.
+#[must_use = "call done() to record the span"]
+pub struct ActiveSpan {
+    tracer: Tracer,
+    worker: String,
+    stage: Stage,
+    t_start: u64,
+}
+
+impl ActiveSpan {
+    /// Close the span now and record it with its payload volume.
+    pub fn done(self, bytes: u64, tuples: u64) {
+        let t_end = self.tracer.now_us();
+        self.tracer.record(Span {
+            worker: self.worker,
+            stage: self.stage,
+            t_start: self.t_start,
+            t_end,
+            bytes,
+            tuples,
+        });
+    }
+}
+
+/// The collected spans of one run, sorted by start time, plus whole-run
+/// counter totals that belong next to the timeline in reports (the bench
+/// harness stores the per-link-class `net.*` byte/tuple counters here so
+/// `timeline_report` reads one artifact).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    pub spans: Vec<Span>,
+    /// Named whole-run totals, e.g. `net.cross.bytes`.
+    pub totals: std::collections::BTreeMap<String, u64>,
+}
+
+impl Timeline {
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Distinct worker labels, sorted.
+    pub fn workers(&self) -> Vec<String> {
+        let set: BTreeSet<&str> = self.spans.iter().map(|s| s.worker.as_str()).collect();
+        set.into_iter().map(String::from).collect()
+    }
+
+    /// Distinct stage names present, sorted.
+    pub fn stage_names(&self) -> BTreeSet<&'static str> {
+        self.spans.iter().map(|s| s.stage.name()).collect()
+    }
+
+    /// End of the last span (µs since epoch); 0 for an empty timeline.
+    pub fn makespan_us(&self) -> u64 {
+        self.spans.iter().map(|s| s.t_end).max().unwrap_or(0)
+    }
+
+    /// Merged busy intervals of `stage` across all workers.
+    fn intervals(&self, stage: Stage) -> Vec<(u64, u64)> {
+        let mut iv: Vec<(u64, u64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.stage == stage && s.t_end > s.t_start)
+            .map(|s| (s.t_start, s.t_end))
+            .collect();
+        iv.sort_unstable();
+        merge_intervals(iv)
+    }
+
+    /// Total busy time of `stage` (union across workers, µs).
+    pub fn stage_busy_us(&self, stage: Stage) -> u64 {
+        self.intervals(stage).iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Wall-clock time during which `a` and `b` were both running (µs).
+    pub fn overlap_us(&self, a: Stage, b: Stage) -> u64 {
+        intersect_length(&self.intervals(a), &self.intervals(b))
+    }
+
+    /// Measured overlap fraction of stages `a` and `b`:
+    /// `overlap / min(busy_a, busy_b)`, in `[0, 1]`.
+    ///
+    /// 1.0 means the shorter stage ran entirely in the shadow of the other
+    /// (perfect pipelining, the cost model's `max()` assumption); 0.0 means
+    /// they ran strictly back-to-back (the model should add them). Returns
+    /// `None` if either stage has no recorded spans.
+    pub fn overlap_fraction(&self, a: Stage, b: Stage) -> Option<f64> {
+        let ba = self.stage_busy_us(a);
+        let bb = self.stage_busy_us(b);
+        if ba == 0 || bb == 0 {
+            return None;
+        }
+        Some(self.overlap_us(a, b) as f64 / ba.min(bb) as f64)
+    }
+
+    /// Serialize to JSON (pretty-printed, stable field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"spans\": [\n");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"worker\": {}, \"stage\": \"{}\", \"t_start\": {}, \
+                 \"t_end\": {}, \"bytes\": {}, \"tuples\": {}}}{}\n",
+                json_string(&s.worker),
+                s.stage.name(),
+                s.t_start,
+                s.t_end,
+                s.bytes,
+                s.tuples,
+                if i + 1 < self.spans.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n  \"totals\": {\n");
+        for (i, (k, v)) in self.totals.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}: {}{}\n",
+                json_string(k),
+                v,
+                if i + 1 < self.totals.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parse a timeline produced by [`Timeline::to_json`].
+    pub fn from_json(text: &str) -> Result<Timeline, String> {
+        let mut p = JsonParser::new(text);
+        let v = p.parse_value()?;
+        p.skip_ws();
+        if !p.at_end() {
+            return Err("trailing characters after JSON value".into());
+        }
+        let obj = v.as_object().ok_or("top level is not an object")?;
+        let spans_v = obj
+            .iter()
+            .find(|(k, _)| k == "spans")
+            .map(|(_, v)| v)
+            .ok_or("missing \"spans\" key")?;
+        let arr = spans_v.as_array().ok_or("\"spans\" is not an array")?;
+        let mut spans = Vec::with_capacity(arr.len());
+        for item in arr {
+            let o = item.as_object().ok_or("span is not an object")?;
+            let field = |name: &str| -> Result<&JsonValue, String> {
+                o.iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| format!("span missing \"{name}\""))
+            };
+            let stage_name = field("stage")?.as_str().ok_or("stage is not a string")?;
+            let stage = Stage::from_name(stage_name)
+                .ok_or_else(|| format!("unknown stage {stage_name:?}"))?;
+            spans.push(Span {
+                worker: field("worker")?
+                    .as_str()
+                    .ok_or("worker is not a string")?
+                    .to_string(),
+                stage,
+                t_start: field("t_start")?.as_u64().ok_or("t_start not a number")?,
+                t_end: field("t_end")?.as_u64().ok_or("t_end not a number")?,
+                bytes: field("bytes")?.as_u64().ok_or("bytes not a number")?,
+                tuples: field("tuples")?.as_u64().ok_or("tuples not a number")?,
+            });
+        }
+        spans.sort_by_key(|s| (s.t_start, s.t_end, s.worker.clone()));
+        let mut totals = std::collections::BTreeMap::new();
+        if let Some((_, totals_v)) = obj.iter().find(|(k, _)| k == "totals") {
+            let o = totals_v.as_object().ok_or("\"totals\" is not an object")?;
+            for (k, v) in o {
+                totals.insert(
+                    k.clone(),
+                    v.as_u64()
+                        .ok_or_else(|| format!("total {k:?} not a number"))?,
+                );
+            }
+        }
+        Ok(Timeline { spans, totals })
+    }
+}
+
+/// Merge sorted intervals into a disjoint union.
+fn merge_intervals(sorted: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(sorted.len());
+    for (s, e) in sorted {
+        match out.last_mut() {
+            Some((_, last_e)) if s <= *last_e => *last_e = (*last_e).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection of two disjoint sorted interval sets.
+fn intersect_length(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value for [`Timeline::from_json`]. Objects keep insertion
+/// order as (key, value) pairs; numbers are kept as f64 (timeline fields
+/// are all non-negative integers well below 2^53).
+enum JsonValue {
+    Null,
+    /// Parsed for tolerance; timeline fields never carry booleans, so the
+    /// value itself is discarded.
+    Bool(#[allow(dead_code)] bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Hand-rolled recursive-descent JSON parser — enough for timeline files
+/// (the workspace carries no serde; see `shims/` for the policy).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_lit("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(format!("unexpected character at byte {}", self.pos)),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs don't occur in our own output;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(worker: &str, stage: Stage, t: (u64, u64)) -> Span {
+        Span {
+            worker: worker.into(),
+            stage,
+            t_start: t.0,
+            t_end: t.1,
+            bytes: 0,
+            tuples: 0,
+        }
+    }
+
+    #[test]
+    fn record_and_collect() {
+        let tr = Tracer::new();
+        let s = tr.start("jen-0", Stage::Scan);
+        s.done(1024, 10);
+        tr.record(span("jen-1", Stage::Probe, (5, 9)));
+        let tl = tr.timeline();
+        assert_eq!(tl.spans.len(), 2);
+        assert_eq!(tl.workers(), vec!["jen-0".to_string(), "jen-1".to_string()]);
+        assert!(tl.stage_names().contains("scan"));
+        tr.reset();
+        assert!(tr.timeline().is_empty());
+    }
+
+    #[test]
+    fn clones_share_spans() {
+        let tr = Tracer::new();
+        let tr2 = tr.clone();
+        tr2.record(span("w", Stage::Scan, (0, 1)));
+        assert_eq!(tr.timeline().spans.len(), 1);
+    }
+
+    #[test]
+    fn busy_time_merges_overlapping_spans() {
+        let tl = Timeline {
+            spans: vec![
+                span("a", Stage::Scan, (0, 10)),
+                span("b", Stage::Scan, (5, 15)),
+                span("a", Stage::Scan, (20, 25)),
+            ],
+            ..Default::default()
+        };
+        // union of [0,15) and [20,25)
+        assert_eq!(tl.stage_busy_us(Stage::Scan), 20);
+        assert_eq!(tl.stage_busy_us(Stage::Probe), 0);
+        assert_eq!(tl.makespan_us(), 25);
+    }
+
+    #[test]
+    fn overlap_fraction_full_and_none() {
+        let tl = Timeline {
+            spans: vec![
+                span("a", Stage::Scan, (0, 100)),
+                span("a", Stage::ShuffleSend, (20, 60)), // entirely inside scan
+                span("a", Stage::Probe, (100, 150)),     // after scan ends
+            ],
+            ..Default::default()
+        };
+        assert_eq!(
+            tl.overlap_fraction(Stage::Scan, Stage::ShuffleSend),
+            Some(1.0)
+        );
+        assert_eq!(tl.overlap_fraction(Stage::Scan, Stage::Probe), Some(0.0));
+        assert_eq!(tl.overlap_fraction(Stage::Scan, Stage::Aggregate), None);
+    }
+
+    #[test]
+    fn overlap_fraction_partial() {
+        let tl = Timeline {
+            spans: vec![
+                span("a", Stage::Scan, (0, 100)),
+                span("b", Stage::HashBuild, (75, 125)),
+            ],
+            ..Default::default()
+        };
+        // 25µs of the 50µs build coincide with the scan
+        assert_eq!(
+            tl.overlap_fraction(Stage::Scan, Stage::HashBuild),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut totals = std::collections::BTreeMap::new();
+        totals.insert("net.cross.bytes".to_string(), 12345u64);
+        totals.insert("net.intra_hdfs.bytes".to_string(), 67u64);
+        let tl = Timeline {
+            totals,
+            spans: vec![
+                Span {
+                    worker: "jen-0".into(),
+                    stage: Stage::Scan,
+                    t_start: 3,
+                    t_end: 17,
+                    bytes: 4096,
+                    tuples: 128,
+                },
+                Span {
+                    worker: "db \"0\"\n".into(), // exercises escaping
+                    stage: Stage::Aggregate,
+                    t_start: 20,
+                    t_end: 21,
+                    bytes: 0,
+                    tuples: 1,
+                },
+            ],
+        };
+        let json = tl.to_json();
+        let back = Timeline::from_json(&json).unwrap();
+        assert_eq!(back, tl);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Timeline::from_json("").is_err());
+        assert!(Timeline::from_json("[]").is_err());
+        assert!(Timeline::from_json("{\"spans\": [{}]}").is_err());
+        assert!(Timeline::from_json("{\"spans\": [").is_err());
+        assert!(Timeline::from_json(
+            "{\"spans\": [{\"worker\": \"w\", \"stage\": \"warp\", \
+                 \"t_start\": 0, \"t_end\": 1, \"bytes\": 0, \"tuples\": 0}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn stage_names_roundtrip() {
+        for stage in Stage::ALL {
+            assert_eq!(Stage::from_name(stage.name()), Some(stage));
+        }
+        assert_eq!(Stage::from_name("nope"), None);
+    }
+}

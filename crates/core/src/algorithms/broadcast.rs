@@ -9,13 +9,16 @@
 //! The paper finds this wins only when `T'` is very small (σT ≲ 0.001);
 //! the Fig. 10 harness reproduces that crossover.
 
-use crate::algorithms::{db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox};
+use crate::algorithms::{
+    db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox,
+};
 use crate::query::HybridQuery;
 use crate::system::HybridSystem;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::Result;
 use hybrid_common::ids::DbWorkerId;
 use hybrid_common::ops::{HashAggregator, HashJoiner};
+use hybrid_common::trace::Stage;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
 use hybrid_jen::ScanSpec;
 use hybrid_net::{Endpoint, StreamTag};
@@ -31,10 +34,15 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
     let jen_eps = sys.fabric.jen_endpoints();
     for (w, part) in t_prime.iter().enumerate() {
         let src = Endpoint::Db(DbWorkerId(w));
+        let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
         for &dst in &jen_eps {
             send_data(sys, src, dst, StreamTag::DbData, part)?;
             send_eos(sys, src, dst, StreamTag::DbData)?;
         }
+        span.done(
+            part.serialized_bytes() as u64 * jen_eps.len() as u64,
+            part.num_rows() as u64 * jen_eps.len() as u64,
+        );
     }
 
     // Step 3: each JEN worker assembles T', scans its share of L, joins
@@ -49,15 +57,21 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
     let mut partials: Vec<Batch> = Vec::with_capacity(sys.config.jen_workers);
     for worker in &sys.jen_workers {
         let me = Endpoint::Jen(worker.id());
+        let label = worker.span_label();
         let mut mb = Mailbox::new(sys, me)?;
+        let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
         let got = mb.take_stream(StreamTag::DbData, num_db)?;
+        let recv_rows: u64 = got.batches.iter().map(|b| b.num_rows() as u64).sum();
+        recv_span.done(0, recv_rows);
 
         // Build the hash table on the (small) broadcast T' — output layout
         // is the canonical T' ++ L', so the query expressions apply as-is.
+        let build_span = sys.tracer.start(label.clone(), Stage::HashBuild);
         let mut joiner = HashJoiner::new(t_schema.clone(), query.db_key);
         for b in got.batches {
             joiner.build(b)?;
         }
+        build_span.done(0, recv_rows);
         let (l_share, _) = scan_blocks_pipelined(
             worker,
             &plan.table,
@@ -65,7 +79,9 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             &scan_spec,
             None,
         )?;
+        let probe_span = sys.tracer.start(label.clone(), Stage::Probe);
         let joined = joiner.probe(&l_share, query.hdfs_key)?;
+        probe_span.done(0, l_share.num_rows() as u64);
         let joined = match &query.post_predicate {
             Some(p) => {
                 let mask = p.eval_predicate(&joined)?;
@@ -73,10 +89,12 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             }
             None => joined,
         };
+        let agg_span = sys.tracer.start(label, Stage::Aggregate);
         let groups = query.group_expr.eval_i64(&joined)?;
         let mut agg = HashAggregator::new(query.aggs.clone());
         agg.update(&groups, &joined)?;
         partials.push(agg.finish());
+        agg_span.done(0, joined.num_rows() as u64);
     }
 
     // Steps 4–5: final aggregation at the designated worker, result to DB.

@@ -14,6 +14,7 @@ use hybrid_bloom::BloomFilter;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::Result;
 use hybrid_common::ids::DbWorkerId;
+use hybrid_common::trace::Stage;
 use hybrid_edw::DbJoinSpec;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
 use hybrid_jen::ScanSpec;
@@ -31,6 +32,7 @@ pub(crate) fn execute(
 
     // Step 2: compute the global BF_DB and multicast it to the JEN workers.
     if use_bloom {
+        let bf_span = sys.tracer.start("db", Stage::BloomBuild);
         let bf = sys.db.build_global_bloom(
             &query.db_table,
             &query.db_pred,
@@ -38,12 +40,16 @@ pub(crate) fn execute(
             query.bloom,
         )?;
         let bytes = bf.to_bytes();
+        bf_span.done(bytes.len() as u64, 0);
         let db0 = Endpoint::Db(DbWorkerId(0));
         for jen in sys.fabric.jen_endpoints() {
             sys.fabric.send(
                 db0,
                 jen,
-                Message::Bloom { stream: StreamTag::DbBloom, bytes: bytes.clone() },
+                Message::Bloom {
+                    stream: StreamTag::DbBloom,
+                    bytes: bytes.clone(),
+                },
             )?;
             send_eos(sys, db0, jen, StreamTag::DbBloom)?;
         }
@@ -80,8 +86,10 @@ pub(crate) fn execute(
             )?;
             let dst = Endpoint::Db(DbWorkerId(db_idx));
             let src = Endpoint::Jen(worker.id());
+            let span = sys.tracer.start(worker.span_label(), Stage::ShuffleSend);
             send_data(sys, src, dst, StreamTag::HdfsData, &batch)?;
             send_eos(sys, src, dst, StreamTag::HdfsData)?;
+            span.done(batch.serialized_bytes() as u64, batch.num_rows() as u64);
         }
     }
 
@@ -93,9 +101,15 @@ pub(crate) fn execute(
         let batch = if expected == 0 {
             Batch::empty(hdfs_out_schema.clone())
         } else {
+            let span = sys.tracer.start(format!("db-{db_idx}"), Stage::ShuffleRecv);
             let mut mb = Mailbox::new(sys, Endpoint::Db(DbWorkerId(db_idx)))?;
             let got = mb.take_stream(StreamTag::HdfsData, expected)?;
-            Batch::concat(hdfs_out_schema.clone(), &got.batches)?
+            let landed_batch = Batch::concat(hdfs_out_schema.clone(), &got.batches)?;
+            span.done(
+                landed_batch.serialized_bytes() as u64,
+                landed_batch.num_rows() as u64,
+            );
+            landed_batch
         };
         landed.push(batch);
     }
@@ -109,7 +123,9 @@ pub(crate) fn execute(
         group_expr: query.group_expr.clone(),
         aggs: query.aggs.clone(),
     };
+    let join_span = sys.tracer.start("db", Stage::Probe);
     let (result, choice) = sys.db.join_and_aggregate(&t_prime, &landed, &spec)?;
+    join_span.done(0, result.num_rows() as u64);
     sys.metrics
         .incr(&format!("db.join.plan.{choice:?}").to_lowercase());
     Ok(result)

@@ -20,6 +20,7 @@ use hybrid_common::batch::Batch;
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::ids::DbWorkerId;
 use hybrid_common::ops::HashAggregator;
+use hybrid_common::trace::Stage;
 use hybrid_net::{Delivery, Endpoint, Message, StreamTag};
 use std::collections::HashMap;
 
@@ -86,6 +87,7 @@ pub fn run(
 ) -> Result<RunOutput> {
     query.validate()?;
     system.reset_metrics();
+    system.tracer.reset();
     // a previously failed run may have left in-flight messages behind
     system.fabric.purge();
     let result = match algorithm {
@@ -97,10 +99,19 @@ pub fn run(
         JoinAlgorithm::PerfJoin => perf::execute(system, query)?,
     };
     let snapshot = system.metrics.snapshot();
+    let mut timeline = system.tracer.timeline();
+    // Per-link-class transfer totals ride along with the spans so one
+    // artifact feeds both the Gantt view and the byte accounting.
+    timeline.totals = snapshot
+        .iter()
+        .filter(|(k, _)| k.starts_with("net."))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
     Ok(RunOutput {
         result,
         summary: JoinSummary::from_snapshot(&snapshot),
         snapshot,
+        timeline,
     })
 }
 
@@ -124,7 +135,14 @@ pub(crate) fn send_data(
         return Ok(());
     }
     for chunk in batch.chunks(CHUNK_ROWS) {
-        sys.fabric.send(from, to, Message::Data { stream, batch: chunk })?;
+        sys.fabric.send(
+            from,
+            to,
+            Message::Data {
+                stream,
+                batch: chunk,
+            },
+        )?;
     }
     Ok(())
 }
@@ -233,6 +251,9 @@ pub(crate) fn hdfs_side_final_aggregation(
     partials: Vec<Batch>,
 ) -> Result<Batch> {
     let designated = sys.coordinator.designated_worker()?;
+    let agg_span = sys
+        .tracer
+        .start(format!("jen-{}", designated.index()), Stage::Aggregate);
     let mut merger = HashAggregator::new(query.aggs.clone());
     let mut expected = 0usize;
     for (w, partial) in partials.iter().enumerate() {
@@ -252,6 +273,7 @@ pub(crate) fn hdfs_side_final_aggregation(
         merger.merge_partial(p)?;
     }
     let final_batch = merger.finish();
+    agg_span.done(0, final_batch.num_rows() as u64);
 
     // ship to the database (a single DB worker returns it to the user)
     let db0 = Endpoint::Db(DbWorkerId(0));
@@ -269,10 +291,12 @@ pub(crate) fn hdfs_side_final_aggregation(
 /// The database half every algorithm starts with: apply local predicates
 /// and projection on each DB worker, producing `T'` (Fig. 1–4, step 1).
 pub(crate) fn db_apply_local(sys: &HybridSystem, query: &HybridQuery) -> Result<Vec<Batch>> {
+    let span = sys.tracer.start("db", Stage::Scan);
     let parts = sys
         .db
         .scan_filter_project(&query.db_table, &query.db_pred, &query.db_proj)?;
     let rows: u64 = parts.iter().map(|b| b.num_rows() as u64).sum();
+    span.done(0, rows);
     sys.metrics.add("core.t_prime_rows", rows);
     Ok(parts)
 }
@@ -318,8 +342,16 @@ mod tests {
             vec![
                 Column::I64((0..n as i64).collect()),
                 Column::I32((0..n).map(|i| (splitmix64(i as u64) % 50) as i32).collect()),
-                Column::I32((0..n).map(|i| (splitmix64(i as u64 ^ 7) % 100) as i32).collect()),
-                Column::Date((0..n).map(|i| (splitmix64(i as u64 ^ 9) % 30) as i32).collect()),
+                Column::I32(
+                    (0..n)
+                        .map(|i| (splitmix64(i as u64 ^ 7) % 100) as i32)
+                        .collect(),
+                ),
+                Column::Date(
+                    (0..n)
+                        .map(|i| (splitmix64(i as u64 ^ 9) % 30) as i32)
+                        .collect(),
+                ),
             ],
         )
         .unwrap()
@@ -330,9 +362,21 @@ mod tests {
         Batch::new(
             l_schema(),
             vec![
-                Column::I32((0..n).map(|i| (splitmix64(i as u64 ^ 100) % 80) as i32).collect()),
-                Column::I32((0..n).map(|i| (splitmix64(i as u64 ^ 101) % 100) as i32).collect()),
-                Column::Date((0..n).map(|i| (splitmix64(i as u64 ^ 102) % 30) as i32).collect()),
+                Column::I32(
+                    (0..n)
+                        .map(|i| (splitmix64(i as u64 ^ 100) % 80) as i32)
+                        .collect(),
+                ),
+                Column::I32(
+                    (0..n)
+                        .map(|i| (splitmix64(i as u64 ^ 101) % 100) as i32)
+                        .collect(),
+                ),
+                Column::Date(
+                    (0..n)
+                        .map(|i| (splitmix64(i as u64 ^ 102) % 30) as i32)
+                        .collect(),
+                ),
                 Column::Utf8(
                     (0..n)
                         .map(|i| format!("url_{}/p", splitmix64(i as u64 ^ 103) % 7))
@@ -371,7 +415,8 @@ mod tests {
         let mut sys = HybridSystem::new(cfg).unwrap();
         sys.load_db_table("T", 0, t_data()).unwrap();
         sys.create_db_index("T", &[2, 1]).unwrap();
-        sys.load_hdfs_table("L", format, l_schema(), &l_data()).unwrap();
+        sys.load_hdfs_table("L", format, l_schema(), &l_data())
+            .unwrap();
         sys
     }
 
@@ -391,6 +436,56 @@ mod tests {
                     "algorithm {alg} diverged on {format} format"
                 );
             }
+        }
+    }
+
+    /// Cross-algorithm, cross-format invariants of one run:
+    /// * every algorithm on every storage format returns the bit-identical
+    ///   aggregated result;
+    /// * the *set* of pipeline stages an algorithm records is a property of
+    ///   the algorithm, not of the storage format — both formats must
+    ///   produce identical Timeline stage-name sets;
+    /// * every timeline is non-empty, scans on a JEN worker, and stays
+    ///   within the tracer's clock (spans ordered, inside the makespan).
+    #[test]
+    fn cross_format_results_and_stage_sets_identical() {
+        let expected = run_reference(&t_data(), &l_data(), &paper_query()).unwrap();
+        assert!(expected.num_rows() > 0, "test query must be non-trivial");
+        for alg in JoinAlgorithm::paper_variants()
+            .into_iter()
+            .chain([JoinAlgorithm::SemiJoin, JoinAlgorithm::PerfJoin])
+        {
+            let mut stage_sets = Vec::new();
+            for format in [FileFormat::Columnar, FileFormat::Text] {
+                let mut sys = system(format);
+                let out = run(&mut sys, &paper_query(), alg).unwrap();
+                assert_eq!(
+                    out.result, expected,
+                    "algorithm {alg} diverged on {format} format"
+                );
+                assert!(
+                    !out.timeline.spans.is_empty(),
+                    "{alg} on {format} recorded no spans"
+                );
+                assert!(
+                    out.timeline
+                        .spans
+                        .iter()
+                        .any(|s| s.worker.starts_with("jen-")
+                            && s.stage == hybrid_common::trace::Stage::Scan),
+                    "{alg} on {format} has no JEN scan span"
+                );
+                let makespan = out.timeline.makespan_us();
+                for s in &out.timeline.spans {
+                    assert!(s.t_start <= s.t_end, "{alg}: span ends before it starts");
+                    assert!(s.t_end <= makespan, "{alg}: span outside makespan");
+                }
+                stage_sets.push(out.timeline.stage_names());
+            }
+            assert_eq!(
+                stage_sets[0], stage_sets[1],
+                "algorithm {alg}: stage set differs between storage formats"
+            );
         }
     }
 
@@ -433,7 +528,10 @@ mod tests {
             .map(|b| b.num_rows() as u64)
             .sum();
         assert_eq!(out.summary.db_tuples_sent, t_rows * 4);
-        assert_eq!(out.summary.hdfs_tuples_shuffled, 0, "broadcast never shuffles HDFS data");
+        assert_eq!(
+            out.summary.hdfs_tuples_shuffled, 0,
+            "broadcast never shuffles HDFS data"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ use hybrid_common::hash::agreed_shuffle_partition;
 use hybrid_common::ids::{DbWorkerId, JenWorkerId};
 use hybrid_common::ops::{partition_by_key, HashAggregator};
 use hybrid_common::schema::Schema;
+use hybrid_common::trace::Stage;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
 use hybrid_jen::LocalJoiner;
 use hybrid_jen::ScanSpec;
@@ -73,8 +74,10 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         let me = Endpoint::Jen(worker.id());
         let (l_share, _) =
             scan_blocks_pipelined(worker, &plan.table, &plan.blocks[w], &scan_spec, None)?;
-        let routed =
-            partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
+        let span = sys.tracer.start(worker.span_label(), Stage::ShuffleSend);
+        let sent_rows = l_share.num_rows() as u64;
+        let sent_bytes = l_share.serialized_bytes() as u64;
+        let routed = partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
         let mut mine = Batch::empty(l_schema.clone());
         for (dst_idx, piece) in routed.into_iter().enumerate() {
             if dst_idx == w {
@@ -85,6 +88,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
                 send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
             }
         }
+        span.done(sent_bytes, sent_rows);
         local_parts.push(mine);
     }
 
@@ -94,6 +98,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
     let key_schema = Schema::from_pairs(&[("joinKey", DataType::I64)]);
     for (w, part) in t_prime.iter().enumerate() {
         let me = Endpoint::Db(DbWorkerId(w));
+        let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
         let keys = part.column(query.db_key)?;
         let mut per_dest: Vec<Vec<i64>> = vec![Vec::new(); num_jen];
         for row in 0..part.num_rows() {
@@ -106,6 +111,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             send_data(sys, me, dst, StreamTag::PerfKeys, &batch)?;
             send_eos(sys, me, dst, StreamTag::PerfKeys)?;
         }
+        span.done(0, part.num_rows() as u64);
     }
 
     // Step 3: each JEN worker assembles its owned key set (local partition
@@ -115,7 +121,11 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
     for worker in &sys.jen_workers {
         let w = worker.id().index();
         let me = Endpoint::Jen(worker.id());
+        let label = worker.span_label();
+        let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
         let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
+        let recv_rows: u64 = shuffled.batches.iter().map(|b| b.num_rows() as u64).sum();
+        recv_span.done(0, recv_rows);
         let mut owned_keys: HashSet<i64> = HashSet::new();
         collect_keys(&local_parts[w], query.hdfs_key, &mut owned_keys)?;
         let mut joiner = LocalJoiner::new(
@@ -124,11 +134,17 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             sys.config.jen_memory_limit_rows,
             sys.metrics.clone(),
         )?;
-        joiner.build(std::mem::replace(&mut local_parts[w], Batch::empty(l_schema.clone())))?;
+        let built_rows = local_parts[w].num_rows() as u64 + recv_rows;
+        let build_span = sys.tracer.start(label, Stage::HashBuild);
+        joiner.build(std::mem::replace(
+            &mut local_parts[w],
+            Batch::empty(l_schema.clone()),
+        ))?;
         for b in shuffled.batches {
             collect_keys(&b, query.hdfs_key, &mut owned_keys)?;
             joiner.build(b)?;
         }
+        build_span.done(0, built_rows);
         joiners.push(Some(joiner));
 
         // Bitmap replies: deliveries from one sender arrive in send order,
@@ -156,7 +172,10 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             sys.fabric.send(
                 me,
                 dst,
-                Message::Bloom { stream: StreamTag::PerfBitmap, bytes },
+                Message::Bloom {
+                    stream: StreamTag::PerfBitmap,
+                    bytes,
+                },
             )?;
             send_eos(sys, me, dst, StreamTag::PerfBitmap)?;
         }
@@ -171,7 +190,8 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         // replies arrive in JEN-worker order (workers are driven in order);
         // reassemble: walk T' rows, taking the next bit from the bitmap of
         // the owning worker.
-        let mut bitmaps: Vec<BitReader> = replies.blooms.iter().map(|b| BitReader::new(b)).collect();
+        let mut bitmaps: Vec<BitReader> =
+            replies.blooms.iter().map(|b| BitReader::new(b)).collect();
         if bitmaps.len() != num_jen {
             return Err(HybridError::exec(format!(
                 "PERF join expected {num_jen} bitmaps, got {}",
@@ -187,13 +207,17 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         let t_second = part.filter(&mask)?;
         sys.metrics
             .add("db.perf.t_rows_after_bitmap", t_second.num_rows() as u64);
-        let routed =
-            partition_by_key(&t_second, query.db_key, num_jen, agreed_shuffle_partition)?;
+        let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
+        let routed = partition_by_key(&t_second, query.db_key, num_jen, agreed_shuffle_partition)?;
         for (jen_idx, piece) in routed.into_iter().enumerate() {
             let dst = Endpoint::Jen(JenWorkerId(jen_idx));
             send_data(sys, me, dst, StreamTag::DbData, &piece)?;
             send_eos(sys, me, dst, StreamTag::DbData)?;
         }
+        span.done(
+            t_second.serialized_bytes() as u64,
+            t_second.num_rows() as u64,
+        );
     }
 
     // Step 5: probe + aggregate (identical to the repartition epilogue).
@@ -204,9 +228,13 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
     let t_schema = t_prime[0].schema().clone();
     for worker in &sys.jen_workers {
         let w = worker.id().index();
+        let label = worker.span_label();
         let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
         let joiner = joiners[w].take().expect("joiner built in step 3");
+        let probe_rows: u64 = db_data.batches.iter().map(|b| b.num_rows() as u64).sum();
+        let probe_span = sys.tracer.start(label.clone(), Stage::Probe);
         let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
+        probe_span.done(0, probe_rows);
         let joined = match &post_pred {
             Some(p) => {
                 let m = p.eval_predicate(&joined)?;
@@ -214,10 +242,12 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             }
             None => joined,
         };
+        let agg_span = sys.tracer.start(label, Stage::Aggregate);
         let mut agg = HashAggregator::new(hdfs_aggs.clone());
         let groups = group_expr.eval_i64(&joined)?;
         agg.update(&groups, &joined)?;
         partials.push(agg.finish());
+        agg_span.done(0, joined.num_rows() as u64);
     }
 
     hdfs_side_final_aggregation(sys, query, partials)
@@ -270,7 +300,9 @@ mod tests {
 
     #[test]
     fn bit_packing_roundtrip() {
-        let bits = vec![true, false, true, true, false, false, false, true, true, false];
+        let bits = vec![
+            true, false, true, true, false, false, false, true, true, false,
+        ];
         let bytes = pack_bits(&bits);
         assert_eq!(bytes.len(), 2);
         let mut r = BitReader::new(&bytes);

@@ -18,6 +18,7 @@ use hybrid_common::error::Result;
 use hybrid_common::hash::agreed_shuffle_partition;
 use hybrid_common::ids::DbWorkerId;
 use hybrid_common::ops::{partition_by_key, HashAggregator};
+use hybrid_common::trace::Stage;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
 use hybrid_jen::LocalJoiner;
 use hybrid_jen::ScanSpec;
@@ -34,6 +35,7 @@ pub(crate) fn execute(
     // Step 1: T' per DB worker (+ global BF_DB if requested).
     let t_prime = db_apply_local(sys, query)?;
     if use_bloom {
+        let bf_span = sys.tracer.start("db", Stage::BloomBuild);
         let bf = sys.db.build_global_bloom(
             &query.db_table,
             &query.db_pred,
@@ -41,12 +43,16 @@ pub(crate) fn execute(
             query.bloom,
         )?;
         let bytes = bf.to_bytes();
+        bf_span.done(bytes.len() as u64, 0);
         let db0 = Endpoint::Db(DbWorkerId(0));
         for jen in sys.fabric.jen_endpoints() {
             sys.fabric.send(
                 db0,
                 jen,
-                Message::Bloom { stream: StreamTag::DbBloom, bytes: bytes.clone() },
+                Message::Bloom {
+                    stream: StreamTag::DbBloom,
+                    bytes: bytes.clone(),
+                },
             )?;
             send_eos(sys, db0, jen, StreamTag::DbBloom)?;
         }
@@ -56,12 +62,14 @@ pub(crate) fn execute(
     // JEN worker that will join it, no re-shuffle needed (§3.3).
     for (w, part) in t_prime.iter().enumerate() {
         let src = Endpoint::Db(DbWorkerId(w));
+        let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
         let routed = partition_by_key(part, query.db_key, num_jen, agreed_shuffle_partition)?;
         for (jen_idx, piece) in routed.into_iter().enumerate() {
             let dst = Endpoint::Jen(hybrid_common::ids::JenWorkerId(jen_idx));
             send_data(sys, src, dst, StreamTag::DbData, &piece)?;
             send_eos(sys, src, dst, StreamTag::DbData)?;
         }
+        span.done(part.serialized_bytes() as u64, part.num_rows() as u64);
     }
 
     // Step 3: JEN workers scan (applying BF_DB if present) and shuffle the
@@ -100,8 +108,10 @@ pub(crate) fn execute(
             &scan_spec,
             bloom.as_ref(),
         )?;
-        let routed =
-            partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
+        let span = sys.tracer.start(worker.span_label(), Stage::ShuffleSend);
+        let sent_rows = l_share.num_rows() as u64;
+        let sent_bytes = l_share.serialized_bytes() as u64;
+        let routed = partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
         let mut mine = Batch::empty(l_schema.clone());
         for (dst_idx, piece) in routed.into_iter().enumerate() {
             if dst_idx == w {
@@ -112,6 +122,7 @@ pub(crate) fn execute(
                 send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
             }
         }
+        span.done(sent_bytes, sent_rows);
         local_parts.push(mine);
     }
 
@@ -124,7 +135,11 @@ pub(crate) fn execute(
     let mut partials: Vec<Batch> = Vec::with_capacity(num_jen);
     for worker in &sys.jen_workers {
         let w = worker.id().index();
+        let label = worker.span_label();
+        let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
         let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
+        let recv_rows: u64 = shuffled.batches.iter().map(|b| b.num_rows() as u64).sum();
+        recv_span.done(0, recv_rows);
         // the local join: in-memory by default, grace-hash with spilling
         // when the engine is configured with a build-side memory budget
         let mut joiner = LocalJoiner::new(
@@ -133,13 +148,22 @@ pub(crate) fn execute(
             sys.config.jen_memory_limit_rows,
             sys.metrics.clone(),
         )?;
-        joiner.build(std::mem::replace(&mut local_parts[w], Batch::empty(l_schema.clone())))?;
+        let built_rows = local_parts[w].num_rows() as u64 + recv_rows;
+        let build_span = sys.tracer.start(label.clone(), Stage::HashBuild);
+        joiner.build(std::mem::replace(
+            &mut local_parts[w],
+            Batch::empty(l_schema.clone()),
+        ))?;
         for b in shuffled.batches {
             joiner.build(b)?;
         }
+        build_span.done(0, built_rows);
         let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
         let t_schema = t_prime[0].schema().clone();
+        let probe_rows: u64 = db_data.batches.iter().map(|b| b.num_rows() as u64).sum();
+        let probe_span = sys.tracer.start(label.clone(), Stage::Probe);
         let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
+        probe_span.done(0, probe_rows);
         let joined = match &post_pred {
             Some(p) => {
                 let mask = p.eval_predicate(&joined)?;
@@ -147,10 +171,12 @@ pub(crate) fn execute(
             }
             None => joined,
         };
+        let agg_span = sys.tracer.start(label, Stage::Aggregate);
         let mut agg = HashAggregator::new(hdfs_aggs.clone());
         let groups = group_expr.eval_i64(&joined)?;
         agg.update(&groups, &joined)?;
         partials.push(agg.finish());
+        agg_span.done(0, joined.num_rows() as u64);
     }
 
     // Steps 5–6: final aggregation + return to the database.

@@ -23,12 +23,13 @@ use crate::algorithms::{
 };
 use crate::query::HybridQuery;
 use crate::system::{HybridSystem, ZigzagReaccess};
-use hybrid_bloom::{filter_batch, BloomFilter};
+use hybrid_bloom::{filter_batch, ApproxMembership, BloomFilter};
 use hybrid_common::batch::Batch;
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::hash::agreed_shuffle_partition;
 use hybrid_common::ids::{DbWorkerId, JenWorkerId};
 use hybrid_common::ops::{partition_by_key, HashAggregator};
+use hybrid_common::trace::Stage;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
 use hybrid_jen::LocalJoiner;
 use hybrid_jen::ScanSpec;
@@ -40,12 +41,14 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
 
     // Steps 1–2: T' per DB worker, global BF_DB, multicast to JEN workers.
     let t_prime = db_apply_local(sys, query)?;
+    let bf_span = sys.tracer.start("db", Stage::BloomBuild);
     let bf_db = sys.db.build_global_bloom(
         &query.db_table,
         &query.db_pred,
         query.db_key_base(),
         query.bloom,
     )?;
+    bf_span.done(bf_db.wire_bytes() as u64, 0);
     {
         let bytes = bf_db.to_bytes();
         let db0 = Endpoint::Db(DbWorkerId(0));
@@ -53,7 +56,10 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             sys.fabric.send(
                 db0,
                 jen,
-                Message::Bloom { stream: StreamTag::DbBloom, bytes: bytes.clone() },
+                Message::Bloom {
+                    stream: StreamTag::DbBloom,
+                    bytes: bytes.clone(),
+                },
             )?;
             send_eos(sys, db0, jen, StreamTag::DbBloom)?;
         }
@@ -99,14 +105,19 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             sys.fabric.send(
                 me,
                 Endpoint::Jen(designated),
-                Message::Bloom { stream: StreamTag::HdfsBloom, bytes: local_bf.to_bytes() },
+                Message::Bloom {
+                    stream: StreamTag::HdfsBloom,
+                    bytes: local_bf.to_bytes(),
+                },
             )?;
             send_eos(sys, me, Endpoint::Jen(designated), StreamTag::HdfsBloom)?;
         }
 
         // 3c: shuffle by the agreed hash; local partition stays put
-        let routed =
-            partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
+        let span = sys.tracer.start(worker.span_label(), Stage::ShuffleSend);
+        let sent_rows = l_share.num_rows() as u64;
+        let sent_bytes = l_share.serialized_bytes() as u64;
+        let routed = partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
         let mut mine = Batch::empty(l_schema.clone());
         for (dst_idx, piece) in routed.into_iter().enumerate() {
             if dst_idx == w {
@@ -117,6 +128,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
                 send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
             }
         }
+        span.done(sent_bytes, sent_rows);
         local_parts.push(mine);
     }
 
@@ -135,7 +147,10 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             sys.fabric.send(
                 from,
                 db,
-                Message::Bloom { stream: StreamTag::HdfsBloom, bytes: bytes.clone() },
+                Message::Bloom {
+                    stream: StreamTag::HdfsBloom,
+                    bytes: bytes.clone(),
+                },
             )?;
             send_eos(sys, from, db, StreamTag::HdfsBloom)?;
         }
@@ -170,16 +185,22 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
                 &reaccessed
             }
         };
+        let apply_span = sys.tracer.start(format!("db-{w}"), Stage::BloomApply);
         let (t_second, _) = filter_batch(part, query.db_key, &bf)?;
+        apply_span.done(0, part.num_rows() as u64);
         sys.metrics
             .add("db.bloom.t_rows_after_bfh", t_second.num_rows() as u64);
-        let routed =
-            partition_by_key(&t_second, query.db_key, num_jen, agreed_shuffle_partition)?;
+        let send_span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
+        let routed = partition_by_key(&t_second, query.db_key, num_jen, agreed_shuffle_partition)?;
         for (jen_idx, piece) in routed.into_iter().enumerate() {
             let dst = Endpoint::Jen(JenWorkerId(jen_idx));
             send_data(sys, me, dst, StreamTag::DbData, &piece)?;
             send_eos(sys, me, dst, StreamTag::DbData)?;
         }
+        send_span.done(
+            t_second.serialized_bytes() as u64,
+            t_second.num_rows() as u64,
+        );
     }
 
     // Step 7: build on the shuffled HDFS data, probe with T'' (layout
@@ -190,7 +211,11 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
     let mut partials: Vec<Batch> = Vec::with_capacity(num_jen);
     for worker in &sys.jen_workers {
         let w = worker.id().index();
+        let label = worker.span_label();
+        let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
         let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
+        let recv_rows: u64 = shuffled.batches.iter().map(|b| b.num_rows() as u64).sum();
+        recv_span.done(0, recv_rows);
         // the local join: in-memory by default, grace-hash with spilling
         // when the engine is configured with a build-side memory budget
         let mut joiner = LocalJoiner::new(
@@ -199,13 +224,22 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             sys.config.jen_memory_limit_rows,
             sys.metrics.clone(),
         )?;
-        joiner.build(std::mem::replace(&mut local_parts[w], Batch::empty(l_schema.clone())))?;
+        let built_rows = local_parts[w].num_rows() as u64 + recv_rows;
+        let build_span = sys.tracer.start(label.clone(), Stage::HashBuild);
+        joiner.build(std::mem::replace(
+            &mut local_parts[w],
+            Batch::empty(l_schema.clone()),
+        ))?;
         for b in shuffled.batches {
             joiner.build(b)?;
         }
+        build_span.done(0, built_rows);
         let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
         let t_schema = t_prime[0].schema().clone();
+        let probe_rows: u64 = db_data.batches.iter().map(|b| b.num_rows() as u64).sum();
+        let probe_span = sys.tracer.start(label.clone(), Stage::Probe);
         let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
+        probe_span.done(0, probe_rows);
         let joined = match &post_pred {
             Some(p) => {
                 let mask = p.eval_predicate(&joined)?;
@@ -213,10 +247,12 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             }
             None => joined,
         };
+        let agg_span = sys.tracer.start(label, Stage::Aggregate);
         let mut agg = HashAggregator::new(hdfs_aggs.clone());
         let groups = group_expr.eval_i64(&joined)?;
         agg.update(&groups, &joined)?;
         partials.push(agg.finish());
+        agg_span.done(0, joined.num_rows() as u64);
     }
 
     // Steps 8–9: final aggregation at the designated worker, result to DB.

@@ -136,8 +136,16 @@ pub fn sample_stats(
     Ok(SampledStats {
         sigma_t,
         sigma_l,
-        st: if t_keys.is_empty() { 1.0 } else { inter / t_keys.len() as f64 },
-        sl: if l_keys.is_empty() { 1.0 } else { inter / l_keys.len() as f64 },
+        st: if t_keys.is_empty() {
+            1.0
+        } else {
+            inter / t_keys.len() as f64
+        },
+        sl: if l_keys.is_empty() {
+            1.0
+        } else {
+            inter / l_keys.len() as f64
+        },
         t_prime_rows: sigma_t * t_total_rows as f64,
         l_prime_rows: sigma_l * l_total_rows,
         t_row_bytes: avg(t_bytes, t_passed),
@@ -164,10 +172,7 @@ fn avg(bytes: usize, rows: usize) -> f64 {
 
 /// Estimate, let the advisor choose, and execute — the "just run my query"
 /// entry point a downstream user wants.
-pub fn run_auto(
-    sys: &mut HybridSystem,
-    query: &HybridQuery,
-) -> Result<(JoinAlgorithm, RunOutput)> {
+pub fn run_auto(sys: &mut HybridSystem, query: &HybridQuery) -> Result<(JoinAlgorithm, RunOutput)> {
     let stats = sample_stats(sys, query, 8)?;
     let est = stats.to_estimates(query, sys.config.jen_workers);
     let choice = advise(&est);

@@ -19,10 +19,10 @@
 //! rewrites canonical expressions for that layout so every algorithm
 //! computes the same answer.
 
+use hybrid_bloom::BloomParams;
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::expr::Expr;
 use hybrid_common::ops::AggSpec;
-use hybrid_bloom::BloomParams;
 
 /// A two-table hybrid-warehouse query.
 #[derive(Debug, Clone)]
@@ -135,7 +135,9 @@ impl HybridQuery {
 
     /// `post_predicate` for the `L' ++ T'` layout.
     pub fn post_predicate_hdfs_layout(&self) -> Option<Expr> {
-        self.post_predicate.as_ref().map(|p| self.remap_joined_expr(p))
+        self.post_predicate
+            .as_ref()
+            .map(|p| self.remap_joined_expr(p))
     }
 
     /// `group_expr` for the `L' ++ T'` layout.
@@ -176,7 +178,7 @@ mod tests {
             db_table: "T".into(),
             hdfs_table: "L".into(),
             db_pred: Expr::col_le(2, 10),
-            db_proj: vec![1, 4],  // joinKey, date
+            db_proj: vec![1, 4], // joinKey, date
             db_key: 0,
             hdfs_pred: Expr::col_le(1, 10),
             hdfs_proj: vec![0, 3], // joinKey, date

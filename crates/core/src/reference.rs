@@ -96,8 +96,8 @@ mod tests {
         HybridQuery {
             db_table: "T".into(),
             hdfs_table: "L".into(),
-            db_pred: Expr::col_le(2, 0),  // corPred == 0: drops joinKey 30
-            db_proj: vec![1, 3],          // joinKey, tdate
+            db_pred: Expr::col_le(2, 0), // corPred == 0: drops joinKey 30
+            db_proj: vec![1, 3],         // joinKey, tdate
             db_key: 0,
             hdfs_pred: Expr::col_le(1, 0), // keeps everything
             hdfs_proj: vec![0, 2, 3],      // joinKey, ldate, grp

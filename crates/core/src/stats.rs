@@ -2,6 +2,7 @@
 
 use hybrid_common::batch::Batch;
 use hybrid_common::metrics::MetricsSnapshot;
+use hybrid_common::trace::Timeline;
 
 /// Digest of one join run's data movement and scan work, extracted from the
 /// metrics registry after the run.
@@ -102,6 +103,8 @@ pub struct RunOutput {
     pub summary: JoinSummary,
     /// Raw metric counters (diagnostics, cost-model input).
     pub snapshot: MetricsSnapshot,
+    /// Phase spans of the run (Fig. 7 view), with per-link `net.*` totals.
+    pub timeline: Timeline,
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use hybrid_common::error::{HybridError, Result};
 use hybrid_common::ids::JenWorkerId;
 use hybrid_common::metrics::Metrics;
 use hybrid_common::schema::Schema;
+use hybrid_common::trace::Tracer;
 use hybrid_edw::DbCluster;
 use hybrid_hdfs::{Catalog, HdfsCluster, TableMeta};
 use hybrid_jen::{JenCoordinator, JenWorker};
@@ -68,7 +69,9 @@ impl SystemConfig {
 
     pub fn validate(&self) -> Result<()> {
         if self.db_workers == 0 || self.jen_workers == 0 {
-            return Err(HybridError::config("both clusters need at least one worker"));
+            return Err(HybridError::config(
+                "both clusters need at least one worker",
+            ));
         }
         if self.rows_per_block == 0 {
             return Err(HybridError::config("rows_per_block must be positive"));
@@ -86,6 +89,8 @@ pub struct HybridSystem {
     pub jen_workers: Vec<JenWorker>,
     pub fabric: Fabric<Message>,
     pub metrics: Metrics,
+    /// Shared phase recorder: every worker's spans land on one clock.
+    pub tracer: Tracer,
     pub config: SystemConfig,
 }
 
@@ -102,8 +107,16 @@ impl HybridSystem {
         let catalog = Arc::new(RwLock::new(Catalog::new()));
         let coordinator =
             JenCoordinator::new(Arc::clone(&catalog), Arc::clone(&hdfs), config.jen_workers)?;
+        let tracer = Tracer::new();
         let jen_workers = (0..config.jen_workers)
-            .map(|i| JenWorker::new(JenWorkerId(i), Arc::clone(&hdfs), metrics.clone()))
+            .map(|i| {
+                JenWorker::with_tracer(
+                    JenWorkerId(i),
+                    Arc::clone(&hdfs),
+                    metrics.clone(),
+                    tracer.clone(),
+                )
+            })
             .collect();
         let fabric = Fabric::new(config.db_workers, config.jen_workers, metrics.clone());
         Ok(HybridSystem {
@@ -114,6 +127,7 @@ impl HybridSystem {
             jen_workers,
             fabric,
             metrics,
+            tracer,
             config,
         })
     }
@@ -207,11 +221,7 @@ mod tests {
         let mut sys = HybridSystem::new(cfg).unwrap();
         sys.load_hdfs_table("L", FileFormat::Text, schema(), &data(300))
             .unwrap();
-        let blocks = sys
-            .hdfs
-            .read()
-            .file_blocks("/warehouse/L")
-            .unwrap();
+        let blocks = sys.hdfs.read().file_blocks("/warehouse/L").unwrap();
         assert_eq!(blocks.len(), 5); // ceil(300/64)
     }
 

@@ -28,8 +28,10 @@
 
 pub mod cluster;
 pub mod model;
+pub mod overlap;
 pub mod scale;
 
 pub use cluster::ClusterSpec;
 pub use model::{CostBreakdown, CostModel, Phase};
+pub use overlap::OverlapProfile;
 pub use scale::ScaleFactors;

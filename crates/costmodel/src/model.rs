@@ -1,7 +1,9 @@
 //! Phase-structured time estimation per join algorithm.
 
 use crate::cluster::ClusterSpec;
+use crate::overlap::{blend, OverlapProfile};
 use crate::scale::ScaleFactors;
+use hybrid_common::trace::Stage;
 use hybrid_core::{JoinAlgorithm, JoinSummary};
 
 /// One named contribution to a run's estimated time.
@@ -57,7 +59,9 @@ struct Volumes {
 
 impl CostModel {
     pub fn paper() -> CostModel {
-        CostModel { cluster: ClusterSpec::paper() }
+        CostModel {
+            cluster: ClusterSpec::paper(),
+        }
     }
 
     fn volumes(&self, s: &JoinSummary, f: &ScaleFactors) -> Volumes {
@@ -83,8 +87,7 @@ impl CostModel {
         Volumes {
             scan_io_s: scan_bytes / c.hdfs_scan_bw,
             process_s: rows_raw / c.jen_process_rate,
-            shuffle_s: (shuffled / c.jen_shuffle_rate)
-                .max(shuffle_bytes / c.intra_hdfs_bw),
+            shuffle_s: (shuffled / c.jen_shuffle_rate).max(shuffle_bytes / c.intra_hdfs_bw),
             build_s: l_after_bloom / c.jen_join_rate,
             probe_s: db_sent / c.jen_join_rate,
             l_local_probe_s: l_after_pred / c.jen_join_rate,
@@ -103,7 +106,137 @@ impl CostModel {
         }
     }
 
-    /// Estimate paper-scale wall-clock seconds for one measured run.
+    /// The phase structure of one algorithm: sequential contributions plus
+    /// concurrent groups whose combination rule depends on the overlap
+    /// model (assumed `max` vs measured blend).
+    fn phase_specs(&self, algorithm: JoinAlgorithm, v: &Volumes) -> Vec<PhaseSpec> {
+        let scan = (v.scan_io_s.max(v.process_s), Some(Stage::Scan));
+        let overhead = PhaseSpec::seq("coordination", self.cluster.fixed_overhead_s);
+        match algorithm {
+            JoinAlgorithm::DbSide { bloom } => {
+                let mut specs = Vec::new();
+                if bloom {
+                    // BF_DB must exist before the HDFS scan starts.
+                    specs.push(PhaseSpec::seq(
+                        "db prep + BF_DB build/send",
+                        v.db_prep_s + v.bf_build_s + v.bf_exchange_s,
+                    ));
+                    specs.push(PhaseSpec::overlap(
+                        "hdfs scan ∥ ingest into DB",
+                        vec![scan, (v.db_ingest_s, Some(Stage::ShuffleRecv))],
+                    ));
+                } else {
+                    // T' prep overlaps the HDFS-side work entirely.
+                    specs.push(PhaseSpec::overlap(
+                        "hdfs scan ∥ ingest into DB ∥ db prep",
+                        vec![
+                            scan,
+                            (v.db_ingest_s, Some(Stage::ShuffleRecv)),
+                            (v.db_prep_s, None),
+                        ],
+                    ));
+                }
+                specs.push(PhaseSpec::seq(
+                    "in-DB shuffle + join + aggregate",
+                    v.db_shuffle_s + v.db_join_s,
+                ));
+                specs.push(overhead);
+                specs
+            }
+            JoinAlgorithm::Broadcast => vec![
+                PhaseSpec::overlap(
+                    "hdfs scan ∥ T' broadcast ∥ local join",
+                    vec![
+                        scan,
+                        (v.db_prep_s + v.db_export_s, Some(Stage::ShuffleSend)),
+                        (v.l_local_probe_s, Some(Stage::Probe)),
+                    ],
+                ),
+                overhead,
+            ],
+            JoinAlgorithm::Repartition { bloom: false } => vec![
+                PhaseSpec::overlap(
+                    "hdfs scan ∥ shuffle ∥ build ∥ T' send",
+                    vec![
+                        scan,
+                        (v.shuffle_s, Some(Stage::ShuffleSend)),
+                        (v.build_s, Some(Stage::HashBuild)),
+                        (v.db_prep_s + v.db_export_s, None),
+                    ],
+                ),
+                PhaseSpec::seq("probe + aggregate", v.probe_s),
+                overhead,
+            ],
+            JoinAlgorithm::Repartition { bloom: true } => vec![
+                PhaseSpec::seq(
+                    "db prep + BF_DB build/send",
+                    v.db_prep_s + v.bf_build_s + v.bf_exchange_s,
+                ),
+                PhaseSpec::overlap(
+                    "hdfs scan ∥ shuffle ∥ build ∥ T' send",
+                    vec![
+                        scan,
+                        (v.shuffle_s, Some(Stage::ShuffleSend)),
+                        (v.build_s, Some(Stage::HashBuild)),
+                        (v.db_export_s, None),
+                    ],
+                ),
+                PhaseSpec::seq("probe + aggregate", v.probe_s),
+                overhead,
+            ],
+            JoinAlgorithm::Zigzag => vec![
+                PhaseSpec::seq(
+                    "db prep + BF exchanges",
+                    v.db_prep_s + v.bf_build_s + v.bf_exchange_s,
+                ),
+                PhaseSpec::overlap(
+                    "hdfs scan ∥ shuffle ∥ build BF_H",
+                    vec![
+                        scan,
+                        (v.shuffle_s, Some(Stage::ShuffleSend)),
+                        (v.build_s, Some(Stage::HashBuild)),
+                    ],
+                ),
+                PhaseSpec::seq("apply BF_H + T'' send", v.bf_apply_db_s + v.db_export_s),
+                PhaseSpec::seq("probe + aggregate", v.probe_s),
+                overhead,
+            ],
+            JoinAlgorithm::SemiJoin => vec![
+                PhaseSpec::seq("db prep + key-set send", v.db_prep_s + v.keyset_exchange_s),
+                PhaseSpec::overlap(
+                    "hdfs scan ∥ shuffle ∥ build ∥ T' send",
+                    vec![
+                        scan,
+                        (v.shuffle_s, Some(Stage::ShuffleSend)),
+                        (v.build_s, Some(Stage::HashBuild)),
+                        (v.db_export_s, None),
+                    ],
+                ),
+                PhaseSpec::seq("probe + aggregate", v.probe_s),
+                overhead,
+            ],
+            JoinAlgorithm::PerfJoin => vec![
+                // key routing overlaps the scan/shuffle phase, but the
+                // duplicated-per-tuple key stream pays the DB export path
+                PhaseSpec::overlap(
+                    "hdfs scan ∥ shuffle ∥ build ∥ T' keys send",
+                    vec![
+                        scan,
+                        (v.shuffle_s, Some(Stage::ShuffleSend)),
+                        (v.build_s, Some(Stage::HashBuild)),
+                        (v.db_prep_s + v.perf_keys_s, None),
+                    ],
+                ),
+                PhaseSpec::seq("positional bitmap replies", v.perf_bitmap_s),
+                PhaseSpec::seq("matching T' send", v.db_export_s),
+                PhaseSpec::seq("probe + aggregate", v.probe_s),
+                overhead,
+            ],
+        }
+    }
+
+    /// Estimate paper-scale wall-clock seconds for one measured run,
+    /// assuming perfect overlap of concurrent phases.
     ///
     /// The composition mirrors how the real engines overlap work:
     /// * JEN's scan, the L' shuffle, and hash-table building run
@@ -117,122 +250,53 @@ impl CostModel {
         summary: &JoinSummary,
         scale: &ScaleFactors,
     ) -> CostBreakdown {
+        self.estimate_measured(algorithm, summary, scale, &OverlapProfile::assumed())
+    }
+
+    /// Like [`CostModel::estimate`], but concurrent phases combine using
+    /// **measured** overlap fractions from a run's Timeline: each
+    /// non-dominant component contributes the `(1 − f)` share of its time
+    /// that did not overlap the dominant one. Pairs the profile never
+    /// observed fall back to the assumed full overlap, so
+    /// `estimate_measured(.., &OverlapProfile::assumed())` equals
+    /// `estimate(..)` exactly — the A/B baseline.
+    pub fn estimate_measured(
+        &self,
+        algorithm: JoinAlgorithm,
+        summary: &JoinSummary,
+        scale: &ScaleFactors,
+        profile: &OverlapProfile,
+    ) -> CostBreakdown {
         let v = self.volumes(summary, scale);
-        let scan_phase = v.scan_io_s.max(v.process_s);
-        let overhead = Phase { name: "coordination", seconds: self.cluster.fixed_overhead_s };
-        let phases = match algorithm {
-            JoinAlgorithm::DbSide { bloom } => {
-                let mut phases = Vec::new();
-                if bloom {
-                    // BF_DB must exist before the HDFS scan starts.
-                    phases.push(Phase {
-                        name: "db prep + BF_DB build/send",
-                        seconds: v.db_prep_s + v.bf_build_s + v.bf_exchange_s,
-                    });
-                    phases.push(Phase {
-                        name: "hdfs scan ∥ ingest into DB",
-                        seconds: scan_phase.max(v.db_ingest_s),
-                    });
-                } else {
-                    // T' prep overlaps the HDFS-side work entirely.
-                    phases.push(Phase {
-                        name: "hdfs scan ∥ ingest into DB ∥ db prep",
-                        seconds: scan_phase.max(v.db_ingest_s).max(v.db_prep_s),
-                    });
-                }
-                phases.push(Phase {
-                    name: "in-DB shuffle + join + aggregate",
-                    seconds: v.db_shuffle_s + v.db_join_s,
-                });
-                phases.push(overhead);
-                phases
-            }
-            JoinAlgorithm::Broadcast => vec![
-                Phase {
-                    name: "hdfs scan ∥ T' broadcast ∥ local join",
-                    seconds: scan_phase
-                        .max(v.db_prep_s + v.db_export_s)
-                        .max(v.l_local_probe_s),
-                },
-                overhead,
-            ],
-            JoinAlgorithm::Repartition { bloom: false } => vec![
-                Phase {
-                    name: "hdfs scan ∥ shuffle ∥ build ∥ T' send",
-                    seconds: scan_phase
-                        .max(v.shuffle_s)
-                        .max(v.build_s)
-                        .max(v.db_prep_s + v.db_export_s),
-                },
-                Phase { name: "probe + aggregate", seconds: v.probe_s },
-                overhead,
-            ],
-            JoinAlgorithm::Repartition { bloom: true } => vec![
-                Phase {
-                    name: "db prep + BF_DB build/send",
-                    seconds: v.db_prep_s + v.bf_build_s + v.bf_exchange_s,
-                },
-                Phase {
-                    name: "hdfs scan ∥ shuffle ∥ build ∥ T' send",
-                    seconds: scan_phase
-                        .max(v.shuffle_s)
-                        .max(v.build_s)
-                        .max(v.db_export_s),
-                },
-                Phase { name: "probe + aggregate", seconds: v.probe_s },
-                overhead,
-            ],
-            JoinAlgorithm::Zigzag => vec![
-                Phase {
-                    name: "db prep + BF exchanges",
-                    seconds: v.db_prep_s + v.bf_build_s + v.bf_exchange_s,
-                },
-                Phase {
-                    name: "hdfs scan ∥ shuffle ∥ build BF_H",
-                    seconds: scan_phase.max(v.shuffle_s).max(v.build_s),
-                },
-                Phase {
-                    name: "apply BF_H + T'' send",
-                    seconds: v.bf_apply_db_s + v.db_export_s,
-                },
-                Phase { name: "probe + aggregate", seconds: v.probe_s },
-                overhead,
-            ],
-            JoinAlgorithm::SemiJoin => vec![
-                Phase {
-                    name: "db prep + key-set send",
-                    seconds: v.db_prep_s + v.keyset_exchange_s,
-                },
-                Phase {
-                    name: "hdfs scan ∥ shuffle ∥ build ∥ T' send",
-                    seconds: scan_phase
-                        .max(v.shuffle_s)
-                        .max(v.build_s)
-                        .max(v.db_export_s),
-                },
-                Phase { name: "probe + aggregate", seconds: v.probe_s },
-                overhead,
-            ],
-            JoinAlgorithm::PerfJoin => vec![
-                // key routing overlaps the scan/shuffle phase, but the
-                // duplicated-per-tuple key stream pays the DB export path
-                Phase {
-                    name: "hdfs scan ∥ shuffle ∥ build ∥ T' keys send",
-                    seconds: scan_phase
-                        .max(v.shuffle_s)
-                        .max(v.build_s)
-                        .max(v.db_prep_s + v.perf_keys_s),
-                },
-                Phase { name: "positional bitmap replies", seconds: v.perf_bitmap_s },
-                Phase {
-                    name: "matching T' send",
-                    seconds: v.db_export_s,
-                },
-                Phase { name: "probe + aggregate", seconds: v.probe_s },
-                overhead,
-            ],
-        };
+        let phases = self
+            .phase_specs(algorithm, &v)
+            .into_iter()
+            .map(|spec| Phase {
+                name: spec.name,
+                seconds: blend(&spec.parts, profile),
+            })
+            .collect();
         CostBreakdown::from_phases(phases)
+    }
+}
+
+/// One phase before the overlap rule is applied: a sequential contribution
+/// is a single-part group (blend of one part is just its time).
+struct PhaseSpec {
+    name: &'static str,
+    parts: Vec<(f64, Option<Stage>)>,
+}
+
+impl PhaseSpec {
+    fn seq(name: &'static str, seconds: f64) -> PhaseSpec {
+        PhaseSpec {
+            name,
+            parts: vec![(seconds, None)],
+        }
+    }
+
+    fn overlap(name: &'static str, parts: Vec<(f64, Option<Stage>)>) -> PhaseSpec {
+        PhaseSpec { name, parts }
     }
 }
 
@@ -242,11 +306,7 @@ mod tests {
 
     /// A synthetic summary at paper scale for the Table 1 configuration
     /// (σT=0.1, σL=0.4, SL'=0.1, ST'=0.2) on the Parquet format.
-    fn paper_summary(
-        shuffled: u64,
-        db_sent: u64,
-        after_bloom_fraction: f64,
-    ) -> JoinSummary {
+    fn paper_summary(shuffled: u64, db_sent: u64, after_bloom_fraction: f64) -> JoinSummary {
         let l_prime_rows = 6.0e9; // σL=0.4 of 15B
         JoinSummary {
             hdfs_tuples_shuffled: shuffled,
@@ -310,8 +370,14 @@ mod tests {
         );
         let vs_rep = rep.total_s / zz.total_s;
         let vs_bf = rep_bf.total_s / zz.total_s;
-        assert!((1.8..3.2).contains(&vs_rep), "zigzag vs rep factor {vs_rep:.2}");
-        assert!((1.3..2.2).contains(&vs_bf), "zigzag vs repBF factor {vs_bf:.2}");
+        assert!(
+            (1.8..3.2).contains(&vs_rep),
+            "zigzag vs rep factor {vs_rep:.2}"
+        );
+        assert!(
+            (1.3..2.2).contains(&vs_bf),
+            "zigzag vs repBF factor {vs_bf:.2}"
+        );
         // magnitudes in the paper's 100–700 s band
         assert!(rep.total_s < 700.0 && zz.total_s > 50.0);
     }
@@ -365,7 +431,10 @@ mod tests {
             &ScaleFactors::identity(),
         );
         let ratio = scaled.total_s / big.total_s;
-        assert!((0.9..1.1).contains(&ratio), "scale mismatch ratio {ratio:.3}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "scale mismatch ratio {ratio:.3}"
+        );
     }
 
     #[test]
@@ -412,6 +481,77 @@ mod tests {
             .estimate(JoinAlgorithm::Repartition { bloom: false }, &rp, &id)
             .total_s;
         assert!(rp_t < bc_t, "repartition {rp_t:.0} vs broadcast {bc_t:.0}");
+    }
+
+    #[test]
+    fn measured_overlap_equals_assumed_on_empty_profile() {
+        let m = CostModel::paper();
+        let id = ScaleFactors::identity();
+        let s = paper_summary(591_000_000, 30_000_000, 0.1);
+        for alg in [
+            JoinAlgorithm::Repartition { bloom: false },
+            JoinAlgorithm::Repartition { bloom: true },
+            JoinAlgorithm::Zigzag,
+            JoinAlgorithm::Broadcast,
+            JoinAlgorithm::DbSide { bloom: true },
+            JoinAlgorithm::SemiJoin,
+            JoinAlgorithm::PerfJoin,
+        ] {
+            let assumed = m.estimate(alg, &s, &id);
+            let measured = m.estimate_measured(alg, &s, &id, &OverlapProfile::assumed());
+            assert_eq!(assumed, measured, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn measured_overlap_never_beats_assumed() {
+        use hybrid_common::trace::Span;
+        // A timeline where scan and shuffle barely overlap: the measured
+        // estimate must be at least the assumed (perfect-overlap) one.
+        let t = hybrid_common::trace::Timeline {
+            spans: vec![
+                Span {
+                    worker: "jen-0".into(),
+                    stage: Stage::Scan,
+                    t_start: 0,
+                    t_end: 100,
+                    bytes: 0,
+                    tuples: 0,
+                },
+                Span {
+                    worker: "jen-0".into(),
+                    stage: Stage::ShuffleSend,
+                    t_start: 90,
+                    t_end: 190,
+                    bytes: 0,
+                    tuples: 0,
+                },
+                Span {
+                    worker: "jen-0".into(),
+                    stage: Stage::HashBuild,
+                    t_start: 190,
+                    t_end: 250,
+                    bytes: 0,
+                    tuples: 0,
+                },
+            ],
+            ..Default::default()
+        };
+        let profile = OverlapProfile::from_timeline(&t);
+        let m = CostModel::paper();
+        let id = ScaleFactors::identity();
+        let s = paper_summary(5_854_000_000, 165_000_000, 1.0);
+        let alg = JoinAlgorithm::Repartition { bloom: false };
+        let assumed = m.estimate(alg, &s, &id);
+        let measured = m.estimate_measured(alg, &s, &id, &profile);
+        assert!(
+            measured.total_s >= assumed.total_s,
+            "measured {:.1}s < assumed {:.1}s",
+            measured.total_s,
+            assumed.total_s
+        );
+        // and the poorly-overlapped shuffle must actually cost extra
+        assert!(measured.total_s > assumed.total_s);
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub const PAPER_KEYS: f64 = 16.0e6;
 impl ScaleFactors {
     /// No rescaling — report times for the volumes as measured.
     pub fn identity() -> ScaleFactors {
-        ScaleFactors { t: 1.0, l: 1.0, keys: 1.0 }
+        ScaleFactors {
+            t: 1.0,
+            l: 1.0,
+            keys: 1.0,
+        }
     }
 
     /// Factors mapping an experiment with the given row/key counts onto the
@@ -42,7 +46,14 @@ mod tests {
     #[test]
     fn identity_is_one() {
         let s = ScaleFactors::identity();
-        assert_eq!(s, ScaleFactors { t: 1.0, l: 1.0, keys: 1.0 });
+        assert_eq!(
+            s,
+            ScaleFactors {
+                t: 1.0,
+                l: 1.0,
+                keys: 1.0
+            }
+        );
     }
 
     #[test]

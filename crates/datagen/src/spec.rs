@@ -85,7 +85,9 @@ impl WorkloadSpec {
             return Err(HybridError::config("row/key counts must be positive"));
         }
         if self.num_groups == 0 || self.date_days <= 0 {
-            return Err(HybridError::config("groups and date window must be positive"));
+            return Err(HybridError::config(
+                "groups and date window must be positive",
+            ));
         }
         Ok(())
     }
@@ -136,7 +138,9 @@ impl KeyPlan {
         let n = spec.num_keys as f64;
         // t_selected must be big enough that (1) b_T = σT/a_T ≤ 1 and
         // (2) l_selected = st·t_selected/sl ≥ σL·N so b_L ≤ 1.
-        let a_t = (spec.sigma_t).max(spec.sigma_l * spec.sl / spec.st).min(1.0);
+        let a_t = (spec.sigma_t)
+            .max(spec.sigma_l * spec.sl / spec.st)
+            .min(1.0);
         let t_selected = ((a_t * n).round() as usize).max(1);
         let common = ((spec.st * t_selected as f64).round() as usize).max(1);
         let l_selected = ((common as f64 / spec.sl).round() as usize).max(common);
@@ -266,8 +270,14 @@ mod tests {
             let plan = s.key_plan().unwrap();
             let (at, al, ast, asl) = plan.achieved();
             let tol: f64 = 0.02;
-            assert!((at - sigma_t).abs() < tol.max(sigma_t * 0.1), "σT {at} vs {sigma_t}");
-            assert!((al - sigma_l).abs() < tol.max(sigma_l * 0.1), "σL {al} vs {sigma_l}");
+            assert!(
+                (at - sigma_t).abs() < tol.max(sigma_t * 0.1),
+                "σT {at} vs {sigma_t}"
+            );
+            assert!(
+                (al - sigma_l).abs() < tol.max(sigma_l * 0.1),
+                "σL {al} vs {sigma_l}"
+            );
             assert!((ast - st).abs() < tol, "ST' {ast} vs {st}");
             assert!((asl - sl).abs() < tol, "SL' {asl} vs {sl}");
         }
@@ -303,9 +313,6 @@ mod tests {
     #[test]
     fn universe_covers_all_pools() {
         let plan = spec(0.1, 0.4, 0.2, 0.1).key_plan().unwrap();
-        assert_eq!(
-            plan.universe(),
-            20 + (40 - 4) + 80 + 60
-        );
+        assert_eq!(plan.universe(), 20 + (40 - 4) + 80 + 60);
     }
 }

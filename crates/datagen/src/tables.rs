@@ -261,7 +261,12 @@ const L_SEED_X: u64 = 0x106_0F10_0000;
 mod tests {
     use super::*;
 
-    fn setup(sigma_t: f64, sigma_l: f64, st: f64, sl: f64) -> (WorkloadSpec, KeyPlan, Batch, Batch) {
+    fn setup(
+        sigma_t: f64,
+        sigma_l: f64,
+        st: f64,
+        sl: f64,
+    ) -> (WorkloadSpec, KeyPlan, Batch, Batch) {
         let spec = WorkloadSpec {
             sigma_t,
             sigma_l,
@@ -278,18 +283,14 @@ mod tests {
         (spec, plan, t, l)
     }
 
-    fn measured_selectivities(
-        plan: &KeyPlan,
-        t: &Batch,
-        l: &Batch,
-    ) -> (f64, f64, f64, f64) {
+    fn measured_selectivities(plan: &KeyPlan, t: &Batch, l: &Batch) -> (f64, f64, f64, f64) {
         use hybrid_common::expr::Expr;
         use std::collections::HashSet;
         let th = thresholds(plan);
-        let t_pred = Expr::col_le(t_cols::COR_PRED, th.t_cor)
-            .and(Expr::col_le(t_cols::IND_PRED, th.t_ind));
-        let l_pred = Expr::col_le(l_cols::COR_PRED, th.l_cor)
-            .and(Expr::col_le(l_cols::IND_PRED, th.l_ind));
+        let t_pred =
+            Expr::col_le(t_cols::COR_PRED, th.t_cor).and(Expr::col_le(t_cols::IND_PRED, th.t_ind));
+        let l_pred =
+            Expr::col_le(l_cols::COR_PRED, th.l_cor).and(Expr::col_le(l_cols::IND_PRED, th.l_ind));
         let t_mask = t_pred.eval_predicate(t).unwrap();
         let l_mask = l_pred.eval_predicate(l).unwrap();
         let sigma_t = t_mask.iter().filter(|&&x| x).count() as f64 / t.num_rows() as f64;
@@ -372,7 +373,10 @@ mod tests {
         assert_eq!(t_schema().len(), 8);
         assert_eq!(l_schema().len(), 6);
         assert_eq!(t_schema().field(t_cols::JOIN_KEY).unwrap().name, "joinKey");
-        assert_eq!(l_schema().field(l_cols::GROUP).unwrap().name, "groupByExtractCol");
+        assert_eq!(
+            l_schema().field(l_cols::GROUP).unwrap().name,
+            "groupByExtractCol"
+        );
     }
 
     #[test]

@@ -97,10 +97,7 @@ impl Workload {
         sys.load_db_table("T", t_cols::UNIQ_KEY, self.t.clone())?;
         // the paper's indexes: (corPred, indPred) and (corPred, indPred, joinKey)
         sys.create_db_index("T", &[t_cols::COR_PRED, t_cols::IND_PRED])?;
-        sys.create_db_index(
-            "T",
-            &[t_cols::COR_PRED, t_cols::IND_PRED, t_cols::JOIN_KEY],
-        )?;
+        sys.create_db_index("T", &[t_cols::COR_PRED, t_cols::IND_PRED, t_cols::JOIN_KEY])?;
         sys.load_hdfs_table("L", format, tables::l_schema(), &self.l)
     }
 

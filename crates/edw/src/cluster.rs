@@ -72,7 +72,12 @@ impl DbCluster {
 
     /// Step 1 of every algorithm: apply local predicates + projection on
     /// each worker, yielding `T'` as one batch per worker.
-    pub fn scan_filter_project(&self, table: &str, pred: &Expr, proj: &[usize]) -> Result<Vec<Batch>> {
+    pub fn scan_filter_project(
+        &self,
+        table: &str,
+        pred: &Expr,
+        proj: &[usize],
+    ) -> Result<Vec<Batch>> {
         self.workers
             .iter()
             .map(|w| w.scan_filter_project(table, pred, proj))
@@ -171,7 +176,8 @@ impl DbCluster {
         let mut final_agg = HashAggregator::new(spec.aggs.clone());
         for (w, partial) in partials.iter().enumerate() {
             if w != 0 {
-                self.metrics.add(INTRA_DB_BYTES, partial.serialized_bytes() as u64);
+                self.metrics
+                    .add(INTRA_DB_BYTES, partial.serialized_bytes() as u64);
                 self.metrics.add(INTRA_DB_TUPLES, partial.num_rows() as u64);
             }
             final_agg.merge_partial(partial)?;
@@ -184,7 +190,8 @@ impl DbCluster {
         for b in side {
             self.metrics
                 .add(INTRA_DB_BYTES, b.serialized_bytes() as u64 * (n - 1));
-            self.metrics.add(INTRA_DB_TUPLES, b.num_rows() as u64 * (n - 1));
+            self.metrics
+                .add(INTRA_DB_TUPLES, b.num_rows() as u64 * (n - 1));
         }
     }
 
@@ -197,7 +204,8 @@ impl DbCluster {
             let parts = partition_by_key(batch, key_col, n, db_partition)?;
             for (dst, part) in parts.into_iter().enumerate() {
                 if dst != src && part.num_rows() > 0 {
-                    self.metrics.add(INTRA_DB_BYTES, part.serialized_bytes() as u64);
+                    self.metrics
+                        .add(INTRA_DB_BYTES, part.serialized_bytes() as u64);
                     self.metrics.add(INTRA_DB_TUPLES, part.num_rows() as u64);
                 }
                 received[dst].push(part);
@@ -314,9 +322,7 @@ mod tests {
             per[i % n].1.push(k % 3);
         }
         per.into_iter()
-            .map(|(k, g)| {
-                Batch::new(schema.clone(), vec![Column::I32(k), Column::I32(g)]).unwrap()
-            })
+            .map(|(k, g)| Batch::new(schema.clone(), vec![Column::I32(k), Column::I32(g)]).unwrap())
             .collect()
     }
 

@@ -41,7 +41,10 @@ impl CoveringIndex {
         }
         order.sort_by_key(|&r| lead_vals[r as usize]);
         let data = projected.take(&order);
-        Ok(CoveringIndex { base_cols: base_cols.to_vec(), data })
+        Ok(CoveringIndex {
+            base_cols: base_cols.to_vec(),
+            data,
+        })
     }
 
     /// The base columns covered, in index order.

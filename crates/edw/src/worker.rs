@@ -60,7 +60,12 @@ impl DbWorker {
     /// Pick an index that covers `needed` columns, preferring one whose
     /// leading column is used by a `col <= bound` conjunct of `pred` (so the
     /// prefix range access prunes work).
-    fn choose_index(&self, table: &str, needed: &[usize], lead_candidates: &[usize]) -> Option<&CoveringIndex> {
+    fn choose_index(
+        &self,
+        table: &str,
+        needed: &[usize],
+        lead_candidates: &[usize],
+    ) -> Option<&CoveringIndex> {
         let mut best: Option<&CoveringIndex> = None;
         for idx in self.indexes_for(table) {
             if !idx.covers(needed.iter().copied()) {
@@ -120,7 +125,8 @@ impl DbWorker {
         }
 
         let partition = self.partition(table)?;
-        self.metrics.add("db.scan.rows", partition.num_rows() as u64);
+        self.metrics
+            .add("db.scan.rows", partition.num_rows() as u64);
         self.metrics
             .add("db.scan.bytes", partition.serialized_bytes() as u64);
         let mask = pred.eval_predicate(partition)?;
@@ -141,7 +147,8 @@ impl DbWorker {
         for row in 0..keys.num_rows() {
             filter.insert(col.key_at(row)?);
         }
-        self.metrics.add("db.bloom.keys_inserted", keys.num_rows() as u64);
+        self.metrics
+            .add("db.bloom.keys_inserted", keys.num_rows() as u64);
         Ok(filter)
     }
 }
@@ -221,7 +228,11 @@ mod tests {
 
         let (w, m) = worker(true);
         let out = w.scan_filter_project("T", &pred(), &[1]).unwrap();
-        assert_eq!(m.get("db.scan.rows"), 0, "index-only plan must not scan the table");
+        assert_eq!(
+            m.get("db.scan.rows"),
+            0,
+            "index-only plan must not scan the table"
+        );
         // corPred <= 9 prunes to the sorted prefix: 20 of 100 rows
         assert_eq!(m.get("db.index.rows"), 20);
         // same multiset of join keys
@@ -287,6 +298,9 @@ mod tests {
         let (mut w, m) = worker(true);
         w.store_partition("T", t_partition());
         w.scan_filter_project("T", &pred(), &[1]).unwrap();
-        assert!(m.get("db.scan.rows") > 0, "index should be gone after reload");
+        assert!(
+            m.get("db.scan.rows") > 0,
+            "index should be gone after reload"
+        );
     }
 }

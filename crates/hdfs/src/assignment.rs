@@ -85,7 +85,9 @@ pub fn assign_blocks(
 
     // Pass 2: spill to least-loaded workers.
     for block in spill {
-        let w = (0..num_workers).min_by_key(|&w| load[w]).expect("non-empty");
+        let w = (0..num_workers)
+            .min_by_key(|&w| load[w])
+            .expect("non-empty");
         assignment[w].push(block.id);
         load[w] += 1;
     }

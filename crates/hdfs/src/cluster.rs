@@ -2,7 +2,7 @@
 
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::ids::{BlockId, DataNodeId};
-use hybrid_common::metrics::Metrics;
+use hybrid_common::metrics::{CounterId, Metrics};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -41,6 +41,12 @@ pub struct HdfsCluster {
     next_block: usize,
     rng: StdRng,
     metrics: Metrics,
+    /// Pre-registered ids for the block-read hot path (every scanned block
+    /// meters two of these).
+    ctr_local_bytes: CounterId,
+    ctr_local_blocks: CounterId,
+    ctr_remote_bytes: CounterId,
+    ctr_remote_blocks: CounterId,
 }
 
 impl HdfsCluster {
@@ -57,13 +63,20 @@ impl HdfsCluster {
         }
         Ok(HdfsCluster {
             datanodes: (0..num_datanodes)
-                .map(|_| DataNode { alive: true, blocks: HashMap::new() })
+                .map(|_| DataNode {
+                    alive: true,
+                    blocks: HashMap::new(),
+                })
                 .collect(),
             replication,
             files: HashMap::new(),
             blocks: HashMap::new(),
             next_block: 0,
             rng: StdRng::seed_from_u64(0x4DF5_0001),
+            ctr_local_bytes: metrics.register("hdfs.read.local_bytes"),
+            ctr_local_blocks: metrics.register("hdfs.read.local_blocks"),
+            ctr_remote_bytes: metrics.register("hdfs.read.remote_bytes"),
+            ctr_remote_blocks: metrics.register("hdfs.read.remote_blocks"),
             metrics,
         })
     }
@@ -102,11 +115,17 @@ impl HdfsCluster {
             locations.truncate(self.replication);
             let bytes = Arc::new(payload);
             for &dn in &locations {
-                self.datanodes[dn.index()].blocks.insert(id, Arc::clone(&bytes));
+                self.datanodes[dn.index()]
+                    .blocks
+                    .insert(id, Arc::clone(&bytes));
             }
             self.blocks.insert(
                 id,
-                BlockMeta { id, size: bytes.len(), locations },
+                BlockMeta {
+                    id,
+                    size: bytes.len(),
+                    locations,
+                },
             );
             ids.push(id);
         }
@@ -149,8 +168,9 @@ impl HdfsCluster {
                 .blocks
                 .get(&id)
                 .expect("namenode/datanode metadata out of sync");
-            self.metrics.add("hdfs.read.local_bytes", bytes.len() as u64);
-            self.metrics.incr("hdfs.read.local_blocks");
+            self.metrics
+                .add_id(self.ctr_local_bytes, bytes.len() as u64);
+            self.metrics.incr_id(self.ctr_local_blocks);
             return Ok(Arc::clone(bytes));
         }
         for &dn in &meta.locations {
@@ -159,8 +179,9 @@ impl HdfsCluster {
                     .blocks
                     .get(&id)
                     .expect("namenode/datanode metadata out of sync");
-                self.metrics.add("hdfs.read.remote_bytes", bytes.len() as u64);
-                self.metrics.incr("hdfs.read.remote_blocks");
+                self.metrics
+                    .add_id(self.ctr_remote_bytes, bytes.len() as u64);
+                self.metrics.incr_id(self.ctr_remote_blocks);
                 return Ok(Arc::clone(bytes));
             }
         }
@@ -207,7 +228,8 @@ mod tests {
     #[test]
     fn write_and_read_roundtrip() {
         let mut c = cluster(5, 2);
-        c.write_file("/t/l", vec![vec![1, 2, 3], vec![4, 5]]).unwrap();
+        c.write_file("/t/l", vec![vec![1, 2, 3], vec![4, 5]])
+            .unwrap();
         let blocks = c.file_blocks("/t/l").unwrap();
         assert_eq!(blocks.len(), 2);
         assert_eq!(c.file_size("/t/l").unwrap(), 5);
@@ -276,7 +298,8 @@ mod tests {
     #[test]
     fn placement_spreads_blocks() {
         let mut c = cluster(10, 2);
-        c.write_file("/big", (0..200).map(|i| vec![i as u8; 4]).collect()).unwrap();
+        c.write_file("/big", (0..200).map(|i| vec![i as u8; 4]).collect())
+            .unwrap();
         let blocks = c.file_blocks("/big").unwrap();
         let mut per_node = vec![0usize; 10];
         for b in &blocks {

@@ -100,7 +100,11 @@ impl JenCoordinator {
             let w = live[i % live.len()];
             final_assignment[w.index()].push(id);
         }
-        Ok(ScanPlan { table: meta, blocks: final_assignment, stats })
+        Ok(ScanPlan {
+            table: meta,
+            blocks: final_assignment,
+            stats,
+        })
     }
 
     /// Fig. 5: divide the `n` JEN workers into `m` roughly even groups, one
@@ -149,7 +153,12 @@ mod tests {
             format: FileFormat::Columnar,
             schema: Schema::from_pairs(&[("joinKey", DataType::I32)]),
         });
-        JenCoordinator::new(Arc::new(RwLock::new(catalog)), Arc::new(RwLock::new(hdfs)), workers).unwrap()
+        JenCoordinator::new(
+            Arc::new(RwLock::new(catalog)),
+            Arc::new(RwLock::new(hdfs)),
+            workers,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -196,11 +205,7 @@ mod tests {
         let c = setup(4, 10);
         let groups = c.group_workers_for_db(3);
         assert_eq!(groups.len(), 3);
-        let mut all: Vec<usize> = groups
-            .iter()
-            .flatten()
-            .map(|w| w.index())
-            .collect();
+        let mut all: Vec<usize> = groups.iter().flatten().map(|w| w.index()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
         // roughly even: sizes 4,3,3

@@ -13,10 +13,10 @@
 
 use crate::worker::{JenWorker, ScanSpec, ScanStats};
 use crossbeam::channel::bounded;
+use hybrid_bloom::BloomFilter;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::ids::BlockId;
-use hybrid_bloom::BloomFilter;
 use hybrid_hdfs::TableMeta;
 use std::sync::Arc;
 
@@ -38,6 +38,9 @@ pub fn scan_blocks_pipelined(
     let read_cols = read_cols_of(spec);
     let mut stats = ScanStats::default();
     let mut parts: Vec<Batch> = Vec::with_capacity(blocks.len());
+    let span = worker
+        .tracer()
+        .start(worker.span_label(), hybrid_common::trace::Stage::Scan);
 
     std::thread::scope(|scope| -> Result<()> {
         let (tx, rx) = bounded::<Result<Arc<Vec<u8>>>>(READ_QUEUE_DEPTH);
@@ -68,6 +71,7 @@ pub fn scan_blocks_pipelined(
         Ok(())
     })?;
 
+    span.done(stats.bytes_read as u64, stats.rows_raw as u64);
     report(worker, &stats);
     let out = Batch::concat(out_schema, &parts)
         .map_err(|e| HybridError::exec(format!("pipelined scan concat failed: {e}")))?;
@@ -132,7 +136,12 @@ mod tests {
             })
             .collect();
         hdfs.write_file("/L", blocks).unwrap();
-        let ids: Vec<BlockId> = hdfs.file_blocks("/L").unwrap().iter().map(|b| b.id).collect();
+        let ids: Vec<BlockId> = hdfs
+            .file_blocks("/L")
+            .unwrap()
+            .iter()
+            .map(|b| b.id)
+            .collect();
         let meta = TableMeta {
             name: "L".into(),
             path: "/L".into(),

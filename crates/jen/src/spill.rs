@@ -42,12 +42,28 @@ struct SpillSide {
 }
 
 impl SpillSide {
-    fn create(schema: Schema, key_col: usize, dir: &Path, tag: &str, parts: usize) -> Result<SpillSide> {
+    fn create(
+        schema: Schema,
+        key_col: usize,
+        dir: &Path,
+        tag: &str,
+        parts: usize,
+    ) -> Result<SpillSide> {
         let run = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
         let files = (0..parts)
-            .map(|p| dir.join(format!("hybrid-spill-{}-{run}-{tag}-{p}.col", std::process::id())))
+            .map(|p| {
+                dir.join(format!(
+                    "hybrid-spill-{}-{run}-{tag}-{p}.col",
+                    std::process::id()
+                ))
+            })
             .collect();
-        Ok(SpillSide { schema, key_col, files, rows: 0 })
+        Ok(SpillSide {
+            schema,
+            key_col,
+            files,
+            rows: 0,
+        })
     }
 
     fn append(&mut self, batch: &Batch, metrics: &Metrics) -> Result<()> {
@@ -146,7 +162,9 @@ impl GraceHashJoiner {
         metrics: Metrics,
     ) -> Result<GraceHashJoiner> {
         if num_partitions == 0 {
-            return Err(HybridError::config("grace join needs at least one partition"));
+            return Err(HybridError::config(
+                "grace join needs at least one partition",
+            ));
         }
         Ok(GraceHashJoiner {
             build_schema,
@@ -173,7 +191,9 @@ impl GraceHashJoiner {
     /// Feed a build-side batch.
     pub fn add_build(&mut self, batch: Batch) -> Result<()> {
         if batch.schema() != &self.build_schema {
-            return Err(HybridError::SchemaMismatch("grace join build schema".into()));
+            return Err(HybridError::SchemaMismatch(
+                "grace join build schema".into(),
+            ));
         }
         if let Some(build) = &mut self.spilled_build {
             return build.append(&batch, &self.metrics);
@@ -237,13 +257,8 @@ impl GraceHashJoiner {
         // Probe batches buffered in memory mode move to disk too; the
         // probe run is created here only if its schema is already known.
         if let (Some(schema), Some(key)) = (self.probe_schema.clone(), self.probe_key) {
-            let mut probe_side = SpillSide::create(
-                schema,
-                key,
-                &self.spill_dir,
-                "probe",
-                self.num_partitions,
-            )?;
+            let mut probe_side =
+                SpillSide::create(schema, key, &self.spill_dir, "probe", self.num_partitions)?;
             for b in self.mem_probe.drain(..) {
                 probe_side.append(&b, &self.metrics)?;
             }
@@ -292,8 +307,7 @@ impl GraceHashJoiner {
                         if build_batches.is_empty() {
                             continue;
                         }
-                        let mut joiner =
-                            HashJoiner::new(self.build_schema.clone(), self.build_key);
+                        let mut joiner = HashJoiner::new(self.build_schema.clone(), self.build_key);
                         for b in build_batches {
                             joiner.build(b)?;
                         }
@@ -376,10 +390,14 @@ mod tests {
         let m = Metrics::new();
         let mut g = GraceHashJoiner::new(build_schema(), 0, 64, 4, m.clone()).unwrap();
         // probe arrives early (buffered), then the build blows the budget
-        g.add_probe(probe_batch(&(0..300).map(|i| i % 120).collect::<Vec<_>>()), 0)
-            .unwrap();
+        g.add_probe(
+            probe_batch(&(0..300).map(|i| i % 120).collect::<Vec<_>>()),
+            0,
+        )
+        .unwrap();
         for chunk in 0..5 {
-            g.add_build(build_batch(chunk * 40..(chunk + 1) * 40)).unwrap();
+            g.add_build(build_batch(chunk * 40..(chunk + 1) * 40))
+                .unwrap();
         }
         assert!(g.is_spilled());
         // more probes after the spill go straight to disk
@@ -435,7 +453,8 @@ mod tests {
         {
             let mut g = GraceHashJoiner::new(build_schema(), 0, 8, 4, m).unwrap();
             for chunk in 0..4 {
-                g.add_build(build_batch(chunk * 10..(chunk + 1) * 10)).unwrap();
+                g.add_build(build_batch(chunk * 10..(chunk + 1) * 10))
+                    .unwrap();
             }
             g.add_probe(probe_batch(&[1, 2]), 0).unwrap();
             assert!(g.is_spilled());

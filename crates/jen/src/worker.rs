@@ -6,6 +6,7 @@ use hybrid_common::error::{HybridError, Result};
 use hybrid_common::expr::Expr;
 use hybrid_common::ids::{BlockId, DataNodeId, JenWorkerId};
 use hybrid_common::metrics::Metrics;
+use hybrid_common::trace::{Stage, Tracer};
 use hybrid_hdfs::{HdfsCluster, TableMeta};
 use hybrid_storage::{columnar, decode, FileFormat};
 use parking_lot::RwLock;
@@ -56,11 +57,29 @@ pub struct JenWorker {
     id: JenWorkerId,
     hdfs: Arc<RwLock<HdfsCluster>>,
     metrics: Metrics,
+    tracer: Tracer,
 }
 
 impl JenWorker {
     pub fn new(id: JenWorkerId, hdfs: Arc<RwLock<HdfsCluster>>, metrics: Metrics) -> JenWorker {
-        JenWorker { id, hdfs, metrics }
+        JenWorker::with_tracer(id, hdfs, metrics, Tracer::new())
+    }
+
+    /// Like [`JenWorker::new`], but recording phase spans into a shared
+    /// tracer (the system hands every worker the same one, so a run's
+    /// timeline shows all workers on one clock).
+    pub fn with_tracer(
+        id: JenWorkerId,
+        hdfs: Arc<RwLock<HdfsCluster>>,
+        metrics: Metrics,
+        tracer: Tracer,
+    ) -> JenWorker {
+        JenWorker {
+            id,
+            hdfs,
+            metrics,
+            tracer,
+        }
     }
 
     pub fn id(&self) -> JenWorkerId {
@@ -69,6 +88,15 @@ impl JenWorker {
 
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Worker label used in timeline spans, e.g. `jen-2`.
+    pub fn span_label(&self) -> String {
+        format!("jen-{}", self.id.index())
     }
 
     /// The DataNode this worker is co-located with.
@@ -94,6 +122,7 @@ impl JenWorker {
         let out_schema = table.schema.project(&spec.proj)?;
         let mut stats = ScanStats::default();
         let mut parts: Vec<Batch> = Vec::with_capacity(blocks.len());
+        let span = self.tracer.start(self.span_label(), Stage::Scan);
         for &block in blocks {
             let bytes = self.hdfs.read().read_block(block, self.datanode())?;
             match self.process_block(table, &bytes, &read_cols, spec, bloom, &mut stats)? {
@@ -101,6 +130,7 @@ impl JenWorker {
                 None => continue,
             }
         }
+        span.done(stats.bytes_read as u64, stats.rows_raw as u64);
         self.report(&stats);
         let out = Batch::concat(out_schema, &parts)?;
         Ok((out, stats))
@@ -145,9 +175,12 @@ impl JenWorker {
         stats.rows_after_pred += batch.num_rows();
 
         if let (Some(key), Some(bf)) = (spec.bloom_key, bloom) {
-            let key_pos = pos(key)
-                .ok_or_else(|| HybridError::exec("scan read set misses the bloom key"))?;
+            let key_pos =
+                pos(key).ok_or_else(|| HybridError::exec("scan read set misses the bloom key"))?;
+            let rows_in = batch.num_rows() as u64;
+            let span = self.tracer.start(self.span_label(), Stage::BloomApply);
             let (filtered, _) = filter_batch(&batch, key_pos, bf)?;
+            span.done(0, rows_in);
             batch = filtered;
         }
         stats.rows_after_bloom += batch.num_rows();
@@ -184,9 +217,11 @@ impl JenWorker {
         mut filter: BloomFilter,
     ) -> Result<BloomFilter> {
         let keys = batch.column(key_col)?;
+        let span = self.tracer.start(self.span_label(), Stage::BloomBuild);
         for row in 0..batch.num_rows() {
             filter.insert(keys.key_at(row)?);
         }
+        span.done(filter.wire_bytes() as u64, batch.num_rows() as u64);
         self.metrics
             .add("jen.bloom.keys_inserted", batch.num_rows() as u64);
         Ok(filter)
@@ -202,9 +237,9 @@ pub fn bloom_accepts(bf: &BloomFilter, key: i64) -> bool {
 mod tests {
     use super::*;
     use hybrid_bloom::BloomParams;
-    use hybrid_common::schema::Schema;
     use hybrid_common::batch::Column;
     use hybrid_common::datum::DataType;
+    use hybrid_common::schema::Schema;
     use hybrid_storage::encode;
 
     fn l_schema() -> Schema {
@@ -248,11 +283,7 @@ mod tests {
             format,
             schema: l_schema(),
         };
-        let worker = JenWorker::new(
-            JenWorkerId(0),
-            Arc::new(RwLock::new(hdfs)),
-            metrics.clone(),
-        );
+        let worker = JenWorker::new(JenWorkerId(0), Arc::new(RwLock::new(hdfs)), metrics.clone());
         (worker, meta, ids, metrics)
     }
 
@@ -271,7 +302,7 @@ mod tests {
         // corPred <= 149: blocks 0 (100 rows) and half of block 1, then
         // indPred <= 1 halves again
         assert_eq!(stats.rows_raw, 400);
-        assert_eq!(stats.rows_after_pred, 75+1);
+        assert_eq!(stats.rows_after_pred, 75 + 1);
         assert_eq!(out.num_rows(), 76);
         assert_eq!(out.schema().len(), 2);
         assert_eq!(out.schema().field(1).unwrap().name, "url");
@@ -336,7 +367,11 @@ mod tests {
         let (w, meta, ids, m) = setup(FileFormat::Columnar);
         let (out, _) = w.scan_blocks(&meta, &ids, &spec(), None).unwrap();
         let bf = w
-            .build_bloom_from(&out, 0, BloomFilter::new(BloomParams::new(1 << 14, 2).unwrap()))
+            .build_bloom_from(
+                &out,
+                0,
+                BloomFilter::new(BloomParams::new(1 << 14, 2).unwrap()),
+            )
             .unwrap();
         let keys = out.column(0).unwrap().as_i32().unwrap();
         for &k in keys {

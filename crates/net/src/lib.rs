@@ -31,8 +31,8 @@ pub use message::{Message, StreamTag};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::ids::{DbWorkerId, JenWorkerId};
-use hybrid_common::metrics::Metrics;
-use parking_lot::Mutex;
+use hybrid_common::metrics::{CounterId, Metrics};
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
@@ -89,6 +89,56 @@ impl LinkClass {
             LinkClass::Cross => "net.cross",
         }
     }
+
+    /// All link classes, in `index()` order.
+    pub const ALL: [LinkClass; 3] = [LinkClass::IntraDb, LinkClass::IntraHdfs, LinkClass::Cross];
+
+    /// Dense index of this class (for per-class lookup tables).
+    pub fn index(self) -> usize {
+        match self {
+            LinkClass::IntraDb => 0,
+            LinkClass::IntraHdfs => 1,
+            LinkClass::Cross => 2,
+        }
+    }
+}
+
+/// Pre-registered counter ids for one link class — the always-touched
+/// counters of [`Fabric::send`], interned once at fabric construction so
+/// the send hot path never formats a metric name or takes the registry's
+/// name lock.
+#[derive(Clone, Copy)]
+struct LinkCounters {
+    bytes: CounterId,
+    msgs: CounterId,
+    tuples: CounterId,
+}
+
+impl LinkCounters {
+    fn register(metrics: &Metrics, class: LinkClass) -> LinkCounters {
+        let prefix = class.metric_prefix();
+        LinkCounters {
+            bytes: metrics.register(&format!("{prefix}.bytes")),
+            msgs: metrics.register(&format!("{prefix}.msgs")),
+            tuples: metrics.register(&format!("{prefix}.tuples")),
+        }
+    }
+}
+
+/// Pre-registered per-direction counters for cross-cluster traffic.
+#[derive(Clone, Copy)]
+struct DirCounters {
+    bytes: CounterId,
+    tuples: CounterId,
+}
+
+impl DirCounters {
+    fn register(metrics: &Metrics, dir: &str) -> DirCounters {
+        DirCounters {
+            bytes: metrics.register(&format!("net.cross.{dir}.bytes")),
+            tuples: metrics.register(&format!("net.cross.{dir}.tuples")),
+        }
+    }
 }
 
 /// Anything that can be shipped over the fabric.
@@ -124,6 +174,15 @@ struct Inner<M> {
     inboxes: HashMap<Endpoint, Inbox<M>>,
     disconnected: Mutex<HashSet<Endpoint>>,
     metrics: Metrics,
+    /// Per-class counters, indexed by `LinkClass::index()`.
+    class_counters: [LinkCounters; 3],
+    /// Cross-cluster per-direction counters: [db_to_jen, jen_to_db].
+    dir_counters: [DirCounters; 2],
+    /// Lazily interned per-(class, stream-label) counters. Labels come
+    /// from the engines at send time, so they can't be pre-registered
+    /// here; the cache makes each (class, label) pay the name-formatting
+    /// cost exactly once.
+    stream_counters: RwLock<HashMap<(usize, &'static str), DirCounters>>,
 }
 
 /// The fabric: a metered, all-to-all message network.
@@ -135,7 +194,9 @@ pub struct Fabric<M> {
 
 impl<M> Clone for Fabric<M> {
     fn clone(&self) -> Self {
-        Fabric { inner: Arc::clone(&self.inner) }
+        Fabric {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -151,13 +212,43 @@ impl<M: Wire> Fabric<M> {
             inboxes.insert(Endpoint::Jen(JenWorkerId(i)), unbounded());
         }
         inboxes.insert(Endpoint::JenCoordinator, unbounded());
+        let class_counters = LinkClass::ALL.map(|class| LinkCounters::register(&metrics, class));
+        let dir_counters = [
+            DirCounters::register(&metrics, "db_to_jen"),
+            DirCounters::register(&metrics, "jen_to_db"),
+        ];
         Fabric {
             inner: Arc::new(Inner {
                 inboxes,
                 disconnected: Mutex::new(HashSet::new()),
                 metrics,
+                class_counters,
+                dir_counters,
+                stream_counters: RwLock::new(HashMap::new()),
             }),
         }
+    }
+
+    /// Counter ids for a (link class, stream label) pair, interning the
+    /// metric names on first use.
+    fn stream_counters(&self, class: LinkClass, label: &'static str) -> DirCounters {
+        let key = (class.index(), label);
+        if let Some(c) = self.inner.stream_counters.read().get(&key) {
+            return *c;
+        }
+        let prefix = class.metric_prefix();
+        let c = DirCounters {
+            bytes: self
+                .inner
+                .metrics
+                .register(&format!("{prefix}.stream.{label}.bytes")),
+            tuples: self
+                .inner
+                .metrics
+                .register(&format!("{prefix}.stream.{label}.tuples")),
+        };
+        self.inner.stream_counters.write().insert(key, c);
+        c
     }
 
     pub fn metrics(&self) -> &Metrics {
@@ -175,32 +266,27 @@ impl<M: Wire> Fabric<M> {
             .get(&to)
             .ok_or_else(|| HybridError::Net(format!("unknown endpoint {to}")))?;
         let class = LinkClass::classify(from, to);
-        let prefix = class.metric_prefix();
         let bytes = msg.wire_bytes() as u64;
         let tuples = msg.wire_tuples();
         let m = &self.inner.metrics;
-        m.add(&format!("{prefix}.bytes"), bytes);
-        m.add(&format!("{prefix}.msgs"), 1);
-        if tuples > 0 {
-            m.add(&format!("{prefix}.tuples"), tuples);
-        }
+        let counters = self.inner.class_counters[class.index()];
+        m.add_id(counters.bytes, bytes);
+        m.incr_id(counters.msgs);
+        m.add_id(counters.tuples, tuples);
         if let Some(label) = msg.wire_stream_label() {
-            m.add(&format!("{prefix}.stream.{label}.bytes"), bytes);
-            if tuples > 0 {
-                m.add(&format!("{prefix}.stream.{label}.tuples"), tuples);
-            }
+            let sc = self.stream_counters(class, label);
+            m.add_id(sc.bytes, bytes);
+            m.add_id(sc.tuples, tuples);
         }
         if class == LinkClass::Cross {
             // Direction matters across the switch: "DB tuples sent" in
             // Table 1 is exactly the db_to_jen tuple counter.
-            let dir = match from {
-                Endpoint::Db(_) => "db_to_jen",
-                _ => "jen_to_db",
-            };
-            m.add(&format!("{prefix}.{dir}.bytes"), bytes);
-            if tuples > 0 {
-                m.add(&format!("{prefix}.{dir}.tuples"), tuples);
-            }
+            let dir = self.inner.dir_counters[match from {
+                Endpoint::Db(_) => 0,
+                _ => 1,
+            }];
+            m.add_id(dir.bytes, bytes);
+            m.add_id(dir.tuples, tuples);
         }
         tx.send(Delivery { from, msg })
             .map_err(|_| HybridError::Net(format!("{to} inbox closed")))
@@ -229,19 +315,13 @@ impl<M: Wire> Fabric<M> {
 
     /// Blocking receive with a deadline — the engines use this instead of a
     /// bare `recv()` so a lost peer surfaces as an error, not a hang.
-    pub fn recv_timeout(
-        &self,
-        endpoint: Endpoint,
-        timeout: Duration,
-    ) -> Result<Delivery<M>> {
+    pub fn recv_timeout(&self, endpoint: Endpoint, timeout: Duration) -> Result<Delivery<M>> {
         let rx = self.receiver(endpoint)?;
         rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => {
                 HybridError::Net(format!("{endpoint} timed out waiting for a message"))
             }
-            RecvTimeoutError::Disconnected => {
-                HybridError::Net(format!("{endpoint} inbox closed"))
-            }
+            RecvTimeoutError::Disconnected => HybridError::Net(format!("{endpoint} inbox closed")),
         })
     }
 
@@ -324,7 +404,10 @@ mod tests {
         let j1 = Jen(JenWorkerId(1));
         assert_eq!(LinkClass::classify(db0, db1), LinkClass::IntraDb);
         assert_eq!(LinkClass::classify(j0, j1), LinkClass::IntraHdfs);
-        assert_eq!(LinkClass::classify(j0, JenCoordinator), LinkClass::IntraHdfs);
+        assert_eq!(
+            LinkClass::classify(j0, JenCoordinator),
+            LinkClass::IntraHdfs
+        );
         assert_eq!(LinkClass::classify(db0, j0), LinkClass::Cross);
         assert_eq!(LinkClass::classify(j0, db0), LinkClass::Cross);
         assert_eq!(LinkClass::classify(db0, JenCoordinator), LinkClass::Cross);
@@ -335,10 +418,24 @@ mod tests {
         let f = fabric();
         let db0 = Endpoint::Db(DbWorkerId(0));
         let j1 = Endpoint::Jen(JenWorkerId(1));
-        f.send(db0, j1, Msg { bytes: 100, tuples: 10 }).unwrap();
+        f.send(
+            db0,
+            j1,
+            Msg {
+                bytes: 100,
+                tuples: 10,
+            },
+        )
+        .unwrap();
         let d = f.recv_timeout(j1, Duration::from_secs(1)).unwrap();
         assert_eq!(d.from, db0);
-        assert_eq!(d.msg, Msg { bytes: 100, tuples: 10 });
+        assert_eq!(
+            d.msg,
+            Msg {
+                bytes: 100,
+                tuples: 10
+            }
+        );
         let m = f.metrics();
         assert_eq!(m.get("net.cross.bytes"), 100);
         assert_eq!(m.get("net.cross.tuples"), 10);
@@ -354,8 +451,24 @@ mod tests {
         let j2 = Endpoint::Jen(JenWorkerId(2));
         let db0 = Endpoint::Db(DbWorkerId(0));
         let db1 = Endpoint::Db(DbWorkerId(1));
-        f.send(j0, j2, Msg { bytes: 7, tuples: 1 }).unwrap();
-        f.send(db0, db1, Msg { bytes: 9, tuples: 2 }).unwrap();
+        f.send(
+            j0,
+            j2,
+            Msg {
+                bytes: 7,
+                tuples: 1,
+            },
+        )
+        .unwrap();
+        f.send(
+            db0,
+            db1,
+            Msg {
+                bytes: 9,
+                tuples: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(f.metrics().get("net.intra_hdfs.bytes"), 7);
         assert_eq!(f.metrics().get("net.intra_db.bytes"), 9);
         assert_eq!(f.metrics().get("net.cross.bytes"), 0);
@@ -365,7 +478,15 @@ mod tests {
     fn control_messages_do_not_count_tuples() {
         let f = fabric();
         let j0 = Endpoint::Jen(JenWorkerId(0));
-        f.send(Endpoint::JenCoordinator, j0, Msg { bytes: 4, tuples: 0 }).unwrap();
+        f.send(
+            Endpoint::JenCoordinator,
+            j0,
+            Msg {
+                bytes: 4,
+                tuples: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(f.metrics().get("net.intra_hdfs.msgs"), 1);
         assert_eq!(f.metrics().get("net.intra_hdfs.tuples"), 0);
     }
@@ -376,7 +497,15 @@ mod tests {
         let db0 = Endpoint::Db(DbWorkerId(0));
         let targets = f.jen_endpoints();
         assert_eq!(targets.len(), 3);
-        f.send_all(db0, &targets, &Msg { bytes: 10, tuples: 5 }).unwrap();
+        f.send_all(
+            db0,
+            &targets,
+            &Msg {
+                bytes: 10,
+                tuples: 5,
+            },
+        )
+        .unwrap();
         assert_eq!(f.metrics().get("net.cross.bytes"), 30);
         assert_eq!(f.metrics().get("net.cross.tuples"), 15);
     }
@@ -385,7 +514,16 @@ mod tests {
     fn unknown_endpoint_errors() {
         let f = fabric();
         let ghost = Endpoint::Jen(JenWorkerId(99));
-        assert!(f.send(ghost, ghost, Msg { bytes: 1, tuples: 0 }).is_err());
+        assert!(f
+            .send(
+                ghost,
+                ghost,
+                Msg {
+                    bytes: 1,
+                    tuples: 0
+                }
+            )
+            .is_err());
         assert!(f.receiver(ghost).is_err());
     }
 
@@ -395,10 +533,28 @@ mod tests {
         let j0 = Endpoint::Jen(JenWorkerId(0));
         let db0 = Endpoint::Db(DbWorkerId(0));
         f.disconnect(j0);
-        let err = f.send(db0, j0, Msg { bytes: 1, tuples: 0 }).unwrap_err();
+        let err = f
+            .send(
+                db0,
+                j0,
+                Msg {
+                    bytes: 1,
+                    tuples: 0,
+                },
+            )
+            .unwrap_err();
         assert!(matches!(err, HybridError::Net(_)));
         f.reconnect(j0);
-        assert!(f.send(db0, j0, Msg { bytes: 1, tuples: 0 }).is_ok());
+        assert!(f
+            .send(
+                db0,
+                j0,
+                Msg {
+                    bytes: 1,
+                    tuples: 0
+                }
+            )
+            .is_ok());
     }
 
     #[test]
@@ -427,7 +583,15 @@ mod tests {
         let f2 = f.clone();
         let t = std::thread::spawn(move || {
             for i in 0..100 {
-                f2.send(db0, j0, Msg { bytes: i, tuples: 1 }).unwrap();
+                f2.send(
+                    db0,
+                    j0,
+                    Msg {
+                        bytes: i,
+                        tuples: 1,
+                    },
+                )
+                .unwrap();
             }
         });
         let rx = f.receiver(j0).unwrap();

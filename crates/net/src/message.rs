@@ -113,15 +113,23 @@ mod tests {
 
     #[test]
     fn wire_accounting() {
-        let m = Message::Data { stream: StreamTag::HdfsShuffle, batch: batch(10) };
+        let m = Message::Data {
+            stream: StreamTag::HdfsShuffle,
+            batch: batch(10),
+        };
         assert_eq!(m.wire_bytes(), 8 + 40);
         assert_eq!(m.wire_tuples(), 10);
 
-        let e = Message::Eos { stream: StreamTag::DbData };
+        let e = Message::Eos {
+            stream: StreamTag::DbData,
+        };
         assert_eq!(e.wire_bytes(), 8);
         assert_eq!(e.wire_tuples(), 0);
 
-        let b = Message::Bloom { stream: StreamTag::DbBloom, bytes: vec![0; 100] };
+        let b = Message::Bloom {
+            stream: StreamTag::DbBloom,
+            bytes: vec![0; 100],
+        };
         assert_eq!(b.wire_bytes(), 108);
         assert_eq!(b.wire_tuples(), 0);
     }
@@ -130,12 +138,23 @@ mod tests {
     fn stream_tags_roundtrip() {
         for (m, tag) in [
             (
-                Message::Data { stream: StreamTag::HdfsShuffle, batch: batch(1) },
+                Message::Data {
+                    stream: StreamTag::HdfsShuffle,
+                    batch: batch(1),
+                },
                 StreamTag::HdfsShuffle,
             ),
-            (Message::Eos { stream: StreamTag::FinalResult }, StreamTag::FinalResult),
             (
-                Message::Bloom { stream: StreamTag::HdfsBloom, bytes: vec![] },
+                Message::Eos {
+                    stream: StreamTag::FinalResult,
+                },
+                StreamTag::FinalResult,
+            ),
+            (
+                Message::Bloom {
+                    stream: StreamTag::HdfsBloom,
+                    bytes: vec![],
+                },
                 StreamTag::HdfsBloom,
             ),
         ] {

@@ -42,7 +42,8 @@ pub fn encode(batch: &Batch) -> Vec<u8> {
     }
 
     let dir_len = ncols * 8;
-    let mut out = Vec::with_capacity(HEADER_LEN + dir_len + chunks.iter().map(Vec::len).sum::<usize>());
+    let mut out =
+        Vec::with_capacity(HEADER_LEN + dir_len + chunks.iter().map(Vec::len).sum::<usize>());
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.extend_from_slice(&(ncols as u32).to_le_bytes());
     out.extend_from_slice(&(batch.num_rows() as u32).to_le_bytes());
@@ -137,7 +138,9 @@ struct Directory {
 
 fn read_header(bytes: &[u8]) -> Result<Directory> {
     if bytes.len() < HEADER_LEN {
-        return Err(HybridError::Storage("columnar payload shorter than header".into()));
+        return Err(HybridError::Storage(
+            "columnar payload shorter than header".into(),
+        ));
     }
     let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
     if magic != MAGIC {
@@ -153,7 +156,10 @@ fn read_header(bytes: &[u8]) -> Result<Directory> {
 
 fn chunk_slice<'a>(bytes: &'a [u8], dir: &Directory, col: usize) -> Result<&'a [u8]> {
     if col >= dir.ncols {
-        return Err(HybridError::ColumnOutOfBounds { index: col, width: dir.ncols });
+        return Err(HybridError::ColumnOutOfBounds {
+            index: col,
+            width: dir.ncols,
+        });
     }
     let entry = HEADER_LEN + col * 8;
     let offset = u32::from_le_bytes(bytes[entry..entry + 4].try_into().unwrap()) as usize;
@@ -194,7 +200,11 @@ pub fn decode(
     for &col in proj {
         let chunk = chunk_slice(bytes, &dir, col)?;
         bytes_read += chunk.len();
-        columns.push(decode_chunk(schema.field(col)?.data_type, chunk, dir.nrows)?);
+        columns.push(decode_chunk(
+            schema.field(col)?.data_type,
+            chunk,
+            dir.nrows,
+        )?);
     }
     let out_schema = schema.project(proj)?;
     Ok((Batch::new(out_schema, columns)?, bytes_read))
@@ -213,7 +223,11 @@ fn decode_chunk(dt: DataType, chunk: &[u8], nrows: usize) -> Result<Column> {
                     .map_err(|_| HybridError::Storage("i32 chunk value out of range".into()))?;
                 v.push(x);
             }
-            Ok(if dt == DataType::I32 { Column::I32(v) } else { Column::Date(v) })
+            Ok(if dt == DataType::I32 {
+                Column::I32(v)
+            } else {
+                Column::Date(v)
+            })
         }
         DataType::I64 => {
             let _min = varint::read_i64(chunk, &mut pos)?;
@@ -233,9 +247,9 @@ fn decode_chunk(dt: DataType, chunk: &[u8], nrows: usize) -> Result<Column> {
                 if shared > prev.len() {
                     return Err(HybridError::Storage("front-coding prefix overrun".into()));
                 }
-                let suffix = chunk.get(pos..pos + suffix_len).ok_or_else(|| {
-                    HybridError::Storage("front-coded suffix truncated".into())
-                })?;
+                let suffix = chunk
+                    .get(pos..pos + suffix_len)
+                    .ok_or_else(|| HybridError::Storage("front-coded suffix truncated".into()))?;
                 pos += suffix_len;
                 let mut s = String::with_capacity(shared + suffix_len);
                 s.push_str(&prev[..shared]);
@@ -269,7 +283,11 @@ pub fn column_stats(schema: &Schema, bytes: &[u8], col: usize) -> Result<Option<
     if min > max {
         return Ok(None); // canonical empty chunk
     }
-    Ok(Some(ChunkStats { min, max, rows: dir.nrows }))
+    Ok(Some(ChunkStats {
+        min,
+        max,
+        rows: dir.nrows,
+    }))
 }
 
 #[cfg(test)]
@@ -318,7 +336,11 @@ mod tests {
         let (decoded, read) = decode(&schema(), &bytes, Some(&[0])).unwrap();
         assert_eq!(decoded.schema().len(), 1);
         assert_eq!(decoded.column(0).unwrap().as_i32().unwrap(), &[5, -1, 400]);
-        assert!(read < bytes.len(), "projected read {read} of {}", bytes.len());
+        assert!(
+            read < bytes.len(),
+            "projected read {read} of {}",
+            bytes.len()
+        );
     }
 
     #[test]
@@ -377,7 +399,11 @@ mod tests {
         let s = Schema::from_pairs(&[("s", DataType::Utf8)]);
         let b = Batch::new(
             s.clone(),
-            vec![Column::Utf8(vec!["héllo".into(), "héllò".into(), "日本語".into()])],
+            vec![Column::Utf8(vec![
+                "héllo".into(),
+                "héllò".into(),
+                "日本語".into(),
+            ])],
         )
         .unwrap();
         let (decoded, _) = decode(&s, &encode(&b), None).unwrap();

@@ -75,7 +75,10 @@ pub fn decode(
     match format {
         FileFormat::Text => {
             let batch = text::decode(schema, bytes, projection)?;
-            Ok(DecodeResult { batch, bytes_read: bytes.len() })
+            Ok(DecodeResult {
+                batch,
+                bytes_read: bytes.len(),
+            })
         }
         FileFormat::Columnar => {
             let (batch, bytes_read) = columnar::decode(schema, bytes, projection)?;
@@ -129,6 +132,11 @@ mod tests {
         let b = batch();
         let tb = encode(FileFormat::Text, &b);
         let cb = encode(FileFormat::Columnar, &b);
-        assert!(cb.len() < tb.len(), "columnar {} vs text {}", cb.len(), tb.len());
+        assert!(
+            cb.len() < tb.len(),
+            "columnar {} vs text {}",
+            cb.len(),
+            tb.len()
+        );
     }
 }

@@ -16,7 +16,8 @@ const ESCAPE: u8 = b'\\';
 /// Encode a batch as delimited text.
 pub fn encode(batch: &Batch) -> Vec<u8> {
     // Rough preallocation: fixed width + string payloads + delimiters.
-    let mut out = Vec::with_capacity(batch.serialized_bytes() + batch.num_rows() * batch.schema().len());
+    let mut out =
+        Vec::with_capacity(batch.serialized_bytes() + batch.num_rows() * batch.schema().len());
     let cols = batch.columns();
     for row in 0..batch.num_rows() {
         for (i, col) in cols.iter().enumerate() {
@@ -114,7 +115,9 @@ pub fn decode(schema: &Schema, bytes: &[u8], projection: Option<&[usize]>) -> Re
         i += 1;
     }
     if row_has_content || col_idx != 0 {
-        return Err(HybridError::Storage("text payload missing final newline".into()));
+        return Err(HybridError::Storage(
+            "text payload missing final newline".into(),
+        ));
     }
 
     let batch = Batch::new(schema.clone(), columns)?;
@@ -172,7 +175,11 @@ mod tests {
                 Column::I32(vec![1, -2, 3]),
                 Column::I64(vec![10, 20, -30]),
                 Column::Date(vec![100, 0, 5]),
-                Column::Utf8(vec!["plain".into(), "pipe|and\\slash".into(), "new\nline".into()]),
+                Column::Utf8(vec![
+                    "plain".into(),
+                    "pipe|and\\slash".into(),
+                    "new\nline".into(),
+                ]),
             ],
         )
         .unwrap()
@@ -249,7 +256,12 @@ mod proptests {
                             ("d", DataType::Date),
                             ("s", DataType::Utf8),
                         ]),
-                        vec![Column::I32(a), Column::I64(b), Column::Date(c), Column::Utf8(d)],
+                        vec![
+                            Column::I32(a),
+                            Column::I64(b),
+                            Column::Date(c),
+                            Column::Utf8(d),
+                        ],
                     )
                     .unwrap()
                 })

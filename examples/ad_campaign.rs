@@ -67,11 +67,7 @@ fn click_logs() -> (Schema, Batch) {
             Column::I32((0..n).map(|i| ((i * 7) % 700) as i32).collect()),
             Column::I32((0..n).map(|i| (i % 4) as i32).collect()), // 25% East Coast
             Column::Date((0..n).map(|i| ((i * 11) % 60) as i32).collect()),
-            Column::Utf8(
-                (0..n)
-                    .map(|i| format!("url_{}/landing", i % 12))
-                    .collect(),
-            ),
+            Column::Utf8((0..n).map(|i| format!("url_{}/landing", i % 12)).collect()),
         ],
     )
     .unwrap();

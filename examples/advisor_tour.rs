@@ -15,13 +15,13 @@ fn main() {
     );
     // T projects to ~25 GB, L to ~120 GB, as in the paper's dataset.
     for (sigma_t, sigma_l, st, sl) in [
-        (0.001, 0.2, 1.0, 1.0),  // tiny T' -> broadcast
-        (0.01, 0.2, 1.0, 1.0),   // T' 10x bigger -> repartition family
-        (0.1, 0.001, 1.0, 1.0),  // tiny L' -> fetch into the DB
-        (0.1, 0.01, 0.5, 0.1),   // small L', selective join -> db(BF)
-        (0.1, 0.4, 0.2, 0.1),    // the common case -> zigzag
-        (0.1, 0.4, 1.0, 1.0),    // join keys filter nothing -> plain repartition
-        (0.2, 0.4, 0.05, 0.4),   // very selective T-side join keys -> zigzag
+        (0.001, 0.2, 1.0, 1.0), // tiny T' -> broadcast
+        (0.01, 0.2, 1.0, 1.0),  // T' 10x bigger -> repartition family
+        (0.1, 0.001, 1.0, 1.0), // tiny L' -> fetch into the DB
+        (0.1, 0.01, 0.5, 0.1),  // small L', selective join -> db(BF)
+        (0.1, 0.4, 0.2, 0.1),   // the common case -> zigzag
+        (0.1, 0.4, 1.0, 1.0),   // join keys filter nothing -> plain repartition
+        (0.2, 0.4, 0.05, 0.4),  // very selective T-side join keys -> zigzag
     ] {
         let est = QueryEstimates {
             t_prime_bytes: (25.0e9 * sigma_t) as u64,

@@ -45,17 +45,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  blocks skipped via stats {:>10}",
             out.summary.hdfs_blocks_skipped
         );
-        println!(
-            "  estimated paper-scale time {:>8.0} s",
-            est.total_s
-        );
+        println!("  estimated paper-scale time {:>8.0} s", est.total_s);
         for phase in &est.phases {
             println!("    {:<38} {:>7.1} s", phase.name, phase.seconds);
         }
         println!();
         results.push((out.result.clone(), out.summary.hdfs_bytes_scanned));
     }
-    assert_eq!(results[0].0, results[1].0, "formats must agree on the answer");
+    assert_eq!(
+        results[0].0, results[1].0,
+        "formats must agree on the answer"
+    );
     println!(
         "columnar scanned {:.1}x fewer bytes than text for the same result",
         results[0].1 as f64 / results[1].1.max(1) as f64

@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  Bloom bytes exchanged   {:>10}", s.bloom_cross_bytes);
 
     // 4. Compare: the same query via the repartition join (no Bloom filters)
-    let rep = run(&mut system, &query, JoinAlgorithm::Repartition { bloom: false })?;
+    let rep = run(
+        &mut system,
+        &query,
+        JoinAlgorithm::Repartition { bloom: false },
+    )?;
     assert_eq!(rep.result, out.result, "all algorithms agree");
     println!(
         "\nrepartition (no BF) for comparison: {} tuples shuffled, {} DB tuples sent",

@@ -1,0 +1,97 @@
+//! Offline shim for the `parking_lot` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, API-compatible subset of `parking_lot` on top of
+//! `std::sync`. Semantics differ from the real crate only in that poisoned
+//! locks panic (the workspace treats a panicked worker as fatal anyway).
+
+use std::sync;
+
+/// `parking_lot::Mutex`: `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn try_lock(&self) -> Option<sync::MutexGuard<'_, T>> {
+        self.0.try_lock().ok()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// `parking_lot::RwLock`: `read()`/`write()` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn try_read(&self) -> Option<sync::RwLockReadGuard<'_, T>> {
+        self.0.try_read().ok()
+    }
+
+    pub fn try_write(&self) -> Option<sync::RwLockWriteGuard<'_, T>> {
+        self.0.try_write().ok()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+}

@@ -88,8 +88,8 @@ fn multi_aggregate_queries_agree() {
     let mut query = workload.query();
     query.aggs = vec![
         AggSpec::Count,
-        AggSpec::SumI64(1),  // sum of T'.date over joined rows
-        AggSpec::MinI64(3),  // min of L'.date
+        AggSpec::SumI64(1), // sum of T'.date over joined rows
+        AggSpec::MinI64(3), // min of L'.date
         AggSpec::MaxI64(3),
     ];
     let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
@@ -100,7 +100,10 @@ fn multi_aggregate_queries_agree() {
     workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
     for alg in all_algorithms() {
         let out = run(&mut sys, &query, alg).unwrap();
-        assert_eq!(out.result, expected, "{alg} diverged on multi-aggregate query");
+        assert_eq!(
+            out.result, expected,
+            "{alg} diverged on multi-aggregate query"
+        );
     }
 }
 
@@ -152,5 +155,8 @@ fn repeated_runs_are_deterministic() {
     let a = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
     let b = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
     assert_eq!(a.result, b.result);
-    assert_eq!(a.summary, b.summary, "volume counters must be deterministic");
+    assert_eq!(
+        a.summary, b.summary,
+        "volume counters must be deterministic"
+    );
 }

@@ -31,8 +31,16 @@ fn sampled_selectivities_near_ground_truth() {
     };
     let (sys, workload) = system(spec);
     let stats = sample_stats(&sys, &workload.query(), 8).unwrap();
-    assert!((stats.sigma_t - 0.1).abs() < 0.04, "sigma_T est {}", stats.sigma_t);
-    assert!((stats.sigma_l - 0.4).abs() < 0.08, "sigma_L est {}", stats.sigma_l);
+    assert!(
+        (stats.sigma_t - 0.1).abs() < 0.04,
+        "sigma_T est {}",
+        stats.sigma_t
+    );
+    assert!(
+        (stats.sigma_l - 0.4).abs() < 0.08,
+        "sigma_L est {}",
+        stats.sigma_l
+    );
     // join-key estimates are sketchy but must have the right order
     assert!(stats.st < 0.5, "ST' est {}", stats.st);
     assert!(stats.sl < 0.4, "SL' est {}", stats.sl);

@@ -66,7 +66,12 @@ fn all_replicas_lost_surfaces_storage_error() {
             hdfs.kill_datanode(DataNodeId(i));
         }
     }
-    let err = run(&mut sys, &query, JoinAlgorithm::Repartition { bloom: false }).unwrap_err();
+    let err = run(
+        &mut sys,
+        &query,
+        JoinAlgorithm::Repartition { bloom: false },
+    )
+    .unwrap_err();
     assert!(matches!(err, HybridError::Storage(_)), "{err}");
     // revive and re-run
     {
@@ -75,7 +80,12 @@ fn all_replicas_lost_surfaces_storage_error() {
             hdfs.revive_datanode(DataNodeId(i));
         }
     }
-    let out = run(&mut sys, &query, JoinAlgorithm::Repartition { bloom: false }).unwrap();
+    let out = run(
+        &mut sys,
+        &query,
+        JoinAlgorithm::Repartition { bloom: false },
+    )
+    .unwrap();
     let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
     assert_eq!(out.result, expected);
 }

@@ -90,7 +90,12 @@ fn bloom_variants_never_lose_rows_on_the_grid() {
         cfg.rows_per_block = 1_000;
         let mut sys = HybridSystem::new(cfg).unwrap();
         workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
-        let plain = run(&mut sys, &query, JoinAlgorithm::Repartition { bloom: false }).unwrap();
+        let plain = run(
+            &mut sys,
+            &query,
+            JoinAlgorithm::Repartition { bloom: false },
+        )
+        .unwrap();
         let bf = run(&mut sys, &query, JoinAlgorithm::Repartition { bloom: true }).unwrap();
         assert_eq!(plain.result, bf.result);
     }

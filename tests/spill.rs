@@ -34,10 +34,20 @@ fn spilling_joins_match_reference() {
         let out = run(&mut sys, &query, alg).unwrap();
         assert_eq!(out.result, expected, "{alg} diverged while spilling");
         assert!(
-            out.snapshot.get("jen.spill.activations").copied().unwrap_or(0) > 0,
+            out.snapshot
+                .get("jen.spill.activations")
+                .copied()
+                .unwrap_or(0)
+                > 0,
             "{alg} never spilled despite the 50-row budget"
         );
-        assert!(out.snapshot.get("jen.spill.bytes_written").copied().unwrap_or(0) > 0);
+        assert!(
+            out.snapshot
+                .get("jen.spill.bytes_written")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
     }
 }
 
@@ -60,7 +70,10 @@ fn spilling_does_not_change_movement_counters() {
     let a = run(&mut in_mem, &query, JoinAlgorithm::Zigzag).unwrap();
     let b = run(&mut spilled, &query, JoinAlgorithm::Zigzag).unwrap();
     assert_eq!(a.result, b.result);
-    assert_eq!(a.summary.hdfs_tuples_shuffled, b.summary.hdfs_tuples_shuffled);
+    assert_eq!(
+        a.summary.hdfs_tuples_shuffled,
+        b.summary.hdfs_tuples_shuffled
+    );
     assert_eq!(a.summary.db_tuples_sent, b.summary.db_tuples_sent);
     assert_eq!(a.summary.cross_bytes, b.summary.cross_bytes);
 }

@@ -130,32 +130,50 @@ fn broadcast_volume_scales_with_worker_count() {
         let out = run(&mut sys, &query, JoinAlgorithm::Broadcast).unwrap();
         sent.push(out.summary.db_tuples_sent);
     }
-    assert_eq!(sent[1], sent[0] * 3, "broadcast fan-out must scale: {sent:?}");
+    assert_eq!(
+        sent[1],
+        sent[0] * 3,
+        "broadcast fan-out must scale: {sent:?}"
+    );
 }
 
 #[test]
 fn db_side_cross_traffic_tracks_sigma_l() {
     let narrow = {
-        let spec = WorkloadSpec { sigma_l: 0.1, ..WorkloadSpec::tiny() };
+        let spec = WorkloadSpec {
+            sigma_l: 0.1,
+            ..WorkloadSpec::tiny()
+        };
         let workload = spec.generate().unwrap();
         let mut cfg = SystemConfig::paper_shape(3, 4);
         cfg.rows_per_block = 500;
         let mut sys = HybridSystem::new(cfg).unwrap();
         workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
-        run(&mut sys, &workload.query(), JoinAlgorithm::DbSide { bloom: false })
-            .unwrap()
-            .summary
+        run(
+            &mut sys,
+            &workload.query(),
+            JoinAlgorithm::DbSide { bloom: false },
+        )
+        .unwrap()
+        .summary
     };
     let wide = {
-        let spec = WorkloadSpec { sigma_l: 0.4, ..WorkloadSpec::tiny() };
+        let spec = WorkloadSpec {
+            sigma_l: 0.4,
+            ..WorkloadSpec::tiny()
+        };
         let workload = spec.generate().unwrap();
         let mut cfg = SystemConfig::paper_shape(3, 4);
         cfg.rows_per_block = 500;
         let mut sys = HybridSystem::new(cfg).unwrap();
         workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
-        run(&mut sys, &workload.query(), JoinAlgorithm::DbSide { bloom: false })
-            .unwrap()
-            .summary
+        run(
+            &mut sys,
+            &workload.query(),
+            JoinAlgorithm::DbSide { bloom: false },
+        )
+        .unwrap()
+        .summary
     };
     let ratio = wide.hdfs_tuples_sent as f64 / narrow.hdfs_tuples_sent as f64;
     assert!(
