@@ -4,7 +4,7 @@
 //! hwjoin [--alg zigzag|db|db-bf|broadcast|repartition|repartition-bf|semijoin|perf|auto|all]
 //!        [--sigma-t F] [--sigma-l F] [--st F] [--sl F]
 //!        [--format columnar|text] [--scale tiny|small|default]
-//!        [--spill-limit ROWS] [--timeline PATH]
+//!        [--spill-limit ROWS] [--timeline PATH] [--threads N]
 //! ```
 //!
 //! Generates the paper's workload at the requested selectivities, executes
@@ -14,6 +14,9 @@
 //! and the measured-overlap variant (see `timeline_report` for the span
 //! view). `--timeline PATH` writes each run's phase Timeline as JSON
 //! (`PATH` gets an `.<alg>.json` suffix when several algorithms run).
+//! `--threads N` runs every worker on its own OS thread (N > 1) via the
+//! parallel driver; the default comes from `HYBRID_THREADS` (or 1,
+//! sequential).
 
 use hybrid_bench::report::{print_table, secs};
 use hybrid_bench::{default_system_config, ExpSystem};
@@ -39,7 +42,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: hwjoin [--alg NAME|auto|all] [--sigma-t F] [--sigma-l F] \
          [--st F] [--sl F] [--format columnar|text] [--scale tiny|small|default] \
-         [--spill-limit ROWS] [--timeline PATH]"
+         [--spill-limit ROWS] [--timeline PATH] [--threads N]"
     );
     std::process::exit(2)
 }
@@ -50,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut format = FileFormat::Columnar;
     let mut spill_limit: Option<usize> = None;
     let mut timeline_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -63,6 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--sl" => spec.sl = value().parse()?,
             "--spill-limit" => spill_limit = Some(value().parse()?),
             "--timeline" => timeline_path = Some(value().to_string()),
+            "--threads" => threads = Some(value().parse()?),
             "--format" => {
                 format = match value() {
                     "columnar" | "parquet" => FileFormat::Columnar,
@@ -117,15 +122,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "workload: T={} rows, L={} rows, sigma_T={}, sigma_L={}, ST'={}, SL'={}, {format}",
         spec.t_rows, spec.l_rows, spec.sigma_t, spec.sigma_l, spec.st, spec.sl
     );
-    let mut exp = ExpSystem::build(spec, format)?;
-    if let Some(limit) = spill_limit {
-        // rebuild with the spill budget
-        let mut cfg = default_system_config();
-        cfg.jen_memory_limit_rows = Some(limit);
-        let mut system = hybrid_core::HybridSystem::new(cfg)?;
-        exp.workload.load_into(&mut system, format)?;
-        exp.system = system;
+    let mut cfg = default_system_config();
+    if let Some(n) = threads {
+        cfg.threads = n;
     }
+    if let Some(limit) = spill_limit {
+        cfg.jen_memory_limit_rows = Some(limit);
+    }
+    println!("execution: {} worker thread(s)", cfg.threads);
+    let mut exp = ExpSystem::build_with(spec, format, cfg)?;
 
     let algorithms: Vec<JoinAlgorithm> = match alg_arg.as_str() {
         "all" => JoinAlgorithm::paper_variants()
@@ -168,6 +173,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m.summary.hdfs_tuples_shuffled.to_string(),
             m.summary.db_tuples_sent.to_string(),
             m.summary.cross_bytes.to_string(),
+            format!("{}ms", m.elapsed.as_millis()),
             secs(m.cost.total_s),
             secs(m.cost_measured.total_s),
         ]);
@@ -180,6 +186,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "tuples shuffled",
             "DB tuples sent",
             "cross bytes",
+            "wall time",
             "est. (assumed overlap)",
             "est. (measured overlap)",
         ],

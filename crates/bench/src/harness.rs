@@ -48,6 +48,9 @@ pub struct Measurement {
     /// `timeline_report` binary.
     pub timeline: Timeline,
     pub result_rows: usize,
+    /// Wall-clock time of the join itself (excludes workload generation
+    /// and loading) — the number the `--threads` comparison is about.
+    pub elapsed: std::time::Duration,
 }
 
 /// A loaded system for one experiment configuration.
@@ -61,8 +64,18 @@ pub struct ExpSystem {
 impl ExpSystem {
     /// Generate the workload for `spec` and load it in `format`.
     pub fn build(spec: WorkloadSpec, format: FileFormat) -> Result<ExpSystem> {
+        ExpSystem::build_with(spec, format, default_system_config())
+    }
+
+    /// Like [`ExpSystem::build`], with an explicit system configuration
+    /// (worker threads, spill budget, …).
+    pub fn build_with(
+        spec: WorkloadSpec,
+        format: FileFormat,
+        config: SystemConfig,
+    ) -> Result<ExpSystem> {
         let workload = spec.generate()?;
-        let mut system = HybridSystem::new(default_system_config())?;
+        let mut system = HybridSystem::new(config)?;
         workload.load_into(&mut system, format)?;
         Ok(ExpSystem {
             system,
@@ -81,7 +94,9 @@ impl ExpSystem {
     /// Run one algorithm, returning measured volumes + modeled time.
     pub fn run(&mut self, algorithm: JoinAlgorithm) -> Result<Measurement> {
         let query = self.workload.query();
+        let started = std::time::Instant::now();
         let out = run(&mut self.system, &query, algorithm)?;
+        let elapsed = started.elapsed();
         let scale = self.scale();
         let cost = self.model.estimate(algorithm, &out.summary, &scale);
         let profile = OverlapProfile::from_timeline(&out.timeline);
@@ -95,6 +110,7 @@ impl ExpSystem {
             cost_measured,
             timeline: out.timeline,
             result_rows: out.result.num_rows(),
+            elapsed,
         })
     }
 

@@ -25,6 +25,17 @@ pub enum HybridError {
     Storage(String),
     /// Simulated network failure (peer gone, channel closed).
     Net(String),
+    /// A fabric endpoint was disconnected (failure injection) while traffic
+    /// for it was in flight. `stream` is the logical stream tag label of the
+    /// affected transfer when known (e.g. `"hdfs_shuffle"`), `None` for a
+    /// bare endpoint receive.
+    Disconnected {
+        endpoint: String,
+        stream: Option<String>,
+    },
+    /// A worker task was cancelled because a peer in the same parallel run
+    /// failed first — the peer's error is the root cause, this one is not.
+    Cancelled { worker: String },
     /// Query execution failure (e.g. hash table memory limit exceeded).
     Exec(String),
     /// A worker died or was killed by failure injection.
@@ -48,6 +59,13 @@ impl fmt::Display for HybridError {
             }
             HybridError::Storage(m) => write!(f, "storage error: {m}"),
             HybridError::Net(m) => write!(f, "network error: {m}"),
+            HybridError::Disconnected { endpoint, stream } => match stream {
+                Some(s) => write!(f, "endpoint {endpoint} disconnected (stream {s})"),
+                None => write!(f, "endpoint {endpoint} disconnected"),
+            },
+            HybridError::Cancelled { worker } => {
+                write!(f, "worker {worker} cancelled after a peer failure")
+            }
             HybridError::Exec(m) => write!(f, "execution error: {m}"),
             HybridError::WorkerFailed { worker, reason } => {
                 write!(f, "worker {worker} failed: {reason}")

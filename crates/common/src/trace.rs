@@ -136,7 +136,12 @@ impl Default for Tracer {
 
 impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let n = self.inner.spans.lock().expect("tracer spans").len();
+        let n = self
+            .inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len();
         f.debug_struct("Tracer").field("spans", &n).finish()
     }
 }
@@ -156,7 +161,7 @@ impl Tracer {
         self.inner
             .epoch
             .lock()
-            .expect("tracer epoch")
+            .unwrap_or_else(|e| e.into_inner())
             .elapsed()
             .as_micros() as u64
     }
@@ -174,18 +179,31 @@ impl Tracer {
     /// Record a fully-formed span (for callers that track their own
     /// timestamps, e.g. per-batch loops that merge adjacent work).
     pub fn record(&self, span: Span) {
-        self.inner.spans.lock().expect("tracer spans").push(span);
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(span);
     }
 
     /// Clear all spans and restart the clock (between runs).
     pub fn reset(&self) {
-        self.inner.spans.lock().expect("tracer spans").clear();
-        *self.inner.epoch.lock().expect("tracer epoch") = Instant::now();
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        *self.inner.epoch.lock().unwrap_or_else(|e| e.into_inner()) = Instant::now();
     }
 
     /// Snapshot the spans recorded so far, sorted by start time.
     pub fn timeline(&self) -> Timeline {
-        let mut spans = self.inner.spans.lock().expect("tracer spans").clone();
+        let mut spans = self
+            .inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
         spans.sort_by_key(|s| (s.t_start, s.t_end, s.worker.clone()));
         Timeline {
             spans,

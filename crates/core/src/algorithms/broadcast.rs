@@ -10,60 +10,69 @@
 //! the Fig. 10 harness reproduces that crossover.
 
 use crate::algorithms::{
-    db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox,
+    add_final_aggregation_steps, db_scan_step, db_tasks, jen_tasks, t_prime_schema, take_result,
+    Driver, TaskSet,
 };
 use crate::query::HybridQuery;
 use crate::system::HybridSystem;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::Result;
-use hybrid_common::ids::DbWorkerId;
 use hybrid_common::ops::{HashAggregator, HashJoiner};
 use hybrid_common::trace::Stage;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
 use hybrid_jen::ScanSpec;
-use hybrid_net::{Endpoint, StreamTag};
+use hybrid_net::StreamTag;
 
 pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Batch> {
+    let sys = &*sys;
+    let driver = &Driver::from_config(&sys.config);
     let num_db = sys.config.db_workers;
 
+    let plan = &sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let scan_spec = &ScanSpec {
+        pred: query.hdfs_pred.clone(),
+        proj: query.hdfs_proj.clone(),
+        bloom_key: None,
+    };
+    let t_schema = &t_prime_schema(sys, query)?;
+
+    let mut db = TaskSet::new("db", db_tasks(sys, driver)?);
+    let mut jen = TaskSet::new("jen", jen_tasks(sys, driver)?);
+
     // Step 1: local predicates + projection on every DB worker.
-    let t_prime = db_apply_local(sys, query)?;
+    db.step(10, move |w, st| {
+        st.part = Some(db_scan_step(sys, query, driver, w)?);
+        Ok(())
+    });
 
     // Step 2: every DB worker broadcasts its filtered partition to every
     // JEN worker (the paper's chosen "first transfer pattern", §4.3).
-    let jen_eps = sys.fabric.jen_endpoints();
-    for (w, part) in t_prime.iter().enumerate() {
-        let src = Endpoint::Db(DbWorkerId(w));
+    db.step(20, move |w, st| {
+        let part = st.part.take().expect("T' scanned in step 10");
+        let jen_eps = sys.fabric.jen_endpoints();
         let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
         for &dst in &jen_eps {
-            send_data(sys, src, dst, StreamTag::DbData, part)?;
-            send_eos(sys, src, dst, StreamTag::DbData)?;
+            st.mailbox.send_data(dst, StreamTag::DbData, &part)?;
+            st.mailbox.send_eos(dst, StreamTag::DbData)?;
         }
         span.done(
             part.serialized_bytes() as u64 * jen_eps.len() as u64,
             part.num_rows() as u64 * jen_eps.len() as u64,
         );
-    }
+        Ok(())
+    });
 
     // Step 3: each JEN worker assembles T', scans its share of L, joins
     // locally, and computes a partial aggregate.
-    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
-    let scan_spec = ScanSpec {
-        pred: query.hdfs_pred.clone(),
-        proj: query.hdfs_proj.clone(),
-        bloom_key: None,
-    };
-    let t_schema = t_prime[0].schema().clone();
-    let mut partials: Vec<Batch> = Vec::with_capacity(sys.config.jen_workers);
-    for worker in &sys.jen_workers {
-        let me = Endpoint::Jen(worker.id());
+    jen.step(30, move |w, st| {
+        let worker = &sys.jen_workers[w];
         let label = worker.span_label();
-        let mut mb = Mailbox::new(sys, me)?;
         let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
-        let got = mb.take_stream(StreamTag::DbData, num_db)?;
+        let got = st.mailbox.take_stream(StreamTag::DbData, num_db)?;
         let recv_rows: u64 = got.batches.iter().map(|b| b.num_rows() as u64).sum();
         recv_span.done(0, recv_rows);
 
+        let _permit = driver.compute_permit();
         // Build the hash table on the (small) broadcast T' — output layout
         // is the canonical T' ++ L', so the query expressions apply as-is.
         let build_span = sys.tracer.start(label.clone(), Stage::HashBuild);
@@ -72,13 +81,8 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             joiner.build(b)?;
         }
         build_span.done(0, recv_rows);
-        let (l_share, _) = scan_blocks_pipelined(
-            worker,
-            &plan.table,
-            &plan.blocks[worker.id().index()],
-            &scan_spec,
-            None,
-        )?;
+        let (l_share, _) =
+            scan_blocks_pipelined(worker, &plan.table, &plan.blocks[w], scan_spec, None)?;
         let probe_span = sys.tracer.start(label.clone(), Stage::Probe);
         let joined = joiner.probe(&l_share, query.hdfs_key)?;
         probe_span.done(0, l_share.num_rows() as u64);
@@ -93,10 +97,14 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         let groups = query.group_expr.eval_i64(&joined)?;
         let mut agg = HashAggregator::new(query.aggs.clone());
         agg.update(&groups, &joined)?;
-        partials.push(agg.finish());
+        st.partial = Some(agg.finish());
         agg_span.done(0, joined.num_rows() as u64);
-    }
+        Ok(())
+    });
 
     // Steps 4–5: final aggregation at the designated worker, result to DB.
-    hdfs_side_final_aggregation(sys, query, partials)
+    add_final_aggregation_steps(sys, query, &mut jen, &mut db, 40)?;
+
+    let (db_states, _jen_states) = driver.run_pair(db, jen)?;
+    take_result(db_states)
 }

@@ -7,10 +7,12 @@
 //! workers are divided into one group per DB worker (Fig. 5) so ingestion
 //! is parallel on both ends.
 
-use crate::algorithms::{db_apply_local, send_data, send_eos, Mailbox};
+use crate::algorithms::{
+    db_build_and_multicast_bloom, db_scan_step, db_tasks, jen_take_bloom, jen_tasks, Driver,
+    TaskSet,
+};
 use crate::query::HybridQuery;
 use crate::system::HybridSystem;
-use hybrid_bloom::BloomFilter;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::Result;
 use hybrid_common::ids::DbWorkerId;
@@ -18,104 +20,113 @@ use hybrid_common::trace::Stage;
 use hybrid_edw::DbJoinSpec;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
 use hybrid_jen::ScanSpec;
-use hybrid_net::{Endpoint, Message, StreamTag};
+use hybrid_net::{Endpoint, StreamTag};
 
 pub(crate) fn execute(
     sys: &mut HybridSystem,
     query: &HybridQuery,
     use_bloom: bool,
 ) -> Result<Batch> {
+    let sys = &*sys;
+    let driver = &Driver::from_config(&sys.config);
     let num_db = sys.config.db_workers;
+    let num_jen = sys.config.jen_workers;
 
-    // Step 1: local predicates + projection on every DB worker.
-    let t_prime = db_apply_local(sys, query)?;
-
-    // Step 2: compute the global BF_DB and multicast it to the JEN workers.
-    if use_bloom {
-        let bf_span = sys.tracer.start("db", Stage::BloomBuild);
-        let bf = sys.db.build_global_bloom(
-            &query.db_table,
-            &query.db_pred,
-            query.db_key_base(),
-            query.bloom,
-        )?;
-        let bytes = bf.to_bytes();
-        bf_span.done(bytes.len() as u64, 0);
-        let db0 = Endpoint::Db(DbWorkerId(0));
-        for jen in sys.fabric.jen_endpoints() {
-            sys.fabric.send(
-                db0,
-                jen,
-                Message::Bloom {
-                    stream: StreamTag::DbBloom,
-                    bytes: bytes.clone(),
-                },
-            )?;
-            send_eos(sys, db0, jen, StreamTag::DbBloom)?;
+    // The coordinator groups workers: group[i] feeds DB worker i (Fig. 5).
+    // Dead workers appear in no group and take no steps.
+    let groups = sys.coordinator.group_workers_for_db(num_db);
+    let mut db_of_jen: Vec<Option<usize>> = vec![None; num_jen];
+    for (db_idx, group) in groups.iter().enumerate() {
+        for wid in group {
+            db_of_jen[wid.index()] = Some(db_idx);
         }
     }
+    let expected: Vec<usize> = groups.iter().map(|g| g.len()).collect();
 
-    // Step 3: JEN scans, filters, and sends to its DB worker. The
-    // coordinator groups workers: group[i] feeds DB worker i (Fig. 5).
-    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
-    let groups = sys.coordinator.group_workers_for_db(num_db);
-    let scan_spec = ScanSpec {
+    let plan = &sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let scan_spec = &ScanSpec {
         pred: query.hdfs_pred.clone(),
         proj: query.hdfs_proj.clone(),
         bloom_key: use_bloom.then(|| query.hdfs_key_base()),
     };
-    for (db_idx, group) in groups.iter().enumerate() {
-        for wid in group {
-            let worker = &sys.jen_workers[wid.index()];
-            let bloom = if use_bloom {
-                let mut mb = Mailbox::new(sys, Endpoint::Jen(worker.id()))?;
-                let got = mb.take_stream(StreamTag::DbBloom, 1)?;
-                got.blooms
-                    .first()
-                    .map(|b| BloomFilter::from_bytes(b))
-                    .transpose()?
+    let hdfs_out_schema = &plan.table.schema.project(&query.hdfs_proj)?;
+
+    let mut db = TaskSet::new("db", db_tasks(sys, driver)?);
+    let mut jen = TaskSet::new("jen", jen_tasks(sys, driver)?);
+
+    // Step 1: local predicates + projection on every DB worker.
+    db.step(10, move |w, st| {
+        st.part = Some(db_scan_step(sys, query, driver, w)?);
+        Ok(())
+    });
+
+    // Step 2: global BF_DB, multicast to the JEN workers.
+    if use_bloom {
+        db.step(15, move |w, st| {
+            if w == 0 {
+                db_build_and_multicast_bloom(sys, query, st)
             } else {
-                None
-            };
-            let (batch, _) = scan_blocks_pipelined(
-                worker,
-                &plan.table,
-                &plan.blocks[wid.index()],
-                &scan_spec,
-                bloom.as_ref(),
-            )?;
-            let dst = Endpoint::Db(DbWorkerId(db_idx));
-            let src = Endpoint::Jen(worker.id());
-            let span = sys.tracer.start(worker.span_label(), Stage::ShuffleSend);
-            send_data(sys, src, dst, StreamTag::HdfsData, &batch)?;
-            send_eos(sys, src, dst, StreamTag::HdfsData)?;
-            span.done(batch.serialized_bytes() as u64, batch.num_rows() as u64);
-        }
+                Ok(())
+            }
+        });
     }
 
+    // Step 3: JEN scans, filters, and sends to its group's DB worker.
+    jen.step(20, move |w, st| {
+        let Some(db_idx) = db_of_jen[w] else {
+            // not in any group (dead or unassigned) — takes no part
+            return Ok(());
+        };
+        let bloom = if use_bloom {
+            jen_take_bloom(st, StreamTag::DbBloom)?
+        } else {
+            None
+        };
+        let worker = &sys.jen_workers[w];
+        let batch = {
+            let _permit = driver.compute_permit();
+            scan_blocks_pipelined(
+                worker,
+                &plan.table,
+                &plan.blocks[w],
+                scan_spec,
+                bloom.as_ref(),
+            )?
+            .0
+        };
+        let dst = Endpoint::Db(DbWorkerId(db_idx));
+        let span = sys.tracer.start(worker.span_label(), Stage::ShuffleSend);
+        st.mailbox.send_data(dst, StreamTag::HdfsData, &batch)?;
+        st.mailbox.send_eos(dst, StreamTag::HdfsData)?;
+        span.done(batch.serialized_bytes() as u64, batch.num_rows() as u64);
+        Ok(())
+    });
+
     // Step 4: DB workers land their group's HDFS data.
-    let hdfs_out_schema = plan.table.schema.project(&query.hdfs_proj)?;
-    let mut landed: Vec<Batch> = Vec::with_capacity(num_db);
-    for (db_idx, group) in groups.iter().enumerate().take(num_db) {
-        let expected = group.len();
-        let batch = if expected == 0 {
+    db.step(30, move |w, st| {
+        let n = expected.get(w).copied().unwrap_or(0);
+        st.landed = Some(if n == 0 {
             Batch::empty(hdfs_out_schema.clone())
         } else {
-            let span = sys.tracer.start(format!("db-{db_idx}"), Stage::ShuffleRecv);
-            let mut mb = Mailbox::new(sys, Endpoint::Db(DbWorkerId(db_idx)))?;
-            let got = mb.take_stream(StreamTag::HdfsData, expected)?;
-            let landed_batch = Batch::concat(hdfs_out_schema.clone(), &got.batches)?;
-            span.done(
-                landed_batch.serialized_bytes() as u64,
-                landed_batch.num_rows() as u64,
-            );
-            landed_batch
-        };
-        landed.push(batch);
-    }
+            let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleRecv);
+            let got = st.mailbox.take_stream(StreamTag::HdfsData, n)?;
+            let landed = Batch::concat(hdfs_out_schema.clone(), &got.batches)?;
+            span.done(landed.serialized_bytes() as u64, landed.num_rows() as u64);
+            landed
+        });
+        Ok(())
+    });
+
+    let (mut db_states, _jen_states) = driver.run_pair(db, jen)?;
 
     // Step 5: the database's own optimizer finishes the join + aggregation.
     // Canonical layout T' ++ L'' matches DbJoinSpec's left ++ right.
+    let mut parts: Vec<Batch> = Vec::with_capacity(num_db);
+    let mut landed: Vec<Batch> = Vec::with_capacity(num_db);
+    for st in &mut db_states {
+        parts.push(st.part.take().expect("T' scanned in step 10"));
+        landed.push(st.landed.take().expect("HDFS data landed in step 30"));
+    }
     let spec = DbJoinSpec {
         left_key: query.db_key,
         right_key: query.hdfs_key,
@@ -124,7 +135,7 @@ pub(crate) fn execute(
         aggs: query.aggs.clone(),
     };
     let join_span = sys.tracer.start("db", Stage::Probe);
-    let (result, choice) = sys.db.join_and_aggregate(&t_prime, &landed, &spec)?;
+    let (result, choice) = sys.db.join_and_aggregate(&parts, &landed, &spec)?;
     join_span.done(0, result.num_rows() as u64);
     sys.metrics
         .incr(&format!("db.join.plan.{choice:?}").to_lowercase());

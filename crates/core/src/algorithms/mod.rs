@@ -8,21 +8,29 @@
 
 pub mod broadcast;
 pub mod db_side;
+pub mod driver;
 pub mod perf;
 pub mod repartition;
 pub mod semijoin;
 pub mod zigzag;
 
+pub use driver::{CancelToken, Driver, TaskSet};
+
 use crate::query::HybridQuery;
 use crate::stats::{JoinSummary, RunOutput};
 use crate::system::HybridSystem;
+use hybrid_bloom::BloomFilter;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::{HybridError, Result};
-use hybrid_common::ids::DbWorkerId;
-use hybrid_common::ops::HashAggregator;
+use hybrid_common::hash::agreed_shuffle_partition;
+use hybrid_common::ids::{DbWorkerId, JenWorkerId};
+use hybrid_common::ops::{partition_by_key, HashAggregator};
+use hybrid_common::schema::Schema;
 use hybrid_common::trace::Stage;
-use hybrid_net::{Delivery, Endpoint, Message, StreamTag};
+use hybrid_jen::LocalJoiner;
+use hybrid_net::{Delivery, Endpoint, Fabric, Message, StreamTag};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Which join strategy to execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,39 +131,15 @@ pub fn run(
 /// buffers do, rather than one giant message.
 pub(crate) const CHUNK_ROWS: usize = 4096;
 
-/// Send `batch` as chunked data messages on `stream` (no EOS).
-pub(crate) fn send_data(
-    sys: &HybridSystem,
-    from: Endpoint,
-    to: Endpoint,
-    stream: StreamTag,
-    batch: &Batch,
-) -> Result<()> {
-    if batch.is_empty() {
-        return Ok(());
-    }
-    for chunk in batch.chunks(CHUNK_ROWS) {
-        sys.fabric.send(
-            from,
-            to,
-            Message::Data {
-                stream,
-                batch: chunk,
-            },
-        )?;
-    }
-    Ok(())
-}
+/// How long one blocking wait on the inbox lasts before the mailbox
+/// re-checks cancellation / disconnection. Invisible to throughput (the
+/// wait returns immediately when a message is ready); small enough that a
+/// failed peer aborts the cluster promptly.
+const RECV_SLICE: Duration = Duration::from_millis(25);
 
-/// Send an end-of-stream marker.
-pub(crate) fn send_eos(
-    sys: &HybridSystem,
-    from: Endpoint,
-    to: Endpoint,
-    stream: StreamTag,
-) -> Result<()> {
-    sys.fabric.send(from, to, Message::Eos { stream })
-}
+/// Inbox-drain slice while a pump-send waits for the target inbox to free
+/// up — short, because the send should retry eagerly.
+const PUMP_SLICE: Duration = Duration::from_millis(1);
 
 /// A per-endpoint demultiplexer: pulls deliveries off the endpoint's inbox,
 /// buffering messages for streams other than the one currently awaited.
@@ -163,12 +147,20 @@ pub(crate) fn send_eos(
 /// A zigzag JEN worker's inbox legitimately interleaves shuffled HDFS
 /// batches with (later) database tuples; the mailbox lets the algorithm
 /// consume one logical stream at a time without losing the other.
+///
+/// The mailbox is also the *sending* half of a worker task: its pump-based
+/// [`Mailbox::send`] retries a full bounded inbox while draining its own —
+/// the property that makes an all-to-all shuffle over bounded channels
+/// deadlock-free (a cycle of senders blocked on each other's full inboxes
+/// cannot form, because every blocked sender keeps consuming).
 pub(crate) struct Mailbox {
     endpoint: Endpoint,
+    fabric: Fabric<Message>,
     rx: crossbeam::channel::Receiver<Delivery<Message>>,
     buffered: HashMap<StreamTag, Vec<Delivery<Message>>>,
     eos_seen: HashMap<StreamTag, usize>,
-    timeout: std::time::Duration,
+    timeout: Duration,
+    cancel: Option<CancelToken>,
 }
 
 /// Everything received on one stream.
@@ -179,53 +171,164 @@ pub(crate) struct StreamData {
     /// per-sender arrival order is send order).
     pub batch_senders: Vec<Endpoint>,
     pub blooms: Vec<Vec<u8>>,
+    /// Sender of each Bloom payload, aligned with `blooms` — under parallel
+    /// execution arrival order is arbitrary, so consumers that care which
+    /// worker produced a filter/bitmap must index by sender, never by
+    /// position.
+    pub bloom_senders: Vec<Endpoint>,
 }
 
 impl Mailbox {
     pub(crate) fn new(sys: &HybridSystem, endpoint: Endpoint) -> Result<Mailbox> {
         Ok(Mailbox {
             endpoint,
+            fabric: sys.fabric.clone(),
             rx: sys.fabric.receiver(endpoint)?,
             buffered: HashMap::new(),
             eos_seen: HashMap::new(),
             timeout: sys.config.recv_timeout,
+            cancel: None,
         })
+    }
+
+    /// Abort blocking waits when `token` trips (a peer worker failed).
+    pub(crate) fn with_cancel(mut self, token: CancelToken) -> Mailbox {
+        self.cancel = Some(token);
+        self
+    }
+
+    fn check_liveness(&self, awaiting: Option<StreamTag>) -> Result<()> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return Err(HybridError::Cancelled {
+                    worker: self.endpoint.to_string(),
+                });
+            }
+        }
+        if self.fabric.is_disconnected(self.endpoint) {
+            // this worker was killed by failure injection: typed error,
+            // carrying the stream it was serving when it died
+            return Err(HybridError::Disconnected {
+                endpoint: self.endpoint.to_string(),
+                stream: awaiting.map(|s| s.label().to_string()),
+            });
+        }
+        Ok(())
+    }
+
+    /// File one delivery into the stream buffers / EOS counts.
+    fn absorb_delivery(&mut self, d: Delivery<Message>) {
+        let tag = d.msg.stream();
+        if let Message::Eos { .. } = d.msg {
+            *self.eos_seen.entry(tag).or_insert(0) += 1;
+        } else {
+            self.buffered.entry(tag).or_default().push(d);
+        }
+    }
+
+    /// Send one message, never blocking the fabric: while the target inbox
+    /// is full, drain this endpoint's own inbox into the stream buffers and
+    /// retry. Gives up with a Net error after the receive timeout.
+    pub(crate) fn send(&mut self, to: Endpoint, msg: Message) -> Result<()> {
+        let deadline = Instant::now() + self.timeout;
+        let mut msg = msg;
+        loop {
+            match self.fabric.try_send(self.endpoint, to, msg)? {
+                None => return Ok(()),
+                Some(back) => {
+                    msg = back;
+                    self.check_liveness(Some(msg.stream()))?;
+                    if Instant::now() >= deadline {
+                        return Err(HybridError::Net(format!(
+                            "{} send to {to} stalled on a full inbox",
+                            self.endpoint
+                        )));
+                    }
+                    if let Ok(d) = self.rx.recv_timeout(PUMP_SLICE) {
+                        self.absorb_delivery(d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Send `batch` as chunked data messages on `stream` (no EOS).
+    pub(crate) fn send_data(
+        &mut self,
+        to: Endpoint,
+        stream: StreamTag,
+        batch: &Batch,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for chunk in batch.chunks(CHUNK_ROWS) {
+            self.send(
+                to,
+                Message::Data {
+                    stream,
+                    batch: chunk,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Send an end-of-stream marker.
+    pub(crate) fn send_eos(&mut self, to: Endpoint, stream: StreamTag) -> Result<()> {
+        self.send(to, Message::Eos { stream })
+    }
+
+    /// Send a serialized Bloom filter / bitmap payload.
+    pub(crate) fn send_bloom(
+        &mut self,
+        to: Endpoint,
+        stream: StreamTag,
+        bytes: Vec<u8>,
+    ) -> Result<()> {
+        self.send(to, Message::Bloom { stream, bytes })
     }
 
     /// Block until `expected_eos` end-of-stream markers have arrived on
     /// `stream`; return all of its data. Messages of other streams are
-    /// buffered for later `take_stream` calls.
+    /// buffered for later `take_stream` calls. The wait is sliced so a
+    /// cancelled run or a disconnected endpoint aborts promptly; the idle
+    /// timeout (no message for `recv_timeout`) stays a generic Net error.
     pub(crate) fn take_stream(
         &mut self,
         stream: StreamTag,
         expected_eos: usize,
     ) -> Result<StreamData> {
         let mut out = StreamData::default();
-        // consume anything already buffered for this stream
-        for d in self.buffered.remove(&stream).unwrap_or_default() {
-            absorb(&mut out, d.from, d.msg);
-        }
-        while self.eos_seen.get(&stream).copied().unwrap_or(0) < expected_eos {
-            let d = self.rx.recv_timeout(self.timeout).map_err(|_| {
-                HybridError::Net(format!(
-                    "{} timed out waiting for {stream:?} ({}/{} EOS)",
-                    self.endpoint,
-                    self.eos_seen.get(&stream).copied().unwrap_or(0),
-                    expected_eos
-                ))
-            })?;
-            let tag = d.msg.stream();
-            if let Message::Eos { .. } = d.msg {
-                *self.eos_seen.entry(tag).or_insert(0) += 1;
-                continue;
-            }
-            if tag == stream {
+        let mut deadline = Instant::now() + self.timeout;
+        loop {
+            for d in self.buffered.remove(&stream).unwrap_or_default() {
                 absorb(&mut out, d.from, d.msg);
-            } else {
-                self.buffered.entry(tag).or_default().push(d);
+            }
+            if self.eos_seen.get(&stream).copied().unwrap_or(0) >= expected_eos {
+                return Ok(out);
+            }
+            // one sliced wait; any delivery (on any stream) resets the
+            // idle clock, matching the per-receive timeout this replaced
+            loop {
+                self.check_liveness(Some(stream))?;
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(HybridError::Net(format!(
+                        "{} timed out waiting for {stream:?} ({}/{} EOS)",
+                        self.endpoint,
+                        self.eos_seen.get(&stream).copied().unwrap_or(0),
+                        expected_eos
+                    )));
+                }
+                let slice = RECV_SLICE.min(deadline - now);
+                if let Ok(d) = self.rx.recv_timeout(slice) {
+                    self.absorb_delivery(d);
+                    deadline = Instant::now() + self.timeout;
+                    break;
+                }
             }
         }
-        Ok(out)
     }
 }
 
@@ -235,70 +338,349 @@ fn absorb(out: &mut StreamData, from: Endpoint, msg: Message) {
             out.batch_senders.push(from);
             out.batches.push(batch);
         }
-        Message::Bloom { bytes, .. } => out.blooms.push(bytes),
+        Message::Bloom { bytes, .. } => {
+            out.bloom_senders.push(from);
+            out.blooms.push(bytes);
+        }
         Message::Eos { .. } => unreachable!("EOS handled by caller"),
     }
 }
 
-/// HDFS-side epilogue shared by broadcast/repartition/zigzag/semijoin:
-/// partial aggregates travel to the designated worker, which merges them
-/// and ships the final result to DB worker 0 (Figures 2–4, final steps).
-///
-/// `partials[w]` is worker `w`'s partial aggregate batch.
-pub(crate) fn hdfs_side_final_aggregation(
-    sys: &HybridSystem,
-    query: &HybridQuery,
-    partials: Vec<Batch>,
-) -> Result<Batch> {
-    let designated = sys.coordinator.designated_worker()?;
-    let agg_span = sys
-        .tracer
-        .start(format!("jen-{}", designated.index()), Stage::Aggregate);
-    let mut merger = HashAggregator::new(query.aggs.clone());
-    let mut expected = 0usize;
-    for (w, partial) in partials.iter().enumerate() {
-        if w == designated.index() {
-            merger.merge_partial(partial)?;
-        } else {
-            let from = Endpoint::Jen(hybrid_common::ids::JenWorkerId(w));
-            let to = Endpoint::Jen(designated);
-            send_data(sys, from, to, StreamTag::PartialAgg, partial)?;
-            send_eos(sys, from, to, StreamTag::PartialAgg)?;
-            expected += 1;
-        }
-    }
-    let mut mailbox = Mailbox::new(sys, Endpoint::Jen(designated))?;
-    let received = mailbox.take_stream(StreamTag::PartialAgg, expected)?;
-    for p in &received.batches {
-        merger.merge_partial(p)?;
-    }
-    let final_batch = merger.finish();
-    agg_span.done(0, final_batch.num_rows() as u64);
+// ---------------------------------------------------------------------------
+// per-worker task states and shared steps
+// ---------------------------------------------------------------------------
 
-    // ship to the database (a single DB worker returns it to the user)
-    let db0 = Endpoint::Db(DbWorkerId(0));
-    let from = Endpoint::Jen(designated);
-    send_data(sys, from, db0, StreamTag::FinalResult, &final_batch)?;
-    send_eos(sys, from, db0, StreamTag::FinalResult)?;
-    let mut db_mailbox = Mailbox::new(sys, db0)?;
-    let result = db_mailbox.take_stream(StreamTag::FinalResult, 1)?;
-    if result.batches.is_empty() {
-        return Ok(final_batch); // empty result: EOS only
-    }
-    Batch::concat(final_batch.schema().clone(), &result.batches)
+/// Per-worker state threaded through a JEN [`TaskSet`].
+pub(crate) struct JenTask {
+    pub mailbox: Mailbox,
+    /// This worker's own shuffle partition (never crosses the wire).
+    pub local_part: Option<Batch>,
+    /// The local hash joiner, built on the shuffled HDFS data.
+    pub joiner: Option<LocalJoiner>,
+    /// This worker's partial aggregate.
+    pub partial: Option<Batch>,
+    /// A locally built Bloom filter awaiting the global merge (zigzag BF_H).
+    pub local_bf: Option<BloomFilter>,
 }
 
-/// The database half every algorithm starts with: apply local predicates
-/// and projection on each DB worker, producing `T'` (Fig. 1–4, step 1).
-pub(crate) fn db_apply_local(sys: &HybridSystem, query: &HybridQuery) -> Result<Vec<Batch>> {
-    let span = sys.tracer.start("db", Stage::Scan);
-    let parts = sys
-        .db
-        .scan_filter_project(&query.db_table, &query.db_pred, &query.db_proj)?;
-    let rows: u64 = parts.iter().map(|b| b.num_rows() as u64).sum();
+/// Per-worker state threaded through a DB [`TaskSet`].
+pub(crate) struct DbTask {
+    pub mailbox: Mailbox,
+    /// This worker's `T'` partition.
+    pub part: Option<Batch>,
+    /// Locally collected distinct join keys (semi-join).
+    pub keys: Option<Batch>,
+    /// HDFS data landed on this worker (DB-side join).
+    pub landed: Option<Batch>,
+    /// The final query result (worker 0 only).
+    pub result: Option<Batch>,
+}
+
+pub(crate) fn jen_tasks(sys: &HybridSystem, driver: &Driver) -> Result<Vec<JenTask>> {
+    sys.jen_workers
+        .iter()
+        .map(|w| {
+            Ok(JenTask {
+                mailbox: Mailbox::new(sys, Endpoint::Jen(w.id()))?
+                    .with_cancel(driver.cancel_token()),
+                local_part: None,
+                joiner: None,
+                partial: None,
+                local_bf: None,
+            })
+        })
+        .collect()
+}
+
+pub(crate) fn db_tasks(sys: &HybridSystem, driver: &Driver) -> Result<Vec<DbTask>> {
+    (0..sys.config.db_workers)
+        .map(|w| {
+            Ok(DbTask {
+                mailbox: Mailbox::new(sys, Endpoint::Db(DbWorkerId(w)))?
+                    .with_cancel(driver.cancel_token()),
+                part: None,
+                keys: None,
+                landed: None,
+                result: None,
+            })
+        })
+        .collect()
+}
+
+/// The schema of `T'` (the DB table after projection), known before any
+/// worker has scanned — probe steps need it even when zero rows arrive.
+pub(crate) fn t_prime_schema(sys: &HybridSystem, query: &HybridQuery) -> Result<Schema> {
+    sys.db
+        .worker(0)
+        .partition(&query.db_table)?
+        .schema()
+        .project(&query.db_proj)
+}
+
+/// The DB step every algorithm starts with, per worker: apply local
+/// predicates and projection, producing this worker's slice of `T'`
+/// (Fig. 1–4, step 1).
+pub(crate) fn db_scan_step(
+    sys: &HybridSystem,
+    query: &HybridQuery,
+    driver: &Driver,
+    w: usize,
+) -> Result<Batch> {
+    let _permit = driver.compute_permit();
+    let span = sys.tracer.start(format!("db-{w}"), Stage::Scan);
+    let part =
+        sys.db
+            .worker(w)
+            .scan_filter_project(&query.db_table, &query.db_pred, &query.db_proj)?;
+    let rows = part.num_rows() as u64;
     span.done(0, rows);
     sys.metrics.add("core.t_prime_rows", rows);
-    Ok(parts)
+    Ok(part)
+}
+
+/// DB worker 0 builds the global `BF_DB` and multicasts it (with EOS) to
+/// every JEN worker. The per-partition filters and their merge are metered
+/// inside `build_global_bloom` exactly as before.
+pub(crate) fn db_build_and_multicast_bloom(
+    sys: &HybridSystem,
+    query: &HybridQuery,
+    st: &mut DbTask,
+) -> Result<()> {
+    let bf_span = sys.tracer.start("db", Stage::BloomBuild);
+    let bf = sys.db.build_global_bloom(
+        &query.db_table,
+        &query.db_pred,
+        query.db_key_base(),
+        query.bloom,
+    )?;
+    let bytes = bf.to_bytes();
+    bf_span.done(bytes.len() as u64, 0);
+    for jen in sys.fabric.jen_endpoints() {
+        st.mailbox
+            .send_bloom(jen, StreamTag::DbBloom, bytes.clone())?;
+        st.mailbox.send_eos(jen, StreamTag::DbBloom)?;
+    }
+    Ok(())
+}
+
+/// Wait for a single Bloom filter on `stream` and deserialize it.
+pub(crate) fn jen_take_bloom(st: &mut JenTask, stream: StreamTag) -> Result<Option<BloomFilter>> {
+    let got = st.mailbox.take_stream(stream, 1)?;
+    got.blooms
+        .first()
+        .map(|b| BloomFilter::from_bytes(b))
+        .transpose()
+}
+
+/// Route a DB batch to the owning JEN workers with the agreed hash on
+/// `DbData` (one EOS per destination), under a ShuffleSend span.
+pub(crate) fn db_route_to_jen(
+    sys: &HybridSystem,
+    query: &HybridQuery,
+    st: &mut DbTask,
+    w: usize,
+    batch: &Batch,
+) -> Result<()> {
+    let num_jen = sys.config.jen_workers;
+    let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
+    let routed = partition_by_key(batch, query.db_key, num_jen, agreed_shuffle_partition)?;
+    for (jen_idx, piece) in routed.into_iter().enumerate() {
+        let dst = Endpoint::Jen(JenWorkerId(jen_idx));
+        st.mailbox.send_data(dst, StreamTag::DbData, &piece)?;
+        st.mailbox.send_eos(dst, StreamTag::DbData)?;
+    }
+    span.done(batch.serialized_bytes() as u64, batch.num_rows() as u64);
+    Ok(())
+}
+
+/// Route this JEN worker's filtered scan output among its peers with the
+/// agreed hash; the piece it owns stays local in `st.local_part`.
+pub(crate) fn jen_shuffle_share(
+    sys: &HybridSystem,
+    query: &HybridQuery,
+    st: &mut JenTask,
+    w: usize,
+    l_share: Batch,
+    l_schema: &Schema,
+) -> Result<()> {
+    let num_jen = sys.config.jen_workers;
+    let span = sys
+        .tracer
+        .start(sys.jen_workers[w].span_label(), Stage::ShuffleSend);
+    let sent_rows = l_share.num_rows() as u64;
+    let sent_bytes = l_share.serialized_bytes() as u64;
+    let routed = partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
+    let mut mine = Batch::empty(l_schema.clone());
+    for (dst_idx, piece) in routed.into_iter().enumerate() {
+        if dst_idx == w {
+            mine = piece; // local partition: no network traffic
+        } else {
+            let dst = Endpoint::Jen(JenWorkerId(dst_idx));
+            st.mailbox.send_data(dst, StreamTag::HdfsShuffle, &piece)?;
+            st.mailbox.send_eos(dst, StreamTag::HdfsShuffle)?;
+        }
+    }
+    span.done(sent_bytes, sent_rows);
+    st.local_part = Some(mine);
+    Ok(())
+}
+
+/// JEN epilogue, first half (repartition/zigzag/semijoin): receive the
+/// shuffled HDFS partitions and build the local hash joiner over them plus
+/// the local partition. In-memory by default, grace-hash with spilling when
+/// the engine has a build-side memory budget.
+pub(crate) fn jen_recv_build(
+    sys: &HybridSystem,
+    query: &HybridQuery,
+    driver: &Driver,
+    st: &mut JenTask,
+    w: usize,
+    l_schema: &Schema,
+) -> Result<()> {
+    let num_jen = sys.config.jen_workers;
+    let label = sys.jen_workers[w].span_label();
+    let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
+    let shuffled = st
+        .mailbox
+        .take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
+    let recv_rows: u64 = shuffled.batches.iter().map(|b| b.num_rows() as u64).sum();
+    recv_span.done(0, recv_rows);
+    let local = st
+        .local_part
+        .take()
+        .unwrap_or_else(|| Batch::empty(l_schema.clone()));
+    let built_rows = local.num_rows() as u64 + recv_rows;
+    let _permit = driver.compute_permit();
+    let build_span = sys.tracer.start(label, Stage::HashBuild);
+    let mut joiner = LocalJoiner::new(
+        l_schema.clone(),
+        query.hdfs_key,
+        sys.config.jen_memory_limit_rows,
+        sys.metrics.clone(),
+    )?;
+    joiner.build(local)?;
+    for b in shuffled.batches {
+        joiner.build(b)?;
+    }
+    build_span.done(0, built_rows);
+    st.joiner = Some(joiner);
+    Ok(())
+}
+
+/// JEN epilogue, second half: receive the DB tuples, probe the joiner built
+/// earlier, apply the post-join predicate, and aggregate partially. The
+/// joined layout is L' ++ T', so the remapped query expressions apply.
+pub(crate) fn jen_probe_aggregate(
+    sys: &HybridSystem,
+    query: &HybridQuery,
+    driver: &Driver,
+    st: &mut JenTask,
+    w: usize,
+    t_schema: &Schema,
+) -> Result<()> {
+    let num_db = sys.config.db_workers;
+    let label = sys.jen_workers[w].span_label();
+    let db_data = st.mailbox.take_stream(StreamTag::DbData, num_db)?;
+    let joiner = st
+        .joiner
+        .take()
+        .ok_or_else(|| HybridError::exec("probe step reached before a joiner was built"))?;
+    let probe_rows: u64 = db_data.batches.iter().map(|b| b.num_rows() as u64).sum();
+    let _permit = driver.compute_permit();
+    let probe_span = sys.tracer.start(label.clone(), Stage::Probe);
+    let joined = joiner.probe_all(t_schema, db_data.batches, query.db_key)?;
+    probe_span.done(0, probe_rows);
+    let joined = match query.post_predicate_hdfs_layout() {
+        Some(p) => {
+            let mask = p.eval_predicate(&joined)?;
+            joined.filter(&mask)?
+        }
+        None => joined,
+    };
+    let agg_span = sys.tracer.start(label, Stage::Aggregate);
+    let mut agg = HashAggregator::new(query.aggs_hdfs_layout());
+    let groups = query.group_expr_hdfs_layout().eval_i64(&joined)?;
+    agg.update(&groups, &joined)?;
+    st.partial = Some(agg.finish());
+    agg_span.done(0, joined.num_rows() as u64);
+    Ok(())
+}
+
+/// Append the HDFS-side epilogue shared by broadcast/repartition/zigzag/
+/// semijoin/perf at sequence numbers `seq..seq+2`: partial aggregates
+/// travel to the designated worker, which merges them and ships the final
+/// result to DB worker 0 (Figures 2–4, final steps).
+pub(crate) fn add_final_aggregation_steps<'env>(
+    sys: &'env HybridSystem,
+    query: &'env HybridQuery,
+    jen: &mut TaskSet<'env, JenTask>,
+    db: &mut TaskSet<'env, DbTask>,
+    seq: u32,
+) -> Result<()> {
+    let designated = sys.coordinator.designated_worker()?;
+    let num_jen = sys.config.jen_workers;
+    jen.step(seq, move |w, st| {
+        if w == designated.index() {
+            return Ok(());
+        }
+        let partial = st
+            .partial
+            .take()
+            .ok_or_else(|| HybridError::exec("missing partial aggregate"))?;
+        let to = Endpoint::Jen(designated);
+        st.mailbox.send_data(to, StreamTag::PartialAgg, &partial)?;
+        st.mailbox.send_eos(to, StreamTag::PartialAgg)
+    });
+    jen.step(seq + 1, move |w, st| {
+        if w != designated.index() {
+            return Ok(());
+        }
+        let agg_span = sys
+            .tracer
+            .start(format!("jen-{}", designated.index()), Stage::Aggregate);
+        let mut merger = HashAggregator::new(query.aggs.clone());
+        if let Some(p) = st.partial.take() {
+            merger.merge_partial(&p)?;
+        }
+        let received = st.mailbox.take_stream(StreamTag::PartialAgg, num_jen - 1)?;
+        for p in &received.batches {
+            merger.merge_partial(p)?;
+        }
+        let final_batch = merger.finish();
+        agg_span.done(0, final_batch.num_rows() as u64);
+        // ship to the database (a single DB worker returns it to the user)
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        st.mailbox
+            .send_data(db0, StreamTag::FinalResult, &final_batch)?;
+        st.mailbox.send_eos(db0, StreamTag::FinalResult)
+    });
+    db.step(seq + 2, move |w, st| {
+        if w != 0 {
+            return Ok(());
+        }
+        let got = st.mailbox.take_stream(StreamTag::FinalResult, 1)?;
+        // an all-EOS stream means an empty result; the aggregate schema is
+        // a property of the query, so build it from an empty aggregator
+        let schema = HashAggregator::new(query.aggs.clone())
+            .finish()
+            .schema()
+            .clone();
+        st.result = Some(if got.batches.is_empty() {
+            Batch::empty(schema)
+        } else {
+            Batch::concat(schema, &got.batches)?
+        });
+        Ok(())
+    });
+    Ok(())
+}
+
+/// Pull the final result off DB worker 0's state after a driver run.
+pub(crate) fn take_result(mut db_states: Vec<DbTask>) -> Result<Batch> {
+    db_states
+        .first_mut()
+        .and_then(|st| st.result.take())
+        .ok_or_else(|| HybridError::exec("no final result on DB worker 0"))
 }
 
 #[cfg(test)]
@@ -420,6 +802,27 @@ mod tests {
         sys
     }
 
+    /// Raw fabric sends, bypassing the mailbox pump (tests drive one
+    /// endpoint at a time, so there is nobody to drain an inbox).
+    fn send_data(sys: &HybridSystem, from: Endpoint, to: Endpoint, stream: StreamTag, b: &Batch) {
+        for chunk in b.chunks(CHUNK_ROWS) {
+            sys.fabric
+                .send(
+                    from,
+                    to,
+                    Message::Data {
+                        stream,
+                        batch: chunk,
+                    },
+                )
+                .unwrap();
+        }
+    }
+
+    fn send_eos(sys: &HybridSystem, from: Endpoint, to: Endpoint, stream: StreamTag) {
+        sys.fabric.send(from, to, Message::Eos { stream }).unwrap();
+    }
+
     #[test]
     fn all_algorithms_agree_with_reference() {
         let expected = run_reference(&t_data(), &l_data(), &paper_query()).unwrap();
@@ -522,7 +925,9 @@ mod tests {
         let q = paper_query();
         let out = run(&mut sys, &q, JoinAlgorithm::Broadcast).unwrap();
         // T' rows × 4 JEN workers
-        let t_rows: u64 = db_apply_local(&sys, &q)
+        let t_rows: u64 = sys
+            .db
+            .scan_filter_project(&q.db_table, &q.db_pred, &q.db_proj)
             .unwrap()
             .iter()
             .map(|b| b.num_rows() as u64)
@@ -547,11 +952,11 @@ mod tests {
             .unwrap()
         };
         // interleave two streams
-        send_data(&sys, j1, j0, StreamTag::HdfsShuffle, &mk(1)).unwrap();
-        send_data(&sys, j1, j0, StreamTag::DbData, &mk(2)).unwrap();
-        send_data(&sys, j1, j0, StreamTag::HdfsShuffle, &mk(3)).unwrap();
-        send_eos(&sys, j1, j0, StreamTag::HdfsShuffle).unwrap();
-        send_eos(&sys, j1, j0, StreamTag::DbData).unwrap();
+        send_data(&sys, j1, j0, StreamTag::HdfsShuffle, &mk(1));
+        send_data(&sys, j1, j0, StreamTag::DbData, &mk(2));
+        send_data(&sys, j1, j0, StreamTag::HdfsShuffle, &mk(3));
+        send_eos(&sys, j1, j0, StreamTag::HdfsShuffle);
+        send_eos(&sys, j1, j0, StreamTag::DbData);
         let mut mb = Mailbox::new(&sys, j0).unwrap();
         let shuffle = mb.take_stream(StreamTag::HdfsShuffle, 1).unwrap();
         assert_eq!(shuffle.batches.len(), 2);

@@ -23,13 +23,15 @@
 //!    to the owning JEN workers (`PerfKeys`);
 //! 3. each JEN worker replies to each DB worker with a positional bitmap
 //!    over the keys that worker sent it (`PerfBitmap`);
-//! 4. DB workers reassemble the bitmaps (the routing is deterministic, so
-//!    positions align), select the matching `T'` tuples, and ship only
-//!    those (`DbData`), exactly like the zigzag join's `T''`;
+//! 4. DB workers reassemble the bitmaps (keyed by which JEN worker sent
+//!    them — arrival order is arbitrary under parallel execution), select
+//!    the matching `T'` tuples, and ship only those (`DbData`), exactly
+//!    like the zigzag join's `T''`;
 //! 5. local joins + aggregation as in the repartition join.
 
 use crate::algorithms::{
-    db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox,
+    add_final_aggregation_steps, db_route_to_jen, db_scan_step, db_tasks, jen_probe_aggregate,
+    jen_shuffle_share, jen_tasks, t_prime_schema, take_result, Driver, TaskSet,
 };
 use crate::query::HybridQuery;
 use crate::system::HybridSystem;
@@ -38,66 +40,61 @@ use hybrid_common::datum::DataType;
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::hash::agreed_shuffle_partition;
 use hybrid_common::ids::{DbWorkerId, JenWorkerId};
-use hybrid_common::ops::{partition_by_key, HashAggregator};
 use hybrid_common::schema::Schema;
 use hybrid_common::trace::Stage;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
 use hybrid_jen::LocalJoiner;
 use hybrid_jen::ScanSpec;
-use hybrid_net::{Endpoint, Message, StreamTag};
+use hybrid_net::{Endpoint, StreamTag};
 use std::collections::HashSet;
 
 pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Batch> {
+    let sys = &*sys;
+    let driver = &Driver::from_config(&sys.config);
     let num_db = sys.config.db_workers;
     let num_jen = sys.config.jen_workers;
 
-    // Step 0: T' per DB worker.
-    let t_prime = db_apply_local(sys, query)?;
-
-    // Step 1: JEN scans and shuffles L' (repartition-style); each worker
-    // then owns the keys of its hash partition.
-    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
-    let scan_spec = ScanSpec {
+    let plan = &sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let scan_spec = &ScanSpec {
         pred: query.hdfs_pred.clone(),
         proj: query.hdfs_proj.clone(),
         bloom_key: None,
     };
-    let l_schema = plan.table.schema.project(&query.hdfs_proj)?;
-    let mut mailboxes: Vec<Mailbox> = sys
-        .jen_workers
-        .iter()
-        .map(|w| Mailbox::new(sys, Endpoint::Jen(w.id())))
-        .collect::<Result<_>>()?;
-    let mut local_parts: Vec<Batch> = Vec::with_capacity(num_jen);
-    for worker in &sys.jen_workers {
-        let w = worker.id().index();
-        let me = Endpoint::Jen(worker.id());
-        let (l_share, _) =
-            scan_blocks_pipelined(worker, &plan.table, &plan.blocks[w], &scan_spec, None)?;
-        let span = sys.tracer.start(worker.span_label(), Stage::ShuffleSend);
-        let sent_rows = l_share.num_rows() as u64;
-        let sent_bytes = l_share.serialized_bytes() as u64;
-        let routed = partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
-        let mut mine = Batch::empty(l_schema.clone());
-        for (dst_idx, piece) in routed.into_iter().enumerate() {
-            if dst_idx == w {
-                mine = piece;
-            } else {
-                let dst = Endpoint::Jen(JenWorkerId(dst_idx));
-                send_data(sys, me, dst, StreamTag::HdfsShuffle, &piece)?;
-                send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
-            }
-        }
-        span.done(sent_bytes, sent_rows);
-        local_parts.push(mine);
-    }
+    let l_schema = &plan.table.schema.project(&query.hdfs_proj)?;
+    let t_schema = &t_prime_schema(sys, query)?;
+    let key_schema = &Schema::from_pairs(&[("joinKey", DataType::I64)]);
+
+    let mut db = TaskSet::new("db", db_tasks(sys, driver)?);
+    let mut jen = TaskSet::new("jen", jen_tasks(sys, driver)?);
+
+    // Step 0: T' per DB worker.
+    db.step(10, move |w, st| {
+        st.part = Some(db_scan_step(sys, query, driver, w)?);
+        Ok(())
+    });
+
+    // Step 1: JEN scans and shuffles L' (repartition-style); each worker
+    // then owns the keys of its hash partition.
+    jen.step(20, move |w, st| {
+        let l_share = {
+            let _permit = driver.compute_permit();
+            scan_blocks_pipelined(
+                &sys.jen_workers[w],
+                &plan.table,
+                &plan.blocks[w],
+                scan_spec,
+                None,
+            )?
+            .0
+        };
+        jen_shuffle_share(sys, query, st, w, l_share, l_schema)
+    });
 
     // Step 2: DB workers ship their T' key columns in tuple order,
     // duplicates included — PERF's forward transfer grows with |T'|, not
     // with the number of distinct keys.
-    let key_schema = Schema::from_pairs(&[("joinKey", DataType::I64)]);
-    for (w, part) in t_prime.iter().enumerate() {
-        let me = Endpoint::Db(DbWorkerId(w));
+    db.step(30, move |w, st| {
+        let part = st.part.take().expect("T' scanned in step 10");
         let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
         let keys = part.column(query.db_key)?;
         let mut per_dest: Vec<Vec<i64>> = vec![Vec::new(); num_jen];
@@ -105,52 +102,59 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             let k = keys.key_at(row)?;
             per_dest[agreed_shuffle_partition(k, num_jen)].push(k);
         }
+        let rows = part.num_rows() as u64;
         for (dst_idx, dest_keys) in per_dest.into_iter().enumerate() {
             let dst = Endpoint::Jen(JenWorkerId(dst_idx));
             let batch = Batch::new(key_schema.clone(), vec![Column::I64(dest_keys)])?;
-            send_data(sys, me, dst, StreamTag::PerfKeys, &batch)?;
-            send_eos(sys, me, dst, StreamTag::PerfKeys)?;
+            st.mailbox.send_data(dst, StreamTag::PerfKeys, &batch)?;
+            st.mailbox.send_eos(dst, StreamTag::PerfKeys)?;
         }
-        span.done(0, part.num_rows() as u64);
-    }
+        span.done(0, rows);
+        st.part = Some(part);
+        Ok(())
+    });
 
     // Step 3: each JEN worker assembles its owned key set (local partition
     // + received shuffle) into the local joiner, and answers every DB
     // worker's key stream with a positional bitmap.
-    let mut joiners: Vec<Option<LocalJoiner>> = Vec::with_capacity(num_jen);
-    for worker in &sys.jen_workers {
-        let w = worker.id().index();
-        let me = Endpoint::Jen(worker.id());
+    jen.step(40, move |w, st| {
+        let worker = &sys.jen_workers[w];
         let label = worker.span_label();
         let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
-        let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
+        let shuffled = st
+            .mailbox
+            .take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
         let recv_rows: u64 = shuffled.batches.iter().map(|b| b.num_rows() as u64).sum();
         recv_span.done(0, recv_rows);
+        let local = st
+            .local_part
+            .take()
+            .unwrap_or_else(|| Batch::empty(l_schema.clone()));
+        let built_rows = local.num_rows() as u64 + recv_rows;
         let mut owned_keys: HashSet<i64> = HashSet::new();
-        collect_keys(&local_parts[w], query.hdfs_key, &mut owned_keys)?;
-        let mut joiner = LocalJoiner::new(
-            l_schema.clone(),
-            query.hdfs_key,
-            sys.config.jen_memory_limit_rows,
-            sys.metrics.clone(),
-        )?;
-        let built_rows = local_parts[w].num_rows() as u64 + recv_rows;
-        let build_span = sys.tracer.start(label, Stage::HashBuild);
-        joiner.build(std::mem::replace(
-            &mut local_parts[w],
-            Batch::empty(l_schema.clone()),
-        ))?;
-        for b in shuffled.batches {
-            collect_keys(&b, query.hdfs_key, &mut owned_keys)?;
-            joiner.build(b)?;
+        {
+            let _permit = driver.compute_permit();
+            let build_span = sys.tracer.start(label, Stage::HashBuild);
+            let mut joiner = LocalJoiner::new(
+                l_schema.clone(),
+                query.hdfs_key,
+                sys.config.jen_memory_limit_rows,
+                sys.metrics.clone(),
+            )?;
+            collect_keys(&local, query.hdfs_key, &mut owned_keys)?;
+            joiner.build(local)?;
+            for b in shuffled.batches {
+                collect_keys(&b, query.hdfs_key, &mut owned_keys)?;
+                joiner.build(b)?;
+            }
+            build_span.done(0, built_rows);
+            st.joiner = Some(joiner);
         }
-        build_span.done(0, built_rows);
-        joiners.push(Some(joiner));
 
         // Bitmap replies: deliveries from one sender arrive in send order,
         // so concatenating a sender's batches reproduces its routing order
         // and the bitmap positions align.
-        let key_data = mailboxes[w].take_stream(StreamTag::PerfKeys, num_db)?;
+        let key_data = st.mailbox.take_stream(StreamTag::PerfKeys, num_db)?;
         let mut per_sender: Vec<Vec<bool>> = vec![Vec::new(); num_db];
         for (batch, from) in key_data.batches.iter().zip(&key_data.batch_senders) {
             let d = match from {
@@ -167,37 +171,40 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             }
         }
         for (d, bits) in per_sender.into_iter().enumerate() {
-            let bytes = pack_bits(&bits);
             let dst = Endpoint::Db(DbWorkerId(d));
-            sys.fabric.send(
-                me,
-                dst,
-                Message::Bloom {
-                    stream: StreamTag::PerfBitmap,
-                    bytes,
-                },
-            )?;
-            send_eos(sys, me, dst, StreamTag::PerfBitmap)?;
+            st.mailbox
+                .send_bloom(dst, StreamTag::PerfBitmap, pack_bits(&bits))?;
+            st.mailbox.send_eos(dst, StreamTag::PerfBitmap)?;
         }
-    }
+        Ok(())
+    });
 
     // Step 4: DB workers reassemble bitmaps into per-position matches and
     // ship exactly the matching tuples.
-    for (w, part) in t_prime.iter().enumerate() {
-        let me = Endpoint::Db(DbWorkerId(w));
-        let mut mb = Mailbox::new(sys, me)?;
-        let replies = mb.take_stream(StreamTag::PerfBitmap, num_jen)?;
-        // replies arrive in JEN-worker order (workers are driven in order);
-        // reassemble: walk T' rows, taking the next bit from the bitmap of
-        // the owning worker.
-        let mut bitmaps: Vec<BitReader> =
-            replies.blooms.iter().map(|b| BitReader::new(b)).collect();
-        if bitmaps.len() != num_jen {
-            return Err(HybridError::exec(format!(
-                "PERF join expected {num_jen} bitmaps, got {}",
-                bitmaps.len()
-            )));
+    db.step(50, move |w, st| {
+        let replies = st.mailbox.take_stream(StreamTag::PerfBitmap, num_jen)?;
+        // bitmaps arrive in arbitrary order under parallel execution:
+        // index them by the JEN worker that owns each hash partition
+        let mut by_owner: Vec<Option<&Vec<u8>>> = vec![None; num_jen];
+        for (bytes, from) in replies.blooms.iter().zip(&replies.bloom_senders) {
+            match from {
+                Endpoint::Jen(id) => by_owner[id.index()] = Some(bytes),
+                other => {
+                    return Err(HybridError::exec(format!(
+                        "PERF bitmap from non-JEN endpoint {other}"
+                    )))
+                }
+            }
         }
+        let mut bitmaps: Vec<BitReader> = Vec::with_capacity(num_jen);
+        for (owner, bytes) in by_owner.into_iter().enumerate() {
+            bitmaps.push(BitReader::new(bytes.ok_or_else(|| {
+                HybridError::exec(format!(
+                    "PERF join missing the bitmap of jen-worker-{owner}"
+                ))
+            })?));
+        }
+        let part = st.part.take().expect("T' kept from step 30");
         let keys = part.column(query.db_key)?;
         let mut mask = Vec::with_capacity(part.num_rows());
         for row in 0..part.num_rows() {
@@ -207,50 +214,18 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         let t_second = part.filter(&mask)?;
         sys.metrics
             .add("db.perf.t_rows_after_bitmap", t_second.num_rows() as u64);
-        let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
-        let routed = partition_by_key(&t_second, query.db_key, num_jen, agreed_shuffle_partition)?;
-        for (jen_idx, piece) in routed.into_iter().enumerate() {
-            let dst = Endpoint::Jen(JenWorkerId(jen_idx));
-            send_data(sys, me, dst, StreamTag::DbData, &piece)?;
-            send_eos(sys, me, dst, StreamTag::DbData)?;
-        }
-        span.done(
-            t_second.serialized_bytes() as u64,
-            t_second.num_rows() as u64,
-        );
-    }
+        db_route_to_jen(sys, query, st, w, &t_second)
+    });
 
     // Step 5: probe + aggregate (identical to the repartition epilogue).
-    let post_pred = query.post_predicate_hdfs_layout();
-    let group_expr = query.group_expr_hdfs_layout();
-    let hdfs_aggs = query.aggs_hdfs_layout();
-    let mut partials: Vec<Batch> = Vec::with_capacity(num_jen);
-    let t_schema = t_prime[0].schema().clone();
-    for worker in &sys.jen_workers {
-        let w = worker.id().index();
-        let label = worker.span_label();
-        let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
-        let joiner = joiners[w].take().expect("joiner built in step 3");
-        let probe_rows: u64 = db_data.batches.iter().map(|b| b.num_rows() as u64).sum();
-        let probe_span = sys.tracer.start(label.clone(), Stage::Probe);
-        let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
-        probe_span.done(0, probe_rows);
-        let joined = match &post_pred {
-            Some(p) => {
-                let m = p.eval_predicate(&joined)?;
-                joined.filter(&m)?
-            }
-            None => joined,
-        };
-        let agg_span = sys.tracer.start(label, Stage::Aggregate);
-        let mut agg = HashAggregator::new(hdfs_aggs.clone());
-        let groups = group_expr.eval_i64(&joined)?;
-        agg.update(&groups, &joined)?;
-        partials.push(agg.finish());
-        agg_span.done(0, joined.num_rows() as u64);
-    }
+    jen.step(60, move |w, st| {
+        jen_probe_aggregate(sys, query, driver, st, w, t_schema)
+    });
 
-    hdfs_side_final_aggregation(sys, query, partials)
+    add_final_aggregation_steps(sys, query, &mut jen, &mut db, 70)?;
+
+    let (db_states, _jen_states) = driver.run_pair(db, jen)?;
+    take_result(db_states)
 }
 
 fn collect_keys(batch: &Batch, key_col: usize, out: &mut HashSet<i64>) -> Result<()> {

@@ -8,177 +8,92 @@
 //! aggregates partially, and the designated worker returns the final result.
 
 use crate::algorithms::{
-    db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox,
+    add_final_aggregation_steps, db_build_and_multicast_bloom, db_scan_step, db_tasks,
+    jen_probe_aggregate, jen_recv_build, jen_shuffle_share, jen_take_bloom, jen_tasks,
+    t_prime_schema, take_result, Driver, TaskSet,
 };
 use crate::query::HybridQuery;
 use crate::system::HybridSystem;
-use hybrid_bloom::BloomFilter;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::Result;
-use hybrid_common::hash::agreed_shuffle_partition;
-use hybrid_common::ids::DbWorkerId;
-use hybrid_common::ops::{partition_by_key, HashAggregator};
-use hybrid_common::trace::Stage;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
-use hybrid_jen::LocalJoiner;
 use hybrid_jen::ScanSpec;
-use hybrid_net::{Endpoint, Message, StreamTag};
+use hybrid_net::StreamTag;
 
 pub(crate) fn execute(
     sys: &mut HybridSystem,
     query: &HybridQuery,
     use_bloom: bool,
 ) -> Result<Batch> {
-    let num_db = sys.config.db_workers;
-    let num_jen = sys.config.jen_workers;
+    let sys = &*sys;
+    let driver = &Driver::from_config(&sys.config);
 
-    // Step 1: T' per DB worker (+ global BF_DB if requested).
-    let t_prime = db_apply_local(sys, query)?;
-    if use_bloom {
-        let bf_span = sys.tracer.start("db", Stage::BloomBuild);
-        let bf = sys.db.build_global_bloom(
-            &query.db_table,
-            &query.db_pred,
-            query.db_key_base(),
-            query.bloom,
-        )?;
-        let bytes = bf.to_bytes();
-        bf_span.done(bytes.len() as u64, 0);
-        let db0 = Endpoint::Db(DbWorkerId(0));
-        for jen in sys.fabric.jen_endpoints() {
-            sys.fabric.send(
-                db0,
-                jen,
-                Message::Bloom {
-                    stream: StreamTag::DbBloom,
-                    bytes: bytes.clone(),
-                },
-            )?;
-            send_eos(sys, db0, jen, StreamTag::DbBloom)?;
-        }
-    }
-
-    // Step 2: DB workers route T' with the agreed hash — data lands on the
-    // JEN worker that will join it, no re-shuffle needed (§3.3).
-    for (w, part) in t_prime.iter().enumerate() {
-        let src = Endpoint::Db(DbWorkerId(w));
-        let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
-        let routed = partition_by_key(part, query.db_key, num_jen, agreed_shuffle_partition)?;
-        for (jen_idx, piece) in routed.into_iter().enumerate() {
-            let dst = Endpoint::Jen(hybrid_common::ids::JenWorkerId(jen_idx));
-            send_data(sys, src, dst, StreamTag::DbData, &piece)?;
-            send_eos(sys, src, dst, StreamTag::DbData)?;
-        }
-        span.done(part.serialized_bytes() as u64, part.num_rows() as u64);
-    }
-
-    // Step 3: JEN workers scan (applying BF_DB if present) and shuffle the
-    // filtered HDFS data with the same hash. The local partition stays put.
-    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
-    let scan_spec = ScanSpec {
+    let plan = &sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let scan_spec = &ScanSpec {
         pred: query.hdfs_pred.clone(),
         proj: query.hdfs_proj.clone(),
         bloom_key: use_bloom.then(|| query.hdfs_key_base()),
     };
-    let l_schema = plan.table.schema.project(&query.hdfs_proj)?;
-    // One mailbox per JEN worker for the whole run: messages of later
-    // streams that arrive early are buffered, never lost.
-    let mut mailboxes: Vec<Mailbox> = sys
-        .jen_workers
-        .iter()
-        .map(|w| Mailbox::new(sys, Endpoint::Jen(w.id())))
-        .collect::<Result<_>>()?;
-    let mut local_parts: Vec<Batch> = Vec::with_capacity(num_jen);
-    for worker in &sys.jen_workers {
-        let w = worker.id().index();
-        let me = Endpoint::Jen(worker.id());
+    let l_schema = &plan.table.schema.project(&query.hdfs_proj)?;
+    let t_schema = &t_prime_schema(sys, query)?;
+
+    let mut db = TaskSet::new("db", db_tasks(sys, driver)?);
+    let mut jen = TaskSet::new("jen", jen_tasks(sys, driver)?);
+
+    // Step 1: T' per DB worker (+ global BF_DB multicast from worker 0).
+    db.step(10, move |w, st| {
+        st.part = Some(db_scan_step(sys, query, driver, w)?);
+        Ok(())
+    });
+    if use_bloom {
+        db.step(12, move |w, st| {
+            if w == 0 {
+                db_build_and_multicast_bloom(sys, query, st)
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    // Step 2: DB workers route T' with the agreed hash — data lands on the
+    // JEN worker that will join it, no re-shuffle needed (§3.3).
+    db.step(14, move |w, st| {
+        let part = st.part.take().expect("T' scanned in step 10");
+        crate::algorithms::db_route_to_jen(sys, query, st, w, &part)
+    });
+
+    // Step 3: JEN workers scan (applying BF_DB if present) and shuffle the
+    // filtered HDFS data with the same hash. The local partition stays put.
+    jen.step(20, move |w, st| {
         let bloom = if use_bloom {
-            let got = mailboxes[w].take_stream(StreamTag::DbBloom, 1)?;
-            got.blooms
-                .first()
-                .map(|b| BloomFilter::from_bytes(b))
-                .transpose()?
+            jen_take_bloom(st, StreamTag::DbBloom)?
         } else {
             None
         };
-        let (l_share, _) = scan_blocks_pipelined(
-            worker,
-            &plan.table,
-            &plan.blocks[w],
-            &scan_spec,
-            bloom.as_ref(),
-        )?;
-        let span = sys.tracer.start(worker.span_label(), Stage::ShuffleSend);
-        let sent_rows = l_share.num_rows() as u64;
-        let sent_bytes = l_share.serialized_bytes() as u64;
-        let routed = partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
-        let mut mine = Batch::empty(l_schema.clone());
-        for (dst_idx, piece) in routed.into_iter().enumerate() {
-            if dst_idx == w {
-                mine = piece; // local partition: no network traffic
-            } else {
-                let dst = Endpoint::Jen(hybrid_common::ids::JenWorkerId(dst_idx));
-                send_data(sys, me, dst, StreamTag::HdfsShuffle, &piece)?;
-                send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
-            }
-        }
-        span.done(sent_bytes, sent_rows);
-        local_parts.push(mine);
-    }
+        let l_share = {
+            let _permit = driver.compute_permit();
+            scan_blocks_pipelined(
+                &sys.jen_workers[w],
+                &plan.table,
+                &plan.blocks[w],
+                scan_spec,
+                bloom.as_ref(),
+            )?
+            .0
+        };
+        jen_shuffle_share(sys, query, st, w, l_share, l_schema)
+    });
 
     // Step 4: each JEN worker builds its hash table from the shuffled HDFS
-    // data (local + received) and probes with the database tuples; layout
-    // is L' ++ T', so the canonical expressions are remapped.
-    let post_pred = query.post_predicate_hdfs_layout();
-    let group_expr = query.group_expr_hdfs_layout();
-    let hdfs_aggs = query.aggs_hdfs_layout();
-    let mut partials: Vec<Batch> = Vec::with_capacity(num_jen);
-    for worker in &sys.jen_workers {
-        let w = worker.id().index();
-        let label = worker.span_label();
-        let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
-        let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
-        let recv_rows: u64 = shuffled.batches.iter().map(|b| b.num_rows() as u64).sum();
-        recv_span.done(0, recv_rows);
-        // the local join: in-memory by default, grace-hash with spilling
-        // when the engine is configured with a build-side memory budget
-        let mut joiner = LocalJoiner::new(
-            l_schema.clone(),
-            query.hdfs_key,
-            sys.config.jen_memory_limit_rows,
-            sys.metrics.clone(),
-        )?;
-        let built_rows = local_parts[w].num_rows() as u64 + recv_rows;
-        let build_span = sys.tracer.start(label.clone(), Stage::HashBuild);
-        joiner.build(std::mem::replace(
-            &mut local_parts[w],
-            Batch::empty(l_schema.clone()),
-        ))?;
-        for b in shuffled.batches {
-            joiner.build(b)?;
-        }
-        build_span.done(0, built_rows);
-        let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
-        let t_schema = t_prime[0].schema().clone();
-        let probe_rows: u64 = db_data.batches.iter().map(|b| b.num_rows() as u64).sum();
-        let probe_span = sys.tracer.start(label.clone(), Stage::Probe);
-        let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
-        probe_span.done(0, probe_rows);
-        let joined = match &post_pred {
-            Some(p) => {
-                let mask = p.eval_predicate(&joined)?;
-                joined.filter(&mask)?
-            }
-            None => joined,
-        };
-        let agg_span = sys.tracer.start(label, Stage::Aggregate);
-        let mut agg = HashAggregator::new(hdfs_aggs.clone());
-        let groups = group_expr.eval_i64(&joined)?;
-        agg.update(&groups, &joined)?;
-        partials.push(agg.finish());
-        agg_span.done(0, joined.num_rows() as u64);
-    }
+    // data (local + received) and probes with the database tuples.
+    jen.step(30, move |w, st| {
+        jen_recv_build(sys, query, driver, st, w, l_schema)?;
+        jen_probe_aggregate(sys, query, driver, st, w, t_schema)
+    });
 
     // Steps 5–6: final aggregation + return to the database.
-    hdfs_side_final_aggregation(sys, query, partials)
+    add_final_aggregation_steps(sys, query, &mut jen, &mut db, 40)?;
+
+    let (db_states, _jen_states) = driver.run_pair(db, jen)?;
+    take_result(db_states)
 }

@@ -8,83 +8,107 @@
 //! key set is big. Everything after the key-set exchange mirrors the
 //! repartition join. The ablation bench `bloom_vs_semijoin` quantifies the
 //! trade.
+//!
+//! Under the parallel driver each DB worker collects its own distinct keys;
+//! worker 0 gathers them (an intra-DB transfer), unions, and broadcasts the
+//! same global sorted key set the sequential version shipped.
 
 use crate::algorithms::{
-    db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox,
+    add_final_aggregation_steps, db_route_to_jen, db_scan_step, db_tasks, jen_probe_aggregate,
+    jen_recv_build, jen_shuffle_share, jen_tasks, t_prime_schema, take_result, Driver, TaskSet,
 };
 use crate::query::HybridQuery;
 use crate::system::HybridSystem;
 use hybrid_common::batch::{Batch, Column};
 use hybrid_common::datum::DataType;
 use hybrid_common::error::Result;
-use hybrid_common::hash::agreed_shuffle_partition;
-use hybrid_common::ids::{DbWorkerId, JenWorkerId};
-use hybrid_common::ops::{partition_by_key, HashAggregator};
 use hybrid_common::schema::Schema;
-use hybrid_common::trace::Stage;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
-use hybrid_jen::LocalJoiner;
 use hybrid_jen::ScanSpec;
-use hybrid_net::{Endpoint, StreamTag};
+use hybrid_net::StreamTag;
 use std::collections::HashSet;
 
-pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Batch> {
-    let num_db = sys.config.db_workers;
-    let num_jen = sys.config.jen_workers;
-
-    // Step 1: T' per DB worker; collect the exact distinct key set.
-    let t_prime = db_apply_local(sys, query)?;
+/// Sorted distinct join keys of `batch[key_col]` as a single-column batch.
+fn distinct_key_batch(schema: &Schema, batches: &[&Batch], key_col: usize) -> Result<Batch> {
     let mut distinct: HashSet<i64> = HashSet::new();
-    for part in &t_prime {
-        let keys = part.column(query.db_key)?;
-        for row in 0..part.num_rows() {
-            distinct.insert(keys.key_at(row)?);
+    for b in batches {
+        let col = b.column(key_col)?;
+        for row in 0..b.num_rows() {
+            distinct.insert(col.key_at(row)?);
         }
     }
-    let mut key_list: Vec<i64> = distinct.iter().copied().collect();
+    let mut key_list: Vec<i64> = distinct.into_iter().collect();
     key_list.sort_unstable();
-    let key_schema = Schema::from_pairs(&[("joinKey", DataType::I64)]);
-    let key_batch = Batch::new(key_schema, vec![Column::I64(key_list)])?;
+    Batch::new(schema.clone(), vec![Column::I64(key_list)])
+}
 
-    // Step 2: ship the exact key set to every JEN worker (this is what the
-    // Bloom filter replaces — compare wire bytes in the ablation bench).
-    let db0 = Endpoint::Db(DbWorkerId(0));
-    for jen in sys.fabric.jen_endpoints() {
-        send_data(sys, db0, jen, StreamTag::DbKeySet, &key_batch)?;
-        send_eos(sys, db0, jen, StreamTag::DbKeySet)?;
-    }
+pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Batch> {
+    let sys = &*sys;
+    let driver = &Driver::from_config(&sys.config);
+    let num_db = sys.config.db_workers;
 
-    // Step 3: DB workers route T' with the agreed hash (as in repartition).
-    for (w, part) in t_prime.iter().enumerate() {
-        let src = Endpoint::Db(DbWorkerId(w));
-        let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
-        let routed = partition_by_key(part, query.db_key, num_jen, agreed_shuffle_partition)?;
-        for (jen_idx, piece) in routed.into_iter().enumerate() {
-            let dst = Endpoint::Jen(JenWorkerId(jen_idx));
-            send_data(sys, src, dst, StreamTag::DbData, &piece)?;
-            send_eos(sys, src, dst, StreamTag::DbData)?;
-        }
-        span.done(part.serialized_bytes() as u64, part.num_rows() as u64);
-    }
-
-    // Step 4: JEN workers scan, filter by the exact key set, and shuffle.
-    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
-    let scan_spec = ScanSpec {
+    let plan = &sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let scan_spec = &ScanSpec {
         pred: query.hdfs_pred.clone(),
         proj: query.hdfs_proj.clone(),
         bloom_key: None,
     };
-    let l_schema = plan.table.schema.project(&query.hdfs_proj)?;
-    let mut mailboxes: Vec<Mailbox> = sys
-        .jen_workers
-        .iter()
-        .map(|w| Mailbox::new(sys, Endpoint::Jen(w.id())))
-        .collect::<Result<_>>()?;
-    let mut local_parts: Vec<Batch> = Vec::with_capacity(num_jen);
-    for worker in &sys.jen_workers {
-        let w = worker.id().index();
-        let me = Endpoint::Jen(worker.id());
-        let got = mailboxes[w].take_stream(StreamTag::DbKeySet, 1)?;
+    let l_schema = &plan.table.schema.project(&query.hdfs_proj)?;
+    let t_schema = &t_prime_schema(sys, query)?;
+    let key_schema = &Schema::from_pairs(&[("joinKey", DataType::I64)]);
+
+    let mut db = TaskSet::new("db", db_tasks(sys, driver)?);
+    let mut jen = TaskSet::new("jen", jen_tasks(sys, driver)?);
+
+    // Step 1: T' per DB worker; each worker's exact distinct key set.
+    db.step(10, move |w, st| {
+        let part = db_scan_step(sys, query, driver, w)?;
+        st.keys = Some(distinct_key_batch(key_schema, &[&part], query.db_key)?);
+        st.part = Some(part);
+        Ok(())
+    });
+
+    // Step 2a: gather the local key sets at DB worker 0 (intra-DB traffic;
+    // the cross-fabric key-set transfer below is what the ablation meters).
+    db.step(12, move |w, st| {
+        if w == 0 {
+            return Ok(());
+        }
+        let keys = st.keys.take().expect("keys collected in step 10");
+        let db0 = hybrid_net::Endpoint::Db(hybrid_common::ids::DbWorkerId(0));
+        st.mailbox.send_data(db0, StreamTag::DbKeySet, &keys)?;
+        st.mailbox.send_eos(db0, StreamTag::DbKeySet)
+    });
+
+    // Step 2b: worker 0 unions the key sets and ships the global sorted
+    // key set to every JEN worker (this is what the Bloom filter replaces
+    // — compare wire bytes in the ablation bench).
+    db.step(14, move |w, st| {
+        if w != 0 {
+            return Ok(());
+        }
+        let own = st.keys.take().expect("keys collected in step 10");
+        let got = st.mailbox.take_stream(StreamTag::DbKeySet, num_db - 1)?;
+        let mut all: Vec<&Batch> = vec![&own];
+        all.extend(got.batches.iter());
+        let key_batch = distinct_key_batch(key_schema, &all, 0)?;
+        for jen_ep in sys.fabric.jen_endpoints() {
+            st.mailbox
+                .send_data(jen_ep, StreamTag::DbKeySet, &key_batch)?;
+            st.mailbox.send_eos(jen_ep, StreamTag::DbKeySet)?;
+        }
+        Ok(())
+    });
+
+    // Step 3: DB workers route T' with the agreed hash (as in repartition).
+    db.step(16, move |w, st| {
+        let part = st.part.take().expect("T' scanned in step 10");
+        db_route_to_jen(sys, query, st, w, &part)
+    });
+
+    // Step 4: JEN workers scan, filter by the exact key set, and shuffle.
+    jen.step(20, move |w, st| {
+        let got = st.mailbox.take_stream(StreamTag::DbKeySet, 1)?;
         let mut keys: HashSet<i64> = HashSet::new();
         for b in &got.batches {
             let col = b.column(0)?;
@@ -92,85 +116,31 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
                 keys.insert(col.key_at(row)?);
             }
         }
-        let (l_share, _) =
-            scan_blocks_pipelined(worker, &plan.table, &plan.blocks[w], &scan_spec, None)?;
-        // exact filtering — zero false positives
-        let key_col = l_share.column(query.hdfs_key)?;
-        let mask: Vec<bool> = (0..l_share.num_rows())
-            .map(|row| key_col.key_at(row).map(|k| keys.contains(&k)))
-            .collect::<Result<_>>()?;
-        let l_share = l_share.filter(&mask)?;
+        let worker = &sys.jen_workers[w];
+        let l_share = {
+            let _permit = driver.compute_permit();
+            let (l_share, _) =
+                scan_blocks_pipelined(worker, &plan.table, &plan.blocks[w], scan_spec, None)?;
+            // exact filtering — zero false positives
+            let key_col = l_share.column(query.hdfs_key)?;
+            let mask: Vec<bool> = (0..l_share.num_rows())
+                .map(|row| key_col.key_at(row).map(|k| keys.contains(&k)))
+                .collect::<Result<_>>()?;
+            l_share.filter(&mask)?
+        };
         sys.metrics
             .add("jen.semijoin.rows_after_keyset", l_share.num_rows() as u64);
-
-        let span = sys.tracer.start(worker.span_label(), Stage::ShuffleSend);
-        let sent_rows = l_share.num_rows() as u64;
-        let sent_bytes = l_share.serialized_bytes() as u64;
-        let routed = partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
-        let mut mine = Batch::empty(l_schema.clone());
-        for (dst_idx, piece) in routed.into_iter().enumerate() {
-            if dst_idx == w {
-                mine = piece;
-            } else {
-                let dst = Endpoint::Jen(JenWorkerId(dst_idx));
-                send_data(sys, me, dst, StreamTag::HdfsShuffle, &piece)?;
-                send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
-            }
-        }
-        span.done(sent_bytes, sent_rows);
-        local_parts.push(mine);
-    }
+        jen_shuffle_share(sys, query, st, w, l_share, l_schema)
+    });
 
     // Step 5: local joins exactly as in the repartition join.
-    let post_pred = query.post_predicate_hdfs_layout();
-    let group_expr = query.group_expr_hdfs_layout();
-    let hdfs_aggs = query.aggs_hdfs_layout();
-    let mut partials: Vec<Batch> = Vec::with_capacity(num_jen);
-    for worker in &sys.jen_workers {
-        let w = worker.id().index();
-        let label = worker.span_label();
-        let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
-        let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
-        let recv_rows: u64 = shuffled.batches.iter().map(|b| b.num_rows() as u64).sum();
-        recv_span.done(0, recv_rows);
-        // the local join: in-memory by default, grace-hash with spilling
-        // when the engine is configured with a build-side memory budget
-        let mut joiner = LocalJoiner::new(
-            l_schema.clone(),
-            query.hdfs_key,
-            sys.config.jen_memory_limit_rows,
-            sys.metrics.clone(),
-        )?;
-        let built_rows = local_parts[w].num_rows() as u64 + recv_rows;
-        let build_span = sys.tracer.start(label.clone(), Stage::HashBuild);
-        joiner.build(std::mem::replace(
-            &mut local_parts[w],
-            Batch::empty(l_schema.clone()),
-        ))?;
-        for b in shuffled.batches {
-            joiner.build(b)?;
-        }
-        build_span.done(0, built_rows);
-        let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
-        let t_schema = t_prime[0].schema().clone();
-        let probe_rows: u64 = db_data.batches.iter().map(|b| b.num_rows() as u64).sum();
-        let probe_span = sys.tracer.start(label.clone(), Stage::Probe);
-        let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
-        probe_span.done(0, probe_rows);
-        let joined = match &post_pred {
-            Some(p) => {
-                let mask = p.eval_predicate(&joined)?;
-                joined.filter(&mask)?
-            }
-            None => joined,
-        };
-        let agg_span = sys.tracer.start(label, Stage::Aggregate);
-        let mut agg = HashAggregator::new(hdfs_aggs.clone());
-        let groups = group_expr.eval_i64(&joined)?;
-        agg.update(&groups, &joined)?;
-        partials.push(agg.finish());
-        agg_span.done(0, joined.num_rows() as u64);
-    }
+    jen.step(30, move |w, st| {
+        jen_recv_build(sys, query, driver, st, w, l_schema)?;
+        jen_probe_aggregate(sys, query, driver, st, w, t_schema)
+    });
 
-    hdfs_side_final_aggregation(sys, query, partials)
+    add_final_aggregation_steps(sys, query, &mut jen, &mut db, 40)?;
+
+    let (db_states, _jen_states) = driver.run_pair(db, jen)?;
+    take_result(db_states)
 }

@@ -19,242 +19,155 @@
 //! predicates on *both* sides on top of both local predicates.
 
 use crate::algorithms::{
-    db_apply_local, hdfs_side_final_aggregation, send_data, send_eos, Mailbox,
+    add_final_aggregation_steps, db_build_and_multicast_bloom, db_route_to_jen, db_scan_step,
+    db_tasks, jen_probe_aggregate, jen_recv_build, jen_shuffle_share, jen_take_bloom, jen_tasks,
+    t_prime_schema, take_result, Driver, TaskSet,
 };
 use crate::query::HybridQuery;
 use crate::system::{HybridSystem, ZigzagReaccess};
-use hybrid_bloom::{filter_batch, ApproxMembership, BloomFilter};
+use hybrid_bloom::{filter_batch, BloomFilter};
 use hybrid_common::batch::Batch;
 use hybrid_common::error::{HybridError, Result};
-use hybrid_common::hash::agreed_shuffle_partition;
-use hybrid_common::ids::{DbWorkerId, JenWorkerId};
-use hybrid_common::ops::{partition_by_key, HashAggregator};
 use hybrid_common::trace::Stage;
 use hybrid_jen::pipeline::scan_blocks_pipelined;
-use hybrid_jen::LocalJoiner;
 use hybrid_jen::ScanSpec;
-use hybrid_net::{Endpoint, Message, StreamTag};
+use hybrid_net::{Endpoint, StreamTag};
 
 pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Batch> {
-    let num_db = sys.config.db_workers;
+    let sys = &*sys;
+    let driver = &Driver::from_config(&sys.config);
     let num_jen = sys.config.jen_workers;
 
-    // Steps 1–2: T' per DB worker, global BF_DB, multicast to JEN workers.
-    let t_prime = db_apply_local(sys, query)?;
-    let bf_span = sys.tracer.start("db", Stage::BloomBuild);
-    let bf_db = sys.db.build_global_bloom(
-        &query.db_table,
-        &query.db_pred,
-        query.db_key_base(),
-        query.bloom,
-    )?;
-    bf_span.done(bf_db.wire_bytes() as u64, 0);
-    {
-        let bytes = bf_db.to_bytes();
-        let db0 = Endpoint::Db(DbWorkerId(0));
-        for jen in sys.fabric.jen_endpoints() {
-            sys.fabric.send(
-                db0,
-                jen,
-                Message::Bloom {
-                    stream: StreamTag::DbBloom,
-                    bytes: bytes.clone(),
-                },
-            )?;
-            send_eos(sys, db0, jen, StreamTag::DbBloom)?;
-        }
-    }
-
-    // Step 3: scan with BF_DB, build local BF_H, shuffle L' by the agreed
-    // hash. 3a/3b/3c run per worker; shuffling overlaps scanning in the
-    // real engine — here the byte counts are what matters.
-    let plan = sys.coordinator.plan_scan(&query.hdfs_table)?;
+    let plan = &sys.coordinator.plan_scan(&query.hdfs_table)?;
     let designated = sys.coordinator.designated_worker()?;
-    let scan_spec = ScanSpec {
+    let scan_spec = &ScanSpec {
         pred: query.hdfs_pred.clone(),
         proj: query.hdfs_proj.clone(),
         bloom_key: Some(query.hdfs_key_base()),
     };
-    let l_schema = plan.table.schema.project(&query.hdfs_proj)?;
-    let mut mailboxes: Vec<Mailbox> = sys
-        .jen_workers
-        .iter()
-        .map(|w| Mailbox::new(sys, Endpoint::Jen(w.id())))
-        .collect::<Result<_>>()?;
-    let mut local_parts: Vec<Batch> = Vec::with_capacity(num_jen);
-    let mut designated_local_bf: Option<BloomFilter> = None;
-    for worker in &sys.jen_workers {
-        let w = worker.id().index();
-        let me = Endpoint::Jen(worker.id());
-        let got = mailboxes[w].take_stream(StreamTag::DbBloom, 1)?;
-        let bf = got
-            .blooms
-            .first()
-            .map(|b| BloomFilter::from_bytes(b))
-            .transpose()?
-            .ok_or_else(|| HybridError::Net("BF_DB never arrived".into()))?;
-        let (l_share, _) =
-            scan_blocks_pipelined(worker, &plan.table, &plan.blocks[w], &scan_spec, Some(&bf))?;
+    let l_schema = &plan.table.schema.project(&query.hdfs_proj)?;
+    let t_schema = &t_prime_schema(sys, query)?;
 
-        // 3b: local BF_H over the filtered share
-        let local_bf =
-            worker.build_bloom_from(&l_share, query.hdfs_key, BloomFilter::new(query.bloom))?;
-        if worker.id() == designated {
-            designated_local_bf = Some(local_bf);
+    let mut db = TaskSet::new("db", db_tasks(sys, driver)?);
+    let mut jen = TaskSet::new("jen", jen_tasks(sys, driver)?);
+
+    // Steps 1–2: T' per DB worker, global BF_DB, multicast to JEN workers.
+    db.step(10, move |w, st| {
+        st.part = Some(db_scan_step(sys, query, driver, w)?);
+        Ok(())
+    });
+    db.step(12, move |w, st| {
+        if w == 0 {
+            db_build_and_multicast_bloom(sys, query, st)
         } else {
-            sys.fabric.send(
-                me,
-                Endpoint::Jen(designated),
-                Message::Bloom {
-                    stream: StreamTag::HdfsBloom,
-                    bytes: local_bf.to_bytes(),
-                },
-            )?;
-            send_eos(sys, me, Endpoint::Jen(designated), StreamTag::HdfsBloom)?;
+            Ok(())
         }
+    });
 
-        // 3c: shuffle by the agreed hash; local partition stays put
-        let span = sys.tracer.start(worker.span_label(), Stage::ShuffleSend);
-        let sent_rows = l_share.num_rows() as u64;
-        let sent_bytes = l_share.serialized_bytes() as u64;
-        let routed = partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
-        let mut mine = Batch::empty(l_schema.clone());
-        for (dst_idx, piece) in routed.into_iter().enumerate() {
-            if dst_idx == w {
-                mine = piece;
-            } else {
-                let dst = Endpoint::Jen(JenWorkerId(dst_idx));
-                send_data(sys, me, dst, StreamTag::HdfsShuffle, &piece)?;
-                send_eos(sys, me, dst, StreamTag::HdfsShuffle)?;
-            }
+    // Step 3: scan with BF_DB, build local BF_H, shuffle L' by the agreed
+    // hash. 3a/3b/3c run per worker; in parallel mode shuffling genuinely
+    // overlaps the other workers' scans.
+    jen.step(20, move |w, st| {
+        let bf_db = jen_take_bloom(st, StreamTag::DbBloom)?
+            .ok_or_else(|| HybridError::Net("BF_DB never arrived".into()))?;
+        let worker = &sys.jen_workers[w];
+        let (l_share, local_bf) = {
+            let _permit = driver.compute_permit();
+            let (l_share, _) = scan_blocks_pipelined(
+                worker,
+                &plan.table,
+                &plan.blocks[w],
+                scan_spec,
+                Some(&bf_db),
+            )?;
+            // 3b: local BF_H over the filtered share
+            let local_bf =
+                worker.build_bloom_from(&l_share, query.hdfs_key, BloomFilter::new(query.bloom))?;
+            (l_share, local_bf)
+        };
+        if w == designated.index() {
+            st.local_bf = Some(local_bf);
+        } else {
+            let to = Endpoint::Jen(designated);
+            st.mailbox
+                .send_bloom(to, StreamTag::HdfsBloom, local_bf.to_bytes())?;
+            st.mailbox.send_eos(to, StreamTag::HdfsBloom)?;
         }
-        span.done(sent_bytes, sent_rows);
-        local_parts.push(mine);
-    }
+        // 3c: shuffle by the agreed hash; local partition stays put
+        jen_shuffle_share(sys, query, st, w, l_share, l_schema)
+    });
 
     // Step 4: merge local BF_H's at the designated worker; broadcast the
     // global BF_H to every DB worker.
-    let mut bf_h = designated_local_bf
-        .ok_or_else(|| HybridError::exec("designated worker produced no local BF_H"))?;
-    let received = mailboxes[designated.index()].take_stream(StreamTag::HdfsBloom, num_jen - 1)?;
-    for bytes in &received.blooms {
-        bf_h.merge(&BloomFilter::from_bytes(bytes)?)?;
-    }
-    {
-        let from = Endpoint::Jen(designated);
-        let bytes = bf_h.to_bytes();
-        for db in sys.fabric.db_endpoints() {
-            sys.fabric.send(
-                from,
-                db,
-                Message::Bloom {
-                    stream: StreamTag::HdfsBloom,
-                    bytes: bytes.clone(),
-                },
-            )?;
-            send_eos(sys, from, db, StreamTag::HdfsBloom)?;
+    jen.step(25, move |w, st| {
+        if w != designated.index() {
+            return Ok(());
         }
-    }
+        let mut bf_h = st
+            .local_bf
+            .take()
+            .ok_or_else(|| HybridError::exec("designated worker produced no local BF_H"))?;
+        let received = st.mailbox.take_stream(StreamTag::HdfsBloom, num_jen - 1)?;
+        for bytes in &received.blooms {
+            bf_h.merge(&BloomFilter::from_bytes(bytes)?)?;
+        }
+        let bytes = bf_h.to_bytes();
+        for db_ep in sys.fabric.db_endpoints() {
+            st.mailbox
+                .send_bloom(db_ep, StreamTag::HdfsBloom, bytes.clone())?;
+            st.mailbox.send_eos(db_ep, StreamTag::HdfsBloom)?;
+        }
+        Ok(())
+    });
 
     // Steps 5–6: DB workers apply BF_H to T' and route the survivors T''
     // with the agreed hash. §3.4 leaves the T' access strategy to the
     // database optimizer: either the materialized step-1 output or an
     // index re-access of the base table — both are implemented, selected
     // by `SystemConfig::zigzag_reaccess`.
-    for (w, part) in t_prime.iter().enumerate() {
-        let me = Endpoint::Db(DbWorkerId(w));
-        let mut mb = Mailbox::new(sys, me)?;
-        let got = mb.take_stream(StreamTag::HdfsBloom, 1)?;
+    db.step(30, move |w, st| {
+        let got = st.mailbox.take_stream(StreamTag::HdfsBloom, 1)?;
         let bf = got
             .blooms
             .first()
             .map(|b| BloomFilter::from_bytes(b))
             .transpose()?
             .ok_or_else(|| HybridError::Net("BF_H never arrived".into()))?;
-        let reaccessed;
-        let part = match sys.config.zigzag_reaccess {
-            ZigzagReaccess::Materialize => part,
-            ZigzagReaccess::IndexReaccess => {
-                // second access of T — index-only when the paper's covering
-                // indexes exist; metered as db.index.* / db.scan.*
-                reaccessed = sys.db.worker(w).scan_filter_project(
-                    &query.db_table,
-                    &query.db_pred,
-                    &query.db_proj,
-                )?;
-                &reaccessed
-            }
+        let materialized = st.part.take().expect("T' scanned in step 10");
+        let t_second = {
+            let _permit = driver.compute_permit();
+            let part = match sys.config.zigzag_reaccess {
+                ZigzagReaccess::Materialize => materialized,
+                ZigzagReaccess::IndexReaccess => {
+                    // second access of T — index-only when the paper's
+                    // covering indexes exist; metered as db.index./db.scan.
+                    sys.db.worker(w).scan_filter_project(
+                        &query.db_table,
+                        &query.db_pred,
+                        &query.db_proj,
+                    )?
+                }
+            };
+            let apply_span = sys.tracer.start(format!("db-{w}"), Stage::BloomApply);
+            let (t_second, _) = filter_batch(&part, query.db_key, &bf)?;
+            apply_span.done(0, part.num_rows() as u64);
+            t_second
         };
-        let apply_span = sys.tracer.start(format!("db-{w}"), Stage::BloomApply);
-        let (t_second, _) = filter_batch(part, query.db_key, &bf)?;
-        apply_span.done(0, part.num_rows() as u64);
         sys.metrics
             .add("db.bloom.t_rows_after_bfh", t_second.num_rows() as u64);
-        let send_span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
-        let routed = partition_by_key(&t_second, query.db_key, num_jen, agreed_shuffle_partition)?;
-        for (jen_idx, piece) in routed.into_iter().enumerate() {
-            let dst = Endpoint::Jen(JenWorkerId(jen_idx));
-            send_data(sys, me, dst, StreamTag::DbData, &piece)?;
-            send_eos(sys, me, dst, StreamTag::DbData)?;
-        }
-        send_span.done(
-            t_second.serialized_bytes() as u64,
-            t_second.num_rows() as u64,
-        );
-    }
+        db_route_to_jen(sys, query, st, w, &t_second)
+    });
 
     // Step 7: build on the shuffled HDFS data, probe with T'' (layout
     // L' ++ T'), post-join predicate, partial aggregation.
-    let post_pred = query.post_predicate_hdfs_layout();
-    let group_expr = query.group_expr_hdfs_layout();
-    let hdfs_aggs = query.aggs_hdfs_layout();
-    let mut partials: Vec<Batch> = Vec::with_capacity(num_jen);
-    for worker in &sys.jen_workers {
-        let w = worker.id().index();
-        let label = worker.span_label();
-        let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
-        let shuffled = mailboxes[w].take_stream(StreamTag::HdfsShuffle, num_jen - 1)?;
-        let recv_rows: u64 = shuffled.batches.iter().map(|b| b.num_rows() as u64).sum();
-        recv_span.done(0, recv_rows);
-        // the local join: in-memory by default, grace-hash with spilling
-        // when the engine is configured with a build-side memory budget
-        let mut joiner = LocalJoiner::new(
-            l_schema.clone(),
-            query.hdfs_key,
-            sys.config.jen_memory_limit_rows,
-            sys.metrics.clone(),
-        )?;
-        let built_rows = local_parts[w].num_rows() as u64 + recv_rows;
-        let build_span = sys.tracer.start(label.clone(), Stage::HashBuild);
-        joiner.build(std::mem::replace(
-            &mut local_parts[w],
-            Batch::empty(l_schema.clone()),
-        ))?;
-        for b in shuffled.batches {
-            joiner.build(b)?;
-        }
-        build_span.done(0, built_rows);
-        let db_data = mailboxes[w].take_stream(StreamTag::DbData, num_db)?;
-        let t_schema = t_prime[0].schema().clone();
-        let probe_rows: u64 = db_data.batches.iter().map(|b| b.num_rows() as u64).sum();
-        let probe_span = sys.tracer.start(label.clone(), Stage::Probe);
-        let joined = joiner.probe_all(&t_schema, db_data.batches, query.db_key)?;
-        probe_span.done(0, probe_rows);
-        let joined = match &post_pred {
-            Some(p) => {
-                let mask = p.eval_predicate(&joined)?;
-                joined.filter(&mask)?
-            }
-            None => joined,
-        };
-        let agg_span = sys.tracer.start(label, Stage::Aggregate);
-        let mut agg = HashAggregator::new(hdfs_aggs.clone());
-        let groups = group_expr.eval_i64(&joined)?;
-        agg.update(&groups, &joined)?;
-        partials.push(agg.finish());
-        agg_span.done(0, joined.num_rows() as u64);
-    }
+    jen.step(40, move |w, st| {
+        jen_recv_build(sys, query, driver, st, w, l_schema)?;
+        jen_probe_aggregate(sys, query, driver, st, w, t_schema)
+    });
 
     // Steps 8–9: final aggregation at the designated worker, result to DB.
-    hdfs_side_final_aggregation(sys, query, partials)
+    add_final_aggregation_steps(sys, query, &mut jen, &mut db, 50)?;
+
+    let (db_states, _jen_states) = driver.run_pair(db, jen)?;
+    take_result(db_states)
 }

@@ -34,8 +34,8 @@ pub mod reference;
 pub mod stats;
 pub mod system;
 
-pub use algorithms::{run, JoinAlgorithm};
+pub use algorithms::{run, CancelToken, Driver, JoinAlgorithm, TaskSet};
 pub use estimation::{run_auto, sample_stats, SampledStats};
 pub use query::HybridQuery;
 pub use stats::{JoinSummary, RunOutput};
-pub use system::{HybridSystem, SystemConfig, ZigzagReaccess};
+pub use system::{threads_from_env, HybridSystem, SystemConfig, ZigzagReaccess};

@@ -51,6 +51,25 @@ pub struct SystemConfig {
     pub jen_memory_limit_rows: Option<usize>,
     /// The zigzag join's step-5 strategy (§3.4).
     pub zigzag_reaccess: ZigzagReaccess,
+    /// Compute-thread budget for the execution driver. `1` replays each
+    /// algorithm in the exact sequential step order; `> 1` runs every
+    /// worker on its own OS thread with at most `threads` of them inside a
+    /// compute section at once. Defaults from the `HYBRID_THREADS` env var
+    /// (the CI correctness matrix drives it), falling back to 1.
+    pub threads: usize,
+    /// Per-endpoint fabric inbox bound used when `threads > 1` (sequential
+    /// runs stay unbounded — a single-threaded driver would deadlock on a
+    /// full inbox with nobody draining). `None` = unbounded.
+    pub channel_capacity: Option<usize>,
+}
+
+/// `HYBRID_THREADS` env override, or 1 (sequential) when unset/invalid.
+pub fn threads_from_env() -> usize {
+    std::env::var("HYBRID_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl SystemConfig {
@@ -64,6 +83,8 @@ impl SystemConfig {
             recv_timeout: Duration::from_secs(30),
             jen_memory_limit_rows: None,
             zigzag_reaccess: ZigzagReaccess::default(),
+            threads: threads_from_env(),
+            channel_capacity: Some(256),
         }
     }
 
@@ -75,6 +96,12 @@ impl SystemConfig {
         }
         if self.rows_per_block == 0 {
             return Err(HybridError::config("rows_per_block must be positive"));
+        }
+        if self.threads == 0 {
+            return Err(HybridError::config("threads must be at least 1"));
+        }
+        if self.channel_capacity == Some(0) {
+            return Err(HybridError::config("channel_capacity must be positive"));
         }
         Ok(())
     }
@@ -118,7 +145,19 @@ impl HybridSystem {
                 )
             })
             .collect();
-        let fabric = Fabric::new(config.db_workers, config.jen_workers, metrics.clone());
+        // Bounded inboxes only make sense with concurrent workers draining
+        // them; a sequential driver fills its own target and deadlocks.
+        let capacity = if config.threads > 1 {
+            config.channel_capacity
+        } else {
+            None
+        };
+        let fabric = Fabric::with_capacity(
+            config.db_workers,
+            config.jen_workers,
+            metrics.clone(),
+            capacity,
+        );
         Ok(HybridSystem {
             db,
             hdfs,
@@ -241,5 +280,21 @@ mod tests {
         let mut cfg = SystemConfig::paper_shape(1, 1);
         cfg.rows_per_block = 0;
         assert!(HybridSystem::new(cfg).is_err());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.threads = 0;
+        assert!(HybridSystem::new(cfg).is_err());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.channel_capacity = Some(0);
+        assert!(HybridSystem::new(cfg).is_err());
+    }
+
+    #[test]
+    fn fabric_bounded_only_when_parallel() {
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.threads = 1;
+        assert_eq!(HybridSystem::new(cfg).unwrap().fabric.capacity(), None);
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.threads = 4;
+        assert_eq!(HybridSystem::new(cfg).unwrap().fabric.capacity(), Some(256));
     }
 }

@@ -28,7 +28,7 @@ pub mod message;
 
 pub use message::{Message, StreamTag};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::ids::{DbWorkerId, JenWorkerId};
 use hybrid_common::metrics::{CounterId, Metrics};
@@ -172,6 +172,10 @@ type Inbox<M> = (Sender<Delivery<M>>, Receiver<Delivery<M>>);
 
 struct Inner<M> {
     inboxes: HashMap<Endpoint, Inbox<M>>,
+    /// Per-endpoint inbox bound (messages). `None` = unbounded, the
+    /// sequential drivers' mode; parallel drivers run bounded so senders
+    /// feel back-pressure instead of buffering a whole phase in memory.
+    capacity: Option<usize>,
     disconnected: Mutex<HashSet<Endpoint>>,
     metrics: Metrics,
     /// Per-class counters, indexed by `LinkClass::index()`.
@@ -202,16 +206,36 @@ impl<M> Clone for Fabric<M> {
 
 impl<M: Wire> Fabric<M> {
     /// Build a fabric with inboxes for `num_db` DB workers, `num_jen` JEN
-    /// workers, and the JEN coordinator.
+    /// workers, and the JEN coordinator. Inboxes are unbounded; see
+    /// [`Fabric::with_capacity`] for the back-pressured variant.
     pub fn new(num_db: usize, num_jen: usize, metrics: Metrics) -> Fabric<M> {
+        Fabric::with_capacity(num_db, num_jen, metrics, None)
+    }
+
+    /// Build a fabric whose per-endpoint inboxes hold at most `capacity`
+    /// messages (`None` = unbounded). With a bound, [`Fabric::send`] blocks
+    /// while the target inbox is full and [`Fabric::try_send`] hands the
+    /// message back — callers that both send and receive (all-to-all
+    /// shuffles) must use `try_send` and drain their own inbox while the
+    /// target is full, or a cycle of full inboxes deadlocks.
+    pub fn with_capacity(
+        num_db: usize,
+        num_jen: usize,
+        metrics: Metrics,
+        capacity: Option<usize>,
+    ) -> Fabric<M> {
+        let channel = || match capacity {
+            Some(cap) => bounded(cap),
+            None => unbounded(),
+        };
         let mut inboxes = HashMap::with_capacity(num_db + num_jen + 1);
         for i in 0..num_db {
-            inboxes.insert(Endpoint::Db(DbWorkerId(i)), unbounded());
+            inboxes.insert(Endpoint::Db(DbWorkerId(i)), channel());
         }
         for i in 0..num_jen {
-            inboxes.insert(Endpoint::Jen(JenWorkerId(i)), unbounded());
+            inboxes.insert(Endpoint::Jen(JenWorkerId(i)), channel());
         }
-        inboxes.insert(Endpoint::JenCoordinator, unbounded());
+        inboxes.insert(Endpoint::JenCoordinator, channel());
         let class_counters = LinkClass::ALL.map(|class| LinkCounters::register(&metrics, class));
         let dir_counters = [
             DirCounters::register(&metrics, "db_to_jen"),
@@ -220,6 +244,7 @@ impl<M: Wire> Fabric<M> {
         Fabric {
             inner: Arc::new(Inner {
                 inboxes,
+                capacity,
                 disconnected: Mutex::new(HashSet::new()),
                 metrics,
                 class_counters,
@@ -255,25 +280,43 @@ impl<M: Wire> Fabric<M> {
         &self.inner.metrics
     }
 
-    /// Send `msg` from `from` to `to`, metering it on the appropriate link.
-    pub fn send(&self, from: Endpoint, to: Endpoint, msg: M) -> Result<()> {
-        if self.inner.disconnected.lock().contains(&to) {
-            return Err(HybridError::Net(format!("{to} is disconnected")));
+    /// The typed error for traffic involving a disconnected endpoint.
+    fn disconnected_error(endpoint: Endpoint, stream: Option<&'static str>) -> HybridError {
+        HybridError::Disconnected {
+            endpoint: endpoint.to_string(),
+            stream: stream.map(str::to_string),
         }
-        let (tx, _) = self
-            .inner
-            .inboxes
-            .get(&to)
-            .ok_or_else(|| HybridError::Net(format!("unknown endpoint {to}")))?;
+    }
+
+    /// Meter `msg` on the link `from → to`. Called once per *successful*
+    /// enqueue so retried `try_send`s never double-count.
+    fn meter(&self, from: Endpoint, to: Endpoint, msg: &M) {
+        self.meter_raw(
+            from,
+            to,
+            msg.wire_bytes() as u64,
+            msg.wire_tuples(),
+            msg.wire_stream_label(),
+        );
+    }
+
+    /// [`Fabric::meter`] with the wire accounting pre-extracted, for call
+    /// sites where the message has already moved into the channel.
+    fn meter_raw(
+        &self,
+        from: Endpoint,
+        to: Endpoint,
+        bytes: u64,
+        tuples: u64,
+        label: Option<&'static str>,
+    ) {
         let class = LinkClass::classify(from, to);
-        let bytes = msg.wire_bytes() as u64;
-        let tuples = msg.wire_tuples();
         let m = &self.inner.metrics;
         let counters = self.inner.class_counters[class.index()];
         m.add_id(counters.bytes, bytes);
         m.incr_id(counters.msgs);
         m.add_id(counters.tuples, tuples);
-        if let Some(label) = msg.wire_stream_label() {
+        if let Some(label) = label {
             let sc = self.stream_counters(class, label);
             m.add_id(sc.bytes, bytes);
             m.add_id(sc.tuples, tuples);
@@ -288,8 +331,56 @@ impl<M: Wire> Fabric<M> {
             m.add_id(dir.bytes, bytes);
             m.add_id(dir.tuples, tuples);
         }
+    }
+
+    /// Send `msg` from `from` to `to`, metering it on the appropriate link.
+    /// Blocks while a bounded inbox is full.
+    pub fn send(&self, from: Endpoint, to: Endpoint, msg: M) -> Result<()> {
+        if self.inner.disconnected.lock().contains(&to) {
+            return Err(Self::disconnected_error(to, msg.wire_stream_label()));
+        }
+        let (tx, _) = self
+            .inner
+            .inboxes
+            .get(&to)
+            .ok_or_else(|| HybridError::Net(format!("unknown endpoint {to}")))?;
+        self.meter(from, to, &msg);
         tx.send(Delivery { from, msg })
             .map_err(|_| HybridError::Net(format!("{to} inbox closed")))
+    }
+
+    /// Non-blocking send: `Ok(None)` means delivered (and metered);
+    /// `Ok(Some(msg))` hands the message back because the bounded inbox is
+    /// full — drain your own inbox and retry. Worker tasks use this instead
+    /// of [`Fabric::send`] so an all-to-all shuffle over bounded channels
+    /// cannot deadlock on a cycle of full inboxes.
+    pub fn try_send(&self, from: Endpoint, to: Endpoint, msg: M) -> Result<Option<M>> {
+        if self.inner.disconnected.lock().contains(&to) {
+            return Err(Self::disconnected_error(to, msg.wire_stream_label()));
+        }
+        let (tx, _) = self
+            .inner
+            .inboxes
+            .get(&to)
+            .ok_or_else(|| HybridError::Net(format!("unknown endpoint {to}")))?;
+        // Snapshot the wire accounting before the message moves into the
+        // channel; metered only if the enqueue succeeds, so a Full retry
+        // never double-counts.
+        let (bytes, tuples, label) = (
+            msg.wire_bytes() as u64,
+            msg.wire_tuples(),
+            msg.wire_stream_label(),
+        );
+        match tx.try_send(Delivery { from, msg }) {
+            Ok(()) => {
+                self.meter_raw(from, to, bytes, tuples, label);
+                Ok(None)
+            }
+            Err(TrySendError::Full(d)) => Ok(Some(d.msg)),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(HybridError::Net(format!("{to} inbox closed")))
+            }
+        }
     }
 
     /// Send clones of `msg` to every endpoint in `tos` (broadcast /
@@ -315,7 +406,13 @@ impl<M: Wire> Fabric<M> {
 
     /// Blocking receive with a deadline — the engines use this instead of a
     /// bare `recv()` so a lost peer surfaces as an error, not a hang.
+    /// Receiving *as* a disconnected endpoint fails with the typed
+    /// [`HybridError::Disconnected`] (a dead worker cannot make progress),
+    /// while an empty inbox at the deadline stays a generic timeout.
     pub fn recv_timeout(&self, endpoint: Endpoint, timeout: Duration) -> Result<Delivery<M>> {
+        if self.is_disconnected(endpoint) {
+            return Err(Self::disconnected_error(endpoint, None));
+        }
         let rx = self.receiver(endpoint)?;
         rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => {
@@ -323,6 +420,16 @@ impl<M: Wire> Fabric<M> {
             }
             RecvTimeoutError::Disconnected => HybridError::Net(format!("{endpoint} inbox closed")),
         })
+    }
+
+    /// Whether failure injection has cut `endpoint` off the fabric.
+    pub fn is_disconnected(&self, endpoint: Endpoint) -> bool {
+        self.inner.disconnected.lock().contains(&endpoint)
+    }
+
+    /// The per-endpoint inbox bound this fabric was built with.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.capacity
     }
 
     /// Drop every undelivered message in every inbox. Queries run over
@@ -543,8 +650,10 @@ mod tests {
                 },
             )
             .unwrap_err();
-        assert!(matches!(err, HybridError::Net(_)));
+        assert!(matches!(err, HybridError::Disconnected { .. }));
+        assert!(f.is_disconnected(j0));
         f.reconnect(j0);
+        assert!(!f.is_disconnected(j0));
         assert!(f
             .send(
                 db0,
@@ -555,6 +664,93 @@ mod tests {
                 }
             )
             .is_ok());
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Tagged;
+
+    impl Wire for Tagged {
+        fn wire_bytes(&self) -> usize {
+            8
+        }
+        fn wire_stream_label(&self) -> Option<&'static str> {
+            Some("hdfs_shuffle")
+        }
+    }
+
+    #[test]
+    fn disconnected_send_carries_stream_label() {
+        let f: Fabric<Tagged> = Fabric::new(1, 1, Metrics::new());
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        f.disconnect(j0);
+        let err = f.send(Endpoint::Db(DbWorkerId(0)), j0, Tagged).unwrap_err();
+        match err {
+            HybridError::Disconnected { endpoint, stream } => {
+                assert_eq!(endpoint, "jen-worker-0");
+                assert_eq!(stream.as_deref(), Some("hdfs_shuffle"));
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_as_disconnected_endpoint_is_typed() {
+        let f = fabric();
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        f.disconnect(j0);
+        let err = f.recv_timeout(j0, Duration::from_millis(10)).unwrap_err();
+        assert!(
+            matches!(err, HybridError::Disconnected { ref endpoint, stream: None } if endpoint == "jen-worker-0")
+        );
+    }
+
+    #[test]
+    fn try_send_hands_message_back_when_full() {
+        let f: Fabric<Msg> = Fabric::with_capacity(1, 1, Metrics::new(), Some(1));
+        assert_eq!(f.capacity(), Some(1));
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        let msg = Msg {
+            bytes: 10,
+            tuples: 1,
+        };
+        assert!(f.try_send(db0, j0, msg.clone()).unwrap().is_none());
+        // inbox full: message comes back and is NOT metered
+        let back = f.try_send(db0, j0, msg.clone()).unwrap();
+        assert_eq!(back, Some(msg.clone()));
+        assert_eq!(f.metrics().get("net.cross.msgs"), 1);
+        f.recv_timeout(j0, Duration::from_secs(1)).unwrap();
+        assert!(f.try_send(db0, j0, msg).unwrap().is_none());
+        assert_eq!(f.metrics().get("net.cross.msgs"), 2);
+    }
+
+    #[test]
+    fn bounded_fabric_applies_backpressure_across_threads() {
+        let f: Fabric<Msg> = Fabric::with_capacity(1, 1, Metrics::new(), Some(2));
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        let f2 = f.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..200 {
+                f2.send(
+                    db0,
+                    j0,
+                    Msg {
+                        bytes: i,
+                        tuples: 1,
+                    },
+                )
+                .unwrap();
+            }
+        });
+        let rx = f.receiver(j0).unwrap();
+        for i in 0..200 {
+            let d = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(d.msg.bytes, i);
+            // the bound caps what can ever be queued ahead of the reader
+            assert!(rx.len() <= 2);
+        }
+        producer.join().unwrap();
     }
 
     #[test]

@@ -42,6 +42,25 @@ pub enum StreamTag {
     PerfBitmap,
 }
 
+impl StreamTag {
+    /// The short label used in per-stream metric names and in
+    /// [`hybrid_common::error::HybridError::Disconnected`] contexts.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamTag::HdfsShuffle => "hdfs_shuffle",
+            StreamTag::DbData => "db_data",
+            StreamTag::HdfsData => "hdfs_data",
+            StreamTag::DbBloom => "db_bloom",
+            StreamTag::HdfsBloom => "hdfs_bloom",
+            StreamTag::PartialAgg => "partial_agg",
+            StreamTag::FinalResult => "final_result",
+            StreamTag::DbKeySet => "db_keyset",
+            StreamTag::PerfKeys => "perf_keys",
+            StreamTag::PerfBitmap => "perf_bitmap",
+        }
+    }
+}
+
 /// A fabric message.
 #[derive(Debug, Clone)]
 pub enum Message {
@@ -81,18 +100,7 @@ impl Wire for Message {
     }
 
     fn wire_stream_label(&self) -> Option<&'static str> {
-        Some(match self.stream() {
-            StreamTag::HdfsShuffle => "hdfs_shuffle",
-            StreamTag::DbData => "db_data",
-            StreamTag::HdfsData => "hdfs_data",
-            StreamTag::DbBloom => "db_bloom",
-            StreamTag::HdfsBloom => "hdfs_bloom",
-            StreamTag::PartialAgg => "partial_agg",
-            StreamTag::FinalResult => "final_result",
-            StreamTag::DbKeySet => "db_keyset",
-            StreamTag::PerfKeys => "perf_keys",
-            StreamTag::PerfBitmap => "perf_bitmap",
-        })
+        Some(self.stream().label())
     }
 }
 

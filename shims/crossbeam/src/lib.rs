@@ -32,6 +32,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]; both variants hand the
+    /// message back so the caller can retry (or drop it).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         /// Signalled when a message is pushed (wakes receivers).
@@ -110,6 +120,24 @@ pub mod channel {
                             .unwrap_or_else(|e| e.into_inner());
                     }
                     _ => break,
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+        /// waiting when a bounded channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut q = lock(&self.shared.queue);
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             q.push_back(value);
@@ -278,6 +306,17 @@ pub mod channel {
             }
             producer.join().unwrap();
             assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded::<i32>(1);
+            tx.try_send(1).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]

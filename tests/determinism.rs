@@ -1,0 +1,63 @@
+//! Determinism contract of the parallel driver: for every algorithm, the
+//! query result must be **bit-identical** and the per-run metric totals
+//! must be **exactly equal** whether workers run sequentially (`threads =
+//! 1`, the reference order) or on real OS threads — on both storage
+//! formats.
+//!
+//! This holds because every cross-worker reduction in the system is a
+//! commutative monoid (integer aggregates, Bloom-filter OR, additive
+//! counters), final aggregation sorts by group key, and order-sensitive
+//! exchanges (PERF bitmaps) are indexed by sender rather than by arrival.
+
+use hybrid_core::reference::run_reference;
+use hybrid_core::{run, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::{Workload, WorkloadSpec};
+use hybrid_storage::FileFormat;
+
+fn all_algorithms() -> Vec<JoinAlgorithm> {
+    JoinAlgorithm::paper_variants()
+        .into_iter()
+        .chain([JoinAlgorithm::SemiJoin, JoinAlgorithm::PerfJoin])
+        .collect()
+}
+
+fn system(workload: &Workload, format: FileFormat, threads: usize) -> HybridSystem {
+    let mut cfg = SystemConfig::paper_shape(3, 5);
+    cfg.rows_per_block = 500;
+    cfg.threads = threads;
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, format).unwrap();
+    sys
+}
+
+#[test]
+fn thread_count_changes_nothing_observable() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert!(expected.num_rows() > 0);
+
+    for format in [FileFormat::Columnar, FileFormat::Text] {
+        let mut baseline_sys = system(&workload, format, 1);
+        let mut parallel_sys: Vec<(usize, HybridSystem)> = [2usize, 8]
+            .into_iter()
+            .map(|t| (t, system(&workload, format, t)))
+            .collect();
+
+        for alg in all_algorithms() {
+            let baseline = run(&mut baseline_sys, &query, alg).unwrap();
+            assert_eq!(baseline.result, expected, "{alg} wrong on {format}");
+            for (threads, sys) in &mut parallel_sys {
+                let out = run(sys, &query, alg).unwrap();
+                assert_eq!(
+                    out.result, baseline.result,
+                    "{alg} result diverged at {threads} threads on {format}"
+                );
+                assert_eq!(
+                    out.snapshot, baseline.snapshot,
+                    "{alg} metric totals diverged at {threads} threads on {format}"
+                );
+            }
+        }
+    }
+}

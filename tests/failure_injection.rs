@@ -33,7 +33,12 @@ fn disconnected_jen_worker_fails_cleanly() {
         JoinAlgorithm::Broadcast,
     ] {
         let err = run(&mut sys, &query, alg).unwrap_err();
-        assert!(matches!(err, HybridError::Net(_)), "{alg}: {err}");
+        // a typed error naming the dead endpoint, not a generic timeout
+        assert!(
+            matches!(&err, HybridError::Disconnected { endpoint, .. }
+                if endpoint == "jen-worker-2"),
+            "{alg}: {err}"
+        );
     }
     // recovery: reconnect and everything works again
     sys.fabric.reconnect(Endpoint::Jen(JenWorkerId(2)));
