@@ -5,6 +5,7 @@
 //!        [--sigma-t F] [--sigma-l F] [--st F] [--sl F]
 //!        [--format columnar|text] [--scale tiny|small|default]
 //!        [--spill-limit ROWS] [--timeline PATH] [--threads N]
+//!        [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]
 //! ```
 //!
 //! Generates the paper's workload at the requested selectivities, executes
@@ -17,11 +18,17 @@
 //! `--threads N` runs every worker on its own OS thread (N > 1) via the
 //! parallel driver; the default comes from `HYBRID_THREADS` (or 1,
 //! sequential).
+//!
+//! `--serve` switches to serving mode: instead of one join, N client
+//! threads drive a mixed workload through the concurrent query service
+//! (see `svc_bench` for the dedicated benchmark with all its knobs).
 
 use hybrid_bench::report::{print_table, secs};
+use hybrid_bench::svc::{build_service_system, serve_workload, ServeOptions};
 use hybrid_bench::{default_system_config, ExpSystem};
 use hybrid_core::{run_auto, JoinAlgorithm};
 use hybrid_datagen::WorkloadSpec;
+use hybrid_service::SchedulePolicy;
 use hybrid_storage::FileFormat;
 
 fn parse_alg(s: &str) -> Option<JoinAlgorithm> {
@@ -42,7 +49,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: hwjoin [--alg NAME|auto|all] [--sigma-t F] [--sigma-l F] \
          [--st F] [--sl F] [--format columnar|text] [--scale tiny|small|default] \
-         [--spill-limit ROWS] [--timeline PATH] [--threads N]"
+         [--spill-limit ROWS] [--timeline PATH] [--threads N] \
+         [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]"
     );
     std::process::exit(2)
 }
@@ -54,6 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spill_limit: Option<usize> = None;
     let mut timeline_path: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut serve = false;
+    let mut serve_opts = ServeOptions::default();
+    let mut json_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -68,6 +79,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--spill-limit" => spill_limit = Some(value().parse()?),
             "--timeline" => timeline_path = Some(value().to_string()),
             "--threads" => threads = Some(value().parse()?),
+            "--serve" => serve = true,
+            "--clients" => serve_opts.clients = value().parse()?,
+            "--queries" => serve_opts.queries = value().parse()?,
+            "--json" => json_path = Some(value().to_string()),
+            "--policy" => {
+                serve_opts.service.policy = match SchedulePolicy::parse(value()) {
+                    Some(p) => p,
+                    None => usage(),
+                }
+            }
             "--format" => {
                 format = match value() {
                     "columnar" | "parquet" => FileFormat::Columnar,
@@ -130,6 +151,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.jen_memory_limit_rows = Some(limit);
     }
     println!("execution: {} worker thread(s)", cfg.threads);
+
+    if serve {
+        let (workload, system) = build_service_system(spec, format, cfg)?;
+        let report = serve_workload(&workload, system, &serve_opts)?;
+        report.print();
+        if let Some(path) = json_path {
+            std::fs::write(&path, report.to_json())?;
+            eprintln!("report written to {path}");
+        }
+        if report.incorrect > 0 {
+            eprintln!("{} responses diverged from the reference", report.incorrect);
+            std::process::exit(1);
+        }
+        return Ok(());
+    }
+
     let mut exp = ExpSystem::build_with(spec, format, cfg)?;
 
     let algorithms: Vec<JoinAlgorithm> = match alg_arg.as_str() {

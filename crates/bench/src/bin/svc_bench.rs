@@ -1,0 +1,124 @@
+//! `svc_bench` — closed-loop throughput/latency benchmark for the
+//! concurrent query service.
+//!
+//! ```text
+//! svc_bench [--clients N] [--queries N] [--scale tiny|small|default]
+//!           [--format columnar|text] [--policy fifo|sjf]
+//!           [--max-in-flight N] [--max-queued N] [--threads N]
+//!           [--no-verify] [--json PATH]
+//! ```
+//!
+//! N client threads (default 8) drive a 100-query mixed workload —
+//! advisor-routed and forced-algorithm submissions over predicate
+//! variants that share a database side — through one `QueryService`,
+//! then report throughput, p50/p95/p99 latency (total, queue wait,
+//! execution), and both cache hit rates. Every result is checked against
+//! the single-threaded reference implementation unless `--no-verify`;
+//! any mismatch makes the process exit nonzero. `--json PATH` writes the
+//! machine-readable artifact the `service-soak` CI job uploads.
+
+use hybrid_bench::default_system_config;
+use hybrid_bench::svc::{build_service_system, serve_workload, ServeOptions};
+use hybrid_datagen::WorkloadSpec;
+use hybrid_service::SchedulePolicy;
+use hybrid_storage::FileFormat;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: svc_bench [--clients N] [--queries N] [--scale tiny|small|default] \
+         [--format columnar|text] [--policy fifo|sjf] [--max-in-flight N] \
+         [--max-queued N] [--threads N] [--no-verify] [--json PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut opts = ServeOptions::default();
+    let mut spec = WorkloadSpec::tiny();
+    let mut format = FileFormat::Columnar;
+    let mut threads: Option<usize> = None;
+    let mut json_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--clients" => opts.clients = value().parse()?,
+            "--queries" => opts.queries = value().parse()?,
+            "--max-in-flight" => opts.service.max_in_flight = value().parse()?,
+            "--max-queued" => opts.service.max_queued = value().parse()?,
+            "--threads" => threads = Some(value().parse()?),
+            "--json" => json_path = Some(value().to_string()),
+            "--no-verify" => opts.verify = false,
+            "--policy" => {
+                opts.service.policy = match SchedulePolicy::parse(value()) {
+                    Some(p) => p,
+                    None => usage(),
+                }
+            }
+            "--scale" => {
+                spec = match value() {
+                    "tiny" => WorkloadSpec::tiny(),
+                    "small" => WorkloadSpec {
+                        t_rows: 40_000,
+                        l_rows: 375_000,
+                        num_keys: 400,
+                        ..WorkloadSpec::scaled_default()
+                    },
+                    "default" => WorkloadSpec::scaled_default(),
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--format" => {
+                format = match value() {
+                    "columnar" | "parquet" => FileFormat::Columnar,
+                    "text" => FileFormat::Text,
+                    other => {
+                        eprintln!("unknown format {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let mut cfg = default_system_config();
+    if let Some(n) = threads {
+        cfg.threads = n;
+    }
+    println!(
+        "workload: T={} rows, L={} rows, {format}; service: {} in flight / {} queued, {} policy",
+        spec.t_rows,
+        spec.l_rows,
+        opts.service.max_in_flight,
+        opts.service.max_queued,
+        opts.service.policy.name()
+    );
+    let (workload, system) = build_service_system(spec, format, cfg)?;
+    let report = serve_workload(&workload, system, &opts)?;
+    report.print();
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json())?;
+        eprintln!("report written to {path}");
+    }
+    if report.incorrect > 0 {
+        eprintln!("{} responses diverged from the reference", report.incorrect);
+        std::process::exit(1);
+    }
+    if report.completed + report.rejected + report.timed_out + report.failed
+        != report.queries as u64
+    {
+        eprintln!("lost submissions: accounting does not add up");
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -23,5 +23,7 @@
 
 pub mod harness;
 pub mod report;
+pub mod svc;
 
 pub use harness::{default_system_config, spec_from_env, ExpSystem, Measurement};
+pub use svc::{serve_workload, ServeOptions, ServeReport};

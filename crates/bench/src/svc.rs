@@ -1,0 +1,312 @@
+//! Closed-loop workload driver for the concurrent query service.
+//!
+//! Shared by the `svc_bench` binary and `hwjoin --serve`: N client threads
+//! pull jobs from a shared counter and submit them to one
+//! [`QueryService`], so each client always has exactly one query in flight
+//! (closed loop). The job mix cycles through a fixed pattern list built
+//! from one workload:
+//!
+//! * eight HDFS-side predicate variants forced through
+//!   `repartition-bf` — all share the database side, so after the first
+//!   `BF_DB` build every later variant is a Bloom-cache hit;
+//! * two advisor-routed submissions (`algorithm: None`) over the first two
+//!   variants, exercising the estimate → advise path.
+//!
+//! Every pattern repeats `queries / 10` times, so later occurrences are
+//! result-cache hits. Each response is verified against
+//! `run_reference` on the raw tables; the report counts any mismatch.
+
+use hybrid_common::error::Result;
+use hybrid_common::expr::Expr;
+use hybrid_common::metrics::HistogramSnapshot;
+use hybrid_core::reference::run_reference;
+use hybrid_core::{HybridQuery, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::tables::l_cols;
+use hybrid_datagen::{Workload, WorkloadSpec};
+use hybrid_service::{QueryRequest, QueryService, ServiceConfig};
+use hybrid_storage::FileFormat;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many distinct HDFS-side predicate variants the mix uses.
+const VARIANTS: usize = 8;
+
+/// Driver sizing; the service itself is configured by `service`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    pub clients: usize,
+    /// Total queries across all clients.
+    pub queries: usize,
+    pub service: ServiceConfig,
+    /// Check every result against `run_reference` (cheap at bench scale).
+    pub verify: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            clients: 8,
+            queries: 100,
+            service: ServiceConfig::default(),
+            verify: true,
+        }
+    }
+}
+
+/// What one closed-loop run observed.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    pub clients: usize,
+    pub queries: usize,
+    pub policy: &'static str,
+    pub threads: usize,
+    pub wall: Duration,
+    pub completed: u64,
+    pub rejected: u64,
+    pub timed_out: u64,
+    pub failed: u64,
+    /// Responses whose result differed from the reference (must be 0).
+    pub incorrect: usize,
+    pub latency_us: HistogramSnapshot,
+    pub queue_us: HistogramSnapshot,
+    pub exec_us: HistogramSnapshot,
+    pub result_cache: CacheStats,
+    pub bloom_cache: CacheStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    fn read(metrics: &hybrid_common::metrics::Metrics, prefix: &str) -> CacheStats {
+        CacheStats {
+            hits: metrics.get(&format!("{prefix}.hits")),
+            misses: metrics.get(&format!("{prefix}.misses")),
+            evictions: metrics.get(&format!("{prefix}.evictions")),
+        }
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl ServeReport {
+    pub fn throughput_qps(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The run artifact as a JSON object (hand-rolled; the workspace has
+    /// no serde).
+    pub fn to_json(&self) -> String {
+        let hist = |h: &HistogramSnapshot| {
+            format!(
+                "{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                h.count(),
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max()
+            )
+        };
+        let cache = |c: &CacheStats| {
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.4}}}",
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.hit_rate()
+            )
+        };
+        format!(
+            "{{\n  \"clients\": {},\n  \"queries\": {},\n  \"policy\": \"{}\",\n  \
+             \"threads\": {},\n  \"wall_s\": {:.4},\n  \"throughput_qps\": {:.2},\n  \
+             \"completed\": {},\n  \"rejected\": {},\n  \"timed_out\": {},\n  \
+             \"failed\": {},\n  \"incorrect\": {},\n  \"latency_us\": {},\n  \
+             \"queue_us\": {},\n  \"exec_us\": {},\n  \"result_cache\": {},\n  \
+             \"bloom_cache\": {}\n}}\n",
+            self.clients,
+            self.queries,
+            self.policy,
+            self.threads,
+            self.wall.as_secs_f64(),
+            self.throughput_qps(),
+            self.completed,
+            self.rejected,
+            self.timed_out,
+            self.failed,
+            self.incorrect,
+            hist(&self.latency_us),
+            hist(&self.queue_us),
+            hist(&self.exec_us),
+            cache(&self.result_cache),
+            cache(&self.bloom_cache),
+        )
+    }
+
+    /// Human-readable summary on stdout.
+    pub fn print(&self) {
+        let hist = |name: &str, h: &HistogramSnapshot| {
+            println!(
+                "  {name:<12} p50 {:>8}us  p95 {:>8}us  p99 {:>8}us  mean {:>10.1}us  max {:>8}us",
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.mean(),
+                h.max()
+            );
+        };
+        println!(
+            "\n== service run: {} clients, {} queries, {} policy, {} worker thread(s) ==",
+            self.clients, self.queries, self.policy, self.threads
+        );
+        println!(
+            "  completed {} / rejected {} / timed out {} / failed {} / incorrect {}",
+            self.completed, self.rejected, self.timed_out, self.failed, self.incorrect
+        );
+        println!(
+            "  wall {:.3}s  throughput {:.1} queries/s",
+            self.wall.as_secs_f64(),
+            self.throughput_qps()
+        );
+        hist("latency", &self.latency_us);
+        hist("queue wait", &self.queue_us);
+        hist("execution", &self.exec_us);
+        println!(
+            "  result cache: {} hits / {} misses / {} evictions ({:.0}% hit rate)",
+            self.result_cache.hits,
+            self.result_cache.misses,
+            self.result_cache.evictions,
+            self.result_cache.hit_rate() * 100.0
+        );
+        println!(
+            "  bloom cache:  {} hits / {} misses / {} evictions ({:.0}% hit rate)",
+            self.bloom_cache.hits,
+            self.bloom_cache.misses,
+            self.bloom_cache.evictions,
+            self.bloom_cache.hit_rate() * 100.0
+        );
+    }
+}
+
+/// Generate `spec`'s workload and load it into a fresh system.
+pub fn build_service_system(
+    spec: WorkloadSpec,
+    format: FileFormat,
+    config: SystemConfig,
+) -> Result<(Workload, HybridSystem)> {
+    let workload = spec.generate()?;
+    let mut system = HybridSystem::new(config)?;
+    workload.load_into(&mut system, format)?;
+    Ok((workload, system))
+}
+
+/// The workload query with HDFS-side thresholds tightened by `step` —
+/// same database side (same `BF_DB` key), distinct fingerprint and result.
+fn variant(w: &Workload, step: i64) -> HybridQuery {
+    let mut q = w.query();
+    q.hdfs_pred = Expr::col_le(l_cols::COR_PRED, w.thresholds.l_cor - step)
+        .and(Expr::col_le(l_cols::IND_PRED, w.thresholds.l_ind));
+    q
+}
+
+/// The fixed job mix: `VARIANTS` forced `repartition-bf` submissions plus
+/// two advisor-routed ones. Job *j* runs pattern `j % patterns.len()`.
+fn patterns() -> Vec<(usize, Option<JoinAlgorithm>)> {
+    let bf = JoinAlgorithm::Repartition { bloom: true };
+    (0..VARIANTS)
+        .map(|i| (i, Some(bf)))
+        .chain([(0, None), (1, None)])
+        .collect()
+}
+
+/// Run the closed-loop workload against a freshly wrapped service.
+pub fn serve_workload(
+    workload: &Workload,
+    system: HybridSystem,
+    opts: &ServeOptions,
+) -> Result<ServeReport> {
+    let threads = system.config.threads;
+    let queries: Vec<HybridQuery> = (0..VARIANTS as i64).map(|i| variant(workload, i)).collect();
+    let expected: Vec<_> = if opts.verify {
+        queries
+            .iter()
+            .map(|q| run_reference(&workload.t, &workload.l, q))
+            .collect::<Result<_>>()?
+    } else {
+        Vec::new()
+    };
+
+    let svc = Arc::new(QueryService::new(system, opts.service.clone()));
+    let patterns = patterns();
+    let next = Arc::new(AtomicUsize::new(0));
+    let incorrect = Arc::new(AtomicUsize::new(0));
+    let queries = Arc::new(queries);
+    let expected = Arc::new(expected);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..opts.clients.max(1))
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let patterns = patterns.clone();
+            let next = Arc::clone(&next);
+            let incorrect = Arc::clone(&incorrect);
+            let queries = Arc::clone(&queries);
+            let expected = Arc::clone(&expected);
+            let total = opts.queries;
+            let verify = opts.verify;
+            std::thread::spawn(move || loop {
+                let job = next.fetch_add(1, Ordering::Relaxed);
+                if job >= total {
+                    return;
+                }
+                let (qi, alg) = patterns[job % patterns.len()];
+                let req = match alg {
+                    Some(a) => QueryRequest::with_algorithm(queries[qi].clone(), a),
+                    None => QueryRequest::new(queries[qi].clone()),
+                };
+                // Rejections/timeouts/failures are already counted in the
+                // service registry; the driver only checks correctness.
+                if let Ok(resp) = svc.submit(&req) {
+                    if verify && *resp.result != expected[qi] {
+                        incorrect.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    let wall = start.elapsed();
+
+    let m = svc.metrics();
+    Ok(ServeReport {
+        clients: opts.clients.max(1),
+        queries: opts.queries,
+        policy: opts.service.policy.name(),
+        threads,
+        wall,
+        completed: m.get("svc.completed"),
+        rejected: m.get("svc.rejected"),
+        timed_out: m.get("svc.timed_out"),
+        failed: m.get("svc.failed"),
+        incorrect: incorrect.load(Ordering::Relaxed),
+        latency_us: svc.latency_histogram(),
+        queue_us: svc.queue_histogram(),
+        exec_us: svc.exec_histogram(),
+        result_cache: CacheStats::read(m, "svc.cache.result"),
+        bloom_cache: CacheStats::read(m, "svc.cache.bloom"),
+    })
+}

@@ -1,0 +1,248 @@
+//! A keyed, capacity-bounded LRU cache with metered hit/miss/eviction
+//! counters.
+//!
+//! This is the shared primitive behind the query service's cross-query
+//! caches (Bloom filters and full query results). It is deliberately
+//! simple: one mutex around the map — cache operations happen once per
+//! query, never inside a scan or shuffle hot path — with every outcome
+//! counted in a [`Metrics`] registry under a caller-chosen prefix
+//! (`{prefix}.hits`, `.misses`, `.insertions`, `.evictions`,
+//! `.invalidations`), so workload drivers can report hit rates without
+//! touching the cache's internals.
+
+use crate::metrics::{CounterId, Metrics};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+struct LruInner<K, V> {
+    /// key -> (value, recency stamp)
+    map: HashMap<K, (V, u64)>,
+    /// recency stamp -> key; the smallest stamp is the LRU victim.
+    /// Stamps are unique (monotone counter), so this is a total order.
+    order: BTreeMap<u64, K>,
+    next_stamp: u64,
+}
+
+/// A thread-safe LRU cache. Clones share state.
+///
+/// `capacity` is the maximum number of entries; inserting beyond it evicts
+/// the least-recently-*used* entry (both hits and inserts refresh recency).
+/// A capacity of 0 disables the cache entirely: every `get` misses and
+/// every `insert` is dropped, which lets callers turn caching off through
+/// configuration without branching at each call site.
+pub struct LruCache<K, V> {
+    inner: Arc<Mutex<LruInner<K, V>>>,
+    capacity: usize,
+    metrics: Metrics,
+    ctr_hits: CounterId,
+    ctr_misses: CounterId,
+    ctr_insertions: CounterId,
+    ctr_evictions: CounterId,
+    ctr_invalidations: CounterId,
+}
+
+impl<K, V> Clone for LruCache<K, V> {
+    fn clone(&self) -> Self {
+        LruCache {
+            inner: Arc::clone(&self.inner),
+            capacity: self.capacity,
+            metrics: self.metrics.clone(),
+            ctr_hits: self.ctr_hits,
+            ctr_misses: self.ctr_misses,
+            ctr_insertions: self.ctr_insertions,
+            ctr_evictions: self.ctr_evictions,
+            ctr_invalidations: self.ctr_invalidations,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Create a cache metering into `metrics` under `prefix` (e.g.
+    /// `"svc.cache.bloom"`).
+    pub fn new(prefix: &str, capacity: usize, metrics: Metrics) -> LruCache<K, V> {
+        LruCache {
+            inner: Arc::new(Mutex::new(LruInner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                next_stamp: 0,
+            })),
+            capacity,
+            ctr_hits: metrics.register(&format!("{prefix}.hits")),
+            ctr_misses: metrics.register(&format!("{prefix}.misses")),
+            ctr_insertions: metrics.register(&format!("{prefix}.insertions")),
+            ctr_evictions: metrics.register(&format!("{prefix}.evictions")),
+            ctr_invalidations: metrics.register(&format!("{prefix}.invalidations")),
+            metrics,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("lru mutex poisoned").map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut g = self.inner.lock().expect("lru mutex poisoned");
+        let g = &mut *g;
+        match g.map.get_mut(key) {
+            Some((value, stamp)) => {
+                g.order.remove(stamp);
+                *stamp = g.next_stamp;
+                g.order.insert(g.next_stamp, key.clone());
+                g.next_stamp += 1;
+                let v = value.clone();
+                self.metrics.incr_id(self.ctr_hits);
+                Some(v)
+            }
+            None => {
+                self.metrics.incr_id(self.ctr_misses);
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) `key`, evicting the LRU entry when over
+    /// capacity. Dropped silently when the cache is disabled (capacity 0).
+    pub fn insert(&self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut g = self.inner.lock().expect("lru mutex poisoned");
+        let g = &mut *g;
+        if let Some((_, old_stamp)) = g.map.remove(&key) {
+            g.order.remove(&old_stamp);
+        }
+        let stamp = g.next_stamp;
+        g.next_stamp += 1;
+        g.map.insert(key.clone(), (value, stamp));
+        g.order.insert(stamp, key);
+        self.metrics.incr_id(self.ctr_insertions);
+        while g.map.len() > self.capacity {
+            let (&victim_stamp, _) = g.order.iter().next().expect("order/map in sync");
+            let victim = g.order.remove(&victim_stamp).expect("present");
+            g.map.remove(&victim);
+            self.metrics.incr_id(self.ctr_evictions);
+        }
+    }
+
+    /// Drop every entry for which `dead` returns true (explicit
+    /// invalidation, e.g. "table X was rewritten"). Returns how many
+    /// entries were removed.
+    pub fn invalidate_if<F: Fn(&K) -> bool>(&self, dead: F) -> usize {
+        let mut g = self.inner.lock().expect("lru mutex poisoned");
+        let g = &mut *g;
+        let victims: Vec<K> = g.map.keys().filter(|k| dead(k)).cloned().collect();
+        for k in &victims {
+            if let Some((_, stamp)) = g.map.remove(k) {
+                g.order.remove(&stamp);
+            }
+        }
+        self.metrics
+            .add_id(self.ctr_invalidations, victims.len() as u64);
+        victims.len()
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        let n = {
+            let mut g = self.inner.lock().expect("lru mutex poisoned");
+            let n = g.map.len();
+            g.map.clear();
+            g.order.clear();
+            n
+        };
+        self.metrics.add_id(self.ctr_invalidations, n as u64);
+    }
+
+    /// Keys currently cached, in LRU → MRU order (tests and debugging).
+    pub fn keys_lru_order(&self) -> Vec<K> {
+        let g = self.inner.lock().expect("lru mutex poisoned");
+        g.order.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(cap: usize) -> (LruCache<String, u32>, Metrics) {
+        let m = Metrics::new();
+        (LruCache::new("test.cache", cap, m.clone()), m)
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let (c, m) = cache(4);
+        assert_eq!(c.get(&"a".into()), None);
+        c.insert("a".into(), 1);
+        assert_eq!(c.get(&"a".into()), Some(1));
+        assert_eq!(m.get("test.cache.hits"), 1);
+        assert_eq!(m.get("test.cache.misses"), 1);
+        assert_eq!(m.get("test.cache.insertions"), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_hits_refresh_recency() {
+        let (c, m) = cache(3);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        c.insert("c".into(), 3);
+        // touch "a": "b" becomes the LRU victim
+        assert!(c.get(&"a".into()).is_some());
+        c.insert("d".into(), 4);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&"b".into()), None, "LRU entry must be evicted");
+        assert!(c.get(&"a".into()).is_some());
+        assert!(c.get(&"c".into()).is_some());
+        assert!(c.get(&"d".into()).is_some());
+        assert_eq!(m.get("test.cache.evictions"), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let (c, m) = cache(2);
+        c.insert("a".into(), 1);
+        c.insert("a".into(), 9);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"a".into()), Some(9));
+        assert_eq!(m.get("test.cache.evictions"), 0);
+    }
+
+    #[test]
+    fn invalidate_if_removes_matching_keys() {
+        let (c, m) = cache(8);
+        c.insert("T:1".into(), 1);
+        c.insert("T:2".into(), 2);
+        c.insert("L:1".into(), 3);
+        assert_eq!(c.invalidate_if(|k| k.starts_with("T:")), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"L:1".into()), Some(3));
+        assert_eq!(m.get("test.cache.invalidations"), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let (c, _) = cache(0);
+        c.insert("a".into(), 1);
+        assert_eq!(c.get(&"a".into()), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_order_exposed() {
+        let (c, _) = cache(4);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        c.get(&"a".into());
+        assert_eq!(c.keys_lru_order(), vec!["b".to_string(), "a".to_string()]);
+    }
+}

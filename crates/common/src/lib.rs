@@ -18,6 +18,7 @@
 //! the EDW and JEN executes against these batches.
 
 pub mod batch;
+pub mod cache;
 pub mod datum;
 pub mod error;
 pub mod expr;

@@ -177,6 +177,12 @@ impl Metrics {
         }
     }
 
+    /// Whether `other` is a handle to the same underlying registry (clones
+    /// share counters; [`Metrics::new`] makes an independent one).
+    pub fn same_registry(&self, other: &Metrics) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Intern `name`, returning its stable [`CounterId`].
     ///
     /// Idempotent; components that update counters in a hot loop should
@@ -316,6 +322,187 @@ impl Metrics {
     }
 }
 
+/// Number of buckets in a [`Histogram`]: one per power of two plus the
+/// zero bucket, covering the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket latency histogram with a lock-free record path.
+///
+/// Buckets are powers of two: value `v` lands in bucket `⌈log2(v+1)⌉`, so
+/// bucket `i > 0` covers `[2^(i-1), 2^i)` and bucket 0 holds exact zeros.
+/// Recording is a single `fetch_add(Relaxed)` plus min/max maintenance —
+/// no locks, safe from any number of client threads. Quantiles come from a
+/// [`HistogramSnapshot`]; the log-bucket layout guarantees the reported
+/// quantile is within 2× of the true order statistic (and clamped to the
+/// observed min/max, which tightens the tails).
+///
+/// Clones share state, like [`Metrics`].
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket index for a recorded value.
+fn histogram_bucket(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation (e.g. a latency in microseconds).
+    pub fn record(&self, v: u64) {
+        let i = &self.inner;
+        i.buckets[histogram_bucket(v)].fetch_add(1, Ordering::Relaxed);
+        i.count.fetch_add(1, Ordering::Relaxed);
+        i.sum.fetch_add(v, Ordering::Relaxed);
+        i.min.fetch_min(v, Ordering::Relaxed);
+        i.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let i = &self.inner;
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|b| i.buckets[b].load(Ordering::Relaxed)),
+            count: i.count.load(Ordering::Relaxed),
+            sum: i.sum.load(Ordering::Relaxed),
+            min: i.min.load(Ordering::Relaxed),
+            max: i.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state; merge snapshots from
+/// several histograms (per-client, per-phase) to get aggregate quantiles.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding the corresponding order statistic, clamped to the observed
+    /// min/max. Within 2× of the exact order statistic by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // rank of the order statistic: ceil(q * count), at least 1
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // bucket b covers [2^(b-1), 2^b); report the upper bound
+                let upper = if b == 0 {
+                    0
+                } else if b >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << b) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
 /// The original registry: one mutex around a string-keyed map.
 ///
 /// Kept verbatim as the A/B baseline for the metrics microbench
@@ -394,6 +581,119 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.get("c"), 8000);
+    }
+
+    /// Exact quantile from a sorted copy: the value at rank ceil(q*n).
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn histogram_quantiles_track_sorted_reference() {
+        // deterministic skewed values: mostly small, a heavy tail
+        let values: Vec<u64> = (0..10_000u64)
+            .map(|i| {
+                let x = crate::hash::splitmix64(i);
+                match x % 100 {
+                    0..=89 => x % 500,           // bulk: < 500
+                    90..=98 => 1_000 + x % 9000, // mid tail
+                    _ => 100_000 + x % 400_000,  // far tail
+                }
+            })
+            .collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), values.len() as u64);
+        assert_eq!(snap.sum(), values.iter().sum::<u64>());
+        assert_eq!(snap.min(), sorted[0]);
+        assert_eq!(snap.max(), *sorted.last().unwrap());
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let approx = snap.quantile(q);
+            // log2 buckets: reported value within [exact, 2*exact]
+            assert!(
+                approx >= exact && approx <= exact.max(1) * 2,
+                "q={q}: exact {exact}, histogram {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_single() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..1000u64 {
+            let v = i * 37 % 4096;
+            if i % 2 == 0 { &a } else { &b }.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let single = all.snapshot();
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.sum(), single.sum());
+        assert_eq!(merged.min(), single.min());
+        assert_eq!(merged.max(), single.max());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let h = Histogram::new();
+        let empty = h.snapshot();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.mean(), 0.0);
+
+        h.record(0);
+        let one = h.snapshot();
+        assert_eq!(one.p50(), 0);
+        assert_eq!(one.max(), 0);
+
+        h.record(7);
+        let two = h.snapshot();
+        assert_eq!(two.quantile(1.0), 7); // clamped to observed max
+        assert_eq!(two.quantile(0.0), 0);
+        assert!(two.mean() > 3.4 && two.mean() < 3.6);
+    }
+
+    #[test]
+    fn histogram_concurrent_records_do_not_lose_updates() {
+        let h = Histogram::new();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 8000);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(histogram_bucket(0), 0);
+        assert_eq!(histogram_bucket(1), 1);
+        assert_eq!(histogram_bucket(2), 2);
+        assert_eq!(histogram_bucket(3), 2);
+        assert_eq!(histogram_bucket(4), 3);
+        assert_eq!(histogram_bucket(u64::MAX), 64);
     }
 
     #[test]

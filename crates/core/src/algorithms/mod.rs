@@ -30,6 +30,7 @@ use hybrid_common::trace::Stage;
 use hybrid_jen::LocalJoiner;
 use hybrid_net::{Delivery, Endpoint, Fabric, Message, StreamTag};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which join strategy to execute.
@@ -441,23 +442,49 @@ pub(crate) fn db_scan_step(
 /// DB worker 0 builds the global `BF_DB` and multicasts it (with EOS) to
 /// every JEN worker. The per-partition filters and their merge are metered
 /// inside `build_global_bloom` exactly as before.
+///
+/// When the system has a cross-query Bloom cache, the serialized filter is
+/// looked up there first — a hit skips the per-partition build entirely
+/// (the cached bytes are exactly what a cold build would multicast) and
+/// the multicast proceeds as usual on this query's own fabric namespace.
 pub(crate) fn db_build_and_multicast_bloom(
     sys: &HybridSystem,
     query: &HybridQuery,
     st: &mut DbTask,
 ) -> Result<()> {
     let bf_span = sys.tracer.start("db", Stage::BloomBuild);
-    let bf = sys.db.build_global_bloom(
-        &query.db_table,
-        &query.db_pred,
-        query.db_key_base(),
-        query.bloom,
-    )?;
-    let bytes = bf.to_bytes();
+    let bytes: Arc<Vec<u8>> = match &sys.bloom_cache {
+        Some(cache) => {
+            let key = crate::cache::BloomKey::for_query(query);
+            match cache.get(&key) {
+                Some(cached) => cached,
+                None => {
+                    let bf = sys.db.build_global_bloom(
+                        &query.db_table,
+                        &query.db_pred,
+                        query.db_key_base(),
+                        query.bloom,
+                    )?;
+                    let fresh = Arc::new(bf.to_bytes());
+                    cache.insert(key, Arc::clone(&fresh));
+                    fresh
+                }
+            }
+        }
+        None => {
+            let bf = sys.db.build_global_bloom(
+                &query.db_table,
+                &query.db_pred,
+                query.db_key_base(),
+                query.bloom,
+            )?;
+            Arc::new(bf.to_bytes())
+        }
+    };
     bf_span.done(bytes.len() as u64, 0);
     for jen in sys.fabric.jen_endpoints() {
         st.mailbox
-            .send_bloom(jen, StreamTag::DbBloom, bytes.clone())?;
+            .send_bloom(jen, StreamTag::DbBloom, bytes.as_ref().clone())?;
         st.mailbox.send_eos(jen, StreamTag::DbBloom)?;
     }
     Ok(())

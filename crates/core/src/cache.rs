@@ -1,0 +1,175 @@
+//! Cross-query caching of the global database Bloom filter (`BF_DB`).
+//!
+//! Building `BF_DB` is the most reusable piece of work in the paper's
+//! algorithms: it depends only on the database table, the local predicate,
+//! the join-key column and the filter geometry — not on the HDFS side of
+//! the query at all. A service running a mixed workload therefore sees the
+//! same filter requested over and over (every DB-side, repartition and
+//! zigzag run of the same `T'` definition), and can serve the serialized
+//! bytes from memory instead of re-scanning every database partition.
+//!
+//! The cache stores the *serialized* filter (`BloomFilter::to_bytes`): that
+//! is exactly what gets multicast to the JEN workers, so a hit is
+//! bit-identical to a cold build by construction. Entries are invalidated
+//! when the underlying table is rewritten ([`BloomCache::invalidate_table`]
+//! — `HybridSystem::load_db_table` calls it automatically).
+
+use crate::query::HybridQuery;
+use hybrid_common::cache::LruCache;
+use hybrid_common::metrics::Metrics;
+use std::sync::Arc;
+
+/// Everything that determines the bits of a global `BF_DB`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BloomKey {
+    /// Database table the filter is built over.
+    pub table: String,
+    /// The local predicate, rendered via `Debug` (expressions are plain
+    /// trees with a total, stable `Debug` form — two structurally equal
+    /// predicates render identically).
+    pub pred: String,
+    /// Base-schema column of the join key.
+    pub key_col: usize,
+    /// Filter geometry: number of bits.
+    pub bits: usize,
+    /// Filter geometry: number of hash functions.
+    pub hashes: u32,
+}
+
+impl BloomKey {
+    /// The cache key of the `BF_DB` that `query` would build.
+    pub fn for_query(query: &HybridQuery) -> BloomKey {
+        BloomKey {
+            table: query.db_table.clone(),
+            pred: format!("{:?}", query.db_pred),
+            key_col: query.db_key_base(),
+            bits: query.bloom.bits,
+            hashes: query.bloom.hashes,
+        }
+    }
+}
+
+/// A capacity-bounded LRU cache of serialized Bloom filters, shared across
+/// every session of one [`crate::HybridSystem`]. Counters land under
+/// `svc.cache.bloom.*` in the registry the cache was created with (the
+/// *root* registry — cache effectiveness is a service-level property, not a
+/// per-query one).
+#[derive(Clone)]
+pub struct BloomCache {
+    lru: LruCache<BloomKey, Arc<Vec<u8>>>,
+}
+
+impl BloomCache {
+    pub const METRIC_PREFIX: &'static str = "svc.cache.bloom";
+
+    pub fn new(capacity: usize, metrics: Metrics) -> BloomCache {
+        BloomCache {
+            lru: LruCache::new(Self::METRIC_PREFIX, capacity, metrics),
+        }
+    }
+
+    /// Serialized filter for `key`, if cached. Counts a hit or a miss.
+    pub fn get(&self, key: &BloomKey) -> Option<Arc<Vec<u8>>> {
+        self.lru.get(key)
+    }
+
+    pub fn insert(&self, key: BloomKey, bytes: Arc<Vec<u8>>) {
+        self.lru.insert(key, bytes);
+    }
+
+    /// Drop every filter built over `table` (the table was rewritten).
+    /// Returns how many entries died.
+    pub fn invalidate_table(&self, table: &str) -> usize {
+        self.lru.invalidate_if(|k| k.table == table)
+    }
+
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+}
+
+/// A normalized fingerprint of a full query: every semantic field, rendered
+/// through `Debug`. Two queries with equal fingerprints compute the same
+/// result on the same data, whatever algorithm runs them — which is what
+/// makes this usable as a *result*-cache key at the service layer.
+pub fn query_fingerprint(query: &HybridQuery) -> String {
+    format!(
+        "db={}|hdfs={}|dbp={:?}|dbproj={:?}|dbk={}|hp={:?}|hproj={:?}|hk={}|post={:?}|grp={:?}|aggs={:?}",
+        query.db_table,
+        query.hdfs_table,
+        query.db_pred,
+        query.db_proj,
+        query.db_key,
+        query.hdfs_pred,
+        query.hdfs_proj,
+        query.hdfs_key,
+        query.post_predicate,
+        query.group_expr,
+        query.aggs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_bloom::BloomParams;
+    use hybrid_common::expr::Expr;
+    use hybrid_common::ops::AggSpec;
+
+    fn query() -> HybridQuery {
+        HybridQuery {
+            db_table: "T".into(),
+            hdfs_table: "L".into(),
+            db_pred: Expr::col_le(2, 10),
+            db_proj: vec![1, 4],
+            db_key: 0,
+            hdfs_pred: Expr::col_le(1, 10),
+            hdfs_proj: vec![0, 3],
+            hdfs_key: 0,
+            post_predicate: None,
+            group_expr: Expr::col(2),
+            aggs: vec![AggSpec::Count],
+            bloom: BloomParams::new(1 << 10, 2).unwrap(),
+        }
+    }
+
+    #[test]
+    fn bloom_key_ignores_hdfs_side() {
+        let a = BloomKey::for_query(&query());
+        let mut q = query();
+        q.hdfs_pred = Expr::col_le(1, 3); // different HDFS predicate
+        let b = BloomKey::for_query(&q);
+        assert_eq!(a, b, "BF_DB depends only on the database side");
+        let mut q = query();
+        q.db_pred = Expr::col_le(2, 11);
+        assert_ne!(a, BloomKey::for_query(&q));
+        let mut q = query();
+        q.bloom = BloomParams::new(1 << 11, 2).unwrap();
+        assert_ne!(a, BloomKey::for_query(&q));
+    }
+
+    #[test]
+    fn invalidate_table_scopes_to_table() {
+        let c = BloomCache::new(8, Metrics::new());
+        let mut k2 = BloomKey::for_query(&query());
+        k2.table = "U".into();
+        c.insert(BloomKey::for_query(&query()), Arc::new(vec![1]));
+        c.insert(k2.clone(), Arc::new(vec![2]));
+        assert_eq!(c.invalidate_table("T"), 1);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&k2).is_some());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_queries() {
+        let a = query_fingerprint(&query());
+        assert_eq!(a, query_fingerprint(&query()));
+        let mut q = query();
+        q.hdfs_pred = Expr::col_le(1, 7);
+        assert_ne!(a, query_fingerprint(&q));
+    }
+}

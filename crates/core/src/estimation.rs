@@ -111,7 +111,10 @@ pub fn sample_stats(
         let idx = i * n_blocks / picked;
         let block = &blocks[idx];
         let reader = sys.jen_workers[0].datanode();
-        let bytes = sys.hdfs.read().read_block(block.id, reader)?;
+        let bytes = sys
+            .hdfs
+            .read()
+            .read_block_into(block.id, reader, &sys.metrics)?;
         let decoded = decode(meta.format, &meta.schema, &bytes, None)?;
         let mask = query.hdfs_pred.eval_predicate(&decoded.batch)?;
         let survivors = decoded.batch.filter(&mask)?.project(&query.hdfs_proj)?;

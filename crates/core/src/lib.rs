@@ -28,6 +28,7 @@
 
 pub mod advisor;
 pub mod algorithms;
+pub mod cache;
 pub mod estimation;
 pub mod query;
 pub mod reference;
@@ -35,6 +36,7 @@ pub mod stats;
 pub mod system;
 
 pub use algorithms::{run, CancelToken, Driver, JoinAlgorithm, TaskSet};
+pub use cache::{query_fingerprint, BloomCache, BloomKey};
 pub use estimation::{run_auto, sample_stats, SampledStats};
 pub use query::HybridQuery;
 pub use stats::{JoinSummary, RunOutput};

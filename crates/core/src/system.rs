@@ -119,6 +119,11 @@ pub struct HybridSystem {
     /// Shared phase recorder: every worker's spans land on one clock.
     pub tracer: Tracer,
     pub config: SystemConfig,
+    /// Cross-query `BF_DB` cache, shared by every session of this system.
+    /// `None` (the default) keeps single-query behavior: every run builds
+    /// its filter from the table. [`HybridSystem::enable_bloom_cache`]
+    /// turns it on; the query service does so at construction.
+    pub bloom_cache: Option<crate::cache::BloomCache>,
 }
 
 impl HybridSystem {
@@ -168,13 +173,86 @@ impl HybridSystem {
             metrics,
             tracer,
             config,
+            bloom_cache: None,
         })
+    }
+
+    /// Turn on the cross-query `BF_DB` cache (counters land under
+    /// `svc.cache.bloom.*` in this system's root registry). Capacity 0
+    /// disables it again without removing the plumbing.
+    pub fn enable_bloom_cache(&mut self, capacity: usize) {
+        self.bloom_cache = Some(crate::cache::BloomCache::new(
+            capacity,
+            self.metrics.clone(),
+        ));
+    }
+
+    /// A per-query *session* over this system: shares the loaded data (DB
+    /// partitions, indexes, HDFS blocks, catalog) and the physical fabric,
+    /// but owns a fresh metrics registry, a fresh tracer, and a private
+    /// fabric namespace — so any number of sessions can execute
+    /// concurrently without interleaving counters, spans, or shuffle
+    /// streams. The Bloom cache is shared (it is cross-query by design).
+    ///
+    /// `ns` must be unique among live sessions (the service hands out a
+    /// monotone counter). Call [`HybridSystem::close_session`] on the
+    /// returned system when the query finishes, or its fabric inboxes stay
+    /// registered forever.
+    ///
+    /// Fabric traffic of a session is metered into both the session's
+    /// registry and the root registry, so the root's `net.cross.*` /
+    /// `net.intra_hdfs.*` totals remain the exact sum over all sessions.
+    /// Purely local work (DB scans, intra-DB exchanges, HDFS reads, JEN
+    /// operators) is metered into the session registry only.
+    pub fn session(&self, ns: u64) -> Result<HybridSystem> {
+        let metrics = Metrics::new();
+        let tracer = Tracer::new();
+        let fabric = self.fabric.namespace(ns, metrics.clone())?;
+        let db = self.db.session(metrics.clone());
+        let coordinator = JenCoordinator::new(
+            Arc::clone(&self.catalog),
+            Arc::clone(&self.hdfs),
+            self.config.jen_workers,
+        )?;
+        let jen_workers = (0..self.config.jen_workers)
+            .map(|i| {
+                JenWorker::with_tracer(
+                    JenWorkerId(i),
+                    Arc::clone(&self.hdfs),
+                    metrics.clone(),
+                    tracer.clone(),
+                )
+            })
+            .collect();
+        Ok(HybridSystem {
+            db,
+            hdfs: Arc::clone(&self.hdfs),
+            catalog: Arc::clone(&self.catalog),
+            coordinator,
+            jen_workers,
+            fabric,
+            metrics,
+            tracer,
+            config: self.config.clone(),
+            bloom_cache: self.bloom_cache.clone(),
+        })
+    }
+
+    /// Release a session's fabric namespace (undelivered messages die with
+    /// it). No-op on the root system.
+    pub fn close_session(&self) {
+        self.fabric.remove_namespace();
     }
 
     /// Load `data` into the parallel database as table `name`, distributed
     /// on `dist_col` (the paper distributes `T` on `uniqKey`).
     pub fn load_db_table(&mut self, name: &str, dist_col: usize, data: Batch) -> Result<()> {
-        self.db.load_table(name, dist_col, data)
+        self.db.load_table(name, dist_col, data)?;
+        // Rewriting a table makes every cached filter over it stale.
+        if let Some(cache) = &self.bloom_cache {
+            cache.invalidate_table(name);
+        }
+        Ok(())
     }
 
     /// Build a covering index on the database table (e.g. the paper's

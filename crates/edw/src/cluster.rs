@@ -40,6 +40,22 @@ impl DbCluster {
         })
     }
 
+    /// A clone of this cluster that shares the loaded partitions and
+    /// indexes (cheap `Arc` bumps per table) but meters every scan, Bloom
+    /// build and intra-DB exchange into `metrics`. The query service hands
+    /// one to each in-flight query so concurrent executions never
+    /// interleave counters.
+    pub fn session(&self, metrics: Metrics) -> DbCluster {
+        DbCluster {
+            workers: self
+                .workers
+                .iter()
+                .map(|w| w.session(metrics.clone()))
+                .collect(),
+            metrics,
+        }
+    }
+
     pub fn num_workers(&self) -> usize {
         self.workers.len()
     }

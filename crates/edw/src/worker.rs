@@ -8,16 +8,22 @@ use hybrid_common::expr::Expr;
 use hybrid_common::ids::DbWorkerId;
 use hybrid_common::metrics::Metrics;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A database worker: owns one hash partition of every loaded table plus
 /// any covering indexes built over them.
+///
+/// Partitions and indexes are stored behind `Arc` so that a service-layer
+/// *session* ([`DbWorker::session`]) can share the loaded data with the
+/// root worker while metering into its own registry — loading a table is
+/// expensive, cloning a worker for a session is a handful of refcounts.
 #[derive(Debug)]
 pub struct DbWorker {
     id: DbWorkerId,
     /// table name -> this worker's partition
-    partitions: HashMap<String, Batch>,
+    partitions: HashMap<String, Arc<Batch>>,
     /// table name -> indexes over the local partition
-    indexes: HashMap<String, Vec<CoveringIndex>>,
+    indexes: HashMap<String, Vec<Arc<CoveringIndex>>>,
     metrics: Metrics,
 }
 
@@ -31,29 +37,46 @@ impl DbWorker {
         }
     }
 
+    /// A clone of this worker that shares its (immutable) partitions and
+    /// indexes but meters all access into `metrics` instead of the root
+    /// registry.
+    pub fn session(&self, metrics: Metrics) -> DbWorker {
+        DbWorker {
+            id: self.id,
+            partitions: self.partitions.clone(),
+            indexes: self.indexes.clone(),
+            metrics,
+        }
+    }
+
     pub fn id(&self) -> DbWorkerId {
         self.id
     }
 
     pub(crate) fn store_partition(&mut self, table: &str, partition: Batch) {
-        self.partitions.insert(table.to_string(), partition);
+        self.partitions
+            .insert(table.to_string(), Arc::new(partition));
         self.indexes.remove(table); // stale indexes die with the old data
     }
 
     pub fn partition(&self, table: &str) -> Result<&Batch> {
         self.partitions
             .get(table)
+            .map(Arc::as_ref)
             .ok_or_else(|| HybridError::exec(format!("{}: no table {table:?}", self.id)))
     }
 
     pub(crate) fn add_index(&mut self, table: &str, base_cols: &[usize]) -> Result<()> {
         let partition = self.partition(table)?.clone();
         let idx = CoveringIndex::build(&partition, base_cols)?;
-        self.indexes.entry(table.to_string()).or_default().push(idx);
+        self.indexes
+            .entry(table.to_string())
+            .or_default()
+            .push(Arc::new(idx));
         Ok(())
     }
 
-    fn indexes_for(&self, table: &str) -> &[CoveringIndex] {
+    fn indexes_for(&self, table: &str) -> &[Arc<CoveringIndex>] {
         self.indexes.get(table).map_or(&[], Vec::as_slice)
     }
 
@@ -67,7 +90,7 @@ impl DbWorker {
         lead_candidates: &[usize],
     ) -> Option<&CoveringIndex> {
         let mut best: Option<&CoveringIndex> = None;
-        for idx in self.indexes_for(table) {
+        for idx in self.indexes_for(table).iter().map(Arc::as_ref) {
             if !idx.covers(needed.iter().copied()) {
                 continue;
             }

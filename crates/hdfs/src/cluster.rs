@@ -158,6 +158,47 @@ impl HdfsCluster {
     /// remote replica. Metrics record `hdfs.read.local_bytes` vs
     /// `hdfs.read.remote_bytes`, which the cost model prices differently.
     pub fn read_block(&self, id: BlockId, reader: DataNodeId) -> Result<Arc<Vec<u8>>> {
+        self.read_block_metered(id, reader, &self.metrics)
+    }
+
+    /// [`HdfsCluster::read_block`], metering into `metrics` instead of the
+    /// cluster's own registry. Per-query sessions read shared HDFS state
+    /// through this so each query's `hdfs.read.*` counters stay isolated.
+    pub fn read_block_into(
+        &self,
+        id: BlockId,
+        reader: DataNodeId,
+        metrics: &Metrics,
+    ) -> Result<Arc<Vec<u8>>> {
+        self.read_block_metered(id, reader, metrics)
+    }
+
+    fn read_block_metered(
+        &self,
+        id: BlockId,
+        reader: DataNodeId,
+        metrics: &Metrics,
+    ) -> Result<Arc<Vec<u8>>> {
+        // When metering the cluster's own registry, use the pre-registered
+        // ids (the single-query hot path); foreign registries resolve names.
+        let own = metrics.same_registry(&self.metrics);
+        let meter = |bytes: u64, local: bool| {
+            if own {
+                let (b, n) = if local {
+                    (self.ctr_local_bytes, self.ctr_local_blocks)
+                } else {
+                    (self.ctr_remote_bytes, self.ctr_remote_blocks)
+                };
+                metrics.add_id(b, bytes);
+                metrics.incr_id(n);
+            } else if local {
+                metrics.add("hdfs.read.local_bytes", bytes);
+                metrics.add("hdfs.read.local_blocks", 1);
+            } else {
+                metrics.add("hdfs.read.remote_bytes", bytes);
+                metrics.add("hdfs.read.remote_blocks", 1);
+            }
+        };
         let meta = self
             .blocks
             .get(&id)
@@ -168,9 +209,7 @@ impl HdfsCluster {
                 .blocks
                 .get(&id)
                 .expect("namenode/datanode metadata out of sync");
-            self.metrics
-                .add_id(self.ctr_local_bytes, bytes.len() as u64);
-            self.metrics.incr_id(self.ctr_local_blocks);
+            meter(bytes.len() as u64, true);
             return Ok(Arc::clone(bytes));
         }
         for &dn in &meta.locations {
@@ -179,9 +218,7 @@ impl HdfsCluster {
                     .blocks
                     .get(&id)
                     .expect("namenode/datanode metadata out of sync");
-                self.metrics
-                    .add_id(self.ctr_remote_bytes, bytes.len() as u64);
-                self.metrics.incr_id(self.ctr_remote_blocks);
+                meter(bytes.len() as u64, false);
                 return Ok(Arc::clone(bytes));
             }
         }

@@ -45,13 +45,14 @@ pub fn scan_blocks_pipelined(
     std::thread::scope(|scope| -> Result<()> {
         let (tx, rx) = bounded::<Result<Arc<Vec<u8>>>>(READ_QUEUE_DEPTH);
         let hdfs = worker.hdfs().clone();
+        let metrics = worker.metrics().clone();
         let datanode = worker.datanode();
         let block_list: Vec<BlockId> = blocks.to_vec();
 
         // The read thread: one block at a time, back-pressured by the queue.
         scope.spawn(move || {
             for block in block_list {
-                let res = hdfs.read().read_block(block, datanode);
+                let res = hdfs.read().read_block_into(block, datanode, &metrics);
                 let failed = res.is_err();
                 if tx.send(res).is_err() || failed {
                     return; // process side hung up, or read error delivered

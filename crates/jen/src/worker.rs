@@ -124,7 +124,10 @@ impl JenWorker {
         let mut parts: Vec<Batch> = Vec::with_capacity(blocks.len());
         let span = self.tracer.start(self.span_label(), Stage::Scan);
         for &block in blocks {
-            let bytes = self.hdfs.read().read_block(block, self.datanode())?;
+            let bytes = self
+                .hdfs
+                .read()
+                .read_block_into(block, self.datanode(), &self.metrics)?;
             match self.process_block(table, &bytes, &read_cols, spec, bloom, &mut stats)? {
                 Some(batch) => parts.push(batch),
                 None => continue,

@@ -170,13 +170,11 @@ pub struct Delivery<M> {
 /// An endpoint's inbox: the producing and consuming halves of its channel.
 type Inbox<M> = (Sender<Delivery<M>>, Receiver<Delivery<M>>);
 
-struct Inner<M> {
-    inboxes: HashMap<Endpoint, Inbox<M>>,
-    /// Per-endpoint inbox bound (messages). `None` = unbounded, the
-    /// sequential drivers' mode; parallel drivers run bounded so senders
-    /// feel back-pressure instead of buffering a whole phase in memory.
-    capacity: Option<usize>,
-    disconnected: Mutex<HashSet<Endpoint>>,
+/// One registry's worth of fabric counters: the metrics handle plus every
+/// pre-registered id the send path touches. The root fabric owns one plane;
+/// each query namespace adds its own, so concurrent queries meter into
+/// isolated registries while the root plane keeps the global totals.
+struct MeterPlane {
     metrics: Metrics,
     /// Per-class counters, indexed by `LinkClass::index()`.
     class_counters: [LinkCounters; 3],
@@ -189,17 +187,120 @@ struct Inner<M> {
     stream_counters: RwLock<HashMap<(usize, &'static str), DirCounters>>,
 }
 
+impl MeterPlane {
+    fn new(metrics: Metrics) -> MeterPlane {
+        let class_counters = LinkClass::ALL.map(|class| LinkCounters::register(&metrics, class));
+        let dir_counters = [
+            DirCounters::register(&metrics, "db_to_jen"),
+            DirCounters::register(&metrics, "jen_to_db"),
+        ];
+        MeterPlane {
+            metrics,
+            class_counters,
+            dir_counters,
+            stream_counters: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Counter ids for a (link class, stream label) pair, interning the
+    /// metric names on first use.
+    fn stream_counters(&self, class: LinkClass, label: &'static str) -> DirCounters {
+        let key = (class.index(), label);
+        if let Some(c) = self.stream_counters.read().get(&key) {
+            return *c;
+        }
+        let prefix = class.metric_prefix();
+        let c = DirCounters {
+            bytes: self
+                .metrics
+                .register(&format!("{prefix}.stream.{label}.bytes")),
+            tuples: self
+                .metrics
+                .register(&format!("{prefix}.stream.{label}.tuples")),
+        };
+        self.stream_counters.write().insert(key, c);
+        c
+    }
+
+    /// Meter one transfer on this plane's registry.
+    fn meter(
+        &self,
+        from: Endpoint,
+        to: Endpoint,
+        bytes: u64,
+        tuples: u64,
+        label: Option<&'static str>,
+    ) {
+        let class = LinkClass::classify(from, to);
+        let m = &self.metrics;
+        let counters = self.class_counters[class.index()];
+        m.add_id(counters.bytes, bytes);
+        m.incr_id(counters.msgs);
+        m.add_id(counters.tuples, tuples);
+        if let Some(label) = label {
+            let sc = self.stream_counters(class, label);
+            m.add_id(sc.bytes, bytes);
+            m.add_id(sc.tuples, tuples);
+        }
+        if class == LinkClass::Cross {
+            // Direction matters across the switch: "DB tuples sent" in
+            // Table 1 is exactly the db_to_jen tuple counter.
+            let dir = self.dir_counters[match from {
+                Endpoint::Db(_) => 0,
+                _ => 1,
+            }];
+            m.add_id(dir.bytes, bytes);
+            m.add_id(dir.tuples, tuples);
+        }
+    }
+}
+
+struct Inner<M> {
+    /// Inboxes keyed by (namespace, endpoint). Namespace 0 is the root
+    /// fabric created at construction; [`Fabric::namespace`] adds an
+    /// identical endpoint set under a fresh namespace id so concurrent
+    /// queries on one shared fabric can never receive each other's
+    /// messages.
+    inboxes: RwLock<HashMap<(u64, Endpoint), Inbox<M>>>,
+    /// Endpoint-set shape, so every namespace gets the same topology.
+    num_db: usize,
+    num_jen: usize,
+    /// Per-endpoint inbox bound (messages). `None` = unbounded, the
+    /// sequential drivers' mode; parallel drivers run bounded so senders
+    /// feel back-pressure instead of buffering a whole phase in memory.
+    capacity: Option<usize>,
+    /// Failure injection is physical, not per-query: a dead worker is dead
+    /// for every namespace.
+    disconnected: Mutex<HashSet<Endpoint>>,
+    /// The root registry's plane — every transfer in every namespace also
+    /// lands here, so global link totals stay exact under concurrency.
+    root_plane: Arc<MeterPlane>,
+}
+
 /// The fabric: a metered, all-to-all message network.
 ///
-/// Cloning is cheap (an `Arc`); one clone is handed to each worker thread.
+/// Cloning is cheap (a couple of `Arc`s); one clone is handed to each
+/// worker thread. A handle is bound to one namespace: [`Fabric::namespace`]
+/// derives a handle whose sends/receives use a private inbox set and whose
+/// traffic is metered into a per-query registry *in addition to* the root
+/// registry.
 pub struct Fabric<M> {
     inner: Arc<Inner<M>>,
+    ns: u64,
+    /// The per-namespace plane (for the root handle this IS the root
+    /// plane, and `extra_plane` is unset so nothing double-counts).
+    plane: Arc<MeterPlane>,
+    /// Set only on namespaced handles: the root plane, metered second.
+    extra_root: bool,
 }
 
 impl<M> Clone for Fabric<M> {
     fn clone(&self) -> Self {
         Fabric {
             inner: Arc::clone(&self.inner),
+            ns: self.ns,
+            plane: Arc::clone(&self.plane),
+            extra_root: self.extra_root,
         }
     }
 }
@@ -224,60 +325,89 @@ impl<M: Wire> Fabric<M> {
         metrics: Metrics,
         capacity: Option<usize>,
     ) -> Fabric<M> {
+        let mut inboxes = HashMap::with_capacity(num_db + num_jen + 1);
+        Self::insert_namespace_inboxes(&mut inboxes, 0, num_db, num_jen, capacity);
+        let plane = Arc::new(MeterPlane::new(metrics));
+        Fabric {
+            inner: Arc::new(Inner {
+                inboxes: RwLock::new(inboxes),
+                num_db,
+                num_jen,
+                capacity,
+                disconnected: Mutex::new(HashSet::new()),
+                root_plane: Arc::clone(&plane),
+            }),
+            ns: 0,
+            plane,
+            extra_root: false,
+        }
+    }
+
+    fn insert_namespace_inboxes(
+        inboxes: &mut HashMap<(u64, Endpoint), Inbox<M>>,
+        ns: u64,
+        num_db: usize,
+        num_jen: usize,
+        capacity: Option<usize>,
+    ) {
         let channel = || match capacity {
             Some(cap) => bounded(cap),
             None => unbounded(),
         };
-        let mut inboxes = HashMap::with_capacity(num_db + num_jen + 1);
         for i in 0..num_db {
-            inboxes.insert(Endpoint::Db(DbWorkerId(i)), channel());
+            inboxes.insert((ns, Endpoint::Db(DbWorkerId(i))), channel());
         }
         for i in 0..num_jen {
-            inboxes.insert(Endpoint::Jen(JenWorkerId(i)), channel());
+            inboxes.insert((ns, Endpoint::Jen(JenWorkerId(i))), channel());
         }
-        inboxes.insert(Endpoint::JenCoordinator, channel());
-        let class_counters = LinkClass::ALL.map(|class| LinkCounters::register(&metrics, class));
-        let dir_counters = [
-            DirCounters::register(&metrics, "db_to_jen"),
-            DirCounters::register(&metrics, "jen_to_db"),
-        ];
-        Fabric {
-            inner: Arc::new(Inner {
-                inboxes,
-                capacity,
-                disconnected: Mutex::new(HashSet::new()),
-                metrics,
-                class_counters,
-                dir_counters,
-                stream_counters: RwLock::new(HashMap::new()),
-            }),
-        }
+        inboxes.insert((ns, Endpoint::JenCoordinator), channel());
     }
 
-    /// Counter ids for a (link class, stream label) pair, interning the
-    /// metric names on first use.
-    fn stream_counters(&self, class: LinkClass, label: &'static str) -> DirCounters {
-        let key = (class.index(), label);
-        if let Some(c) = self.inner.stream_counters.read().get(&key) {
-            return *c;
+    /// Derive a handle over the same physical fabric whose inbox set is
+    /// private to namespace `ns` and whose traffic is metered into
+    /// `metrics` (as well as the root registry, so global totals stay the
+    /// sum of all namespaces). Fails if `ns` is 0 (the root) or already in
+    /// use. Call [`Fabric::remove_namespace`] when the query finishes.
+    pub fn namespace(&self, ns: u64, metrics: Metrics) -> Result<Fabric<M>> {
+        if ns == 0 {
+            return Err(HybridError::Net("namespace 0 is the root fabric".into()));
         }
-        let prefix = class.metric_prefix();
-        let c = DirCounters {
-            bytes: self
-                .inner
-                .metrics
-                .register(&format!("{prefix}.stream.{label}.bytes")),
-            tuples: self
-                .inner
-                .metrics
-                .register(&format!("{prefix}.stream.{label}.tuples")),
-        };
-        self.inner.stream_counters.write().insert(key, c);
-        c
+        let mut inboxes = self.inner.inboxes.write();
+        if inboxes.contains_key(&(ns, Endpoint::JenCoordinator)) {
+            return Err(HybridError::Net(format!("fabric namespace {ns} in use")));
+        }
+        Self::insert_namespace_inboxes(
+            &mut inboxes,
+            ns,
+            self.inner.num_db,
+            self.inner.num_jen,
+            self.inner.capacity,
+        );
+        Ok(Fabric {
+            inner: Arc::clone(&self.inner),
+            ns,
+            plane: Arc::new(MeterPlane::new(metrics)),
+            extra_root: true,
+        })
+    }
+
+    /// Drop this handle's namespace: its inboxes (and any undelivered
+    /// messages in them) disappear from the fabric. No-op on the root.
+    pub fn remove_namespace(&self) {
+        if self.ns == 0 {
+            return;
+        }
+        let mut inboxes = self.inner.inboxes.write();
+        inboxes.retain(|(ns, _), _| *ns != self.ns);
+    }
+
+    /// The namespace this handle is bound to (0 = root).
+    pub fn ns(&self) -> u64 {
+        self.ns
     }
 
     pub fn metrics(&self) -> &Metrics {
-        &self.inner.metrics
+        &self.plane.metrics
     }
 
     /// The typed error for traffic involving a disconnected endpoint.
@@ -301,7 +431,10 @@ impl<M: Wire> Fabric<M> {
     }
 
     /// [`Fabric::meter`] with the wire accounting pre-extracted, for call
-    /// sites where the message has already moved into the channel.
+    /// sites where the message has already moved into the channel. Meters
+    /// this handle's plane; namespaced handles additionally meter the root
+    /// plane, so the root registry's `net.*` totals are always the exact
+    /// sum of every namespace's.
     fn meter_raw(
         &self,
         from: Endpoint,
@@ -310,27 +443,20 @@ impl<M: Wire> Fabric<M> {
         tuples: u64,
         label: Option<&'static str>,
     ) {
-        let class = LinkClass::classify(from, to);
-        let m = &self.inner.metrics;
-        let counters = self.inner.class_counters[class.index()];
-        m.add_id(counters.bytes, bytes);
-        m.incr_id(counters.msgs);
-        m.add_id(counters.tuples, tuples);
-        if let Some(label) = label {
-            let sc = self.stream_counters(class, label);
-            m.add_id(sc.bytes, bytes);
-            m.add_id(sc.tuples, tuples);
+        self.plane.meter(from, to, bytes, tuples, label);
+        if self.extra_root {
+            self.inner.root_plane.meter(from, to, bytes, tuples, label);
         }
-        if class == LinkClass::Cross {
-            // Direction matters across the switch: "DB tuples sent" in
-            // Table 1 is exactly the db_to_jen tuple counter.
-            let dir = self.inner.dir_counters[match from {
-                Endpoint::Db(_) => 0,
-                _ => 1,
-            }];
-            m.add_id(dir.bytes, bytes);
-            m.add_id(dir.tuples, tuples);
-        }
+    }
+
+    /// Sending half of `endpoint`'s inbox in this handle's namespace.
+    fn sender(&self, endpoint: Endpoint) -> Result<Sender<Delivery<M>>> {
+        self.inner
+            .inboxes
+            .read()
+            .get(&(self.ns, endpoint))
+            .map(|(tx, _)| tx.clone())
+            .ok_or_else(|| HybridError::Net(format!("unknown endpoint {endpoint}")))
     }
 
     /// Send `msg` from `from` to `to`, metering it on the appropriate link.
@@ -339,11 +465,7 @@ impl<M: Wire> Fabric<M> {
         if self.inner.disconnected.lock().contains(&to) {
             return Err(Self::disconnected_error(to, msg.wire_stream_label()));
         }
-        let (tx, _) = self
-            .inner
-            .inboxes
-            .get(&to)
-            .ok_or_else(|| HybridError::Net(format!("unknown endpoint {to}")))?;
+        let tx = self.sender(to)?;
         self.meter(from, to, &msg);
         tx.send(Delivery { from, msg })
             .map_err(|_| HybridError::Net(format!("{to} inbox closed")))
@@ -358,11 +480,7 @@ impl<M: Wire> Fabric<M> {
         if self.inner.disconnected.lock().contains(&to) {
             return Err(Self::disconnected_error(to, msg.wire_stream_label()));
         }
-        let (tx, _) = self
-            .inner
-            .inboxes
-            .get(&to)
-            .ok_or_else(|| HybridError::Net(format!("unknown endpoint {to}")))?;
+        let tx = self.sender(to)?;
         // Snapshot the wire accounting before the message moves into the
         // channel; metered only if the enqueue succeeds, so a Full retry
         // never double-counts.
@@ -395,11 +513,12 @@ impl<M: Wire> Fabric<M> {
         Ok(())
     }
 
-    /// The receiving half of `endpoint`'s inbox.
+    /// The receiving half of `endpoint`'s inbox in this handle's namespace.
     pub fn receiver(&self, endpoint: Endpoint) -> Result<Receiver<Delivery<M>>> {
         self.inner
             .inboxes
-            .get(&endpoint)
+            .read()
+            .get(&(self.ns, endpoint))
             .map(|(_, rx)| rx.clone())
             .ok_or_else(|| HybridError::Net(format!("unknown endpoint {endpoint}")))
     }
@@ -432,12 +551,22 @@ impl<M: Wire> Fabric<M> {
         self.inner.capacity
     }
 
-    /// Drop every undelivered message in every inbox. Queries run over
-    /// fresh connections in the paper's implementation; the algorithm
-    /// runner purges before each run so a previously *failed* run's
-    /// in-flight messages can never leak into the next query's streams.
+    /// Drop every undelivered message in every inbox of *this handle's
+    /// namespace*. Queries run over fresh connections in the paper's
+    /// implementation; the algorithm runner purges before each run so a
+    /// previously *failed* run's in-flight messages can never leak into
+    /// the next query's streams. Other namespaces' in-flight queries are
+    /// untouched.
     pub fn purge(&self) {
-        for (_, rx) in self.inner.inboxes.values() {
+        let receivers: Vec<Receiver<Delivery<M>>> = self
+            .inner
+            .inboxes
+            .read()
+            .iter()
+            .filter(|((ns, _), _)| *ns == self.ns)
+            .map(|(_, (_, rx))| rx.clone())
+            .collect();
+        for rx in receivers {
             while rx.try_recv().is_ok() {}
         }
     }
@@ -452,30 +581,20 @@ impl<M: Wire> Fabric<M> {
         self.inner.disconnected.lock().remove(&endpoint);
     }
 
-    /// All JEN worker endpoints of this fabric, in id order.
+    /// All JEN worker endpoints of this fabric, in id order (identical in
+    /// every namespace).
     pub fn jen_endpoints(&self) -> Vec<Endpoint> {
-        let mut v: Vec<Endpoint> = self
-            .inner
-            .inboxes
-            .keys()
-            .filter(|e| matches!(e, Endpoint::Jen(_)))
-            .copied()
-            .collect();
-        v.sort();
-        v
+        (0..self.inner.num_jen)
+            .map(|i| Endpoint::Jen(JenWorkerId(i)))
+            .collect()
     }
 
-    /// All DB worker endpoints of this fabric, in id order.
+    /// All DB worker endpoints of this fabric, in id order (identical in
+    /// every namespace).
     pub fn db_endpoints(&self) -> Vec<Endpoint> {
-        let mut v: Vec<Endpoint> = self
-            .inner
-            .inboxes
-            .keys()
-            .filter(|e| matches!(e, Endpoint::Db(_)))
-            .copied()
-            .collect();
-        v.sort();
-        v
+        (0..self.inner.num_db)
+            .map(|i| Endpoint::Db(DbWorkerId(i)))
+            .collect()
     }
 }
 
@@ -751,6 +870,115 @@ mod tests {
             assert!(rx.len() <= 2);
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn namespaces_do_not_cross_talk() {
+        let f = fabric();
+        let ns_metrics = Metrics::new();
+        let g = f.namespace(7, ns_metrics.clone()).unwrap();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        // a message sent in namespace 7 is invisible to the root inbox
+        g.send(
+            db0,
+            j0,
+            Msg {
+                bytes: 11,
+                tuples: 2,
+            },
+        )
+        .unwrap();
+        assert!(f.recv_timeout(j0, Duration::from_millis(20)).is_err());
+        let d = g.recv_timeout(j0, Duration::from_secs(1)).unwrap();
+        assert_eq!(d.msg.bytes, 11);
+        // and vice versa
+        f.send(
+            db0,
+            j0,
+            Msg {
+                bytes: 5,
+                tuples: 1,
+            },
+        )
+        .unwrap();
+        assert!(g.recv_timeout(j0, Duration::from_millis(20)).is_err());
+        assert!(f.recv_timeout(j0, Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn namespace_traffic_meters_both_planes() {
+        let root_metrics = Metrics::new();
+        let f: Fabric<Msg> = Fabric::new(1, 1, root_metrics.clone());
+        let a_metrics = Metrics::new();
+        let b_metrics = Metrics::new();
+        let a = f.namespace(1, a_metrics.clone()).unwrap();
+        let b = f.namespace(2, b_metrics.clone()).unwrap();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        let msg = |bytes| Msg { bytes, tuples: 1 };
+        a.send(db0, j0, msg(100)).unwrap();
+        b.send(db0, j0, msg(40)).unwrap();
+        b.send(db0, j0, msg(2)).unwrap();
+        assert_eq!(a_metrics.get("net.cross.bytes"), 100);
+        assert_eq!(b_metrics.get("net.cross.bytes"), 42);
+        // the root registry holds the exact sum of every namespace
+        assert_eq!(root_metrics.get("net.cross.bytes"), 142);
+        assert_eq!(root_metrics.get("net.cross.msgs"), 3);
+    }
+
+    #[test]
+    fn purge_is_namespace_scoped() {
+        let f = fabric();
+        let g = f.namespace(3, Metrics::new()).unwrap();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        let msg = Msg {
+            bytes: 1,
+            tuples: 0,
+        };
+        f.send(db0, j0, msg.clone()).unwrap();
+        g.send(db0, j0, msg).unwrap();
+        g.purge();
+        // namespace 3 is drained, the root message survives
+        assert!(g.recv_timeout(j0, Duration::from_millis(20)).is_err());
+        assert!(f.recv_timeout(j0, Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn namespace_lifecycle() {
+        let f = fabric();
+        assert_eq!(f.ns(), 0);
+        assert!(f.namespace(0, Metrics::new()).is_err(), "0 is the root");
+        let g = f.namespace(9, Metrics::new()).unwrap();
+        assert_eq!(g.ns(), 9);
+        assert!(f.namespace(9, Metrics::new()).is_err(), "9 is in use");
+        g.remove_namespace();
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        assert!(g.receiver(j0).is_err(), "inboxes are gone");
+        // the id is free again, and the root was never affected
+        assert!(f.namespace(9, Metrics::new()).is_ok());
+        assert!(f.receiver(j0).is_ok());
+    }
+
+    #[test]
+    fn disconnect_applies_across_namespaces() {
+        let f = fabric();
+        let g = f.namespace(4, Metrics::new()).unwrap();
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        f.disconnect(j0);
+        let err = g
+            .send(
+                Endpoint::Db(DbWorkerId(0)),
+                j0,
+                Msg {
+                    bytes: 1,
+                    tuples: 0,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HybridError::Disconnected { .. }));
+        f.reconnect(j0);
     }
 
     #[test]

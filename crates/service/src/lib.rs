@@ -1,0 +1,390 @@
+//! The concurrent query service: a multi-tenant layer over one shared
+//! [`HybridSystem`].
+//!
+//! The paper's engine executes one hybrid join at a time; a warehouse
+//! serving real traffic runs many concurrently. This crate adds the
+//! serving layer without touching the join algorithms:
+//!
+//! * **Admission + scheduling** ([`sched`]): bounded in-flight executions,
+//!   bounded queue, typed [`ServiceError::Rejected`] /
+//!   [`ServiceError::TimedOut`] errors, FIFO or
+//!   shortest-estimated-cost-first ordering. Cost estimates come from the
+//!   existing sampling/cost-model path, and the advisor picks each query's
+//!   algorithm unless the request forces one.
+//! * **Per-query isolation**: every admitted query executes on a
+//!   [`HybridSystem::session`] — fresh metrics registry, fresh tracer, and
+//!   a private fabric namespace — so concurrent queries can never
+//!   interleave counters, spans, or shuffle streams. Fabric traffic is
+//!   dual-metered: the root registry's `net.cross.*` / `net.intra_hdfs.*`
+//!   totals stay the exact sum over all sessions.
+//! * **Cross-query caches**: serialized `BF_DB` Bloom filters (shared via
+//!   the system, `svc.cache.bloom.*`) and final results
+//!   ([`ResultCache`], `svc.cache.result.*`), both LRU-bounded and
+//!   invalidated when a table is rewritten through the service's load
+//!   methods.
+//! * **Latency accounting**: lock-free [`Histogram`]s for total, queue and
+//!   execution latency, with mergeable snapshots and p50/p95/p99.
+//!
+//! The service is *closed-loop*: [`QueryService::submit`] runs on the
+//! calling client thread (queueing blocks it), which is exactly the shape
+//! the `svc_bench` workload driver in `crates/bench` exercises.
+
+mod result_cache;
+mod sched;
+
+pub use result_cache::{CachedResult, ResultCache};
+pub use sched::SchedulePolicy;
+
+use hybrid_common::batch::Batch;
+use hybrid_common::error::HybridError;
+use hybrid_common::metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+use hybrid_common::schema::Schema;
+use hybrid_core::advisor::{advise, estimated_costs};
+use hybrid_core::stats::JoinSummary;
+use hybrid_core::{run, sample_stats, HybridQuery, HybridSystem, JoinAlgorithm};
+use parking_lot::{RwLock, RwLockReadGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a submission did not produce a result.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The queue was full at submission time.
+    Rejected { queued: usize, max_queued: usize },
+    /// The query queued longer than the configured timeout.
+    TimedOut { waited: Duration },
+    /// Admitted, but execution failed.
+    Exec(HybridError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rejected { queued, max_queued } => {
+                write!(f, "rejected: {queued} queued (max {max_queued})")
+            }
+            ServiceError::TimedOut { waited } => {
+                write!(f, "timed out after {waited:?} in queue")
+            }
+            ServiceError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<HybridError> for ServiceError {
+    fn from(e: HybridError) -> ServiceError {
+        ServiceError::Exec(e)
+    }
+}
+
+/// Service sizing and policy.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Queries executing at once (≥ 1).
+    pub max_in_flight: usize,
+    /// Queries waiting beyond the in-flight bound; a submission past both
+    /// is rejected.
+    pub max_queued: usize,
+    /// How long a queued query may wait before timing out.
+    pub queue_timeout: Duration,
+    pub policy: SchedulePolicy,
+    /// Result-cache entries (0 disables result caching).
+    pub result_cache_capacity: usize,
+    /// Bloom-cache entries (0 disables `BF_DB` caching).
+    pub bloom_cache_capacity: usize,
+    /// HDFS blocks sampled per cost estimate (the single-query auto path
+    /// uses 8; the service defaults lower because it estimates every
+    /// submission).
+    pub sample_blocks: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            max_in_flight: 4,
+            max_queued: 64,
+            queue_timeout: Duration::from_secs(30),
+            policy: SchedulePolicy::Fifo,
+            result_cache_capacity: 64,
+            bloom_cache_capacity: 32,
+            sample_blocks: 4,
+        }
+    }
+}
+
+/// One query submission.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    pub query: HybridQuery,
+    /// Force a specific algorithm; `None` lets the advisor choose from the
+    /// sampled estimates.
+    pub algorithm: Option<JoinAlgorithm>,
+}
+
+impl QueryRequest {
+    pub fn new(query: HybridQuery) -> QueryRequest {
+        QueryRequest {
+            query,
+            algorithm: None,
+        }
+    }
+
+    pub fn with_algorithm(query: HybridQuery, algorithm: JoinAlgorithm) -> QueryRequest {
+        QueryRequest {
+            query,
+            algorithm: Some(algorithm),
+        }
+    }
+}
+
+/// A completed query with its latency accounting.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Final `(group, agg…)` batch, sorted by group key.
+    pub result: Arc<Batch>,
+    /// The algorithm that produced the result (for a cache hit: the one
+    /// that produced the cached entry).
+    pub algorithm: JoinAlgorithm,
+    /// Served from the result cache — no execution happened.
+    pub from_cache: bool,
+    /// The scheduler's cost estimate for `algorithm`, when one exists.
+    pub estimated_cost: Option<f64>,
+    /// Submission → admission (estimation + queueing).
+    pub queue_wait: Duration,
+    /// Admission → result.
+    pub exec_time: Duration,
+    /// Submission → result (what the client observed).
+    pub latency: Duration,
+    /// Movement digest of this query's own execution (None for hits).
+    pub summary: Option<JoinSummary>,
+    /// This query's isolated counters (None for hits).
+    pub snapshot: Option<MetricsSnapshot>,
+}
+
+/// The multi-tenant query service. All methods take `&self`; one instance
+/// is shared across client threads.
+pub struct QueryService {
+    root: RwLock<HybridSystem>,
+    cfg: ServiceConfig,
+    /// Handle to the root system's registry: service-level counters
+    /// (`svc.*`), cache counters, and the global fabric totals live here.
+    metrics: Metrics,
+    results: ResultCache,
+    sched: sched::Scheduler,
+    /// Monotone submission sequence; also yields each query's fabric
+    /// namespace (`seq + 1` — namespace 0 is the root).
+    next_seq: AtomicU64,
+    latency_us: Histogram,
+    queue_us: Histogram,
+    exec_us: Histogram,
+}
+
+impl QueryService {
+    /// Wrap `system` in a service. Loaded tables carry over; the Bloom
+    /// cache is enabled on the system per `cfg`.
+    pub fn new(mut system: HybridSystem, cfg: ServiceConfig) -> QueryService {
+        system.enable_bloom_cache(cfg.bloom_cache_capacity);
+        let metrics = system.metrics.clone();
+        for name in [
+            "svc.submitted",
+            "svc.completed",
+            "svc.rejected",
+            "svc.timed_out",
+            "svc.failed",
+        ] {
+            metrics.register(name);
+        }
+        let results = ResultCache::new(cfg.result_cache_capacity, metrics.clone());
+        let sched = sched::Scheduler::new(
+            cfg.max_in_flight,
+            cfg.max_queued,
+            cfg.queue_timeout,
+            cfg.policy,
+        );
+        QueryService {
+            root: RwLock::new(system),
+            cfg,
+            metrics,
+            results,
+            sched,
+            next_seq: AtomicU64::new(0),
+            latency_us: Histogram::new(),
+            queue_us: Histogram::new(),
+            exec_us: Histogram::new(),
+        }
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The root registry: `svc.*` counters, cache hit/miss/eviction
+    /// counters, and global `net.*` totals (for fabric-carried link
+    /// classes, the exact sum over all sessions).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Read access to the shared system (reference runs, test assertions).
+    pub fn system(&self) -> RwLockReadGuard<'_, HybridSystem> {
+        self.root.read()
+    }
+
+    /// (in-flight, queued) right now.
+    pub fn load(&self) -> (usize, usize) {
+        self.sched.load()
+    }
+
+    /// Total submission→result latency distribution, in microseconds.
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        self.latency_us.snapshot()
+    }
+
+    /// Submission→admission wait distribution, in microseconds.
+    pub fn queue_histogram(&self) -> HistogramSnapshot {
+        self.queue_us.snapshot()
+    }
+
+    /// Admission→result execution distribution, in microseconds.
+    pub fn exec_histogram(&self) -> HistogramSnapshot {
+        self.exec_us.snapshot()
+    }
+
+    /// Submit a query and block until it completes (or is rejected or
+    /// times out). Safe to call from any number of client threads.
+    pub fn submit(&self, req: &QueryRequest) -> Result<QueryResponse, ServiceError> {
+        let start = Instant::now();
+        self.metrics.add("svc.submitted", 1);
+
+        // Serve identical queries straight from the result cache — no
+        // admission slot is consumed, no execution happens.
+        if let Some(hit) = self.results.get(&req.query) {
+            let latency = start.elapsed();
+            self.latency_us.record(latency.as_micros() as u64);
+            self.queue_us.record(0);
+            self.exec_us.record(0);
+            self.metrics.add("svc.completed", 1);
+            return Ok(QueryResponse {
+                result: hit.result,
+                algorithm: hit.algorithm,
+                from_cache: true,
+                estimated_cost: None,
+                queue_wait: Duration::ZERO,
+                exec_time: Duration::ZERO,
+                latency,
+                summary: None,
+                snapshot: None,
+            });
+        }
+
+        // Estimate cost and pick the algorithm (advisor unless forced).
+        let (algorithm, estimated_cost) = {
+            let sys = self.root.read();
+            let stats = sample_stats(&sys, &req.query, self.cfg.sample_blocks)?;
+            let est = stats.to_estimates(&req.query, sys.config.jen_workers);
+            drop(sys);
+            let costs = estimated_costs(&est);
+            let algorithm = req.algorithm.unwrap_or_else(|| advise(&est));
+            let cost = costs.iter().find(|(a, _)| *a == algorithm).map(|&(_, c)| c);
+            (algorithm, cost)
+        };
+
+        // Admission: blocks until a slot is granted, the queue is full, or
+        // the timeout expires.
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let queue_wait = match self.sched.admit(seq, estimated_cost.unwrap_or(f64::MAX)) {
+            Ok(_) => start.elapsed(),
+            Err(e) => {
+                match &e {
+                    ServiceError::Rejected { .. } => self.metrics.add("svc.rejected", 1),
+                    _ => self.metrics.add("svc.timed_out", 1),
+                }
+                return Err(e);
+            }
+        };
+
+        // Execute on a private session. The root lock is held only while
+        // the session is created (a handful of Arc bumps); execution runs
+        // entirely on session-owned state.
+        let exec_start = Instant::now();
+        let run_result = (|| {
+            let mut session = self.root.read().session(seq + 1)?;
+            let out = run(&mut session, &req.query, algorithm);
+            session.close_session();
+            out
+        })();
+        self.sched.release();
+        let out = match run_result {
+            Ok(out) => out,
+            Err(e) => {
+                self.metrics.add("svc.failed", 1);
+                return Err(ServiceError::Exec(e));
+            }
+        };
+
+        let exec_time = exec_start.elapsed();
+        let latency = start.elapsed();
+        let result = Arc::new(out.result);
+        self.results.insert(
+            &req.query,
+            CachedResult {
+                result: Arc::clone(&result),
+                algorithm,
+            },
+        );
+        self.latency_us.record(latency.as_micros() as u64);
+        self.queue_us.record(queue_wait.as_micros() as u64);
+        self.exec_us.record(exec_time.as_micros() as u64);
+        self.metrics.add("svc.completed", 1);
+        Ok(QueryResponse {
+            result,
+            algorithm,
+            from_cache: false,
+            estimated_cost,
+            queue_wait,
+            exec_time,
+            latency,
+            summary: Some(out.summary),
+            snapshot: Some(out.snapshot),
+        })
+    }
+
+    /// Load (or rewrite) a database table through the service: takes the
+    /// writer lock, invalidates cached Bloom filters (inside the system)
+    /// and cached results over the table.
+    pub fn load_db_table(
+        &self,
+        name: &str,
+        dist_col: usize,
+        data: Batch,
+    ) -> Result<(), HybridError> {
+        self.root.write().load_db_table(name, dist_col, data)?;
+        self.results.invalidate_table(name);
+        Ok(())
+    }
+
+    /// Build a covering index on a database table.
+    pub fn create_db_index(&self, table: &str, base_cols: &[usize]) -> Result<(), HybridError> {
+        self.root.write().create_db_index(table, base_cols)
+    }
+
+    /// Load (or rewrite) an HDFS table through the service, invalidating
+    /// cached results over it. (`BF_DB` entries only depend on database
+    /// tables and survive.)
+    pub fn load_hdfs_table(
+        &self,
+        name: &str,
+        format: hybrid_storage::FileFormat,
+        schema: Schema,
+        data: &Batch,
+    ) -> Result<(), HybridError> {
+        self.root
+            .write()
+            .load_hdfs_table(name, format, schema, data)?;
+        self.results.invalidate_table(name);
+        Ok(())
+    }
+}

@@ -1,0 +1,80 @@
+//! The cross-query *result* cache.
+//!
+//! Keyed by the normalized query fingerprint
+//! ([`hybrid_core::cache::query_fingerprint`]): every semantic field of the
+//! query, independent of which algorithm executes it — all algorithms are
+//! bit-identical on the same query, so a cached result is exactly what any
+//! execution would return. Entries remember both table names so a rewrite
+//! of either side evicts them ([`ResultCache::invalidate_table`]).
+
+use hybrid_common::batch::Batch;
+use hybrid_common::cache::LruCache;
+use hybrid_common::metrics::Metrics;
+use hybrid_core::cache::query_fingerprint;
+use hybrid_core::{HybridQuery, JoinAlgorithm};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ResultKey {
+    fingerprint: String,
+    db_table: String,
+    hdfs_table: String,
+}
+
+impl ResultKey {
+    fn of(query: &HybridQuery) -> ResultKey {
+        ResultKey {
+            fingerprint: query_fingerprint(query),
+            db_table: query.db_table.clone(),
+            hdfs_table: query.hdfs_table.clone(),
+        }
+    }
+}
+
+/// A cached final result plus the algorithm that produced it (reported so
+/// hit responses stay self-describing).
+#[derive(Clone)]
+pub struct CachedResult {
+    pub result: Arc<Batch>,
+    pub algorithm: JoinAlgorithm,
+}
+
+/// Capacity-bounded LRU over final query results. Counters land under
+/// `svc.cache.result.*` in the service's root registry.
+#[derive(Clone)]
+pub struct ResultCache {
+    lru: LruCache<ResultKey, CachedResult>,
+}
+
+impl ResultCache {
+    pub const METRIC_PREFIX: &'static str = "svc.cache.result";
+
+    pub fn new(capacity: usize, metrics: Metrics) -> ResultCache {
+        ResultCache {
+            lru: LruCache::new(Self::METRIC_PREFIX, capacity, metrics),
+        }
+    }
+
+    pub fn get(&self, query: &HybridQuery) -> Option<CachedResult> {
+        self.lru.get(&ResultKey::of(query))
+    }
+
+    pub fn insert(&self, query: &HybridQuery, cached: CachedResult) {
+        self.lru.insert(ResultKey::of(query), cached);
+    }
+
+    /// Drop every result that read `table` (on either side). Returns how
+    /// many entries died.
+    pub fn invalidate_table(&self, table: &str) -> usize {
+        self.lru
+            .invalidate_if(|k| k.db_table == table || k.hdfs_table == table)
+    }
+
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+}

@@ -1,0 +1,272 @@
+//! Admission control and scheduling for the query service.
+//!
+//! The controller enforces two bounds: at most `max_in_flight` queries
+//! executing and at most `max_queued` queries waiting. A submission beyond
+//! both is **rejected** immediately (typed [`ServiceError::Rejected`]); a
+//! queued submission that cannot start within `queue_timeout` **times
+//! out** ([`ServiceError::TimedOut`]). Within the queue, the scheduling
+//! policy decides who runs next when a slot frees:
+//!
+//! * [`SchedulePolicy::Fifo`] — arrival order;
+//! * [`SchedulePolicy::Sjf`] — shortest estimated cost first (the cost
+//!   comes from the `costmodel`/`estimation` path, computed per query at
+//!   submission), with arrival order breaking ties.
+//!
+//! New arrivals never barge past waiters: a query is only fast-pathed into
+//! a slot when the queue is empty. That keeps FIFO strictly fair and
+//! bounds SJF's starvation to the queue timeout.
+
+use crate::ServiceError;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which waiting query runs when an execution slot frees up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Arrival order.
+    #[default]
+    Fifo,
+    /// Shortest estimated cost first; arrival order breaks ties.
+    Sjf,
+}
+
+impl SchedulePolicy {
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulePolicy::Fifo => "fifo",
+            SchedulePolicy::Sjf => "sjf",
+        }
+    }
+
+    /// Parse the bench-driver spelling.
+    pub fn parse(s: &str) -> Option<SchedulePolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "fifo" => Some(SchedulePolicy::Fifo),
+            "sjf" => Some(SchedulePolicy::Sjf),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ticket {
+    seq: u64,
+    cost: f64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    in_flight: usize,
+    queue: Vec<Ticket>,
+}
+
+/// The admission controller + scheduler. `admit` blocks the calling client
+/// thread (the service is closed-loop: clients are the executors) until a
+/// slot is granted or a typed error says why not.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    max_in_flight: usize,
+    max_queued: usize,
+    queue_timeout: Duration,
+    policy: SchedulePolicy,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    pub fn new(
+        max_in_flight: usize,
+        max_queued: usize,
+        queue_timeout: Duration,
+        policy: SchedulePolicy,
+    ) -> Scheduler {
+        Scheduler {
+            max_in_flight: max_in_flight.max(1),
+            max_queued,
+            queue_timeout,
+            policy,
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The waiting ticket the policy would start next.
+    fn chosen(&self, queue: &[Ticket]) -> Option<u64> {
+        match self.policy {
+            SchedulePolicy::Fifo => queue.iter().map(|t| t.seq).min(),
+            SchedulePolicy::Sjf => queue
+                .iter()
+                .min_by(|a, b| {
+                    a.cost
+                        .partial_cmp(&b.cost)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.seq.cmp(&b.seq))
+                })
+                .map(|t| t.seq),
+        }
+    }
+
+    /// Wait for an execution slot. Returns how long the query queued.
+    /// `cost` is the scheduler's estimate for this query (ignored under
+    /// FIFO); `seq` must be unique and monotone with submission order.
+    pub fn admit(&self, seq: u64, cost: f64) -> Result<Duration, ServiceError> {
+        let start = Instant::now();
+        let mut st = self.state.lock().expect("scheduler mutex poisoned");
+        // Fast path only when nobody is waiting — no barging.
+        if st.in_flight < self.max_in_flight && st.queue.is_empty() {
+            st.in_flight += 1;
+            return Ok(Duration::ZERO);
+        }
+        if st.queue.len() >= self.max_queued {
+            return Err(ServiceError::Rejected {
+                queued: st.queue.len(),
+                max_queued: self.max_queued,
+            });
+        }
+        st.queue.push(Ticket { seq, cost });
+        loop {
+            if st.in_flight < self.max_in_flight && self.chosen(&st.queue) == Some(seq) {
+                st.queue.retain(|t| t.seq != seq);
+                st.in_flight += 1;
+                return Ok(start.elapsed());
+            }
+            let waited = start.elapsed();
+            if waited >= self.queue_timeout {
+                st.queue.retain(|t| t.seq != seq);
+                // Our departure may make a different waiter eligible.
+                self.cv.notify_all();
+                return Err(ServiceError::TimedOut { waited });
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, self.queue_timeout - waited)
+                .expect("scheduler mutex poisoned");
+            st = guard;
+        }
+    }
+
+    /// Give an execution slot back (the query finished or failed).
+    pub fn release(&self) {
+        let mut st = self.state.lock().expect("scheduler mutex poisoned");
+        debug_assert!(st.in_flight > 0, "release without admit");
+        st.in_flight = st.in_flight.saturating_sub(1);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// (in-flight, queued) right now — observability for the driver.
+    pub fn load(&self) -> (usize, usize) {
+        let st = self.state.lock().expect("scheduler mutex poisoned");
+        (st.in_flight, st.queue.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sched(policy: SchedulePolicy, max_queued: usize) -> Arc<Scheduler> {
+        Arc::new(Scheduler::new(
+            1,
+            max_queued,
+            Duration::from_secs(5),
+            policy,
+        ))
+    }
+
+    #[test]
+    fn fast_path_counts_in_flight() {
+        let s = sched(SchedulePolicy::Fifo, 4);
+        assert_eq!(s.admit(0, 1.0).unwrap(), Duration::ZERO);
+        assert_eq!(s.load(), (1, 0));
+        s.release();
+        assert_eq!(s.load(), (0, 0));
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let s = sched(SchedulePolicy::Fifo, 0);
+        s.admit(0, 1.0).unwrap();
+        match s.admit(1, 1.0) {
+            Err(ServiceError::Rejected { queued, max_queued }) => {
+                assert_eq!((queued, max_queued), (0, 0));
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        s.release();
+    }
+
+    #[test]
+    fn queued_submission_times_out() {
+        let s = Arc::new(Scheduler::new(
+            1,
+            4,
+            Duration::from_millis(50),
+            SchedulePolicy::Fifo,
+        ));
+        s.admit(0, 1.0).unwrap();
+        match s.admit(1, 1.0) {
+            Err(ServiceError::TimedOut { waited }) => {
+                assert!(waited >= Duration::from_millis(50));
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert_eq!(s.load(), (1, 0), "timed-out ticket must leave the queue");
+        s.release();
+    }
+
+    /// Park `n` waiters with the given costs behind an occupied slot, then
+    /// release slots one at a time and observe the start order.
+    fn start_order(policy: SchedulePolicy, costs: &[f64]) -> Vec<u64> {
+        let s = sched(policy, costs.len());
+        s.admit(0, 0.0).unwrap();
+        let started = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for (i, &cost) in costs.iter().enumerate() {
+            let seq = (i + 1) as u64;
+            let s2 = Arc::clone(&s);
+            let started2 = Arc::clone(&started);
+            // Stagger spawns so seq order == arrival order.
+            while s.load().1 < i {
+                std::thread::yield_now();
+            }
+            handles.push(std::thread::spawn(move || {
+                s2.admit(seq, cost).unwrap();
+                started2.lock().unwrap().push(seq);
+                s2.release();
+            }));
+        }
+        while s.load().1 < costs.len() {
+            std::thread::yield_now();
+        }
+        s.release(); // waiters drain one slot at a time
+        for h in handles {
+            h.join().unwrap();
+        }
+        Arc::try_unwrap(started).unwrap().into_inner().unwrap()
+    }
+
+    #[test]
+    fn fifo_starts_in_arrival_order() {
+        assert_eq!(
+            start_order(SchedulePolicy::Fifo, &[3.0, 2.0, 1.0]),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn sjf_starts_cheapest_first() {
+        assert_eq!(
+            start_order(SchedulePolicy::Sjf, &[3.0, 1.0, 2.0]),
+            vec![2, 3, 1]
+        );
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        assert_eq!(SchedulePolicy::parse("fifo"), Some(SchedulePolicy::Fifo));
+        assert_eq!(SchedulePolicy::parse("SJF"), Some(SchedulePolicy::Sjf));
+        assert_eq!(SchedulePolicy::parse("lifo"), None);
+    }
+}

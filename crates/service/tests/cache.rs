@@ -1,0 +1,181 @@
+//! Cross-query cache behavior through the service API: hits are
+//! bit-identical to cold runs, eviction is LRU-consistent, and table
+//! rewrites force re-execution (all asserted via the hit/miss counters).
+
+use hybrid_core::reference::run_reference;
+use hybrid_core::{HybridQuery, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::tables::l_cols;
+use hybrid_datagen::{Workload, WorkloadSpec};
+use hybrid_service::{QueryRequest, QueryService, ServiceConfig};
+use hybrid_storage::FileFormat;
+
+fn service(cfg: ServiceConfig) -> (QueryService, Workload) {
+    let w = WorkloadSpec::tiny().generate().unwrap();
+    let mut syscfg = SystemConfig::paper_shape(2, 3);
+    syscfg.rows_per_block = 1000;
+    let mut sys = HybridSystem::new(syscfg).unwrap();
+    w.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    (QueryService::new(sys, cfg), w)
+}
+
+/// The workload query with a different HDFS-side correlated threshold —
+/// same database side (same `BF_DB`), different result.
+fn variant(w: &Workload, l_cor: i64) -> HybridQuery {
+    use hybrid_common::expr::Expr;
+    let mut q = w.query();
+    q.hdfs_pred = Expr::col_le(l_cols::COR_PRED, l_cor)
+        .and(Expr::col_le(l_cols::IND_PRED, w.thresholds.l_ind));
+    q
+}
+
+#[test]
+fn result_cache_hit_is_bit_identical_to_cold_run() {
+    let (svc, w) = service(ServiceConfig::default());
+    let req = QueryRequest::new(w.query());
+    let expected = run_reference(&w.t, &w.l, &w.query()).unwrap();
+
+    let cold = svc.submit(&req).unwrap();
+    assert!(!cold.from_cache);
+    assert_eq!(*cold.result, expected);
+    assert!(cold.snapshot.is_some() && cold.summary.is_some());
+
+    let hit = svc.submit(&req).unwrap();
+    assert!(hit.from_cache);
+    assert_eq!(*hit.result, expected, "hit must be bit-identical");
+    assert_eq!(hit.algorithm, cold.algorithm);
+    assert!(hit.snapshot.is_none(), "nothing executed on a hit");
+
+    let m = svc.metrics();
+    assert_eq!(m.get("svc.cache.result.hits"), 1);
+    assert_eq!(m.get("svc.cache.result.misses"), 1);
+    assert_eq!(m.get("svc.completed"), 2);
+    assert_eq!(svc.latency_histogram().count(), 2);
+}
+
+#[test]
+fn result_cache_eviction_is_lru_consistent() {
+    let cfg = ServiceConfig {
+        result_cache_capacity: 2,
+        ..ServiceConfig::default()
+    };
+    let (svc, w) = service(cfg);
+    let th = w.thresholds.l_cor;
+    let q1 = QueryRequest::new(variant(&w, th));
+    let q2 = QueryRequest::new(variant(&w, th - 1));
+    let q3 = QueryRequest::new(variant(&w, th - 2));
+    let m = svc.metrics().clone();
+
+    svc.submit(&q1).unwrap();
+    svc.submit(&q2).unwrap();
+    assert_eq!(m.get("svc.cache.result.evictions"), 0);
+    svc.submit(&q3).unwrap(); // capacity 2: q1 is the LRU victim
+    assert_eq!(m.get("svc.cache.result.evictions"), 1);
+
+    assert!(svc.submit(&q3).unwrap().from_cache, "q3 is resident");
+    assert!(svc.submit(&q2).unwrap().from_cache, "q2 is resident");
+    let r1 = svc.submit(&q1).unwrap();
+    assert!(!r1.from_cache, "evicted entry must re-execute");
+    // re-inserting q1 evicts the then-LRU entry (q3)
+    assert_eq!(m.get("svc.cache.result.evictions"), 2);
+    assert!(!svc.submit(&q3).unwrap().from_cache);
+    // every re-execution still returns the exact answer
+    assert_eq!(*r1.result, run_reference(&w.t, &w.l, &q1.query).unwrap());
+}
+
+#[test]
+fn bloom_cache_shared_across_distinct_queries() {
+    let (svc, w) = service(ServiceConfig::default());
+    let alg = JoinAlgorithm::Repartition { bloom: true };
+    let th = w.thresholds.l_cor;
+    let q1 = QueryRequest::with_algorithm(variant(&w, th), alg);
+    let q2 = QueryRequest::with_algorithm(variant(&w, th - 1), alg);
+
+    let r1 = svc.submit(&q1).unwrap();
+    let m = svc.metrics();
+    assert_eq!(m.get("svc.cache.bloom.misses"), 1);
+    assert_eq!(m.get("svc.cache.bloom.insertions"), 1);
+
+    let r2 = svc.submit(&q2).unwrap();
+    assert!(!r2.from_cache, "different query: not a result-cache hit");
+    assert_eq!(
+        m.get("svc.cache.bloom.hits"),
+        1,
+        "same database side: BF_DB must be reused"
+    );
+    assert_eq!(*r1.result, run_reference(&w.t, &w.l, &q1.query).unwrap());
+    assert_eq!(*r2.result, run_reference(&w.t, &w.l, &q2.query).unwrap());
+}
+
+#[test]
+fn table_rewrite_invalidates_both_caches_and_forces_reexecution() {
+    let (svc, w) = service(ServiceConfig::default());
+    let alg = JoinAlgorithm::Repartition { bloom: true };
+    let req = QueryRequest::with_algorithm(w.query(), alg);
+    let expected = run_reference(&w.t, &w.l, &w.query()).unwrap();
+
+    svc.submit(&req).unwrap();
+    assert!(svc.submit(&req).unwrap().from_cache);
+
+    // Rewrite T (same data): every cached artifact over T is stale.
+    svc.load_db_table("T", hybrid_datagen::tables::t_cols::UNIQ_KEY, w.t.clone())
+        .unwrap();
+    let m = svc.metrics();
+    assert!(m.get("svc.cache.result.invalidations") >= 1);
+    assert!(m.get("svc.cache.bloom.invalidations") >= 1);
+
+    let after = svc.submit(&req).unwrap();
+    assert!(!after.from_cache, "invalidation must force re-execution");
+    assert_eq!(m.get("svc.cache.result.misses"), 2);
+    assert_eq!(
+        m.get("svc.cache.bloom.misses"),
+        2,
+        "BF_DB rebuilt after rewrite"
+    );
+    assert_eq!(*after.result, expected, "same data: same answer");
+}
+
+#[test]
+fn hdfs_rewrite_invalidates_results_but_keeps_bloom() {
+    let (svc, w) = service(ServiceConfig::default());
+    let alg = JoinAlgorithm::Repartition { bloom: true };
+    let req = QueryRequest::with_algorithm(w.query(), alg);
+
+    svc.submit(&req).unwrap();
+    svc.load_hdfs_table(
+        "L",
+        FileFormat::Columnar,
+        hybrid_datagen::tables::l_schema(),
+        &w.l,
+    )
+    .unwrap();
+    let m = svc.metrics();
+    assert!(m.get("svc.cache.result.invalidations") >= 1);
+    assert_eq!(
+        m.get("svc.cache.bloom.invalidations"),
+        0,
+        "BF_DB only depends on the database table"
+    );
+    let after = svc.submit(&req).unwrap();
+    assert!(!after.from_cache);
+    assert_eq!(
+        m.get("svc.cache.bloom.hits"),
+        1,
+        "filter survives an L rewrite"
+    );
+}
+
+#[test]
+fn disabled_caches_always_execute() {
+    let cfg = ServiceConfig {
+        result_cache_capacity: 0,
+        bloom_cache_capacity: 0,
+        ..ServiceConfig::default()
+    };
+    let (svc, w) = service(cfg);
+    let req = QueryRequest::new(w.query());
+    assert!(!svc.submit(&req).unwrap().from_cache);
+    assert!(!svc.submit(&req).unwrap().from_cache);
+    let m = svc.metrics();
+    assert_eq!(m.get("svc.cache.result.hits"), 0);
+    assert_eq!(m.get("svc.cache.result.insertions"), 0);
+}

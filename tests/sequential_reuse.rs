@@ -1,0 +1,88 @@
+//! Global-state reuse contract: running queries back-to-back on one
+//! `HybridSystem` must be observationally identical to running each on a
+//! fresh system — same results, same per-query metric deltas (`run()`
+//! resets the registry, so each `RunOutput::snapshot` *is* the delta).
+//! Sessions carved off one root system must satisfy the same contract.
+
+use hybrid_common::expr::Expr;
+use hybrid_core::reference::run_reference;
+use hybrid_core::{run, HybridQuery, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::tables::l_cols;
+use hybrid_datagen::{Workload, WorkloadSpec};
+use hybrid_storage::FileFormat;
+
+fn system(workload: &Workload) -> HybridSystem {
+    let mut cfg = SystemConfig::paper_shape(2, 3);
+    cfg.rows_per_block = 1000;
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    sys
+}
+
+/// The workload query with a tighter HDFS-side predicate (distinct result).
+fn variant(w: &Workload, l_cor: i64) -> HybridQuery {
+    let mut q = w.query();
+    q.hdfs_pred = Expr::col_le(l_cols::COR_PRED, l_cor)
+        .and(Expr::col_le(l_cols::IND_PRED, w.thresholds.l_ind));
+    q
+}
+
+#[test]
+fn reused_system_matches_fresh_system_per_query() {
+    let w = WorkloadSpec::tiny().generate().unwrap();
+    let queries = [w.query(), variant(&w, w.thresholds.l_cor - 1)];
+    let mut shared = system(&w);
+
+    for alg in JoinAlgorithm::paper_variants() {
+        for query in &queries {
+            let reused = run(&mut shared, query, alg).unwrap();
+            let fresh = run(&mut system(&w), query, alg).unwrap();
+            assert_eq!(
+                reused.result, fresh.result,
+                "{alg} result differs on a reused system"
+            );
+            assert_eq!(
+                reused.snapshot, fresh.snapshot,
+                "{alg} per-query metric delta differs on a reused system"
+            );
+            assert_eq!(
+                reused.result,
+                run_reference(&w.t, &w.l, query).unwrap(),
+                "{alg} wrong answer"
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_back_to_back_runs_are_identical() {
+    let w = WorkloadSpec::tiny().generate().unwrap();
+    let query = w.query();
+    let mut sys = system(&w);
+    for alg in JoinAlgorithm::paper_variants() {
+        let first = run(&mut sys, &query, alg).unwrap();
+        let second = run(&mut sys, &query, alg).unwrap();
+        assert_eq!(first.result, second.result, "{alg} result drifted");
+        assert_eq!(first.snapshot, second.snapshot, "{alg} metrics drifted");
+    }
+}
+
+#[test]
+fn sessions_match_fresh_systems_per_query() {
+    let w = WorkloadSpec::tiny().generate().unwrap();
+    let root = system(&w);
+    let query = w.query();
+
+    for (i, alg) in JoinAlgorithm::paper_variants().into_iter().enumerate() {
+        let mut session = root.session(i as u64 + 1).unwrap();
+        let out = run(&mut session, &query, alg).unwrap();
+        session.close_session();
+
+        let fresh = run(&mut system(&w), &query, alg).unwrap();
+        assert_eq!(out.result, fresh.result, "{alg} session result differs");
+        assert_eq!(
+            out.snapshot, fresh.snapshot,
+            "{alg} session metric delta differs"
+        );
+    }
+}
