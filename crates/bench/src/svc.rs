@@ -80,6 +80,8 @@ pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Inserts dropped because the table was rewritten mid-execution.
+    pub stale_inserts: u64,
 }
 
 impl CacheStats {
@@ -88,6 +90,7 @@ impl CacheStats {
             hits: metrics.get(&format!("{prefix}.hits")),
             misses: metrics.get(&format!("{prefix}.misses")),
             evictions: metrics.get(&format!("{prefix}.evictions")),
+            stale_inserts: metrics.get(&format!("{prefix}.stale_inserts")),
         }
     }
 
@@ -122,10 +125,11 @@ impl ServeReport {
         };
         let cache = |c: &CacheStats| {
             format!(
-                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.4}}}",
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"stale_inserts\":{},\"hit_rate\":{:.4}}}",
                 c.hits,
                 c.misses,
                 c.evictions,
+                c.stale_inserts,
                 c.hit_rate()
             )
         };

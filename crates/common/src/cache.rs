@@ -15,6 +15,49 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::sync::{Arc, Mutex};
 
+/// Per-table load generations: a monotone counter bumped every time a
+/// table is (re)loaded. Clones share state.
+///
+/// Caches keyed by table contents snapshot the generation *before* reading
+/// the table and hand it back at insert time
+/// ([`LruCache::insert_if`] evaluates the comparison under the cache's own
+/// lock). That closes the TOCTOU race between invalidation and a slow
+/// producer: a query that read pre-rewrite data (sessions share table
+/// state via `Arc`, so an in-flight execution keeps seeing the old
+/// partitions) finishes *after* the rewrite's `invalidate_if` ran, and
+/// without the check its insert would resurrect stale bytes that no later
+/// rewrite will ever evict.
+#[derive(Debug, Clone, Default)]
+pub struct TableGenerations {
+    inner: Arc<Mutex<HashMap<String, u64>>>,
+}
+
+impl TableGenerations {
+    pub fn new() -> TableGenerations {
+        TableGenerations::default()
+    }
+
+    /// Current generation of `table` (0 if it was never loaded).
+    pub fn get(&self, table: &str) -> u64 {
+        *self
+            .inner
+            .lock()
+            .expect("generations mutex poisoned")
+            .get(table)
+            .unwrap_or(&0)
+    }
+
+    /// Record a (re)load of `table`; returns the new generation. Call this
+    /// *after* the new data is visible and *before* invalidating caches,
+    /// so an insert that still sees the old generation is provably stale.
+    pub fn bump(&self, table: &str) -> u64 {
+        let mut g = self.inner.lock().expect("generations mutex poisoned");
+        let gen = g.entry(table.to_string()).or_insert(0);
+        *gen += 1;
+        *gen
+    }
+}
+
 struct LruInner<K, V> {
     /// key -> (value, recency stamp)
     map: HashMap<K, (V, u64)>,
@@ -40,6 +83,7 @@ pub struct LruCache<K, V> {
     ctr_insertions: CounterId,
     ctr_evictions: CounterId,
     ctr_invalidations: CounterId,
+    ctr_stale_inserts: CounterId,
 }
 
 impl<K, V> Clone for LruCache<K, V> {
@@ -53,6 +97,7 @@ impl<K, V> Clone for LruCache<K, V> {
             ctr_insertions: self.ctr_insertions,
             ctr_evictions: self.ctr_evictions,
             ctr_invalidations: self.ctr_invalidations,
+            ctr_stale_inserts: self.ctr_stale_inserts,
         }
     }
 }
@@ -73,6 +118,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             ctr_insertions: metrics.register(&format!("{prefix}.insertions")),
             ctr_evictions: metrics.register(&format!("{prefix}.evictions")),
             ctr_invalidations: metrics.register(&format!("{prefix}.invalidations")),
+            ctr_stale_inserts: metrics.register(&format!("{prefix}.stale_inserts")),
             metrics,
         }
     }
@@ -113,11 +159,27 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     /// Insert (or replace) `key`, evicting the LRU entry when over
     /// capacity. Dropped silently when the cache is disabled (capacity 0).
     pub fn insert(&self, key: K, value: V) {
+        self.insert_if(key, value, || true);
+    }
+
+    /// [`LruCache::insert`], but only when `still_valid` — evaluated while
+    /// holding the cache's internal lock — returns true. Because
+    /// `invalidate_if` serializes through the same lock, a check comparing
+    /// a generation snapshot taken before the value was produced against
+    /// the current [`TableGenerations`] cannot race an invalidation:
+    /// either the insert lands first (and the invalidation removes it) or
+    /// it observes the bumped generation (and is dropped, counted under
+    /// `{prefix}.stale_inserts`). Returns whether the entry landed.
+    pub fn insert_if<F: FnOnce() -> bool>(&self, key: K, value: V, still_valid: F) -> bool {
         if self.capacity == 0 {
-            return;
+            return false;
         }
         let mut g = self.inner.lock().expect("lru mutex poisoned");
         let g = &mut *g;
+        if !still_valid() {
+            self.metrics.incr_id(self.ctr_stale_inserts);
+            return false;
+        }
         if let Some((_, old_stamp)) = g.map.remove(&key) {
             g.order.remove(&old_stamp);
         }
@@ -132,6 +194,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             g.map.remove(&victim);
             self.metrics.incr_id(self.ctr_evictions);
         }
+        true
     }
 
     /// Drop every entry for which `dead` returns true (explicit
@@ -235,6 +298,48 @@ mod tests {
         c.insert("a".into(), 1);
         assert_eq!(c.get(&"a".into()), None);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insert_if_drops_stale_and_counts() {
+        let (c, m) = cache(4);
+        assert!(c.insert_if("a".into(), 1, || true));
+        assert!(!c.insert_if("b".into(), 2, || false));
+        assert_eq!(c.get(&"a".into()), Some(1));
+        assert_eq!(c.get(&"b".into()), None);
+        assert_eq!(m.get("test.cache.stale_inserts"), 1);
+        assert_eq!(m.get("test.cache.insertions"), 1);
+    }
+
+    #[test]
+    fn insert_if_on_disabled_cache_is_not_stale() {
+        let (c, m) = cache(0);
+        assert!(!c.insert_if("a".into(), 1, || true));
+        assert_eq!(m.get("test.cache.stale_inserts"), 0);
+    }
+
+    #[test]
+    fn generations_start_at_zero_and_bump_per_table() {
+        let g = TableGenerations::new();
+        assert_eq!(g.get("T"), 0);
+        assert_eq!(g.bump("T"), 1);
+        assert_eq!(g.bump("T"), 2);
+        assert_eq!(g.get("T"), 2);
+        assert_eq!(g.get("L"), 0, "tables are independent");
+        let shared = g.clone();
+        shared.bump("L");
+        assert_eq!(g.get("L"), 1, "clones share state");
+    }
+
+    #[test]
+    fn generation_snapshot_guards_insert() {
+        let (c, m) = cache(4);
+        let g = TableGenerations::new();
+        let snap = g.get("T");
+        g.bump("T"); // table rewritten while the value was being produced
+        assert!(!c.insert_if("k".into(), 1, || g.get("T") == snap));
+        assert!(c.is_empty());
+        assert_eq!(m.get("test.cache.stale_inserts"), 1);
     }
 
     #[test]

@@ -459,6 +459,11 @@ pub(crate) fn db_build_and_multicast_bloom(
             match cache.get(&key) {
                 Some(cached) => cached,
                 None => {
+                    // Snapshot the table's load generation before reading
+                    // it: if a rewrite lands mid-build (sessions keep the
+                    // old partitions alive via `Arc`), the insert below is
+                    // dropped instead of caching a pre-rewrite filter.
+                    let generation = cache.generation(&query.db_table);
                     let bf = sys.db.build_global_bloom(
                         &query.db_table,
                         &query.db_pred,
@@ -466,7 +471,7 @@ pub(crate) fn db_build_and_multicast_bloom(
                         query.bloom,
                     )?;
                     let fresh = Arc::new(bf.to_bytes());
-                    cache.insert(key, Arc::clone(&fresh));
+                    cache.insert(key, Arc::clone(&fresh), generation);
                     fresh
                 }
             }

@@ -12,10 +12,13 @@
 //! is exactly what gets multicast to the JEN workers, so a hit is
 //! bit-identical to a cold build by construction. Entries are invalidated
 //! when the underlying table is rewritten ([`BloomCache::invalidate_table`]
-//! — `HybridSystem::load_db_table` calls it automatically).
+//! — `HybridSystem::load_db_table` calls it automatically), and inserts
+//! are generation-checked: a build that started before a rewrite carries
+//! the pre-rewrite [`BloomCache::generation`] snapshot and is dropped
+//! instead of resurrecting a just-invalidated filter.
 
 use crate::query::HybridQuery;
-use hybrid_common::cache::LruCache;
+use hybrid_common::cache::{LruCache, TableGenerations};
 use hybrid_common::metrics::Metrics;
 use std::sync::Arc;
 
@@ -57,14 +60,19 @@ impl BloomKey {
 #[derive(Clone)]
 pub struct BloomCache {
     lru: LruCache<BloomKey, Arc<Vec<u8>>>,
+    /// The owning system's per-table load generations; inserts carrying a
+    /// stale generation are dropped (the filter was built from pre-rewrite
+    /// partitions an in-flight session still held via `Arc`).
+    gens: TableGenerations,
 }
 
 impl BloomCache {
     pub const METRIC_PREFIX: &'static str = "svc.cache.bloom";
 
-    pub fn new(capacity: usize, metrics: Metrics) -> BloomCache {
+    pub fn new(capacity: usize, metrics: Metrics, gens: TableGenerations) -> BloomCache {
         BloomCache {
             lru: LruCache::new(Self::METRIC_PREFIX, capacity, metrics),
+            gens,
         }
     }
 
@@ -73,8 +81,22 @@ impl BloomCache {
         self.lru.get(key)
     }
 
-    pub fn insert(&self, key: BloomKey, bytes: Arc<Vec<u8>>) {
-        self.lru.insert(key, bytes);
+    /// The load generation of `table` right now. Snapshot this *before*
+    /// reading the table to build a filter and hand it to
+    /// [`BloomCache::insert`].
+    pub fn generation(&self, table: &str) -> u64 {
+        self.gens.get(table)
+    }
+
+    /// Cache `bytes` for `key`, unless `table` was rewritten since the
+    /// caller's [`BloomCache::generation`] snapshot — a stale insert is
+    /// dropped (counted under `svc.cache.bloom.stale_inserts`) because the
+    /// filter's false negatives over post-rewrite data would silently drop
+    /// valid join rows. Returns whether the entry landed.
+    pub fn insert(&self, key: BloomKey, bytes: Arc<Vec<u8>>, generation: u64) -> bool {
+        let table = key.table.clone();
+        self.lru
+            .insert_if(key, bytes, || self.gens.get(&table) == generation)
     }
 
     /// Drop every filter built over `table` (the table was rewritten).
@@ -154,14 +176,36 @@ mod tests {
 
     #[test]
     fn invalidate_table_scopes_to_table() {
-        let c = BloomCache::new(8, Metrics::new());
+        let c = BloomCache::new(8, Metrics::new(), TableGenerations::new());
         let mut k2 = BloomKey::for_query(&query());
         k2.table = "U".into();
-        c.insert(BloomKey::for_query(&query()), Arc::new(vec![1]));
-        c.insert(k2.clone(), Arc::new(vec![2]));
+        let g_t = c.generation("T");
+        let g_u = c.generation("U");
+        assert!(c.insert(BloomKey::for_query(&query()), Arc::new(vec![1]), g_t));
+        assert!(c.insert(k2.clone(), Arc::new(vec![2]), g_u));
         assert_eq!(c.invalidate_table("T"), 1);
         assert_eq!(c.len(), 1);
         assert!(c.get(&k2).is_some());
+    }
+
+    #[test]
+    fn stale_insert_after_rewrite_is_dropped() {
+        let m = Metrics::new();
+        let gens = TableGenerations::new();
+        let c = BloomCache::new(8, m.clone(), gens.clone());
+        let key = BloomKey::for_query(&query());
+        // A slow build snapshots the generation, then the table is
+        // rewritten (invalidating nothing — the build hasn't inserted yet)
+        // before the build finishes.
+        let snap = c.generation("T");
+        gens.bump("T");
+        c.invalidate_table("T");
+        assert!(!c.insert(key.clone(), Arc::new(vec![1]), snap));
+        assert!(c.get(&key).is_none(), "pre-rewrite filter must not land");
+        assert_eq!(m.get("svc.cache.bloom.stale_inserts"), 1);
+        // A build over the rewritten data carries the new generation.
+        assert!(c.insert(key.clone(), Arc::new(vec![2]), c.generation("T")));
+        assert_eq!(c.get(&key).as_deref(), Some(&vec![2]));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The hybrid warehouse: both clusters plus the fabric between them.
 
 use hybrid_common::batch::Batch;
+use hybrid_common::cache::TableGenerations;
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::ids::JenWorkerId;
 use hybrid_common::metrics::Metrics;
@@ -124,6 +125,13 @@ pub struct HybridSystem {
     /// its filter from the table. [`HybridSystem::enable_bloom_cache`]
     /// turns it on; the query service does so at construction.
     pub bloom_cache: Option<crate::cache::BloomCache>,
+    /// Per-table load generations, shared by every session. Bumped by the
+    /// load methods after the new data is visible; cross-query caches
+    /// snapshot a generation before reading a table and drop inserts whose
+    /// generation went stale (a rewrite landed mid-execution), so an
+    /// in-flight query can never repopulate a just-invalidated cache with
+    /// pre-rewrite artifacts.
+    pub table_gens: TableGenerations,
 }
 
 impl HybridSystem {
@@ -174,6 +182,7 @@ impl HybridSystem {
             tracer,
             config,
             bloom_cache: None,
+            table_gens: TableGenerations::new(),
         })
     }
 
@@ -184,6 +193,7 @@ impl HybridSystem {
         self.bloom_cache = Some(crate::cache::BloomCache::new(
             capacity,
             self.metrics.clone(),
+            self.table_gens.clone(),
         ));
     }
 
@@ -235,6 +245,7 @@ impl HybridSystem {
             tracer,
             config: self.config.clone(),
             bloom_cache: self.bloom_cache.clone(),
+            table_gens: self.table_gens.clone(),
         })
     }
 
@@ -248,7 +259,12 @@ impl HybridSystem {
     /// on `dist_col` (the paper distributes `T` on `uniqKey`).
     pub fn load_db_table(&mut self, name: &str, dist_col: usize, data: Batch) -> Result<()> {
         self.db.load_table(name, dist_col, data)?;
-        // Rewriting a table makes every cached filter over it stale.
+        // Rewriting a table makes every cached filter over it stale. The
+        // generation bump must come after the data swap and before the
+        // invalidation: an in-flight build that read pre-rewrite data then
+        // either inserts before this invalidation (removed here) or sees
+        // the bumped generation at insert time (dropped there).
+        self.table_gens.bump(name);
         if let Some(cache) = &self.bloom_cache {
             cache.invalidate_table(name);
         }
@@ -289,6 +305,7 @@ impl HybridSystem {
             format,
             schema,
         });
+        self.table_gens.bump(name);
         Ok(())
     }
 

@@ -32,7 +32,7 @@
 mod result_cache;
 mod sched;
 
-pub use result_cache::{CachedResult, ResultCache};
+pub use result_cache::{CachedResult, GenSnapshot, ResultCache};
 pub use sched::SchedulePolicy;
 
 use hybrid_common::batch::Batch;
@@ -197,7 +197,11 @@ impl QueryService {
         ] {
             metrics.register(name);
         }
-        let results = ResultCache::new(cfg.result_cache_capacity, metrics.clone());
+        let results = ResultCache::new(
+            cfg.result_cache_capacity,
+            metrics.clone(),
+            system.table_gens.clone(),
+        );
         let sched = sched::Scheduler::new(
             cfg.max_in_flight,
             cfg.max_queued,
@@ -239,16 +243,19 @@ impl QueryService {
     }
 
     /// Total submission→result latency distribution, in microseconds.
+    /// Every completion — cache hits included — lands here.
     pub fn latency_histogram(&self) -> HistogramSnapshot {
         self.latency_us.snapshot()
     }
 
-    /// Submission→admission wait distribution, in microseconds.
+    /// Submission→admission wait distribution of *executions*, in
+    /// microseconds. Cache hits bypass admission and are not recorded.
     pub fn queue_histogram(&self) -> HistogramSnapshot {
         self.queue_us.snapshot()
     }
 
-    /// Admission→result execution distribution, in microseconds.
+    /// Admission→result execution distribution of *executions*, in
+    /// microseconds. Cache hits execute nothing and are not recorded.
     pub fn exec_histogram(&self) -> HistogramSnapshot {
         self.exec_us.snapshot()
     }
@@ -263,9 +270,10 @@ impl QueryService {
         // admission slot is consumed, no execution happens.
         if let Some(hit) = self.results.get(&req.query) {
             let latency = start.elapsed();
+            // Hits land in the total-latency histogram only: the queue and
+            // exec histograms describe executions, and recording zeros
+            // here would dilute their quantiles.
             self.latency_us.record(latency.as_micros() as u64);
-            self.queue_us.record(0);
-            self.exec_us.record(0);
             self.metrics.add("svc.completed", 1);
             return Ok(QueryResponse {
                 result: hit.result,
@@ -308,7 +316,12 @@ impl QueryService {
 
         // Execute on a private session. The root lock is held only while
         // the session is created (a handful of Arc bumps); execution runs
-        // entirely on session-owned state.
+        // entirely on session-owned state. Snapshot both tables' load
+        // generations first: a rewrite landing mid-execution makes this
+        // result stale, and the generation check inside
+        // `ResultCache::insert` then drops it instead of repopulating the
+        // just-invalidated cache.
+        let generations = self.results.generations(&req.query);
         let exec_start = Instant::now();
         let run_result = (|| {
             let mut session = self.root.read().session(seq + 1)?;
@@ -334,6 +347,7 @@ impl QueryService {
                 result: Arc::clone(&result),
                 algorithm,
             },
+            generations,
         );
         self.latency_us.record(latency.as_micros() as u64);
         self.queue_us.record(queue_wait.as_micros() as u64);

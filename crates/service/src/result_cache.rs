@@ -5,10 +5,16 @@
 //! query, independent of which algorithm executes it — all algorithms are
 //! bit-identical on the same query, so a cached result is exactly what any
 //! execution would return. Entries remember both table names so a rewrite
-//! of either side evicts them ([`ResultCache::invalidate_table`]).
+//! of either side evicts them ([`ResultCache::invalidate_table`]), and
+//! inserts are generation-checked against the system's
+//! [`TableGenerations`]: a query whose execution straddled a rewrite of
+//! either table carries a stale [`ResultCache::generations`] snapshot and
+//! its insert is dropped — otherwise it would repopulate the cache with a
+//! pre-rewrite answer *after* the rewrite's invalidation ran, and every
+//! later identical query would be served that stale result.
 
 use hybrid_common::batch::Batch;
-use hybrid_common::cache::LruCache;
+use hybrid_common::cache::{LruCache, TableGenerations};
 use hybrid_common::metrics::Metrics;
 use hybrid_core::cache::query_fingerprint;
 use hybrid_core::{HybridQuery, JoinAlgorithm};
@@ -39,19 +45,30 @@ pub struct CachedResult {
     pub algorithm: JoinAlgorithm,
 }
 
+/// A query's (db table, hdfs table) load generations, snapshotted before
+/// execution and re-checked at insert time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenSnapshot {
+    pub db: u64,
+    pub hdfs: u64,
+}
+
 /// Capacity-bounded LRU over final query results. Counters land under
 /// `svc.cache.result.*` in the service's root registry.
 #[derive(Clone)]
 pub struct ResultCache {
     lru: LruCache<ResultKey, CachedResult>,
+    /// The shared system's per-table load generations.
+    gens: TableGenerations,
 }
 
 impl ResultCache {
     pub const METRIC_PREFIX: &'static str = "svc.cache.result";
 
-    pub fn new(capacity: usize, metrics: Metrics) -> ResultCache {
+    pub fn new(capacity: usize, metrics: Metrics, gens: TableGenerations) -> ResultCache {
         ResultCache {
             lru: LruCache::new(Self::METRIC_PREFIX, capacity, metrics),
+            gens,
         }
     }
 
@@ -59,8 +76,26 @@ impl ResultCache {
         self.lru.get(&ResultKey::of(query))
     }
 
-    pub fn insert(&self, query: &HybridQuery, cached: CachedResult) {
-        self.lru.insert(ResultKey::of(query), cached);
+    /// The load generations of both of `query`'s tables right now.
+    /// Snapshot this *before* execution starts reading table data and hand
+    /// it to [`ResultCache::insert`].
+    pub fn generations(&self, query: &HybridQuery) -> GenSnapshot {
+        GenSnapshot {
+            db: self.gens.get(&query.db_table),
+            hdfs: self.gens.get(&query.hdfs_table),
+        }
+    }
+
+    /// Cache `cached` for `query`, unless either table was rewritten since
+    /// `snapshot` was taken — a stale insert is dropped (counted under
+    /// `svc.cache.result.stale_inserts`) because the result was computed
+    /// over pre-rewrite data. Returns whether the entry landed.
+    pub fn insert(&self, query: &HybridQuery, cached: CachedResult, snapshot: GenSnapshot) -> bool {
+        let key = ResultKey::of(query);
+        let (db_table, hdfs_table) = (key.db_table.clone(), key.hdfs_table.clone());
+        self.lru.insert_if(key, cached, || {
+            self.gens.get(&db_table) == snapshot.db && self.gens.get(&hdfs_table) == snapshot.hdfs
+        })
     }
 
     /// Drop every result that read `table` (on either side). Returns how

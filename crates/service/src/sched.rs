@@ -128,6 +128,15 @@ impl Scheduler {
             if st.in_flight < self.max_in_flight && self.chosen(&st.queue) == Some(seq) {
                 st.queue.retain(|t| t.seq != seq);
                 st.in_flight += 1;
+                // With slots still free and waiters still queued, the next
+                // chosen waiter may have rechecked before we left the
+                // queue (it saw itself not chosen and went back to sleep).
+                // Nobody else will notify it — a release() only fires when
+                // a query *finishes* — so wake the queue again or that
+                // waiter sleeps until its full queue timeout.
+                if st.in_flight < self.max_in_flight && !st.queue.is_empty() {
+                    self.cv.notify_all();
+                }
                 return Ok(start.elapsed());
             }
             let waited = start.elapsed();
@@ -261,6 +270,50 @@ mod tests {
             start_order(SchedulePolicy::Sjf, &[3.0, 1.0, 2.0]),
             vec![2, 3, 1]
         );
+    }
+
+    /// Regression for a missed wakeup with more than one execution slot:
+    /// two slots are occupied, two waiters queue, then both slots free in
+    /// quick succession. Both `notify_all`s can land before either waiter
+    /// runs; the non-chosen waiter then rechecks, sees itself not chosen,
+    /// and goes back to sleep — after which only the admitted winner knows
+    /// a slot is still free. Without the winner's hand-off notify the
+    /// second waiter sleeps until its full queue timeout.
+    #[test]
+    fn second_free_slot_admits_the_next_waiter_promptly() {
+        for _ in 0..20 {
+            let s = Arc::new(Scheduler::new(
+                2,
+                4,
+                Duration::from_secs(10),
+                SchedulePolicy::Fifo,
+            ));
+            s.admit(0, 0.0).unwrap();
+            s.admit(1, 0.0).unwrap();
+            let handles: Vec<_> = [2u64, 3]
+                .into_iter()
+                .map(|seq| {
+                    let s2 = Arc::clone(&s);
+                    std::thread::spawn(move || s2.admit(seq, 0.0).unwrap())
+                })
+                .collect();
+            while s.load().1 < 2 {
+                std::thread::yield_now();
+            }
+            let freed = Instant::now();
+            s.release();
+            s.release();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert!(
+                freed.elapsed() < Duration::from_secs(5),
+                "a waiter missed its wakeup and slept toward the queue timeout"
+            );
+            assert_eq!(s.load(), (2, 0), "both waiters must hold slots");
+            s.release();
+            s.release();
+        }
     }
 
     #[test]

@@ -165,6 +165,93 @@ fn hdfs_rewrite_invalidates_results_but_keeps_bloom() {
 }
 
 #[test]
+fn stale_result_insert_is_dropped_after_rewrite() {
+    use hybrid_common::cache::TableGenerations;
+    use hybrid_common::metrics::Metrics;
+    use hybrid_service::{CachedResult, ResultCache};
+    use std::sync::Arc;
+
+    let m = Metrics::new();
+    let gens = TableGenerations::new();
+    let cache = ResultCache::new(4, m.clone(), gens.clone());
+    let w = WorkloadSpec::tiny().generate().unwrap();
+    let q = w.query();
+    let entry = || CachedResult {
+        result: Arc::new(w.t.clone()),
+        algorithm: JoinAlgorithm::Repartition { bloom: true },
+    };
+
+    // A query snapshots the generations, then T is rewritten while it
+    // executes: its insert must be dropped, not land post-invalidation.
+    let snap = cache.generations(&q);
+    gens.bump(&q.db_table);
+    assert!(!cache.insert(&q, entry(), snap));
+    assert!(cache.get(&q).is_none());
+    assert_eq!(m.get("svc.cache.result.stale_inserts"), 1);
+
+    // A fresh snapshot inserts fine; a rewrite of the *HDFS* side also
+    // stales in-flight snapshots.
+    let snap = cache.generations(&q);
+    assert!(cache.insert(&q, entry(), snap));
+    gens.bump(&q.hdfs_table);
+    assert!(!cache.insert(&q, entry(), snap));
+    assert_eq!(m.get("svc.cache.result.stale_inserts"), 2);
+}
+
+/// End-to-end TOCTOU regression: rewrites race in-flight executions, and
+/// the *last* rewrite deliberately lands while queries are still running.
+/// A straggler that read pre-rewrite data (sessions pin the old partitions
+/// via `Arc`) finishes after that rewrite's invalidation; without the
+/// generation check its insert would poison the result/Bloom caches and
+/// every later identical query would be served the pre-rewrite answer.
+#[test]
+fn concurrent_rewrite_never_poisons_the_caches() {
+    use std::sync::Arc;
+
+    let (svc, w) = service(ServiceConfig::default());
+    let w2 = {
+        let mut spec = WorkloadSpec::tiny();
+        spec.seed ^= 0xDEAD_BEEF;
+        spec.generate().unwrap()
+    };
+    let svc = Arc::new(svc);
+    let req = QueryRequest::with_algorithm(w.query(), JoinAlgorithm::Repartition { bloom: true });
+    let dist = hybrid_datagen::tables::t_cols::UNIQ_KEY;
+
+    let submitter = {
+        let svc = Arc::clone(&svc);
+        let req = req.clone();
+        std::thread::spawn(move || {
+            // Mid-rewrite executions may fail or see a torn table; only
+            // the post-quiesce answers below are asserted.
+            for _ in 0..10 {
+                let _ = svc.submit(&req);
+            }
+        })
+    };
+    for i in 0..6 {
+        let t = if i % 2 == 0 { &w.t } else { &w2.t };
+        svc.load_db_table("T", dist, t.clone()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    // The final rewrite races the submitter's in-flight queries.
+    svc.load_db_table("T", dist, w2.t.clone()).unwrap();
+    submitter.join().unwrap();
+
+    // Whatever straggler inserts happened after that last rewrite carried
+    // a stale generation and were dropped, so the service must now serve
+    // the post-rewrite answer — first from execution, then from cache.
+    let expected = run_reference(&w2.t, &w.l, &w.query()).unwrap();
+    let first = svc.submit(&req).unwrap();
+    assert_eq!(*first.result, expected, "post-rewrite execution answer");
+    let second = svc.submit(&req).unwrap();
+    assert_eq!(
+        *second.result, expected,
+        "a cached answer must be post-rewrite"
+    );
+}
+
+#[test]
 fn disabled_caches_always_execute() {
     let cfg = ServiceConfig {
         result_cache_capacity: 0,
