@@ -22,6 +22,13 @@
 //! `--serve` switches to serving mode: instead of one join, N client
 //! threads drive a mixed workload through the concurrent query service
 //! (see `svc_bench` for the dedicated benchmark with all its knobs).
+//!
+//! `--chaos-seed N` (with optional `--fault-rate R`, default 0.05)
+//! installs the seeded fault plan from the chaos harness: deliveries are
+//! dropped/duplicated/delayed/reordered per the seed, sends retry with
+//! backoff, and a run that exhausts recovery reports its typed fault in
+//! the results table instead of aborting the sweep. Same seed, same
+//! faults — `hwjoin --alg all --chaos-seed 7` replays bit-identically.
 
 use hybrid_bench::report::{print_table, secs};
 use hybrid_bench::svc::{build_service_system, serve_workload, ServeOptions};
@@ -50,6 +57,7 @@ fn usage() -> ! {
         "usage: hwjoin [--alg NAME|auto|all] [--sigma-t F] [--sigma-l F] \
          [--st F] [--sl F] [--format columnar|text] [--scale tiny|small|default] \
          [--spill-limit ROWS] [--timeline PATH] [--threads N] \
+         [--chaos-seed N] [--fault-rate R] \
          [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]"
     );
     std::process::exit(2)
@@ -65,6 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut serve = false;
     let mut serve_opts = ServeOptions::default();
     let mut json_path: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut fault_rate: Option<f64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -79,6 +89,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--spill-limit" => spill_limit = Some(value().parse()?),
             "--timeline" => timeline_path = Some(value().to_string()),
             "--threads" => threads = Some(value().parse()?),
+            "--chaos-seed" => chaos_seed = Some(value().parse()?),
+            "--fault-rate" => fault_rate = Some(value().parse()?),
             "--serve" => serve = true,
             "--clients" => serve_opts.clients = value().parse()?,
             "--queries" => serve_opts.queries = value().parse()?,
@@ -152,6 +164,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("execution: {} worker thread(s)", cfg.threads);
 
+    let chaos = chaos_seed.is_some() || fault_rate.is_some();
+    if chaos {
+        let seed = chaos_seed.unwrap_or(0);
+        let rate = fault_rate.unwrap_or(0.05);
+        serve_opts.chaos_seed = seed;
+        serve_opts.fault_rate = rate;
+        serve_opts.apply_chaos(&mut cfg);
+        println!("chaos: seed {seed}, fault rate {rate}");
+    }
+
     if serve {
         let (workload, system) = build_service_system(spec, format, cfg)?;
         let report = serve_workload(&workload, system, &serve_opts)?;
@@ -191,7 +213,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let several = algorithms.len() > 1;
     let mut rows = Vec::new();
     for alg in algorithms {
-        let m = exp.run(alg)?;
+        let m = match exp.run(alg) {
+            Ok(m) => m,
+            // Under injected faults an exhausted run is a data point, not
+            // an abort: report the typed fault and keep sweeping.
+            Err(e) if chaos => {
+                let mut row = vec![alg.name().to_string(), format!("fault: {e}")];
+                row.resize(8, "-".to_string());
+                rows.push(row);
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
         if let Some(base) = &timeline_path {
             let path = if several {
                 format!("{base}.{}.json", alg.name())

@@ -5,6 +5,7 @@
 //! svc_bench [--clients N] [--queries N] [--scale tiny|small|default]
 //!           [--format columnar|text] [--policy fifo|sjf]
 //!           [--max-in-flight N] [--max-queued N] [--threads N]
+//!           [--fault-rate R] [--chaos-seed N]
 //!           [--no-verify] [--json PATH]
 //! ```
 //!
@@ -16,6 +17,12 @@
 //! the single-threaded reference implementation unless `--no-verify`;
 //! any mismatch makes the process exit nonzero. `--json PATH` writes the
 //! machine-readable artifact the `service-soak` CI job uploads.
+//!
+//! `--fault-rate R` (with optional `--chaos-seed N`) drives the whole run
+//! under the seeded fault plan: the report gains a `fault_rate` column and
+//! a `retries` count showing how many coordinator-level query retries the
+//! injected faults forced. Completed responses are still verified against
+//! the reference — recovery must be exact, not approximate.
 
 use hybrid_bench::default_system_config;
 use hybrid_bench::svc::{build_service_system, serve_workload, ServeOptions};
@@ -27,7 +34,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: svc_bench [--clients N] [--queries N] [--scale tiny|small|default] \
          [--format columnar|text] [--policy fifo|sjf] [--max-in-flight N] \
-         [--max-queued N] [--threads N] [--no-verify] [--json PATH]"
+         [--max-queued N] [--threads N] [--fault-rate R] [--chaos-seed N] \
+         [--no-verify] [--json PATH]"
     );
     std::process::exit(2)
 }
@@ -49,6 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--max-in-flight" => opts.service.max_in_flight = value().parse()?,
             "--max-queued" => opts.service.max_queued = value().parse()?,
             "--threads" => threads = Some(value().parse()?),
+            "--fault-rate" => opts.fault_rate = value().parse()?,
+            "--chaos-seed" => opts.chaos_seed = value().parse()?,
             "--json" => json_path = Some(value().to_string()),
             "--no-verify" => opts.verify = false,
             "--policy" => {
@@ -94,6 +104,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = default_system_config();
     if let Some(n) = threads {
         cfg.threads = n;
+    }
+    opts.apply_chaos(&mut cfg);
+    if opts.fault_rate > 0.0 {
+        println!(
+            "chaos: seed {}, fault rate {}",
+            opts.chaos_seed, opts.fault_rate
+        );
     }
     println!(
         "workload: T={} rows, L={} rows, {format}; service: {} in flight / {} queued, {} policy",

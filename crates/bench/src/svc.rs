@@ -41,6 +41,11 @@ pub struct ServeOptions {
     pub service: ServiceConfig,
     /// Check every result against `run_reference` (cheap at bench scale).
     pub verify: bool,
+    /// Seeded fault-injection rate (0 = no chaos). Applied to the system
+    /// config via [`ServeOptions::apply_chaos`] and echoed in the report.
+    pub fault_rate: f64,
+    /// Seed for the fault plan; only meaningful when `fault_rate > 0`.
+    pub chaos_seed: u64,
 }
 
 impl Default for ServeOptions {
@@ -50,6 +55,20 @@ impl Default for ServeOptions {
             queries: 100,
             service: ServiceConfig::default(),
             verify: true,
+            fault_rate: 0.0,
+            chaos_seed: 0,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Install the seeded fault plan on `cfg` when a rate is set.
+    pub fn apply_chaos(&self, cfg: &mut SystemConfig) {
+        if self.fault_rate > 0.0 {
+            cfg.fault_spec = Some(hybrid_net::FaultSpec::from_seed(
+                self.chaos_seed,
+                self.fault_rate,
+            ));
         }
     }
 }
@@ -66,6 +85,11 @@ pub struct ServeReport {
     pub rejected: u64,
     pub timed_out: u64,
     pub failed: u64,
+    /// Coordinator-level query retries (`svc.retries`) — nonzero only
+    /// under fault injection.
+    pub retries: u64,
+    /// The injected fault rate this run was driven under (0 = none).
+    pub fault_rate: f64,
     /// Responses whose result differed from the reference (must be 0).
     pub incorrect: usize,
     pub latency_us: HistogramSnapshot,
@@ -137,7 +161,8 @@ impl ServeReport {
             "{{\n  \"clients\": {},\n  \"queries\": {},\n  \"policy\": \"{}\",\n  \
              \"threads\": {},\n  \"wall_s\": {:.4},\n  \"throughput_qps\": {:.2},\n  \
              \"completed\": {},\n  \"rejected\": {},\n  \"timed_out\": {},\n  \
-             \"failed\": {},\n  \"incorrect\": {},\n  \"latency_us\": {},\n  \
+             \"failed\": {},\n  \"retries\": {},\n  \"fault_rate\": {},\n  \
+             \"incorrect\": {},\n  \"latency_us\": {},\n  \
              \"queue_us\": {},\n  \"exec_us\": {},\n  \"result_cache\": {},\n  \
              \"bloom_cache\": {}\n}}\n",
             self.clients,
@@ -150,6 +175,8 @@ impl ServeReport {
             self.rejected,
             self.timed_out,
             self.failed,
+            self.retries,
+            self.fault_rate,
             self.incorrect,
             hist(&self.latency_us),
             hist(&self.queue_us),
@@ -179,6 +206,12 @@ impl ServeReport {
             "  completed {} / rejected {} / timed out {} / failed {} / incorrect {}",
             self.completed, self.rejected, self.timed_out, self.failed, self.incorrect
         );
+        if self.fault_rate > 0.0 {
+            println!(
+                "  chaos: fault rate {} -> {} coordinator retries",
+                self.fault_rate, self.retries
+            );
+        }
         println!(
             "  wall {:.3}s  throughput {:.1} queries/s",
             self.wall.as_secs_f64(),
@@ -306,6 +339,8 @@ pub fn serve_workload(
         rejected: m.get("svc.rejected"),
         timed_out: m.get("svc.timed_out"),
         failed: m.get("svc.failed"),
+        retries: m.get("svc.retries"),
+        fault_rate: opts.fault_rate,
         incorrect: incorrect.load(Ordering::Relaxed),
         latency_us: svc.latency_histogram(),
         queue_us: svc.queue_histogram(),

@@ -36,6 +36,15 @@ pub enum HybridError {
     /// A worker task was cancelled because a peer in the same parallel run
     /// failed first — the peer's error is the root cause, this one is not.
     Cancelled { worker: String },
+    /// A chaos-injected fault that recovery (bounded retry, duplicate
+    /// dedup) could not absorb. `fault` names the injected fault kind
+    /// (e.g. `"drop"`); `endpoint`/`stream` locate the affected transfer.
+    /// Chaos-suite assertions match this variant, never message text.
+    FaultInjected {
+        fault: String,
+        endpoint: String,
+        stream: Option<String>,
+    },
     /// Query execution failure (e.g. hash table memory limit exceeded).
     Exec(String),
     /// A worker died or was killed by failure injection.
@@ -66,6 +75,17 @@ impl fmt::Display for HybridError {
             HybridError::Cancelled { worker } => {
                 write!(f, "worker {worker} cancelled after a peer failure")
             }
+            HybridError::FaultInjected {
+                fault,
+                endpoint,
+                stream,
+            } => match stream {
+                Some(s) => write!(
+                    f,
+                    "injected {fault} fault on {endpoint} (stream {s}) exhausted recovery"
+                ),
+                None => write!(f, "injected {fault} fault on {endpoint} exhausted recovery"),
+            },
             HybridError::Exec(m) => write!(f, "execution error: {m}"),
             HybridError::WorkerFailed { worker, reason } => {
                 write!(f, "worker {worker} failed: {reason}")

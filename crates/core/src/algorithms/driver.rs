@@ -21,8 +21,10 @@
 
 use crate::system::SystemConfig;
 use hybrid_common::error::{HybridError, Result};
+use hybrid_net::{Straggler, WorkerKill};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Shared cancellation flag: set once by the first failing worker, polled
 /// by everyone else (steps between phases, mailboxes inside blocking waits).
@@ -126,6 +128,8 @@ pub struct Driver {
     threads: usize,
     cancel: CancelToken,
     sem: Semaphore,
+    kill: Option<WorkerKill>,
+    straggler: Option<Straggler>,
 }
 
 impl Driver {
@@ -135,11 +139,43 @@ impl Driver {
             threads,
             cancel: CancelToken::new(),
             sem: Semaphore::new(threads),
+            kill: None,
+            straggler: None,
         }
     }
 
     pub fn from_config(config: &SystemConfig) -> Driver {
-        Driver::new(config.threads)
+        let mut driver = Driver::new(config.threads);
+        if let Some(spec) = &config.fault_spec {
+            driver.kill = spec.kill;
+            driver.straggler = spec.straggler;
+        }
+        driver
+    }
+
+    /// The injected-kill error: the worker "crashed", so from the query's
+    /// perspective its endpoint went away. Typed, so the chaos suite can
+    /// match the variant instead of message text.
+    fn kill_error(label: &str, w: usize) -> HybridError {
+        HybridError::Disconnected {
+            endpoint: format!("{label}-worker-{w}"),
+            stream: None,
+        }
+    }
+
+    /// Whether the configured kill lands on worker `w` of the `label` set
+    /// at step ordinal `step` (index into that worker's sorted step list).
+    fn kill_matches(kill: &Option<WorkerKill>, label: &str, w: usize, step: usize) -> bool {
+        kill.as_ref()
+            .is_some_and(|k| k.target.label() == label && k.worker == w && k.step == step)
+    }
+
+    /// The straggler delay for worker `w` of the `label` set, if any.
+    fn straggle_delay(straggler: &Option<Straggler>, label: &str, w: usize) -> Option<Duration> {
+        straggler
+            .as_ref()
+            .filter(|s| s.target.label() == label && s.worker == w)
+            .map(|s| s.delay)
     }
 
     pub fn threads(&self) -> usize {
@@ -183,13 +219,17 @@ impl Driver {
         if self.parallel() {
             self.run_parallel(a, b)
         } else {
-            Self::run_sequential(a, b)
+            self.run_sequential(a, b)
         }
     }
 
     /// Replay in global sequence order, worker 0..n inside each step —
-    /// byte-for-byte the pre-driver sequential execution.
+    /// byte-for-byte the pre-driver sequential execution. Fault hooks: a
+    /// configured [`WorkerKill`] fires right before its victim's k-th step
+    /// (steps are counted per set here, since every worker of a set walks
+    /// the same list), a [`Straggler`] sleeps before each of its steps.
     fn run_sequential<'env, A, B>(
+        &self,
         mut a: TaskSet<'env, A>,
         mut b: TaskSet<'env, B>,
     ) -> Result<(Vec<A>, Vec<B>)> {
@@ -199,17 +239,34 @@ impl Driver {
         order.extend(a.steps.iter().enumerate().map(|(i, (s, _))| (*s, 0u8, i)));
         order.extend(b.steps.iter().enumerate().map(|(i, (s, _))| (*s, 1u8, i)));
         order.sort_by_key(|&(s, which, _)| (s, which));
+        // Per-set step ordinals: how many steps of each set have run so
+        // far, i.e. the index of the current step in a worker's own list.
+        let (mut done_a, mut done_b) = (0usize, 0usize);
         for (_, which, i) in order {
             if which == 0 {
                 let f = &a.steps[i].1;
                 for (w, st) in a.states.iter_mut().enumerate() {
+                    if Self::kill_matches(&self.kill, a.label, w, done_a) {
+                        return Err(Self::kill_error(a.label, w));
+                    }
+                    if let Some(d) = Self::straggle_delay(&self.straggler, a.label, w) {
+                        std::thread::sleep(d);
+                    }
                     f(w, st)?;
                 }
+                done_a += 1;
             } else {
                 let f = &b.steps[i].1;
                 for (w, st) in b.states.iter_mut().enumerate() {
+                    if Self::kill_matches(&self.kill, b.label, w, done_b) {
+                        return Err(Self::kill_error(b.label, w));
+                    }
+                    if let Some(d) = Self::straggle_delay(&self.straggler, b.label, w) {
+                        std::thread::sleep(d);
+                    }
                     f(w, st)?;
                 }
+                done_b += 1;
             }
         }
         Ok((a.states, b.states))
@@ -229,18 +286,31 @@ impl Driver {
         let (steps_a, steps_b) = (&a.steps, &b.steps);
         let (label_a, label_b) = (a.label, b.label);
         let cancel = &self.cancel;
+        let (kill, straggler) = (&self.kill, &self.straggler);
 
         // Walk one worker's whole step list on its thread. Checking the
         // token *between* steps catches peers that failed while this worker
-        // was computing; mailboxes catch failures mid-receive.
+        // was computing; mailboxes catch failures mid-receive. An injected
+        // kill fires before the victim's k-th step and trips the token so
+        // peers blocked on the dead worker's traffic abort too; an injected
+        // straggler sleeps before every step.
         fn drive<S>(
             steps: &[(u32, StepFn<'_, S>)],
             w: usize,
             mut st: S,
             label: &str,
             cancel: &CancelToken,
+            kill: &Option<WorkerKill>,
+            straggle: Option<Duration>,
         ) -> std::result::Result<S, HybridError> {
-            for (_, f) in steps {
+            for (step, (_, f)) in steps.iter().enumerate() {
+                if Driver::kill_matches(kill, label, w, step) {
+                    cancel.cancel();
+                    return Err(Driver::kill_error(label, w));
+                }
+                if let Some(d) = straggle {
+                    std::thread::sleep(d);
+                }
                 if cancel.is_cancelled() {
                     return Err(HybridError::Cancelled {
                         worker: format!("{label}-{w}"),
@@ -283,13 +353,19 @@ impl Driver {
                 .states
                 .drain(..)
                 .enumerate()
-                .map(|(w, st)| scope.spawn(move || drive(steps_a, w, st, label_a, cancel)))
+                .map(|(w, st)| {
+                    let straggle = Driver::straggle_delay(straggler, label_a, w);
+                    scope.spawn(move || drive(steps_a, w, st, label_a, cancel, kill, straggle))
+                })
                 .collect();
             let handles_b: Vec<_> = b
                 .states
                 .drain(..)
                 .enumerate()
-                .map(|(w, st)| scope.spawn(move || drive(steps_b, w, st, label_b, cancel)))
+                .map(|(w, st)| {
+                    let straggle = Driver::straggle_delay(straggler, label_b, w);
+                    scope.spawn(move || drive(steps_b, w, st, label_b, cancel, kill, straggle))
+                })
                 .collect();
             (
                 collect(handles_a, label_a, cancel),
@@ -472,5 +548,115 @@ mod tests {
         let driver = Driver::new(1);
         let _p1 = driver.compute_permit();
         let _p2 = driver.compute_permit(); // would deadlock if it counted
+    }
+
+    use hybrid_net::FaultTarget;
+
+    fn counting_sets<'env>(
+        count: &'env AtomicUsize,
+    ) -> (TaskSet<'env, usize>, TaskSet<'env, usize>) {
+        let mut a = TaskSet::new("db", vec![0usize; 2]);
+        let mut b = TaskSet::new("jen", vec![0usize; 3]);
+        for seq in [10, 30] {
+            a.step(seq, move |_, _| {
+                count.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        for seq in [20, 40] {
+            b.step(seq, move |_, _| {
+                count.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn sequential_kill_is_typed_and_stops_the_replay() {
+        let count = AtomicUsize::new(0);
+        let (a, b) = counting_sets(&count);
+        let mut driver = Driver::new(1);
+        driver.kill = Some(WorkerKill {
+            target: FaultTarget::Jen,
+            worker: 1,
+            step: 1,
+        });
+        let err = driver.run_pair(a, b).unwrap_err();
+        assert_eq!(
+            err,
+            HybridError::Disconnected {
+                endpoint: "jen-worker-1".into(),
+                stream: None,
+            }
+        );
+        // db steps 10+30 (2 workers each) + jen step 20 (3 workers) + jen
+        // worker 0 of step 40 ran before the kill landed on jen worker 1.
+        assert_eq!(count.load(Ordering::SeqCst), 2 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn parallel_kill_cancels_peers_and_wins_root_cause() {
+        let mut driver = Driver::new(4);
+        driver.kill = Some(WorkerKill {
+            target: FaultTarget::Db,
+            worker: 0,
+            step: 0,
+        });
+        let cancel = driver.cancel_token();
+        let mut a = TaskSet::new("db", vec![(); 1]);
+        let mut b = TaskSet::new("jen", vec![(); 2]);
+        a.step(1, |_, _| Ok(()));
+        let c2 = cancel.clone();
+        b.step(1, move |w, _| loop {
+            if c2.is_cancelled() {
+                return Err(HybridError::Cancelled {
+                    worker: format!("jen-{w}"),
+                });
+            }
+            std::thread::yield_now();
+        });
+        let err = driver.run_pair(a, b).unwrap_err();
+        assert_eq!(
+            err,
+            HybridError::Disconnected {
+                endpoint: "db-worker-0".into(),
+                stream: None,
+            }
+        );
+        assert!(cancel.is_cancelled());
+    }
+
+    #[test]
+    fn kill_past_the_last_step_never_fires() {
+        let count = AtomicUsize::new(0);
+        let (a, b) = counting_sets(&count);
+        let mut driver = Driver::new(1);
+        driver.kill = Some(WorkerKill {
+            target: FaultTarget::Db,
+            worker: 0,
+            step: 99,
+        });
+        driver.run_pair(a, b).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn straggler_slows_a_worker_without_changing_results() {
+        for threads in [1, 4] {
+            let count = AtomicUsize::new(0);
+            let (a, b) = counting_sets(&count);
+            let mut driver = Driver::new(threads);
+            driver.straggler = Some(Straggler {
+                target: FaultTarget::Jen,
+                worker: 2,
+                delay: Duration::from_micros(200),
+            });
+            let start = std::time::Instant::now();
+            driver.run_pair(a, b).unwrap();
+            assert_eq!(count.load(Ordering::SeqCst), 10, "threads={threads}");
+            // 2 jen steps × 200µs lower-bounds the run.
+            assert!(start.elapsed() >= Duration::from_micros(400));
+        }
     }
 }

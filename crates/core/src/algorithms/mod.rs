@@ -28,8 +28,8 @@ use hybrid_common::ops::{partition_by_key, HashAggregator};
 use hybrid_common::schema::Schema;
 use hybrid_common::trace::Stage;
 use hybrid_jen::LocalJoiner;
-use hybrid_net::{Delivery, Endpoint, Fabric, Message, StreamTag};
-use std::collections::HashMap;
+use hybrid_net::{Delivery, Endpoint, Fabric, Message, SendAttempt, StreamTag};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -160,6 +160,12 @@ pub(crate) struct Mailbox {
     rx: crossbeam::channel::Receiver<Delivery<Message>>,
     buffered: HashMap<StreamTag, Vec<Delivery<Message>>>,
     eos_seen: HashMap<StreamTag, usize>,
+    /// Sequence numbers already absorbed, per sender and stream. A chaos
+    /// plan may retransmit a delivery (same `seq`); the duplicate must be
+    /// discarded here — a duplicated EOS would otherwise inflate
+    /// `eos_seen` and silently truncate the stream. Fault-free deliveries
+    /// carry `seq == 0` and skip this set entirely.
+    seen: HashSet<(Endpoint, StreamTag, u64)>,
     timeout: Duration,
     cancel: Option<CancelToken>,
 }
@@ -187,6 +193,7 @@ impl Mailbox {
             rx: sys.fabric.receiver(endpoint)?,
             buffered: HashMap::new(),
             eos_seen: HashMap::new(),
+            seen: HashSet::new(),
             timeout: sys.config.recv_timeout,
             cancel: None,
         })
@@ -217,9 +224,16 @@ impl Mailbox {
         Ok(())
     }
 
-    /// File one delivery into the stream buffers / EOS counts.
+    /// File one delivery into the stream buffers / EOS counts. Chaos
+    /// retransmissions (same sender, stream, and non-zero sequence number
+    /// as an earlier delivery) are dropped here, exactly once per
+    /// duplicate.
     fn absorb_delivery(&mut self, d: Delivery<Message>) {
         let tag = d.msg.stream();
+        if d.seq != 0 && !self.seen.insert((d.from, tag, d.seq)) {
+            self.fabric.chaos_incr("net.chaos.deduped");
+            return;
+        }
         if let Message::Eos { .. } = d.msg {
             *self.eos_seen.entry(tag).or_insert(0) += 1;
         } else {
@@ -230,13 +244,26 @@ impl Mailbox {
     /// Send one message, never blocking the fabric: while the target inbox
     /// is full, drain this endpoint's own inbox into the stream buffers and
     /// retry. Gives up with a Net error after the receive timeout.
+    ///
+    /// Under an active chaos plan this is also the recovery loop: an
+    /// injected drop burns one attempt of the fabric's [`RetryPolicy`]
+    /// budget and the message is retried after a backoff sleep; only an
+    /// exhausted budget surfaces the typed `FaultInjected` error. A `Full`
+    /// hand-back is congestion, not a fault — it never consumes an attempt.
+    ///
+    /// [`RetryPolicy`]: hybrid_net::RetryPolicy
     pub(crate) fn send(&mut self, to: Endpoint, msg: Message) -> Result<()> {
         let deadline = Instant::now() + self.timeout;
+        let retry = self.fabric.retry_policy().clone();
         let mut msg = msg;
+        let mut attempt = 0u32;
         loop {
-            match self.fabric.try_send(self.endpoint, to, msg)? {
-                None => return Ok(()),
-                Some(back) => {
+            match self
+                .fabric
+                .try_send_attempt(self.endpoint, to, msg, attempt)?
+            {
+                SendAttempt::Delivered => return Ok(()),
+                SendAttempt::Full(back) => {
                     msg = back;
                     self.check_liveness(Some(msg.stream()))?;
                     if Instant::now() >= deadline {
@@ -248,6 +275,16 @@ impl Mailbox {
                     if let Ok(d) = self.rx.recv_timeout(PUMP_SLICE) {
                         self.absorb_delivery(d);
                     }
+                }
+                SendAttempt::Dropped(back, err) => {
+                    attempt += 1;
+                    if attempt >= retry.attempts.max(1) {
+                        return Err(err);
+                    }
+                    self.fabric.chaos_incr("net.chaos.send_retries");
+                    self.check_liveness(Some(back.stream()))?;
+                    std::thread::sleep(retry.backoff(attempt));
+                    msg = back;
                 }
             }
         }
@@ -995,6 +1032,94 @@ mod tests {
         let db = mb.take_stream(StreamTag::DbData, 1).unwrap();
         assert_eq!(db.batches.len(), 1);
         assert_eq!(db.batches[0].column(0).unwrap().as_i32().unwrap(), &[2]);
+    }
+
+    /// Satellite coverage for chaos retransmissions: for *every* logical
+    /// stream, a duplicated data/bloom delivery and a duplicated EOS must
+    /// both be discarded by the receiving mailbox. A surviving duplicate
+    /// EOS is the dangerous case — it would inflate `eos_seen` and let a
+    /// receiver stop before its peers' real data arrived.
+    #[test]
+    fn mailbox_dedups_duplicate_deliveries_on_every_stream() {
+        let all_tags = [
+            StreamTag::HdfsShuffle,
+            StreamTag::DbData,
+            StreamTag::HdfsData,
+            StreamTag::DbBloom,
+            StreamTag::HdfsBloom,
+            StreamTag::PartialAgg,
+            StreamTag::FinalResult,
+            StreamTag::DbKeySet,
+            StreamTag::PerfKeys,
+            StreamTag::PerfBitmap,
+        ];
+        for tag in all_tags {
+            let mut cfg = SystemConfig::paper_shape(1, 2);
+            cfg.fault_spec = Some(hybrid_net::FaultSpec::quiet(7).with_dups(1.0));
+            let sys = HybridSystem::new(cfg).unwrap();
+            let j0 = Endpoint::Jen(hybrid_common::ids::JenWorkerId(0));
+            let j1 = Endpoint::Jen(hybrid_common::ids::JenWorkerId(1));
+            let payload_is_bloom = matches!(
+                tag,
+                StreamTag::DbBloom | StreamTag::HdfsBloom | StreamTag::PerfBitmap
+            );
+            if payload_is_bloom {
+                sys.fabric
+                    .send(
+                        j1,
+                        j0,
+                        Message::Bloom {
+                            stream: tag,
+                            bytes: vec![1, 2, 3],
+                        },
+                    )
+                    .unwrap();
+            } else {
+                let b = Batch::new(
+                    Schema::from_pairs(&[("x", DataType::I32)]),
+                    vec![Column::I32(vec![42])],
+                )
+                .unwrap();
+                sys.fabric
+                    .send(
+                        j1,
+                        j0,
+                        Message::Data {
+                            stream: tag,
+                            batch: b,
+                        },
+                    )
+                    .unwrap();
+            }
+            sys.fabric
+                .send(j1, j0, Message::Eos { stream: tag })
+                .unwrap();
+
+            let mut mb = Mailbox::new(&sys, j0).unwrap();
+            let data = mb.take_stream(tag, 1).unwrap();
+            if payload_is_bloom {
+                assert_eq!(data.blooms.len(), 1, "{tag:?}: duplicate bloom survived");
+            } else {
+                assert_eq!(data.batches.len(), 1, "{tag:?}: duplicate batch survived");
+            }
+            // `take_stream` returns at the first EOS; the EOS's
+            // retransmission is still queued. Drain it through the same
+            // absorption path and check it was binned, not counted.
+            while let Ok(d) = mb.rx.try_recv() {
+                mb.absorb_delivery(d);
+            }
+            assert_eq!(
+                mb.eos_seen.get(&tag).copied().unwrap_or(0),
+                1,
+                "{tag:?}: duplicate EOS inflated the barrier count"
+            );
+            // Both the payload's retransmission and the EOS's were binned.
+            assert_eq!(
+                sys.metrics.get("net.chaos.deduped"),
+                2,
+                "{tag:?}: expected exactly two deduped deliveries"
+            );
+        }
     }
 
     #[test]

@@ -85,9 +85,14 @@ pub(crate) fn execute(
     });
 
     // Step 4: each JEN worker builds its hash table from the shuffled HDFS
-    // data (local + received) and probes with the database tuples.
+    // data (local + received), then probes with the database tuples. Two
+    // driver steps, so a fault plan can kill a worker at the build/probe
+    // boundary — after a grace join has spilled partitions to disk but
+    // before it reads them back.
     jen.step(30, move |w, st| {
-        jen_recv_build(sys, query, driver, st, w, l_schema)?;
+        jen_recv_build(sys, query, driver, st, w, l_schema)
+    });
+    jen.step(32, move |w, st| {
         jen_probe_aggregate(sys, query, driver, st, w, t_schema)
     });
 

@@ -133,9 +133,13 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         jen_shuffle_share(sys, query, st, w, l_share, l_schema)
     });
 
-    // Step 5: local joins exactly as in the repartition join.
+    // Step 5: local joins exactly as in the repartition join — build and
+    // probe as separate driver steps so injected kills can land at the
+    // spill-write/spill-read boundary.
     jen.step(30, move |w, st| {
-        jen_recv_build(sys, query, driver, st, w, l_schema)?;
+        jen_recv_build(sys, query, driver, st, w, l_schema)
+    });
+    jen.step(32, move |w, st| {
         jen_probe_aggregate(sys, query, driver, st, w, t_schema)
     });
 

@@ -158,10 +158,14 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         db_route_to_jen(sys, query, st, w, &t_second)
     });
 
-    // Step 7: build on the shuffled HDFS data, probe with T'' (layout
-    // L' ++ T'), post-join predicate, partial aggregation.
+    // Step 7: build on the shuffled HDFS data, then probe with T'' (layout
+    // L' ++ T'), post-join predicate, partial aggregation. Split into two
+    // driver steps so a fault plan can kill a worker between a grace
+    // join's spill-write (build) and spill-read (probe).
     jen.step(40, move |w, st| {
-        jen_recv_build(sys, query, driver, st, w, l_schema)?;
+        jen_recv_build(sys, query, driver, st, w, l_schema)
+    });
+    jen.step(42, move |w, st| {
         jen_probe_aggregate(sys, query, driver, st, w, t_schema)
     });
 

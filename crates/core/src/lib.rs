@@ -38,6 +38,7 @@ pub mod system;
 pub use algorithms::{run, CancelToken, Driver, JoinAlgorithm, TaskSet};
 pub use cache::{query_fingerprint, BloomCache, BloomKey};
 pub use estimation::{run_auto, sample_stats, SampledStats};
+pub use hybrid_net::{FaultSpec, FaultTarget, RetryPolicy};
 pub use query::HybridQuery;
 pub use stats::{JoinSummary, RunOutput};
 pub use system::{threads_from_env, HybridSystem, SystemConfig, ZigzagReaccess};

@@ -10,7 +10,7 @@ use hybrid_common::trace::Tracer;
 use hybrid_edw::DbCluster;
 use hybrid_hdfs::{Catalog, HdfsCluster, TableMeta};
 use hybrid_jen::{JenCoordinator, JenWorker};
-use hybrid_net::{Fabric, Message};
+use hybrid_net::{Fabric, FaultSpec, Message, RetryPolicy};
 use hybrid_storage::{encode, FileFormat};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -62,6 +62,14 @@ pub struct SystemConfig {
     /// runs stay unbounded — a single-threaded driver would deadlock on a
     /// full inbox with nobody draining). `None` = unbounded.
     pub channel_capacity: Option<usize>,
+    /// Seeded chaos plan: inject drops/delays/duplicates/reorders into the
+    /// fabric and kills/stragglers into the driver. `None` (the default)
+    /// is the fault-free fast path. Sessions inherit the plan; the session
+    /// namespace is part of every decision hash, so a query retried in a
+    /// fresh namespace rolls fresh faults.
+    pub fault_spec: Option<FaultSpec>,
+    /// Retry budget for fabric sends whose attempts the chaos plan drops.
+    pub retry: RetryPolicy,
 }
 
 /// `HYBRID_THREADS` env override, or 1 (sequential) when unset/invalid.
@@ -86,6 +94,8 @@ impl SystemConfig {
             zigzag_reaccess: ZigzagReaccess::default(),
             threads: threads_from_env(),
             channel_capacity: Some(256),
+            fault_spec: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -103,6 +113,12 @@ impl SystemConfig {
         }
         if self.channel_capacity == Some(0) {
             return Err(HybridError::config("channel_capacity must be positive"));
+        }
+        if let Some(spec) = &self.fault_spec {
+            spec.validate().map_err(HybridError::config)?;
+        }
+        if self.retry.attempts == 0 {
+            return Err(HybridError::config("retry.attempts must be at least 1"));
         }
         Ok(())
     }
@@ -165,11 +181,13 @@ impl HybridSystem {
         } else {
             None
         };
-        let fabric = Fabric::with_capacity(
+        let fabric = Fabric::with_options(
             config.db_workers,
             config.jen_workers,
             metrics.clone(),
             capacity,
+            config.fault_spec.clone(),
+            config.retry.clone(),
         );
         Ok(HybridSystem {
             db,

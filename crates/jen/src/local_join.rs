@@ -17,9 +17,11 @@ use hybrid_common::schema::Schema;
 const SPILL_PARTITIONS: usize = 8;
 
 /// A local join that is in-memory when it fits and grace-hash otherwise.
+/// The grace variant is boxed: it carries spill bookkeeping that would
+/// otherwise bloat every in-memory joiner.
 pub enum LocalJoiner {
     InMemory(HashJoiner),
-    Grace(GraceHashJoiner),
+    Grace(Box<GraceHashJoiner>),
 }
 
 impl LocalJoiner {
@@ -33,13 +35,13 @@ impl LocalJoiner {
     ) -> Result<LocalJoiner> {
         Ok(match memory_limit_rows {
             None => LocalJoiner::InMemory(HashJoiner::new(build_schema, build_key)),
-            Some(limit) => LocalJoiner::Grace(GraceHashJoiner::new(
+            Some(limit) => LocalJoiner::Grace(Box::new(GraceHashJoiner::new(
                 build_schema,
                 build_key,
                 limit,
                 SPILL_PARTITIONS,
                 metrics,
-            )?),
+            )?)),
         })
     }
 

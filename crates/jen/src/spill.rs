@@ -34,11 +34,20 @@ fn spill_partition(key: i64, n: usize) -> usize {
 
 /// One side's on-disk runs: a file per partition of length-prefixed
 /// columnar-encoded batches.
+///
+/// Carries its own [`Metrics`] handle so the `jen.spill.files_created` /
+/// `jen.spill.files_removed` pair balances even when cleanup happens in
+/// [`Drop`] on an error path (e.g. a fault-injected worker kill between
+/// the spill-write and spill-read phases): any imbalance means orphaned
+/// partition files.
 struct SpillSide {
     schema: Schema,
     key_col: usize,
     files: Vec<PathBuf>,
+    /// Which partition files have actually been created on disk.
+    written: Vec<bool>,
     rows: usize,
+    metrics: Metrics,
 }
 
 impl SpillSide {
@@ -48,9 +57,10 @@ impl SpillSide {
         dir: &Path,
         tag: &str,
         parts: usize,
+        metrics: Metrics,
     ) -> Result<SpillSide> {
         let run = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let files = (0..parts)
+        let files: Vec<PathBuf> = (0..parts)
             .map(|p| {
                 dir.join(format!(
                     "hybrid-spill-{}-{run}-{tag}-{p}.col",
@@ -61,14 +71,16 @@ impl SpillSide {
         Ok(SpillSide {
             schema,
             key_col,
+            written: vec![false; files.len()],
             files,
             rows: 0,
+            metrics,
         })
     }
 
-    fn append(&mut self, batch: &Batch, metrics: &Metrics) -> Result<()> {
+    fn append(&mut self, batch: &Batch) -> Result<()> {
         let parts = partition_by_key(batch, self.key_col, self.files.len(), spill_partition)?;
-        for (path, part) in self.files.iter().zip(parts) {
+        for (p, (path, part)) in self.files.iter().zip(parts).enumerate() {
             if part.is_empty() {
                 continue;
             }
@@ -78,16 +90,21 @@ impl SpillSide {
                 .append(true)
                 .open(path)
                 .map_err(|e| HybridError::Storage(format!("spill open {path:?}: {e}")))?;
+            if !self.written[p] {
+                self.written[p] = true;
+                self.metrics.incr("jen.spill.files_created");
+            }
             f.write_all(&(payload.len() as u32).to_le_bytes())
                 .and_then(|()| f.write_all(&payload))
                 .map_err(|e| HybridError::Storage(format!("spill write: {e}")))?;
-            metrics.add("jen.spill.bytes_written", (payload.len() + 4) as u64);
+            self.metrics
+                .add("jen.spill.bytes_written", (payload.len() + 4) as u64);
         }
         self.rows += batch.num_rows();
         Ok(())
     }
 
-    fn read_partition(&self, p: usize, metrics: &Metrics) -> Result<Vec<Batch>> {
+    fn read_partition(&self, p: usize) -> Result<Vec<Batch>> {
         let path = &self.files[p];
         let mut bytes = Vec::new();
         match File::open(path) {
@@ -97,7 +114,7 @@ impl SpillSide {
             }
             Err(_) => return Ok(Vec::new()), // partition never received rows
         }
-        metrics.add("jen.spill.bytes_read", bytes.len() as u64);
+        self.metrics.add("jen.spill.bytes_read", bytes.len() as u64);
         let mut out = Vec::new();
         let mut pos = 0usize;
         while pos < bytes.len() {
@@ -116,9 +133,12 @@ impl SpillSide {
         Ok(out)
     }
 
-    fn cleanup(&self) {
-        for f in &self.files {
-            let _ = fs::remove_file(f);
+    fn cleanup(&mut self) {
+        for (p, f) in self.files.iter().enumerate() {
+            if fs::remove_file(f).is_ok() && self.written[p] {
+                self.written[p] = false;
+                self.metrics.incr("jen.spill.files_removed");
+            }
         }
     }
 }
@@ -196,7 +216,7 @@ impl GraceHashJoiner {
             ));
         }
         if let Some(build) = &mut self.spilled_build {
-            return build.append(&batch, &self.metrics);
+            return build.append(&batch);
         }
         self.mem_rows += batch.num_rows();
         self.mem_build.push(batch);
@@ -231,12 +251,13 @@ impl GraceHashJoiner {
                     &self.spill_dir,
                     "probe",
                     self.num_partitions,
+                    self.metrics.clone(),
                 )?);
             }
             self.spilled_probe
                 .as_mut()
                 .expect("just created")
-                .append(&batch, &self.metrics)
+                .append(&batch)
         } else {
             self.mem_probe.push(batch);
             Ok(())
@@ -250,17 +271,24 @@ impl GraceHashJoiner {
             &self.spill_dir,
             "build",
             self.num_partitions,
+            self.metrics.clone(),
         )?;
         for b in self.mem_build.drain(..) {
-            build_side.append(&b, &self.metrics)?;
+            build_side.append(&b)?;
         }
         // Probe batches buffered in memory mode move to disk too; the
         // probe run is created here only if its schema is already known.
         if let (Some(schema), Some(key)) = (self.probe_schema.clone(), self.probe_key) {
-            let mut probe_side =
-                SpillSide::create(schema, key, &self.spill_dir, "probe", self.num_partitions)?;
+            let mut probe_side = SpillSide::create(
+                schema,
+                key,
+                &self.spill_dir,
+                "probe",
+                self.num_partitions,
+                self.metrics.clone(),
+            )?;
             for b in self.mem_probe.drain(..) {
-                probe_side.append(&b, &self.metrics)?;
+                probe_side.append(&b)?;
             }
             self.spilled_probe = Some(probe_side);
         }
@@ -303,7 +331,7 @@ impl GraceHashJoiner {
                 let mut outs: Vec<Batch> = Vec::new();
                 if let Some(probe_side) = &self.spilled_probe {
                     for p in 0..self.num_partitions {
-                        let build_batches = build_side.read_partition(p, &self.metrics)?;
+                        let build_batches = build_side.read_partition(p)?;
                         if build_batches.is_empty() {
                             continue;
                         }
@@ -311,7 +339,7 @@ impl GraceHashJoiner {
                         for b in build_batches {
                             joiner.build(b)?;
                         }
-                        for pb in probe_side.read_partition(p, &self.metrics)? {
+                        for pb in probe_side.read_partition(p)? {
                             outs.push(joiner.probe(&pb, probe_key)?);
                         }
                     }
@@ -451,7 +479,7 @@ mod tests {
         let dir = std::env::temp_dir();
         let before = count_spill_files(&dir);
         {
-            let mut g = GraceHashJoiner::new(build_schema(), 0, 8, 4, m).unwrap();
+            let mut g = GraceHashJoiner::new(build_schema(), 0, 8, 4, m.clone()).unwrap();
             for chunk in 0..4 {
                 g.add_build(build_batch(chunk * 10..(chunk + 1) * 10))
                     .unwrap();
@@ -461,6 +489,33 @@ mod tests {
             let _ = g.finish().unwrap();
         }
         assert_eq!(count_spill_files(&dir), before);
+        let created = m.get("jen.spill.files_created");
+        assert!(created > 0, "spilled join must create partition files");
+        assert_eq!(created, m.get("jen.spill.files_removed"));
+    }
+
+    /// The orphan-accounting invariant on an *abandoned* join: a joiner
+    /// dropped mid-spill (as when a fault-injected kill unwinds the worker
+    /// between build and probe) must still remove every file it created.
+    #[test]
+    fn abandoned_spill_leaves_no_orphans() {
+        let m = Metrics::new();
+        let dir = std::env::temp_dir();
+        let before = count_spill_files(&dir);
+        {
+            let mut g = GraceHashJoiner::new(build_schema(), 0, 8, 4, m.clone()).unwrap();
+            for chunk in 0..4 {
+                g.add_build(build_batch(chunk * 10..(chunk + 1) * 10))
+                    .unwrap();
+            }
+            g.add_probe(probe_batch(&[1, 2, 3]), 0).unwrap();
+            assert!(g.is_spilled());
+            // dropped without finish(): the kill path
+        }
+        assert_eq!(count_spill_files(&dir), before);
+        let created = m.get("jen.spill.files_created");
+        assert!(created > 0);
+        assert_eq!(created, m.get("jen.spill.files_removed"));
     }
 
     fn count_spill_files(dir: &std::path::Path) -> usize {

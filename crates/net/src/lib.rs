@@ -24,8 +24,10 @@
 //! size report) can travel, so the engines define their own message enums
 //! without this crate depending on them.
 
+pub mod fault;
 pub mod message;
 
+pub use fault::{FaultPlan, FaultSpec, FaultTarget, RetryPolicy, Straggler, WorkerKill};
 pub use message::{Message, StreamTag};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
@@ -158,6 +160,22 @@ pub trait Wire: Send + 'static {
     fn wire_stream_label(&self) -> Option<&'static str> {
         None
     }
+    /// Whether this message is a stream barrier (an end-of-stream marker).
+    /// The chaos layer never holds a barrier back for reordering, and
+    /// flushes any held delivery on the same edge *before* it — so a
+    /// receiver counting barriers can never conclude a stream is complete
+    /// while one of its data messages is still held.
+    fn wire_is_barrier(&self) -> bool {
+        false
+    }
+    /// Whether swapping this message with the *next* message on the same
+    /// `(sender, receiver, stream)` edge preserves correctness. Streams
+    /// whose receivers fold arrivals into order-insensitive state (hash
+    /// builds, aggregate merges, key sets) opt in; positionally decoded
+    /// streams (PERF keys/bitmaps, final result chunks) must not.
+    fn wire_reorderable(&self) -> bool {
+        false
+    }
 }
 
 /// An incoming message with its sender.
@@ -165,10 +183,36 @@ pub trait Wire: Send + 'static {
 pub struct Delivery<M> {
     pub from: Endpoint,
     pub msg: M,
+    /// Per-`(namespace, sender, receiver, stream)` sequence number, stamped
+    /// only when a fault plan is active (0 otherwise). A chaos-duplicated
+    /// delivery carries its original's number, so receivers dedup by
+    /// `(sender, stream, seq)` instead of re-applying the payload.
+    pub seq: u64,
 }
 
 /// An endpoint's inbox: the producing and consuming halves of its channel.
 type Inbox<M> = (Sender<Delivery<M>>, Receiver<Delivery<M>>);
+
+/// One directed `(namespace, sender, receiver, stream)` edge — the unit
+/// the chaos layer sequences deliveries over and holds reordered messages
+/// on. Each edge has a single sending worker thread, so its sequence of
+/// logical messages is deterministic regardless of thread schedule.
+type EdgeKey = (u64, Endpoint, Endpoint, Option<&'static str>);
+
+/// What one [`Fabric::try_send_attempt`] did with the message.
+#[derive(Debug)]
+pub enum SendAttempt<M> {
+    /// Enqueued (and metered). An active fault plan may additionally have
+    /// delayed the delivery, retransmitted it, or deferred it one slot —
+    /// all invisible to the caller.
+    Delivered,
+    /// The bounded inbox is full — the message comes back; drain your own
+    /// inbox and retry the *same* attempt number.
+    Full(M),
+    /// The fault plan dropped this attempt. Retry with `attempt + 1`
+    /// (backing off per [`RetryPolicy`]) or surface the typed error.
+    Dropped(M, HybridError),
+}
 
 /// One registry's worth of fabric counters: the metrics handle plus every
 /// pre-registered id the send path touches. The root fabric owns one plane;
@@ -275,6 +319,21 @@ struct Inner<M> {
     /// The root registry's plane — every transfer in every namespace also
     /// lands here, so global link totals stay exact under concurrency.
     root_plane: Arc<MeterPlane>,
+    /// Seeded chaos plan shared by every namespace (the namespace id is
+    /// part of every decision hash, so each session rolls fresh faults).
+    /// `None` = fault-free: sends take the exact pre-chaos fast path and
+    /// deliveries carry `seq` 0.
+    faults: Option<FaultPlan>,
+    /// Retry budget for [`Fabric::send`]'s internal drop recovery (the
+    /// mailbox layer reads its own copy from `SystemConfig`).
+    retry: RetryPolicy,
+    /// Next sequence number per edge, 1-based. Only touched when `faults`
+    /// is set.
+    edge_seqs: Mutex<HashMap<EdgeKey, u64>>,
+    /// At most one reorder-held delivery per edge, flushed by the edge's
+    /// next send (before it if that next message is a barrier, after it
+    /// otherwise).
+    held: Mutex<HashMap<EdgeKey, Delivery<M>>>,
 }
 
 /// The fabric: a metered, all-to-all message network.
@@ -325,6 +384,26 @@ impl<M: Wire> Fabric<M> {
         metrics: Metrics,
         capacity: Option<usize>,
     ) -> Fabric<M> {
+        Fabric::with_options(
+            num_db,
+            num_jen,
+            metrics,
+            capacity,
+            None,
+            RetryPolicy::default(),
+        )
+    }
+
+    /// [`Fabric::with_capacity`] plus an optional chaos plan and the retry
+    /// policy used by [`Fabric::send`]'s drop recovery.
+    pub fn with_options(
+        num_db: usize,
+        num_jen: usize,
+        metrics: Metrics,
+        capacity: Option<usize>,
+        faults: Option<FaultSpec>,
+        retry: RetryPolicy,
+    ) -> Fabric<M> {
         let mut inboxes = HashMap::with_capacity(num_db + num_jen + 1);
         Self::insert_namespace_inboxes(&mut inboxes, 0, num_db, num_jen, capacity);
         let plane = Arc::new(MeterPlane::new(metrics));
@@ -336,6 +415,10 @@ impl<M: Wire> Fabric<M> {
                 capacity,
                 disconnected: Mutex::new(HashSet::new()),
                 root_plane: Arc::clone(&plane),
+                faults: faults.map(FaultPlan::new),
+                retry,
+                edge_seqs: Mutex::new(HashMap::new()),
+                held: Mutex::new(HashMap::new()),
             }),
             ns: 0,
             plane,
@@ -399,6 +482,22 @@ impl<M: Wire> Fabric<M> {
         }
         let mut inboxes = self.inner.inboxes.write();
         inboxes.retain(|(ns, _), _| *ns != self.ns);
+        drop(inboxes);
+        self.clear_chaos_state();
+    }
+
+    /// Drop this namespace's chaos bookkeeping (held deliveries, edge
+    /// sequence counters) so a later run — or a retry in a fresh
+    /// namespace reusing the id — starts from a clean, replayable state.
+    fn clear_chaos_state(&self) {
+        if self.inner.faults.is_none() {
+            return;
+        }
+        self.inner.held.lock().retain(|(ns, ..), _| *ns != self.ns);
+        self.inner
+            .edge_seqs
+            .lock()
+            .retain(|(ns, ..), _| *ns != self.ns);
     }
 
     /// The namespace this handle is bound to (0 = root).
@@ -459,28 +558,124 @@ impl<M: Wire> Fabric<M> {
             .ok_or_else(|| HybridError::Net(format!("unknown endpoint {endpoint}")))
     }
 
+    /// Whether a chaos fault plan is active on this fabric.
+    pub fn has_faults(&self) -> bool {
+        self.inner.faults.is_some()
+    }
+
+    /// The active chaos plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.inner.faults.as_ref()
+    }
+
+    /// The retry policy [`Fabric::send`] recovers injected drops with.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.inner.retry
+    }
+
+    /// Bump a `net.chaos.*` counter on this handle's plane — and, for
+    /// namespaced handles, the root plane, mirroring [`Fabric::meter_raw`]
+    /// so the conservation law (root totals == sum over namespaces) holds
+    /// for chaos accounting too. Public so receivers (mailboxes) can
+    /// account their dedup drops on the same planes.
+    pub fn chaos_incr(&self, name: &str) {
+        self.plane.metrics.incr(name);
+        if self.extra_root {
+            self.inner.root_plane.metrics.incr(name);
+        }
+    }
+
+    /// Raw non-blocking enqueue of an already-stamped delivery. Does NOT
+    /// meter — callers meter exactly once per logical message.
+    fn push(&self, to: Endpoint, d: Delivery<M>) -> Result<Option<Delivery<M>>> {
+        let tx = self.sender(to)?;
+        match tx.try_send(d) {
+            Ok(()) => Ok(None),
+            Err(TrySendError::Full(d)) => Ok(Some(d)),
+            Err(TrySendError::Disconnected(d)) => {
+                Err(Self::disconnected_error(to, d.msg.wire_stream_label()))
+            }
+        }
+    }
+
     /// Send `msg` from `from` to `to`, metering it on the appropriate link.
-    /// Blocks while a bounded inbox is full.
-    pub fn send(&self, from: Endpoint, to: Endpoint, msg: M) -> Result<()> {
+    /// Blocks while a bounded inbox is full. Under an active fault plan,
+    /// injected drops are retried internally per [`Fabric::retry_policy`];
+    /// exhaustion surfaces the typed `FaultInjected` error.
+    pub fn send(&self, from: Endpoint, to: Endpoint, msg: M) -> Result<()>
+    where
+        M: Clone,
+    {
+        if self.inner.faults.is_some() {
+            let mut msg = msg;
+            let mut attempt = 0u32;
+            loop {
+                match self.try_send_attempt(from, to, msg, attempt)? {
+                    SendAttempt::Delivered => return Ok(()),
+                    SendAttempt::Full(m) => {
+                        // Blocking semantics over the chaos path: wait for
+                        // the inbox to drain. Only the mailbox-free callers
+                        // (tests, sequential helpers) land here.
+                        msg = m;
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    SendAttempt::Dropped(m, err) => {
+                        attempt += 1;
+                        if attempt >= self.inner.retry.attempts.max(1) {
+                            return Err(err);
+                        }
+                        self.chaos_incr("net.chaos.send_retries");
+                        std::thread::sleep(self.inner.retry.backoff(attempt));
+                        msg = m;
+                    }
+                }
+            }
+        }
         if self.inner.disconnected.lock().contains(&to) {
             return Err(Self::disconnected_error(to, msg.wire_stream_label()));
         }
         let tx = self.sender(to)?;
         self.meter(from, to, &msg);
-        tx.send(Delivery { from, msg })
-            .map_err(|_| HybridError::Net(format!("{to} inbox closed")))
+        let label = msg.wire_stream_label();
+        tx.send(Delivery { from, msg, seq: 0 })
+            .map_err(|_| Self::disconnected_error(to, label))
     }
 
     /// Non-blocking send: `Ok(None)` means delivered (and metered);
     /// `Ok(Some(msg))` hands the message back because the bounded inbox is
     /// full — drain your own inbox and retry. Worker tasks use this instead
     /// of [`Fabric::send`] so an all-to-all shuffle over bounded channels
-    /// cannot deadlock on a cycle of full inboxes.
-    pub fn try_send(&self, from: Endpoint, to: Endpoint, msg: M) -> Result<Option<M>> {
+    /// cannot deadlock on a cycle of full inboxes. Under an active fault
+    /// plan an injected drop surfaces as the typed error immediately; use
+    /// [`Fabric::try_send_attempt`] to drive retries.
+    pub fn try_send(&self, from: Endpoint, to: Endpoint, msg: M) -> Result<Option<M>>
+    where
+        M: Clone,
+    {
+        match self.try_send_attempt(from, to, msg, 0)? {
+            SendAttempt::Delivered => Ok(None),
+            SendAttempt::Full(m) => Ok(Some(m)),
+            SendAttempt::Dropped(_, err) => Err(err),
+        }
+    }
+
+    /// One send attempt of a logical message. `attempt` distinguishes
+    /// retries of the same message so the chaos plan re-rolls its drop
+    /// decision (a `Full` hand-back is *not* a new attempt). The fault-free
+    /// path is identical to the pre-chaos `try_send`.
+    pub fn try_send_attempt(
+        &self,
+        from: Endpoint,
+        to: Endpoint,
+        msg: M,
+        attempt: u32,
+    ) -> Result<SendAttempt<M>>
+    where
+        M: Clone,
+    {
         if self.inner.disconnected.lock().contains(&to) {
             return Err(Self::disconnected_error(to, msg.wire_stream_label()));
         }
-        let tx = self.sender(to)?;
         // Snapshot the wire accounting before the message moves into the
         // channel; metered only if the enqueue succeeds, so a Full retry
         // never double-counts.
@@ -489,15 +684,129 @@ impl<M: Wire> Fabric<M> {
             msg.wire_tuples(),
             msg.wire_stream_label(),
         );
-        match tx.try_send(Delivery { from, msg }) {
-            Ok(()) => {
+        let Some(plan) = &self.inner.faults else {
+            return Ok(match self.push(to, Delivery { from, msg, seq: 0 })? {
+                None => {
+                    self.meter_raw(from, to, bytes, tuples, label);
+                    SendAttempt::Delivered
+                }
+                Some(d) => SendAttempt::Full(d.msg),
+            });
+        };
+
+        let key: EdgeKey = (self.ns, from, to, label);
+        // Peek (don't consume) this logical message's sequence number; a
+        // Full hand-back or a dropped attempt re-derives the same value,
+        // so decisions stay per-message, not per-call.
+        let seq = self.inner.edge_seqs.lock().get(&key).copied().unwrap_or(0) + 1;
+        if plan.should_drop(self.ns, from, to, label, seq, attempt) {
+            self.chaos_incr("net.chaos.dropped");
+            if attempt + 1 >= self.inner.retry.attempts.max(1) {
+                // The retry budget is spent: the caller abandons this
+                // message. Consume its sequence number so the edge's later
+                // messages roll fresh decisions instead of replaying this
+                // one's all-drop fate forever.
+                self.inner.edge_seqs.lock().insert(key, seq);
+            }
+            let err = HybridError::FaultInjected {
+                fault: "drop".to_string(),
+                endpoint: to.to_string(),
+                stream: label.map(str::to_string),
+            };
+            return Ok(SendAttempt::Dropped(msg, err));
+        }
+        if let Some(pause) = plan.delay(self.ns, from, to, label, seq) {
+            self.chaos_incr("net.chaos.delayed");
+            std::thread::sleep(pause);
+        }
+
+        let barrier = msg.wire_is_barrier();
+        let mut held = self.inner.held.lock();
+        if let Some(h) = held.remove(&key) {
+            if barrier {
+                // Flush the held data delivery BEFORE the end-of-stream
+                // marker, so the receiver's barrier count can never run
+                // ahead of the data. The held message was metered when it
+                // was deferred.
+                if let Some(back) = self.push(to, h)? {
+                    held.insert(key, back);
+                    return Ok(SendAttempt::Full(msg));
+                }
+                return Ok(match self.push(to, Delivery { from, msg, seq })? {
+                    None => {
+                        self.inner.edge_seqs.lock().insert(key, seq);
+                        self.meter_raw(from, to, bytes, tuples, label);
+                        SendAttempt::Delivered
+                    }
+                    Some(d) => SendAttempt::Full(d.msg),
+                });
+            }
+            // The swap: the current message overtakes the held one.
+            match self.push(to, Delivery { from, msg, seq })? {
+                None => {
+                    self.inner.edge_seqs.lock().insert(key, seq);
+                    self.meter_raw(from, to, bytes, tuples, label);
+                    match self.push(to, h)? {
+                        None => {}
+                        // Inbox refilled before the held half landed: keep
+                        // holding; the edge's next send (at latest its
+                        // barrier) retries the flush.
+                        Some(back) => {
+                            held.insert(key, back);
+                        }
+                    }
+                    return Ok(SendAttempt::Delivered);
+                }
+                Some(d) => {
+                    held.insert(key, h);
+                    return Ok(SendAttempt::Full(d.msg));
+                }
+            }
+        }
+        if !barrier && msg.wire_reorderable() && plan.should_reorder(self.ns, from, to, label, seq)
+        {
+            // Defer this delivery one slot. It counts as sent (metered
+            // now); the edge's next message flushes it, and barriers are
+            // never deferred, so it always lands before the stream closes.
+            self.inner.edge_seqs.lock().insert(key, seq);
+            self.meter_raw(from, to, bytes, tuples, label);
+            self.chaos_incr("net.chaos.reordered");
+            held.insert(key, Delivery { from, msg, seq });
+            return Ok(SendAttempt::Delivered);
+        }
+        drop(held);
+
+        let copy = plan
+            .should_duplicate(self.ns, from, to, label, seq)
+            .then(|| msg.clone());
+        match self.push(to, Delivery { from, msg, seq })? {
+            None => {
+                self.inner.edge_seqs.lock().insert(key, seq);
                 self.meter_raw(from, to, bytes, tuples, label);
-                Ok(None)
+                if let Some(copy) = copy {
+                    // Retransmission: same payload, same sequence number —
+                    // the receiver's dedup must absorb it, not re-apply it.
+                    // Metered like any other delivery so the conservation
+                    // law still balances; best-effort if the inbox refilled
+                    // meanwhile.
+                    if self
+                        .push(
+                            to,
+                            Delivery {
+                                from,
+                                msg: copy,
+                                seq,
+                            },
+                        )?
+                        .is_none()
+                    {
+                        self.meter_raw(from, to, bytes, tuples, label);
+                        self.chaos_incr("net.chaos.duplicated");
+                    }
+                }
+                Ok(SendAttempt::Delivered)
             }
-            Err(TrySendError::Full(d)) => Ok(Some(d.msg)),
-            Err(TrySendError::Disconnected(_)) => {
-                Err(HybridError::Net(format!("{to} inbox closed")))
-            }
+            Some(d) => Ok(SendAttempt::Full(d.msg)),
         }
     }
 
@@ -537,7 +846,10 @@ impl<M: Wire> Fabric<M> {
             RecvTimeoutError::Timeout => {
                 HybridError::Net(format!("{endpoint} timed out waiting for a message"))
             }
-            RecvTimeoutError::Disconnected => HybridError::Net(format!("{endpoint} inbox closed")),
+            // A closed inbox means the endpoint is gone from the fabric —
+            // the typed shape, so callers (and chaos assertions) never
+            // have to string-match.
+            RecvTimeoutError::Disconnected => Self::disconnected_error(endpoint, None),
         })
     }
 
@@ -569,6 +881,7 @@ impl<M: Wire> Fabric<M> {
         for rx in receivers {
             while rx.try_recv().is_ok() {}
         }
+        self.clear_chaos_state();
     }
 
     /// Failure injection: future sends to `endpoint` fail.
@@ -997,6 +1310,261 @@ mod tests {
             vec![Endpoint::Db(DbWorkerId(0)), Endpoint::Db(DbWorkerId(1))]
         );
         assert_eq!(f.jen_endpoints().len(), 3);
+    }
+
+    fn chaos_fabric(spec: FaultSpec) -> (Fabric<Msg>, Metrics) {
+        let metrics = Metrics::new();
+        let f = Fabric::with_options(
+            2,
+            3,
+            metrics.clone(),
+            None,
+            Some(spec),
+            RetryPolicy::default(),
+        );
+        (f, metrics)
+    }
+
+    #[test]
+    fn injected_drop_surfaces_typed_fault() {
+        let (f, m) = chaos_fabric(FaultSpec::quiet(1).with_drops(1.0));
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        let msg = Msg {
+            bytes: 4,
+            tuples: 1,
+        };
+        let err = f.try_send(db0, j0, msg.clone()).unwrap_err();
+        assert!(
+            matches!(err, HybridError::FaultInjected { ref fault, .. } if fault == "drop"),
+            "got {err:?}"
+        );
+        // blocking send exhausts the full retry budget, then fails typed
+        let err = f.send(db0, j0, msg).unwrap_err();
+        assert!(matches!(err, HybridError::FaultInjected { .. }));
+        let retries = RetryPolicy::default().attempts as u64 - 1;
+        assert_eq!(m.get("net.chaos.send_retries"), retries);
+        assert!(m.get("net.chaos.dropped") > retries);
+        assert_eq!(m.get("net.cross.msgs"), 0, "dropped sends are not metered");
+    }
+
+    #[test]
+    fn retried_attempts_can_survive_partial_drop_rates() {
+        let (f, _) = chaos_fabric(FaultSpec::quiet(17).with_drops(0.5));
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        // At 50% drop a message survives its 4-attempt budget with
+        // probability 1 − 0.5⁴ ≈ 94%: most messages land (some after a
+        // retry), and the ones that don't must fail with the typed error —
+        // never silently.
+        let mut delivered = 0;
+        let mut exhausted = 0;
+        let mut needed_retry = false;
+        for i in 0..32 {
+            let mut attempt = 0;
+            loop {
+                match f
+                    .try_send_attempt(
+                        db0,
+                        j0,
+                        Msg {
+                            bytes: i,
+                            tuples: 1,
+                        },
+                        attempt,
+                    )
+                    .unwrap()
+                {
+                    SendAttempt::Delivered => {
+                        delivered += 1;
+                        if attempt > 0 {
+                            needed_retry = true;
+                        }
+                        break;
+                    }
+                    SendAttempt::Full(_) => unreachable!("unbounded"),
+                    SendAttempt::Dropped(_, err) => {
+                        attempt += 1;
+                        if attempt >= 4 {
+                            assert!(matches!(err, HybridError::FaultInjected { .. }));
+                            exhausted += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(delivered + exhausted, 32, "every message is accounted for");
+        assert!(delivered >= 24, "most messages should survive the budget");
+        assert!(
+            needed_retry,
+            "seed 17 at 50% must drop at least one attempt"
+        );
+    }
+
+    #[test]
+    fn duplicate_carries_the_original_sequence_number() {
+        let (f, m) = chaos_fabric(FaultSpec::quiet(2).with_dups(1.0));
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        f.try_send(
+            db0,
+            j0,
+            Msg {
+                bytes: 9,
+                tuples: 3,
+            },
+        )
+        .unwrap();
+        let a = f.recv_timeout(j0, Duration::from_secs(1)).unwrap();
+        let b = f.recv_timeout(j0, Duration::from_secs(1)).unwrap();
+        assert_eq!(a.seq, b.seq, "retransmission must reuse the seq");
+        assert!(a.seq > 0, "chaos-stamped deliveries are 1-based");
+        assert_eq!(a.msg, b.msg);
+        assert_eq!(m.get("net.chaos.duplicated"), 1);
+        assert_eq!(m.get("net.cross.msgs"), 2, "both copies are metered");
+    }
+
+    #[test]
+    fn deliveries_are_unstamped_without_a_plan() {
+        let f = fabric();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        f.send(
+            db0,
+            j0,
+            Msg {
+                bytes: 1,
+                tuples: 0,
+            },
+        )
+        .unwrap();
+        f.try_send(
+            db0,
+            j0,
+            Msg {
+                bytes: 1,
+                tuples: 0,
+            },
+        )
+        .unwrap();
+        for _ in 0..2 {
+            assert_eq!(f.recv_timeout(j0, Duration::from_secs(1)).unwrap().seq, 0);
+        }
+    }
+
+    /// A stream-shaped test message: data records opt into reordering,
+    /// the end-of-stream marker is a barrier.
+    #[derive(Debug, Clone, PartialEq)]
+    enum StreamMsg {
+        Data(usize),
+        Eos,
+    }
+
+    impl Wire for StreamMsg {
+        fn wire_bytes(&self) -> usize {
+            8
+        }
+        fn wire_stream_label(&self) -> Option<&'static str> {
+            Some("hdfs_shuffle")
+        }
+        fn wire_is_barrier(&self) -> bool {
+            matches!(self, StreamMsg::Eos)
+        }
+        fn wire_reorderable(&self) -> bool {
+            matches!(self, StreamMsg::Data(_))
+        }
+    }
+
+    #[test]
+    fn reordering_swaps_data_but_never_crosses_the_barrier() {
+        let metrics = Metrics::new();
+        let f: Fabric<StreamMsg> = Fabric::with_options(
+            1,
+            1,
+            metrics.clone(),
+            None,
+            Some(FaultSpec::quiet(3).with_reorders(1.0)),
+            RetryPolicy::default(),
+        );
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        for i in 0..5 {
+            f.try_send(db0, j0, StreamMsg::Data(i)).unwrap();
+        }
+        f.try_send(db0, j0, StreamMsg::Eos).unwrap();
+        let mut order = Vec::new();
+        let mut eos_at = None;
+        for pos in 0..6 {
+            match f.recv_timeout(j0, Duration::from_secs(1)).unwrap().msg {
+                StreamMsg::Data(i) => order.push(i),
+                StreamMsg::Eos => eos_at = Some(pos),
+            }
+        }
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4], "no delivery may be lost");
+        assert_eq!(eos_at, Some(5), "the barrier must arrive last");
+        assert_ne!(order, vec![0, 1, 2, 3, 4], "rate 1.0 must actually swap");
+        assert!(metrics.get("net.chaos.reordered") > 0);
+    }
+
+    #[test]
+    fn chaos_counters_obey_the_conservation_law() {
+        let root_metrics = Metrics::new();
+        let f: Fabric<Msg> = Fabric::with_options(
+            1,
+            1,
+            root_metrics.clone(),
+            None,
+            Some(FaultSpec::quiet(8).with_dups(1.0)),
+            RetryPolicy::default(),
+        );
+        let a_metrics = Metrics::new();
+        let b_metrics = Metrics::new();
+        let a = f.namespace(1, a_metrics.clone()).unwrap();
+        let b = f.namespace(2, b_metrics.clone()).unwrap();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        a.try_send(
+            db0,
+            j0,
+            Msg {
+                bytes: 10,
+                tuples: 1,
+            },
+        )
+        .unwrap();
+        b.try_send(
+            db0,
+            j0,
+            Msg {
+                bytes: 20,
+                tuples: 2,
+            },
+        )
+        .unwrap();
+        b.try_send(
+            db0,
+            j0,
+            Msg {
+                bytes: 30,
+                tuples: 3,
+            },
+        )
+        .unwrap();
+        for (name, root) in [("net.cross.bytes", 120), ("net.chaos.duplicated", 3)] {
+            assert_eq!(
+                root_metrics.get(name),
+                root,
+                "{name} root total (duplicates included)"
+            );
+            assert_eq!(
+                a_metrics.get(name) + b_metrics.get(name),
+                root,
+                "{name}: root == sum of namespaces"
+            );
+        }
     }
 
     #[test]

@@ -59,6 +59,26 @@ impl StreamTag {
             StreamTag::PerfBitmap => "perf_bitmap",
         }
     }
+
+    /// Whether two adjacent data messages from the *same sender* on this
+    /// stream may swap without changing the query result. Receivers of
+    /// these streams fold arrivals into order-insensitive state — hash
+    /// join builds, aggregate merges, exact key sets — so the chaos
+    /// layer's reordering may target them. `PerfKeys`/`PerfBitmap` are
+    /// positionally decoded (bitmap bit *i* answers key *i* in send
+    /// order) and `FinalResult` chunks concatenate in order, so those
+    /// must never swap; Bloom streams carry one message per edge, so
+    /// reordering them is moot.
+    pub fn reorder_safe(self) -> bool {
+        matches!(
+            self,
+            StreamTag::HdfsShuffle
+                | StreamTag::DbData
+                | StreamTag::HdfsData
+                | StreamTag::PartialAgg
+                | StreamTag::DbKeySet
+        )
+    }
 }
 
 /// A fabric message.
@@ -101,6 +121,14 @@ impl Wire for Message {
 
     fn wire_stream_label(&self) -> Option<&'static str> {
         Some(self.stream().label())
+    }
+
+    fn wire_is_barrier(&self) -> bool {
+        matches!(self, Message::Eos { .. })
+    }
+
+    fn wire_reorderable(&self) -> bool {
+        matches!(self, Message::Data { stream, .. } if stream.reorder_safe())
     }
 }
 

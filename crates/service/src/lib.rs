@@ -80,6 +80,20 @@ impl From<HybridError> for ServiceError {
     }
 }
 
+/// Whether a failed execution is worth re-running: injected faults,
+/// disconnected workers, cancellations (always secondary to one of the
+/// former inside a single session) and transient network errors are; a
+/// config, planning, or data error would fail identically on retry.
+fn retryable(e: &HybridError) -> bool {
+    matches!(
+        e,
+        HybridError::FaultInjected { .. }
+            | HybridError::Disconnected { .. }
+            | HybridError::Cancelled { .. }
+            | HybridError::Net(_)
+    )
+}
+
 /// Service sizing and policy.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -99,6 +113,11 @@ pub struct ServiceConfig {
     /// uses 8; the service defaults lower because it estimates every
     /// submission).
     pub sample_blocks: usize,
+    /// Re-executions after a retryable failure (injected fault, worker
+    /// disconnection, cancellation, transient network error). Each retry
+    /// runs in a *fresh* session namespace, so a seeded chaos plan rolls
+    /// new per-delivery decisions instead of replaying the failure.
+    pub query_retries: u32,
 }
 
 impl Default for ServiceConfig {
@@ -111,6 +130,7 @@ impl Default for ServiceConfig {
             result_cache_capacity: 64,
             bloom_cache_capacity: 32,
             sample_blocks: 4,
+            query_retries: 2,
         }
     }
 }
@@ -194,6 +214,7 @@ impl QueryService {
             "svc.rejected",
             "svc.timed_out",
             "svc.failed",
+            "svc.retries",
         ] {
             metrics.register(name);
         }
@@ -323,12 +344,31 @@ impl QueryService {
         // just-invalidated cache.
         let generations = self.results.generations(&req.query);
         let exec_start = Instant::now();
-        let run_result = (|| {
-            let mut session = self.root.read().session(seq + 1)?;
-            let out = run(&mut session, &req.query, algorithm);
-            session.close_session();
-            out
-        })();
+        // Execute, retrying retryable failures while holding the admission
+        // slot (the scheduling cost was already paid; re-queueing a retry
+        // behind new arrivals would only stretch its latency). Every
+        // attempt takes a fresh sequence number and therefore a fresh
+        // fabric namespace: chaos fault decisions are keyed on the
+        // namespace, so a retry rolls new per-delivery outcomes instead of
+        // deterministically replaying the failure.
+        let mut session_seq = seq;
+        let mut attempt = 0u32;
+        let run_result = loop {
+            let result = (|| {
+                let mut session = self.root.read().session(session_seq + 1)?;
+                let out = run(&mut session, &req.query, algorithm);
+                session.close_session();
+                out
+            })();
+            match result {
+                Err(e) if attempt < self.cfg.query_retries && retryable(&e) => {
+                    attempt += 1;
+                    self.metrics.add("svc.retries", 1);
+                    session_seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                }
+                other => break other,
+            }
+        };
         self.sched.release();
         let out = match run_result {
             Ok(out) => out,

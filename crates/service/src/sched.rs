@@ -206,23 +206,59 @@ mod tests {
         s.release();
     }
 
+    /// Queue timeouts across 100 seeded schedules: each seed perturbs the
+    /// timeout length, the scheduling policy, how many extra waiters pile
+    /// up behind the stuck one, and when they arrive. Whatever the
+    /// interleaving, every waiter must surface `TimedOut` (the slot holder
+    /// never releases), report `waited >= timeout`, and leave the queue
+    /// empty — a ticket leaked by one schedule would fail the load check.
     #[test]
     fn queued_submission_times_out() {
-        let s = Arc::new(Scheduler::new(
-            1,
-            4,
-            Duration::from_millis(50),
-            SchedulePolicy::Fifo,
-        ));
-        s.admit(0, 1.0).unwrap();
-        match s.admit(1, 1.0) {
-            Err(ServiceError::TimedOut { waited }) => {
-                assert!(waited >= Duration::from_millis(50));
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..100u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let timeout = Duration::from_micros(rng.gen_range(500..4000u64));
+            let policy = if rng.gen_range(0..2u32) == 0 {
+                SchedulePolicy::Fifo
+            } else {
+                SchedulePolicy::Sjf
+            };
+            let extra_waiters = rng.gen_range(0..3usize);
+            let s = Arc::new(Scheduler::new(1, 4, timeout, policy));
+            s.admit(0, 1.0).unwrap();
+            let handles: Vec<_> = (0..extra_waiters)
+                .map(|i| {
+                    let s2 = Arc::clone(&s);
+                    let pre_sleep = Duration::from_micros(rng.gen_range(0..300u64));
+                    let cost = rng.gen_range(1..100u64) as f64;
+                    std::thread::spawn(move || {
+                        std::thread::sleep(pre_sleep);
+                        s2.admit(2 + i as u64, cost)
+                    })
+                })
+                .collect();
+            match s.admit(1, 1.0) {
+                Err(ServiceError::TimedOut { waited }) => {
+                    assert!(waited >= timeout, "seed {seed}: waited {waited:?}");
+                }
+                other => panic!("seed {seed}: expected TimedOut, got {other:?}"),
             }
-            other => panic!("expected TimedOut, got {other:?}"),
+            for h in handles {
+                match h.join().unwrap() {
+                    Err(ServiceError::TimedOut { waited }) => {
+                        assert!(waited >= timeout, "seed {seed}: waited {waited:?}");
+                    }
+                    other => panic!("seed {seed}: expected TimedOut, got {other:?}"),
+                }
+            }
+            assert_eq!(
+                s.load(),
+                (1, 0),
+                "seed {seed}: timed-out tickets must leave the queue"
+            );
+            s.release();
         }
-        assert_eq!(s.load(), (1, 0), "timed-out ticket must leave the queue");
-        s.release();
     }
 
     /// Park `n` waiters with the given costs behind an occupied slot, then
@@ -281,38 +317,70 @@ mod tests {
     /// second waiter sleeps until its full queue timeout.
     #[test]
     fn second_free_slot_admits_the_next_waiter_promptly() {
-        for _ in 0..20 {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // 100 seeded schedules: each seed perturbs the slot count, the
+        // policy, the waiters' costs and arrival jitter, and — the key
+        // lever for this race — the gap between the releases. The missed
+        // wakeup reproduced originally when both notifies landed before
+        // either waiter woke; varied release gaps explore both that
+        // coalesced schedule and the staggered ones around it.
+        for seed in 0..100u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let slots = rng.gen_range(2..4usize);
+            let waiters = slots; // every freed slot must re-admit promptly
+            let policy = if rng.gen_range(0..2u32) == 0 {
+                SchedulePolicy::Fifo
+            } else {
+                SchedulePolicy::Sjf
+            };
             let s = Arc::new(Scheduler::new(
-                2,
-                4,
+                slots,
+                waiters + 1,
                 Duration::from_secs(10),
-                SchedulePolicy::Fifo,
+                policy,
             ));
-            s.admit(0, 0.0).unwrap();
-            s.admit(1, 0.0).unwrap();
-            let handles: Vec<_> = [2u64, 3]
-                .into_iter()
-                .map(|seq| {
+            for seq in 0..slots as u64 {
+                s.admit(seq, 0.0).unwrap();
+            }
+            let handles: Vec<_> = (0..waiters)
+                .map(|i| {
                     let s2 = Arc::clone(&s);
-                    std::thread::spawn(move || s2.admit(seq, 0.0).unwrap())
+                    let jitter = Duration::from_micros(rng.gen_range(0..200u64));
+                    let cost = rng.gen_range(0..50u64) as f64;
+                    let seq = (slots + i) as u64;
+                    std::thread::spawn(move || {
+                        std::thread::sleep(jitter);
+                        s2.admit(seq, cost).unwrap();
+                    })
                 })
                 .collect();
-            while s.load().1 < 2 {
+            while s.load().1 < waiters {
                 std::thread::yield_now();
             }
             let freed = Instant::now();
-            s.release();
-            s.release();
+            for _ in 0..slots {
+                s.release();
+                let gap = rng.gen_range(0..150u64);
+                if gap > 0 {
+                    std::thread::sleep(Duration::from_micros(gap));
+                }
+            }
             for h in handles {
                 h.join().unwrap();
             }
             assert!(
                 freed.elapsed() < Duration::from_secs(5),
-                "a waiter missed its wakeup and slept toward the queue timeout"
+                "seed {seed}: a waiter missed its wakeup and slept toward the queue timeout"
             );
-            assert_eq!(s.load(), (2, 0), "both waiters must hold slots");
-            s.release();
-            s.release();
+            assert_eq!(
+                s.load(),
+                (waiters, 0),
+                "seed {seed}: every waiter must hold a slot"
+            );
+            for _ in 0..waiters {
+                s.release();
+            }
         }
     }
 

@@ -1,0 +1,445 @@
+//! The chaos soak: seeded fault injection across every join algorithm and
+//! both execution modes.
+//!
+//! Each seed derives a fault mix (drops, duplicates, delays, reorders,
+//! worker kills, stragglers) through [`FaultSpec::from_seed`]; the fabric
+//! and driver inject those faults deterministically — decisions are pure
+//! hashes of `(seed, namespace, edge, stream, sequence, attempt)`, never
+//! of wall-clock or thread schedule — so any failure replays from its
+//! printed seed alone:
+//!
+//! ```text
+//! HYBRID_CHAOS_SEED=<seed> cargo test -q --test chaos
+//! ```
+//!
+//! The contract, for every `(seed, algorithm, thread-count)` cell:
+//!
+//! * the run either returns the **bit-identical** reference answer (faults
+//!   recovered by retry/backoff and receiver-side dedup), or
+//! * fails with a **typed** error naming the injected fault
+//!   ([`HybridError::FaultInjected`] / [`HybridError::Disconnected`]) —
+//!   never a generic timeout, never a secondary `Cancelled`;
+//! * and it always terminates: a hard watchdog converts any hang into a
+//!   failure carrying the seed.
+//!
+//! Seed count: `HYBRID_CHAOS_SEEDS` (defaults to 6 in debug builds, 50 in
+//! release — the CI soak runs release). `HYBRID_CHAOS_SEED` pins one seed
+//! for replay.
+
+use hybrid_common::error::HybridError;
+use hybrid_common::hash::splitmix64;
+use hybrid_core::reference::run_reference;
+use hybrid_core::{run, FaultSpec, FaultTarget, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::{Workload, WorkloadSpec};
+use hybrid_service::{QueryRequest, QueryService, ServiceConfig};
+use hybrid_storage::FileFormat;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const DB_WORKERS: usize = 3;
+const JEN_WORKERS: usize = 4;
+
+/// Any cell exceeding this is a hang, reported with its seed. Generous:
+/// a healthy cell runs in well under a second.
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+fn small_workload() -> Workload {
+    let mut spec = WorkloadSpec::tiny();
+    spec.t_rows = 400;
+    spec.l_rows = 1600;
+    spec.generate().unwrap()
+}
+
+/// The seven production algorithms (PERF is the paper's measured-baseline
+/// extra; its positional streams are excluded from reordering by
+/// construction, so the soak sticks to the paper set + semi-join).
+fn all_algorithms() -> [JoinAlgorithm; 7] {
+    [
+        JoinAlgorithm::DbSide { bloom: false },
+        JoinAlgorithm::DbSide { bloom: true },
+        JoinAlgorithm::Broadcast,
+        JoinAlgorithm::Repartition { bloom: false },
+        JoinAlgorithm::Repartition { bloom: true },
+        JoinAlgorithm::Zigzag,
+        JoinAlgorithm::SemiJoin,
+    ]
+}
+
+fn chaos_config(threads: usize, faults: FaultSpec) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_shape(DB_WORKERS, JEN_WORKERS);
+    cfg.rows_per_block = 100;
+    cfg.threads = threads;
+    cfg.recv_timeout = Duration::from_secs(10);
+    cfg.fault_spec = Some(faults);
+    cfg
+}
+
+fn soak_seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("HYBRID_CHAOS_SEED") {
+        return vec![s.parse().expect("HYBRID_CHAOS_SEED must be a u64")];
+    }
+    let default = if cfg!(debug_assertions) { 6 } else { 50 };
+    let n: u64 = std::env::var("HYBRID_CHAOS_SEEDS")
+        .ok()
+        .map(|v| v.parse().expect("HYBRID_CHAOS_SEEDS must be a u64"))
+        .unwrap_or(default);
+    (0..n).collect()
+}
+
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("HYBRID_THREADS") {
+        Ok(v) => vec![v.parse().expect("HYBRID_THREADS must be a usize")],
+        Err(_) => vec![1, 8],
+    }
+}
+
+/// Derive one seed's fault mix: the rate-based classes come from
+/// [`FaultSpec::from_seed`]; on top, every fourth seed kills a worker at a
+/// seed-chosen step and a disjoint quarter slows one JEN worker into a
+/// straggler. Kill steps past a worker's last step simply never fire —
+/// those cells double as plain fault-mix runs.
+fn mix_for(seed: u64) -> FaultSpec {
+    let mut spec = FaultSpec::from_seed(seed, 0.08);
+    let h = splitmix64(seed ^ 0xFA17_FA17);
+    match h % 4 {
+        0 => {
+            let target = if h & 16 == 0 {
+                FaultTarget::Jen
+            } else {
+                FaultTarget::Db
+            };
+            let workers = match target {
+                FaultTarget::Jen => JEN_WORKERS,
+                FaultTarget::Db => DB_WORKERS,
+            };
+            let worker = (splitmix64(h) % workers as u64) as usize;
+            let step = (splitmix64(h ^ 1) % 6) as usize;
+            spec = spec.with_kill(target, worker, step);
+        }
+        1 => {
+            let worker = (splitmix64(h ^ 2) % JEN_WORKERS as u64) as usize;
+            spec = spec.with_straggler(FaultTarget::Jen, worker, Duration::from_micros(300));
+        }
+        _ => {}
+    }
+    spec
+}
+
+/// Run every algorithm on one `(seed, threads)` system under a watchdog.
+/// The executing thread owns the system; the test thread only waits with
+/// a timeout, so a hung cell becomes a failed assertion naming its seed
+/// instead of a stuck test binary.
+fn run_all_with_watchdog(
+    workload: Arc<Workload>,
+    threads: usize,
+    faults: FaultSpec,
+    seed: u64,
+) -> Vec<(
+    JoinAlgorithm,
+    Result<hybrid_common::batch::Batch, HybridError>,
+)> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut sys = HybridSystem::new(chaos_config(threads, faults)).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let query = workload.query();
+        for alg in all_algorithms() {
+            let outcome = run(&mut sys, &query, alg).map(|o| o.result);
+            if tx.send((alg, outcome)).is_err() {
+                return; // watchdog already fired; stop wasting the CPU
+            }
+        }
+    });
+    let total = all_algorithms().len();
+    let mut out = Vec::with_capacity(total);
+    for done in 0..total {
+        match rx.recv_timeout(WATCHDOG) {
+            Ok(pair) => out.push(pair),
+            Err(_) => panic!(
+                "seed {seed}: algorithm {done}/{total} at {threads} threads hung past \
+                 {WATCHDOG:?} (or its runner died) — replay with HYBRID_CHAOS_SEED={seed}"
+            ),
+        }
+    }
+    out
+}
+
+fn assert_typed(e: &HybridError, seed: u64, alg: JoinAlgorithm, threads: usize) {
+    assert!(
+        matches!(
+            e,
+            HybridError::FaultInjected { .. } | HybridError::Disconnected { .. }
+        ),
+        "seed {seed}: {alg} at {threads} threads surfaced an untyped error: {e} — \
+         replay with HYBRID_CHAOS_SEED={seed}"
+    );
+}
+
+/// The headline soak: N seeds × 7 algorithms × threads {1, 8}, each cell
+/// under its seed's fault mix. Bit-match or typed error, never a hang.
+#[test]
+fn chaos_soak_any_schedule_correctness() {
+    let workload = Arc::new(small_workload());
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert!(expected.num_rows() > 0, "soak query must be non-trivial");
+
+    for seed in soak_seeds() {
+        let faults = mix_for(seed);
+        for threads in thread_counts() {
+            let outcomes =
+                run_all_with_watchdog(Arc::clone(&workload), threads, faults.clone(), seed);
+            for (alg, res) in outcomes {
+                match res {
+                    Ok(result) => assert_eq!(
+                        result, expected,
+                        "seed {seed}: {alg} at {threads} threads returned a wrong answer — \
+                         replay with HYBRID_CHAOS_SEED={seed}"
+                    ),
+                    Err(e) => assert_typed(&e, seed, alg, threads),
+                }
+            }
+        }
+    }
+}
+
+/// Replay determinism: the whole point of seeding. Two fresh systems under
+/// the same seed must produce identical outcomes — same result batch, same
+/// metric totals (chaos counters included), or the same typed error.
+/// Sequential mode, where even the metric totals are schedule-free.
+#[test]
+fn same_seed_replays_identically() {
+    let workload = small_workload();
+    let query = workload.query();
+    let faults = FaultSpec::quiet(0xD5)
+        .with_drops(0.25)
+        .with_dups(0.2)
+        .with_reorders(0.3)
+        .with_delays(0.1, Duration::from_micros(200));
+
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let mut sys = HybridSystem::new(chaos_config(1, faults.clone())).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let per_alg: Vec<_> = all_algorithms()
+            .into_iter()
+            .map(|alg| {
+                (
+                    alg,
+                    run(&mut sys, &query, alg).map(|o| (o.result, o.snapshot)),
+                )
+            })
+            .collect();
+        runs.push(per_alg);
+    }
+    let second = runs.pop().unwrap();
+    let first = runs.pop().unwrap();
+    for ((alg, a), (_, b)) in first.into_iter().zip(second) {
+        match (a, b) {
+            (Ok((res_a, snap_a)), Ok((res_b, snap_b))) => {
+                assert_eq!(res_a, res_b, "{alg}: results diverged across replays");
+                assert_eq!(
+                    snap_a, snap_b,
+                    "{alg}: metric totals diverged across replays"
+                );
+            }
+            (Err(ea), Err(eb)) => {
+                assert_eq!(ea, eb, "{alg}: errors diverged across replays")
+            }
+            (a, b) => panic!("{alg}: outcome class diverged across replays: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// An injected worker kill must surface as the typed disconnection naming
+/// the dead worker — in both execution modes — and leave the system
+/// reusable: the next run on the same system (kill re-fires) fails the
+/// same way rather than hanging or corrupting state.
+#[test]
+fn injected_kill_is_typed_in_both_execution_modes() {
+    let workload = small_workload();
+    let query = workload.query();
+    for threads in [1, 8] {
+        let faults = FaultSpec::quiet(1).with_kill(FaultTarget::Jen, 1, 1);
+        let mut sys = HybridSystem::new(chaos_config(threads, faults)).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        for round in 0..2 {
+            let err = run(
+                &mut sys,
+                &query,
+                JoinAlgorithm::Repartition { bloom: false },
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                HybridError::Disconnected {
+                    endpoint: "jen-worker-1".into(),
+                    stream: None,
+                },
+                "threads={threads} round={round}"
+            );
+        }
+    }
+}
+
+/// Kill a JEN worker between the grace join's spill-write (build step) and
+/// spill-read (probe step): the failure must be typed AND every spill
+/// partition file written must be removed when the run unwinds — the
+/// `files_created == files_removed` pair is the no-orphans invariant.
+#[test]
+fn kill_at_spill_boundary_leaves_no_orphaned_partitions() {
+    let workload = small_workload();
+    let query = workload.query();
+    // Repartition JEN step ordinals: 0 = scan+shuffle, 1 = recv+build
+    // (spill-write happens here), 2 = probe (spill-read) — the kill lands
+    // exactly on the boundary.
+    let faults = FaultSpec::quiet(2).with_kill(FaultTarget::Jen, 0, 2);
+    let mut cfg = chaos_config(1, faults);
+    cfg.jen_memory_limit_rows = Some(64);
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+
+    let err = run(
+        &mut sys,
+        &query,
+        JoinAlgorithm::Repartition { bloom: false },
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        HybridError::Disconnected {
+            endpoint: "jen-worker-0".into(),
+            stream: None,
+        }
+    );
+    let created = sys.metrics.get("jen.spill.files_created");
+    let removed = sys.metrics.get("jen.spill.files_removed");
+    assert!(created > 0, "the kill must land after real spill activity");
+    assert_eq!(
+        created,
+        removed,
+        "killed run orphaned {} spill partition file(s)",
+        created - removed
+    );
+}
+
+/// Coordinator-level recovery: the service re-admits a failed query in a
+/// fresh session namespace, where the seeded plan rolls fresh per-delivery
+/// decisions. Under a drop-heavy mix, submissions either recover to the
+/// exact reference answer or exhaust their retries with the typed injected
+/// fault — and the `svc.retries` counter proves recovery actually ran.
+#[test]
+fn service_retries_recover_injected_drops() {
+    let workload = small_workload();
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+
+    let faults = FaultSpec::quiet(3).with_drops(0.35);
+    let mut sys = HybridSystem::new(chaos_config(1, faults)).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    let service = QueryService::new(
+        sys,
+        ServiceConfig {
+            result_cache_capacity: 0, // every submission must execute
+            query_retries: 3,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let submissions = 8;
+    let mut completed = 0u64;
+    for _ in 0..submissions {
+        match service.submit(&QueryRequest::new(query.clone())) {
+            Ok(resp) => {
+                assert_eq!(
+                    *resp.result, expected,
+                    "a recovered query must still return the exact answer"
+                );
+                completed += 1;
+            }
+            Err(hybrid_service::ServiceError::Exec(e)) => {
+                assert!(
+                    matches!(
+                        e,
+                        HybridError::FaultInjected { .. } | HybridError::Disconnected { .. }
+                    ),
+                    "exhausted retries must surface the typed fault, got {e}"
+                );
+            }
+            Err(other) => panic!("unexpected service error: {other}"),
+        }
+    }
+    let m = service.metrics();
+    assert_eq!(
+        m.get("svc.completed") + m.get("svc.failed"),
+        submissions,
+        "every submission must resolve"
+    );
+    assert!(completed > 0, "at least one submission must recover");
+    assert!(
+        m.get("svc.retries") > 0,
+        "a 35% drop rate must force at least one coordinator retry"
+    );
+}
+
+/// The conservation law under retransmission and reordering: for every
+/// fabric-carried counter — including the injected duplicates themselves —
+/// the root registry's total must equal the exact sum over the per-session
+/// snapshots. Any gap is silent data loss or double-metering.
+#[test]
+fn conservation_law_holds_under_duplication_and_reordering() {
+    let workload = small_workload();
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+
+    let faults = FaultSpec::quiet(11).with_dups(0.5).with_reorders(0.5);
+    let mut sys = HybridSystem::new(chaos_config(1, faults)).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    let service = QueryService::new(
+        sys,
+        ServiceConfig {
+            result_cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let mut snapshots = Vec::new();
+    for _ in 0..4 {
+        let resp = service.submit(&QueryRequest::new(query.clone())).unwrap();
+        assert_eq!(*resp.result, expected);
+        snapshots.push(resp.snapshot.expect("executions carry a snapshot"));
+    }
+    let root = service.metrics();
+    for name in [
+        "net.cross.bytes",
+        "net.cross.msgs",
+        "net.chaos.duplicated",
+        "net.chaos.reordered",
+        "net.chaos.deduped",
+    ] {
+        let session_sum: u64 = snapshots
+            .iter()
+            .map(|s| s.get(name).copied().unwrap_or(0))
+            .sum();
+        assert_eq!(
+            root.get(name),
+            session_sum,
+            "conservation law violated for {name}"
+        );
+    }
+    assert!(
+        root.get("net.chaos.duplicated") > 0 && root.get("net.chaos.reordered") > 0,
+        "the 50% mix must actually inject faults"
+    );
+    // A duplicate is deduped only if its receiver reads past it; dups that
+    // land after a stream was fully taken are simply purged with the
+    // session, so dedups can trail the injected count — never exceed it.
+    assert!(
+        root.get("net.chaos.deduped") > 0,
+        "receivers must observe and dedup retransmissions"
+    );
+    assert!(
+        root.get("net.chaos.deduped") <= root.get("net.chaos.duplicated"),
+        "more dedups than injected duplicates"
+    );
+}
