@@ -1,0 +1,265 @@
+//! `bench_baseline` — the CI regression gate for join-algorithm behaviour.
+//!
+//! ```text
+//! bench_baseline [--emit PATH] [--check BASELINE]
+//! ```
+//!
+//! Runs every join algorithm once at a fixed tiny scale with a pinned seed
+//! and collects a flat map of behavioural counters (result rows, tuples
+//! shuffled/sent, cross-fabric bytes, shuffle balance) plus wall times.
+//! It also runs the skew demonstration the salting work is gated on:
+//! repartition over a Zipf(1.2) key distribution at 8 threads, salting off
+//! vs on, asserting **bit-identical results** and a ≥ 1.5× drop in
+//! `net.shuffle.max_over_mean_x1000`.
+//!
+//! * `--emit PATH` writes the collected counters as JSON — commit the
+//!   output as `BENCH_baseline.json` to (re-)bless the baseline.
+//! * `--check BASELINE` compares the fresh counters against a committed
+//!   baseline: any row/byte/balance counter that deviates **at all** fails,
+//!   as does a wall time regressing more than 25% (plus a small absolute
+//!   slack so ~millisecond cells do not flake on loaded CI runners). A
+//!   counter present on one side only also fails — adding an algorithm or
+//!   metric requires a re-bless.
+//!
+//! The counters (everything except `*.wall_ms`) are deterministic: same
+//! seed, same data, same schedule-independent volumes at any thread count.
+//! To re-bless after an intentional behaviour change:
+//!
+//! ```text
+//! cargo run --release --bin bench_baseline -- --emit BENCH_baseline.json
+//! ```
+
+use hybrid_bench::{default_system_config, ExpSystem};
+use hybrid_core::{run, JoinAlgorithm};
+use hybrid_datagen::{KeySkew, WorkloadSpec};
+use hybrid_storage::FileFormat;
+use std::collections::BTreeMap;
+
+/// Pinned workload seed — independent of the spec default so reseeding the
+/// test workloads does not silently re-bless the bench baseline.
+const SEED: u64 = 0x00C1_BA5E;
+
+/// Wall-time regression tolerance: fail only above `base * 1.25 + 50 ms`.
+const WALL_FRACTION: u64 = 4; // denominator: base/4 = 25%
+const WALL_SLACK_MS: u64 = 50;
+
+/// The salting fan-out and the balance-improvement floor of the gate.
+const SALT_BUCKETS: usize = 4;
+const MIN_IMPROVEMENT_X10: u64 = 15; // salted must be >= 1.5x more balanced
+
+type Counters = BTreeMap<String, u64>;
+
+fn all_algorithms() -> Vec<JoinAlgorithm> {
+    JoinAlgorithm::paper_variants()
+        .into_iter()
+        .chain([JoinAlgorithm::SemiJoin, JoinAlgorithm::PerfJoin])
+        .collect()
+}
+
+/// Run every algorithm at the pinned configuration and collect counters.
+fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
+    let mut c: Counters = BTreeMap::new();
+    c.insert("meta.format_version".into(), 1);
+    c.insert("meta.seed".into(), SEED);
+
+    let spec = WorkloadSpec {
+        seed: SEED,
+        ..WorkloadSpec::tiny()
+    };
+    let mut exp = ExpSystem::build_with(spec, FileFormat::Columnar, default_system_config())?;
+    for alg in all_algorithms() {
+        let m = exp.run(alg)?;
+        let p = alg.name();
+        c.insert(format!("{p}.result_rows"), m.result_rows as u64);
+        c.insert(
+            format!("{p}.hdfs_tuples_shuffled"),
+            m.summary.hdfs_tuples_shuffled,
+        );
+        c.insert(format!("{p}.db_tuples_sent"), m.summary.db_tuples_sent);
+        c.insert(format!("{p}.hdfs_tuples_sent"), m.summary.hdfs_tuples_sent);
+        c.insert(format!("{p}.cross_bytes"), m.summary.cross_bytes);
+        c.insert(format!("{p}.intra_hdfs_bytes"), m.summary.intra_hdfs_bytes);
+        c.insert(
+            format!("{p}.shuffle_max_over_mean_x1000"),
+            m.summary.shuffle_max_over_mean_x1000,
+        );
+        c.insert(format!("{p}.wall_ms"), m.elapsed.as_millis() as u64);
+    }
+
+    // --- the skew demonstration the salting work is gated on ---
+    let skew_spec = WorkloadSpec {
+        seed: SEED,
+        skew: KeySkew::Zipf { s: 1.2 },
+        ..WorkloadSpec::tiny()
+    };
+    let mut cfg = default_system_config();
+    cfg.threads = 8;
+    let mut unsalted = ExpSystem::build_with(skew_spec, FileFormat::Columnar, cfg.clone())?;
+    cfg.salt_buckets = Some(SALT_BUCKETS);
+    let mut salted = ExpSystem::build_with(skew_spec, FileFormat::Columnar, cfg)?;
+
+    let alg = JoinAlgorithm::Repartition { bloom: false };
+    let query = unsalted.workload.query();
+    let off = run(&mut unsalted.system, &query, alg)?;
+    let on = run(&mut salted.system, &query, alg)?;
+    if off.result != on.result {
+        return Err("salted repartition result differs from unsalted reference".into());
+    }
+    let off_ratio = off.summary.shuffle_max_over_mean_x1000;
+    let on_ratio = on.summary.shuffle_max_over_mean_x1000;
+    if on_ratio == 0 || off_ratio * 10 < on_ratio * MIN_IMPROVEMENT_X10 {
+        return Err(format!(
+            "salting improved shuffle balance only {off_ratio}/{on_ratio} \
+             (need >= {}.{}x)",
+            MIN_IMPROVEMENT_X10 / 10,
+            MIN_IMPROVEMENT_X10 % 10
+        )
+        .into());
+    }
+    c.insert(
+        "skew.repartition.result_rows".into(),
+        off.result.num_rows() as u64,
+    );
+    c.insert(
+        "skew.repartition.unsalted.max_over_mean_x1000".into(),
+        off_ratio,
+    );
+    c.insert(
+        "skew.repartition.salted.max_over_mean_x1000".into(),
+        on_ratio,
+    );
+    c.insert(
+        "skew.repartition.unsalted.hdfs_tuples_shuffled".into(),
+        off.summary.hdfs_tuples_shuffled,
+    );
+    c.insert(
+        "skew.repartition.salted.hdfs_tuples_shuffled".into(),
+        on.summary.hdfs_tuples_shuffled,
+    );
+    println!(
+        "skew demo: zipf 1.2, 8 threads, repartition — max/mean {:.2} unsalted \
+         -> {:.2} salted ({}x buckets), identical results",
+        off_ratio as f64 / 1000.0,
+        on_ratio as f64 / 1000.0,
+        SALT_BUCKETS
+    );
+    Ok(c)
+}
+
+fn to_json(c: &Counters) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in c.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{k}\": {v}{}\n",
+            if i + 1 < c.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parse the flat `{"key": number, ...}` shape emitted by [`to_json`].
+fn parse_flat_json(text: &str) -> Result<Counters, String> {
+    let t = text.trim();
+    let t = t.strip_prefix('{').ok_or("expected leading '{'")?;
+    let t = t.strip_suffix('}').ok_or("expected trailing '}'")?;
+    let mut c = Counters::new();
+    for entry in t.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (k, v) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("bad entry {entry:?}"))?;
+        let k = k.trim().trim_matches('"');
+        let v: u64 = v
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number for {k:?}: {e}"))?;
+        c.insert(k.to_string(), v);
+    }
+    Ok(c)
+}
+
+/// All deviations of `current` from `baseline` under the gate's rules.
+fn compare(baseline: &Counters, current: &Counters) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (k, &base) in baseline {
+        match current.get(k) {
+            None => failures.push(format!("{k}: in baseline but not measured (re-bless?)")),
+            Some(&cur) if k.ends_with(".wall_ms") => {
+                let limit = base + base / WALL_FRACTION + WALL_SLACK_MS;
+                if cur > limit {
+                    failures.push(format!(
+                        "{k}: {cur} ms regressed past {limit} ms (baseline {base} ms + 25% + slack)"
+                    ));
+                }
+            }
+            Some(&cur) => {
+                if cur != base {
+                    failures.push(format!("{k}: measured {cur}, baseline {base}"));
+                }
+            }
+        }
+    }
+    for k in current.keys() {
+        if !baseline.contains_key(k) {
+            failures.push(format!(
+                "{k}: measured but absent from baseline (re-bless?)"
+            ));
+        }
+    }
+    failures
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_baseline [--emit PATH] [--check BASELINE]");
+    std::process::exit(2)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut emit: Option<String> = None;
+    let mut check: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--emit" => emit = Some(value()),
+            "--check" => check = Some(value()),
+            _ => usage(),
+        }
+    }
+
+    let current = measure()?;
+    if let Some(path) = &emit {
+        std::fs::write(path, to_json(&current))?;
+        println!("{} counters written to {path}", current.len());
+    }
+    if let Some(path) = &check {
+        let text = std::fs::read_to_string(path)?;
+        let baseline = parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let failures = compare(&baseline, &current);
+        if failures.is_empty() {
+            println!(
+                "baseline check passed: {} counters match {path}",
+                baseline.len()
+            );
+        } else {
+            eprintln!("baseline check FAILED against {path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            eprintln!(
+                "if the change is intentional, re-bless with:\n  \
+                 cargo run --release --bin bench_baseline -- --emit BENCH_baseline.json"
+            );
+            std::process::exit(1);
+        }
+    }
+    if emit.is_none() && check.is_none() {
+        print!("{}", to_json(&current));
+    }
+    Ok(())
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! hwjoin [--alg zigzag|db|db-bf|broadcast|repartition|repartition-bf|semijoin|perf|auto|all]
 //!        [--sigma-t F] [--sigma-l F] [--st F] [--sl F]
+//!        [--zipf S | --single-key] [--salt-buckets F]
 //!        [--format columnar|text] [--scale tiny|small|default]
 //!        [--spill-limit ROWS] [--timeline PATH] [--threads N]
 //!        [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]
@@ -19,6 +20,14 @@
 //! parallel driver; the default comes from `HYBRID_THREADS` (or 1,
 //! sequential).
 //!
+//! `--zipf S` draws join keys from a Zipf(S) distribution and
+//! `--single-key` collapses them to one pathological hot key;
+//! `--salt-buckets F` turns on skew-aware salting: detected hot keys are
+//! split across up to `F` JEN workers on the build side with the matching
+//! probe tuples replicated to the same workers. Results are bit-identical
+//! to the unsalted run; compare `net.shuffle.max_over_mean_x1000` in a
+//! `--timeline` dump to watch the straggler disappear.
+//!
 //! `--serve` switches to serving mode: instead of one join, N client
 //! threads drive a mixed workload through the concurrent query service
 //! (see `svc_bench` for the dedicated benchmark with all its knobs).
@@ -34,7 +43,7 @@ use hybrid_bench::report::{print_table, secs};
 use hybrid_bench::svc::{build_service_system, serve_workload, ServeOptions};
 use hybrid_bench::{default_system_config, ExpSystem};
 use hybrid_core::{run_auto, JoinAlgorithm};
-use hybrid_datagen::WorkloadSpec;
+use hybrid_datagen::{KeySkew, WorkloadSpec};
 use hybrid_service::SchedulePolicy;
 use hybrid_storage::FileFormat;
 
@@ -55,7 +64,8 @@ fn parse_alg(s: &str) -> Option<JoinAlgorithm> {
 fn usage() -> ! {
     eprintln!(
         "usage: hwjoin [--alg NAME|auto|all] [--sigma-t F] [--sigma-l F] \
-         [--st F] [--sl F] [--format columnar|text] [--scale tiny|small|default] \
+         [--st F] [--sl F] [--zipf S | --single-key] [--salt-buckets F] \
+         [--format columnar|text] [--scale tiny|small|default] \
          [--spill-limit ROWS] [--timeline PATH] [--threads N] \
          [--chaos-seed N] [--fault-rate R] \
          [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]"
@@ -75,6 +85,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut json_path: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut fault_rate: Option<f64> = None;
+    // applied after parsing so flag order vs --scale does not matter
+    let mut skew = KeySkew::Uniform;
+    let mut salt_buckets: Option<usize> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -91,6 +104,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--threads" => threads = Some(value().parse()?),
             "--chaos-seed" => chaos_seed = Some(value().parse()?),
             "--fault-rate" => fault_rate = Some(value().parse()?),
+            "--zipf" => {
+                skew = KeySkew::Zipf {
+                    s: value().parse()?,
+                }
+            }
+            "--single-key" => skew = KeySkew::SingleKey,
+            "--salt-buckets" => salt_buckets = Some(value().parse()?),
             "--serve" => serve = true,
             "--clients" => serve_opts.clients = value().parse()?,
             "--queries" => serve_opts.queries = value().parse()?,
@@ -151,11 +171,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    spec.skew = skew;
     println!(
-        "workload: T={} rows, L={} rows, sigma_T={}, sigma_L={}, ST'={}, SL'={}, {format}",
-        spec.t_rows, spec.l_rows, spec.sigma_t, spec.sigma_l, spec.st, spec.sl
+        "workload: T={} rows, L={} rows, sigma_T={}, sigma_L={}, ST'={}, SL'={}, {format}, keys {:?}",
+        spec.t_rows, spec.l_rows, spec.sigma_t, spec.sigma_l, spec.st, spec.sl, spec.skew
     );
     let mut cfg = default_system_config();
+    cfg.salt_buckets = salt_buckets;
     if let Some(n) = threads {
         cfg.threads = n;
     }
@@ -163,6 +185,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.jen_memory_limit_rows = Some(limit);
     }
     println!("execution: {} worker thread(s)", cfg.threads);
+    if let Some(f) = salt_buckets {
+        println!("salting: detected hot keys split across up to {f} JEN workers");
+    }
 
     let chaos = chaos_seed.is_some() || fault_rate.is_some();
     if chaos {

@@ -27,6 +27,7 @@ pub mod ids;
 pub mod metrics;
 pub mod ops;
 pub mod schema;
+pub mod sketch;
 pub mod trace;
 
 pub use batch::{Batch, Column};

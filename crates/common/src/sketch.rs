@@ -1,0 +1,160 @@
+//! Space-saving heavy-hitter sketch (Metwally et al., ICDT '05).
+//!
+//! Tracks approximate frequencies of the `capacity` most frequent items in
+//! a stream using bounded memory. The classic guarantees hold:
+//!
+//! * every item with true count > `total / capacity` is in the sketch;
+//! * a monitored item's stored count overestimates its true count by at
+//!   most its stored `error`, so `count - error` is a lower bound.
+//!
+//! The shuffle path samples join keys through this sketch to find the
+//! heavy hitters worth salting; `capacity` is small (tens), so the
+//! O(capacity) min-scan on eviction is cheaper than a heap.
+
+use std::collections::HashMap;
+
+/// One monitored item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    count: u64,
+    /// Overestimation bound inherited from the evicted predecessor.
+    error: u64,
+}
+
+/// Bounded-memory frequency sketch over `i64` keys.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    slots: HashMap<i64, Slot>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// `capacity` is the number of monitored keys; must be ≥ 1.
+    pub fn new(capacity: usize) -> SpaceSaving {
+        assert!(capacity >= 1, "sketch capacity must be positive");
+        SpaceSaving {
+            capacity,
+            slots: HashMap::with_capacity(capacity + 1),
+            total: 0,
+        }
+    }
+
+    /// Observe one occurrence of `key`.
+    pub fn offer(&mut self, key: i64) {
+        self.total += 1;
+        if let Some(slot) = self.slots.get_mut(&key) {
+            slot.count += 1;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.insert(key, Slot { count: 1, error: 0 });
+            return;
+        }
+        // Evict the minimum-count key (ties broken by smallest key so the
+        // sketch state is independent of hash-map iteration order) and
+        // inherit its count as the newcomer's error bound.
+        let (&victim, &slot) = self
+            .slots
+            .iter()
+            .min_by_key(|(k, s)| (s.count, **k))
+            .expect("capacity >= 1 so slots are non-empty");
+        self.slots.remove(&victim);
+        self.slots.insert(
+            key,
+            Slot {
+                count: slot.count + 1,
+                error: slot.count,
+            },
+        );
+    }
+
+    /// Total number of offered items.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Keys whose *guaranteed* count (`count - error`) reaches `threshold`,
+    /// sorted by estimated count descending (key ascending on ties) so the
+    /// output is deterministic.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(i64, u64)> {
+        let mut out: Vec<(i64, u64)> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.count - s.error >= threshold.max(1))
+            .map(|(&k, s)| (k, s.count))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = SpaceSaving::new(8);
+        for _ in 0..5 {
+            s.offer(1);
+        }
+        for _ in 0..3 {
+            s.offer(2);
+        }
+        assert_eq!(s.total(), 8);
+        assert_eq!(s.heavy_hitters(3), vec![(1, 5), (2, 3)]);
+        assert_eq!(s.heavy_hitters(4), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_noise() {
+        // One hot key at 50%, noise keys cycling through a large domain:
+        // the hot key must be reported, and its guaranteed count must
+        // clear a fair-share threshold.
+        let mut s = SpaceSaving::new(16);
+        for i in 0..10_000u64 {
+            if i % 2 == 0 {
+                s.offer(42);
+            } else {
+                s.offer(1_000 + (i as i64 % 500));
+            }
+        }
+        let hh = s.heavy_hitters(s.total() / 8);
+        assert_eq!(hh.len(), 1, "{hh:?}");
+        assert_eq!(hh[0].0, 42);
+        // overestimate, never underestimate
+        assert!(hh[0].1 >= 5_000);
+    }
+
+    #[test]
+    fn no_false_heavy_hitters_on_uniform_stream() {
+        let mut s = SpaceSaving::new(16);
+        for i in 0..10_000i64 {
+            s.offer(i % 200);
+        }
+        // fair share of 4 "workers" = 2500; nothing comes close
+        assert!(s.heavy_hitters(2_500).is_empty());
+    }
+
+    #[test]
+    fn eviction_is_deterministic() {
+        let run = || {
+            let mut s = SpaceSaving::new(4);
+            for i in 0..1_000i64 {
+                s.offer(i % 13);
+                if i % 3 == 0 {
+                    s.offer(7);
+                }
+            }
+            s.heavy_hitters(1)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        SpaceSaving::new(0);
+    }
+}

@@ -30,6 +30,12 @@ pub struct QueryEstimates {
     pub num_jen_workers: usize,
     /// Wire size of one Bloom filter.
     pub bloom_bytes: u64,
+    /// Estimated shuffle imbalance: max JEN worker's share of the `L'`
+    /// shuffle over the mean (1.0 = uniform keys, `num_jen_workers` =
+    /// a single hot key). The straggler bounds every pipelined shuffle
+    /// phase, so shuffle-based strategies scale with it; broadcast (which
+    /// replicates `T'` everywhere and keeps `L` local) is immune.
+    pub shuffle_skew: f64,
 }
 
 /// Relative cost of an intra-HDFS byte vs a cross-cluster byte. The paper's
@@ -55,6 +61,12 @@ pub fn estimated_costs(est: &QueryEstimates) -> Vec<(JoinAlgorithm, f64)> {
     let n = est.num_jen_workers as f64;
     let st = est.st.clamp(0.0, 1.0);
     let sl = est.sl.clamp(0.0, 1.0);
+    // The hot worker's shuffle share bounds the pipelined phase: charge the
+    // intra-HDFS shuffle volume of the repartition family at the straggler
+    // rate. DB-side and broadcast never shuffle L', so they are unaffected
+    // — under extreme skew this is exactly what flips the advice away from
+    // repartition/zigzag.
+    let skew = est.shuffle_skew.clamp(1.0, n.max(1.0));
     vec![
         (JoinAlgorithm::Broadcast, DB_EXPORT_WEIGHT * t * n),
         (JoinAlgorithm::DbSide { bloom: false }, DB_INGEST_WEIGHT * l),
@@ -64,15 +76,15 @@ pub fn estimated_costs(est: &QueryEstimates) -> Vec<(JoinAlgorithm, f64)> {
         ),
         (
             JoinAlgorithm::Repartition { bloom: false },
-            DB_EXPORT_WEIGHT * t + INTRA_WEIGHT * l,
+            DB_EXPORT_WEIGHT * t + INTRA_WEIGHT * l * skew,
         ),
         (
             JoinAlgorithm::Repartition { bloom: true },
-            DB_EXPORT_WEIGHT * t + INTRA_WEIGHT * l * sl + bf * n,
+            DB_EXPORT_WEIGHT * t + INTRA_WEIGHT * l * sl * skew + bf * n,
         ),
         (
             JoinAlgorithm::Zigzag,
-            DB_EXPORT_WEIGHT * t * st + INTRA_WEIGHT * l * sl + bf * n + bf * n,
+            DB_EXPORT_WEIGHT * t * st + INTRA_WEIGHT * l * sl * skew + bf * n + bf * n,
         ),
     ]
 }
@@ -103,6 +115,7 @@ mod tests {
             sl,
             num_jen_workers: 30,
             bloom_bytes: 16 << 20,
+            shuffle_skew: 1.0,
         }
     }
 
@@ -144,6 +157,27 @@ mod tests {
         let est = paper_estimates(0.1, 0.4, 1.0, 1.0);
         let choice = advise(&est);
         assert_eq!(choice, JoinAlgorithm::Repartition { bloom: false });
+    }
+
+    #[test]
+    fn extreme_skew_flips_repartition_to_broadcast() {
+        // Modest T', unselective join keys: repartition is the uniform-key
+        // choice. A single hot key (skew = worker count) inflates its
+        // straggler-bound shuffle 30×, while broadcast — which never
+        // shuffles L' — is untouched and takes over.
+        let mut est = paper_estimates(0.01, 0.2, 1.0, 1.0);
+        assert_eq!(advise(&est), JoinAlgorithm::Repartition { bloom: false });
+        est.shuffle_skew = 30.0;
+        assert_eq!(advise(&est), JoinAlgorithm::Broadcast);
+    }
+
+    #[test]
+    fn skew_is_clamped_to_sane_range() {
+        let mut est = paper_estimates(0.1, 0.4, 0.2, 0.1);
+        est.shuffle_skew = 0.0; // nonsense below 1.0 treated as uniform
+        let base = estimated_costs(&est);
+        est.shuffle_skew = 1.0;
+        assert_eq!(estimated_costs(&est), base);
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod zigzag;
 pub use driver::{CancelToken, Driver, TaskSet};
 
 use crate::query::HybridQuery;
+use crate::skew::SaltRouter;
 use crate::stats::{JoinSummary, RunOutput};
 use crate::system::HybridSystem;
 use hybrid_bloom::BloomFilter;
@@ -107,7 +108,25 @@ pub fn run(
         JoinAlgorithm::SemiJoin => semijoin::execute(system, query)?,
         JoinAlgorithm::PerfJoin => perf::execute(system, query)?,
     };
-    let snapshot = system.metrics.snapshot();
+    let mut snapshot = system.metrics.snapshot();
+    // Derived shuffle-balance ratio: max per-worker build load over the
+    // mean across all JEN workers, ×1000 in integer arithmetic so the
+    // ratio lives in the u64 registry and stays schedule-independent.
+    let per_worker_max = snapshot
+        .iter()
+        .filter(|(k, _)| k.starts_with("net.shuffle.rows.jen-"))
+        .map(|(_, v)| *v)
+        .max();
+    if let Some(max) = per_worker_max {
+        let sum: u64 = snapshot
+            .iter()
+            .filter(|(k, _)| k.starts_with("net.shuffle.rows.jen-"))
+            .map(|(_, v)| *v)
+            .sum();
+        if let Some(ratio) = (max * 1000 * system.config.jen_workers as u64).checked_div(sum) {
+            snapshot.insert("net.shuffle.max_over_mean_x1000".to_string(), ratio);
+        }
+    }
     let mut timeline = system.tracer.timeline();
     // Per-link-class transfer totals ride along with the spans so one
     // artifact feeds both the Gantt view and the byte accounting.
@@ -542,17 +561,23 @@ pub(crate) fn jen_take_bloom(st: &mut JenTask, stream: StreamTag) -> Result<Opti
 }
 
 /// Route a DB batch to the owning JEN workers with the agreed hash on
-/// `DbData` (one EOS per destination), under a ShuffleSend span.
+/// `DbData` (one EOS per destination), under a ShuffleSend span. With a
+/// [`SaltRouter`], heavy-hitter probe rows are replicated to the key's salt
+/// workers instead (the build side was split across them).
 pub(crate) fn db_route_to_jen(
     sys: &HybridSystem,
     query: &HybridQuery,
     st: &mut DbTask,
     w: usize,
     batch: &Batch,
+    salt: Option<&SaltRouter>,
 ) -> Result<()> {
     let num_jen = sys.config.jen_workers;
     let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
-    let routed = partition_by_key(batch, query.db_key, num_jen, agreed_shuffle_partition)?;
+    let routed = match salt {
+        Some(r) => r.partition_probe(batch, query.db_key)?,
+        None => partition_by_key(batch, query.db_key, num_jen, agreed_shuffle_partition)?,
+    };
     for (jen_idx, piece) in routed.into_iter().enumerate() {
         let dst = Endpoint::Jen(JenWorkerId(jen_idx));
         st.mailbox.send_data(dst, StreamTag::DbData, &piece)?;
@@ -563,7 +588,9 @@ pub(crate) fn db_route_to_jen(
 }
 
 /// Route this JEN worker's filtered scan output among its peers with the
-/// agreed hash; the piece it owns stays local in `st.local_part`.
+/// agreed hash; the piece it owns stays local in `st.local_part`. With a
+/// [`SaltRouter`], heavy-hitter build rows cycle across the key's salt
+/// workers so no single worker absorbs the whole hot partition.
 pub(crate) fn jen_shuffle_share(
     sys: &HybridSystem,
     query: &HybridQuery,
@@ -571,6 +598,7 @@ pub(crate) fn jen_shuffle_share(
     w: usize,
     l_share: Batch,
     l_schema: &Schema,
+    salt: Option<&SaltRouter>,
 ) -> Result<()> {
     let num_jen = sys.config.jen_workers;
     let span = sys
@@ -578,7 +606,10 @@ pub(crate) fn jen_shuffle_share(
         .start(sys.jen_workers[w].span_label(), Stage::ShuffleSend);
     let sent_rows = l_share.num_rows() as u64;
     let sent_bytes = l_share.serialized_bytes() as u64;
-    let routed = partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?;
+    let routed = match salt {
+        Some(r) => r.partition_build(&l_share, query.hdfs_key)?,
+        None => partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?,
+    };
     let mut mine = Batch::empty(l_schema.clone());
     for (dst_idx, piece) in routed.into_iter().enumerate() {
         if dst_idx == w {
@@ -619,6 +650,10 @@ pub(crate) fn jen_recv_build(
         .take()
         .unwrap_or_else(|| Batch::empty(l_schema.clone()));
     let built_rows = local.num_rows() as u64 + recv_rows;
+    // Per-worker shuffle balance: local + received build rows. Independent
+    // of schedule, so snapshots stay identical across thread counts.
+    sys.metrics
+        .add(&format!("net.shuffle.rows.jen-{w}"), built_rows);
     let _permit = driver.compute_permit();
     let build_span = sys.tracer.start(label, Stage::HashBuild);
     let mut joiner = LocalJoiner::new(

@@ -87,7 +87,10 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             )?
             .0
         };
-        jen_shuffle_share(sys, query, st, w, l_share, l_schema)
+        // PERF is never salted: the positional-bitmap protocol requires
+        // each JEN worker to own *all* L' keys of its hash partition, which
+        // splitting a hot key across salt workers would break.
+        jen_shuffle_share(sys, query, st, w, l_share, l_schema, None)
     });
 
     // Step 2: DB workers ship their T' key columns in tuple order,
@@ -131,6 +134,8 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             .take()
             .unwrap_or_else(|| Batch::empty(l_schema.clone()));
         let built_rows = local.num_rows() as u64 + recv_rows;
+        sys.metrics
+            .add(&format!("net.shuffle.rows.jen-{w}"), built_rows);
         let mut owned_keys: HashSet<i64> = HashSet::new();
         {
             let _permit = driver.compute_permit();
@@ -214,7 +219,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         let t_second = part.filter(&mask)?;
         sys.metrics
             .add("db.perf.t_rows_after_bitmap", t_second.num_rows() as u64);
-        db_route_to_jen(sys, query, st, w, &t_second)
+        db_route_to_jen(sys, query, st, w, &t_second, None)
     });
 
     // Step 5: probe + aggregate (identical to the repartition epilogue).

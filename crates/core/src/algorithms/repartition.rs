@@ -13,6 +13,7 @@ use crate::algorithms::{
     t_prime_schema, take_result, Driver, TaskSet,
 };
 use crate::query::HybridQuery;
+use crate::skew::SaltRouter;
 use crate::system::HybridSystem;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::Result;
@@ -36,6 +37,9 @@ pub(crate) fn execute(
     };
     let l_schema = &plan.table.schema.project(&query.hdfs_proj)?;
     let t_schema = &t_prime_schema(sys, query)?;
+    // Heavy-hitter detection (None unless `salt_buckets` is configured and
+    // a hot key clears the threshold) — both sides must agree on it.
+    let salt = &SaltRouter::detect(sys, query)?;
 
     let mut db = TaskSet::new("db", db_tasks(sys, driver)?);
     let mut jen = TaskSet::new("jen", jen_tasks(sys, driver)?);
@@ -59,7 +63,7 @@ pub(crate) fn execute(
     // JEN worker that will join it, no re-shuffle needed (§3.3).
     db.step(14, move |w, st| {
         let part = st.part.take().expect("T' scanned in step 10");
-        crate::algorithms::db_route_to_jen(sys, query, st, w, &part)
+        crate::algorithms::db_route_to_jen(sys, query, st, w, &part, salt.as_ref())
     });
 
     // Step 3: JEN workers scan (applying BF_DB if present) and shuffle the
@@ -81,7 +85,7 @@ pub(crate) fn execute(
             )?
             .0
         };
-        jen_shuffle_share(sys, query, st, w, l_share, l_schema)
+        jen_shuffle_share(sys, query, st, w, l_share, l_schema, salt.as_ref())
     });
 
     // Step 4: each JEN worker builds its hash table from the shuffled HDFS

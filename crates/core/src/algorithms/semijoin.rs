@@ -18,6 +18,7 @@ use crate::algorithms::{
     jen_recv_build, jen_shuffle_share, jen_tasks, t_prime_schema, take_result, Driver, TaskSet,
 };
 use crate::query::HybridQuery;
+use crate::skew::SaltRouter;
 use crate::system::HybridSystem;
 use hybrid_common::batch::{Batch, Column};
 use hybrid_common::datum::DataType;
@@ -56,6 +57,8 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
     let l_schema = &plan.table.schema.project(&query.hdfs_proj)?;
     let t_schema = &t_prime_schema(sys, query)?;
     let key_schema = &Schema::from_pairs(&[("joinKey", DataType::I64)]);
+    // Hot-key routing for the post-keyset L' shuffle and the T' shipment.
+    let salt = &SaltRouter::detect(sys, query)?;
 
     let mut db = TaskSet::new("db", db_tasks(sys, driver)?);
     let mut jen = TaskSet::new("jen", jen_tasks(sys, driver)?);
@@ -103,7 +106,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
     // Step 3: DB workers route T' with the agreed hash (as in repartition).
     db.step(16, move |w, st| {
         let part = st.part.take().expect("T' scanned in step 10");
-        db_route_to_jen(sys, query, st, w, &part)
+        db_route_to_jen(sys, query, st, w, &part, salt.as_ref())
     });
 
     // Step 4: JEN workers scan, filter by the exact key set, and shuffle.
@@ -130,7 +133,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         };
         sys.metrics
             .add("jen.semijoin.rows_after_keyset", l_share.num_rows() as u64);
-        jen_shuffle_share(sys, query, st, w, l_share, l_schema)
+        jen_shuffle_share(sys, query, st, w, l_share, l_schema, salt.as_ref())
     });
 
     // Step 5: local joins exactly as in the repartition join — build and

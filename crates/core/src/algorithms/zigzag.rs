@@ -24,6 +24,7 @@ use crate::algorithms::{
     t_prime_schema, take_result, Driver, TaskSet,
 };
 use crate::query::HybridQuery;
+use crate::skew::SaltRouter;
 use crate::system::{HybridSystem, ZigzagReaccess};
 use hybrid_bloom::{filter_batch, BloomFilter};
 use hybrid_common::batch::Batch;
@@ -47,6 +48,8 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
     };
     let l_schema = &plan.table.schema.project(&query.hdfs_proj)?;
     let t_schema = &t_prime_schema(sys, query)?;
+    // Shared hot-key routing for the L' shuffle and the T'' shipment.
+    let salt = &SaltRouter::detect(sys, query)?;
 
     let mut db = TaskSet::new("db", db_tasks(sys, driver)?);
     let mut jen = TaskSet::new("jen", jen_tasks(sys, driver)?);
@@ -94,7 +97,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             st.mailbox.send_eos(to, StreamTag::HdfsBloom)?;
         }
         // 3c: shuffle by the agreed hash; local partition stays put
-        jen_shuffle_share(sys, query, st, w, l_share, l_schema)
+        jen_shuffle_share(sys, query, st, w, l_share, l_schema, salt.as_ref())
     });
 
     // Step 4: merge local BF_H's at the designated worker; broadcast the
@@ -155,7 +158,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         };
         sys.metrics
             .add("db.bloom.t_rows_after_bfh", t_second.num_rows() as u64);
-        db_route_to_jen(sys, query, st, w, &t_second)
+        db_route_to_jen(sys, query, st, w, &t_second, salt.as_ref())
     });
 
     // Step 7: build on the shuffled HDFS data, then probe with T'' (layout

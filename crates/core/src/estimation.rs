@@ -23,6 +23,7 @@ use crate::query::HybridQuery;
 use crate::stats::RunOutput;
 use crate::system::HybridSystem;
 use hybrid_common::error::Result;
+use hybrid_common::hash::agreed_shuffle_partition;
 use hybrid_storage::decode;
 use std::collections::HashSet;
 
@@ -43,6 +44,12 @@ pub struct SampledStats {
     /// Estimated average wire width of a projected `T'` row, bytes.
     pub t_row_bytes: f64,
     pub l_row_bytes: f64,
+    /// Estimated shuffle imbalance of the surviving `L'` keys under the
+    /// agreed hash: hottest JEN worker's share over the mean (1.0 =
+    /// uniform). Derived from the same block sample as `sigma_l`, counting
+    /// *rows* per target worker — duplicates matter, they are what a hot
+    /// key is made of.
+    pub shuffle_skew: f64,
 }
 
 impl SampledStats {
@@ -55,6 +62,7 @@ impl SampledStats {
             sl: self.sl,
             num_jen_workers,
             bloom_bytes: query.bloom.wire_bytes() as u64,
+            shuffle_skew: self.shuffle_skew,
         }
     }
 }
@@ -107,6 +115,8 @@ pub fn sample_stats(
     let mut l_passed = 0usize;
     let mut l_bytes = 0usize;
     let mut l_keys: HashSet<i64> = HashSet::new();
+    let num_jen = sys.config.jen_workers.max(1);
+    let mut worker_loads = vec![0u64; num_jen];
     for i in 0..picked {
         let idx = i * n_blocks / picked;
         let block = &blocks[idx];
@@ -123,7 +133,9 @@ pub fn sample_stats(
         l_bytes += survivors.serialized_bytes();
         let keys = survivors.column(query.hdfs_key)?;
         for row in 0..survivors.num_rows() {
-            l_keys.insert(keys.key_at(row)?);
+            let key = keys.key_at(row)?;
+            l_keys.insert(key);
+            worker_loads[agreed_shuffle_partition(key, num_jen)] += 1;
         }
     }
     // total L rows ≈ rows per sampled block × block count
@@ -135,6 +147,13 @@ pub fn sample_stats(
 
     let sigma_t = ratio(t_passed, t_sampled);
     let sigma_l = ratio(l_passed, l_sampled);
+    let load_total: u64 = worker_loads.iter().sum();
+    let shuffle_skew = if load_total == 0 {
+        1.0
+    } else {
+        let max = *worker_loads.iter().max().expect("num_jen >= 1") as f64;
+        max * num_jen as f64 / load_total as f64
+    };
     let inter = t_keys.intersection(&l_keys).count() as f64;
     Ok(SampledStats {
         sigma_t,
@@ -153,6 +172,7 @@ pub fn sample_stats(
         l_prime_rows: sigma_l * l_total_rows,
         t_row_bytes: avg(t_bytes, t_passed),
         l_row_bytes: avg(l_bytes, l_passed),
+        shuffle_skew,
     })
 }
 

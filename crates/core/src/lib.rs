@@ -32,6 +32,7 @@ pub mod cache;
 pub mod estimation;
 pub mod query;
 pub mod reference;
+pub mod skew;
 pub mod stats;
 pub mod system;
 
@@ -40,5 +41,6 @@ pub use cache::{query_fingerprint, BloomCache, BloomKey};
 pub use estimation::{run_auto, sample_stats, SampledStats};
 pub use hybrid_net::{FaultSpec, FaultTarget, RetryPolicy};
 pub use query::HybridQuery;
+pub use skew::SaltRouter;
 pub use stats::{JoinSummary, RunOutput};
 pub use system::{threads_from_env, HybridSystem, SystemConfig, ZigzagReaccess};

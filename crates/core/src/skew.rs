@@ -1,0 +1,292 @@
+//! Skew-aware shuffle routing: heavy-hitter detection plus salted
+//! partitioning.
+//!
+//! The repartition-family joins route every tuple of a join key to the one
+//! JEN worker owning its hash partition. A heavy-hitter key therefore turns
+//! that worker into the straggler that bounds the whole pipelined plan —
+//! the load-balancing problem selective replication attacks (Metwally,
+//! SIGMOD '22; Afrati et al.).
+//!
+//! The scheme here:
+//!
+//! 1. **Detect** — before execution, sample strided HDFS blocks under the
+//!    query's local predicates and feed surviving join keys through a
+//!    [`SpaceSaving`] sketch. A key is *hot* when its guaranteed count
+//!    reaches a fair worker share of the sample.
+//! 2. **Salt the build side** — rows of a hot key `k` are split
+//!    round-robin across the `f = salt_buckets` workers
+//!    `(home(k) + i) mod n`, `i < f`, where `home` is the agreed hash.
+//! 3. **Replicate the probe side** — `T'` rows carrying `k` are sent to
+//!    *all* `f` salt workers, so every `(t, l)` pair still meets exactly
+//!    once; results are bit-identical to the unsalted plan.
+//!
+//! Cold keys keep the agreed hash route untouched. Every routing decision
+//! is a pure function of (key, per-sender scan order), so parallel runs
+//! stay deterministic and metric snapshots remain schedule-independent.
+
+use crate::query::HybridQuery;
+use crate::system::HybridSystem;
+use hybrid_common::batch::{Batch, BatchBuilder};
+use hybrid_common::error::Result;
+use hybrid_common::hash::agreed_shuffle_partition;
+use hybrid_common::sketch::SpaceSaving;
+use hybrid_storage::decode;
+use std::collections::{HashMap, HashSet};
+
+/// How many HDFS blocks the detector decodes (strided through the file).
+const SALT_SAMPLE_BLOCKS: usize = 16;
+
+/// Sketch width — far above the handful of keys that can matter.
+const SKETCH_CAPACITY: usize = 64;
+
+/// Noise floor: a key must have at least this many guaranteed sampled
+/// occurrences before salting it, however small the sample.
+const MIN_HOT_COUNT: u64 = 16;
+
+/// Routing table for one query's salted shuffle.
+#[derive(Debug, Clone)]
+pub struct SaltRouter {
+    num_jen: usize,
+    /// Salt fan-out per hot key, clamped to the worker count.
+    fanout: usize,
+    hot: HashSet<i64>,
+}
+
+impl SaltRouter {
+    /// Sample the HDFS side of `query` and build a router when
+    /// `config.salt_buckets` is set and at least one heavy hitter clears
+    /// the fair-share threshold. Returns `None` (zero overhead) otherwise.
+    pub fn detect(sys: &HybridSystem, query: &HybridQuery) -> Result<Option<SaltRouter>> {
+        let Some(f) = sys.config.salt_buckets else {
+            return Ok(None);
+        };
+        let n = sys.config.jen_workers;
+        if n < 2 {
+            return Ok(None);
+        }
+        let meta = sys.coordinator.lookup_table(&query.hdfs_table)?;
+        let blocks = sys.hdfs.read().file_blocks(&meta.path)?;
+        let picked = SALT_SAMPLE_BLOCKS.clamp(1, blocks.len().max(1));
+        let mut sketch = SpaceSaving::new(SKETCH_CAPACITY);
+        for i in 0..picked {
+            let idx = i * blocks.len() / picked;
+            let reader = sys.jen_workers[0].datanode();
+            let bytes = sys
+                .hdfs
+                .read()
+                .read_block_into(blocks[idx].id, reader, &sys.metrics)?;
+            let decoded = decode(meta.format, &meta.schema, &bytes, None)?;
+            let mask = query.hdfs_pred.eval_predicate(&decoded.batch)?;
+            let survivors = decoded.batch.filter(&mask)?.project(&query.hdfs_proj)?;
+            let keys = survivors.column(query.hdfs_key)?;
+            for row in 0..survivors.num_rows() {
+                sketch.offer(keys.key_at(row)?);
+            }
+        }
+        let threshold = (sketch.total() / n as u64).max(MIN_HOT_COUNT);
+        let hot: HashSet<i64> = sketch
+            .heavy_hitters(threshold)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        sys.metrics.add("core.salt.sampled_rows", sketch.total());
+        sys.metrics.add("core.salt.hot_keys", hot.len() as u64);
+        if hot.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(SaltRouter {
+            num_jen: n,
+            fanout: f.min(n),
+            hot,
+        }))
+    }
+
+    /// A router over an explicit hot-key set (tests, tooling).
+    pub fn with_hot_keys(
+        hot: impl IntoIterator<Item = i64>,
+        num_jen: usize,
+        f: usize,
+    ) -> SaltRouter {
+        SaltRouter {
+            num_jen,
+            fanout: f.clamp(1, num_jen),
+            hot: hot.into_iter().collect(),
+        }
+    }
+
+    pub fn is_hot(&self, key: i64) -> bool {
+        self.hot.contains(&key)
+    }
+
+    pub fn num_hot(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// The salt workers of hot key `key`: `fanout` distinct workers
+    /// starting at the key's agreed home partition.
+    fn salt_workers(&self, key: i64) -> impl Iterator<Item = usize> + '_ {
+        let home = agreed_shuffle_partition(key, self.num_jen);
+        (0..self.fanout).map(move |i| (home + i) % self.num_jen)
+    }
+
+    /// Split a build-side batch into one piece per JEN worker. Hot-key rows
+    /// cycle round-robin over the key's salt workers (per-sender counters,
+    /// so a fixed scan order gives a fixed routing); cold rows take the
+    /// agreed hash.
+    pub fn partition_build(&self, batch: &Batch, key_col: usize) -> Result<Vec<Batch>> {
+        let mut builders: Vec<BatchBuilder> = (0..self.num_jen)
+            .map(|_| BatchBuilder::new(batch.schema().clone()))
+            .collect();
+        let keys = batch.column(key_col)?;
+        let mut cursors: HashMap<i64, usize> = HashMap::new();
+        for row in 0..batch.num_rows() {
+            let key = keys.key_at(row)?;
+            let dest = if self.is_hot(key) {
+                let c = cursors.entry(key).or_insert(0);
+                let home = agreed_shuffle_partition(key, self.num_jen);
+                let dest = (home + *c) % self.num_jen;
+                *c = (*c + 1) % self.fanout;
+                dest
+            } else {
+                agreed_shuffle_partition(key, self.num_jen)
+            };
+            builders[dest].push_row(batch, row)?;
+        }
+        Ok(builders.into_iter().map(BatchBuilder::finish).collect())
+    }
+
+    /// Split a probe-side batch into one piece per JEN worker. Hot-key rows
+    /// are replicated into *every* salt worker's piece (each meets a
+    /// disjoint slice of the split build side); cold rows take the agreed
+    /// hash.
+    pub fn partition_probe(&self, batch: &Batch, key_col: usize) -> Result<Vec<Batch>> {
+        let mut builders: Vec<BatchBuilder> = (0..self.num_jen)
+            .map(|_| BatchBuilder::new(batch.schema().clone()))
+            .collect();
+        let keys = batch.column(key_col)?;
+        for row in 0..batch.num_rows() {
+            let key = keys.key_at(row)?;
+            if self.is_hot(key) {
+                for dest in self.salt_workers(key) {
+                    builders[dest].push_row(batch, row)?;
+                }
+            } else {
+                builders[agreed_shuffle_partition(key, self.num_jen)].push_row(batch, row)?;
+            }
+        }
+        Ok(builders.into_iter().map(BatchBuilder::finish).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_common::batch::Column;
+    use hybrid_common::datum::DataType;
+    use hybrid_common::schema::Schema;
+
+    fn batch(keys: &[i32]) -> Batch {
+        Batch::new(
+            Schema::from_pairs(&[("k", DataType::I32), ("v", DataType::I64)]),
+            vec![
+                Column::I32(keys.to_vec()),
+                Column::I64((0..keys.len() as i64).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_splits_hot_probe_replicates_hot() {
+        let n = 4;
+        let r = SaltRouter::with_hot_keys([7], n, 4);
+        let hot_rows = 40;
+        let b = batch(&vec![7i32; hot_rows]);
+        let built = r.partition_build(&b, 0).unwrap();
+        // round-robin: every worker gets exactly hot_rows / n rows
+        for piece in &built {
+            assert_eq!(piece.num_rows(), hot_rows / n);
+        }
+        let probed = r.partition_probe(&b, 0).unwrap();
+        for piece in &probed {
+            assert_eq!(piece.num_rows(), hot_rows, "probe replicates to all");
+        }
+    }
+
+    #[test]
+    fn cold_keys_keep_the_agreed_route() {
+        let n = 4;
+        let r = SaltRouter::with_hot_keys([999], n, 4);
+        let keys: Vec<i32> = (0..100).collect();
+        let b = batch(&keys);
+        let built = r.partition_build(&b, 0).unwrap();
+        let probed = r.partition_probe(&b, 0).unwrap();
+        let agreed =
+            hybrid_common::ops::partition_by_key(&b, 0, n, agreed_shuffle_partition).unwrap();
+        assert_eq!(built, agreed);
+        assert_eq!(probed, agreed);
+    }
+
+    #[test]
+    fn every_build_probe_pair_meets_exactly_once() {
+        // For each (build row, probe row) of the same key, exactly one
+        // worker holds both — the invariant that makes results identical.
+        let n = 5;
+        let r = SaltRouter::with_hot_keys([3, 11], n, 3);
+        let build = batch(&[3, 3, 3, 3, 3, 11, 11, 11, 2, 2, 9]);
+        let probe = batch(&[3, 3, 11, 2, 9, 9]);
+        let built = r.partition_build(&build, 0).unwrap();
+        let probed = r.partition_probe(&probe, 0).unwrap();
+        for key in [3i32, 11, 2, 9] {
+            let build_count: usize = built.iter().map(|p| count_key(p, key)).sum();
+            assert_eq!(build_count, count_key(&build, key), "build rows conserved");
+            for w in 0..n {
+                let bw = count_key(&built[w], key);
+                let pw = count_key(&probed[w], key);
+                if bw > 0 {
+                    assert_eq!(
+                        pw,
+                        count_key(&probe, key),
+                        "worker {w} holds build rows of {key} but not all probe rows"
+                    );
+                }
+            }
+            // pairs meet exactly once: sum over workers of bw*pw equals
+            // total build rows × total probe rows
+            let met: usize = (0..n)
+                .map(|w| count_key(&built[w], key) * count_key(&probed[w], key))
+                .sum();
+            assert_eq!(met, count_key(&build, key) * count_key(&probe, key));
+        }
+    }
+
+    fn count_key(b: &Batch, key: i32) -> usize {
+        b.column(0)
+            .unwrap()
+            .as_i32()
+            .unwrap()
+            .iter()
+            .filter(|&&k| k == key)
+            .count()
+    }
+
+    #[test]
+    fn fanout_clamps_to_worker_count() {
+        let r = SaltRouter::with_hot_keys([1], 2, 64);
+        let b = batch(&[1, 1, 1, 1]);
+        let built = r.partition_build(&b, 0).unwrap();
+        assert_eq!(built.len(), 2);
+        assert_eq!(built[0].num_rows() + built[1].num_rows(), 4);
+        assert_eq!(built[0].num_rows(), 2);
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let r = SaltRouter::with_hot_keys([5], 4, 3);
+        let b = batch(&[5, 1, 5, 2, 5, 5, 3]);
+        assert_eq!(
+            r.partition_build(&b, 0).unwrap(),
+            r.partition_build(&b, 0).unwrap()
+        );
+    }
+}

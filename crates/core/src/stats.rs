@@ -53,6 +53,10 @@ pub struct JoinSummary {
     pub t_prime_rows: u64,
     // --- bloom work ---
     pub bloom_keys_inserted: u64,
+    // --- shuffle balance ---
+    /// Max JEN worker build-side shuffle load over the mean, ×1000
+    /// (1000 = perfectly balanced; 0 = the algorithm has no shuffle).
+    pub shuffle_max_over_mean_x1000: u64,
 }
 
 impl JoinSummary {
@@ -90,6 +94,7 @@ impl JoinSummary {
             db_index_bytes: get("db.index.bytes"),
             t_prime_rows: get("core.t_prime_rows"),
             bloom_keys_inserted: get("db.bloom.keys_inserted") + get("jen.bloom.keys_inserted"),
+            shuffle_max_over_mean_x1000: get("net.shuffle.max_over_mean_x1000"),
         }
     }
 }

@@ -70,6 +70,12 @@ pub struct SystemConfig {
     pub fault_spec: Option<FaultSpec>,
     /// Retry budget for fabric sends whose attempts the chaos plan drops.
     pub retry: RetryPolicy,
+    /// Salt fan-out for skew-aware shuffles: `Some(f)` lets the
+    /// repartition-family joins split each detected heavy-hitter build key
+    /// across `f` workers and replicate its probe tuples to them (see
+    /// [`crate::skew::SaltRouter`]). `None` (the default) keeps the plain
+    /// agreed-hash route. Results are bit-identical either way.
+    pub salt_buckets: Option<usize>,
 }
 
 /// `HYBRID_THREADS` env override, or 1 (sequential) when unset/invalid.
@@ -96,6 +102,7 @@ impl SystemConfig {
             channel_capacity: Some(256),
             fault_spec: None,
             retry: RetryPolicy::default(),
+            salt_buckets: None,
         }
     }
 
@@ -119,6 +126,13 @@ impl SystemConfig {
         }
         if self.retry.attempts == 0 {
             return Err(HybridError::config("retry.attempts must be at least 1"));
+        }
+        if let Some(f) = self.salt_buckets {
+            if f < 2 {
+                return Err(HybridError::config(
+                    "salt_buckets must be at least 2 (1 salt bucket is the plain route)",
+                ));
+            }
         }
         Ok(())
     }
@@ -399,6 +413,12 @@ mod tests {
         let mut cfg = SystemConfig::paper_shape(1, 1);
         cfg.channel_capacity = Some(0);
         assert!(HybridSystem::new(cfg).is_err());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.salt_buckets = Some(1);
+        assert!(HybridSystem::new(cfg).is_err());
+        let mut cfg = SystemConfig::paper_shape(2, 2);
+        cfg.salt_buckets = Some(2);
+        assert!(HybridSystem::new(cfg).is_ok());
     }
 
     #[test]

@@ -84,12 +84,17 @@ impl CostModel {
         let hdfs_sent = s.hdfs_tuples_sent as f64 * f.l;
         let hdfs_sent_bytes = s.cross_hdfs_data_bytes as f64 * f.l;
         let t_prime = s.t_prime_rows as f64 * f.t;
+        // The hottest JEN worker bounds every per-worker phase that handles
+        // shuffled data: with max/mean = k, the straggler finishes k× after
+        // a balanced worker would. Summaries without the counter (or from
+        // algorithms with no shuffle) report 0 and keep the balanced model.
+        let skew = s.shuffle_max_over_mean_x1000.max(1000) as f64 / 1000.0;
         Volumes {
             scan_io_s: scan_bytes / c.hdfs_scan_bw,
             process_s: rows_raw / c.jen_process_rate,
-            shuffle_s: (shuffled / c.jen_shuffle_rate).max(shuffle_bytes / c.intra_hdfs_bw),
-            build_s: l_after_bloom / c.jen_join_rate,
-            probe_s: db_sent / c.jen_join_rate,
+            shuffle_s: (shuffled / c.jen_shuffle_rate).max(shuffle_bytes / c.intra_hdfs_bw) * skew,
+            build_s: l_after_bloom / c.jen_join_rate * skew,
+            probe_s: db_sent / c.jen_join_rate * skew,
             l_local_probe_s: l_after_pred / c.jen_join_rate,
             db_prep_s: (s.db_scan_bytes + s.db_index_bytes) as f64 * f.t / c.db_scan_bw,
             bf_build_s: s.bloom_keys_inserted as f64 * f.t / c.bloom_build_rate,
@@ -337,7 +342,37 @@ mod tests {
             db_index_bytes: 160_000_000 * 12,
             t_prime_rows: 160_000_000,
             bloom_keys_inserted: 16_000_000,
+            shuffle_max_over_mean_x1000: 0,
         }
+    }
+
+    #[test]
+    fn shuffle_skew_inflates_shuffle_bound_strategies_only() {
+        let m = CostModel::paper();
+        let id = ScaleFactors::identity();
+        let balanced = paper_summary(5_854_000_000, 165_000_000, 1.0);
+        let mut skewed = balanced;
+        skewed.shuffle_max_over_mean_x1000 = 4000; // straggler holds 4× mean
+        let rep = JoinAlgorithm::Repartition { bloom: false };
+        let rep_balanced = m.estimate(rep, &balanced, &id).total_s;
+        let rep_skewed = m.estimate(rep, &skewed, &id).total_s;
+        assert!(
+            rep_skewed > rep_balanced * 1.5,
+            "skew should slow repartition: {rep_balanced:.0}s -> {rep_skewed:.0}s"
+        );
+        // broadcast never shuffles L': with no shuffle counters set its
+        // estimate must not move at all.
+        let mut bc = paper_summary(0, 165_000_000 * 30, 1.0);
+        bc.hdfs_shuffle_bytes = 0;
+        let bc_balanced = m.estimate(JoinAlgorithm::Broadcast, &bc, &id).total_s;
+        let mut bc_skewed = bc;
+        bc_skewed.shuffle_max_over_mean_x1000 = 4000;
+        // broadcast's phase structure uses l_local_probe_s / db_export_s,
+        // none of which carry the skew factor
+        let bc_after = m
+            .estimate(JoinAlgorithm::Broadcast, &bc_skewed, &id)
+            .total_s;
+        assert_eq!(bc_balanced, bc_after);
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod spec;
 pub mod tables;
 pub mod workload;
 
-pub use spec::{KeyPlan, WorkloadSpec};
+pub use spec::{KeyPlan, KeySkew, WorkloadSpec};
 pub use workload::Workload;

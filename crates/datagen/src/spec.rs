@@ -6,6 +6,27 @@ use hybrid_common::error::{HybridError, Result};
 /// the paper's int predicate columns scaled down).
 pub const PRED_DOMAIN: i64 = 1 << 20;
 
+/// Join-key frequency distribution of the generated rows.
+///
+/// The paper's generator draws keys uniformly from the pools; real click
+/// logs are heavy-tailed, and a single hot key turns one JEN worker into
+/// the shuffle straggler. Skewed variants keep the pool *membership* (and
+/// therefore the selectivity plan) unchanged — only the draw frequencies
+/// shift, with rank 0 mapped to key id 0, which lies in the common pool on
+/// both tables, so the heavy hitter survives every local predicate and
+/// shows up in the shuffle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum KeySkew {
+    /// Every key in the pool equally likely (the seed behaviour).
+    #[default]
+    Uniform,
+    /// Zipf with exponent `s`: the rank-`r` pool index is drawn with
+    /// probability ∝ 1/(r+1)^s.
+    Zipf { s: f64 },
+    /// Pathological: every row carries pool index 0 (one single join key).
+    SingleKey,
+}
+
 /// Requested workload shape.
 ///
 /// `sigma_t`/`sigma_l` are the *combined* local-predicate selectivities on
@@ -30,6 +51,8 @@ pub struct WorkloadSpec {
     /// within one day).
     pub date_days: i32,
     pub seed: u64,
+    /// Join-key draw distribution for both tables.
+    pub skew: KeySkew,
 }
 
 impl WorkloadSpec {
@@ -51,6 +74,7 @@ impl WorkloadSpec {
             num_groups: 64,
             date_days: 32,
             seed: 0xEDB7_2015,
+            skew: KeySkew::Uniform,
         }
     }
 
@@ -67,6 +91,7 @@ impl WorkloadSpec {
             num_groups: 8,
             date_days: 32,
             seed: 0xEDB7_2015,
+            skew: KeySkew::Uniform,
         }
     }
 
@@ -88,6 +113,13 @@ impl WorkloadSpec {
             return Err(HybridError::config(
                 "groups and date window must be positive",
             ));
+        }
+        if let KeySkew::Zipf { s } = self.skew {
+            if !(s.is_finite() && s > 0.0 && s <= 8.0) {
+                return Err(HybridError::config(format!(
+                    "zipf exponent s={s} outside (0, 8]"
+                )));
+            }
         }
         Ok(())
     }
@@ -308,6 +340,21 @@ mod tests {
         let mut s = WorkloadSpec::tiny();
         s.date_days = 0;
         assert!(s.key_plan().is_err());
+    }
+
+    #[test]
+    fn skew_validation() {
+        let mut s = WorkloadSpec::tiny();
+        s.skew = KeySkew::Zipf { s: 1.2 };
+        assert!(s.validate().is_ok());
+        s.skew = KeySkew::SingleKey;
+        assert!(s.validate().is_ok());
+        s.skew = KeySkew::Zipf { s: 0.0 };
+        assert!(s.validate().is_err());
+        s.skew = KeySkew::Zipf { s: f64::NAN };
+        assert!(s.validate().is_err());
+        s.skew = KeySkew::Zipf { s: 9.0 };
+        assert!(s.validate().is_err());
     }
 
     #[test]

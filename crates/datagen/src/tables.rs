@@ -1,6 +1,6 @@
 //! Row generation for `T` and `L`.
 
-use crate::spec::{KeyPlan, WorkloadSpec, PRED_DOMAIN};
+use crate::spec::{KeyPlan, KeySkew, WorkloadSpec, PRED_DOMAIN};
 use hybrid_common::batch::{Batch, Column};
 use hybrid_common::datum::DataType;
 use hybrid_common::error::Result;
@@ -122,6 +122,64 @@ impl Pools {
     }
 }
 
+/// Draws pool indexes under the spec's [`KeySkew`].
+///
+/// Zipf uses an inverse-CDF table: cumulative weights over the pool are
+/// scaled to the full `u64` range once, and each draw is a binary search on
+/// `rng.next_u64()` — no floating-point sampling from the RNG, so draws are
+/// bit-deterministic for a given seed across platforms.
+pub(crate) struct KeySampler {
+    n: usize,
+    /// Scaled cumulative weights; `None` = uniform.
+    cdf: Option<Vec<u64>>,
+    single: bool,
+}
+
+impl KeySampler {
+    pub(crate) fn new(skew: KeySkew, n: usize) -> KeySampler {
+        match skew {
+            KeySkew::Uniform => KeySampler {
+                n,
+                cdf: None,
+                single: false,
+            },
+            KeySkew::SingleKey => KeySampler {
+                n,
+                cdf: None,
+                single: true,
+            },
+            KeySkew::Zipf { s } => {
+                let mut acc = 0.0f64;
+                let mut cum = Vec::with_capacity(n);
+                for r in 0..n {
+                    acc += 1.0 / ((r + 1) as f64).powf(s);
+                    cum.push(acc);
+                }
+                let scale = u64::MAX as f64 / acc;
+                let cdf = cum.into_iter().map(|c| (c * scale) as u64).collect();
+                KeySampler {
+                    n,
+                    cdf: Some(cdf),
+                    single: false,
+                }
+            }
+        }
+    }
+
+    pub(crate) fn draw(&self, rng: &mut StdRng) -> usize {
+        if self.single {
+            return 0;
+        }
+        match &self.cdf {
+            None => rng.gen_range(0..self.n),
+            Some(cdf) => {
+                let u = rng.next_u64();
+                cdf.partition_point(|&c| c < u).min(self.n - 1)
+            }
+        }
+    }
+}
+
 /// Query thresholds realizing the spec's selectivities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Thresholds {
@@ -170,6 +228,7 @@ fn cor_pred_value(key: usize, selected: bool, frac: f64, seed: u64) -> i32 {
 /// Generate the transaction table `T`.
 pub fn generate_t(spec: &WorkloadSpec, plan: &KeyPlan) -> Result<Batch> {
     let pools = Pools::new(plan);
+    let sampler = KeySampler::new(spec.skew, pools.t_full());
     let mut rng = StdRng::seed_from_u64(spec.seed ^ T_SEED_X);
     let n = spec.t_rows;
     let mut uniq = Vec::with_capacity(n);
@@ -181,7 +240,7 @@ pub fn generate_t(spec: &WorkloadSpec, plan: &KeyPlan) -> Result<Batch> {
     let mut d2 = Vec::with_capacity(n);
     let mut d3 = Vec::with_capacity(n);
     for i in 0..n {
-        let ki = rng.gen_range(0..pools.t_full());
+        let ki = sampler.draw(&mut rng);
         let key = pools.t_key(ki);
         uniq.push(i as i64);
         join.push(key as i32);
@@ -216,6 +275,7 @@ pub fn generate_t(spec: &WorkloadSpec, plan: &KeyPlan) -> Result<Batch> {
 /// Generate the log table `L`.
 pub fn generate_l(spec: &WorkloadSpec, plan: &KeyPlan) -> Result<Batch> {
     let pools = Pools::new(plan);
+    let sampler = KeySampler::new(spec.skew, pools.l_full());
     let mut rng = StdRng::seed_from_u64(spec.seed ^ L_SEED_X);
     let n = spec.l_rows;
     let mut join = Vec::with_capacity(n);
@@ -225,7 +285,7 @@ pub fn generate_l(spec: &WorkloadSpec, plan: &KeyPlan) -> Result<Batch> {
     let mut grp = Vec::with_capacity(n);
     let mut dummy = Vec::with_capacity(n);
     for i in 0..n {
-        let kj = rng.gen_range(0..pools.l_full());
+        let kj = sampler.draw(&mut rng);
         let key = pools.l_key(kj);
         join.push(key as i32);
         cor.push(cor_pred_value(
@@ -366,6 +426,53 @@ mod tests {
                 assert_eq!(p, *c, "corPred must be a function of the key");
             }
         }
+    }
+
+    #[test]
+    fn zipf_concentrates_mass_on_rank_zero() {
+        let spec = WorkloadSpec {
+            skew: KeySkew::Zipf { s: 1.2 },
+            l_rows: 50_000,
+            ..WorkloadSpec::tiny()
+        };
+        let plan = spec.key_plan().unwrap();
+        let l = generate_l(&spec, &plan).unwrap();
+        let keys = l.column(l_cols::JOIN_KEY).unwrap().as_i32().unwrap();
+        let hot = keys.iter().filter(|&&k| k == 0).count() as f64 / keys.len() as f64;
+        // zipf(1.2) over ~100 keys puts >20% of all rows on the rank-0 key;
+        // uniform would put ~1%.
+        assert!(hot > 0.2, "rank-0 share {hot}");
+        // pool membership unchanged: every key is still a valid pool id
+        let uni_plan = WorkloadSpec::tiny().key_plan().unwrap();
+        assert_eq!(plan, uni_plan, "skew must not alter the key plan");
+    }
+
+    #[test]
+    fn single_key_collapses_the_key_column() {
+        let spec = WorkloadSpec {
+            skew: KeySkew::SingleKey,
+            ..WorkloadSpec::tiny()
+        };
+        let plan = spec.key_plan().unwrap();
+        let t = generate_t(&spec, &plan).unwrap();
+        let l = generate_l(&spec, &plan).unwrap();
+        for b in [(&t, t_cols::JOIN_KEY), (&l, l_cols::JOIN_KEY)] {
+            let keys = b.0.column(b.1).unwrap().as_i32().unwrap();
+            assert!(keys.iter().all(|&k| k == 0));
+        }
+    }
+
+    #[test]
+    fn skewed_generation_is_deterministic() {
+        let spec = WorkloadSpec {
+            skew: KeySkew::Zipf { s: 0.8 },
+            ..WorkloadSpec::tiny()
+        };
+        let plan = spec.key_plan().unwrap();
+        assert_eq!(
+            generate_l(&spec, &plan).unwrap(),
+            generate_l(&spec, &plan).unwrap()
+        );
     }
 
     #[test]

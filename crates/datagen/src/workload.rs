@@ -103,10 +103,8 @@ impl Workload {
 
     /// Advisor inputs derived from the generator's ground truth.
     pub fn estimates(&self, num_jen_workers: usize) -> QueryEstimates {
-        let q = self.query();
         let t_prime_row = 12u64; // i32 key + date + overhead
         let l_prime_row = 40u64; // key + date + url string
-        let _ = q;
         QueryEstimates {
             t_prime_bytes: (self.spec.t_rows as f64 * self.spec.sigma_t * t_prime_row as f64)
                 as u64,
@@ -116,7 +114,41 @@ impl Workload {
             sl: self.spec.sl,
             num_jen_workers,
             bloom_bytes: self.bloom.wire_bytes() as u64,
+            shuffle_skew: self.shuffle_skew(num_jen_workers),
         }
+    }
+
+    /// Ground-truth shuffle imbalance: route every `L'` row (rows passing
+    /// L's local predicates) with the agreed hash over `num_jen_workers`
+    /// partitions and report max-worker load over mean load. 1.0 = perfectly
+    /// balanced; a single-key table yields `num_jen_workers`.
+    pub fn shuffle_skew(&self, num_jen_workers: usize) -> f64 {
+        use hybrid_common::hash::agreed_shuffle_partition;
+        let n = num_jen_workers.max(1);
+        let q = self.query();
+        let mask = q
+            .hdfs_pred
+            .eval_predicate(&self.l)
+            .expect("generated predicate evaluates over generated L");
+        let keys = self
+            .l
+            .column(l_cols::JOIN_KEY)
+            .expect("L has a join-key column")
+            .as_i32()
+            .expect("joinKey is i32")
+            .to_vec();
+        let mut loads = vec![0u64; n];
+        for (key, pass) in keys.iter().zip(&mask) {
+            if *pass {
+                loads[agreed_shuffle_partition(i64::from(*key), n)] += 1;
+            }
+        }
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = *loads.iter().max().expect("non-empty loads") as f64;
+        max / (total as f64 / n as f64)
     }
 }
 
@@ -154,6 +186,26 @@ mod tests {
         let expected = run_reference(&w.t, &w.l, &w.query()).unwrap();
         let out = run(&mut sys, &w.query(), JoinAlgorithm::Zigzag).unwrap();
         assert_eq!(out.result, expected);
+    }
+
+    #[test]
+    fn shuffle_skew_reflects_key_distribution() {
+        use crate::spec::KeySkew;
+        let uniform = WorkloadSpec::tiny().generate().unwrap();
+        let flat = uniform.shuffle_skew(4);
+        assert!(flat < 2.0, "uniform keys should roughly balance: {flat}");
+        let single = WorkloadSpec {
+            skew: KeySkew::SingleKey,
+            ..WorkloadSpec::tiny()
+        }
+        .generate()
+        .unwrap();
+        let worst = single.shuffle_skew(4);
+        assert!(
+            (worst - 4.0).abs() < 1e-9,
+            "one key on 4 workers is 4.0: {worst}"
+        );
+        assert!(single.estimates(4).shuffle_skew > 3.9);
     }
 
     #[test]

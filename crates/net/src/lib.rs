@@ -574,7 +574,7 @@ impl<M: Wire> Fabric<M> {
     }
 
     /// Bump a `net.chaos.*` counter on this handle's plane — and, for
-    /// namespaced handles, the root plane, mirroring [`Fabric::meter_raw`]
+    /// namespaced handles, the root plane, mirroring `Fabric::meter_raw`
     /// so the conservation law (root totals == sum over namespaces) holds
     /// for chaos accounting too. Public so receivers (mailboxes) can
     /// account their dedup drops on the same planes.

@@ -5,7 +5,8 @@
 //! serving real traffic runs many concurrently. This crate adds the
 //! serving layer without touching the join algorithms:
 //!
-//! * **Admission + scheduling** ([`sched`]): bounded in-flight executions,
+//! * **Admission + scheduling** (the `sched` module): bounded in-flight
+//!   executions,
 //!   bounded queue, typed [`ServiceError::Rejected`] /
 //!   [`ServiceError::TimedOut`] errors, FIFO or
 //!   shortest-estimated-cost-first ordering. Cost estimates come from the

@@ -30,6 +30,7 @@ fn main() {
             sl,
             num_jen_workers: 30,
             bloom_bytes: 16 << 20,
+            shuffle_skew: 1.0,
         };
         let choice = advise(&est);
         let mut costs = estimated_costs(&est);
@@ -50,4 +51,24 @@ fn main() {
          very selective sigma_T, DB-side only for very selective sigma_L, and\n\
          zigzag as the robust default whenever the join itself is selective."
     );
+
+    // Skewed join keys change the picture: the hot worker bounds every
+    // shuffle phase, so repartition's estimate inflates while broadcast
+    // (no L' shuffle at all) is untouched.
+    println!("\nsame query under join-key skew (sigma_T=0.01, sigma_L=0.2):");
+    for skew in [1.0, 4.0, 30.0] {
+        let est = QueryEstimates {
+            t_prime_bytes: (25.0e9 * 0.01) as u64,
+            l_prime_bytes: (120.0e9 * 0.2) as u64,
+            st: 1.0,
+            sl: 1.0,
+            num_jen_workers: 30,
+            bloom_bytes: 16 << 20,
+            shuffle_skew: skew,
+        };
+        println!(
+            "  max/mean shuffle load {skew:>5.1}  ->  {}",
+            advise(&est).name()
+        );
+    }
 }

@@ -177,6 +177,12 @@ fn assert_typed(e: &HybridError, seed: u64, alg: JoinAlgorithm, threads: usize) 
 
 /// The headline soak: N seeds × 7 algorithms × threads {1, 8}, each cell
 /// under its seed's fault mix. Bit-match or typed error, never a hang.
+///
+/// A failing seed does **not** abort the sweep: every seed runs, failures
+/// are collected, and the test reports the complete list of failing
+/// `HYBRID_CHAOS_SEED` values at the end — so one bad seed can no longer
+/// hide the others. When `HYBRID_CHAOS_FAIL_LOG` names a file, the failing
+/// seeds (one per line) are also written there for CI to upload.
 #[test]
 fn chaos_soak_any_schedule_correctness() {
     let workload = Arc::new(small_workload());
@@ -184,23 +190,58 @@ fn chaos_soak_any_schedule_correctness() {
     let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
     assert!(expected.num_rows() > 0, "soak query must be non-trivial");
 
+    let mut failures: Vec<(u64, String)> = Vec::new();
     for seed in soak_seeds() {
         let faults = mix_for(seed);
-        for threads in thread_counts() {
-            let outcomes =
-                run_all_with_watchdog(Arc::clone(&workload), threads, faults.clone(), seed);
-            for (alg, res) in outcomes {
-                match res {
-                    Ok(result) => assert_eq!(
-                        result, expected,
-                        "seed {seed}: {alg} at {threads} threads returned a wrong answer — \
-                         replay with HYBRID_CHAOS_SEED={seed}"
-                    ),
-                    Err(e) => assert_typed(&e, seed, alg, threads),
+        let seed_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for threads in thread_counts() {
+                let outcomes =
+                    run_all_with_watchdog(Arc::clone(&workload), threads, faults.clone(), seed);
+                for (alg, res) in outcomes {
+                    match res {
+                        Ok(result) => assert_eq!(
+                            result, expected,
+                            "seed {seed}: {alg} at {threads} threads returned a wrong answer — \
+                             replay with HYBRID_CHAOS_SEED={seed}"
+                        ),
+                        Err(e) => assert_typed(&e, seed, alg, threads),
+                    }
                 }
             }
+        }));
+        if let Err(panic) = seed_outcome {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            eprintln!("seed {seed} FAILED: {msg}");
+            failures.push((seed, msg));
         }
     }
+
+    if failures.is_empty() {
+        return;
+    }
+    let seeds: Vec<String> = failures.iter().map(|(s, _)| s.to_string()).collect();
+    if let Ok(path) = std::env::var("HYBRID_CHAOS_FAIL_LOG") {
+        let mut log = String::new();
+        for (seed, msg) in &failures {
+            log.push_str(&format!("{seed}\t{}\n", msg.replace('\n', " ")));
+        }
+        if let Err(e) = std::fs::write(&path, log) {
+            eprintln!("could not write failing-seed log {path}: {e}");
+        } else {
+            eprintln!("failing seeds written to {path}");
+        }
+    }
+    panic!(
+        "{} of {} seed(s) failed: {} — replay each with \
+         HYBRID_CHAOS_SEED=<seed> cargo test -q --release --test chaos",
+        failures.len(),
+        soak_seeds().len(),
+        seeds.join(", ")
+    );
 }
 
 /// Replay determinism: the whole point of seeding. Two fresh systems under

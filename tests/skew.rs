@@ -1,0 +1,258 @@
+//! Skew-aware shuffle: correctness and balance under heavy-hitter join
+//! keys.
+//!
+//! The contract mirrors the determinism suite, with hostile key
+//! distributions: for Zipf(0.8), Zipf(1.2), and the pathological
+//! single-key table, every algorithm must return the **bit-identical**
+//! sequential-reference answer on both storage formats at 1 and 8 threads
+//! — with salting off *and* on. Salting relocates work, never results:
+//! a hot build-side key is split across `salt_buckets` JEN workers and the
+//! matching probe tuples are replicated to exactly those workers, so each
+//! join pair still meets exactly once.
+//!
+//! On top of correctness, `net.shuffle.max_over_mean_x1000` (the straggler
+//! metric the cost model consumes) must collapse when salting is enabled.
+
+use hybrid_core::reference::run_reference;
+use hybrid_core::{run, FaultSpec, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::{KeySkew, Workload, WorkloadSpec};
+use hybrid_storage::FileFormat;
+
+const DB_WORKERS: usize = 3;
+const JEN_WORKERS: usize = 4;
+const SALT_BUCKETS: usize = 4;
+
+fn all_algorithms() -> Vec<JoinAlgorithm> {
+    JoinAlgorithm::paper_variants()
+        .into_iter()
+        .chain([JoinAlgorithm::SemiJoin, JoinAlgorithm::PerfJoin])
+        .collect()
+}
+
+/// The algorithms whose `L'` shuffle (and `T'` routing) goes through the
+/// salt router — the only ones a salted config can affect.
+fn salted_algorithms() -> [JoinAlgorithm; 4] {
+    [
+        JoinAlgorithm::Repartition { bloom: false },
+        JoinAlgorithm::Repartition { bloom: true },
+        JoinAlgorithm::Zigzag,
+        JoinAlgorithm::SemiJoin,
+    ]
+}
+
+fn skewed_workload(skew: KeySkew) -> Workload {
+    let mut spec = WorkloadSpec::tiny();
+    spec.t_rows = 600;
+    spec.l_rows = 3_000;
+    spec.skew = skew;
+    spec.generate().unwrap()
+}
+
+fn system(
+    workload: &Workload,
+    format: FileFormat,
+    jen_workers: usize,
+    threads: usize,
+    salt_buckets: Option<usize>,
+) -> HybridSystem {
+    let mut cfg = SystemConfig::paper_shape(DB_WORKERS, jen_workers);
+    cfg.rows_per_block = 500;
+    cfg.threads = threads;
+    cfg.salt_buckets = salt_buckets;
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, format).unwrap();
+    sys
+}
+
+/// The correctness grid for one skew: every format × thread count ×
+/// algorithm, salted and unsalted, against the sequential unsalted
+/// reference. One `#[test]` per skew so the harness runs them in parallel.
+fn assert_grid_bit_identical(name: &str, skew: KeySkew) {
+    let workload = skewed_workload(skew);
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert!(expected.num_rows() > 0, "{name}: query must be non-trivial");
+
+    for format in [FileFormat::Columnar, FileFormat::Text] {
+        for threads in [1usize, 8] {
+            let mut plain = system(&workload, format, JEN_WORKERS, threads, None);
+            for alg in all_algorithms() {
+                let out = run(&mut plain, &query, alg).unwrap();
+                assert_eq!(
+                    out.result, expected,
+                    "{name}: {alg} wrong on {format} at {threads} threads"
+                );
+            }
+            let mut salted = system(&workload, format, JEN_WORKERS, threads, Some(SALT_BUCKETS));
+            for alg in salted_algorithms() {
+                let out = run(&mut salted, &query, alg).unwrap();
+                assert_eq!(
+                    out.result, expected,
+                    "{name}: salted {alg} wrong on {format} at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zipf_08_joins_are_bit_identical_to_reference() {
+    assert_grid_bit_identical("zipf-0.8", KeySkew::Zipf { s: 0.8 });
+}
+
+#[test]
+fn zipf_12_joins_are_bit_identical_to_reference() {
+    assert_grid_bit_identical("zipf-1.2", KeySkew::Zipf { s: 1.2 });
+}
+
+#[test]
+fn single_key_joins_are_bit_identical_to_reference() {
+    assert_grid_bit_identical("single-key", KeySkew::SingleKey);
+}
+
+/// The point of salting: the straggler metric collapses. Run at 8 JEN
+/// workers so a hot key leaves real headroom between the unsalted ratio
+/// and the fan-out-of-4 salted one. All values are exact — the metric is
+/// schedule-independent.
+#[test]
+fn salting_collapses_the_shuffle_straggler() {
+    let jen = 8usize;
+
+    // Pathological single key: unsalted, one worker receives every build
+    // row, so max/mean is exactly the worker count.
+    let workload = skewed_workload(KeySkew::SingleKey);
+    let query = workload.query();
+    let alg = JoinAlgorithm::Repartition { bloom: false };
+
+    let mut plain = system(&workload, FileFormat::Columnar, jen, 8, None);
+    let off = run(&mut plain, &query, alg).unwrap();
+    assert_eq!(
+        off.summary.shuffle_max_over_mean_x1000,
+        (jen * 1000) as u64,
+        "single hot key must land every build row on one worker"
+    );
+    let mut salty = system(&workload, FileFormat::Columnar, jen, 8, Some(SALT_BUCKETS));
+    let on = run(&mut salty, &query, alg).unwrap();
+    assert_eq!(off.result, on.result);
+    assert!(
+        // fan-out 4 splits the key across 4 of 8 workers: max/mean ~2.0
+        on.summary.shuffle_max_over_mean_x1000 <= 2_600,
+        "salted single-key ratio {} should approach the fan-out bound",
+        on.summary.shuffle_max_over_mean_x1000
+    );
+
+    // Zipf 1.2 at 8 threads — the acceptance configuration: at least a
+    // 1.5x balance improvement, bit-identical results.
+    let workload = skewed_workload(KeySkew::Zipf { s: 1.2 });
+    let query = workload.query();
+    let mut plain = system(&workload, FileFormat::Columnar, jen, 8, None);
+    let off = run(&mut plain, &query, alg).unwrap();
+    let mut salty = system(&workload, FileFormat::Columnar, jen, 8, Some(SALT_BUCKETS));
+    let on = run(&mut salty, &query, alg).unwrap();
+    assert_eq!(off.result, on.result, "salting must not change the answer");
+    let (u, s) = (
+        off.summary.shuffle_max_over_mean_x1000,
+        on.summary.shuffle_max_over_mean_x1000,
+    );
+    assert!(
+        s > 0 && u * 2 >= s * 3,
+        "zipf-1.2 salting must improve max/mean by >= 1.5x, got {u} -> {s}"
+    );
+}
+
+/// A cold (uniform) workload must not be touched by the detector: with no
+/// heavy hitter above threshold the router disables itself and the salted
+/// system meters the exact same shuffle volumes as the plain one.
+#[test]
+fn uniform_keys_leave_salting_dormant() {
+    let workload = skewed_workload(KeySkew::Uniform);
+    let query = workload.query();
+    let alg = JoinAlgorithm::Repartition { bloom: false };
+    let mut plain = system(&workload, FileFormat::Columnar, JEN_WORKERS, 1, None);
+    let off = run(&mut plain, &query, alg).unwrap();
+    let mut salty = system(
+        &workload,
+        FileFormat::Columnar,
+        JEN_WORKERS,
+        1,
+        Some(SALT_BUCKETS),
+    );
+    let on = run(&mut salty, &query, alg).unwrap();
+    assert_eq!(off.result, on.result);
+    assert_eq!(
+        off.summary.hdfs_tuples_shuffled, on.summary.hdfs_tuples_shuffled,
+        "a dormant router must not add replication traffic"
+    );
+    assert_eq!(
+        off.summary.db_tuples_sent, on.summary.db_tuples_sent,
+        "a dormant router must not replicate probe tuples"
+    );
+}
+
+/// The sampling estimator feeds the advisor a real skew number: the
+/// single-key table must report (close to) the worker count, the uniform
+/// table something near 1.
+#[test]
+fn sampled_estimates_see_the_skew() {
+    let hot = skewed_workload(KeySkew::SingleKey);
+    let sys = system(&hot, FileFormat::Columnar, JEN_WORKERS, 1, None);
+    let stats = hybrid_core::sample_stats(&sys, &hot.query(), 8).unwrap();
+    assert!(
+        stats.shuffle_skew > JEN_WORKERS as f64 - 0.1,
+        "single-key sampled skew {} must approach the worker count",
+        stats.shuffle_skew
+    );
+
+    let flat = skewed_workload(KeySkew::Uniform);
+    let sys = system(&flat, FileFormat::Columnar, JEN_WORKERS, 1, None);
+    let stats = hybrid_core::sample_stats(&sys, &flat.query(), 8).unwrap();
+    assert!(
+        stats.shuffle_skew < 2.0,
+        "uniform sampled skew {} should stay near 1",
+        stats.shuffle_skew
+    );
+}
+
+/// Chaos over the salted path: seeded drops/dups/reorders on the Zipf-1.2
+/// salted repartition must still recover to the bit-identical reference
+/// answer or fail with the typed injected fault — replicated probe tuples
+/// and split build keys included.
+#[test]
+fn chaos_cell_on_salted_repartition() {
+    let workload = skewed_workload(KeySkew::Zipf { s: 1.2 });
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    let faults = FaultSpec::quiet(0x5A17)
+        .with_drops(0.2)
+        .with_dups(0.2)
+        .with_reorders(0.3);
+
+    for threads in [1usize, 8] {
+        let mut cfg = SystemConfig::paper_shape(DB_WORKERS, JEN_WORKERS);
+        cfg.rows_per_block = 500;
+        cfg.threads = threads;
+        cfg.salt_buckets = Some(SALT_BUCKETS);
+        cfg.recv_timeout = std::time::Duration::from_secs(10);
+        cfg.fault_spec = Some(faults.clone());
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        match run(
+            &mut sys,
+            &query,
+            JoinAlgorithm::Repartition { bloom: false },
+        ) {
+            Ok(out) => assert_eq!(
+                out.result, expected,
+                "salted chaos run diverged at {threads} threads"
+            ),
+            Err(e) => assert!(
+                matches!(
+                    e,
+                    hybrid_common::error::HybridError::FaultInjected { .. }
+                        | hybrid_common::error::HybridError::Disconnected { .. }
+                ),
+                "untyped error from salted chaos run at {threads} threads: {e}"
+            ),
+        }
+    }
+}
