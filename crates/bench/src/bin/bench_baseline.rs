@@ -6,20 +6,28 @@
 //!
 //! Runs every join algorithm once at a fixed tiny scale with a pinned seed
 //! and collects a flat map of behavioural counters (result rows, tuples
-//! shuffled/sent, cross-fabric bytes, shuffle balance) plus wall times.
-//! It also runs the skew demonstration the salting work is gated on:
-//! repartition over a Zipf(1.2) key distribution at 8 threads, salting off
-//! vs on, asserting **bit-identical results** and a ≥ 1.5× drop in
-//! `net.shuffle.max_over_mean_x1000`.
+//! shuffled/sent, cross-fabric bytes, shuffle balance) plus wall times and
+//! scan throughput (`*.rows_per_sec`, informational). It also runs:
+//!
+//! * the skew demonstration the salting work is gated on: repartition over
+//!   a Zipf(1.2) key distribution at 8 threads, salting off vs on,
+//!   asserting **bit-identical results** and a ≥ 1.5× drop in
+//!   `net.shuffle.max_over_mean_x1000`;
+//! * the columnar demonstration the batching work is gated on: repartition
+//!   at one-row framing (`batch_rows = 1`, the tuple-at-a-time replay) vs
+//!   the default 4096-row batches, asserting identical row-level volumes
+//!   and that the batched run is never slower
+//!   (`batchcmp.{tuple,batched}.wall_ms`).
 //!
 //! * `--emit PATH` writes the collected counters as JSON — commit the
 //!   output as `BENCH_baseline.json` to (re-)bless the baseline.
 //! * `--check BASELINE` compares the fresh counters against a committed
 //!   baseline: any row/byte/balance counter that deviates **at all** fails,
 //!   as does a wall time regressing more than 25% (plus a small absolute
-//!   slack so ~millisecond cells do not flake on loaded CI runners). A
-//!   counter present on one side only also fails — adding an algorithm or
-//!   metric requires a re-bless.
+//!   slack so ~millisecond cells do not flake on loaded CI runners);
+//!   `*.rows_per_sec` is presence-checked only. A counter present on one
+//!   side only also fails — adding an algorithm or metric requires a
+//!   re-bless.
 //!
 //! The counters (everything except `*.wall_ms`) are deterministic: same
 //! seed, same data, same schedule-independent volumes at any thread count.
@@ -83,8 +91,62 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
             format!("{p}.shuffle_max_over_mean_x1000"),
             m.summary.shuffle_max_over_mean_x1000,
         );
-        c.insert(format!("{p}.wall_ms"), m.elapsed.as_millis() as u64);
+        let wall_ms = m.elapsed.as_millis() as u64;
+        c.insert(format!("{p}.wall_ms"), wall_ms);
+        // scan throughput, informational: raw L rows over the join wall
+        c.insert(
+            format!("{p}.rows_per_sec"),
+            m.summary.hdfs_rows_raw.saturating_mul(1000) / wall_ms.max(1),
+        );
     }
+
+    // --- the columnar demonstration the batching work is gated on ---
+    // A workload big enough that per-message overhead dominates the
+    // one-row framing: batched must never be slower than tuple-at-a-time.
+    let batch_spec = WorkloadSpec {
+        seed: SEED,
+        t_rows: 10_000,
+        l_rows: 50_000,
+        ..WorkloadSpec::tiny()
+    };
+    let mut cfg = default_system_config();
+    cfg.batch_rows = 1;
+    let mut tuple_sys = ExpSystem::build_with(batch_spec, FileFormat::Columnar, cfg)?;
+    let mut batched_sys =
+        ExpSystem::build_with(batch_spec, FileFormat::Columnar, default_system_config())?;
+    let alg = JoinAlgorithm::Repartition { bloom: false };
+    let tuple_m = tuple_sys.run(alg)?;
+    let batched_m = batched_sys.run(alg)?;
+    if tuple_m.summary.hdfs_tuples_shuffled != batched_m.summary.hdfs_tuples_shuffled
+        || tuple_m.summary.db_tuples_sent != batched_m.summary.db_tuples_sent
+        || tuple_m.result_rows != batched_m.result_rows
+    {
+        return Err("batch framing changed row-level volumes or the result".into());
+    }
+    if batched_m.elapsed > tuple_m.elapsed {
+        return Err(format!(
+            "batched run ({:?}) slower than tuple-at-a-time replay ({:?})",
+            batched_m.elapsed, tuple_m.elapsed
+        )
+        .into());
+    }
+    c.insert(
+        "batchcmp.tuple.wall_ms".into(),
+        tuple_m.elapsed.as_millis() as u64,
+    );
+    c.insert(
+        "batchcmp.batched.wall_ms".into(),
+        batched_m.elapsed.as_millis() as u64,
+    );
+    c.insert(
+        "batchcmp.hdfs_tuples_shuffled".into(),
+        batched_m.summary.hdfs_tuples_shuffled,
+    );
+    println!(
+        "batch demo: repartition, {} L rows — {:?} at batch_rows=1 -> {:?} at \
+         batch_rows=4096, identical volumes",
+        batch_spec.l_rows, tuple_m.elapsed, batched_m.elapsed
+    );
 
     // --- the skew demonstration the salting work is gated on ---
     let skew_spec = WorkloadSpec {
@@ -188,6 +250,8 @@ fn compare(baseline: &Counters, current: &Counters) -> Vec<String> {
     for (k, &base) in baseline {
         match current.get(k) {
             None => failures.push(format!("{k}: in baseline but not measured (re-bless?)")),
+            // throughput rides the wall clock: presence-checked only
+            Some(_) if k.ends_with(".rows_per_sec") => {}
             Some(&cur) if k.ends_with(".wall_ms") => {
                 let limit = base + base / WALL_FRACTION + WALL_SLACK_MS;
                 if cur > limit {

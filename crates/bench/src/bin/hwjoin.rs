@@ -6,6 +6,7 @@
 //!        [--zipf S | --single-key] [--salt-buckets F]
 //!        [--format columnar|text] [--scale tiny|small|default]
 //!        [--spill-limit ROWS] [--timeline PATH] [--threads N]
+//!        [--batch-rows N]
 //!        [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]
 //! ```
 //!
@@ -27,6 +28,13 @@
 //! probe tuples replicated to the same workers. Results are bit-identical
 //! to the unsalted run; compare `net.shuffle.max_over_mean_x1000` in a
 //! `--timeline` dump to watch the straggler disappear.
+//!
+//! `--batch-rows N` sets the columnar batch size the engine frames data
+//! into on the fabric (default 4096; the `HYBRID_BATCH_ROWS` env is the
+//! fallback). `--batch-rows 1` replays the engine one tuple at a time —
+//! the differential-testing reference — with bit-identical results and
+//! row volumes at any size; compare wall times to watch the per-message
+//! overhead appear.
 //!
 //! `--serve` switches to serving mode: instead of one join, N client
 //! threads drive a mixed workload through the concurrent query service
@@ -67,7 +75,7 @@ fn usage() -> ! {
          [--st F] [--sl F] [--zipf S | --single-key] [--salt-buckets F] \
          [--format columnar|text] [--scale tiny|small|default] \
          [--spill-limit ROWS] [--timeline PATH] [--threads N] \
-         [--chaos-seed N] [--fault-rate R] \
+         [--batch-rows N] [--chaos-seed N] [--fault-rate R] \
          [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]"
     );
     std::process::exit(2)
@@ -80,6 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spill_limit: Option<usize> = None;
     let mut timeline_path: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut batch_rows: Option<usize> = None;
     let mut serve = false;
     let mut serve_opts = ServeOptions::default();
     let mut json_path: Option<String> = None;
@@ -102,6 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--spill-limit" => spill_limit = Some(value().parse()?),
             "--timeline" => timeline_path = Some(value().to_string()),
             "--threads" => threads = Some(value().parse()?),
+            "--batch-rows" => batch_rows = Some(value().parse()?),
             "--chaos-seed" => chaos_seed = Some(value().parse()?),
             "--fault-rate" => fault_rate = Some(value().parse()?),
             "--zipf" => {
@@ -184,7 +194,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(limit) = spill_limit {
         cfg.jen_memory_limit_rows = Some(limit);
     }
-    println!("execution: {} worker thread(s)", cfg.threads);
+    if let Some(n) = batch_rows {
+        cfg.batch_rows = n;
+    }
+    println!(
+        "execution: {} worker thread(s), {}-row batches",
+        cfg.threads, cfg.batch_rows
+    );
     if let Some(f) = salt_buckets {
         println!("salting: detected hot keys split across up to {f} JEN workers");
     }

@@ -5,24 +5,37 @@
 //! only possible joiners (paper §3: "prune out the non-joinable records").
 
 use crate::ApproxMembership;
-use hybrid_common::batch::Batch;
+use hybrid_common::batch::{Batch, SelectionVector};
 use hybrid_common::error::Result;
 
+/// Selection vector over `keys` of the entries that may be in `filter`,
+/// built without a per-row branch: the row index is written unconditionally
+/// and the cursor advances by the membership bit.
+pub fn member_sel<F: ApproxMembership + ?Sized>(keys: &[i64], filter: &F) -> SelectionVector {
+    let mut sel = vec![0u32; keys.len()];
+    let mut k = 0usize;
+    for (row, &key) in keys.iter().enumerate() {
+        sel[k] = row as u32;
+        k += usize::from(filter.may_contain(key));
+    }
+    sel.truncate(k);
+    SelectionVector::from_indexes(sel)
+}
+
 /// Keep only the rows of `batch` whose key in `key_col` may be in `filter`.
+///
+/// Vectorized: the key column is widened once, membership is evaluated over
+/// the whole batch into a selection vector, and the survivors move with one
+/// column-at-a-time gather.
 pub fn filter_batch<F: ApproxMembership + ?Sized>(
     batch: &Batch,
     key_col: usize,
     filter: &F,
 ) -> Result<(Batch, FilStats)> {
-    let keys = batch.column(key_col)?;
-    let mut mask = Vec::with_capacity(batch.num_rows());
-    let mut kept = 0usize;
-    for row in 0..batch.num_rows() {
-        let keep = filter.may_contain(keys.key_at(row)?);
-        kept += usize::from(keep);
-        mask.push(keep);
-    }
-    let out = batch.filter(&mask)?;
+    let keys = batch.column(key_col)?.keys_i64()?;
+    let sel = member_sel(&keys, filter);
+    let kept = sel.len();
+    let out = batch.take_sel(&sel);
     Ok((
         out,
         FilStats {

@@ -411,6 +411,29 @@ mod proptests {
             );
         }
 
+        /// Batched evaluation over a whole key vector (`member_sel`, the
+        /// scan loop's selection-vector path) selects exactly the rows
+        /// where per-row `may_contain` answers true — for arbitrary key
+        /// sets, probes, and geometries.
+        #[test]
+        fn batched_membership_equals_per_row(
+            keys in proptest::collection::vec(any::<i64>(), 0..150),
+            probes in proptest::collection::vec(any::<i64>(), 0..200),
+            bits_pow in 7usize..14,
+            k in 1u32..6,
+        ) {
+            let mut f = BloomFilter::new(BloomParams::new(1 << bits_pow, k).unwrap());
+            f.insert_all(&keys);
+            let sel = crate::apply::member_sel(&probes, &f);
+            let expected: Vec<u32> = probes
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| f.may_contain(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(sel.as_slice(), expected.as_slice());
+        }
+
         /// Wire roundtrip answers identically on arbitrary probes.
         #[test]
         fn roundtrip_equivalent(

@@ -25,7 +25,7 @@ pub mod blocked;
 pub mod filter;
 pub mod params;
 
-pub use apply::{filter_batch, FilStats};
+pub use apply::{filter_batch, member_sel, FilStats};
 pub use blocked::BlockedBloomFilter;
 pub use filter::BloomFilter;
 pub use params::BloomParams;
@@ -42,4 +42,17 @@ pub trait ApproxMembership {
 
     /// Number of bytes this filter occupies when shipped between clusters.
     fn wire_bytes(&self) -> usize;
+}
+
+/// An exact key set is the degenerate "approximate" filter with a zero
+/// false-positive rate — the semi-join baseline ships one and filters scans
+/// through the same vectorized [`filter_batch`] path the Bloom variants use.
+impl ApproxMembership for std::collections::HashSet<i64> {
+    fn may_contain(&self, key: i64) -> bool {
+        self.contains(&key)
+    }
+
+    fn wire_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<i64>()
+    }
 }

@@ -9,6 +9,54 @@
 use crate::datum::{DataType, Datum};
 use crate::error::{HybridError, Result};
 use crate::schema::Schema;
+use std::borrow::Cow;
+
+/// A list of row indexes into a [`Batch`], in ascending order — the
+/// branch-light alternative to a `Vec<bool>` mask for filtering.
+///
+/// Vectorized operators build one with [`SelectionVector::from_mask`] (a
+/// single pass with no per-row branch: the index is written unconditionally
+/// and the cursor advances by the mask bit) and apply it with
+/// [`Batch::take_sel`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelectionVector(Vec<u32>);
+
+impl SelectionVector {
+    /// Selection of every row in `0..rows`.
+    pub fn identity(rows: usize) -> SelectionVector {
+        SelectionVector((0..rows as u32).collect())
+    }
+
+    /// Build from a boolean mask without branching on each row: slot `k`
+    /// is overwritten until a kept row advances the cursor.
+    pub fn from_mask(mask: &[bool]) -> SelectionVector {
+        let mut sel = vec![0u32; mask.len()];
+        let mut k = 0usize;
+        for (i, &keep) in mask.iter().enumerate() {
+            sel[k] = i as u32;
+            k += keep as usize;
+        }
+        sel.truncate(k);
+        SelectionVector(sel)
+    }
+
+    /// Wrap an explicit (ascending) index list.
+    pub fn from_indexes(rows: Vec<u32>) -> SelectionVector {
+        SelectionVector(rows)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+}
 
 /// A typed column of values.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +155,22 @@ impl Column {
         }
     }
 
+    /// The whole column as `i64` join keys: borrows `I64` storage directly,
+    /// widens `I32`/`Date` once per batch. Amortizes the per-row type match
+    /// of [`Column::key_at`] across vectorized operators.
+    pub fn keys_i64(&self) -> Result<Cow<'_, [i64]>> {
+        match self {
+            Column::I32(v) | Column::Date(v) => {
+                Ok(Cow::Owned(v.iter().map(|&x| i64::from(x)).collect()))
+            }
+            Column::I64(v) => Ok(Cow::Borrowed(v)),
+            Column::Utf8(_) => Err(HybridError::TypeMismatch {
+                expected: "integer join key",
+                found: "utf8",
+            }),
+        }
+    }
+
     /// Append the value at `row` of `src` (same type) onto `self`.
     pub fn push_from(&mut self, src: &Column, row: usize) -> Result<()> {
         match (self, src) {
@@ -132,6 +196,45 @@ impl Column {
             Column::Date(v) => Column::Date(rows.iter().map(|&r| v[r as usize]).collect()),
             Column::Utf8(v) => Column::Utf8(rows.iter().map(|&r| v[r as usize].clone()).collect()),
         }
+    }
+
+    /// Gather-append the listed rows of `src` (same type) onto `self` —
+    /// the column-at-a-time form of repeated [`Column::push_from`].
+    pub fn extend_take(&mut self, src: &Column, rows: &[u32]) -> Result<()> {
+        match (self, src) {
+            (Column::I32(d), Column::I32(s)) | (Column::Date(d), Column::Date(s)) => {
+                d.extend(rows.iter().map(|&r| s[r as usize]));
+            }
+            (Column::I64(d), Column::I64(s)) => d.extend(rows.iter().map(|&r| s[r as usize])),
+            (Column::Utf8(d), Column::Utf8(s)) => {
+                d.extend(rows.iter().map(|&r| s[r as usize].clone()));
+            }
+            (d, s) => {
+                return Err(HybridError::TypeMismatch {
+                    expected: d.data_type().name(),
+                    found: s.data_type().name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Append all of `src` (same type) onto `self`.
+    pub fn extend_from(&mut self, src: &Column) -> Result<()> {
+        match (self, src) {
+            (Column::I32(d), Column::I32(s)) | (Column::Date(d), Column::Date(s)) => {
+                d.extend_from_slice(s);
+            }
+            (Column::I64(d), Column::I64(s)) => d.extend_from_slice(s),
+            (Column::Utf8(d), Column::Utf8(s)) => d.extend_from_slice(s),
+            (d, s) => {
+                return Err(HybridError::TypeMismatch {
+                    expected: d.data_type().name(),
+                    found: s.data_type().name(),
+                })
+            }
+        }
+        Ok(())
     }
 
     /// Serialized payload bytes of this column (fixed width or string bytes).
@@ -263,15 +366,15 @@ impl Batch {
                 self.rows
             )));
         }
-        let rows: Vec<u32> = mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &keep)| keep.then_some(i as u32))
-            .collect();
-        Ok(self.take(&rows))
+        Ok(self.take_sel(&SelectionVector::from_mask(mask)))
     }
 
-    /// Concatenate many same-schema batches into one.
+    /// Keep only the selected rows (column-at-a-time gather).
+    pub fn take_sel(&self, sel: &SelectionVector) -> Batch {
+        self.take(sel.as_slice())
+    }
+
+    /// Concatenate many same-schema batches into one (column-at-a-time).
     pub fn concat(schema: Schema, batches: &[Batch]) -> Result<Batch> {
         let total: usize = batches.iter().map(Batch::num_rows).sum();
         let mut columns: Vec<Column> = schema
@@ -286,9 +389,7 @@ impl Batch {
                 ));
             }
             for (dst, src) in columns.iter_mut().zip(&b.columns) {
-                for row in 0..b.rows {
-                    dst.push_from(src, row)?;
-                }
+                dst.extend_from(src)?;
             }
         }
         Ok(Batch {
@@ -350,6 +451,16 @@ impl BatchBuilder {
             dst.push_from(col, row)?;
         }
         self.rows += 1;
+        Ok(())
+    }
+
+    /// Gather-append the listed rows of `src` (column-at-a-time form of
+    /// repeated [`BatchBuilder::push_row`]).
+    pub fn append_rows(&mut self, src: &Batch, rows: &[u32]) -> Result<()> {
+        for (dst, col) in self.columns.iter_mut().zip(src.columns()) {
+            dst.extend_take(col, rows)?;
+        }
+        self.rows += rows.len();
         Ok(())
     }
 
@@ -480,10 +591,147 @@ mod tests {
     }
 
     #[test]
+    fn selection_from_mask_matches_filter() {
+        let batch = b();
+        let mask = [true, false, true, true];
+        let sel = SelectionVector::from_mask(&mask);
+        assert_eq!(sel.as_slice(), &[0, 2, 3]);
+        assert_eq!(batch.take_sel(&sel), batch.filter(&mask).unwrap());
+        assert!(SelectionVector::from_mask(&[]).is_empty());
+        assert_eq!(SelectionVector::identity(3).as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn keys_i64_widens_like_key_at() {
+        let batch = b();
+        for col in [0usize, 1] {
+            let c = batch.column(col).unwrap();
+            let keys = c.keys_i64().unwrap();
+            for row in 0..batch.num_rows() {
+                assert_eq!(keys[row], c.key_at(row).unwrap());
+            }
+        }
+        assert!(batch.column(2).unwrap().keys_i64().is_err());
+    }
+
+    #[test]
+    fn append_rows_matches_push_row() {
+        let batch = b();
+        let rows = [3u32, 1, 1];
+        let mut gathered = BatchBuilder::new(batch.schema().clone());
+        gathered.append_rows(&batch, &rows).unwrap();
+        let mut pushed = BatchBuilder::new(batch.schema().clone());
+        for &r in &rows {
+            pushed.push_row(&batch, r as usize).unwrap();
+        }
+        assert_eq!(gathered.finish(), pushed.finish());
+    }
+
+    #[test]
+    fn extend_take_rejects_type_mismatch() {
+        let mut dst = Column::I32(vec![]);
+        assert!(dst.extend_take(&Column::I64(vec![1]), &[0]).is_err());
+        assert!(dst.extend_from(&Column::I64(vec![1])).is_err());
+    }
+
+    #[test]
     fn empty_batch_has_schema_and_no_rows() {
         let e = Batch::empty(b().schema().clone());
         assert!(e.is_empty());
         assert_eq!(e.schema().len(), 3);
         assert_eq!(e.serialized_bytes(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary mixed-type batch: the row tuples are zipped into one
+    /// column vector per type.
+    fn arb_batch() -> impl Strategy<Value = Batch> {
+        proptest::collection::vec((any::<i32>(), any::<i64>(), "[a-z]{0,5}"), 0..120).prop_map(
+            |rows| {
+                let schema = Schema::from_pairs(&[
+                    ("k", DataType::I32),
+                    ("v", DataType::I64),
+                    ("s", DataType::Utf8),
+                ]);
+                let mut a = Vec::with_capacity(rows.len());
+                let mut b = Vec::with_capacity(rows.len());
+                let mut c = Vec::with_capacity(rows.len());
+                for (x, y, z) in rows {
+                    a.push(x);
+                    b.push(y);
+                    c.push(z);
+                }
+                Batch::new(
+                    schema,
+                    vec![Column::I32(a), Column::I64(b), Column::Utf8(c)],
+                )
+                .unwrap()
+            },
+        )
+    }
+
+    proptest! {
+        /// Splitting into chunks of any size and concatenating restores the
+        /// original batch bit for bit — the invariant the batched fabric
+        /// relies on when it reframes a stream at `batch_rows`.
+        #[test]
+        fn split_concat_roundtrip(batch in arb_batch(), chunk in 1usize..300) {
+            let parts = batch.chunks(chunk);
+            for p in &parts {
+                prop_assert!(p.num_rows() <= chunk);
+            }
+            let whole = Batch::concat(batch.schema().clone(), &parts).unwrap();
+            prop_assert_eq!(whole, batch);
+        }
+
+        /// A selection-vector filter keeps exactly the masked rows, in
+        /// order, and equals the mask-based filter.
+        #[test]
+        fn selection_filter_is_lossless(
+            batch in arb_batch(),
+            seed in any::<u64>(),
+        ) {
+            let mask: Vec<bool> = (0..batch.num_rows())
+                .map(|i| (seed >> (i % 64)) & 1 == 1)
+                .collect();
+            let sel = SelectionVector::from_mask(&mask);
+            let out = batch.take_sel(&sel);
+            prop_assert_eq!(&out, &batch.filter(&mask).unwrap());
+            prop_assert_eq!(out.num_rows(), mask.iter().filter(|&&m| m).count());
+            // complement + original = a partition of the rows
+            let inv: Vec<bool> = mask.iter().map(|&m| !m).collect();
+            let rest = batch.take_sel(&SelectionVector::from_mask(&inv));
+            prop_assert_eq!(out.num_rows() + rest.num_rows(), batch.num_rows());
+            let glued = Batch::concat(batch.schema().clone(), &[out, rest]).unwrap();
+            let mut order: Vec<u32> = SelectionVector::from_mask(&mask).as_slice().to_vec();
+            order.extend_from_slice(SelectionVector::from_mask(&inv).as_slice());
+            prop_assert_eq!(glued, batch.take(&order));
+        }
+
+        /// Gather-append (`append_rows`) equals row-at-a-time `push_row`
+        /// for arbitrary row lists, duplicates included.
+        #[test]
+        fn gather_append_equals_push_row(
+            batch in arb_batch(),
+            picks in proptest::collection::vec(any::<u32>(), 0..80),
+        ) {
+            let rows: Vec<u32> = if batch.num_rows() == 0 {
+                Vec::new()
+            } else {
+                picks.iter().map(|&p| p % batch.num_rows() as u32).collect()
+            };
+            let mut gathered = BatchBuilder::new(batch.schema().clone());
+            gathered.append_rows(&batch, &rows).unwrap();
+            let mut pushed = BatchBuilder::new(batch.schema().clone());
+            for &r in &rows {
+                pushed.push_row(&batch, r as usize).unwrap();
+            }
+            prop_assert_eq!(gathered.finish(), pushed.finish());
+        }
     }
 }

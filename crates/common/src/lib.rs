@@ -30,7 +30,7 @@ pub mod schema;
 pub mod sketch;
 pub mod trace;
 
-pub use batch::{Batch, Column};
+pub use batch::{Batch, Column, SelectionVector};
 pub use datum::{DataType, Datum};
 pub use error::{HybridError, Result};
 pub use schema::{Field, Schema};

@@ -13,4 +13,4 @@ pub mod partition;
 
 pub use aggregate::{AggSpec, HashAggregator};
 pub use hash_join::HashJoiner;
-pub use partition::partition_by_key;
+pub use partition::{partition_by_key, partition_sel};

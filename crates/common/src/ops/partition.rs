@@ -5,9 +5,33 @@
 //! joins use [`crate::hash::agreed_shuffle_partition`] here (the hash
 //! function JEN exposes to the database, §4.3); the EDW's internal shuffles
 //! use [`crate::hash::db_partition`].
+//!
+//! Both entry points are vectorized: the key column is widened once per
+//! batch, destinations are computed in one pass, and rows move with
+//! column-at-a-time gathers instead of per-row pushes.
 
-use crate::batch::{Batch, BatchBuilder};
+use crate::batch::{Batch, SelectionVector};
 use crate::error::Result;
+
+/// Per-destination selection vectors for `batch`: row `r` appears in
+/// `sel[part_fn(key[r], n)]`. The shuffle's routing step, separated from
+/// the row movement so callers can gather into per-destination buffers.
+pub fn partition_sel(
+    batch: &Batch,
+    key_col: usize,
+    n: usize,
+    part_fn: impl Fn(i64, usize) -> usize,
+) -> Result<Vec<SelectionVector>> {
+    assert!(n > 0, "cannot partition into zero parts");
+    let keys = batch.column(key_col)?.keys_i64()?;
+    let mut sel: Vec<Vec<u32>> = (0..n).map(|_| Vec::new()).collect();
+    for (row, &key) in keys.iter().enumerate() {
+        let dest = part_fn(key, n);
+        debug_assert!(dest < n, "partition function out of range");
+        sel[dest].push(row as u32);
+    }
+    Ok(sel.into_iter().map(SelectionVector::from_indexes).collect())
+}
 
 /// Split `batch` into `n` batches by applying `part_fn(key, n)` to the join
 /// key in column `key_col` of every row.
@@ -17,18 +41,8 @@ pub fn partition_by_key(
     n: usize,
     part_fn: impl Fn(i64, usize) -> usize,
 ) -> Result<Vec<Batch>> {
-    assert!(n > 0, "cannot partition into zero parts");
-    let mut builders: Vec<BatchBuilder> = (0..n)
-        .map(|_| BatchBuilder::new(batch.schema().clone()))
-        .collect();
-    let keys = batch.column(key_col)?;
-    for row in 0..batch.num_rows() {
-        let key = keys.key_at(row)?;
-        let dest = part_fn(key, n);
-        debug_assert!(dest < n, "partition function out of range");
-        builders[dest].push_row(batch, row)?;
-    }
-    Ok(builders.into_iter().map(BatchBuilder::finish).collect())
+    let sel = partition_sel(batch, key_col, n, part_fn)?;
+    Ok(sel.iter().map(|s| batch.take_sel(s)).collect())
 }
 
 #[cfg(test)]
@@ -91,5 +105,15 @@ mod tests {
         let b = batch(&[1, 2, 3]);
         let parts = partition_by_key(&b, 0, 1, agreed_shuffle_partition).unwrap();
         assert_eq!(parts[0], b);
+    }
+
+    #[test]
+    fn selection_route_agrees_with_materialized_partitions() {
+        let b = batch(&(0..50).collect::<Vec<_>>());
+        let parts = partition_by_key(&b, 0, 3, agreed_shuffle_partition).unwrap();
+        let sel = partition_sel(&b, 0, 3, agreed_shuffle_partition).unwrap();
+        for (p, s) in parts.iter().zip(&sel) {
+            assert_eq!(p, &b.take_sel(s));
+        }
     }
 }

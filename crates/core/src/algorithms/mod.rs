@@ -17,15 +17,15 @@ pub mod zigzag;
 pub use driver::{CancelToken, Driver, TaskSet};
 
 use crate::query::HybridQuery;
-use crate::skew::SaltRouter;
+use crate::skew::{SaltCursors, SaltRouter};
 use crate::stats::{JoinSummary, RunOutput};
 use crate::system::HybridSystem;
 use hybrid_bloom::BloomFilter;
-use hybrid_common::batch::Batch;
+use hybrid_common::batch::{Batch, BatchBuilder, SelectionVector};
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::hash::agreed_shuffle_partition;
 use hybrid_common::ids::{DbWorkerId, JenWorkerId};
-use hybrid_common::ops::{partition_by_key, HashAggregator};
+use hybrid_common::ops::{partition_by_key, partition_sel, HashAggregator};
 use hybrid_common::schema::Schema;
 use hybrid_common::trace::Stage;
 use hybrid_jen::LocalJoiner;
@@ -147,10 +147,6 @@ pub fn run(
 // shared plumbing
 // ---------------------------------------------------------------------------
 
-/// Rows per `Data` message — data is streamed in chunks, as JEN's send
-/// buffers do, rather than one giant message.
-pub(crate) const CHUNK_ROWS: usize = 4096;
-
 /// How long one blocking wait on the inbox lasts before the mailbox
 /// re-checks cancellation / disconnection. Invisible to throughput (the
 /// wait returns immediately when a message is ready); small enough that a
@@ -179,6 +175,12 @@ pub(crate) struct Mailbox {
     rx: crossbeam::channel::Receiver<Delivery<Message>>,
     buffered: HashMap<StreamTag, Vec<Delivery<Message>>>,
     eos_seen: HashMap<StreamTag, usize>,
+    /// Rows per `Data` message ([`SystemConfig::batch_rows`]): 1 replays
+    /// one-tuple-at-a-time framing, the default matches the historical
+    /// fixed 4096-row chunking.
+    ///
+    /// [`SystemConfig::batch_rows`]: crate::system::SystemConfig::batch_rows
+    chunk_rows: usize,
     /// Sequence numbers already absorbed, per sender and stream. A chaos
     /// plan may retransmit a delivery (same `seq`); the duplicate must be
     /// discarded here — a duplicated EOS would otherwise inflate
@@ -213,6 +215,7 @@ impl Mailbox {
             buffered: HashMap::new(),
             eos_seen: HashMap::new(),
             seen: HashSet::new(),
+            chunk_rows: sys.config.batch_rows,
             timeout: sys.config.recv_timeout,
             cancel: None,
         })
@@ -319,7 +322,7 @@ impl Mailbox {
         if batch.is_empty() {
             return Ok(());
         }
-        for chunk in batch.chunks(CHUNK_ROWS) {
+        for chunk in batch.chunks(self.chunk_rows) {
             self.send(
                 to,
                 Message::Data {
@@ -587,16 +590,78 @@ pub(crate) fn db_route_to_jen(
     Ok(())
 }
 
+/// Send-side accumulation buffer for one shuffle destination. Routed rows
+/// append in scan order; every full `batch_rows` window ships as one
+/// message and the tail stays pending. Because rows reach each destination
+/// in the same order as a whole-share partition would produce them, the
+/// per-destination message framing is *identical* to partitioning the
+/// concatenated share and chunking it at `batch_rows` — at every batch
+/// size, which is what keeps `net.*` message/byte counters independent of
+/// how the scan framed its blocks.
+struct ShuffleBuffer {
+    schema: Schema,
+    batch_rows: usize,
+    pending: BatchBuilder,
+}
+
+impl ShuffleBuffer {
+    fn new(schema: Schema, batch_rows: usize) -> ShuffleBuffer {
+        ShuffleBuffer {
+            pending: BatchBuilder::new(schema.clone()),
+            schema,
+            batch_rows,
+        }
+    }
+
+    /// Gather-append the selected rows of `src`.
+    fn append(&mut self, src: &Batch, sel: &SelectionVector) -> Result<()> {
+        self.pending.append_rows(src, sel.as_slice())
+    }
+
+    /// Drain every full `batch_rows` message that is ready to ship; rows
+    /// that don't yet fill a window stay pending for the next append (or
+    /// the final [`ShuffleBuffer::finish`]).
+    fn take_full(&mut self) -> Result<Vec<Batch>> {
+        if self.pending.num_rows() < self.batch_rows {
+            return Ok(Vec::new());
+        }
+        let drained =
+            std::mem::replace(&mut self.pending, BatchBuilder::new(self.schema.clone())).finish();
+        let mut full = drained.chunks(self.batch_rows);
+        if let Some(last) = full.last() {
+            if last.num_rows() < self.batch_rows {
+                let tail = full.pop().expect("chunks of a non-empty batch");
+                let keep: Vec<u32> = (0..tail.num_rows() as u32).collect();
+                self.pending.append_rows(&tail, &keep)?;
+            }
+        }
+        Ok(full)
+    }
+
+    /// The pending tail (possibly empty) as one batch.
+    fn finish(self) -> Batch {
+        self.pending.finish()
+    }
+}
+
 /// Route this JEN worker's filtered scan output among its peers with the
 /// agreed hash; the piece it owns stays local in `st.local_part`. With a
 /// [`SaltRouter`], heavy-hitter build rows cycle across the key's salt
 /// workers so no single worker absorbs the whole hot partition.
+///
+/// The scan output arrives as per-block batches: each is routed with one
+/// selection-vector pass (no per-row dispatch) into per-destination
+/// [`ShuffleBuffer`]s, so shuffling overlaps the scan's framing instead of
+/// waiting for a concatenated share. Salt routing threads one
+/// [`SaltCursors`] across all blocks, which makes the hot-key round-robin a
+/// function of scan order alone — any `batch_rows` reproduces the
+/// whole-share routing bit for bit.
 pub(crate) fn jen_shuffle_share(
     sys: &HybridSystem,
     query: &HybridQuery,
     st: &mut JenTask,
     w: usize,
-    l_share: Batch,
+    l_blocks: Vec<Batch>,
     l_schema: &Schema,
     salt: Option<&SaltRouter>,
 ) -> Result<()> {
@@ -604,19 +669,49 @@ pub(crate) fn jen_shuffle_share(
     let span = sys
         .tracer
         .start(sys.jen_workers[w].span_label(), Stage::ShuffleSend);
-    let sent_rows = l_share.num_rows() as u64;
-    let sent_bytes = l_share.serialized_bytes() as u64;
-    let routed = match salt {
-        Some(r) => r.partition_build(&l_share, query.hdfs_key)?,
-        None => partition_by_key(&l_share, query.hdfs_key, num_jen, agreed_shuffle_partition)?,
-    };
+    let mut sent_rows = 0u64;
+    let mut sent_bytes = 0u64;
+    let mut cursors = SaltCursors::new();
+    let mut bufs: Vec<ShuffleBuffer> = (0..num_jen)
+        .map(|_| ShuffleBuffer::new(l_schema.clone(), sys.config.batch_rows))
+        .collect();
+    for block in &l_blocks {
+        if block.is_empty() {
+            continue;
+        }
+        sent_rows += block.num_rows() as u64;
+        sent_bytes += block.serialized_bytes() as u64;
+        let sels = match salt {
+            Some(r) => r.partition_build_sel(block, query.hdfs_key, &mut cursors)?,
+            None => partition_sel(block, query.hdfs_key, num_jen, agreed_shuffle_partition)?,
+        };
+        for (dst_idx, sel) in sels.iter().enumerate() {
+            if sel.is_empty() {
+                continue;
+            }
+            bufs[dst_idx].append(block, sel)?;
+            if dst_idx != w {
+                let dst = Endpoint::Jen(JenWorkerId(dst_idx));
+                for batch in bufs[dst_idx].take_full()? {
+                    st.mailbox.send(
+                        dst,
+                        Message::Data {
+                            stream: StreamTag::HdfsShuffle,
+                            batch,
+                        },
+                    )?;
+                }
+            }
+        }
+    }
     let mut mine = Batch::empty(l_schema.clone());
-    for (dst_idx, piece) in routed.into_iter().enumerate() {
+    for (dst_idx, buf) in bufs.into_iter().enumerate() {
+        let tail = buf.finish();
         if dst_idx == w {
-            mine = piece; // local partition: no network traffic
+            mine = tail; // local partition: no network traffic
         } else {
             let dst = Endpoint::Jen(JenWorkerId(dst_idx));
-            st.mailbox.send_data(dst, StreamTag::HdfsShuffle, &piece)?;
+            st.mailbox.send_data(dst, StreamTag::HdfsShuffle, &tail)?;
             st.mailbox.send_eos(dst, StreamTag::HdfsShuffle)?;
         }
     }
@@ -907,9 +1002,10 @@ mod tests {
     }
 
     /// Raw fabric sends, bypassing the mailbox pump (tests drive one
-    /// endpoint at a time, so there is nobody to drain an inbox).
+    /// endpoint at a time, so there is nobody to drain an inbox). Frames at
+    /// the default batch size, like a default-configured mailbox.
     fn send_data(sys: &HybridSystem, from: Endpoint, to: Endpoint, stream: StreamTag, b: &Batch) {
-        for chunk in b.chunks(CHUNK_ROWS) {
+        for chunk in b.chunks(crate::system::DEFAULT_BATCH_ROWS) {
             sys.fabric
                 .send(
                     from,

@@ -75,6 +75,13 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
 
     // Step 1: JEN scans and shuffles L' (repartition-style); each worker
     // then owns the keys of its hash partition.
+    //
+    // PERF deliberately stays on the tuple-at-a-time path: its protocol is
+    // *positional* — steps 2–4 ship key lists and bitmaps whose meaning is
+    // each tuple's ordinal within a worker's concatenated partition — so
+    // the share is materialized as one batch here and the per-row loops
+    // below are kept as the faithful baseline the vectorized algorithms
+    // are measured against.
     jen.step(20, move |w, st| {
         let l_share = {
             let _permit = driver.compute_permit();
@@ -90,7 +97,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         // PERF is never salted: the positional-bitmap protocol requires
         // each JEN worker to own *all* L' keys of its hash partition, which
         // splitting a hot key across salt workers would break.
-        jen_shuffle_share(sys, query, st, w, l_share, l_schema, None)
+        jen_shuffle_share(sys, query, st, w, vec![l_share], l_schema, None)
     });
 
     // Step 2: DB workers ship their T' key columns in tuple order,

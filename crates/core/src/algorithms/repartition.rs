@@ -17,7 +17,7 @@ use crate::skew::SaltRouter;
 use crate::system::HybridSystem;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::Result;
-use hybrid_jen::pipeline::scan_blocks_pipelined;
+use hybrid_jen::pipeline::scan_blocks_batched;
 use hybrid_jen::ScanSpec;
 use hybrid_net::StreamTag;
 
@@ -67,16 +67,17 @@ pub(crate) fn execute(
     });
 
     // Step 3: JEN workers scan (applying BF_DB if present) and shuffle the
-    // filtered HDFS data with the same hash. The local partition stays put.
+    // filtered HDFS data with the same hash, one block batch at a time —
+    // the share is never concatenated. The local partition stays put.
     jen.step(20, move |w, st| {
         let bloom = if use_bloom {
             jen_take_bloom(st, StreamTag::DbBloom)?
         } else {
             None
         };
-        let l_share = {
+        let l_blocks = {
             let _permit = driver.compute_permit();
-            scan_blocks_pipelined(
+            scan_blocks_batched(
                 &sys.jen_workers[w],
                 &plan.table,
                 &plan.blocks[w],
@@ -85,7 +86,7 @@ pub(crate) fn execute(
             )?
             .0
         };
-        jen_shuffle_share(sys, query, st, w, l_share, l_schema, salt.as_ref())
+        jen_shuffle_share(sys, query, st, w, l_blocks, l_schema, salt.as_ref())
     });
 
     // Step 4: each JEN worker builds its hash table from the shuffled HDFS

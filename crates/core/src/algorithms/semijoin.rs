@@ -24,7 +24,7 @@ use hybrid_common::batch::{Batch, Column};
 use hybrid_common::datum::DataType;
 use hybrid_common::error::Result;
 use hybrid_common::schema::Schema;
-use hybrid_jen::pipeline::scan_blocks_pipelined;
+use hybrid_jen::pipeline::scan_blocks_batched;
 use hybrid_jen::ScanSpec;
 use hybrid_net::StreamTag;
 use std::collections::HashSet;
@@ -33,10 +33,7 @@ use std::collections::HashSet;
 fn distinct_key_batch(schema: &Schema, batches: &[&Batch], key_col: usize) -> Result<Batch> {
     let mut distinct: HashSet<i64> = HashSet::new();
     for b in batches {
-        let col = b.column(key_col)?;
-        for row in 0..b.num_rows() {
-            distinct.insert(col.key_at(row)?);
-        }
+        distinct.extend(b.column(key_col)?.keys_i64()?.iter().copied());
     }
     let mut key_list: Vec<i64> = distinct.into_iter().collect();
     key_list.sort_unstable();
@@ -109,31 +106,30 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         db_route_to_jen(sys, query, st, w, &part, salt.as_ref())
     });
 
-    // Step 4: JEN workers scan, filter by the exact key set, and shuffle.
+    // Step 4: JEN workers scan, filter by the exact key set, and shuffle,
+    // block batch by block batch.
     jen.step(20, move |w, st| {
         let got = st.mailbox.take_stream(StreamTag::DbKeySet, 1)?;
         let mut keys: HashSet<i64> = HashSet::new();
         for b in &got.batches {
-            let col = b.column(0)?;
-            for row in 0..b.num_rows() {
-                keys.insert(col.key_at(row)?);
-            }
+            keys.extend(b.column(0)?.keys_i64()?.iter().copied());
         }
         let worker = &sys.jen_workers[w];
-        let l_share = {
+        let l_blocks = {
             let _permit = driver.compute_permit();
-            let (l_share, _) =
-                scan_blocks_pipelined(worker, &plan.table, &plan.blocks[w], scan_spec, None)?;
-            // exact filtering — zero false positives
-            let key_col = l_share.column(query.hdfs_key)?;
-            let mask: Vec<bool> = (0..l_share.num_rows())
-                .map(|row| key_col.key_at(row).map(|k| keys.contains(&k)))
-                .collect::<Result<_>>()?;
-            l_share.filter(&mask)?
+            let (blocks, _) =
+                scan_blocks_batched(worker, &plan.table, &plan.blocks[w], scan_spec, None)?;
+            // exact filtering — zero false positives — through the same
+            // vectorized membership path the Bloom variants use
+            blocks
+                .iter()
+                .map(|b| hybrid_bloom::filter_batch(b, query.hdfs_key, &keys).map(|(kept, _)| kept))
+                .collect::<Result<Vec<Batch>>>()?
         };
+        let rows_after: u64 = l_blocks.iter().map(|b| b.num_rows() as u64).sum();
         sys.metrics
-            .add("jen.semijoin.rows_after_keyset", l_share.num_rows() as u64);
-        jen_shuffle_share(sys, query, st, w, l_share, l_schema, salt.as_ref())
+            .add("jen.semijoin.rows_after_keyset", rows_after);
+        jen_shuffle_share(sys, query, st, w, l_blocks, l_schema, salt.as_ref())
     });
 
     // Step 5: local joins exactly as in the repartition join — build and

@@ -30,7 +30,7 @@ use hybrid_bloom::{filter_batch, BloomFilter};
 use hybrid_common::batch::Batch;
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::trace::Stage;
-use hybrid_jen::pipeline::scan_blocks_pipelined;
+use hybrid_jen::pipeline::scan_blocks_batched;
 use hybrid_jen::ScanSpec;
 use hybrid_net::{Endpoint, StreamTag};
 
@@ -74,19 +74,24 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
         let bf_db = jen_take_bloom(st, StreamTag::DbBloom)?
             .ok_or_else(|| HybridError::Net("BF_DB never arrived".into()))?;
         let worker = &sys.jen_workers[w];
-        let (l_share, local_bf) = {
+        let (l_blocks, local_bf) = {
             let _permit = driver.compute_permit();
-            let (l_share, _) = scan_blocks_pipelined(
+            let (l_blocks, _) = scan_blocks_batched(
                 worker,
                 &plan.table,
                 &plan.blocks[w],
                 scan_spec,
                 Some(&bf_db),
             )?;
-            // 3b: local BF_H over the filtered share
-            let local_bf =
-                worker.build_bloom_from(&l_share, query.hdfs_key, BloomFilter::new(query.bloom))?;
-            (l_share, local_bf)
+            // 3b: local BF_H over the filtered share, block by block (a
+            // Bloom filter is a bit-set union, so per-block inserts produce
+            // the same filter as one pass over the concatenation)
+            let local_bf = worker.build_bloom_from_blocks(
+                &l_blocks,
+                query.hdfs_key,
+                BloomFilter::new(query.bloom),
+            )?;
+            (l_blocks, local_bf)
         };
         if w == designated.index() {
             st.local_bf = Some(local_bf);
@@ -97,7 +102,7 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
             st.mailbox.send_eos(to, StreamTag::HdfsBloom)?;
         }
         // 3c: shuffle by the agreed hash; local partition stays put
-        jen_shuffle_share(sys, query, st, w, l_share, l_schema, salt.as_ref())
+        jen_shuffle_share(sys, query, st, w, l_blocks, l_schema, salt.as_ref())
     });
 
     // Step 4: merge local BF_H's at the designated worker; broadcast the

@@ -41,6 +41,9 @@ pub use cache::{query_fingerprint, BloomCache, BloomKey};
 pub use estimation::{run_auto, sample_stats, SampledStats};
 pub use hybrid_net::{FaultSpec, FaultTarget, RetryPolicy};
 pub use query::HybridQuery;
-pub use skew::SaltRouter;
+pub use skew::{SaltCursors, SaltRouter};
 pub use stats::{JoinSummary, RunOutput};
-pub use system::{threads_from_env, HybridSystem, SystemConfig, ZigzagReaccess};
+pub use system::{
+    batch_rows_from_env, threads_from_env, HybridSystem, SystemConfig, ZigzagReaccess,
+    DEFAULT_BATCH_ROWS,
+};

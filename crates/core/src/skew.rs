@@ -26,7 +26,7 @@
 
 use crate::query::HybridQuery;
 use crate::system::HybridSystem;
-use hybrid_common::batch::{Batch, BatchBuilder};
+use hybrid_common::batch::{Batch, SelectionVector};
 use hybrid_common::error::Result;
 use hybrid_common::hash::agreed_shuffle_partition;
 use hybrid_common::sketch::SpaceSaving;
@@ -78,9 +78,8 @@ impl SaltRouter {
             let decoded = decode(meta.format, &meta.schema, &bytes, None)?;
             let mask = query.hdfs_pred.eval_predicate(&decoded.batch)?;
             let survivors = decoded.batch.filter(&mask)?.project(&query.hdfs_proj)?;
-            let keys = survivors.column(query.hdfs_key)?;
-            for row in 0..survivors.num_rows() {
-                sketch.offer(keys.key_at(row)?);
+            for &key in survivors.column(query.hdfs_key)?.keys_i64()?.iter() {
+                sketch.offer(key);
             }
         }
         let threshold = (sketch.total() / n as u64).max(MIN_HOT_COUNT);
@@ -129,20 +128,24 @@ impl SaltRouter {
         (0..self.fanout).map(move |i| (home + i) % self.num_jen)
     }
 
-    /// Split a build-side batch into one piece per JEN worker. Hot-key rows
-    /// cycle round-robin over the key's salt workers (per-sender counters,
-    /// so a fixed scan order gives a fixed routing); cold rows take the
+    /// Per-destination selection vectors for a build-side batch. Hot-key
+    /// rows cycle round-robin over the key's salt workers through
+    /// `cursors`, which persist across the batches of one sender's share:
+    /// routing depends only on (key, per-sender scan order), never on how
+    /// the share was framed into batches, so any `batch_rows` setting
+    /// reproduces the whole-share routing bit for bit. Cold rows take the
     /// agreed hash.
-    pub fn partition_build(&self, batch: &Batch, key_col: usize) -> Result<Vec<Batch>> {
-        let mut builders: Vec<BatchBuilder> = (0..self.num_jen)
-            .map(|_| BatchBuilder::new(batch.schema().clone()))
-            .collect();
-        let keys = batch.column(key_col)?;
-        let mut cursors: HashMap<i64, usize> = HashMap::new();
-        for row in 0..batch.num_rows() {
-            let key = keys.key_at(row)?;
+    pub fn partition_build_sel(
+        &self,
+        batch: &Batch,
+        key_col: usize,
+        cursors: &mut SaltCursors,
+    ) -> Result<Vec<SelectionVector>> {
+        let keys = batch.column(key_col)?.keys_i64()?;
+        let mut sel: Vec<Vec<u32>> = (0..self.num_jen).map(|_| Vec::new()).collect();
+        for (row, &key) in keys.iter().enumerate() {
             let dest = if self.is_hot(key) {
-                let c = cursors.entry(key).or_insert(0);
+                let c = cursors.next.entry(key).or_insert(0);
                 let home = agreed_shuffle_partition(key, self.num_jen);
                 let dest = (home + *c) % self.num_jen;
                 *c = (*c + 1) % self.fanout;
@@ -150,31 +153,64 @@ impl SaltRouter {
             } else {
                 agreed_shuffle_partition(key, self.num_jen)
             };
-            builders[dest].push_row(batch, row)?;
+            sel[dest].push(row as u32);
         }
-        Ok(builders.into_iter().map(BatchBuilder::finish).collect())
+        Ok(sel.into_iter().map(SelectionVector::from_indexes).collect())
     }
 
-    /// Split a probe-side batch into one piece per JEN worker. Hot-key rows
-    /// are replicated into *every* salt worker's piece (each meets a
+    /// Split a build-side batch into one piece per JEN worker (one-shot
+    /// form of [`SaltRouter::partition_build_sel`] with fresh cursors).
+    pub fn partition_build(&self, batch: &Batch, key_col: usize) -> Result<Vec<Batch>> {
+        let mut cursors = SaltCursors::new();
+        let sel = self.partition_build_sel(batch, key_col, &mut cursors)?;
+        Ok(sel.iter().map(|s| batch.take_sel(s)).collect())
+    }
+
+    /// Per-destination selection vectors for a probe-side batch. Hot-key
+    /// rows appear in *every* salt worker's selection (each meets a
     /// disjoint slice of the split build side); cold rows take the agreed
-    /// hash.
-    pub fn partition_probe(&self, batch: &Batch, key_col: usize) -> Result<Vec<Batch>> {
-        let mut builders: Vec<BatchBuilder> = (0..self.num_jen)
-            .map(|_| BatchBuilder::new(batch.schema().clone()))
-            .collect();
-        let keys = batch.column(key_col)?;
-        for row in 0..batch.num_rows() {
-            let key = keys.key_at(row)?;
+    /// hash. Stateless, so per-batch application equals whole-share
+    /// application.
+    pub fn partition_probe_sel(
+        &self,
+        batch: &Batch,
+        key_col: usize,
+    ) -> Result<Vec<SelectionVector>> {
+        let keys = batch.column(key_col)?.keys_i64()?;
+        let mut sel: Vec<Vec<u32>> = (0..self.num_jen).map(|_| Vec::new()).collect();
+        for (row, &key) in keys.iter().enumerate() {
             if self.is_hot(key) {
                 for dest in self.salt_workers(key) {
-                    builders[dest].push_row(batch, row)?;
+                    sel[dest].push(row as u32);
                 }
             } else {
-                builders[agreed_shuffle_partition(key, self.num_jen)].push_row(batch, row)?;
+                sel[agreed_shuffle_partition(key, self.num_jen)].push(row as u32);
             }
         }
-        Ok(builders.into_iter().map(BatchBuilder::finish).collect())
+        Ok(sel.into_iter().map(SelectionVector::from_indexes).collect())
+    }
+
+    /// Split a probe-side batch into one piece per JEN worker.
+    pub fn partition_probe(&self, batch: &Batch, key_col: usize) -> Result<Vec<Batch>> {
+        let sel = self.partition_probe_sel(batch, key_col)?;
+        Ok(sel.iter().map(|s| batch.take_sel(s)).collect())
+    }
+}
+
+/// Per-sender round-robin positions of each hot key's salted build route.
+///
+/// One instance lives for the duration of one sender's share and is
+/// threaded through every [`SaltRouter::partition_build_sel`] call, making
+/// the hot-key split a function of scan order alone — independent of batch
+/// framing.
+#[derive(Debug, Default)]
+pub struct SaltCursors {
+    next: HashMap<i64, usize>,
+}
+
+impl SaltCursors {
+    pub fn new() -> SaltCursors {
+        SaltCursors::default()
     }
 }
 
@@ -278,6 +314,31 @@ mod tests {
         assert_eq!(built.len(), 2);
         assert_eq!(built[0].num_rows() + built[1].num_rows(), 4);
         assert_eq!(built[0].num_rows(), 2);
+    }
+
+    #[test]
+    fn batched_routing_matches_whole_share_routing() {
+        // Route the share whole, then re-route it chunked at several batch
+        // sizes with cursors persisting across chunks: the per-destination
+        // row streams must be identical.
+        let n = 4;
+        let r = SaltRouter::with_hot_keys([5, 2], n, 3);
+        let b = batch(&[5, 1, 5, 2, 5, 5, 2, 3, 5, 2, 2, 5, 7, 5]);
+        let whole = r.partition_build(&b, 0).unwrap();
+        for chunk_rows in [1usize, 3, 5, 100] {
+            let mut cursors = SaltCursors::new();
+            let mut pieces: Vec<Vec<Batch>> = (0..n).map(|_| Vec::new()).collect();
+            for chunk in b.chunks(chunk_rows) {
+                let sel = r.partition_build_sel(&chunk, 0, &mut cursors).unwrap();
+                for (dest, s) in sel.iter().enumerate() {
+                    pieces[dest].push(chunk.take_sel(s));
+                }
+            }
+            for (dest, got) in pieces.into_iter().enumerate() {
+                let glued = Batch::concat(b.schema().clone(), &got).unwrap();
+                assert_eq!(glued, whole[dest], "chunk {chunk_rows} dest {dest}");
+            }
+        }
     }
 
     #[test]

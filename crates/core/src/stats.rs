@@ -33,6 +33,13 @@ pub struct JoinSummary {
     pub perf_keys_tuples: u64,
     pub perf_keys_cross_bytes: u64,
     pub perf_bitmap_cross_bytes: u64,
+    // --- message counts ---
+    /// Fabric messages across all link classes (every `send` is one
+    /// message, so a `Data` message carries one batch). Row totals above
+    /// are batch-size-invariant; this count shrinks ~1/batch_rows as
+    /// batches grow — it is the volume the cost model's per-message
+    /// overhead term charges.
+    pub fabric_msgs: u64,
     // --- bytes per link class ---
     pub cross_bytes: u64,
     pub cross_db_to_jen_bytes: u64,
@@ -78,6 +85,9 @@ impl JoinSummary {
             perf_keys_tuples: get("net.cross.stream.perf_keys.tuples"),
             perf_keys_cross_bytes: get("net.cross.stream.perf_keys.bytes"),
             perf_bitmap_cross_bytes: get("net.cross.stream.perf_bitmap.bytes"),
+            fabric_msgs: get("net.intra_hdfs.msgs")
+                + get("net.cross.msgs")
+                + get("net.intra_db.msgs"),
             cross_bytes: get("net.cross.bytes"),
             cross_db_to_jen_bytes: get("net.cross.db_to_jen.bytes"),
             cross_jen_to_db_bytes: get("net.cross.jen_to_db.bytes"),
@@ -132,10 +142,14 @@ mod tests {
         s.insert("jen.scan.bytes_read".into(), 421);
         s.insert("db.bloom.keys_inserted".into(), 5);
         s.insert("jen.bloom.keys_inserted".into(), 7);
+        s.insert("net.intra_hdfs.msgs".into(), 100);
+        s.insert("net.cross.msgs".into(), 40);
+        s.insert("net.intra_db.msgs".into(), 2);
         let j = JoinSummary::from_snapshot(&s);
         assert_eq!(j.hdfs_tuples_shuffled, 591);
         assert_eq!(j.db_tuples_sent, 30);
         assert_eq!(j.hdfs_bytes_scanned, 421);
         assert_eq!(j.bloom_keys_inserted, 12);
+        assert_eq!(j.fabric_msgs, 142);
     }
 }

@@ -76,7 +76,21 @@ pub struct SystemConfig {
     /// [`crate::skew::SaltRouter`]). `None` (the default) keeps the plain
     /// agreed-hash route. Results are bit-identical either way.
     pub salt_buckets: Option<usize>,
+    /// Rows per fabric data message: every data stream is framed into
+    /// batches of at most this many rows. The default
+    /// ([`DEFAULT_BATCH_ROWS`]) preserves the framing every committed
+    /// baseline was blessed under; `1` degrades the fabric to exact
+    /// one-tuple-at-a-time messages (the sequential tuple replay the
+    /// differential harness compares against). Routing is batch-size
+    /// independent, so results and row-level metric totals are identical
+    /// at every setting — only message counts (and with them byte totals,
+    /// which include the per-message frame header) vary. Defaults from the
+    /// `HYBRID_BATCH_ROWS` env var, falling back to [`DEFAULT_BATCH_ROWS`].
+    pub batch_rows: usize,
 }
+
+/// Default fabric batch size (rows per data message).
+pub const DEFAULT_BATCH_ROWS: usize = 4096;
 
 /// `HYBRID_THREADS` env override, or 1 (sequential) when unset/invalid.
 pub fn threads_from_env() -> usize {
@@ -85,6 +99,16 @@ pub fn threads_from_env() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// `HYBRID_BATCH_ROWS` env override, or [`DEFAULT_BATCH_ROWS`] when
+/// unset/invalid.
+pub fn batch_rows_from_env() -> usize {
+    std::env::var("HYBRID_BATCH_ROWS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_BATCH_ROWS)
 }
 
 impl SystemConfig {
@@ -103,6 +127,7 @@ impl SystemConfig {
             fault_spec: None,
             retry: RetryPolicy::default(),
             salt_buckets: None,
+            batch_rows: batch_rows_from_env(),
         }
     }
 
@@ -133,6 +158,9 @@ impl SystemConfig {
                     "salt_buckets must be at least 2 (1 salt bucket is the plain route)",
                 ));
             }
+        }
+        if self.batch_rows == 0 {
+            return Err(HybridError::config("batch_rows must be at least 1"));
         }
         Ok(())
     }
@@ -418,6 +446,12 @@ mod tests {
         assert!(HybridSystem::new(cfg).is_err());
         let mut cfg = SystemConfig::paper_shape(2, 2);
         cfg.salt_buckets = Some(2);
+        assert!(HybridSystem::new(cfg).is_ok());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.batch_rows = 0;
+        assert!(HybridSystem::new(cfg).is_err());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.batch_rows = 1;
         assert!(HybridSystem::new(cfg).is_ok());
     }
 

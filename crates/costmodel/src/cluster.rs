@@ -68,6 +68,14 @@ pub struct ClusterSpec {
     /// Fixed per-query coordination overhead, seconds (connection setup,
     /// catalog/NameNode round-trips, result return).
     pub fixed_overhead_s: f64,
+
+    /// **Fitted.** Per-message fabric overhead, seconds: framing,
+    /// syscall/dispatch and receiver wake-up paid once per message
+    /// regardless of payload. At the default 4096-row batches the paper's
+    /// 5.9 B-tuple shuffle is ~1.4 M messages (~1.4 s, noise); at
+    /// one-tuple-per-message framing the same run would pay ~5 900 s —
+    /// this term is why the engine ships columnar batches.
+    pub per_msg_overhead_s: f64,
 }
 
 impl ClusterSpec {
@@ -89,6 +97,7 @@ impl ClusterSpec {
             jen_join_rate: 300e6,
             bloom_build_rate: 200e6,
             fixed_overhead_s: 8.0,
+            per_msg_overhead_s: 1.0e-6,
         }
     }
 }
@@ -124,6 +133,7 @@ mod tests {
             c.db_join_rate,
             c.jen_join_rate,
             c.bloom_build_rate,
+            c.per_msg_overhead_s,
         ] {
             assert!(v > 0.0);
         }

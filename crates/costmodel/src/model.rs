@@ -55,6 +55,9 @@ struct Volumes {
     db_ingest_s: f64,
     db_shuffle_s: f64,
     db_join_s: f64,
+    /// Per-message fabric overhead — shrinks ~1/batch_rows while every
+    /// row-denominated volume above stays fixed.
+    msg_overhead_s: f64,
 }
 
 impl CostModel {
@@ -108,6 +111,8 @@ impl CostModel {
             db_ingest_s: (hdfs_sent / c.db_ingest_rate).max(hdfs_sent_bytes / c.cross_bw),
             db_shuffle_s: s.intra_db_bytes as f64 * f.l / c.intra_db_bw,
             db_join_s: (t_prime + hdfs_sent) / c.db_join_rate,
+            // message counts scale with the dominant (HDFS-side) row volume
+            msg_overhead_s: s.fabric_msgs as f64 * f.l * c.per_msg_overhead_s,
         }
     }
 
@@ -116,7 +121,10 @@ impl CostModel {
     /// model (assumed `max` vs measured blend).
     fn phase_specs(&self, algorithm: JoinAlgorithm, v: &Volumes) -> Vec<PhaseSpec> {
         let scan = (v.scan_io_s.max(v.process_s), Some(Stage::Scan));
-        let overhead = PhaseSpec::seq("coordination", self.cluster.fixed_overhead_s);
+        let overhead = PhaseSpec::seq(
+            "coordination + message overhead",
+            self.cluster.fixed_overhead_s + v.msg_overhead_s,
+        );
         match algorithm {
             JoinAlgorithm::DbSide { bloom } => {
                 let mut specs = Vec::new();
@@ -326,6 +334,8 @@ mod tests {
             perf_keys_tuples: 0,
             perf_keys_cross_bytes: 0,
             perf_bitmap_cross_bytes: 0,
+            // default 4096-row batch framing of the shuffle volume
+            fabric_msgs: shuffled / 4096,
             cross_bytes: db_sent * 12,
             cross_db_to_jen_bytes: db_sent * 12,
             cross_jen_to_db_bytes: 0,

@@ -27,6 +27,9 @@ const READ_QUEUE_DEPTH: usize = 4;
 
 /// Pipelined variant of [`JenWorker::scan_blocks`]: a read thread streams
 /// raw blocks to the calling thread, which decodes/filters/projects.
+/// Returns the whole share as one concatenated batch; vectorized consumers
+/// that route per block should call [`scan_blocks_batched`] instead and
+/// skip the concat.
 pub fn scan_blocks_pipelined(
     worker: &JenWorker,
     table: &TableMeta,
@@ -35,6 +38,25 @@ pub fn scan_blocks_pipelined(
     bloom: Option<&BloomFilter>,
 ) -> Result<(Batch, ScanStats)> {
     let out_schema = table.schema.project(&spec.proj)?;
+    let (parts, stats) = scan_blocks_batched(worker, table, blocks, spec, bloom)?;
+    let out = Batch::concat(out_schema, &parts)
+        .map_err(|e| HybridError::exec(format!("pipelined scan concat failed: {e}")))?;
+    Ok((out, stats))
+}
+
+/// [`scan_blocks_pipelined`] without the final concatenation: the filtered,
+/// projected output of each surviving block as its own columnar batch, in
+/// block order. This is the shape the batched shuffle consumes — routing
+/// starts on block `k` while block `k+1` is still being fetched, and no
+/// whole-share copy is ever materialized. Scan metering is identical to the
+/// concatenated variant.
+pub fn scan_blocks_batched(
+    worker: &JenWorker,
+    table: &TableMeta,
+    blocks: &[BlockId],
+    spec: &ScanSpec,
+    bloom: Option<&BloomFilter>,
+) -> Result<(Vec<Batch>, ScanStats)> {
     let read_cols = read_cols_of(spec);
     let mut stats = ScanStats::default();
     let mut parts: Vec<Batch> = Vec::with_capacity(blocks.len());
@@ -74,9 +96,7 @@ pub fn scan_blocks_pipelined(
 
     span.done(stats.bytes_read as u64, stats.rows_raw as u64);
     report(worker, &stats);
-    let out = Batch::concat(out_schema, &parts)
-        .map_err(|e| HybridError::exec(format!("pipelined scan concat failed: {e}")))?;
-    Ok((out, stats))
+    Ok((parts, stats))
 }
 
 fn read_cols_of(spec: &ScanSpec) -> Vec<usize> {

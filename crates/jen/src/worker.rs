@@ -219,14 +219,35 @@ impl JenWorker {
         key_col: usize,
         mut filter: BloomFilter,
     ) -> Result<BloomFilter> {
-        let keys = batch.column(key_col)?;
+        let keys = batch.column(key_col)?.keys_i64()?;
         let span = self.tracer.start(self.span_label(), Stage::BloomBuild);
-        for row in 0..batch.num_rows() {
-            filter.insert(keys.key_at(row)?);
-        }
+        filter.insert_all(&keys);
         span.done(filter.wire_bytes() as u64, batch.num_rows() as u64);
         self.metrics
             .add("jen.bloom.keys_inserted", batch.num_rows() as u64);
+        Ok(filter)
+    }
+
+    /// [`JenWorker::build_bloom_from`] over a sequence of block batches —
+    /// the shape the batched scan produces. One BloomBuild span and one
+    /// metering add cover the whole share (identical trace cardinality and
+    /// counter totals to building from the concatenation); each block's key
+    /// column is widened once and inserted vectorized.
+    pub fn build_bloom_from_blocks(
+        &self,
+        blocks: &[Batch],
+        key_col: usize,
+        mut filter: BloomFilter,
+    ) -> Result<BloomFilter> {
+        let span = self.tracer.start(self.span_label(), Stage::BloomBuild);
+        let mut rows = 0u64;
+        for batch in blocks {
+            let keys = batch.column(key_col)?.keys_i64()?;
+            filter.insert_all(&keys);
+            rows += batch.num_rows() as u64;
+        }
+        span.done(filter.wire_bytes() as u64, rows);
+        self.metrics.add("jen.bloom.keys_inserted", rows);
         Ok(filter)
     }
 }

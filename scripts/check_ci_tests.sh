@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Guard: every integration test under tests/ must actually run in CI.
+#
+# A tests/<name>.rs file is wired if (a) some crate registers it as a
+# [[test]] target — the workflow's blanket `cargo test` then builds and
+# runs it — or (b) a workflow step invokes it by name (`--test <name>`).
+# A file with neither is dead code that looks like coverage: it compiles
+# for nobody and runs nowhere (exactly how a new suite silently goes
+# missing when its Cargo.toml entry is forgotten).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in tests/*.rs; do
+  stem=$(basename "$f" .rs)
+  if grep -qR --include=Cargo.toml -- "tests/$stem.rs" crates; then
+    continue
+  fi
+  if grep -q -- "--test $stem" .github/workflows/ci.yml; then
+    continue
+  fi
+  echo "tests/$stem.rs is not wired into CI: no [[test]] target references it" \
+    "and no workflow step names it" >&2
+  fail=1
+done
+
+# The registered targets only execute because the workflow still carries an
+# unfiltered `cargo test` — fail if that blanket run ever disappears.
+if ! grep -qE 'cargo test -q( --release)?$' .github/workflows/ci.yml; then
+  echo "ci.yml lost its blanket 'cargo test' run" >&2
+  fail=1
+fi
+
+exit "$fail"

@@ -364,6 +364,100 @@ fn kill_at_spill_boundary_leaves_no_orphaned_partitions() {
     );
 }
 
+/// Chaos over the batched fabric: the recovery guarantees are
+/// framing-independent. Under a drop/dup/reorder mix, every batch framing
+/// — one-row replay, an odd non-divisor size, and the default — must
+/// bit-match the reference or fail with the typed injected fault, and a
+/// duplicated *batch* message must be deduped by the receiver exactly like
+/// a duplicated tuple message (the `(sender, stream, seq)` key never
+/// inspects the payload).
+#[test]
+fn chaos_on_batched_fabric_is_framing_independent() {
+    let workload = small_workload();
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    let faults = FaultSpec::quiet(0xBA7C)
+        .with_drops(0.2)
+        .with_dups(0.25)
+        .with_reorders(0.3);
+
+    for batch_rows in [1usize, 7, 4096] {
+        for threads in [1usize, 8] {
+            let mut cfg = chaos_config(threads, faults.clone());
+            cfg.batch_rows = batch_rows;
+            let mut sys = HybridSystem::new(cfg).unwrap();
+            workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+            for alg in [
+                JoinAlgorithm::Repartition { bloom: false },
+                JoinAlgorithm::Zigzag,
+            ] {
+                match run(&mut sys, &query, alg) {
+                    Ok(out) => assert_eq!(
+                        out.result, expected,
+                        "{alg} diverged at batch_rows={batch_rows}, {threads} threads"
+                    ),
+                    Err(e) => assert!(
+                        matches!(
+                            e,
+                            HybridError::FaultInjected { .. } | HybridError::Disconnected { .. }
+                        ),
+                        "untyped error at batch_rows={batch_rows}, {threads} threads: {e}"
+                    ),
+                }
+            }
+            let duplicated = sys.metrics.get("net.chaos.duplicated");
+            let deduped = sys.metrics.get("net.chaos.deduped");
+            assert!(
+                duplicated > 0,
+                "the 25% dup rate must inject at batch_rows={batch_rows}"
+            );
+            assert!(
+                deduped > 0 && deduped <= duplicated,
+                "duplicated batches must be receiver-deduped like duplicated \
+                 tuples at batch_rows={batch_rows}: {deduped}/{duplicated}"
+            );
+        }
+    }
+}
+
+/// The spill no-orphans invariant at a non-default batch framing: killing
+/// the worker between spill-write and spill-read with 7-row batches on the
+/// wire must still remove every partition file it created.
+#[test]
+fn batched_kill_at_spill_boundary_leaves_no_orphans() {
+    let workload = small_workload();
+    let query = workload.query();
+    let faults = FaultSpec::quiet(2).with_kill(FaultTarget::Jen, 0, 2);
+    let mut cfg = chaos_config(1, faults);
+    cfg.batch_rows = 7;
+    cfg.jen_memory_limit_rows = Some(64);
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+
+    let err = run(
+        &mut sys,
+        &query,
+        JoinAlgorithm::Repartition { bloom: false },
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        HybridError::Disconnected {
+            endpoint: "jen-worker-0".into(),
+            stream: None,
+        }
+    );
+    let created = sys.metrics.get("jen.spill.files_created");
+    let removed = sys.metrics.get("jen.spill.files_removed");
+    assert!(created > 0, "the kill must land after real spill activity");
+    assert_eq!(
+        created,
+        removed,
+        "batched killed run orphaned {} spill partition file(s)",
+        created - removed
+    );
+}
+
 /// Coordinator-level recovery: the service re-admits a failed query in a
 /// fresh session namespace, where the seeded plan rolls fresh per-delivery
 /// decisions. Under a drop-heavy mix, submissions either recover to the

@@ -1,0 +1,226 @@
+//! Differential batch-vs-tuple harness: the vectorized columnar path must
+//! be **observationally identical** to one-tuple-at-a-time execution.
+//!
+//! `SystemConfig::batch_rows = 1` replays the engine tuple by tuple — every
+//! `Data` message carries one row, every selection vector picks single
+//! rows, every shuffle buffer flushes per row. That replay is the reference
+//! each grid cell is measured against: for every algorithm × batch size
+//! {1, 7, 256, 4096} × storage format × thread count × salting, the run
+//! must produce
+//!
+//! 1. the **bit-identical** result batch,
+//! 2. **exactly equal row-level metric totals** (`.tuples`, `rows_*`,
+//!    scan/bloom/balance counters) — batching may change how rows are
+//!    framed into messages, never how many rows flow where,
+//! 3. a full snapshot that is thread-count-invariant at every batch size
+//!    (the determinism contract must survive non-default framing).
+//!
+//! Message- and byte-denominated counters (`net.*.msgs`, `net.*.bytes`)
+//! legitimately shrink as batches grow — a final sanity test pins that
+//! they *do* change, so this harness cannot silently pass by comparing
+//! nothing.
+//!
+//! CI shards the grid via `HYBRID_BATCH_ROWS` / `HYBRID_THREADS`; a plain
+//! `cargo test` runs all cells.
+
+mod util;
+
+use std::collections::BTreeMap;
+
+use hybrid_core::reference::run_reference;
+use hybrid_core::{run, HybridSystem, JoinAlgorithm};
+use hybrid_datagen::{KeySkew, Workload, WorkloadSpec};
+use hybrid_storage::FileFormat;
+use util::{all_algorithms, grid_from_env, loaded_system, salted_algorithms, test_config};
+
+fn batch_grid() -> Vec<usize> {
+    grid_from_env("HYBRID_BATCH_ROWS", &[1, 7, 256, 4096])
+}
+
+fn thread_grid() -> Vec<usize> {
+    grid_from_env("HYBRID_THREADS", &[1, 8])
+}
+
+fn system(
+    workload: &Workload,
+    format: FileFormat,
+    threads: usize,
+    batch_rows: usize,
+    salt_buckets: Option<usize>,
+) -> HybridSystem {
+    let mut cfg = test_config(3, 4);
+    cfg.threads = threads;
+    cfg.batch_rows = batch_rows;
+    cfg.salt_buckets = salt_buckets;
+    loaded_system(cfg, workload, format)
+}
+
+/// The row-denominated slice of a metrics snapshot: everything except the
+/// message/byte counters that legitimately vary with batch framing, and
+/// spill volumes (written in whatever framing the builds received).
+fn row_level(snapshot: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    snapshot
+        .iter()
+        .filter(|(k, _)| !(k.ends_with(".msgs") || k.ends_with(".bytes") || k.contains("spill")))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// One algorithm's full differential grid against its tuple-at-a-time
+/// sequential replay, on both storage formats.
+fn assert_batching_invisible(alg: JoinAlgorithm, salt_buckets: Option<usize>, workload: &Workload) {
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    assert!(expected.num_rows() > 0, "query must be non-trivial");
+
+    for format in [FileFormat::Columnar, FileFormat::Text] {
+        // batch_rows = 1, threads = 1: the engine replayed one tuple at a
+        // time in sequential worker order — the reference execution.
+        let mut ref_sys = system(workload, format, 1, 1, salt_buckets);
+        let reference = run(&mut ref_sys, &query, alg).unwrap();
+        assert_eq!(
+            reference.result, expected,
+            "{alg} tuple replay wrong on {format}"
+        );
+        let ref_rows = row_level(&reference.snapshot);
+
+        for batch_rows in batch_grid() {
+            let mut snapshots = Vec::new();
+            for threads in thread_grid() {
+                let mut sys = system(workload, format, threads, batch_rows, salt_buckets);
+                let out = run(&mut sys, &query, alg).unwrap();
+                assert_eq!(
+                    out.result, reference.result,
+                    "{alg} result diverged from tuple replay at batch_rows={batch_rows}, \
+                     {threads} threads on {format}"
+                );
+                assert_eq!(
+                    row_level(&out.snapshot),
+                    ref_rows,
+                    "{alg} row-level counters diverged at batch_rows={batch_rows}, \
+                     {threads} threads on {format}"
+                );
+                snapshots.push(out.snapshot);
+            }
+            // at a fixed batch size the *full* snapshot — message and byte
+            // counters included — must not depend on the thread count
+            for s in &snapshots[1..] {
+                assert_eq!(
+                    s, &snapshots[0],
+                    "{alg} full snapshot thread-dependent at batch_rows={batch_rows} on {format}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repartition_batched_equals_tuple_replay() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    assert_batching_invisible(JoinAlgorithm::Repartition { bloom: false }, None, &workload);
+}
+
+#[test]
+fn repartition_bloom_batched_equals_tuple_replay() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    assert_batching_invisible(JoinAlgorithm::Repartition { bloom: true }, None, &workload);
+}
+
+#[test]
+fn zigzag_batched_equals_tuple_replay() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    assert_batching_invisible(JoinAlgorithm::Zigzag, None, &workload);
+}
+
+#[test]
+fn broadcast_batched_equals_tuple_replay() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    assert_batching_invisible(JoinAlgorithm::Broadcast, None, &workload);
+}
+
+#[test]
+fn db_side_batched_equals_tuple_replay() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    assert_batching_invisible(JoinAlgorithm::DbSide { bloom: true }, None, &workload);
+    assert_batching_invisible(JoinAlgorithm::DbSide { bloom: false }, None, &workload);
+}
+
+#[test]
+fn semijoin_batched_equals_tuple_replay() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    assert_batching_invisible(JoinAlgorithm::SemiJoin, None, &workload);
+}
+
+#[test]
+fn perf_batched_equals_tuple_replay() {
+    // PERF keeps its per-row positional protocol, but its mailbox still
+    // frames streams at `batch_rows` — the replay contract holds anyway.
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    assert_batching_invisible(JoinAlgorithm::PerfJoin, None, &workload);
+}
+
+/// Salted hot-key routing is a function of (key, scan order) alone: under
+/// a Zipf-1.2 key distribution with the salt router engaged, every batch
+/// size must replicate/split exactly the same rows to exactly the same
+/// workers as the tuple replay.
+#[test]
+fn salted_hot_keys_route_identically_at_every_batch_size() {
+    let mut spec = WorkloadSpec::tiny();
+    spec.t_rows = 600;
+    spec.l_rows = 3_000;
+    spec.skew = KeySkew::Zipf { s: 1.2 };
+    let workload = spec.generate().unwrap();
+    for alg in salted_algorithms() {
+        assert_batching_invisible(alg, Some(4), &workload);
+    }
+}
+
+/// Every implemented algorithm is in the grid above — fail if a new
+/// variant is added without a differential cell.
+#[test]
+fn grid_covers_every_algorithm() {
+    let covered = [
+        JoinAlgorithm::Repartition { bloom: false },
+        JoinAlgorithm::Repartition { bloom: true },
+        JoinAlgorithm::Zigzag,
+        JoinAlgorithm::Broadcast,
+        JoinAlgorithm::DbSide { bloom: true },
+        JoinAlgorithm::DbSide { bloom: false },
+        JoinAlgorithm::SemiJoin,
+        JoinAlgorithm::PerfJoin,
+    ];
+    for alg in all_algorithms() {
+        assert!(
+            covered.contains(&alg),
+            "{alg} has no differential batch-vs-tuple test"
+        );
+    }
+}
+
+/// The harness must not be vacuous: batching really does change the wire
+/// framing. One-row batches send ~`rows` shuffle messages; 4096-row
+/// batches collapse that by three orders of magnitude — while the row
+/// totals stay exactly fixed.
+#[test]
+fn batching_shrinks_messages_but_never_rows() {
+    let workload = WorkloadSpec::tiny().generate().unwrap();
+    let query = workload.query();
+    let alg = JoinAlgorithm::Repartition { bloom: false };
+
+    let mut tuple_sys = system(&workload, FileFormat::Columnar, 1, 1, None);
+    let tuple = run(&mut tuple_sys, &query, alg).unwrap();
+    let mut batched_sys = system(&workload, FileFormat::Columnar, 1, 4096, None);
+    let batched = run(&mut batched_sys, &query, alg).unwrap();
+
+    assert_eq!(
+        tuple.summary.hdfs_tuples_shuffled,
+        batched.summary.hdfs_tuples_shuffled
+    );
+    assert_eq!(tuple.summary.db_tuples_sent, batched.summary.db_tuples_sent);
+    assert!(
+        tuple.summary.fabric_msgs > batched.summary.fabric_msgs * 4,
+        "one-row framing ({} msgs) should dwarf 4096-row framing ({} msgs)",
+        tuple.summary.fabric_msgs,
+        batched.summary.fabric_msgs
+    );
+}

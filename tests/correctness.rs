@@ -3,17 +3,13 @@
 //! reference result — the paper's implicit contract that all five
 //! strategies compute the same query.
 
+mod util;
+
 use hybrid_core::reference::run_reference;
-use hybrid_core::{run, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_core::{run, JoinAlgorithm};
 use hybrid_datagen::WorkloadSpec;
 use hybrid_storage::FileFormat;
-
-fn all_algorithms() -> Vec<JoinAlgorithm> {
-    JoinAlgorithm::paper_variants()
-        .into_iter()
-        .chain([JoinAlgorithm::SemiJoin, JoinAlgorithm::PerfJoin])
-        .collect()
-}
+use util::{all_algorithms, loaded_system, test_config};
 
 #[test]
 fn every_algorithm_matches_reference_on_both_formats() {
@@ -23,10 +19,7 @@ fn every_algorithm_matches_reference_on_both_formats() {
     assert!(expected.num_rows() > 0);
 
     for format in [FileFormat::Columnar, FileFormat::Text] {
-        let mut cfg = SystemConfig::paper_shape(3, 5);
-        cfg.rows_per_block = 500;
-        let mut sys = HybridSystem::new(cfg).unwrap();
-        workload.load_into(&mut sys, format).unwrap();
+        let mut sys = loaded_system(test_config(3, 5), &workload, format);
         for alg in all_algorithms() {
             let out = run(&mut sys, &query, alg).unwrap();
             assert_eq!(out.result, expected, "{alg} diverged on {format}");
@@ -48,10 +41,7 @@ fn selectivity_extremes_still_agree() {
         let workload = spec.generate().unwrap();
         let query = workload.query();
         let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
-        let mut cfg = SystemConfig::paper_shape(2, 3);
-        cfg.rows_per_block = 500;
-        let mut sys = HybridSystem::new(cfg).unwrap();
-        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let mut sys = loaded_system(test_config(2, 3), &workload, FileFormat::Columnar);
         for alg in all_algorithms() {
             let out = run(&mut sys, &query, alg).unwrap();
             assert_eq!(
@@ -69,10 +59,9 @@ fn asymmetric_cluster_sizes_agree() {
     let query = workload.query();
     let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
     for (db, jen) in [(7, 2), (2, 7)] {
-        let mut cfg = SystemConfig::paper_shape(db, jen);
+        let mut cfg = test_config(db, jen);
         cfg.rows_per_block = 700;
-        let mut sys = HybridSystem::new(cfg).unwrap();
-        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let mut sys = loaded_system(cfg, &workload, FileFormat::Columnar);
         for alg in all_algorithms() {
             let out = run(&mut sys, &query, alg).unwrap();
             assert_eq!(out.result, expected, "{alg} diverged on {db}x{jen}");
@@ -94,10 +83,7 @@ fn multi_aggregate_queries_agree() {
     ];
     let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
     assert_eq!(expected.schema().len(), 5);
-    let mut cfg = SystemConfig::paper_shape(3, 4);
-    cfg.rows_per_block = 500;
-    let mut sys = HybridSystem::new(cfg).unwrap();
-    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    let mut sys = loaded_system(test_config(3, 4), &workload, FileFormat::Columnar);
     for alg in all_algorithms() {
         let out = run(&mut sys, &query, alg).unwrap();
         assert_eq!(
@@ -118,11 +104,9 @@ fn zigzag_reaccess_strategies_agree() {
 
     let mut results = Vec::new();
     for strategy in [ZigzagReaccess::Materialize, ZigzagReaccess::IndexReaccess] {
-        let mut cfg = SystemConfig::paper_shape(3, 4);
-        cfg.rows_per_block = 500;
+        let mut cfg = test_config(3, 4);
         cfg.zigzag_reaccess = strategy;
-        let mut sys = HybridSystem::new(cfg).unwrap();
-        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let mut sys = loaded_system(cfg, &workload, FileFormat::Columnar);
         let out = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
         assert_eq!(out.result, expected, "{strategy:?} diverged");
         results.push(out);
@@ -148,10 +132,7 @@ fn zigzag_reaccess_strategies_agree() {
 fn repeated_runs_are_deterministic() {
     let workload = WorkloadSpec::tiny().generate().unwrap();
     let query = workload.query();
-    let mut cfg = SystemConfig::paper_shape(3, 4);
-    cfg.rows_per_block = 500;
-    let mut sys = HybridSystem::new(cfg).unwrap();
-    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+    let mut sys = loaded_system(test_config(3, 4), &workload, FileFormat::Columnar);
     let a = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
     let b = run(&mut sys, &query, JoinAlgorithm::Zigzag).unwrap();
     assert_eq!(a.result, b.result);

@@ -9,25 +9,18 @@
 //! counters), final aggregation sorts by group key, and order-sensitive
 //! exchanges (PERF bitmaps) are indexed by sender rather than by arrival.
 
+mod util;
+
 use hybrid_core::reference::run_reference;
-use hybrid_core::{run, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_core::{run, HybridSystem};
 use hybrid_datagen::{Workload, WorkloadSpec};
 use hybrid_storage::FileFormat;
-
-fn all_algorithms() -> Vec<JoinAlgorithm> {
-    JoinAlgorithm::paper_variants()
-        .into_iter()
-        .chain([JoinAlgorithm::SemiJoin, JoinAlgorithm::PerfJoin])
-        .collect()
-}
+use util::{all_algorithms, loaded_system, test_config};
 
 fn system(workload: &Workload, format: FileFormat, threads: usize) -> HybridSystem {
-    let mut cfg = SystemConfig::paper_shape(3, 5);
-    cfg.rows_per_block = 500;
+    let mut cfg = test_config(3, 5);
     cfg.threads = threads;
-    let mut sys = HybridSystem::new(cfg).unwrap();
-    workload.load_into(&mut sys, format).unwrap();
-    sys
+    loaded_system(cfg, workload, format)
 }
 
 #[test]

@@ -13,32 +13,17 @@
 //! On top of correctness, `net.shuffle.max_over_mean_x1000` (the straggler
 //! metric the cost model consumes) must collapse when salting is enabled.
 
+mod util;
+
 use hybrid_core::reference::run_reference;
-use hybrid_core::{run, FaultSpec, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_core::{run, FaultSpec, HybridSystem, JoinAlgorithm};
 use hybrid_datagen::{KeySkew, Workload, WorkloadSpec};
 use hybrid_storage::FileFormat;
+use util::{all_algorithms, loaded_system, salted_algorithms, test_config};
 
 const DB_WORKERS: usize = 3;
 const JEN_WORKERS: usize = 4;
 const SALT_BUCKETS: usize = 4;
-
-fn all_algorithms() -> Vec<JoinAlgorithm> {
-    JoinAlgorithm::paper_variants()
-        .into_iter()
-        .chain([JoinAlgorithm::SemiJoin, JoinAlgorithm::PerfJoin])
-        .collect()
-}
-
-/// The algorithms whose `L'` shuffle (and `T'` routing) goes through the
-/// salt router — the only ones a salted config can affect.
-fn salted_algorithms() -> [JoinAlgorithm; 4] {
-    [
-        JoinAlgorithm::Repartition { bloom: false },
-        JoinAlgorithm::Repartition { bloom: true },
-        JoinAlgorithm::Zigzag,
-        JoinAlgorithm::SemiJoin,
-    ]
-}
 
 fn skewed_workload(skew: KeySkew) -> Workload {
     let mut spec = WorkloadSpec::tiny();
@@ -55,13 +40,10 @@ fn system(
     threads: usize,
     salt_buckets: Option<usize>,
 ) -> HybridSystem {
-    let mut cfg = SystemConfig::paper_shape(DB_WORKERS, jen_workers);
-    cfg.rows_per_block = 500;
+    let mut cfg = test_config(DB_WORKERS, jen_workers);
     cfg.threads = threads;
     cfg.salt_buckets = salt_buckets;
-    let mut sys = HybridSystem::new(cfg).unwrap();
-    workload.load_into(&mut sys, format).unwrap();
-    sys
+    loaded_system(cfg, workload, format)
 }
 
 /// The correctness grid for one skew: every format × thread count ×
@@ -228,14 +210,12 @@ fn chaos_cell_on_salted_repartition() {
         .with_reorders(0.3);
 
     for threads in [1usize, 8] {
-        let mut cfg = SystemConfig::paper_shape(DB_WORKERS, JEN_WORKERS);
-        cfg.rows_per_block = 500;
+        let mut cfg = test_config(DB_WORKERS, JEN_WORKERS);
         cfg.threads = threads;
         cfg.salt_buckets = Some(SALT_BUCKETS);
         cfg.recv_timeout = std::time::Duration::from_secs(10);
         cfg.fault_spec = Some(faults.clone());
-        let mut sys = HybridSystem::new(cfg).unwrap();
-        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let mut sys = loaded_system(cfg, &workload, FileFormat::Columnar);
         match run(
             &mut sys,
             &query,

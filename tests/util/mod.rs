@@ -1,0 +1,63 @@
+//! Shared helpers for the integration suites.
+//!
+//! Each `tests/*.rs` file is its own crate, so this module is included via
+//! `mod util;` per suite — any helper only some suites call would trip the
+//! dead-code lint in the others, hence the blanket allow.
+#![allow(dead_code)]
+
+use hybrid_core::{HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_datagen::Workload;
+use hybrid_storage::FileFormat;
+
+/// Small blocks so even tiny workloads exercise multi-block scans.
+pub const ROWS_PER_BLOCK: usize = 500;
+
+/// Every implemented algorithm: the paper's five variants plus the
+/// semi-join and PERF baselines.
+pub fn all_algorithms() -> Vec<JoinAlgorithm> {
+    JoinAlgorithm::paper_variants()
+        .into_iter()
+        .chain([JoinAlgorithm::SemiJoin, JoinAlgorithm::PerfJoin])
+        .collect()
+}
+
+/// The algorithms whose `L'` shuffle (and `T'` routing) goes through the
+/// salt router — the only ones a salted config can affect.
+pub fn salted_algorithms() -> [JoinAlgorithm; 4] {
+    [
+        JoinAlgorithm::Repartition { bloom: false },
+        JoinAlgorithm::Repartition { bloom: true },
+        JoinAlgorithm::Zigzag,
+        JoinAlgorithm::SemiJoin,
+    ]
+}
+
+/// The paper-shaped config every suite starts from: a small cluster with
+/// [`ROWS_PER_BLOCK`]-row blocks. Callers tweak the returned config
+/// (threads, salt, batch size, faults) before building the system.
+pub fn test_config(db_workers: usize, jen_workers: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_shape(db_workers, jen_workers);
+    cfg.rows_per_block = ROWS_PER_BLOCK;
+    cfg
+}
+
+/// Build a system from `cfg` and load `workload` in `format`.
+pub fn loaded_system(cfg: SystemConfig, workload: &Workload, format: FileFormat) -> HybridSystem {
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, format).unwrap();
+    sys
+}
+
+/// A test-matrix axis, optionally pinned by an environment variable: CI
+/// shards the columnar grid by setting `HYBRID_THREADS` /
+/// `HYBRID_BATCH_ROWS`; a plain `cargo test` leaves them unset and runs
+/// the full grid.
+pub fn grid_from_env(var: &str, full: &[usize]) -> Vec<usize> {
+    match std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => vec![n],
+        _ => full.to_vec(),
+    }
+}
