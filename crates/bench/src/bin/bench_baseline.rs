@@ -38,7 +38,7 @@
 //! ```
 
 use hybrid_bench::{default_system_config, ExpSystem};
-use hybrid_core::{run, JoinAlgorithm};
+use hybrid_core::{run, JoinAlgorithm, SystemConfig};
 use hybrid_datagen::{KeySkew, WorkloadSpec};
 use hybrid_storage::FileFormat;
 use std::collections::BTreeMap;
@@ -46,6 +46,15 @@ use std::collections::BTreeMap;
 /// Pinned workload seed — independent of the spec default so reseeding the
 /// test workloads does not silently re-bless the bench baseline.
 const SEED: u64 = 0x00C1_BA5E;
+
+/// Pinned pool for the memory-governor demonstration. The tiny workload
+/// has only 100 distinct join keys, so across 30 JEN workers each local
+/// build concentrates in a handful of its 8 spill partitions, each
+/// roughly 2–7 KB serialized. The per-worker share (pool / 30 ≈ 4.3 KB)
+/// is chosen inside that spread: small partitions stay resident, the
+/// large ones — and any worker whose couple of partitions together
+/// overflow the share — must evict.
+const MEM_BUDGET_BYTES: u64 = 128 << 10;
 
 /// Wall-time regression tolerance: fail only above `base * 1.25 + 50 ms`.
 const WALL_FRACTION: u64 = 4; // denominator: base/4 = 25%
@@ -64,6 +73,16 @@ fn all_algorithms() -> Vec<JoinAlgorithm> {
         .collect()
 }
 
+/// The bench configuration with the memory pool pinned off: the baseline's
+/// main sections must not drift with a developer's `HYBRID_MEM_BUDGET`
+/// (which `SystemConfig::paper_shape` otherwise honours). The governor
+/// section below opts in explicitly.
+fn pinned_config() -> SystemConfig {
+    let mut cfg = default_system_config();
+    cfg.mem_budget_bytes = None;
+    cfg
+}
+
 /// Run every algorithm at the pinned configuration and collect counters.
 fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
     let mut c: Counters = BTreeMap::new();
@@ -74,7 +93,7 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
         seed: SEED,
         ..WorkloadSpec::tiny()
     };
-    let mut exp = ExpSystem::build_with(spec, FileFormat::Columnar, default_system_config())?;
+    let mut exp = ExpSystem::build_with(spec, FileFormat::Columnar, pinned_config())?;
     for alg in all_algorithms() {
         let m = exp.run(alg)?;
         let p = alg.name();
@@ -109,11 +128,10 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
         l_rows: 50_000,
         ..WorkloadSpec::tiny()
     };
-    let mut cfg = default_system_config();
+    let mut cfg = pinned_config();
     cfg.batch_rows = 1;
     let mut tuple_sys = ExpSystem::build_with(batch_spec, FileFormat::Columnar, cfg)?;
-    let mut batched_sys =
-        ExpSystem::build_with(batch_spec, FileFormat::Columnar, default_system_config())?;
+    let mut batched_sys = ExpSystem::build_with(batch_spec, FileFormat::Columnar, pinned_config())?;
     let alg = JoinAlgorithm::Repartition { bloom: false };
     let tuple_m = tuple_sys.run(alg)?;
     let batched_m = batched_sys.run(alg)?;
@@ -154,7 +172,7 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
         skew: KeySkew::Zipf { s: 1.2 },
         ..WorkloadSpec::tiny()
     };
-    let mut cfg = default_system_config();
+    let mut cfg = pinned_config();
     cfg.threads = 8;
     let mut unsalted = ExpSystem::build_with(skew_spec, FileFormat::Columnar, cfg.clone())?;
     cfg.salt_buckets = Some(SALT_BUCKETS);
@@ -204,6 +222,74 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
         off_ratio as f64 / 1000.0,
         on_ratio as f64 / 1000.0,
         SALT_BUCKETS
+    );
+
+    // --- the memory-governor demonstration the buffer-pool work is gated on ---
+    // Repartition over the main tiny workload under the pinned pool: the
+    // build must evict some partitions *and* keep others resident, no
+    // worker may exceed its even share of the pool, every evicted byte
+    // must round-trip through spill runs, and the result must match the
+    // unbounded run above exactly. Sequential execution is pinned because
+    // eviction order — and therefore the exact spill/ledger counters this
+    // gate freezes — is only schedule-independent per worker.
+    let mut cfg = pinned_config();
+    cfg.threads = 1;
+    cfg.mem_budget_bytes = Some(MEM_BUDGET_BYTES);
+    let worker_cap = MEM_BUDGET_BYTES / cfg.jen_workers as u64;
+    let mut budgeted = ExpSystem::build_with(spec, FileFormat::Columnar, cfg)?;
+    let alg = JoinAlgorithm::Repartition { bloom: false };
+    let m = budgeted.run(alg)?;
+    if Some(&(m.result_rows as u64)) != c.get("repartition.result_rows") {
+        return Err("memory budget changed the repartition result".into());
+    }
+    let evictions = budgeted.system.metrics.get("mem.evictions");
+    let resident = budgeted.system.metrics.get("mem.partitions_resident");
+    if evictions == 0 || resident == 0 {
+        return Err(format!(
+            "{} KB pool must force partial eviction: {evictions} evictions, \
+             {resident} partitions resident",
+            MEM_BUDGET_BYTES >> 10
+        )
+        .into());
+    }
+    if m.summary.mem_high_water == 0 || m.summary.mem_high_water > worker_cap {
+        return Err(format!(
+            "worker high-water {} outside (0, {worker_cap}]",
+            m.summary.mem_high_water
+        )
+        .into());
+    }
+    if m.summary.spill_bytes_written == 0 || m.summary.spill_bytes_read == 0 {
+        return Err("evicted partitions never round-tripped through spill".into());
+    }
+    c.insert(
+        "membudget.repartition.result_rows".into(),
+        m.result_rows as u64,
+    );
+    c.insert(
+        "membudget.repartition.spill_bytes_written".into(),
+        m.summary.spill_bytes_written,
+    );
+    c.insert(
+        "membudget.repartition.spill_bytes_read".into(),
+        m.summary.spill_bytes_read,
+    );
+    c.insert(
+        "membudget.repartition.mem_high_water".into(),
+        m.summary.mem_high_water,
+    );
+    c.insert("membudget.repartition.mem_evictions".into(), evictions);
+    c.insert(
+        "membudget.repartition.mem_partitions_resident".into(),
+        resident,
+    );
+    println!(
+        "memory demo: repartition under a {} KB pool — {evictions} evictions, \
+         {resident} partitions resident, high-water {} of {worker_cap} B/worker, \
+         {} B spilled, identical result",
+        MEM_BUDGET_BYTES >> 10,
+        m.summary.mem_high_water,
+        m.summary.spill_bytes_written,
     );
     Ok(c)
 }

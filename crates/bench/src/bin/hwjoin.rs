@@ -5,8 +5,8 @@
 //!        [--sigma-t F] [--sigma-l F] [--st F] [--sl F]
 //!        [--zipf S | --single-key] [--salt-buckets F]
 //!        [--format columnar|text] [--scale tiny|small|default]
-//!        [--spill-limit ROWS] [--timeline PATH] [--threads N]
-//!        [--batch-rows N]
+//!        [--spill-limit ROWS] [--mem-budget BYTES] [--timeline PATH]
+//!        [--threads N] [--batch-rows N]
 //!        [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]
 //! ```
 //!
@@ -36,6 +36,14 @@
 //! row volumes at any size; compare wall times to watch the per-message
 //! overhead appear.
 //!
+//! `--mem-budget BYTES` (an integer with an optional `k`/`m`/`g` suffix,
+//! or `unbounded`) caps the engine's buffer pool: every JEN worker gets an
+//! even share for its build side and the hybrid hash join evicts
+//! partitions to disk past that share. The results stay bit-identical;
+//! the `memory` column reports the per-worker high-water mark and the
+//! spilled volume (`-` when the run never touched the pool or the disk).
+//! `HYBRID_MEM_BUDGET` is the env fallback.
+//!
 //! `--serve` switches to serving mode: instead of one join, N client
 //! threads drive a mixed workload through the concurrent query service
 //! (see `svc_bench` for the dedicated benchmark with all its knobs).
@@ -50,7 +58,7 @@
 use hybrid_bench::report::{print_table, secs};
 use hybrid_bench::svc::{build_service_system, serve_workload, ServeOptions};
 use hybrid_bench::{default_system_config, ExpSystem};
-use hybrid_core::{run_auto, JoinAlgorithm};
+use hybrid_core::{parse_mem_budget, run_auto, JoinAlgorithm};
 use hybrid_datagen::{KeySkew, WorkloadSpec};
 use hybrid_service::SchedulePolicy;
 use hybrid_storage::FileFormat;
@@ -74,7 +82,8 @@ fn usage() -> ! {
         "usage: hwjoin [--alg NAME|auto|all] [--sigma-t F] [--sigma-l F] \
          [--st F] [--sl F] [--zipf S | --single-key] [--salt-buckets F] \
          [--format columnar|text] [--scale tiny|small|default] \
-         [--spill-limit ROWS] [--timeline PATH] [--threads N] \
+         [--spill-limit ROWS] [--mem-budget BYTES[k|m|g]|unbounded] \
+         [--timeline PATH] [--threads N] \
          [--batch-rows N] [--chaos-seed N] [--fault-rate R] \
          [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]"
     );
@@ -86,6 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = WorkloadSpec::tiny();
     let mut format = FileFormat::Columnar;
     let mut spill_limit: Option<usize> = None;
+    let mut mem_budget: Option<String> = None;
     let mut timeline_path: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut batch_rows: Option<usize> = None;
@@ -109,6 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--st" => spec.st = value().parse()?,
             "--sl" => spec.sl = value().parse()?,
             "--spill-limit" => spill_limit = Some(value().parse()?),
+            "--mem-budget" => mem_budget = Some(value().to_string()),
             "--timeline" => timeline_path = Some(value().to_string()),
             "--threads" => threads = Some(value().parse()?),
             "--batch-rows" => batch_rows = Some(value().parse()?),
@@ -194,6 +205,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(limit) = spill_limit {
         cfg.jen_memory_limit_rows = Some(limit);
     }
+    if let Some(arg) = &mem_budget {
+        cfg.mem_budget_bytes = match parse_mem_budget(arg) {
+            Some(b) => Some(b),
+            None if arg.trim().eq_ignore_ascii_case("unbounded") => None,
+            None => {
+                eprintln!(
+                    "bad --mem-budget {arg:?} (want BYTES with optional k/m/g, or unbounded)"
+                );
+                usage()
+            }
+        };
+    }
+    if let Some(b) = cfg.mem_budget_bytes {
+        println!(
+            "memory: {b} B buffer pool, {} B build share per JEN worker",
+            b / cfg.jen_workers.max(1) as u64
+        );
+    }
     if let Some(n) = batch_rows {
         cfg.batch_rows = n;
     }
@@ -260,7 +289,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // an abort: report the typed fault and keep sweeping.
             Err(e) if chaos => {
                 let mut row = vec![alg.name().to_string(), format!("fault: {e}")];
-                row.resize(8, "-".to_string());
+                row.resize(9, "-".to_string());
                 rows.push(row);
                 continue;
             }
@@ -278,6 +307,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 m.timeline.spans.len()
             );
         }
+        // per-worker build high-water / bytes evicted to spill runs —
+        // "-" when the run never ran under a byte budget or never spilled
+        let memory = if m.summary.mem_high_water > 0 || m.summary.spill_bytes_written > 0 {
+            format!(
+                "hw {} B / {} B spilled",
+                m.summary.mem_high_water, m.summary.spill_bytes_written
+            )
+        } else {
+            "-".to_string()
+        };
         rows.push(vec![
             alg.name().to_string(),
             m.result_rows.to_string(),
@@ -287,6 +326,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{}ms", m.elapsed.as_millis()),
             secs(m.cost.total_s),
             secs(m.cost_measured.total_s),
+            memory,
         ]);
     }
     print_table(
@@ -300,6 +340,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "wall time",
             "est. (assumed overlap)",
             "est. (measured overlap)",
+            "memory",
         ],
         &rows,
     );

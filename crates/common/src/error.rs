@@ -51,6 +51,16 @@ pub enum HybridError {
     WorkerFailed { worker: usize, reason: String },
     /// Invalid configuration (cluster sizes, selectivities, BF parameters).
     InvalidConfig(String),
+    /// A memory reservation against a [`BufferPool`](crate::mempool::BufferPool)
+    /// could not be granted: admitting it would over-commit the pool's fixed
+    /// total. `scope` names the would-be holder (a query or pool scope).
+    /// Deliberately **not retryable** at the service layer — retrying the
+    /// same reservation against the same budget would spin.
+    MemoryExceeded {
+        scope: String,
+        requested: u64,
+        budget: u64,
+    },
 }
 
 impl fmt::Display for HybridError {
@@ -91,6 +101,14 @@ impl fmt::Display for HybridError {
                 write!(f, "worker {worker} failed: {reason}")
             }
             HybridError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            HybridError::MemoryExceeded {
+                scope,
+                requested,
+                budget,
+            } => write!(
+                f,
+                "memory budget exceeded for {scope}: requested {requested} bytes, budget {budget}"
+            ),
         }
     }
 }
@@ -127,6 +145,17 @@ mod tests {
             HybridError::config("x"),
             HybridError::InvalidConfig(_)
         ));
+    }
+
+    #[test]
+    fn memory_exceeded_display_names_scope_and_amounts() {
+        let e = HybridError::MemoryExceeded {
+            scope: "query-7".into(),
+            requested: 4096,
+            budget: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("query-7") && s.contains("4096") && s.contains("1024"));
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod error;
 pub mod expr;
 pub mod hash;
 pub mod ids;
+pub mod mempool;
 pub mod metrics;
 pub mod ops;
 pub mod schema;
@@ -33,4 +34,5 @@ pub mod trace;
 pub use batch::{Batch, Column, SelectionVector};
 pub use datum::{DataType, Datum};
 pub use error::{HybridError, Result};
+pub use mempool::{BufferPool, QueryBudget, WorkerBudget};
 pub use schema::{Field, Schema};

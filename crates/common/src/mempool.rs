@@ -1,0 +1,412 @@
+//! A shared buffer pool with per-query reservations and per-worker
+//! residency accounting.
+//!
+//! The memory governor has three layers, matching how memory flows through
+//! the system:
+//!
+//! * [`BufferPool`] — one per [`HybridSystem`] root, holding the fixed
+//!   total byte budget (`None` = unbounded, the historical behaviour).
+//!   Admission **reserves** a slice per query before execution starts;
+//!   a reservation that would over-commit the total fails with a typed
+//!   [`HybridError::MemoryExceeded`] instead of silently thrashing.
+//! * [`QueryBudget`] — a cloneable handle to one query's reservation.
+//!   Dropped (all clones) ⇒ the reservation returns to the pool. The
+//!   query splits its cap statically across its JEN workers with
+//!   [`QueryBudget::worker_share`] — a *static* split, so each worker's
+//!   eviction decisions depend only on its own input order, never on
+//!   sibling scheduling, which keeps spill counters deterministic at
+//!   `threads=1` and results bit-identical at any thread count.
+//! * [`WorkerBudget`] — one hybrid-hash-join build side's ledger. The
+//!   joiner reports its current resident bytes at stable points
+//!   (post-eviction); the delta flows into the pool's `used` gauge and the
+//!   `mem.pool_high_water` mark. Dropped ⇒ its last report is released.
+//!
+//! Over-commit is impossible *by construction*: the service reserves
+//! `total / max_in_flight` per admitted query, so the sum of live
+//! reservations never exceeds the total, and each worker caps its resident
+//! build bytes at `query_cap / jen_workers`.
+//!
+//! # Counters (`mem.*`)
+//!
+//! Recorded on the registry the pool was built with — the **root** registry,
+//! so service-level tests can assert pool-wide invariants across sessions:
+//!
+//! * `mem.reservations` — granted reservations.
+//! * `mem.reservation_denied` — reservations refused with `MemoryExceeded`.
+//! * `mem.reserved_high_water` — max bytes ever reserved at once
+//!   ([`Metrics::set_max`]-maintained; never mixed with `add`).
+//! * `mem.pool_high_water` — max bytes ever *resident* (reported by
+//!   worker ledgers) at once.
+//!
+//! All counters are only written when they change from zero, so an
+//! unbounded, never-reserving system leaves no `mem.*` trace in snapshots —
+//! default-config metric snapshots are byte-identical to the pre-governor
+//! code.
+//!
+//! [`HybridSystem`]: ../../hybrid_core/system/struct.HybridSystem.html
+//! [`HybridError::MemoryExceeded`]: crate::error::HybridError::MemoryExceeded
+
+use crate::error::{HybridError, Result};
+use crate::metrics::Metrics;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct PoolInner {
+    /// Fixed total budget in bytes; `None` = unbounded.
+    total: Option<u64>,
+    /// Sum of live reservations.
+    reserved: AtomicU64,
+    /// Sum of resident bytes last reported by live worker ledgers.
+    used: AtomicU64,
+    metrics: Metrics,
+}
+
+impl PoolInner {
+    /// Record `delta` resident bytes (signed) and maintain the pool
+    /// high-water mark.
+    fn report_delta(&self, delta: i64) {
+        let now = if delta >= 0 {
+            self.used.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+        } else {
+            self.used.fetch_sub((-delta) as u64, Ordering::Relaxed) - (-delta) as u64
+        };
+        self.metrics.set_max("mem.pool_high_water", now);
+    }
+}
+
+/// The system-wide memory pool. Cloneable; clones share state.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// A pool with a fixed byte budget (`None` = unbounded).
+    pub fn new(total: Option<u64>, metrics: Metrics) -> BufferPool {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                total,
+                reserved: AtomicU64::new(0),
+                used: AtomicU64::new(0),
+                metrics,
+            }),
+        }
+    }
+
+    /// The configured total budget.
+    pub fn total(&self) -> Option<u64> {
+        self.inner.total
+    }
+
+    /// Whether this pool enforces a budget at all.
+    pub fn is_bounded(&self) -> bool {
+        self.inner.total.is_some()
+    }
+
+    /// Bytes currently reserved by live [`QueryBudget`]s.
+    pub fn reserved(&self) -> u64 {
+        self.inner.reserved.load(Ordering::Relaxed)
+    }
+
+    /// Resident bytes currently reported by live [`WorkerBudget`]s.
+    pub fn used(&self) -> u64 {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `bytes` for `scope` (a query), failing with
+    /// [`HybridError::MemoryExceeded`] if the pool cannot grant it without
+    /// over-committing `total`. On an unbounded pool every reservation
+    /// succeeds and `bytes` only serves as the query cap (`0` = uncapped).
+    pub fn reserve(&self, bytes: u64, scope: &str) -> Result<QueryBudget> {
+        let (cap, reserved) = if let Some(total) = self.inner.total {
+            // CAS loop: the check and the debit must be one atomic step or
+            // two racing admissions could jointly over-commit.
+            let mut cur = self.inner.reserved.load(Ordering::Relaxed);
+            loop {
+                if cur + bytes > total {
+                    self.inner.metrics.incr("mem.reservation_denied");
+                    return Err(HybridError::MemoryExceeded {
+                        scope: scope.to_string(),
+                        requested: bytes,
+                        budget: total - cur.min(total),
+                    });
+                }
+                match self.inner.reserved.compare_exchange_weak(
+                    cur,
+                    cur + bytes,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+            self.inner.metrics.incr("mem.reservations");
+            self.inner
+                .metrics
+                .set_max("mem.reserved_high_water", self.reserved());
+            (Some(bytes), bytes)
+        } else {
+            // Unbounded pool: nothing to debit, nothing to meter. A cap of
+            // 0 means "no cap" so direct runs on an unbounded system stay
+            // on the pure in-memory path.
+            ((bytes > 0).then_some(bytes), 0)
+        };
+        Ok(QueryBudget {
+            inner: Arc::new(BudgetInner {
+                pool: self.inner.clone(),
+                cap,
+                reserved,
+            }),
+        })
+    }
+
+    /// Reserve everything the pool has left, for a query running outside
+    /// service admission (a direct `run()` gets the whole machine).
+    pub fn reserve_remaining(&self, scope: &str) -> Result<QueryBudget> {
+        let remaining = self
+            .inner
+            .total
+            .map(|t| t.saturating_sub(self.reserved()))
+            .unwrap_or(0);
+        self.reserve(remaining, scope)
+    }
+}
+
+struct BudgetInner {
+    pool: Arc<PoolInner>,
+    /// Per-query resident-byte cap; `None` = uncapped.
+    cap: Option<u64>,
+    /// Bytes debited from the pool, returned on drop.
+    reserved: u64,
+}
+
+impl Drop for BudgetInner {
+    fn drop(&mut self) {
+        if self.reserved > 0 {
+            self.pool
+                .reserved
+                .fetch_sub(self.reserved, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One query's slice of the pool. Cloneable (each clone is the same
+/// reservation); the reservation is released when the last clone drops.
+#[derive(Clone)]
+pub struct QueryBudget {
+    inner: Arc<BudgetInner>,
+}
+
+impl std::fmt::Debug for QueryBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryBudget")
+            .field("cap", &self.inner.cap)
+            .field("reserved", &self.inner.reserved)
+            .finish()
+    }
+}
+
+impl QueryBudget {
+    /// This query's resident-byte cap (`None` = uncapped).
+    pub fn cap_bytes(&self) -> Option<u64> {
+        self.inner.cap
+    }
+
+    /// A ledger for one of `n` JEN workers: cap = query cap / n.
+    ///
+    /// The split is static so each worker's eviction decisions are a pure
+    /// function of its own input stream. A cap of 0 (budget smaller than
+    /// the worker count) is legal: every partition spills immediately.
+    pub fn worker_share(&self, n: usize) -> WorkerBudget {
+        WorkerBudget {
+            pool: self.inner.pool.clone(),
+            _query: self.inner.clone(),
+            cap: self.inner.cap.map(|c| c / n.max(1) as u64),
+            last_reported: 0,
+        }
+    }
+}
+
+/// One worker's residency ledger. Not cloneable — exactly one owner
+/// (the hybrid hash joiner) reports through it.
+pub struct WorkerBudget {
+    pool: Arc<PoolInner>,
+    /// Keeps the query reservation alive while any worker still runs.
+    _query: Arc<BudgetInner>,
+    cap: Option<u64>,
+    last_reported: u64,
+}
+
+impl WorkerBudget {
+    /// This worker's resident-byte cap (`None` = uncapped).
+    pub fn cap_bytes(&self) -> Option<u64> {
+        self.cap
+    }
+
+    /// Whether `resident` bytes fit under this worker's cap.
+    pub fn fits(&self, resident: u64) -> bool {
+        self.cap.map_or(true, |c| resident <= c)
+    }
+
+    /// Report the worker's current resident build bytes (called at stable
+    /// points, i.e. after any evictions have brought residency under the
+    /// cap). The delta against the previous report flows into the pool's
+    /// `used` gauge and high-water mark.
+    pub fn report(&mut self, resident_now: u64) {
+        if resident_now == self.last_reported {
+            return;
+        }
+        let delta = resident_now as i64 - self.last_reported as i64;
+        self.pool.report_delta(delta);
+        self.last_reported = resident_now;
+    }
+}
+
+impl Drop for WorkerBudget {
+    fn drop(&mut self) {
+        if self.last_reported > 0 {
+            self.pool.report_delta(-(self.last_reported as i64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_pool_grants_everything_and_stays_silent() {
+        let m = Metrics::new();
+        let pool = BufferPool::new(None, m.clone());
+        assert!(!pool.is_bounded());
+        let b = pool.reserve(u64::MAX, "q").unwrap();
+        assert_eq!(b.cap_bytes(), Some(u64::MAX));
+        let none = pool.reserve_remaining("q2").unwrap();
+        assert_eq!(none.cap_bytes(), None);
+        assert!(none.worker_share(4).fits(u64::MAX));
+        // no budget enforcement → no mem.* counters at all
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn reservations_are_checked_against_total() {
+        let m = Metrics::new();
+        let pool = BufferPool::new(Some(1000), m.clone());
+        let a = pool.reserve(600, "a").unwrap();
+        assert_eq!(pool.reserved(), 600);
+        let err = pool.reserve(600, "b").unwrap_err();
+        match err {
+            HybridError::MemoryExceeded {
+                scope,
+                requested,
+                budget,
+            } => {
+                assert_eq!(scope, "b");
+                assert_eq!(requested, 600);
+                assert_eq!(budget, 400);
+            }
+            other => panic!("expected MemoryExceeded, got {other}"),
+        }
+        let b = pool.reserve(400, "b").unwrap();
+        assert_eq!(pool.reserved(), 1000);
+        assert_eq!(m.get("mem.reservations"), 2);
+        assert_eq!(m.get("mem.reservation_denied"), 1);
+        assert_eq!(m.get("mem.reserved_high_water"), 1000);
+        drop(a);
+        assert_eq!(pool.reserved(), 400);
+        drop(b);
+        assert_eq!(pool.reserved(), 0);
+        // high-water survives the releases
+        assert_eq!(m.get("mem.reserved_high_water"), 1000);
+    }
+
+    #[test]
+    fn clone_releases_only_once() {
+        let pool = BufferPool::new(Some(100), Metrics::new());
+        let a = pool.reserve(100, "a").unwrap();
+        let a2 = a.clone();
+        drop(a);
+        assert_eq!(pool.reserved(), 100, "clone still holds the reservation");
+        drop(a2);
+        assert_eq!(pool.reserved(), 0);
+    }
+
+    #[test]
+    fn worker_share_splits_statically() {
+        let pool = BufferPool::new(Some(800), Metrics::new());
+        let q = pool.reserve(800, "q").unwrap();
+        let w = q.worker_share(4);
+        assert_eq!(w.cap_bytes(), Some(200));
+        assert!(w.fits(200));
+        assert!(!w.fits(201));
+        // budget smaller than the worker count → cap 0, nothing fits
+        let tiny = BufferPool::new(Some(3), Metrics::new());
+        let q = tiny.reserve(3, "q").unwrap();
+        let w = q.worker_share(8);
+        assert_eq!(w.cap_bytes(), Some(0));
+        assert!(w.fits(0));
+        assert!(!w.fits(1));
+    }
+
+    #[test]
+    fn worker_reports_roll_up_to_pool_high_water() {
+        let m = Metrics::new();
+        let pool = BufferPool::new(Some(1000), m.clone());
+        let q = pool.reserve(1000, "q").unwrap();
+        let mut w0 = q.worker_share(2);
+        let mut w1 = q.worker_share(2);
+        w0.report(300);
+        w1.report(450);
+        assert_eq!(pool.used(), 750);
+        w0.report(100); // eviction shrank w0's residency
+        assert_eq!(pool.used(), 550);
+        assert_eq!(m.get("mem.pool_high_water"), 750);
+        drop(w0);
+        drop(w1);
+        assert_eq!(pool.used(), 0);
+        assert_eq!(m.get("mem.pool_high_water"), 750);
+    }
+
+    #[test]
+    fn workers_keep_reservation_alive_past_budget_drop() {
+        let pool = BufferPool::new(Some(100), Metrics::new());
+        let q = pool.reserve(100, "q").unwrap();
+        let w = q.worker_share(1);
+        drop(q);
+        assert_eq!(pool.reserved(), 100, "worker holds the reservation");
+        drop(w);
+        assert_eq!(pool.reserved(), 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_overcommit() {
+        let pool = BufferPool::new(Some(1000), Metrics::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..100 {
+                        if let Ok(b) = pool.reserve(125, &format!("t{i}")) {
+                            assert!(pool.reserved() <= 1000, "over-commit");
+                            held.push(b);
+                            if held.len() > 2 {
+                                held.clear();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.reserved(), 0);
+    }
+
+    #[test]
+    fn zero_cap_on_unbounded_pool_means_uncapped() {
+        let pool = BufferPool::new(None, Metrics::new());
+        let q = pool.reserve_remaining("direct").unwrap();
+        assert_eq!(q.cap_bytes(), None);
+        assert_eq!(q.worker_share(8).cap_bytes(), None);
+    }
+}

@@ -253,6 +253,39 @@ impl Metrics {
         self.add(name, 1);
     }
 
+    /// Raise the counter `id` points at to at least `value` (a high-water
+    /// mark). Lock-free.
+    ///
+    /// Max-maintenance always targets shard 0, so the snapshot's per-shard
+    /// *sum* equals the maximum ever reported — but only if the counter is
+    /// written exclusively through `set_max*`. Never mix `set_max*` and
+    /// `add*` on the same counter: the other shards would contribute to the
+    /// sum and the snapshot would read high. Zero is skipped so an unused
+    /// high-water counter stays absent from snapshots, like an unwritten
+    /// additive counter.
+    pub fn set_max_id(&self, id: CounterId, value: u64) {
+        if value == 0 {
+            return;
+        }
+        self.inner.shards[0]
+            .slot(id.index())
+            .expect("CounterId from a different registry")
+            .fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Raise the counter `name` to at least `value`, creating it if absent.
+    /// See [`Metrics::set_max_id`] for the no-mixing-with-`add` rule.
+    pub fn set_max(&self, name: &str, value: u64) {
+        if value == 0 {
+            return;
+        }
+        let id = match self.lookup(name) {
+            Some(id) => id,
+            None => self.register(name),
+        };
+        self.set_max_id(id, value);
+    }
+
     /// Merged value of the counter `id` points at.
     pub fn get_id(&self, id: CounterId) -> u64 {
         self.inner
@@ -581,6 +614,38 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.get("c"), 8000);
+    }
+
+    #[test]
+    fn set_max_tracks_high_water_across_threads() {
+        let m = Metrics::new();
+        let id = m.register("hw");
+        thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        m.set_max_id(id, t * 1000 + i);
+                    }
+                });
+            }
+        });
+        // snapshot sum == max because set_max only ever touches shard 0
+        assert_eq!(m.get_id(id), 7999);
+        assert_eq!(m.snapshot().get("hw"), Some(&7999));
+        // lowering never takes effect; zero is a no-op
+        m.set_max("hw", 5);
+        m.set_max("hw", 0);
+        assert_eq!(m.get("hw"), 7999);
+        m.reset();
+        assert_eq!(m.get("hw"), 0);
+    }
+
+    #[test]
+    fn set_max_zero_leaves_counter_absent() {
+        let m = Metrics::new();
+        m.set_max("never", 0);
+        assert!(m.snapshot().is_empty());
     }
 
     /// Exact quantile from a sorted copy: the value at rank ceil(q*n).

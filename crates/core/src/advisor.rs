@@ -36,6 +36,13 @@ pub struct QueryEstimates {
     /// phase, so shuffle-based strategies scale with it; broadcast (which
     /// replicates `T'` everywhere and keeps `L` local) is immune.
     pub shuffle_skew: f64,
+    /// Build-side memory budget *per JEN worker*, bytes (`None` =
+    /// unbounded). When a strategy's per-worker hash build exceeds it, the
+    /// hybrid hash join evicts the excess to local spill runs and re-reads
+    /// it at probe time — a real cost the advisor must charge, so a tight
+    /// budget can flip the advice toward a plan that builds less (or not
+    /// at all) on the JEN side.
+    pub mem_budget_per_worker: Option<u64>,
 }
 
 /// Relative cost of an intra-HDFS byte vs a cross-cluster byte. The paper's
@@ -52,6 +59,29 @@ const DB_EXPORT_WEIGHT: f64 = 3.0;
 /// `read_hdfs` table UDF (the steep σL slope of the DB-side joins).
 const DB_INGEST_WEIGHT: f64 = 2.0;
 
+/// Per-byte weight of local spill traffic. Spill runs live on the JEN
+/// workers' local disks — cheaper per byte than a cross-cluster transfer —
+/// but every evicted byte makes a round trip (written once, read back
+/// once), which [`spill_penalty`] charges explicitly.
+const SPILL_WEIGHT: f64 = 0.6;
+
+/// Extra byte-equivalents a JEN-build strategy pays under a memory budget.
+///
+/// With per-worker build volume `build_pw` over a budget `b`, the hybrid
+/// hash join keeps `b` bytes resident and spills the excess; the probe
+/// slices that hash to evicted partitions make the same disk round trip.
+/// `None` (or a build that fits) costs nothing, so budget-free advice is
+/// byte-identical to the pre-governor advisor.
+fn spill_penalty(budget: Option<u64>, build_pw: f64, probe_pw: f64, n: f64) -> f64 {
+    let Some(b) = budget else { return 0.0 };
+    let excess = build_pw - b as f64;
+    if excess <= 0.0 || build_pw <= 0.0 {
+        return 0.0;
+    }
+    let evicted_fraction = excess / build_pw;
+    SPILL_WEIGHT * n * 2.0 * (excess + probe_pw * evicted_fraction)
+}
+
 /// Estimated transfer cost (in cross-cluster byte-equivalents) of each
 /// strategy.
 pub fn estimated_costs(est: &QueryEstimates) -> Vec<(JoinAlgorithm, f64)> {
@@ -67,8 +97,23 @@ pub fn estimated_costs(est: &QueryEstimates) -> Vec<(JoinAlgorithm, f64)> {
     // — under extreme skew this is exactly what flips the advice away from
     // repartition/zigzag.
     let skew = est.shuffle_skew.clamp(1.0, n.max(1.0));
+    // Per-worker build/probe volumes of each JEN-side hash join, for the
+    // memory term. Broadcast replicates all of T' on every worker and
+    // probes with the local L share; the repartition family builds its
+    // (possibly Bloom-reduced) shuffled L' slice — the straggler's slice
+    // under skew — and probes with its share of T'. DB-side joins build
+    // nothing on JEN and carry no memory term.
+    let budget = est.mem_budget_per_worker;
+    let n1 = n.max(1.0);
+    let mem_broadcast = spill_penalty(budget, t, l / n1, n);
+    let mem_rep = spill_penalty(budget, l / n1 * skew, t / n1, n);
+    let mem_rep_bf = spill_penalty(budget, l * sl / n1 * skew, t / n1, n);
+    let mem_zigzag = spill_penalty(budget, l * sl / n1 * skew, t * st / n1, n);
     vec![
-        (JoinAlgorithm::Broadcast, DB_EXPORT_WEIGHT * t * n),
+        (
+            JoinAlgorithm::Broadcast,
+            DB_EXPORT_WEIGHT * t * n + mem_broadcast,
+        ),
         (JoinAlgorithm::DbSide { bloom: false }, DB_INGEST_WEIGHT * l),
         (
             JoinAlgorithm::DbSide { bloom: true },
@@ -76,15 +121,15 @@ pub fn estimated_costs(est: &QueryEstimates) -> Vec<(JoinAlgorithm, f64)> {
         ),
         (
             JoinAlgorithm::Repartition { bloom: false },
-            DB_EXPORT_WEIGHT * t + INTRA_WEIGHT * l * skew,
+            DB_EXPORT_WEIGHT * t + INTRA_WEIGHT * l * skew + mem_rep,
         ),
         (
             JoinAlgorithm::Repartition { bloom: true },
-            DB_EXPORT_WEIGHT * t + INTRA_WEIGHT * l * sl * skew + bf * n,
+            DB_EXPORT_WEIGHT * t + INTRA_WEIGHT * l * sl * skew + bf * n + mem_rep_bf,
         ),
         (
             JoinAlgorithm::Zigzag,
-            DB_EXPORT_WEIGHT * t * st + INTRA_WEIGHT * l * sl * skew + bf * n + bf * n,
+            DB_EXPORT_WEIGHT * t * st + INTRA_WEIGHT * l * sl * skew + bf * n + bf * n + mem_zigzag,
         ),
     ]
 }
@@ -116,6 +161,7 @@ mod tests {
             num_jen_workers: 30,
             bloom_bytes: 16 << 20,
             shuffle_skew: 1.0,
+            mem_budget_per_worker: None,
         }
     }
 
@@ -169,6 +215,44 @@ mod tests {
         assert_eq!(advise(&est), JoinAlgorithm::Repartition { bloom: false });
         est.shuffle_skew = 30.0;
         assert_eq!(advise(&est), JoinAlgorithm::Broadcast);
+    }
+
+    #[test]
+    fn tight_memory_budget_flips_repartition_to_db_side() {
+        // Unselective join keys make plain repartition the uniform choice
+        // — but its per-worker build (L'/30 ≈ 1.6 GB here) dwarfs a 64 MB
+        // budget, so nearly all of it would spill and re-read. The DB-side
+        // join builds nothing on JEN, pays no memory term, and takes over.
+        let mut est = paper_estimates(0.1, 0.4, 1.0, 1.0);
+        assert_eq!(advise(&est), JoinAlgorithm::Repartition { bloom: false });
+        est.mem_budget_per_worker = Some(64 << 20);
+        assert_eq!(advise(&est), JoinAlgorithm::DbSide { bloom: false });
+    }
+
+    #[test]
+    fn generous_memory_budget_changes_nothing() {
+        // A budget the build fits under must leave every estimate
+        // byte-identical to the unbounded advisor.
+        let mut est = paper_estimates(0.1, 0.4, 0.2, 0.1);
+        let unbounded = estimated_costs(&est);
+        est.mem_budget_per_worker = Some(1 << 40);
+        assert_eq!(estimated_costs(&est), unbounded);
+        assert_eq!(advise(&est), JoinAlgorithm::Zigzag);
+    }
+
+    #[test]
+    fn db_side_costs_never_carry_a_memory_term() {
+        let mut est = paper_estimates(0.1, 0.4, 0.5, 0.5);
+        let unbounded = estimated_costs(&est);
+        est.mem_budget_per_worker = Some(1); // brutally tight
+        let tight = estimated_costs(&est);
+        for ((alg, before), (alg2, after)) in unbounded.iter().zip(tight.iter()) {
+            assert_eq!(alg, alg2);
+            match alg {
+                JoinAlgorithm::DbSide { .. } => assert_eq!(before, after, "{alg:?}"),
+                _ => assert!(after > before, "{alg:?} must pay a spill penalty"),
+            }
+        }
     }
 
     #[test]

@@ -96,6 +96,13 @@ pub fn run(
     algorithm: JoinAlgorithm,
 ) -> Result<RunOutput> {
     query.validate()?;
+    // A direct run on a budgeted system claims whatever the pool has left
+    // (the query service instead injects an admission-sized share into each
+    // session before running). The grant sticks for subsequent runs on this
+    // system — one system, one resident query.
+    if system.query_budget.is_none() && system.mem_pool.is_bounded() {
+        system.query_budget = Some(system.mem_pool.reserve_remaining("direct-run")?);
+    }
     system.reset_metrics();
     system.tracer.reset();
     // a previously failed run may have left in-flight messages behind
@@ -722,8 +729,9 @@ pub(crate) fn jen_shuffle_share(
 
 /// JEN epilogue, first half (repartition/zigzag/semijoin): receive the
 /// shuffled HDFS partitions and build the local hash joiner over them plus
-/// the local partition. In-memory by default, grace-hash with spilling when
-/// the engine has a build-side memory budget.
+/// the local partition. In-memory by default, hybrid-hash with dynamic
+/// partition eviction when the engine has a build-side memory budget (a
+/// row limit or a byte share of the system's buffer pool).
 pub(crate) fn jen_recv_build(
     sys: &HybridSystem,
     query: &HybridQuery,
@@ -755,6 +763,9 @@ pub(crate) fn jen_recv_build(
         l_schema.clone(),
         query.hdfs_key,
         sys.config.jen_memory_limit_rows,
+        sys.query_budget
+            .as_ref()
+            .map(|q| q.worker_share(sys.config.jen_workers)),
         sys.metrics.clone(),
     )?;
     joiner.build(local)?;

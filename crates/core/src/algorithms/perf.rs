@@ -151,6 +151,9 @@ pub(crate) fn execute(sys: &mut HybridSystem, query: &HybridQuery) -> Result<Bat
                 l_schema.clone(),
                 query.hdfs_key,
                 sys.config.jen_memory_limit_rows,
+                sys.query_budget
+                    .as_ref()
+                    .map(|q| q.worker_share(sys.config.jen_workers)),
                 sys.metrics.clone(),
             )?;
             collect_keys(&local, query.hdfs_key, &mut owned_keys)?;

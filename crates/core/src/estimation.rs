@@ -53,8 +53,16 @@ pub struct SampledStats {
 }
 
 impl SampledStats {
-    /// Convert to the advisor's input.
-    pub fn to_estimates(&self, query: &HybridQuery, num_jen_workers: usize) -> QueryEstimates {
+    /// Convert to the advisor's input. `mem_budget_per_worker` is the
+    /// build-side budget a JEN worker will run under (see
+    /// [`crate::system::HybridSystem::mem_budget_per_worker`]); `None` =
+    /// unbounded.
+    pub fn to_estimates(
+        &self,
+        query: &HybridQuery,
+        num_jen_workers: usize,
+        mem_budget_per_worker: Option<u64>,
+    ) -> QueryEstimates {
         QueryEstimates {
             t_prime_bytes: (self.t_prime_rows * self.t_row_bytes) as u64,
             l_prime_bytes: (self.l_prime_rows * self.l_row_bytes) as u64,
@@ -63,6 +71,7 @@ impl SampledStats {
             num_jen_workers,
             bloom_bytes: query.bloom.wire_bytes() as u64,
             shuffle_skew: self.shuffle_skew,
+            mem_budget_per_worker,
         }
     }
 }
@@ -197,7 +206,7 @@ fn avg(bytes: usize, rows: usize) -> f64 {
 /// entry point a downstream user wants.
 pub fn run_auto(sys: &mut HybridSystem, query: &HybridQuery) -> Result<(JoinAlgorithm, RunOutput)> {
     let stats = sample_stats(sys, query, 8)?;
-    let est = stats.to_estimates(query, sys.config.jen_workers);
+    let est = stats.to_estimates(query, sys.config.jen_workers, sys.mem_budget_per_worker());
     let choice = advise(&est);
     let out = run(sys, query, choice)?;
     Ok((choice, out))

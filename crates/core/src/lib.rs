@@ -44,6 +44,6 @@ pub use query::HybridQuery;
 pub use skew::{SaltCursors, SaltRouter};
 pub use stats::{JoinSummary, RunOutput};
 pub use system::{
-    batch_rows_from_env, threads_from_env, HybridSystem, SystemConfig, ZigzagReaccess,
-    DEFAULT_BATCH_ROWS,
+    batch_rows_from_env, mem_budget_from_env, parse_mem_budget, threads_from_env, HybridSystem,
+    SystemConfig, ZigzagReaccess, DEFAULT_BATCH_ROWS,
 };

@@ -64,6 +64,15 @@ pub struct JoinSummary {
     /// Max JEN worker build-side shuffle load over the mean, ×1000
     /// (1000 = perfectly balanced; 0 = the algorithm has no shuffle).
     pub shuffle_max_over_mean_x1000: u64,
+    // --- memory governor ---
+    /// Bytes written to local spill runs (partition evictions plus
+    /// recursive repartitioning; 0 = the build side stayed resident).
+    pub spill_bytes_written: u64,
+    /// Bytes read back from local spill runs at join time.
+    pub spill_bytes_read: u64,
+    /// High-water mark of resident build bytes on any single JEN worker
+    /// (`mem.high_water`; 0 when the run had no memory budget).
+    pub mem_high_water: u64,
 }
 
 impl JoinSummary {
@@ -105,6 +114,9 @@ impl JoinSummary {
             t_prime_rows: get("core.t_prime_rows"),
             bloom_keys_inserted: get("db.bloom.keys_inserted") + get("jen.bloom.keys_inserted"),
             shuffle_max_over_mean_x1000: get("net.shuffle.max_over_mean_x1000"),
+            spill_bytes_written: get("jen.spill.bytes_written"),
+            spill_bytes_read: get("jen.spill.bytes_read"),
+            mem_high_water: get("mem.high_water"),
         }
     }
 }

@@ -4,6 +4,7 @@ use hybrid_common::batch::Batch;
 use hybrid_common::cache::TableGenerations;
 use hybrid_common::error::{HybridError, Result};
 use hybrid_common::ids::JenWorkerId;
+use hybrid_common::mempool::{BufferPool, QueryBudget};
 use hybrid_common::metrics::Metrics;
 use hybrid_common::schema::Schema;
 use hybrid_common::trace::Tracer;
@@ -87,6 +88,18 @@ pub struct SystemConfig {
     /// which include the per-message frame header) vary. Defaults from the
     /// `HYBRID_BATCH_ROWS` env var, falling back to [`DEFAULT_BATCH_ROWS`].
     pub batch_rows: usize,
+    /// Total byte budget for the system's shared
+    /// [`BufferPool`]. `None` (the
+    /// default) is unbounded — the paper's all-in-memory JEN, and exactly
+    /// the pre-governor behavior (no `mem.*` counters are recorded).
+    /// `Some(bytes)` bounds the build-side residency of every query:
+    /// direct runs reserve the whole pool, the query service splits it
+    /// across admitted queries, and each query splits its share statically
+    /// across its JEN workers — workers evict partitions past their share
+    /// (hybrid hash join) instead of failing. Defaults from the
+    /// `HYBRID_MEM_BUDGET` env var (integer bytes with an optional
+    /// `k`/`m`/`g` suffix; unset or `unbounded` = `None`).
+    pub mem_budget_bytes: Option<u64>,
 }
 
 /// Default fabric batch size (rows per data message).
@@ -111,6 +124,39 @@ pub fn batch_rows_from_env() -> usize {
         .unwrap_or(DEFAULT_BATCH_ROWS)
 }
 
+/// Parse a byte budget: an integer with an optional `k`/`m`/`g` suffix
+/// (powers of 1024). `"unbounded"`, empty, or unparsable → `None`.
+pub fn parse_mem_budget(s: &str) -> Option<u64> {
+    let s = s.trim().to_ascii_lowercase();
+    if s.is_empty() || s == "unbounded" {
+        return None;
+    }
+    let (digits, shift) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (
+            d,
+            match s.as_bytes()[s.len() - 1] {
+                b'k' => 10,
+                b'm' => 20,
+                _ => 30,
+            },
+        ),
+        None => (s.as_str(), 0),
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_shl(shift))
+}
+
+/// `HYBRID_MEM_BUDGET` env override, or `None` (unbounded) when
+/// unset/`unbounded`/invalid.
+pub fn mem_budget_from_env() -> Option<u64> {
+    std::env::var("HYBRID_MEM_BUDGET")
+        .ok()
+        .and_then(|v| parse_mem_budget(&v))
+}
+
 impl SystemConfig {
     /// A scaled-down version of the paper's 30+30 testbed.
     pub fn paper_shape(db_workers: usize, jen_workers: usize) -> SystemConfig {
@@ -128,6 +174,7 @@ impl SystemConfig {
             retry: RetryPolicy::default(),
             salt_buckets: None,
             batch_rows: batch_rows_from_env(),
+            mem_budget_bytes: mem_budget_from_env(),
         }
     }
 
@@ -162,6 +209,11 @@ impl SystemConfig {
         if self.batch_rows == 0 {
             return Err(HybridError::config("batch_rows must be at least 1"));
         }
+        if self.mem_budget_bytes == Some(0) {
+            return Err(HybridError::config(
+                "mem_budget_bytes must be positive (use None for unbounded)",
+            ));
+        }
         Ok(())
     }
 }
@@ -190,6 +242,16 @@ pub struct HybridSystem {
     /// in-flight query can never repopulate a just-invalidated cache with
     /// pre-rewrite artifacts.
     pub table_gens: TableGenerations,
+    /// The shared memory governor, sized by `config.mem_budget_bytes`.
+    /// Sessions share the root's pool (its `mem.reservations` /
+    /// `mem.pool_high_water` counters land in the **root** registry), so
+    /// concurrent queries draw from one fixed total.
+    pub mem_pool: BufferPool,
+    /// This system's slice of the pool for the query it is running.
+    /// `None` until granted: the service reserves a share at admission and
+    /// injects it into each attempt's session; a direct [`crate::run`]
+    /// reserves everything the pool has left on first use.
+    pub query_budget: Option<QueryBudget>,
 }
 
 impl HybridSystem {
@@ -231,6 +293,7 @@ impl HybridSystem {
             config.fault_spec.clone(),
             config.retry.clone(),
         );
+        let mem_pool = BufferPool::new(config.mem_budget_bytes, metrics.clone());
         Ok(HybridSystem {
             db,
             hdfs,
@@ -240,9 +303,11 @@ impl HybridSystem {
             fabric,
             metrics,
             tracer,
+            mem_pool,
             config,
             bloom_cache: None,
             table_gens: TableGenerations::new(),
+            query_budget: None,
         })
     }
 
@@ -274,6 +339,21 @@ impl HybridSystem {
     /// `net.intra_hdfs.*` totals remain the exact sum over all sessions.
     /// Purely local work (DB scans, intra-DB exchanges, HDFS reads, JEN
     /// operators) is metered into the session registry only.
+    /// Build-side memory each JEN worker would get for a query run on this
+    /// system, for the advisor's spill term: the granted budget's share if
+    /// one was already reserved, otherwise what is left in the pool
+    /// (what a direct [`crate::run`] would reserve). `None` = unbounded.
+    pub fn mem_budget_per_worker(&self) -> Option<u64> {
+        let n = self.config.jen_workers.max(1) as u64;
+        match &self.query_budget {
+            Some(q) => q.cap_bytes().map(|c| c / n),
+            None => self
+                .mem_pool
+                .total()
+                .map(|t| t.saturating_sub(self.mem_pool.reserved()) / n),
+        }
+    }
+
     pub fn session(&self, ns: u64) -> Result<HybridSystem> {
         let metrics = Metrics::new();
         let tracer = Tracer::new();
@@ -306,6 +386,8 @@ impl HybridSystem {
             config: self.config.clone(),
             bloom_cache: self.bloom_cache.clone(),
             table_gens: self.table_gens.clone(),
+            mem_pool: self.mem_pool.clone(),
+            query_budget: None,
         })
     }
 
@@ -453,6 +535,24 @@ mod tests {
         let mut cfg = SystemConfig::paper_shape(1, 1);
         cfg.batch_rows = 1;
         assert!(HybridSystem::new(cfg).is_ok());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.mem_budget_bytes = Some(0);
+        assert!(HybridSystem::new(cfg).is_err());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.mem_budget_bytes = Some(1 << 20);
+        assert!(HybridSystem::new(cfg).is_ok());
+    }
+
+    #[test]
+    fn mem_budget_parsing() {
+        assert_eq!(parse_mem_budget("unbounded"), None);
+        assert_eq!(parse_mem_budget(""), None);
+        assert_eq!(parse_mem_budget("nonsense"), None);
+        assert_eq!(parse_mem_budget("4096"), Some(4096));
+        assert_eq!(parse_mem_budget("64k"), Some(64 << 10));
+        assert_eq!(parse_mem_budget("2M"), Some(2 << 20));
+        assert_eq!(parse_mem_budget("1g"), Some(1 << 30));
+        assert_eq!(parse_mem_budget(" 8 k "), Some(8 << 10));
     }
 
     #[test]

@@ -76,6 +76,14 @@ pub struct ClusterSpec {
     /// one-tuple-per-message framing the same run would pay ~5 900 s —
     /// this term is why the engine ships columnar batches.
     pub per_msg_overhead_s: f64,
+
+    /// Aggregate local spill bandwidth, bytes/s: sequential run files on
+    /// the JEN workers' local disks (30 nodes × 4 disks, but spill runs
+    /// share the spindles with the HDFS scan, so the usable rate is below
+    /// `hdfs_scan_bw`). Charged once per spilled byte written and once per
+    /// byte read back when a memory budget forces the hybrid hash join to
+    /// evict build partitions.
+    pub spill_bw: f64,
 }
 
 impl ClusterSpec {
@@ -98,6 +106,7 @@ impl ClusterSpec {
             bloom_build_rate: 200e6,
             fixed_overhead_s: 8.0,
             per_msg_overhead_s: 1.0e-6,
+            spill_bw: 3.0e9,
         }
     }
 }
@@ -134,6 +143,7 @@ mod tests {
             c.jen_join_rate,
             c.bloom_build_rate,
             c.per_msg_overhead_s,
+            c.spill_bw,
         ] {
             assert!(v > 0.0);
         }

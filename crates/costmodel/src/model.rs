@@ -58,6 +58,10 @@ struct Volumes {
     /// Per-message fabric overhead — shrinks ~1/batch_rows while every
     /// row-denominated volume above stays fixed.
     msg_overhead_s: f64,
+    /// Local spill traffic (hybrid hash join under a memory budget): every
+    /// evicted build byte is written once and read back once. Zero for
+    /// runs that stayed resident, so budget-free estimates are unchanged.
+    spill_io_s: f64,
 }
 
 impl CostModel {
@@ -113,6 +117,8 @@ impl CostModel {
             db_join_s: (t_prime + hdfs_sent) / c.db_join_rate,
             // message counts scale with the dominant (HDFS-side) row volume
             msg_overhead_s: s.fabric_msgs as f64 * f.l * c.per_msg_overhead_s,
+            // spill volume tracks the build side, i.e. the HDFS scale factor
+            spill_io_s: (s.spill_bytes_written + s.spill_bytes_read) as f64 * f.l / c.spill_bw,
         }
     }
 
@@ -125,7 +131,7 @@ impl CostModel {
             "coordination + message overhead",
             self.cluster.fixed_overhead_s + v.msg_overhead_s,
         );
-        match algorithm {
+        let mut specs = match algorithm {
             JoinAlgorithm::DbSide { bloom } => {
                 let mut specs = Vec::new();
                 if bloom {
@@ -245,7 +251,13 @@ impl CostModel {
                 PhaseSpec::seq("probe + aggregate", v.probe_s),
                 overhead,
             ],
+        };
+        // Only runs that actually spilled carry the extra I/O phase, so
+        // budget-free breakdowns keep their exact shape and totals.
+        if v.spill_io_s > 0.0 {
+            specs.push(PhaseSpec::seq("spill I/O", v.spill_io_s));
         }
+        specs
     }
 
     /// Estimate paper-scale wall-clock seconds for one measured run,
@@ -353,6 +365,9 @@ mod tests {
             t_prime_rows: 160_000_000,
             bloom_keys_inserted: 16_000_000,
             shuffle_max_over_mean_x1000: 0,
+            spill_bytes_written: 0,
+            spill_bytes_read: 0,
+            mem_high_water: 0,
         }
     }
 
@@ -597,6 +612,38 @@ mod tests {
         );
         // and the poorly-overlapped shuffle must actually cost extra
         assert!(measured.total_s > assumed.total_s);
+    }
+
+    #[test]
+    fn spill_volume_inflates_estimate() {
+        // A run that evicted its build side pays the spill write + re-read;
+        // the same run fully resident carries no "spill I/O" phase at all.
+        let m = CostModel::paper();
+        let id = ScaleFactors::identity();
+        let resident = paper_summary(5_854_000_000, 165_000_000, 1.0);
+        let mut spilled = resident;
+        spilled.spill_bytes_written = 340_000_000_000; // ~L' bytes out...
+        spilled.spill_bytes_read = 340_000_000_000; // ...and back in
+        spilled.mem_high_water = 1 << 30;
+        let alg = JoinAlgorithm::Repartition { bloom: false };
+        let fast = m.estimate(alg, &resident, &id);
+        let slow = m.estimate(alg, &spilled, &id);
+        assert!(!fast.phases.iter().any(|p| p.name == "spill I/O"));
+        let spill_phase = slow
+            .phases
+            .iter()
+            .find(|p| p.name == "spill I/O")
+            .expect("spilled run must carry a spill phase");
+        assert!(
+            (slow.total_s - fast.total_s - spill_phase.seconds).abs() < 1e-9,
+            "spill must add exactly its own phase"
+        );
+        assert!(
+            slow.total_s > fast.total_s + 100.0,
+            "680 GB of spill traffic must cost real time: {:.0}s -> {:.0}s",
+            fast.total_s,
+            slow.total_s
+        );
     }
 
     #[test]

@@ -115,6 +115,9 @@ impl Workload {
             num_jen_workers,
             bloom_bytes: self.bloom.wire_bytes() as u64,
             shuffle_skew: self.shuffle_skew(num_jen_workers),
+            // ground truth carries no memory budget; callers running under
+            // a governor set the field from their system's pool
+            mem_budget_per_worker: None,
         }
     }
 

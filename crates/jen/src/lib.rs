@@ -17,8 +17,10 @@
 //!   blocks off (simulated) disks while the process thread parses, filters
 //!   and partitions — reading and processing genuinely overlap;
 //! * [`spill`] — the paper's stated future work ("we plan to support
-//!   spilling to disk"): a grace-hash fallback that partitions build and
-//!   probe sides to temporary files when the in-memory limit is exceeded.
+//!   spilling to disk"): a robust dynamic hybrid hash join that keeps
+//!   partitions resident while the memory budget allows, evicts them to
+//!   temporary files under pressure, and recursively repartitions buckets
+//!   that overflow their share.
 //!
 //! The cross-worker choreography (who shuffles what to whom, and when) is
 //! the subject of the paper's join algorithms and lives in `hybrid-core`;

@@ -2,46 +2,55 @@
 //!
 //! [`LocalJoiner`] is what a JEN worker uses for its repartition-based
 //! local join: an in-memory hash join by default (the paper's JEN), or a
-//! [`GraceHashJoiner`] when the engine is configured with a build-side
-//! memory budget — the paper's stated future work, reachable through
-//! `HybridSystem` configuration.
+//! [`HybridHashJoiner`] when the engine is configured with a build-side
+//! memory budget — a row limit, a byte budget from the system's
+//! [`BufferPool`](hybrid_common::mempool::BufferPool), or both — the
+//! paper's stated future work, reachable through `HybridSystem`
+//! configuration.
 
-use crate::spill::GraceHashJoiner;
+use crate::spill::HybridHashJoiner;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::Result;
+use hybrid_common::mempool::WorkerBudget;
 use hybrid_common::metrics::Metrics;
 use hybrid_common::ops::HashJoiner;
 use hybrid_common::schema::Schema;
 
-/// How many spill partitions the grace join fans out to.
+/// How many spill partitions the hybrid join fans out to (per depth).
 const SPILL_PARTITIONS: usize = 8;
 
-/// A local join that is in-memory when it fits and grace-hash otherwise.
-/// The grace variant is boxed: it carries spill bookkeeping that would
+/// A local join that is in-memory when it fits and hybrid-hash otherwise.
+/// The hybrid variant is boxed: it carries spill bookkeeping that would
 /// otherwise bloat every in-memory joiner.
 pub enum LocalJoiner {
     InMemory(HashJoiner),
-    Grace(Box<GraceHashJoiner>),
+    Hybrid(Box<HybridHashJoiner>),
 }
 
 impl LocalJoiner {
-    /// `memory_limit_rows = None` reproduces the paper's all-in-memory JEN;
-    /// `Some(limit)` enables spilling past `limit` buffered build rows.
+    /// `memory_limit_rows = None` plus an uncapped (or absent) `budget`
+    /// reproduces the paper's all-in-memory JEN; a row limit and/or a
+    /// byte-capped [`WorkerBudget`] enables the hybrid hash join with
+    /// dynamic partition eviction past the configured residency.
     pub fn new(
         build_schema: Schema,
         build_key: usize,
         memory_limit_rows: Option<usize>,
+        budget: Option<WorkerBudget>,
         metrics: Metrics,
     ) -> Result<LocalJoiner> {
-        Ok(match memory_limit_rows {
-            None => LocalJoiner::InMemory(HashJoiner::new(build_schema, build_key)),
-            Some(limit) => LocalJoiner::Grace(Box::new(GraceHashJoiner::new(
+        let byte_capped = budget.as_ref().is_some_and(|b| b.cap_bytes().is_some());
+        Ok(if memory_limit_rows.is_none() && !byte_capped {
+            LocalJoiner::InMemory(HashJoiner::new(build_schema, build_key))
+        } else {
+            LocalJoiner::Hybrid(Box::new(HybridHashJoiner::new(
                 build_schema,
                 build_key,
-                limit,
+                memory_limit_rows,
+                budget.filter(|b| b.cap_bytes().is_some()),
                 SPILL_PARTITIONS,
                 metrics,
-            )?)),
+            )?))
         })
     }
 
@@ -49,7 +58,7 @@ impl LocalJoiner {
     pub fn build(&mut self, batch: Batch) -> Result<()> {
         match self {
             LocalJoiner::InMemory(j) => j.build(batch),
-            LocalJoiner::Grace(g) => g.add_build(batch),
+            LocalJoiner::Hybrid(g) => g.add_build(batch),
         }
     }
 
@@ -76,7 +85,7 @@ impl LocalJoiner {
                     }
                 }
             }
-            LocalJoiner::Grace(mut g) => {
+            LocalJoiner::Hybrid(mut g) => {
                 for p in probes {
                     g.add_probe(p, probe_key)?;
                 }
@@ -124,30 +133,46 @@ mod tests {
     }
 
     #[test]
-    fn in_memory_and_grace_agree() {
+    fn in_memory_and_hybrid_agree() {
         let build: Vec<Batch> = (0..4).map(|i| batch_build(&[i, i + 10, i])).collect();
         let probes: Vec<Batch> = (0..3).map(|i| batch_probe(&[i, 11, 99])).collect();
 
-        let mut mem = LocalJoiner::new(build_schema(), 0, None, Metrics::new()).unwrap();
+        let mut mem = LocalJoiner::new(build_schema(), 0, None, None, Metrics::new()).unwrap();
         for b in build.clone() {
             mem.build(b).unwrap();
         }
         let mem_out = mem.probe_all(&probe_schema(), probes.clone(), 0).unwrap();
 
         let m = Metrics::new();
-        let mut grace = LocalJoiner::new(build_schema(), 0, Some(2), m.clone()).unwrap();
+        let mut hybrid = LocalJoiner::new(build_schema(), 0, Some(2), None, m.clone()).unwrap();
         for b in build {
-            grace.build(b).unwrap();
+            hybrid.build(b).unwrap();
         }
-        let grace_out = grace.probe_all(&probe_schema(), probes, 0).unwrap();
+        let hybrid_out = hybrid.probe_all(&probe_schema(), probes, 0).unwrap();
 
-        assert_eq!(sorted_rows(&mem_out), sorted_rows(&grace_out));
+        assert_eq!(sorted_rows(&mem_out), sorted_rows(&hybrid_out));
         assert!(m.get("jen.spill.activations") > 0, "limit of 2 must spill");
     }
 
     #[test]
+    fn uncapped_budget_stays_in_memory() {
+        use hybrid_common::mempool::BufferPool;
+        let pool = BufferPool::new(None, Metrics::new());
+        let q = pool.reserve_remaining("q").unwrap();
+        let j = LocalJoiner::new(
+            build_schema(),
+            0,
+            None,
+            Some(q.worker_share(4)),
+            Metrics::new(),
+        )
+        .unwrap();
+        assert!(matches!(j, LocalJoiner::InMemory(_)));
+    }
+
+    #[test]
     fn empty_probes_yield_empty_output_with_joined_schema() {
-        let mut j = LocalJoiner::new(build_schema(), 0, None, Metrics::new()).unwrap();
+        let mut j = LocalJoiner::new(build_schema(), 0, None, None, Metrics::new()).unwrap();
         j.build(batch_build(&[1])).unwrap();
         let out = j.probe_all(&probe_schema(), vec![], 0).unwrap();
         assert_eq!(out.num_rows(), 0);

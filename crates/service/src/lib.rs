@@ -12,6 +12,11 @@
 //!   shortest-estimated-cost-first ordering. Cost estimates come from the
 //!   existing sampling/cost-model path, and the advisor picks each query's
 //!   algorithm unless the request forces one.
+//! * **Memory admission**: when the shared system's buffer pool is bounded
+//!   (`HYBRID_MEM_BUDGET` / `SystemConfig::mem_budget_bytes`), every
+//!   admitted query reserves an even share (`total / max_in_flight`) for
+//!   its lifetime and its joins run under that budget — spilling when they
+//!   must, never over-committing the pool.
 //! * **Per-query isolation**: every admitted query executes on a
 //!   [`HybridSystem::session`] — fresh metrics registry, fresh tracer, and
 //!   a private fabric namespace — so concurrent queries can never
@@ -85,6 +90,9 @@ impl From<HybridError> for ServiceError {
 /// disconnected workers, cancellations (always secondary to one of the
 /// former inside a single session) and transient network errors are; a
 /// config, planning, or data error would fail identically on retry.
+/// [`HybridError::MemoryExceeded`] is deliberately absent: a denied
+/// reservation against the same pool share denies again, and the join
+/// itself never surfaces it — it degrades to spilling instead.
 fn retryable(e: &HybridError) -> bool {
     matches!(
         e,
@@ -311,10 +319,17 @@ impl QueryService {
         }
 
         // Estimate cost and pick the algorithm (advisor unless forced).
+        // The advisor sees the memory share this query will actually get —
+        // a bounded pool is split evenly across the in-flight bound, then
+        // across the JEN workers — so a tight budget steers the advice
+        // toward plans that spill less.
         let (algorithm, estimated_cost) = {
             let sys = self.root.read();
             let stats = sample_stats(&sys, &req.query, self.cfg.sample_blocks)?;
-            let est = stats.to_estimates(&req.query, sys.config.jen_workers);
+            let mem_pw = sys.mem_pool.total().map(|t| {
+                t / self.cfg.max_in_flight.max(1) as u64 / sys.config.jen_workers.max(1) as u64
+            });
+            let est = stats.to_estimates(&req.query, sys.config.jen_workers, mem_pw);
             drop(sys);
             let costs = estimated_costs(&est);
             let algorithm = req.algorithm.unwrap_or_else(|| advise(&est));
@@ -333,6 +348,33 @@ impl QueryService {
                     _ => self.metrics.add("svc.timed_out", 1),
                 }
                 return Err(e);
+            }
+        };
+
+        // Memory admission: each admitted query reserves an even share of
+        // the governor's pool for its whole lifetime (retries included).
+        // Shares are `total / max_in_flight`, so the scheduler's in-flight
+        // bound guarantees the reservations can never over-commit the
+        // pool; the denial path still exists (typed
+        // [`HybridError::MemoryExceeded`], deliberately *not* retryable —
+        // the same reservation would be denied identically) and releases
+        // the admission slot. An unbounded pool grants nothing and leaves
+        // the session's joins uncapped, exactly as before the governor.
+        let mem_grant = {
+            let pool = self.root.read().mem_pool.clone();
+            match pool.total() {
+                Some(total) => {
+                    let share = (total / self.cfg.max_in_flight.max(1) as u64).max(1);
+                    match pool.reserve(share, &format!("svc-q{seq}")) {
+                        Ok(grant) => Some(grant),
+                        Err(e) => {
+                            self.sched.release();
+                            self.metrics.add("svc.failed", 1);
+                            return Err(ServiceError::Exec(e));
+                        }
+                    }
+                }
+                None => None,
             }
         };
 
@@ -357,6 +399,8 @@ impl QueryService {
         let run_result = loop {
             let result = (|| {
                 let mut session = self.root.read().session(session_seq + 1)?;
+                // every attempt joins under this query's memory grant
+                session.query_budget = mem_grant.clone();
                 let out = run(&mut session, &req.query, algorithm);
                 session.close_session();
                 out
@@ -370,6 +414,12 @@ impl QueryService {
                 other => break other,
             }
         };
+        // Hand the memory reservation back *before* the admission slot:
+        // a successor admitted by `release()` reserves immediately, and
+        // with at most `max_in_flight` slot-holders each holding at most
+        // one `total / max_in_flight` share, releasing in this order
+        // guarantees its share is already free — no denial, no over-commit.
+        drop(mem_grant);
         self.sched.release();
         let out = match run_result {
             Ok(out) => out,

@@ -31,6 +31,7 @@ fn main() {
             num_jen_workers: 30,
             bloom_bytes: 16 << 20,
             shuffle_skew: 1.0,
+            mem_budget_per_worker: None,
         };
         let choice = advise(&est);
         let mut costs = estimated_costs(&est);
@@ -65,10 +66,34 @@ fn main() {
             num_jen_workers: 30,
             bloom_bytes: 16 << 20,
             shuffle_skew: skew,
+            mem_budget_per_worker: None,
         };
         println!(
             "  max/mean shuffle load {skew:>5.1}  ->  {}",
             advise(&est).name()
         );
+    }
+
+    // A memory budget changes it again: repartition's per-worker hash
+    // build (L'/30) no longer fits, so the governor would spill and
+    // re-read most of it — the advisor charges that round trip and the
+    // build-free DB-side join takes over under the tightest budgets.
+    println!("\nsame query under a per-worker memory budget (sigma_T=0.1, sigma_L=0.4):");
+    for budget in [None, Some(4u64 << 30), Some(64 << 20)] {
+        let est = QueryEstimates {
+            t_prime_bytes: (25.0e9 * 0.1) as u64,
+            l_prime_bytes: (120.0e9 * 0.4) as u64,
+            st: 1.0,
+            sl: 1.0,
+            num_jen_workers: 30,
+            bloom_bytes: 16 << 20,
+            shuffle_skew: 1.0,
+            mem_budget_per_worker: budget,
+        };
+        let label = match budget {
+            None => "unbounded".to_string(),
+            Some(b) => format!("{} MB/worker", b >> 20),
+        };
+        println!("  budget {label:>16}  ->  {}", advise(&est).name());
     }
 }

@@ -24,6 +24,20 @@ for f in tests/*.rs; do
   fail=1
 done
 
+# Inverse direction: every [[test]] target that points into tests/ must
+# name a file that exists. A stale entry (file renamed or deleted, target
+# forgotten) breaks `cargo test` for everyone — catch it here with a
+# message that says which Cargo.toml is lying.
+for toml in crates/*/Cargo.toml; do
+  while IFS= read -r rel; do
+    target="crates/$(basename "$(dirname "$toml")")/$rel"
+    if [ ! -f "$target" ]; then
+      echo "$toml registers $rel but $(basename "$rel") does not exist on disk" >&2
+      fail=1
+    fi
+  done < <(sed -n 's/^path = "\(\.\.\/\.\.\/tests\/[^"]*\.rs\)"$/\1/p' "$toml")
+done
+
 # The registered targets only execute because the workflow still carries an
 # unfiltered `cargo test` — fail if that blanket run ever disappears.
 if ! grep -qE 'cargo test -q( --release)?$' .github/workflows/ci.yml; then

@@ -458,6 +458,56 @@ fn batched_kill_at_spill_boundary_leaves_no_orphans() {
     );
 }
 
+/// The no-orphans invariant on the governor's *dynamic* eviction path: a
+/// byte budget (not a row limit) makes the hybrid join evict partitions
+/// under pressure mid-build, and the kill lands on the evict/re-read
+/// boundary. The unwind must remove every spill run file AND hand back
+/// every byte of the residency ledger and pool reservation.
+#[test]
+fn kill_at_eviction_boundary_drains_ledger_and_files() {
+    let workload = small_workload();
+    let query = workload.query();
+    let faults = FaultSpec::quiet(2).with_kill(FaultTarget::Jen, 0, 2);
+    let mut cfg = chaos_config(1, faults);
+    // ~26 KB of L' against an 8 KB pool: every worker must evict
+    cfg.mem_budget_bytes = Some(8 << 10);
+    let mut sys = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+
+    let err = run(
+        &mut sys,
+        &query,
+        JoinAlgorithm::Repartition { bloom: false },
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        HybridError::Disconnected {
+            endpoint: "jen-worker-0".into(),
+            stream: None,
+        }
+    );
+    assert!(
+        sys.metrics.get("mem.evictions") > 0,
+        "the kill must land after dynamic evictions, or this cell tests \
+         the same boundary as the row-limit variants"
+    );
+    let created = sys.metrics.get("jen.spill.files_created");
+    let removed = sys.metrics.get("jen.spill.files_removed");
+    assert!(created > 0, "evictions must have written spill runs");
+    assert_eq!(
+        created,
+        removed,
+        "killed budgeted run orphaned {} spill file(s)",
+        created - removed
+    );
+    assert_eq!(
+        sys.mem_pool.used(),
+        0,
+        "killed run left resident bytes in the pool ledger"
+    );
+}
+
 /// Coordinator-level recovery: the service re-admits a failed query in a
 /// fresh session namespace, where the seeded plan rolls fresh per-delivery
 /// decisions. Under a drop-heavy mix, submissions either recover to the
