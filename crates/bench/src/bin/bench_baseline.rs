@@ -17,7 +17,12 @@
 //!   at one-row framing (`batch_rows = 1`, the tuple-at-a-time replay) vs
 //!   the default 4096-row batches, asserting identical row-level volumes
 //!   and that the batched run is never slower
-//!   (`batchcmp.{tuple,batched}.wall_ms`).
+//!   (`batchcmp.{tuple,batched}.wall_ms`);
+//! * the adaptive demonstration the replan work is gated on: repartition
+//!   under estimates corrupted to claim the Bloom filter is useless over a
+//!   workload where it eliminates ~95% of L', asserting **exactly one**
+//!   mid-query replan, a bit-identical result, and an adaptive wall clock
+//!   (min-of-3) no slower than the non-adaptive mis-chosen plan.
 //!
 //! * `--emit PATH` writes the collected counters as JSON — commit the
 //!   output as `BENCH_baseline.json` to (re-)bless the baseline.
@@ -38,7 +43,7 @@
 //! ```
 
 use hybrid_bench::{default_system_config, ExpSystem};
-use hybrid_core::{run, JoinAlgorithm, SystemConfig};
+use hybrid_core::{run, run_adaptive, sample_stats, JoinAlgorithm, SystemConfig};
 use hybrid_datagen::{KeySkew, WorkloadSpec};
 use hybrid_storage::FileFormat;
 use std::collections::BTreeMap;
@@ -64,6 +69,12 @@ const WALL_SLACK_MS: u64 = 50;
 const SALT_BUCKETS: usize = 4;
 const MIN_IMPROVEMENT_X10: u64 = 15; // salted must be >= 1.5x more balanced
 
+/// The adaptive demonstration's pinned join-key selectivity and replan
+/// threshold: at SL' = 0.05 the Bloom filter eliminates ~95% of L', so
+/// estimates corrupted to SL' = 1 are off by 20× — far past 1.5.
+const REPLAN_DEMO_SL: f64 = 0.05;
+const REPLAN_DEMO_THRESHOLD: f64 = 1.5;
+
 type Counters = BTreeMap<String, u64>;
 
 fn all_algorithms() -> Vec<JoinAlgorithm> {
@@ -73,13 +84,15 @@ fn all_algorithms() -> Vec<JoinAlgorithm> {
         .collect()
 }
 
-/// The bench configuration with the memory pool pinned off: the baseline's
-/// main sections must not drift with a developer's `HYBRID_MEM_BUDGET`
-/// (which `SystemConfig::paper_shape` otherwise honours). The governor
-/// section below opts in explicitly.
+/// The bench configuration with the memory pool and the replan threshold
+/// pinned off: the baseline's main sections must not drift with a
+/// developer's `HYBRID_MEM_BUDGET` or `HYBRID_REPLAN_THRESHOLD` (which
+/// `SystemConfig::paper_shape` otherwise honours). The governor and
+/// adaptive sections below opt in explicitly.
 fn pinned_config() -> SystemConfig {
     let mut cfg = default_system_config();
     cfg.mem_budget_bytes = None;
+    cfg.replan_threshold = None;
     cfg
 }
 
@@ -290,6 +303,106 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
         MEM_BUDGET_BYTES >> 10,
         m.summary.mem_high_water,
         m.summary.spill_bytes_written,
+    );
+
+    // --- the adaptive demonstration the replan work is gated on ---
+    // A workload whose Bloom filter eliminates most of L' (low SL'), run
+    // through `repartition` under estimates corrupted to claim the filter
+    // is useless (SL' = ST' = 1). The observation point must catch the
+    // mis-estimate, replan exactly once onto a Bloom-consuming strategy,
+    // produce the bit-identical result, and beat the non-adaptive run of
+    // the mis-chosen plan on wall clock (it reuses the scanned blocks, and
+    // the remaining work shrinks by the filter's whole elimination rate).
+    // Sequential execution is pinned for schedule-independent counters.
+    let adapt_spec = WorkloadSpec {
+        seed: SEED,
+        t_rows: 10_000,
+        l_rows: 100_000,
+        sigma_l: 0.8,
+        sl: REPLAN_DEMO_SL,
+        ..WorkloadSpec::tiny()
+    };
+    let mut cfg = pinned_config();
+    cfg.threads = 1;
+    // Small fabric batches magnify the cost of shuffling rows the Bloom
+    // filter would have eliminated — the exact waste the replan recovers —
+    // while leaving the (identical) scan work on both sides untouched.
+    cfg.batch_rows = 64;
+    let mut plain_sys = ExpSystem::build_with(adapt_spec, FileFormat::Columnar, cfg.clone())?;
+    cfg.replan_threshold = Some(REPLAN_DEMO_THRESHOLD);
+    let mut adaptive_sys = ExpSystem::build_with(adapt_spec, FileFormat::Columnar, cfg)?;
+    let alg = JoinAlgorithm::Repartition { bloom: false };
+    let query = plain_sys.workload.query();
+    // honest sampled stats, then the deliberate mis-estimate
+    let stats = sample_stats(&adaptive_sys.system, &query, 8)?;
+    let mut est = stats.to_estimates(
+        &query,
+        adaptive_sys.system.config.jen_workers,
+        adaptive_sys.system.mem_budget_per_worker(),
+    );
+    est.st = 1.0;
+    est.sl = 1.0;
+    // Wall clocks are min-of-3 per side: the volumes are deterministic
+    // (every repeat is bit-identical), so repetition only strips scheduler
+    // noise from the timing comparison the gate makes.
+    let mut plain_wall = std::time::Duration::MAX;
+    let mut adaptive_wall = std::time::Duration::MAX;
+    let mut plain = None;
+    let mut adaptive = None;
+    for _ in 0..3 {
+        let started = std::time::Instant::now();
+        plain = Some(run(&mut plain_sys.system, &query, alg)?);
+        plain_wall = plain_wall.min(started.elapsed());
+        let started = std::time::Instant::now();
+        adaptive = Some(run_adaptive(&mut adaptive_sys.system, &query, alg, &est)?);
+        adaptive_wall = adaptive_wall.min(started.elapsed());
+    }
+    let (plain, adaptive) = (
+        plain.expect("3 repeats ran"),
+        adaptive.expect("3 repeats ran"),
+    );
+    if adaptive.result != plain.result {
+        return Err("adaptive replan changed the query result".into());
+    }
+    let replans = adaptive_sys.system.metrics.get("advisor.replans");
+    if replans != 1 {
+        return Err(
+            format!("mis-estimated workload must replan exactly once, observed {replans}").into(),
+        );
+    }
+    if adaptive_wall > plain_wall {
+        return Err(format!(
+            "adaptive run ({adaptive_wall:?}) slower than the non-adaptive \
+             mis-chosen plan ({plain_wall:?})"
+        )
+        .into());
+    }
+    c.insert(
+        "adaptive.result_rows".into(),
+        adaptive.result.num_rows() as u64,
+    );
+    c.insert("adaptive.replans".into(), replans);
+    c.insert(
+        "adaptive.replan_considered".into(),
+        adaptive_sys.system.metrics.get("advisor.replan_considered"),
+    );
+    c.insert(
+        "adaptive.hdfs_tuples_shuffled".into(),
+        adaptive.summary.hdfs_tuples_shuffled,
+    );
+    c.insert(
+        "adaptive.nonadaptive.wall_ms".into(),
+        plain_wall.as_millis() as u64,
+    );
+    c.insert(
+        "adaptive.adaptive.wall_ms".into(),
+        adaptive_wall.as_millis() as u64,
+    );
+    println!(
+        "adaptive demo: repartition under SL'={REPLAN_DEMO_SL} with estimates \
+         claiming SL'=1 — {replans} replan, {:?} adaptive vs {:?} non-adaptive, \
+         identical results",
+        adaptive_wall, plain_wall
     );
     Ok(c)
 }

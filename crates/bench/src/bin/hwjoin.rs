@@ -6,7 +6,7 @@
 //!        [--zipf S | --single-key] [--salt-buckets F]
 //!        [--format columnar|text] [--scale tiny|small|default]
 //!        [--spill-limit ROWS] [--mem-budget BYTES] [--timeline PATH]
-//!        [--threads N] [--batch-rows N]
+//!        [--replan-threshold F|off] [--threads N] [--batch-rows N]
 //!        [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]
 //! ```
 //!
@@ -44,6 +44,15 @@
 //! spilled volume (`-` when the run never touched the pool or the disk).
 //! `HYBRID_MEM_BUDGET` is the env fallback.
 //!
+//! `--replan-threshold F` arms mid-query adaptive re-optimization: a
+//! sampling pass derives estimates, the run pauses at its phase boundary
+//! to compare them against observed actuals, and when an estimate is off
+//! by more than `F`× *and* a cheaper strategy exists for the remaining
+//! work, the join restarts under the better plan (reusing the scanned
+//! blocks and any built Bloom filter). Results stay bit-identical; the
+//! `replans` column counts the switches. `off` (the default, also via
+//! `HYBRID_REPLAN_THRESHOLD`) leaves every run byte-for-byte untouched.
+//!
 //! `--serve` switches to serving mode: instead of one join, N client
 //! threads drive a mixed workload through the concurrent query service
 //! (see `svc_bench` for the dedicated benchmark with all its knobs).
@@ -58,7 +67,7 @@
 use hybrid_bench::report::{print_table, secs};
 use hybrid_bench::svc::{build_service_system, serve_workload, ServeOptions};
 use hybrid_bench::{default_system_config, ExpSystem};
-use hybrid_core::{parse_mem_budget, run_auto, JoinAlgorithm};
+use hybrid_core::{parse_mem_budget, parse_replan_threshold, run_auto, JoinAlgorithm};
 use hybrid_datagen::{KeySkew, WorkloadSpec};
 use hybrid_service::SchedulePolicy;
 use hybrid_storage::FileFormat;
@@ -83,7 +92,7 @@ fn usage() -> ! {
          [--st F] [--sl F] [--zipf S | --single-key] [--salt-buckets F] \
          [--format columnar|text] [--scale tiny|small|default] \
          [--spill-limit ROWS] [--mem-budget BYTES[k|m|g]|unbounded] \
-         [--timeline PATH] [--threads N] \
+         [--replan-threshold F|off] [--timeline PATH] [--threads N] \
          [--batch-rows N] [--chaos-seed N] [--fault-rate R] \
          [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]"
     );
@@ -96,6 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut format = FileFormat::Columnar;
     let mut spill_limit: Option<usize> = None;
     let mut mem_budget: Option<String> = None;
+    let mut replan_threshold: Option<String> = None;
     let mut timeline_path: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut batch_rows: Option<usize> = None;
@@ -120,6 +130,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--sl" => spec.sl = value().parse()?,
             "--spill-limit" => spill_limit = Some(value().parse()?),
             "--mem-budget" => mem_budget = Some(value().to_string()),
+            "--replan-threshold" => replan_threshold = Some(value().to_string()),
             "--timeline" => timeline_path = Some(value().to_string()),
             "--threads" => threads = Some(value().parse()?),
             "--batch-rows" => batch_rows = Some(value().parse()?),
@@ -217,6 +228,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
     }
+    if let Some(arg) = &replan_threshold {
+        cfg.replan_threshold = match parse_replan_threshold(arg) {
+            Some(t) => Some(t),
+            None if arg.trim().is_empty() || arg.trim().eq_ignore_ascii_case("off") => None,
+            None => {
+                eprintln!("bad --replan-threshold {arg:?} (want a float > 1.0, or off)");
+                usage()
+            }
+        };
+    }
+    if let Some(t) = cfg.replan_threshold {
+        println!("adaptive: mid-query replan armed at {t}x estimate divergence");
+    }
     if let Some(b) = cfg.mem_budget_bytes {
         println!(
             "memory: {b} B buffer pool, {} B build share per JEN worker",
@@ -268,13 +292,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect(),
         "auto" => {
             let query = exp.workload.query();
-            let (choice, out) = run_auto(&mut exp.system, &query)?;
+            let (choice, out, stats) = run_auto(&mut exp.system, &query)?;
             println!(
                 "\nadvisor chose {choice}: {} result groups, {} HDFS tuples shuffled, {} DB tuples sent",
                 out.result.num_rows(),
                 out.summary.hdfs_tuples_shuffled,
                 out.summary.db_tuples_sent
             );
+            println!(
+                "sampled estimates: sigma_T={:.3} sigma_L={:.3} ST'={:.3} SL'={:.3} skew={:.2}",
+                stats.sigma_t, stats.sigma_l, stats.st, stats.sl, stats.shuffle_skew
+            );
+            let replans = exp.system.metrics.get("advisor.replans");
+            if exp.system.config.replan_threshold.is_some() {
+                println!(
+                    "adaptive: {replans} replan(s), {} observation(s) crossed the threshold",
+                    exp.system.metrics.get("advisor.replan_considered")
+                );
+            }
             return Ok(());
         }
         name => vec![parse_alg(name).unwrap_or_else(|| usage())],
@@ -289,7 +324,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // an abort: report the typed fault and keep sweeping.
             Err(e) if chaos => {
                 let mut row = vec![alg.name().to_string(), format!("fault: {e}")];
-                row.resize(9, "-".to_string());
+                row.resize(10, "-".to_string());
                 rows.push(row);
                 continue;
             }
@@ -327,6 +362,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             secs(m.cost.total_s),
             secs(m.cost_measured.total_s),
             memory,
+            if m.replans > 0 {
+                m.replans.to_string()
+            } else {
+                "-".to_string()
+            },
         ]);
     }
     print_table(
@@ -341,6 +381,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "est. (assumed overlap)",
             "est. (measured overlap)",
             "memory",
+            "replans",
         ],
         &rows,
     );

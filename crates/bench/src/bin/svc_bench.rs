@@ -5,7 +5,7 @@
 //! svc_bench [--clients N] [--queries N] [--scale tiny|small|default]
 //!           [--format columnar|text] [--policy fifo|sjf]
 //!           [--max-in-flight N] [--max-queued N] [--threads N]
-//!           [--fault-rate R] [--chaos-seed N]
+//!           [--fault-rate R] [--chaos-seed N] [--replan-threshold F|off]
 //!           [--no-verify] [--json PATH]
 //! ```
 //!
@@ -17,6 +17,11 @@
 //! the single-threaded reference implementation unless `--no-verify`;
 //! any mismatch makes the process exit nonzero. `--json PATH` writes the
 //! machine-readable artifact the `service-soak` CI job uploads.
+//!
+//! `--replan-threshold F` arms mid-query adaptive re-optimization on
+//! every session execution: the report gains `replans` /
+//! `replan_considered` counts and the accumulated `est_error` gauges.
+//! Results are still verified — a replan must be invisible in the answer.
 //!
 //! `--fault-rate R` (with optional `--chaos-seed N`) drives the whole run
 //! under the seeded fault plan: the report gains a `fault_rate` column and
@@ -35,7 +40,7 @@ fn usage() -> ! {
         "usage: svc_bench [--clients N] [--queries N] [--scale tiny|small|default] \
          [--format columnar|text] [--policy fifo|sjf] [--max-in-flight N] \
          [--max-queued N] [--threads N] [--fault-rate R] [--chaos-seed N] \
-         [--no-verify] [--json PATH]"
+         [--replan-threshold F|off] [--no-verify] [--json PATH]"
     );
     std::process::exit(2)
 }
@@ -46,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut format = FileFormat::Columnar;
     let mut threads: Option<usize> = None;
     let mut json_path: Option<String> = None;
+    let mut replan_threshold: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -59,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--threads" => threads = Some(value().parse()?),
             "--fault-rate" => opts.fault_rate = value().parse()?,
             "--chaos-seed" => opts.chaos_seed = value().parse()?,
+            "--replan-threshold" => replan_threshold = Some(value().to_string()),
             "--json" => json_path = Some(value().to_string()),
             "--no-verify" => opts.verify = false,
             "--policy" => {
@@ -104,6 +111,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = default_system_config();
     if let Some(n) = threads {
         cfg.threads = n;
+    }
+    if let Some(arg) = &replan_threshold {
+        cfg.replan_threshold = match hybrid_core::parse_replan_threshold(arg) {
+            Some(t) => Some(t),
+            None if arg.trim().is_empty() || arg.trim().eq_ignore_ascii_case("off") => None,
+            None => {
+                eprintln!("bad --replan-threshold {arg:?} (want a float > 1.0, or off)");
+                usage()
+            }
+        };
+    }
+    if let Some(t) = cfg.replan_threshold {
+        println!("adaptive: mid-query replan armed at {t}x estimate divergence");
     }
     opts.apply_chaos(&mut cfg);
     if opts.fault_rate > 0.0 {

@@ -30,6 +30,7 @@ fn glyph(stage: Stage) -> char {
         Stage::HashBuild => 'H',
         Stage::Probe => 'P',
         Stage::Aggregate => 'A',
+        Stage::Replan => 'R',
     }
 }
 

@@ -2,7 +2,9 @@
 
 use hybrid_common::error::Result;
 use hybrid_common::trace::Timeline;
-use hybrid_core::{run, HybridSystem, JoinAlgorithm, JoinSummary, SystemConfig};
+use hybrid_core::{
+    run, run_adaptive, sample_stats, HybridSystem, JoinAlgorithm, JoinSummary, SystemConfig,
+};
 use hybrid_costmodel::{CostBreakdown, CostModel, OverlapProfile, ScaleFactors};
 use hybrid_datagen::{Workload, WorkloadSpec};
 use hybrid_storage::FileFormat;
@@ -51,6 +53,9 @@ pub struct Measurement {
     /// Wall-clock time of the join itself (excludes workload generation
     /// and loading) — the number the `--threads` comparison is about.
     pub elapsed: std::time::Duration,
+    /// Mid-query replans taken (`advisor.replans`). Always 0 unless the
+    /// system was built with `replan_threshold` set.
+    pub replans: u64,
 }
 
 /// A loaded system for one experiment configuration.
@@ -92,11 +97,35 @@ impl ExpSystem {
     }
 
     /// Run one algorithm, returning measured volumes + modeled time.
+    ///
+    /// With `replan_threshold` set on the system config the run goes
+    /// through the adaptive controller: a sampling pass derives the
+    /// estimates that arm the observation point, and the run may switch
+    /// strategies mid-query (counted in [`Measurement::replans`]). The
+    /// sampling pass happens *before* the timed region so `elapsed`
+    /// stays comparable to a plain run.
     pub fn run(&mut self, algorithm: JoinAlgorithm) -> Result<Measurement> {
         let query = self.workload.query();
+        let adaptive = self
+            .system
+            .config
+            .replan_threshold
+            .map(|_| -> Result<_> {
+                let stats = sample_stats(&self.system, &query, 8)?;
+                Ok(stats.to_estimates(
+                    &query,
+                    self.system.config.jen_workers,
+                    self.system.mem_budget_per_worker(),
+                ))
+            })
+            .transpose()?;
         let started = std::time::Instant::now();
-        let out = run(&mut self.system, &query, algorithm)?;
+        let out = match &adaptive {
+            Some(est) => run_adaptive(&mut self.system, &query, algorithm, est)?,
+            None => run(&mut self.system, &query, algorithm)?,
+        };
         let elapsed = started.elapsed();
+        let replans = self.system.metrics.get("advisor.replans");
         let scale = self.scale();
         let cost = self.model.estimate(algorithm, &out.summary, &scale);
         let profile = OverlapProfile::from_timeline(&out.timeline);
@@ -111,6 +140,7 @@ impl ExpSystem {
             timeline: out.timeline,
             result_rows: out.result.num_rows(),
             elapsed,
+            replans,
         })
     }
 

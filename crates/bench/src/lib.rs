@@ -26,4 +26,4 @@ pub mod report;
 pub mod svc;
 
 pub use harness::{default_system_config, spec_from_env, ExpSystem, Measurement};
-pub use svc::{serve_workload, ServeOptions, ServeReport};
+pub use svc::{serve_workload, EstError, ServeOptions, ServeReport};

@@ -92,11 +92,40 @@ pub struct ServeReport {
     pub fault_rate: f64,
     /// Responses whose result differed from the reference (must be 0).
     pub incorrect: usize,
+    /// Mid-query replans across all executions (`svc.replans`) — nonzero
+    /// only when the system runs with `replan_threshold` set.
+    pub replans: u64,
+    /// Observation points whose estimate error crossed the threshold
+    /// (`svc.replan_considered`); a consideration without a replan means
+    /// no cheaper strategy cleared the hysteresis bar.
+    pub replan_considered: u64,
+    /// Accumulated ×1000 estimate-error gauges summed over adaptive
+    /// executions; divide by the execution count for a mean ratio.
+    pub est_error: EstError,
     pub latency_us: HistogramSnapshot,
     pub queue_us: HistogramSnapshot,
     pub exec_us: HistogramSnapshot,
     pub result_cache: CacheStats,
     pub bloom_cache: CacheStats,
+}
+
+/// Accumulated estimate-vs-actual error gauges (`svc.est_error_x1000.*`),
+/// one per observed dimension. A ratio of 1000 = perfect estimate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EstError {
+    pub scan_x1000: u64,
+    pub bloom_x1000: u64,
+    pub shuffle_x1000: u64,
+}
+
+impl EstError {
+    fn read(metrics: &hybrid_common::metrics::Metrics) -> EstError {
+        EstError {
+            scan_x1000: metrics.get("svc.est_error_x1000.scan"),
+            bloom_x1000: metrics.get("svc.est_error_x1000.bloom"),
+            shuffle_x1000: metrics.get("svc.est_error_x1000.shuffle"),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -162,7 +191,9 @@ impl ServeReport {
              \"threads\": {},\n  \"wall_s\": {:.4},\n  \"throughput_qps\": {:.2},\n  \
              \"completed\": {},\n  \"rejected\": {},\n  \"timed_out\": {},\n  \
              \"failed\": {},\n  \"retries\": {},\n  \"fault_rate\": {},\n  \
-             \"incorrect\": {},\n  \"latency_us\": {},\n  \
+             \"incorrect\": {},\n  \"replans\": {},\n  \"replan_considered\": {},\n  \
+             \"est_error\": {{\"scan_x1000\":{},\"bloom_x1000\":{},\"shuffle_x1000\":{}}},\n  \
+             \"latency_us\": {},\n  \
              \"queue_us\": {},\n  \"exec_us\": {},\n  \"result_cache\": {},\n  \
              \"bloom_cache\": {}\n}}\n",
             self.clients,
@@ -178,6 +209,11 @@ impl ServeReport {
             self.retries,
             self.fault_rate,
             self.incorrect,
+            self.replans,
+            self.replan_considered,
+            self.est_error.scan_x1000,
+            self.est_error.bloom_x1000,
+            self.est_error.shuffle_x1000,
             hist(&self.latency_us),
             hist(&self.queue_us),
             hist(&self.exec_us),
@@ -210,6 +246,12 @@ impl ServeReport {
             println!(
                 "  chaos: fault rate {} -> {} coordinator retries",
                 self.fault_rate, self.retries
+            );
+        }
+        if self.replans > 0 || self.replan_considered > 0 {
+            println!(
+                "  adaptive: {} replan(s), {} threshold crossing(s)",
+                self.replans, self.replan_considered
             );
         }
         println!(
@@ -342,6 +384,9 @@ pub fn serve_workload(
         retries: m.get("svc.retries"),
         fault_rate: opts.fault_rate,
         incorrect: incorrect.load(Ordering::Relaxed),
+        replans: m.get("svc.replans"),
+        replan_considered: m.get("svc.replan_considered"),
+        est_error: EstError::read(m),
         latency_us: svc.latency_histogram(),
         queue_us: svc.queue_histogram(),
         exec_us: svc.exec_histogram(),

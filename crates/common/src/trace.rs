@@ -47,6 +47,11 @@ pub enum Stage {
     Probe,
     /// Partial/final aggregation of join output.
     Aggregate,
+    /// Mid-query re-optimization: the adaptive controller abandoning the
+    /// running plan and restarting under a new strategy. The span links the
+    /// abandoned timeline (everything before it) to the restarted one
+    /// (everything it covers).
+    Replan,
 }
 
 impl Stage {
@@ -61,6 +66,7 @@ impl Stage {
             Stage::HashBuild => "hash_build",
             Stage::Probe => "probe",
             Stage::Aggregate => "aggregate",
+            Stage::Replan => "replan",
         }
     }
 
@@ -75,11 +81,12 @@ impl Stage {
             "hash_build" => Stage::HashBuild,
             "probe" => Stage::Probe,
             "aggregate" => Stage::Aggregate,
+            "replan" => Stage::Replan,
             _ => return None,
         })
     }
 
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Scan,
         Stage::BloomBuild,
         Stage::BloomApply,
@@ -88,6 +95,7 @@ impl Stage {
         Stage::HashBuild,
         Stage::Probe,
         Stage::Aggregate,
+        Stage::Replan,
     ];
 }
 

@@ -134,6 +134,16 @@ pub fn estimated_costs(est: &QueryEstimates) -> Vec<(JoinAlgorithm, f64)> {
     ]
 }
 
+/// The estimated cost of one specific strategy, or `None` for strategies
+/// the advisor does not model (semi-join and PERF baselines). The replan
+/// controller uses this to price "keep going" against the alternatives.
+pub fn cost_of(algorithm: JoinAlgorithm, est: &QueryEstimates) -> Option<f64> {
+    estimated_costs(est)
+        .into_iter()
+        .find(|(a, _)| *a == algorithm)
+        .map(|(_, c)| c)
+}
+
 /// Pick the algorithm with the lowest estimated transfer volume.
 pub fn advise(est: &QueryEstimates) -> JoinAlgorithm {
     estimated_costs(est)
@@ -262,6 +272,16 @@ mod tests {
         let base = estimated_costs(&est);
         est.shuffle_skew = 1.0;
         assert_eq!(estimated_costs(&est), base);
+    }
+
+    #[test]
+    fn cost_of_matches_the_cost_table() {
+        let est = paper_estimates(0.1, 0.4, 0.2, 0.1);
+        for (alg, c) in estimated_costs(&est) {
+            assert_eq!(cost_of(alg, &est), Some(c));
+        }
+        assert_eq!(cost_of(JoinAlgorithm::SemiJoin, &est), None);
+        assert_eq!(cost_of(JoinAlgorithm::PerfJoin, &est), None);
     }
 
     #[test]

@@ -95,6 +95,14 @@ pub fn run(
     query: &HybridQuery,
     algorithm: JoinAlgorithm,
 ) -> Result<RunOutput> {
+    prepare_run(system, query)?;
+    let result = dispatch(system, query, algorithm)?;
+    Ok(finish_run(system, result))
+}
+
+/// The prologue every run shares: validate, claim a memory grant on a
+/// budgeted system, and start from clean metrics, spans, and fabric.
+pub(crate) fn prepare_run(system: &mut HybridSystem, query: &HybridQuery) -> Result<()> {
     query.validate()?;
     // A direct run on a budgeted system claims whatever the pool has left
     // (the query service instead injects an admission-sized share into each
@@ -107,14 +115,29 @@ pub fn run(
     system.tracer.reset();
     // a previously failed run may have left in-flight messages behind
     system.fabric.purge();
-    let result = match algorithm {
-        JoinAlgorithm::DbSide { bloom } => db_side::execute(system, query, bloom)?,
-        JoinAlgorithm::Broadcast => broadcast::execute(system, query)?,
-        JoinAlgorithm::Repartition { bloom } => repartition::execute(system, query, bloom)?,
-        JoinAlgorithm::Zigzag => zigzag::execute(system, query)?,
-        JoinAlgorithm::SemiJoin => semijoin::execute(system, query)?,
-        JoinAlgorithm::PerfJoin => perf::execute(system, query)?,
-    };
+    Ok(())
+}
+
+/// Execute one strategy start to finish (no metric/tracer reset — callers
+/// go through [`prepare_run`] first).
+pub(crate) fn dispatch(
+    system: &mut HybridSystem,
+    query: &HybridQuery,
+    algorithm: JoinAlgorithm,
+) -> Result<Batch> {
+    match algorithm {
+        JoinAlgorithm::DbSide { bloom } => db_side::execute(system, query, bloom),
+        JoinAlgorithm::Broadcast => broadcast::execute(system, query),
+        JoinAlgorithm::Repartition { bloom } => repartition::execute(system, query, bloom),
+        JoinAlgorithm::Zigzag => zigzag::execute(system, query),
+        JoinAlgorithm::SemiJoin => semijoin::execute(system, query),
+        JoinAlgorithm::PerfJoin => perf::execute(system, query),
+    }
+}
+
+/// The epilogue every run shares: snapshot the counters, derive the
+/// shuffle-balance ratio, and package the timeline.
+pub(crate) fn finish_run(system: &HybridSystem, result: Batch) -> RunOutput {
     let mut snapshot = system.metrics.snapshot();
     // Derived shuffle-balance ratio: max per-worker build load over the
     // mean across all JEN workers, ×1000 in integer arithmetic so the
@@ -142,12 +165,12 @@ pub fn run(
         .filter(|(k, _)| k.starts_with("net."))
         .map(|(k, v)| (k.clone(), *v))
         .collect();
-    Ok(RunOutput {
+    RunOutput {
         result,
         summary: JoinSummary::from_snapshot(&snapshot),
         snapshot,
         timeline,
-    })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -428,6 +451,11 @@ pub(crate) struct JenTask {
     pub partial: Option<Batch>,
     /// A locally built Bloom filter awaiting the global merge (zigzag BF_H).
     pub local_bf: Option<BloomFilter>,
+    /// This worker's filtered scan output, parked across an adaptive
+    /// observation point ([`crate::adapt`]): the prescan phase stores the
+    /// per-block batches here so a continued — or replanned — plan never
+    /// re-reads `L`.
+    pub scanned: Option<Vec<Batch>>,
 }
 
 /// Per-worker state threaded through a DB [`TaskSet`].
@@ -454,6 +482,7 @@ pub(crate) fn jen_tasks(sys: &HybridSystem, driver: &Driver) -> Result<Vec<JenTa
                 joiner: None,
                 partial: None,
                 local_bf: None,
+                scanned: None,
             })
         })
         .collect()

@@ -17,8 +17,9 @@
 //!
 //! [`run_auto`] chains it all: estimate → advise → execute.
 
+use crate::adapt::run_adaptive;
 use crate::advisor::{advise, QueryEstimates};
-use crate::algorithms::{run, JoinAlgorithm};
+use crate::algorithms::JoinAlgorithm;
 use crate::query::HybridQuery;
 use crate::stats::RunOutput;
 use crate::system::HybridSystem;
@@ -203,13 +204,22 @@ fn avg(bytes: usize, rows: usize) -> f64 {
 }
 
 /// Estimate, let the advisor choose, and execute — the "just run my query"
-/// entry point a downstream user wants.
-pub fn run_auto(sys: &mut HybridSystem, query: &HybridQuery) -> Result<(JoinAlgorithm, RunOutput)> {
+/// entry point a downstream user wants. Returns the sampled statistics
+/// alongside the choice and the run output, so callers can audit *why*
+/// the advisor picked what it picked (and feed dashboards without
+/// re-sampling). Execution goes through [`run_adaptive`]: on a system with
+/// `replan_threshold` set, the same sampled estimates arm the mid-query
+/// replan controller; with the threshold unset this is plain
+/// [`crate::run`], byte for byte.
+pub fn run_auto(
+    sys: &mut HybridSystem,
+    query: &HybridQuery,
+) -> Result<(JoinAlgorithm, RunOutput, SampledStats)> {
     let stats = sample_stats(sys, query, 8)?;
     let est = stats.to_estimates(query, sys.config.jen_workers, sys.mem_budget_per_worker());
     let choice = advise(&est);
-    let out = run(sys, query, choice)?;
-    Ok((choice, out))
+    let out = run_adaptive(sys, query, choice, &est)?;
+    Ok((choice, out, stats))
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 //! every algorithm against [`reference::run_reference`], a single-node
 //! evaluation of the same query.
 
+pub mod adapt;
 pub mod advisor;
 pub mod algorithms;
 pub mod cache;
@@ -36,6 +37,8 @@ pub mod skew;
 pub mod stats;
 pub mod system;
 
+pub use adapt::{run_adaptive, Observation, ReplanController, REPLAN_HYSTERESIS, REPLAN_NS_OFFSET};
+pub use advisor::{advise, estimated_costs, QueryEstimates};
 pub use algorithms::{run, CancelToken, Driver, JoinAlgorithm, TaskSet};
 pub use cache::{query_fingerprint, BloomCache, BloomKey};
 pub use estimation::{run_auto, sample_stats, SampledStats};
@@ -44,6 +47,7 @@ pub use query::HybridQuery;
 pub use skew::{SaltCursors, SaltRouter};
 pub use stats::{JoinSummary, RunOutput};
 pub use system::{
-    batch_rows_from_env, mem_budget_from_env, parse_mem_budget, threads_from_env, HybridSystem,
-    SystemConfig, ZigzagReaccess, DEFAULT_BATCH_ROWS,
+    batch_rows_from_env, mem_budget_from_env, parse_mem_budget, parse_replan_threshold,
+    replan_threshold_from_env, threads_from_env, HybridSystem, SystemConfig, ZigzagReaccess,
+    DEFAULT_BATCH_ROWS,
 };

@@ -100,6 +100,17 @@ pub struct SystemConfig {
     /// `HYBRID_MEM_BUDGET` env var (integer bytes with an optional
     /// `k`/`m`/`g` suffix; unset or `unbounded` = `None`).
     pub mem_budget_bytes: Option<u64>,
+    /// Divergence ratio that arms the mid-query replan controller
+    /// ([`crate::adapt`]). `None` (the default) disables adaptation
+    /// entirely — every run is byte-identical to the pre-adaptive system.
+    /// `Some(r)` (must be `> 1.0`) compares observed cardinalities,
+    /// selectivities, and shuffle skew against the advisor's
+    /// `QueryEstimates` at phase boundaries; when the worst estimate is
+    /// off by more than a factor of `r`, the controller re-costs the
+    /// remaining work and may abandon the running plan for a cheaper one.
+    /// Defaults from the `HYBRID_REPLAN_THRESHOLD` env var (a float, or
+    /// `off`/unset = `None`).
+    pub replan_threshold: Option<f64>,
 }
 
 /// Default fabric batch size (rows per data message).
@@ -157,6 +168,25 @@ pub fn mem_budget_from_env() -> Option<u64> {
         .and_then(|v| parse_mem_budget(&v))
 }
 
+/// Parse a replan divergence threshold: a finite float `> 1.0` (an estimate
+/// off by less than its own value is never "divergent"). Empty, `"off"`, or
+/// unparsable → `None` (adaptation disabled).
+pub fn parse_replan_threshold(s: &str) -> Option<f64> {
+    let s = s.trim().to_ascii_lowercase();
+    if s.is_empty() || s == "off" {
+        return None;
+    }
+    s.parse::<f64>().ok().filter(|r| r.is_finite() && *r > 1.0)
+}
+
+/// `HYBRID_REPLAN_THRESHOLD` env override, or `None` (adaptation off) when
+/// unset/`off`/invalid.
+pub fn replan_threshold_from_env() -> Option<f64> {
+    std::env::var("HYBRID_REPLAN_THRESHOLD")
+        .ok()
+        .and_then(|v| parse_replan_threshold(&v))
+}
+
 impl SystemConfig {
     /// A scaled-down version of the paper's 30+30 testbed.
     pub fn paper_shape(db_workers: usize, jen_workers: usize) -> SystemConfig {
@@ -175,6 +205,7 @@ impl SystemConfig {
             salt_buckets: None,
             batch_rows: batch_rows_from_env(),
             mem_budget_bytes: mem_budget_from_env(),
+            replan_threshold: replan_threshold_from_env(),
         }
     }
 
@@ -213,6 +244,13 @@ impl SystemConfig {
             return Err(HybridError::config(
                 "mem_budget_bytes must be positive (use None for unbounded)",
             ));
+        }
+        if let Some(r) = self.replan_threshold {
+            if !r.is_finite() || r <= 1.0 {
+                return Err(HybridError::config(
+                    "replan_threshold must be a finite ratio > 1.0 (use None for off)",
+                ));
+            }
         }
         Ok(())
     }
@@ -541,6 +579,28 @@ mod tests {
         let mut cfg = SystemConfig::paper_shape(1, 1);
         cfg.mem_budget_bytes = Some(1 << 20);
         assert!(HybridSystem::new(cfg).is_ok());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.replan_threshold = Some(1.0);
+        assert!(HybridSystem::new(cfg).is_err());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.replan_threshold = Some(f64::NAN);
+        assert!(HybridSystem::new(cfg).is_err());
+        let mut cfg = SystemConfig::paper_shape(1, 1);
+        cfg.replan_threshold = Some(1.5);
+        assert!(HybridSystem::new(cfg).is_ok());
+    }
+
+    #[test]
+    fn replan_threshold_parsing() {
+        assert_eq!(parse_replan_threshold("off"), None);
+        assert_eq!(parse_replan_threshold(""), None);
+        assert_eq!(parse_replan_threshold("nonsense"), None);
+        assert_eq!(parse_replan_threshold("1.0"), None); // not > 1
+        assert_eq!(parse_replan_threshold("0.5"), None);
+        assert_eq!(parse_replan_threshold("inf"), None);
+        assert_eq!(parse_replan_threshold("1.5"), Some(1.5));
+        assert_eq!(parse_replan_threshold(" 2 "), Some(2.0));
+        assert_eq!(parse_replan_threshold("OFF"), None);
     }
 
     #[test]

@@ -24,14 +24,19 @@
 //! * [`model::CostModel::estimate`] composes per-phase times the way the
 //!   real engines overlap them: scanning ∥ shuffling ∥ hash-building inside
 //!   JEN (Fig. 7), pipelined sends, and the zigzag join's deliberately
-//!   sequential `BF_H` round-trip.
+//!   sequential `BF_H` round-trip;
+//! * [`replan::SunkWork`] + [`model::CostModel::estimate_remaining`] cost a
+//!   mid-query restart at paper scale: the same model over a residual
+//!   summary with the aborted attempt's sunk volumes zeroed.
 
 pub mod cluster;
 pub mod model;
 pub mod overlap;
+pub mod replan;
 pub mod scale;
 
 pub use cluster::ClusterSpec;
 pub use model::{CostBreakdown, CostModel, Phase};
 pub use overlap::OverlapProfile;
+pub use replan::{replan_break_even, SunkWork};
 pub use scale::ScaleFactors;

@@ -474,6 +474,46 @@ impl<M: Wire> Fabric<M> {
         })
     }
 
+    /// Derive a handle over a *fresh* inbox namespace that keeps this
+    /// handle's metering plane(s). Where [`Fabric::namespace`] opens a new
+    /// accounting domain (fresh plane, always double-metered into the
+    /// root), a subnamespace is the *same query continuing under a new
+    /// stream identity*: traffic is metered exactly as it would be on the
+    /// parent handle, so the conservation law (root totals = Σ sessions)
+    /// holds across a mid-query restart. The fresh namespace still buys
+    /// everything a restart needs — private inboxes (no cross-talk with
+    /// the abandoned attempt's in-flight messages), fresh chaos fault
+    /// rolls (the namespace is hashed into every decision), and a fresh
+    /// dedup space. Call [`Fabric::remove_namespace`] on the returned
+    /// handle when the restarted attempt finishes.
+    pub fn subnamespace(&self, ns: u64) -> Result<Fabric<M>> {
+        if ns == 0 {
+            return Err(HybridError::Net("namespace 0 is the root fabric".into()));
+        }
+        if ns == self.ns {
+            return Err(HybridError::Net(
+                "a subnamespace must differ from its parent".into(),
+            ));
+        }
+        let mut inboxes = self.inner.inboxes.write();
+        if inboxes.contains_key(&(ns, Endpoint::JenCoordinator)) {
+            return Err(HybridError::Net(format!("fabric namespace {ns} in use")));
+        }
+        Self::insert_namespace_inboxes(
+            &mut inboxes,
+            ns,
+            self.inner.num_db,
+            self.inner.num_jen,
+            self.inner.capacity,
+        );
+        Ok(Fabric {
+            inner: Arc::clone(&self.inner),
+            ns,
+            plane: Arc::clone(&self.plane),
+            extra_root: self.extra_root,
+        })
+    }
+
     /// Drop this handle's namespace: its inboxes (and any undelivered
     /// messages in them) disappear from the fabric. No-op on the root.
     pub fn remove_namespace(&self) {
@@ -1272,6 +1312,63 @@ mod tests {
         // the id is free again, and the root was never affected
         assert!(f.namespace(9, Metrics::new()).is_ok());
         assert!(f.receiver(j0).is_ok());
+    }
+
+    #[test]
+    fn subnamespace_keeps_parent_metering_plane() {
+        let root_metrics = Metrics::new();
+        let f: Fabric<Msg> = Fabric::new(1, 1, root_metrics.clone());
+        let session_metrics = Metrics::new();
+        let session = f.namespace(1, session_metrics.clone()).unwrap();
+        let replan = session.subnamespace((1 << 48) | (1 << 8) | 1).unwrap();
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        let j0 = Endpoint::Jen(JenWorkerId(0));
+        let msg = |bytes| Msg { bytes, tuples: 1 };
+        session.send(db0, j0, msg(100)).unwrap();
+        replan.send(db0, j0, msg(40)).unwrap();
+        // replan traffic lands in the session's plane (once) and the root
+        // plane (once) — exactly like the parent handle, so the
+        // conservation law (root = Σ sessions) survives a restart
+        assert_eq!(session_metrics.get("net.cross.bytes"), 140);
+        assert_eq!(root_metrics.get("net.cross.bytes"), 140);
+        // inboxes are still private per namespace
+        assert!(session.recv_timeout(j0, Duration::from_millis(20)).is_ok());
+        assert!(replan.recv_timeout(j0, Duration::from_secs(1)).is_ok());
+        replan.remove_namespace();
+        assert!(replan.receiver(j0).is_err(), "replan inboxes are gone");
+        assert!(session.receiver(j0).is_ok(), "parent namespace survives");
+    }
+
+    #[test]
+    fn subnamespace_from_root_meters_once() {
+        let root_metrics = Metrics::new();
+        let f: Fabric<Msg> = Fabric::new(1, 1, root_metrics.clone());
+        let replan = f.subnamespace(1 << 48).unwrap();
+        replan
+            .send(
+                Endpoint::Db(DbWorkerId(0)),
+                Endpoint::Jen(JenWorkerId(0)),
+                Msg {
+                    bytes: 7,
+                    tuples: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(root_metrics.get("net.cross.bytes"), 7);
+        assert_eq!(root_metrics.get("net.cross.msgs"), 1);
+        replan.remove_namespace();
+    }
+
+    #[test]
+    fn subnamespace_rejects_root_parent_and_in_use_ids() {
+        let f = fabric();
+        assert!(f.subnamespace(0).is_err(), "0 is the root");
+        let session = f.namespace(5, Metrics::new()).unwrap();
+        assert!(session.subnamespace(5).is_err(), "parent id");
+        let replan = session.subnamespace(6).unwrap();
+        assert!(session.subnamespace(6).is_err(), "6 is in use");
+        replan.remove_namespace();
+        assert!(session.subnamespace(6).is_ok(), "id free after removal");
     }
 
     #[test]

@@ -47,7 +47,7 @@ use hybrid_common::metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnaps
 use hybrid_common::schema::Schema;
 use hybrid_core::advisor::{advise, estimated_costs};
 use hybrid_core::stats::JoinSummary;
-use hybrid_core::{run, sample_stats, HybridQuery, HybridSystem, JoinAlgorithm};
+use hybrid_core::{run, run_adaptive, sample_stats, HybridQuery, HybridSystem, JoinAlgorithm};
 use parking_lot::{RwLock, RwLockReadGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -224,6 +224,8 @@ impl QueryService {
             "svc.timed_out",
             "svc.failed",
             "svc.retries",
+            "svc.replans",
+            "svc.replan_considered",
         ] {
             metrics.register(name);
         }
@@ -323,7 +325,7 @@ impl QueryService {
         // a bounded pool is split evenly across the in-flight bound, then
         // across the JEN workers — so a tight budget steers the advice
         // toward plans that spill less.
-        let (algorithm, estimated_cost) = {
+        let (algorithm, estimated_cost, est) = {
             let sys = self.root.read();
             let stats = sample_stats(&sys, &req.query, self.cfg.sample_blocks)?;
             let mem_pw = sys.mem_pool.total().map(|t| {
@@ -334,7 +336,7 @@ impl QueryService {
             let costs = estimated_costs(&est);
             let algorithm = req.algorithm.unwrap_or_else(|| advise(&est));
             let cost = costs.iter().find(|(a, _)| *a == algorithm).map(|&(_, c)| c);
-            (algorithm, cost)
+            (algorithm, cost, est)
         };
 
         // Admission: blocks until a slot is granted, the queue is full, or
@@ -401,7 +403,17 @@ impl QueryService {
                 let mut session = self.root.read().session(session_seq + 1)?;
                 // every attempt joins under this query's memory grant
                 session.query_budget = mem_grant.clone();
-                let out = run(&mut session, &req.query, algorithm);
+                // With `replan_threshold` set, the session run goes through
+                // the adaptive controller armed with the same sampled
+                // estimates the scheduler priced the query with — one
+                // admission slot and one memory grant cover the whole
+                // attempt, mid-query restart included. Threshold unset is
+                // plain `run`, byte for byte.
+                let out = if session.config.replan_threshold.is_some() {
+                    run_adaptive(&mut session, &req.query, algorithm, &est)
+                } else {
+                    run(&mut session, &req.query, algorithm)
+                };
                 session.close_session();
                 out
             })();
@@ -428,6 +440,25 @@ impl QueryService {
                 return Err(ServiceError::Exec(e));
             }
         };
+
+        // Mirror the session's adaptive-execution counters to the root
+        // registry (summed across queries), so fleet-level reports see the
+        // replan activity without walking per-query snapshots. The
+        // est-error gauges accumulate; divide by executions for a mean.
+        for (session_name, root_name) in [
+            ("advisor.replans", "svc.replans"),
+            ("advisor.replan_considered", "svc.replan_considered"),
+            ("advisor.est_error_x1000.scan", "svc.est_error_x1000.scan"),
+            ("advisor.est_error_x1000.bloom", "svc.est_error_x1000.bloom"),
+            (
+                "advisor.est_error_x1000.shuffle",
+                "svc.est_error_x1000.shuffle",
+            ),
+        ] {
+            if let Some(&v) = out.snapshot.get(session_name) {
+                self.metrics.add(root_name, v);
+            }
+        }
 
         let exec_time = exec_start.elapsed();
         let latency = start.elapsed();

@@ -29,7 +29,10 @@
 use hybrid_common::error::HybridError;
 use hybrid_common::hash::splitmix64;
 use hybrid_core::reference::run_reference;
-use hybrid_core::{run, FaultSpec, FaultTarget, HybridSystem, JoinAlgorithm, SystemConfig};
+use hybrid_core::{
+    run, run_adaptive, sample_stats, FaultSpec, FaultTarget, HybridQuery, HybridSystem,
+    JoinAlgorithm, QueryEstimates, SystemConfig,
+};
 use hybrid_datagen::{Workload, WorkloadSpec};
 use hybrid_service::{QueryRequest, QueryService, ServiceConfig};
 use hybrid_storage::FileFormat;
@@ -626,5 +629,237 @@ fn conservation_law_holds_under_duplication_and_reordering() {
     assert!(
         root.get("net.chaos.deduped") <= root.get("net.chaos.duplicated"),
         "more dedups than injected duplicates"
+    );
+}
+
+/// The mis-estimable workload for the replan chaos cells: join-key
+/// selectivity 0.05 makes a Bloom-consuming restart decisively cheaper,
+/// so corrupted estimates (`SL' = ST' = 1`) reliably trigger a replan at
+/// the observation point.
+fn replan_workload() -> Workload {
+    let mut spec = WorkloadSpec::tiny();
+    spec.t_rows = 400;
+    spec.l_rows = 1600;
+    spec.sl = 0.05;
+    spec.generate().unwrap()
+}
+
+/// Honest sampled estimates with the join-key selectivities corrupted to
+/// 1.0 — the same deliberate mis-estimate the adaptive differential suite
+/// and `bench_baseline` pin, guaranteeing the observation point fires.
+fn corrupted_estimates(sys: &HybridSystem, query: &HybridQuery) -> QueryEstimates {
+    let mut est = sample_stats(sys, query, 8).unwrap().to_estimates(
+        query,
+        sys.config.jen_workers,
+        sys.mem_budget_per_worker(),
+    );
+    est.st = 1.0;
+    est.sl = 1.0;
+    est
+}
+
+/// Kills landing exactly on the replan machinery's seams: at the
+/// observation point's input steps (prescan scan on either cluster) and
+/// inside the restarted plan after the replan decision. Every cell must
+/// surface the typed kill or the bit-identical answer — and either way
+/// leave no orphaned spill files and no leaked memory grant.
+#[test]
+fn kill_at_observation_point_and_mid_replan_restart_is_leak_free() {
+    let workload = replan_workload();
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+    let alg = JoinAlgorithm::Repartition { bloom: false };
+
+    // Step ordinals count per task-set *per run_pair*: the prescan is one
+    // pair (jen ordinal 0 = the observed scan), the restarted plan is a
+    // second pair whose ordinals restart at 0 — so ordinal 0 kills land in
+    // the prescan and ordinals ≥ 1 can only fire mid-restart.
+    let cells: [(&str, FaultTarget, usize, usize); 6] = [
+        ("jen killed at the observation scan", FaultTarget::Jen, 0, 0),
+        ("db killed at the prescan scan", FaultTarget::Db, 0, 0),
+        (
+            "jen killed mid-restart (BF_H merge)",
+            FaultTarget::Jen,
+            1,
+            1,
+        ),
+        (
+            "jen killed mid-restart (recv/build)",
+            FaultTarget::Jen,
+            0,
+            2,
+        ),
+        ("db killed mid-restart", FaultTarget::Db, 1, 1),
+        // Ordinal 3 is the restarted plan's probe: every worker has
+        // already built (and under the tiny budget, spilled) — the kill
+        // unwinds workers still holding spill runs on disk.
+        (
+            "jen killed at the spill-probe boundary",
+            FaultTarget::Jen,
+            2,
+            3,
+        ),
+    ];
+    let mut spilled_any = false;
+    for (label, target, worker, step) in cells {
+        let faults = FaultSpec::quiet(3).with_kill(target, worker, step);
+        let mut cfg = chaos_config(1, faults);
+        cfg.replan_threshold = Some(1.5);
+        // A tiny build budget makes the restarted plan spill, so the
+        // no-orphans invariant is exercised on the abandoned-and-restarted
+        // path, not vacuously true.
+        cfg.jen_memory_limit_rows = Some(8);
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let est = corrupted_estimates(&sys, &query);
+
+        match run_adaptive(&mut sys, &query, alg, &est) {
+            Ok(out) => assert_eq!(out.result, expected, "{label}: survived run diverged"),
+            Err(e) => {
+                let endpoint = format!("{}-worker-{worker}", target.label());
+                assert_eq!(
+                    e,
+                    HybridError::Disconnected {
+                        endpoint,
+                        stream: None,
+                    },
+                    "{label}: kill surfaced untyped"
+                );
+            }
+        }
+        if step == 0 {
+            assert_eq!(
+                sys.metrics.get("advisor.replans"),
+                0,
+                "{label}: a kill before the observation point cannot have replanned"
+            );
+        } else {
+            assert_eq!(
+                sys.metrics.get("advisor.replans"),
+                1,
+                "{label}: the kill must land after the replan decision"
+            );
+        }
+        let created = sys.metrics.get("jen.spill.files_created");
+        let removed = sys.metrics.get("jen.spill.files_removed");
+        assert_eq!(
+            created,
+            removed,
+            "{label}: orphaned {} spill partition file(s)",
+            created - removed
+        );
+        spilled_any |= created > 0;
+        assert_eq!(
+            sys.mem_pool.used(),
+            0,
+            "{label}: abandoned plan leaked a memory grant"
+        );
+    }
+    assert!(
+        spilled_any,
+        "at least one cell must exercise real spill activity"
+    );
+}
+
+/// Message drops landing on the observation point's own traffic: a
+/// Bloom-using plan's prescan multicasts `BF_DB` across the fabric, so a
+/// drop plan stresses exactly the streams the controller's observation
+/// depends on. Typed-or-bit-match, and the replan counters must stay
+/// coherent (a drop can never fake a replan).
+#[test]
+fn dropped_observation_traffic_is_typed_or_recovered() {
+    let workload = replan_workload();
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+
+    for seed in [5u64, 23, 71] {
+        let faults = FaultSpec::quiet(seed).with_drops(0.3);
+        let mut cfg = chaos_config(1, faults);
+        cfg.replan_threshold = Some(1.5);
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+        let est = corrupted_estimates(&sys, &query);
+
+        match run_adaptive(
+            &mut sys,
+            &query,
+            JoinAlgorithm::Repartition { bloom: true },
+            &est,
+        ) {
+            Ok(out) => assert_eq!(out.result, expected, "seed {seed}: recovered run diverged"),
+            Err(e) => assert_typed(&e, seed, JoinAlgorithm::Repartition { bloom: true }, 1),
+        }
+        assert!(
+            sys.metrics.get("advisor.replans") <= 1,
+            "seed {seed}: replans must stay structurally ≤ 1"
+        );
+        assert_eq!(
+            sys.metrics.get("jen.spill.files_created"),
+            sys.metrics.get("jen.spill.files_removed"),
+            "seed {seed}: dropped-traffic run orphaned spill files"
+        );
+    }
+}
+
+/// The fabric conservation law survives mid-query replans: a restarted
+/// plan runs in a *sub*-namespace of its session, and every byte/message
+/// it moves must still be double-entered into both the session snapshot
+/// and the root totals — root = Σ sessions, replans included. Each
+/// session here provably replans (corrupted estimates) under a 50%
+/// duplication + reordering mix.
+#[test]
+fn conservation_law_survives_mid_query_replans() {
+    let workload = replan_workload();
+    let query = workload.query();
+    let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
+
+    let faults = FaultSpec::quiet(17).with_dups(0.5).with_reorders(0.5);
+    let mut cfg = chaos_config(1, faults);
+    cfg.replan_threshold = Some(1.5);
+    let mut root = HybridSystem::new(cfg).unwrap();
+    workload.load_into(&mut root, FileFormat::Columnar).unwrap();
+    let est = corrupted_estimates(&root, &query);
+
+    let mut snapshots = Vec::new();
+    for i in 0..4u64 {
+        let mut session = root.session(i + 1).unwrap();
+        let out = run_adaptive(
+            &mut session,
+            &query,
+            JoinAlgorithm::Repartition { bloom: false },
+            &est,
+        )
+        .unwrap();
+        assert_eq!(out.result, expected, "session {i}: replanned run diverged");
+        assert_eq!(
+            session.metrics.get("advisor.replans"),
+            1,
+            "session {i}: the mis-estimate must force a replan"
+        );
+        session.close_session();
+        snapshots.push(out.snapshot);
+    }
+
+    let root_metrics = &root.metrics;
+    for name in [
+        "net.cross.bytes",
+        "net.cross.msgs",
+        "net.chaos.duplicated",
+        "net.chaos.reordered",
+        "net.chaos.deduped",
+    ] {
+        let session_sum: u64 = snapshots
+            .iter()
+            .map(|s| s.get(name).copied().unwrap_or(0))
+            .sum();
+        assert_eq!(
+            root_metrics.get(name),
+            session_sum,
+            "conservation law violated for {name} across replanned sessions"
+        );
+    }
+    assert!(
+        root_metrics.get("net.chaos.duplicated") > 0,
+        "the 50% mix must actually inject faults into the replanned runs"
     );
 }

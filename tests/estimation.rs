@@ -55,9 +55,11 @@ fn sampled_selectivities_near_ground_truth() {
 fn run_auto_returns_correct_result() {
     let (mut sys, workload) = system(WorkloadSpec::tiny());
     let query = workload.query();
-    let (choice, out) = run_auto(&mut sys, &query).unwrap();
+    let (choice, out, stats) = run_auto(&mut sys, &query).unwrap();
     let expected = run_reference(&workload.t, &workload.l, &query).unwrap();
     assert_eq!(out.result, expected, "auto-chosen {choice} diverged");
+    // the sampling pass's stats ride along for estimate-vs-actual audits
+    assert!(stats.sigma_t > 0.0 && stats.sigma_l > 0.0);
 }
 
 #[test]
@@ -73,7 +75,7 @@ fn run_auto_prefers_broadcast_for_tiny_t_prime() {
         ..WorkloadSpec::tiny()
     };
     let (mut sys, workload) = system(spec);
-    let (choice, _) = run_auto(&mut sys, &workload.query()).unwrap();
+    let (choice, _, _) = run_auto(&mut sys, &workload.query()).unwrap();
     assert_eq!(choice, JoinAlgorithm::Broadcast, "tiny T' should broadcast");
 }
 
@@ -90,7 +92,7 @@ fn run_auto_prefers_db_side_for_tiny_l_prime() {
         ..WorkloadSpec::tiny()
     };
     let (mut sys, workload) = system(spec);
-    let (choice, _) = run_auto(&mut sys, &workload.query()).unwrap();
+    let (choice, _, _) = run_auto(&mut sys, &workload.query()).unwrap();
     assert!(
         matches!(choice, JoinAlgorithm::DbSide { .. }),
         "tiny L' should run in the database, chose {choice}"

@@ -9,7 +9,8 @@
 
 use hybrid_common::expr::Expr;
 use hybrid_core::{
-    run, threads_from_env, HybridQuery, HybridSystem, JoinAlgorithm, RunOutput, SystemConfig,
+    run_adaptive, sample_stats, threads_from_env, HybridQuery, HybridSystem, JoinAlgorithm,
+    RunOutput, SystemConfig,
 };
 use hybrid_datagen::tables::l_cols;
 use hybrid_datagen::{Workload, WorkloadSpec};
@@ -59,11 +60,22 @@ fn eight_clients_no_cross_query_bleed() {
     let queries = vec![w.query(), variant(&w, th - 1), variant(&w, th - 2)];
     let algorithms = JoinAlgorithm::paper_variants();
 
-    // Single-query ground truth: each (query, algorithm) on its own system.
+    // Single-query ground truth: each (query, algorithm) on its own
+    // system, executed through the same adaptive entry point as a service
+    // session with the same sampled estimates — byte-identical to a plain
+    // `run` when `HYBRID_REPLAN_THRESHOLD` is unset, and carrying the
+    // identical observation metering when the CI adaptive matrix arms it.
+    let sample_blocks = ServiceConfig::default().sample_blocks;
     let mut reference: HashMap<(usize, JoinAlgorithm), RunOutput> = HashMap::new();
     for (qi, q) in queries.iter().enumerate() {
         for &alg in &algorithms {
-            let out = run(&mut fresh_system(&w), q, alg).unwrap();
+            let mut sys = fresh_system(&w);
+            let est = sample_stats(&sys, q, sample_blocks).unwrap().to_estimates(
+                q,
+                sys.config.jen_workers,
+                None,
+            );
+            let out = run_adaptive(&mut sys, q, alg, &est).unwrap();
             assert!(out.result.num_rows() > 0, "degenerate workload");
             reference.insert((qi, alg), out);
         }
