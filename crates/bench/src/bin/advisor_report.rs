@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sigma_l,
             st: 0.2,
             sl: 0.1,
-            ..base
+            ..base.clone()
         };
         let mut exp = ExpSystem::build(spec, FileFormat::Columnar)?;
         let advised = advise(&exp.workload.estimates(30));

@@ -22,7 +22,13 @@
 //!   under estimates corrupted to claim the Bloom filter is useless over a
 //!   workload where it eliminates ~95% of L', asserting **exactly one**
 //!   mid-query replan, a bit-identical result, and an adaptive wall clock
-//!   (min-of-3) no slower than the non-adaptive mis-chosen plan.
+//!   (min-of-3) no slower than the non-adaptive mis-chosen plan;
+//! * the multiway demonstration the star-join work is gated on: a pinned
+//!   3-dimension star sized so every cascade step prefers hash routing
+//!   (the decaying intermediate re-shuffles three times), run under all
+//!   three planners, asserting bit-identical results across plan
+//!   families, the advisor choosing the hypercube, and the hypercube's
+//!   **measured** shuffle volume strictly below the best cascade's.
 //!
 //! * `--emit PATH` writes the collected counters as JSON — commit the
 //!   output as `BENCH_baseline.json` to (re-)bless the baseline.
@@ -43,8 +49,12 @@
 //! ```
 
 use hybrid_bench::{default_system_config, ExpSystem};
-use hybrid_core::{run, run_adaptive, sample_stats, JoinAlgorithm, SystemConfig};
-use hybrid_datagen::{KeySkew, WorkloadSpec};
+use hybrid_core::{
+    best_cascade, best_hypercube, run, run_adaptive, run_star, sample_stats, JoinAlgorithm,
+    MultiwayPlanner, SystemConfig,
+};
+use hybrid_costmodel::{cascade_shuffle_bytes, hypercube_shuffle_bytes};
+use hybrid_datagen::{DimSpec, KeySkew, WorkloadSpec};
 use hybrid_storage::FileFormat;
 use std::collections::BTreeMap;
 
@@ -74,6 +84,21 @@ const MIN_IMPROVEMENT_X10: u64 = 15; // salted must be >= 1.5x more balanced
 /// estimates corrupted to SL' = 1 are off by 20× — far past 1.5.
 const REPLAN_DEMO_SL: f64 = 0.05;
 const REPLAN_DEMO_THRESHOLD: f64 = 1.5;
+
+/// The multiway demonstration's pinned star shape. The fact is L' =
+/// 100 000 × σL 0.4 = 40 000 rows × 52 B ≈ 2.08 MB; each dimension
+/// selects 7 000 rows × 12 B = 84 KB ≈ 4% of the fact. That ratio sits in
+/// the window where (a) every cascade step prices hash routing below
+/// broadcast (dim · (n-1) · EXPORT > INTRA · intermediate), so the best
+/// cascade re-ships the decaying intermediate three times, and (b) the
+/// one-shot hypercube — fact routed once, each dimension replicated to
+/// its 4-worker axis slice of the 2×2×2 grid — undercuts it on *measured*
+/// bytes by ~2×, which the gate asserts. High FK correlation (0.925 pass
+/// fraction per step) keeps the intermediate from shrinking, the regime
+/// the paper's Shares analysis favours.
+const STAR_DIM_ROWS: usize = 14_000;
+const STAR_DIM_SIGMA: f64 = 0.5;
+const STAR_FK_CORRELATION: f64 = 0.85;
 
 type Counters = BTreeMap<String, u64>;
 
@@ -106,7 +131,7 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
         seed: SEED,
         ..WorkloadSpec::tiny()
     };
-    let mut exp = ExpSystem::build_with(spec, FileFormat::Columnar, pinned_config())?;
+    let mut exp = ExpSystem::build_with(spec.clone(), FileFormat::Columnar, pinned_config())?;
     for alg in all_algorithms() {
         let m = exp.run(alg)?;
         let p = alg.name();
@@ -143,8 +168,9 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
     };
     let mut cfg = pinned_config();
     cfg.batch_rows = 1;
-    let mut tuple_sys = ExpSystem::build_with(batch_spec, FileFormat::Columnar, cfg)?;
-    let mut batched_sys = ExpSystem::build_with(batch_spec, FileFormat::Columnar, pinned_config())?;
+    let mut tuple_sys = ExpSystem::build_with(batch_spec.clone(), FileFormat::Columnar, cfg)?;
+    let mut batched_sys =
+        ExpSystem::build_with(batch_spec.clone(), FileFormat::Columnar, pinned_config())?;
     let alg = JoinAlgorithm::Repartition { bloom: false };
     let tuple_m = tuple_sys.run(alg)?;
     let batched_m = batched_sys.run(alg)?;
@@ -187,7 +213,7 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
     };
     let mut cfg = pinned_config();
     cfg.threads = 8;
-    let mut unsalted = ExpSystem::build_with(skew_spec, FileFormat::Columnar, cfg.clone())?;
+    let mut unsalted = ExpSystem::build_with(skew_spec.clone(), FileFormat::Columnar, cfg.clone())?;
     cfg.salt_buckets = Some(SALT_BUCKETS);
     let mut salted = ExpSystem::build_with(skew_spec, FileFormat::Columnar, cfg)?;
 
@@ -328,7 +354,8 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
     // filter would have eliminated — the exact waste the replan recovers —
     // while leaving the (identical) scan work on both sides untouched.
     cfg.batch_rows = 64;
-    let mut plain_sys = ExpSystem::build_with(adapt_spec, FileFormat::Columnar, cfg.clone())?;
+    let mut plain_sys =
+        ExpSystem::build_with(adapt_spec.clone(), FileFormat::Columnar, cfg.clone())?;
     cfg.replan_threshold = Some(REPLAN_DEMO_THRESHOLD);
     let mut adaptive_sys = ExpSystem::build_with(adapt_spec, FileFormat::Columnar, cfg)?;
     let alg = JoinAlgorithm::Repartition { bloom: false };
@@ -403,6 +430,124 @@ fn measure() -> Result<Counters, Box<dyn std::error::Error>> {
          claiming SL'=1 — {replans} replan, {:?} adaptive vs {:?} non-adaptive, \
          identical results",
         adaptive_wall, plain_wall
+    );
+
+    // --- the multiway demonstration the star-join work is gated on ---
+    // The pinned 3-dimension star (see STAR_* above) under all three
+    // planners on one system. Sequential execution and a pinned batch
+    // size keep every volume counter schedule-independent.
+    let star_spec = WorkloadSpec {
+        seed: SEED,
+        l_rows: 100_000,
+        dimensions: vec![
+            DimSpec {
+                rows: STAR_DIM_ROWS,
+                sigma: STAR_DIM_SIGMA,
+                fk_correlation: STAR_FK_CORRELATION,
+                skew: KeySkew::Uniform,
+            };
+            3
+        ],
+        ..WorkloadSpec::tiny()
+    };
+    let mut cfg = SystemConfig::paper_shape(3, 8);
+    cfg.mem_budget_bytes = None;
+    cfg.replan_threshold = None;
+    cfg.threads = 1;
+    cfg.batch_rows = 4096;
+    let mut star_sys = ExpSystem::build_with(star_spec, FileFormat::Columnar, cfg)?;
+    let star = star_sys.workload.star_query();
+    let mut runs = Vec::new();
+    for planner in [
+        MultiwayPlanner::Cascade,
+        MultiwayPlanner::Hypercube,
+        MultiwayPlanner::Auto,
+    ] {
+        let started = std::time::Instant::now();
+        let out = run_star(&mut star_sys.system, &star, planner)?;
+        runs.push((planner, out, started.elapsed()));
+    }
+    let (casc, hyp, auto) = (&runs[0].1, &runs[1].1, &runs[2].1);
+    if casc.result != hyp.result || casc.result != auto.result {
+        return Err("star plan families disagree on the query result".into());
+    }
+    let snap =
+        |out: &hybrid_core::RunOutput, name: &str| out.snapshot.get(name).copied().unwrap_or(0);
+    if snap(auto, "advisor.multiway.chose_hypercube") != 1
+        || snap(auto, "advisor.multiway.ran_hypercube") != 1
+    {
+        return Err(format!(
+            "advisor must pick the hypercube on the pinned star (priced cascade {} \
+             vs hypercube {})",
+            snap(auto, "advisor.multiway.cost.cascade"),
+            snap(auto, "advisor.multiway.cost.hypercube"),
+        )
+        .into());
+    }
+    let casc_bytes = snap(casc, "multiway.shuffle.bytes");
+    let hyp_bytes = snap(hyp, "multiway.shuffle.bytes");
+    if hyp_bytes == 0 || hyp_bytes >= casc_bytes {
+        return Err(format!(
+            "hypercube must measure strictly less shuffle volume than the best \
+             cascade, got {hyp_bytes} vs {casc_bytes} bytes"
+        )
+        .into());
+    }
+    c.insert(
+        "multiway.star.result_rows".into(),
+        casc.result.num_rows() as u64,
+    );
+    for (name, out) in [("cascade", casc), ("hypercube", hyp)] {
+        c.insert(
+            format!("multiway.{name}.shuffle_tuples"),
+            snap(out, "multiway.shuffle.tuples"),
+        );
+        c.insert(
+            format!("multiway.{name}.shuffle_bytes"),
+            snap(out, "multiway.shuffle.bytes"),
+        );
+    }
+    c.insert(
+        "multiway.cascade.wall_ms".into(),
+        runs[0].2.as_millis() as u64,
+    );
+    c.insert(
+        "multiway.hypercube.wall_ms".into(),
+        runs[1].2.as_millis() as u64,
+    );
+    c.insert(
+        "multiway.advisor.cost_cascade".into(),
+        snap(auto, "advisor.multiway.cost.cascade"),
+    );
+    c.insert(
+        "multiway.advisor.cost_hypercube".into(),
+        snap(auto, "advisor.multiway.cost.hypercube"),
+    );
+    c.insert(
+        "multiway.advisor.chose_hypercube".into(),
+        snap(auto, "advisor.multiway.chose_hypercube"),
+    );
+    // Analytic predictions from the spec — pure functions of the pinned
+    // workload, frozen so cost-model drift shows up as a baseline diff.
+    let est = star_sys
+        .workload
+        .star_estimates(star_sys.system.config.jen_workers);
+    let (steps, _) = best_cascade(&est);
+    let (shares, _) = best_hypercube(&est);
+    c.insert(
+        "multiway.predicted.cascade_bytes".into(),
+        cascade_shuffle_bytes(&est, &steps).total_bytes(),
+    );
+    c.insert(
+        "multiway.predicted.hypercube_bytes".into(),
+        hypercube_shuffle_bytes(&est, &shares).total_bytes(),
+    );
+    println!(
+        "multiway demo: 3-dim star, advisor chose hypercube ({} vs {}) — \
+         measured shuffle {hyp_bytes} B hypercube vs {casc_bytes} B best cascade, \
+         identical results across plan families",
+        snap(auto, "advisor.multiway.cost.hypercube"),
+        snap(auto, "advisor.multiway.cost.cascade"),
     );
     Ok(c)
 }

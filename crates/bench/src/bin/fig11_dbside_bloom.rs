@@ -23,7 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rows = Vec::new();
         let mut benefits = Vec::new();
         for sigma_l in [0.001, 0.01, 0.1, 0.2] {
-            let ms = run_config(base, sigma_t, sigma_l, 0.2, sl, FileFormat::Columnar, &ALGS)?;
+            let ms = run_config(
+                base.clone(),
+                sigma_t,
+                sigma_l,
+                0.2,
+                sl,
+                FileFormat::Columnar,
+                &ALGS,
+            )?;
             let (plain, bf) = (ms[0].cost.total_s, ms[1].cost.total_s);
             benefits.push(plain / bf);
             rows.push(vec![

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut db_wins_selective = true;
         for sigma_l in [0.001, 0.01, 0.1, 0.2] {
             let ms = run_config(
-                base,
+                base.clone(),
                 sigma_t,
                 sigma_l,
                 0.2,

@@ -22,10 +22,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rows = Vec::new();
         let mut all_faster = true;
         for sigma_l in [0.001, 0.01, 0.1, 0.2] {
-            let text =
-                run_config(base, 0.1, sigma_l, 0.2, 0.1, FileFormat::Text, &[alg])?[0].clone();
-            let parquet =
-                run_config(base, 0.1, sigma_l, 0.2, 0.1, FileFormat::Columnar, &[alg])?[0].clone();
+            let text = run_config(
+                base.clone(),
+                0.1,
+                sigma_l,
+                0.2,
+                0.1,
+                FileFormat::Text,
+                &[alg],
+            )?[0]
+                .clone();
+            let parquet = run_config(
+                base.clone(),
+                0.1,
+                sigma_l,
+                0.2,
+                0.1,
+                FileFormat::Columnar,
+                &[alg],
+            )?[0]
+                .clone();
             all_faster &= parquet.cost.total_s < text.cost.total_s;
             rows.push(vec![
                 format!("sigma_L={sigma_l}"),

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut zigzag_best = true;
     let mut bf_gain_text = Vec::new();
     for (sigma_l, st) in [(0.1, 0.05), (0.2, 0.1), (0.4, 0.2)] {
-        let ms = run_config(base, 0.2, sigma_l, st, 0.2, FileFormat::Text, &algs)?;
+        let ms = run_config(base.clone(), 0.2, sigma_l, st, 0.2, FileFormat::Text, &algs)?;
         let (rep, bf, zz) = (ms[0].cost.total_s, ms[1].cost.total_s, ms[2].cost.total_s);
         zigzag_best &= zz <= bf && zz <= rep;
         bf_gain_text.push(rep / bf);
@@ -52,10 +52,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut gain_text = Vec::new();
     let mut gain_parquet = Vec::new();
     for (sigma_l, st) in [(0.2, 0.1), (0.4, 0.2)] {
-        let t = run_config(base, 0.1, sigma_l, st, 0.1, FileFormat::Text, &algs[..2])?;
+        let t = run_config(
+            base.clone(),
+            0.1,
+            sigma_l,
+            st,
+            0.1,
+            FileFormat::Text,
+            &algs[..2],
+        )?;
         gain_text.push(t[0].cost.total_s / t[1].cost.total_s);
         let pq = run_config(
-            base,
+            base.clone(),
             0.1,
             sigma_l,
             st,
@@ -83,7 +91,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     let mut small_l_gain = 0.0f64;
     for sigma_l in [0.001, 0.01, 0.1, 0.2] {
-        let ms = run_config(base, 0.1, sigma_l, 0.2, 0.1, FileFormat::Text, &algs)?;
+        let ms = run_config(
+            base.clone(),
+            0.1,
+            sigma_l,
+            0.2,
+            0.1,
+            FileFormat::Text,
+            &algs,
+        )?;
         let gain = ms[0].cost.total_s / ms[1].cost.total_s;
         if sigma_l <= 0.001 {
             small_l_gain = gain;

@@ -26,7 +26,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut max_bf_over_zz = 0.0f64;
         let mut zigzag_always_best = true;
         for (sigma_l, st) in [(0.1, 0.05), (0.2, 0.1), (0.4, 0.2)] {
-            let ms = run_config(base, sigma_t, sigma_l, st, sl, FileFormat::Columnar, &ALGS)?;
+            let ms = run_config(
+                base.clone(),
+                sigma_t,
+                sigma_l,
+                st,
+                sl,
+                FileFormat::Columnar,
+                &ALGS,
+            )?;
             let (rep, bf, zz) = (ms[0].cost.total_s, ms[1].cost.total_s, ms[2].cost.total_s);
             zigzag_always_best &= zz <= bf && zz <= rep;
             max_rep_over_zz = max_rep_over_zz.max(rep / zz);

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rows = Vec::new();
         let mut zz_times = Vec::new();
         for &(st, sl) in &configs {
-            let ms = run_config(base, 0.1, 0.4, st, sl, FileFormat::Columnar, &ALGS)?;
+            let ms = run_config(base.clone(), 0.1, 0.4, st, sl, FileFormat::Columnar, &ALGS)?;
             zz_times.push(ms[2].cost.total_s);
             rows.push(vec![
                 format!("ST'={st} SL'={sl}"),

@@ -7,6 +7,7 @@
 //!        [--format columnar|text] [--scale tiny|small|default]
 //!        [--spill-limit ROWS] [--mem-budget BYTES] [--timeline PATH]
 //!        [--replan-threshold F|off] [--threads N] [--batch-rows N]
+//!        [--dims N] [--planner cascade|hypercube|auto]
 //!        [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]
 //! ```
 //!
@@ -57,6 +58,17 @@
 //! threads drive a mixed workload through the concurrent query service
 //! (see `svc_bench` for the dedicated benchmark with all its knobs).
 //!
+//! `--dims N` attaches `N` (1–3) dimension tables and runs the star
+//! query `L' ⋈ D0 ⋈ … ⋈ D(N-1)` through the multiway engine instead of a
+//! binary join; dimension cardinalities scale with `--scale` (each is
+//! `l_rows/40 + 100·i` rows at σ = 0.5, FK correlation 0.6 — the shape of
+//! `WorkloadSpec::tiny_star`). `--planner cascade|hypercube|auto` forces
+//! the plan family or lets the advisor price every left-deep cascade
+//! against the best full-grid hypercube (default: `auto`, or the
+//! `HYBRID_MULTIWAY_PLANNER` env). The report prints measured shuffle
+//! volume next to the cost model's analytic prediction so drift between
+//! the two is visible at a glance.
+//!
 //! `--chaos-seed N` (with optional `--fault-rate R`, default 0.05)
 //! installs the seeded fault plan from the chaos harness: deliveries are
 //! dropped/duplicated/delayed/reordered per the seed, sends retry with
@@ -67,8 +79,12 @@
 use hybrid_bench::report::{print_table, secs};
 use hybrid_bench::svc::{build_service_system, serve_workload, ServeOptions};
 use hybrid_bench::{default_system_config, ExpSystem};
-use hybrid_core::{parse_mem_budget, parse_replan_threshold, run_auto, JoinAlgorithm};
-use hybrid_datagen::{KeySkew, WorkloadSpec};
+use hybrid_core::{
+    best_cascade, best_hypercube, parse_mem_budget, parse_replan_threshold, run_auto, run_star,
+    JoinAlgorithm, MultiwayPlanner,
+};
+use hybrid_costmodel::{cascade_shuffle_bytes, hypercube_shuffle_bytes};
+use hybrid_datagen::{DimSpec, KeySkew, WorkloadSpec};
 use hybrid_service::SchedulePolicy;
 use hybrid_storage::FileFormat;
 
@@ -93,7 +109,8 @@ fn usage() -> ! {
          [--format columnar|text] [--scale tiny|small|default] \
          [--spill-limit ROWS] [--mem-budget BYTES[k|m|g]|unbounded] \
          [--replan-threshold F|off] [--timeline PATH] [--threads N] \
-         [--batch-rows N] [--chaos-seed N] [--fault-rate R] \
+         [--batch-rows N] [--dims N] [--planner cascade|hypercube|auto] \
+         [--chaos-seed N] [--fault-rate R] \
          [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]"
     );
     std::process::exit(2)
@@ -117,6 +134,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // applied after parsing so flag order vs --scale does not matter
     let mut skew = KeySkew::Uniform;
     let mut salt_buckets: Option<usize> = None;
+    let mut dims: usize = 0;
+    let mut planner = MultiwayPlanner::from_env();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -143,6 +162,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--single-key" => skew = KeySkew::SingleKey,
             "--salt-buckets" => salt_buckets = Some(value().parse()?),
+            "--dims" => dims = value().parse()?,
+            "--planner" => {
+                planner = match MultiwayPlanner::parse(value()) {
+                    Some(p) => p,
+                    None => {
+                        eprintln!("unknown planner (want cascade, hypercube, or auto)");
+                        usage()
+                    }
+                }
+            }
             "--serve" => serve = true,
             "--clients" => serve_opts.clients = value().parse()?,
             "--queries" => serve_opts.queries = value().parse()?,
@@ -204,10 +233,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     spec.skew = skew;
+    if dims > 0 {
+        // tiny_star's shape, with cardinalities that track --scale: the
+        // tiny workload (l_rows = 12 000) reproduces tiny_star exactly.
+        spec.dimensions = (0..dims)
+            .map(|i| DimSpec {
+                rows: spec.l_rows / 40 + 100 * i,
+                sigma: 0.5,
+                fk_correlation: 0.6,
+                skew: KeySkew::Uniform,
+            })
+            .collect();
+    }
     println!(
         "workload: T={} rows, L={} rows, sigma_T={}, sigma_L={}, ST'={}, SL'={}, {format}, keys {:?}",
         spec.t_rows, spec.l_rows, spec.sigma_t, spec.sigma_l, spec.st, spec.sl, spec.skew
     );
+    for (i, d) in spec.dimensions.iter().enumerate() {
+        println!(
+            "  dim D{i}: {} rows, sigma={}, fk_correlation={}",
+            d.rows, d.sigma, d.fk_correlation
+        );
+    }
     let mut cfg = default_system_config();
     cfg.salt_buckets = salt_buckets;
     if let Some(n) = threads {
@@ -284,6 +331,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let mut exp = ExpSystem::build_with(spec, format, cfg)?;
+
+    if dims > 0 {
+        let star = exp.workload.star_query();
+        let t0 = std::time::Instant::now();
+        let out = run_star(&mut exp.system, &star, planner)?;
+        let wall = t0.elapsed();
+        let s = |name: &str| out.snapshot.get(name).copied().unwrap_or(0);
+        let ran = if s("advisor.multiway.ran_hypercube") == 1 {
+            "hypercube"
+        } else {
+            "cascade"
+        };
+        println!(
+            "\nplanner {planner} ran {ran}: {} result groups in {}ms",
+            out.result.num_rows(),
+            wall.as_millis()
+        );
+        println!(
+            "measured shuffle: {} tuples, {} bytes",
+            s("multiway.shuffle.tuples"),
+            s("multiway.shuffle.bytes")
+        );
+        println!(
+            "advisor priced cascade {} vs hypercube {} and chose {}",
+            s("advisor.multiway.cost.cascade"),
+            s("advisor.multiway.cost.hypercube"),
+            if s("advisor.multiway.chose_hypercube") == 1 {
+                "hypercube"
+            } else {
+                "cascade"
+            }
+        );
+        // Analytic prediction from the workload spec (not the sampled
+        // estimates the advisor used), so spec-vs-measured drift shows.
+        let est = exp.workload.star_estimates(exp.system.config.jen_workers);
+        let (steps, _) = best_cascade(&est);
+        let (shares, _) = best_hypercube(&est);
+        let pc = cascade_shuffle_bytes(&est, &steps);
+        let ph = hypercube_shuffle_bytes(&est, &shares);
+        println!(
+            "predicted shuffle bytes: cascade {} (fact {} + dim {}), \
+             hypercube {} over shares {shares:?} (fact {} + dim {})",
+            pc.total_bytes(),
+            pc.fact_bytes,
+            pc.dim_bytes,
+            ph.total_bytes(),
+            ph.fact_bytes,
+            ph.dim_bytes
+        );
+        return Ok(());
+    }
 
     let algorithms: Vec<JoinAlgorithm> = match alg_arg.as_str() {
         "all" => JoinAlgorithm::paper_variants()

@@ -153,6 +153,197 @@ pub fn advise(est: &QueryEstimates) -> JoinAlgorithm {
         .0
 }
 
+// ---------------------------------------------------------------------------
+// multiway (star-schema) pricing
+// ---------------------------------------------------------------------------
+
+/// Pre-execution estimates for one dimension of a star query.
+#[derive(Debug, Clone, Copy)]
+pub struct DimEstimates {
+    /// Bytes of the dimension after its local predicate + projection.
+    pub dim_prime_bytes: u64,
+    /// Rows of the dimension after its local predicate + projection.
+    pub dim_prime_rows: u64,
+    /// Fraction of fact rows that survive the join with this dimension
+    /// (FK hits a selected dimension key). Shrinks the intermediate a
+    /// cascade re-shuffles at every later step — the quantity that makes
+    /// *uncorrelated* dimensions favor cascades and *correlated* ones
+    /// (pass fraction ≈ 1, nothing shrinks) favor the one-shot hypercube.
+    pub pass_fraction: f64,
+}
+
+/// Pre-execution estimates for a whole star query.
+#[derive(Debug, Clone)]
+pub struct StarEstimates {
+    /// Bytes of the fact table after local predicates + projection.
+    pub fact_prime_bytes: u64,
+    /// Rows of the fact table after local predicates + projection.
+    pub fact_prime_rows: u64,
+    /// One entry per dimension, in query order.
+    pub dims: Vec<DimEstimates>,
+    pub num_jen_workers: usize,
+}
+
+/// One step of a left-deep cascade plan: which dimension joins next and
+/// whether it is broadcast to every JEN worker (fact stays put) or
+/// hash-routed (the intermediate re-shuffles to meet it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CascadeStep {
+    pub dim: usize,
+    pub broadcast: bool,
+}
+
+/// A priced multiway execution strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiwayPlan {
+    /// Left-deep cascade of binary joins, in step order.
+    Cascade(Vec<CascadeStep>),
+    /// One-shot hypercube (Shares) shuffle with this share vector.
+    Hypercube(Vec<usize>),
+}
+
+/// The advisor's full multiway deliberation: the winner plus both priced
+/// alternatives, so a forced planner can still run the *best* plan of its
+/// family and callers can audit the margin.
+#[derive(Debug, Clone)]
+pub struct MultiwayChoice {
+    pub plan: MultiwayPlan,
+    pub cascade: (Vec<CascadeStep>, f64),
+    pub hypercube: (Vec<usize>, f64),
+}
+
+/// Price one cascade order: per step the cheaper of broadcasting the
+/// dimension (`DB_EXPORT · dim · n`, fact untouched) or re-shuffling the
+/// intermediate to meet a hash-routed dimension (`DB_EXPORT · dim +
+/// INTRA · cur`). The intermediate decays by the dimension's pass
+/// fraction after each step. Step modes are independent, so the greedy
+/// per-step choice is the optimum for a fixed order.
+fn price_cascade(est: &StarEstimates, order: &[usize]) -> (Vec<CascadeStep>, f64) {
+    let n = est.num_jen_workers.max(1) as f64;
+    let mut cur = est.fact_prime_bytes as f64;
+    let mut total = 0.0;
+    let mut steps = Vec::with_capacity(order.len());
+    for &d in order {
+        let dim = est.dims[d].dim_prime_bytes as f64;
+        let broadcast_cost = DB_EXPORT_WEIGHT * dim * n;
+        let repartition_cost = DB_EXPORT_WEIGHT * dim + INTRA_WEIGHT * cur;
+        let broadcast = broadcast_cost <= repartition_cost;
+        total += broadcast_cost.min(repartition_cost);
+        steps.push(CascadeStep { dim: d, broadcast });
+        cur *= est.dims[d].pass_fraction.clamp(0.0, 1.0);
+    }
+    (steps, total)
+}
+
+/// All permutations of `0..k` (k ≤ 3 under the dimension cap, so at most
+/// six), in lexicographic order for a deterministic tie-break.
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    fn rec(prefix: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let x = rest.remove(i);
+            prefix.push(x);
+            rec(prefix, rest, out);
+            prefix.pop();
+            rest.insert(i, x);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut Vec::new(), &mut (0..k).collect(), &mut out);
+    out
+}
+
+/// The cheapest left-deep cascade over every dimension order.
+pub fn best_cascade(est: &StarEstimates) -> (Vec<CascadeStep>, f64) {
+    permutations(est.dims.len())
+        .iter()
+        .map(|order| price_cascade(est, order))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+        .expect("at least one dimension order")
+}
+
+/// Every share vector `s` with `Π sᵢ ≤ n` (one worker per grid cell, the
+/// rest idle), each component in `1..=n`.
+fn share_vectors(k: usize, n: usize) -> Vec<Vec<usize>> {
+    fn rec(k: usize, budget: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if prefix.len() == k {
+            out.push(prefix.clone());
+            return;
+        }
+        for s in 1..=budget {
+            prefix.push(s);
+            rec(k, budget / s, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(k, n.max(1), &mut Vec::new(), &mut out);
+    out
+}
+
+/// Price one hypercube share vector: the fact shuffles once (every row to
+/// exactly one grid cell) and dimension `i` replicates to the `cells/sᵢ`
+/// workers of each cell along its axis (Afrati & Ullman's Shares).
+fn price_hypercube(est: &StarEstimates, shares: &[usize]) -> f64 {
+    let cells: usize = shares.iter().product();
+    let dim_export: f64 = est
+        .dims
+        .iter()
+        .zip(shares)
+        .map(|(d, &s)| d.dim_prime_bytes as f64 * (cells / s) as f64)
+        .sum();
+    INTRA_WEIGHT * est.fact_prime_bytes as f64 + DB_EXPORT_WEIGHT * dim_export
+}
+
+/// The cheapest hypercube share vector. Only *full* grids are priced —
+/// `Π sᵢ = n`, following Afrati & Ullman, who fix the cell count at the
+/// worker count and optimise the shares: a smaller grid always ships
+/// fewer replicated dimension bytes, but idles workers and concentrates
+/// the entire fact probe on the cells that remain, which the byte-level
+/// model cannot see. (`[n, 1, …, 1]` keeps the set non-empty for any
+/// `n`.) Cost ties prefer more grid cells, then the lexicographically
+/// smallest vector — fully deterministic.
+pub fn best_hypercube(est: &StarEstimates) -> (Vec<usize>, f64) {
+    let n = est.num_jen_workers.max(1);
+    share_vectors(est.dims.len(), n)
+        .into_iter()
+        .filter(|s| s.iter().product::<usize>() == n)
+        .map(|s| {
+            let c = price_hypercube(est, &s);
+            (s, c)
+        })
+        .min_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("costs are finite")
+                .then_with(|| {
+                    let (ca, cb) = (a.0.iter().product::<usize>(), b.0.iter().product::<usize>());
+                    cb.cmp(&ca).then_with(|| a.0.cmp(&b.0))
+                })
+        })
+        .expect("at least the all-ones share vector")
+}
+
+/// Price the best cascade against the best hypercube and pick the winner.
+/// Ties go to the cascade: with one dimension the hypercube with share
+/// vector `[n]` *is* a repartition cascade, and the simpler plan wins.
+pub fn advise_multiway(est: &StarEstimates) -> MultiwayChoice {
+    let cascade = best_cascade(est);
+    let hypercube = best_hypercube(est);
+    let plan = if hypercube.1 < cascade.1 {
+        MultiwayPlan::Hypercube(hypercube.0.clone())
+    } else {
+        MultiwayPlan::Cascade(cascade.0.clone())
+    };
+    MultiwayChoice {
+        plan,
+        cascade,
+        hypercube,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +473,95 @@ mod tests {
         }
         assert_eq!(cost_of(JoinAlgorithm::SemiJoin, &est), None);
         assert_eq!(cost_of(JoinAlgorithm::PerfJoin, &est), None);
+    }
+
+    fn star(fact_bytes: u64, dim_bytes: u64, pass: f64, n: usize) -> StarEstimates {
+        StarEstimates {
+            fact_prime_bytes: fact_bytes,
+            fact_prime_rows: fact_bytes / 50,
+            dims: (0..3)
+                .map(|_| DimEstimates {
+                    dim_prime_bytes: dim_bytes,
+                    dim_prime_rows: dim_bytes / 12,
+                    pass_fraction: pass,
+                })
+                .collect(),
+            num_jen_workers: n,
+        }
+    }
+
+    /// The documented advisor flip (DESIGN.md §16): tiny dimensions are
+    /// cheapest broadcast one after another — the fact table never moves —
+    /// while large *correlated* dimensions (pass fraction ≈ 1, so a cascade
+    /// re-shuffles an undiminished intermediate at every step) flip the
+    /// choice to the one-shot hypercube, which moves the fact exactly once.
+    #[test]
+    fn multiway_flips_from_broadcast_cascade_to_hypercube() {
+        // 1 MB fact, 1 kB dimensions: cascade of three broadcasts.
+        let small = star(1_000_000, 1_000, 0.9, 8);
+        let choice = advise_multiway(&small);
+        match &choice.plan {
+            MultiwayPlan::Cascade(steps) => {
+                assert_eq!(steps.len(), 3);
+                assert!(steps.iter().all(|s| s.broadcast), "{steps:?}");
+            }
+            other => panic!("small dims should cascade, got {other:?}"),
+        }
+
+        // 2 MB fact, 67 kB correlated dimensions: broadcast pays 3·n·Σdim,
+        // a repartition cascade re-ships the (unshrinking) fact three
+        // times, and the hypercube undercuts both.
+        let large = star(2_000_000, 67_000, 0.95, 8);
+        let choice = advise_multiway(&large);
+        match &choice.plan {
+            MultiwayPlan::Hypercube(shares) => {
+                assert_eq!(shares.len(), 3);
+                let cells: usize = shares.iter().product();
+                assert!(cells > 1 && cells <= 8, "{shares:?}");
+            }
+            other => panic!("large correlated dims should hypercube, got {other:?}"),
+        }
+        assert!(choice.hypercube.1 < choice.cascade.1);
+    }
+
+    #[test]
+    fn share_vectors_respect_the_worker_budget() {
+        for s in super::share_vectors(3, 8) {
+            assert!(s.iter().product::<usize>() <= 8, "{s:?}");
+            assert!(s.iter().all(|&x| x >= 1));
+        }
+        // the symmetric cube is among the candidates
+        assert!(super::share_vectors(3, 8).contains(&vec![2, 2, 2]));
+        assert_eq!(super::share_vectors(1, 4).len(), 4);
+    }
+
+    #[test]
+    fn single_dimension_tie_goes_to_the_cascade() {
+        // With one dimension, hypercube [n] prices identically to the
+        // repartition cascade; the simpler cascade must win the tie.
+        let est = StarEstimates {
+            fact_prime_bytes: 1_000_000,
+            fact_prime_rows: 20_000,
+            dims: vec![DimEstimates {
+                dim_prime_bytes: 500_000,
+                dim_prime_rows: 40_000,
+                pass_fraction: 1.0,
+            }],
+            num_jen_workers: 4,
+        };
+        let choice = advise_multiway(&est);
+        assert!(matches!(choice.plan, MultiwayPlan::Cascade(_)));
+        assert_eq!(choice.cascade.1, choice.hypercube.1);
+    }
+
+    #[test]
+    fn uncorrelated_dims_favor_the_cascade() {
+        // Same sizes as the hypercube case above, but pass fractions of
+        // 0.2 shrink the intermediate 5× per step — the cascade's later
+        // re-shuffles become nearly free and it wins back.
+        let est = star(2_000_000, 67_000, 0.2, 8);
+        let choice = advise_multiway(&est);
+        assert!(matches!(choice.plan, MultiwayPlan::Cascade(_)));
     }
 
     #[test]

@@ -1223,6 +1223,12 @@ mod tests {
             StreamTag::DbKeySet,
             StreamTag::PerfKeys,
             StreamTag::PerfBitmap,
+            StreamTag::DimData0,
+            StreamTag::DimData1,
+            StreamTag::DimData2,
+            StreamTag::CascadeShuffle0,
+            StreamTag::CascadeShuffle1,
+            StreamTag::CascadeShuffle2,
         ];
         for tag in all_tags {
             let mut cfg = SystemConfig::paper_shape(1, 2);

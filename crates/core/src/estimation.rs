@@ -18,8 +18,9 @@
 //! [`run_auto`] chains it all: estimate → advise → execute.
 
 use crate::adapt::run_adaptive;
-use crate::advisor::{advise, QueryEstimates};
+use crate::advisor::{advise, DimEstimates, QueryEstimates, StarEstimates};
 use crate::algorithms::JoinAlgorithm;
+use crate::multiway::StarQuery;
 use crate::query::HybridQuery;
 use crate::stats::RunOutput;
 use crate::system::HybridSystem;
@@ -183,6 +184,100 @@ pub fn sample_stats(
         t_row_bytes: avg(t_bytes, t_passed),
         l_row_bytes: avg(l_bytes, l_passed),
         shuffle_skew,
+    })
+}
+
+/// Estimate a star query's inputs for the multiway advisor.
+///
+/// Dimensions are counted **exactly** — each DB worker evaluates the full
+/// filter + projection (dimension tables are small by definition, and a
+/// real optimizer would read these numbers from catalog statistics) and
+/// their selected key sets are retained. The fact side samples
+/// `sample_blocks` strided HDFS blocks like [`sample_stats`]; each
+/// dimension's `pass_fraction` is the fraction of sampled fact survivors
+/// whose foreign key lands in that dimension's selected key set.
+pub fn sample_star_stats(
+    sys: &HybridSystem,
+    star: &StarQuery,
+    sample_blocks: usize,
+) -> Result<StarEstimates> {
+    star.validate()?;
+    let k = star.dims.len();
+
+    // --- dimensions: exact counts + selected key sets ---
+    let mut dim_rows = vec![0u64; k];
+    let mut dim_bytes = vec![0u64; k];
+    let mut dim_keys: Vec<HashSet<i64>> = vec![HashSet::new(); k];
+    for (i, dq) in star.dims.iter().enumerate() {
+        for w in 0..sys.db.num_workers() {
+            let part = sys
+                .db
+                .worker(w)
+                .scan_filter_project(&dq.table, &dq.pred, &dq.proj)?;
+            dim_rows[i] += part.num_rows() as u64;
+            dim_bytes[i] += part.serialized_bytes() as u64;
+            let keys = part.column(dq.key)?;
+            for row in 0..part.num_rows() {
+                dim_keys[i].insert(keys.key_at(row)?);
+            }
+        }
+    }
+
+    // --- fact: strided block sample ---
+    let meta = sys.coordinator.lookup_table(&star.fact_table)?;
+    let blocks = sys.hdfs.read().file_blocks(&meta.path)?;
+    let n_blocks = blocks.len();
+    let picked = sample_blocks.clamp(1, n_blocks.max(1));
+    let mut l_sampled = 0usize;
+    let mut l_passed = 0usize;
+    let mut l_bytes = 0usize;
+    let mut fk_hits = vec![0u64; k];
+    for i in 0..picked {
+        let idx = i * n_blocks / picked;
+        let reader = sys.jen_workers[0].datanode();
+        let bytes = sys
+            .hdfs
+            .read()
+            .read_block_into(blocks[idx].id, reader, &sys.metrics)?;
+        let decoded = decode(meta.format, &meta.schema, &bytes, None)?;
+        let mask = star.fact_pred.eval_predicate(&decoded.batch)?;
+        let survivors = decoded.batch.filter(&mask)?.project(&star.fact_proj)?;
+        l_sampled += decoded.batch.num_rows();
+        l_passed += survivors.num_rows();
+        l_bytes += survivors.serialized_bytes();
+        for (axis, hits) in fk_hits.iter_mut().enumerate() {
+            let keys = survivors.column(star.fact_keys[axis])?;
+            for row in 0..survivors.num_rows() {
+                if dim_keys[axis].contains(&keys.key_at(row)?) {
+                    *hits += 1;
+                }
+            }
+        }
+    }
+    let l_total_rows = if l_sampled == 0 {
+        0.0
+    } else {
+        (l_sampled as f64 / picked as f64) * n_blocks as f64
+    };
+    let sigma_l = ratio(l_passed, l_sampled);
+    let fact_prime_rows = sigma_l * l_total_rows;
+    let fact_prime_bytes = fact_prime_rows * avg(l_bytes, l_passed);
+
+    Ok(StarEstimates {
+        fact_prime_bytes: fact_prime_bytes as u64,
+        fact_prime_rows: fact_prime_rows as u64,
+        dims: (0..k)
+            .map(|i| DimEstimates {
+                dim_prime_bytes: dim_bytes[i],
+                dim_prime_rows: dim_rows[i],
+                pass_fraction: if l_passed == 0 {
+                    1.0
+                } else {
+                    fk_hits[i] as f64 / l_passed as f64
+                },
+            })
+            .collect(),
+        num_jen_workers: sys.config.jen_workers,
     })
 }
 

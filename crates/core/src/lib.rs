@@ -31,6 +31,7 @@ pub mod advisor;
 pub mod algorithms;
 pub mod cache;
 pub mod estimation;
+pub mod multiway;
 pub mod query;
 pub mod reference;
 pub mod skew;
@@ -38,12 +39,17 @@ pub mod stats;
 pub mod system;
 
 pub use adapt::{run_adaptive, Observation, ReplanController, REPLAN_HYSTERESIS, REPLAN_NS_OFFSET};
-pub use advisor::{advise, estimated_costs, QueryEstimates};
+pub use advisor::{
+    advise, advise_multiway, best_cascade, best_hypercube, estimated_costs, CascadeStep,
+    DimEstimates, MultiwayChoice, MultiwayPlan, QueryEstimates, StarEstimates,
+};
 pub use algorithms::{run, CancelToken, Driver, JoinAlgorithm, TaskSet};
 pub use cache::{query_fingerprint, BloomCache, BloomKey};
-pub use estimation::{run_auto, sample_stats, SampledStats};
+pub use estimation::{run_auto, sample_star_stats, sample_stats, SampledStats};
 pub use hybrid_net::{FaultSpec, FaultTarget, RetryPolicy};
+pub use multiway::{run_star, DimQuery, MultiwayPlanner, StarQuery, MAX_STAR_DIMENSIONS};
 pub use query::HybridQuery;
+pub use reference::{batch_checksum, run_star_reference};
 pub use skew::{SaltCursors, SaltRouter};
 pub use stats::{JoinSummary, RunOutput};
 pub use system::{

@@ -1,0 +1,288 @@
+//! Cascaded binary star join: a left-deep chain of broadcast/repartition
+//! steps over the dimensions, in advisor-priced order.
+//!
+//! Step `i` joins dimension `steps[i].dim` into the running intermediate
+//! `cur` (initially the filtered fact scan):
+//!
+//! * **broadcast** — every DB worker ships its whole filtered dimension
+//!   slice to every JEN worker; `cur` stays put.
+//! * **repartition** — DB workers hash-route the dimension by its key,
+//!   JEN workers re-shuffle `cur` by the matching foreign key with the
+//!   same agreed hash (skew-salted when the key has detected heavy
+//!   hitters), so every `(cur, dim)` pair meets exactly once.
+//!
+//! Either way the step ends in a local hash join — dimension rows build,
+//! `cur` probes — which prepends the dimension's columns: after the whole
+//! cascade the physical layout is `dim_{last}' ++ … ++ dim_{first}' ++
+//! fact'`, undone by [`super::physical_map`] at finalize time.
+//!
+//! Salt-role inversion: in a cascade step the *dimension* is the hash-build
+//! side (its keys are near-unique — no build skew), while the skew lives in
+//! `cur`'s foreign-key stream. So the `cur` re-shuffle splits hot-key rows
+//! round-robin ([`SaltRouter::partition_build_sel`]) and the dimension
+//! replicates its hot-key rows to the salt workers
+//! ([`SaltRouter::partition_probe`]) — the mirror image of the two-table
+//! repartition join, same meets-exactly-once guarantee.
+//!
+//! A broadcast step keeps a no-op re-shuffle step at its slot so driver
+//! step ordinals — which the chaos layer's worker kills count — do not
+//! depend on the advisor's per-step mode choices.
+
+use super::{
+    add_star_aggregation_steps, detect_hot_fact_keys, finalize_partial, meter_shuffle, mw_db_tasks,
+    mw_jen_tasks, ordered_batches, take_star_result, MwJen, StarQuery,
+};
+use crate::advisor::CascadeStep;
+use crate::algorithms::{Driver, TaskSet};
+use crate::skew::{SaltCursors, SaltRouter};
+use crate::system::HybridSystem;
+use hybrid_common::batch::{Batch, BatchBuilder};
+use hybrid_common::error::Result;
+use hybrid_common::hash::agreed_shuffle_partition;
+use hybrid_common::ops::{partition_by_key, partition_sel};
+use hybrid_common::schema::Schema;
+use hybrid_common::trace::Stage;
+use hybrid_jen::pipeline::scan_blocks_batched;
+use hybrid_jen::{LocalJoiner, ScanSpec};
+use hybrid_net::StreamTag;
+
+pub(crate) fn execute(
+    sys: &mut HybridSystem,
+    star: &StarQuery,
+    steps: &[CascadeStep],
+) -> Result<Batch> {
+    let sys = &*sys;
+    let driver = &Driver::from_config(&sys.config);
+    let num_jen = sys.config.jen_workers;
+    let num_db = sys.config.db_workers;
+
+    let plan = &sys.coordinator.plan_scan(&star.fact_table)?;
+    let scan_spec = &ScanSpec {
+        pred: star.fact_pred.clone(),
+        proj: star.fact_proj.clone(),
+        bloom_key: None,
+    };
+    let fact_schema = plan.table.schema.project(&star.fact_proj)?;
+    let dim_schemas: Vec<Schema> = star
+        .dims
+        .iter()
+        .map(|d| {
+            sys.db
+                .worker(0)
+                .partition(&d.table)?
+                .schema()
+                .project(&d.proj)
+        })
+        .collect::<Result<_>>()?;
+    let dim_schemas = &dim_schemas;
+
+    // Heavy hitters per foreign-key axis; both clusters must route from
+    // the same hot sets, so detection happens once, up front.
+    let hot = detect_hot_fact_keys(sys, star)?;
+    let routers: &Vec<Option<SaltRouter>> = &hot
+        .into_iter()
+        .map(|h| {
+            (!h.is_empty()).then(|| {
+                SaltRouter::with_hot_keys(h, num_jen, sys.config.salt_buckets.unwrap_or(1))
+            })
+        })
+        .collect();
+
+    // cur_schemas[i] = the intermediate's schema entering step i (each
+    // local join prepends its build side); fact_offs[i] = where the fact
+    // columns start inside it.
+    let mut cur_schemas = vec![fact_schema];
+    let mut fact_offs = vec![0usize];
+    for s in steps {
+        let prev = cur_schemas.last().expect("seeded above");
+        cur_schemas.push(dim_schemas[s.dim].join(prev));
+        fact_offs.push(fact_offs.last().expect("seeded above") + star.dims[s.dim].proj.len());
+    }
+    let cur_schemas = &cur_schemas;
+    let fact_offs = &fact_offs;
+    let order: Vec<usize> = steps.iter().map(|s| s.dim).collect();
+    let order = &order;
+
+    let mut db = TaskSet::new("db", mw_db_tasks(sys, driver)?);
+    let mut jen = TaskSet::new("jen", mw_jen_tasks(sys, driver)?);
+
+    // Step 1: every JEN worker scans its fact share (per-block batches —
+    // the intermediate stays block-framed until its first re-shuffle).
+    jen.step(10, move |w, st: &mut MwJen| {
+        let _permit = driver.compute_permit();
+        st.cur = scan_blocks_batched(
+            &sys.jen_workers[w],
+            &plan.table,
+            &plan.blocks[w],
+            scan_spec,
+            None,
+        )?
+        .0;
+        Ok(())
+    });
+
+    for (i, step) in steps.iter().enumerate() {
+        let base = 20 + 10 * i as u32;
+        let d = step.dim;
+        let broadcast = step.broadcast;
+        let fk_col = fact_offs[i] + star.fact_keys[d];
+        let dq = &star.dims[d];
+
+        // Step 2+3i: DB workers filter the dimension and ship it —
+        // everywhere (broadcast) or hash-routed to the key's owner.
+        db.step(base, move |w, st| {
+            let part = {
+                let _permit = driver.compute_permit();
+                let span = sys.tracer.start(format!("db-{w}"), Stage::Scan);
+                let part = sys
+                    .db
+                    .worker(w)
+                    .scan_filter_project(&dq.table, &dq.pred, &dq.proj)?;
+                span.done(0, part.num_rows() as u64);
+                part
+            };
+            let span = sys.tracer.start(format!("db-{w}"), Stage::ShuffleSend);
+            if broadcast {
+                for jen_ep in sys.fabric.jen_endpoints() {
+                    st.mailbox
+                        .send_data(jen_ep, StreamTag::dim_data(i), &part)?;
+                    st.mailbox.send_eos(jen_ep, StreamTag::dim_data(i))?;
+                }
+                meter_shuffle(
+                    sys,
+                    part.num_rows() as u64 * num_jen as u64,
+                    part.serialized_bytes() as u64 * num_jen as u64,
+                );
+            } else {
+                // hot-key dimension rows replicate to the salt workers
+                // that will each hold a slice of the split `cur` stream
+                let routed = match &routers[d] {
+                    Some(r) => r.partition_probe(&part, dq.key)?,
+                    None => partition_by_key(&part, dq.key, num_jen, agreed_shuffle_partition)?,
+                };
+                let (mut rows, mut bytes) = (0u64, 0u64);
+                for (jen_idx, piece) in routed.into_iter().enumerate() {
+                    rows += piece.num_rows() as u64;
+                    bytes += piece.serialized_bytes() as u64;
+                    let dst = sys.fabric.jen_endpoints()[jen_idx];
+                    st.mailbox.send_data(dst, StreamTag::dim_data(i), &piece)?;
+                    st.mailbox.send_eos(dst, StreamTag::dim_data(i))?;
+                }
+                meter_shuffle(sys, rows, bytes);
+            }
+            span.done(part.serialized_bytes() as u64, part.num_rows() as u64);
+            Ok(())
+        });
+
+        // Step 3+3i: JEN workers re-shuffle `cur` by the step's foreign
+        // key. A broadcast step skips the shuffle but keeps the step, so
+        // chaos kill ordinals stay mode-independent.
+        jen.step(base + 2, move |w, st: &mut MwJen| {
+            if broadcast {
+                return Ok(());
+            }
+            let span = sys
+                .tracer
+                .start(sys.jen_workers[w].span_label(), Stage::ShuffleSend);
+            let schema = &cur_schemas[i];
+            let mut cursors = SaltCursors::new();
+            let mut builders: Vec<BatchBuilder> = (0..num_jen)
+                .map(|_| BatchBuilder::new(schema.clone()))
+                .collect();
+            let (mut rows, mut bytes) = (0u64, 0u64);
+            for block in std::mem::take(&mut st.cur) {
+                if block.is_empty() {
+                    continue;
+                }
+                // hot-key `cur` rows split round-robin over salt workers
+                let sels = match &routers[d] {
+                    Some(r) => r.partition_build_sel(&block, fk_col, &mut cursors)?,
+                    None => partition_sel(&block, fk_col, num_jen, agreed_shuffle_partition)?,
+                };
+                for (dst, sel) in sels.iter().enumerate() {
+                    builders[dst].append_rows(&block, sel.as_slice())?;
+                }
+            }
+            for (dst, builder) in builders.into_iter().enumerate() {
+                let piece = builder.finish();
+                if dst == w {
+                    st.cur = vec![piece]; // local slice: no network traffic
+                } else {
+                    rows += piece.num_rows() as u64;
+                    bytes += piece.serialized_bytes() as u64;
+                    let to = sys.fabric.jen_endpoints()[dst];
+                    st.mailbox
+                        .send_data(to, StreamTag::cascade_shuffle(i), &piece)?;
+                    st.mailbox.send_eos(to, StreamTag::cascade_shuffle(i))?;
+                }
+            }
+            meter_shuffle(sys, rows, bytes);
+            span.done(bytes, rows);
+            Ok(())
+        });
+
+        // Step 4+3i: receive, build on the dimension, probe with `cur`.
+        jen.step(base + 4, move |w, st: &mut MwJen| {
+            let label = sys.jen_workers[w].span_label();
+            let recv_span = sys.tracer.start(label.clone(), Stage::ShuffleRecv);
+            let dim_batches =
+                ordered_batches(st.mailbox.take_stream(StreamTag::dim_data(i), num_db)?);
+            let mut probes = std::mem::take(&mut st.cur);
+            if !broadcast {
+                let got = st
+                    .mailbox
+                    .take_stream(StreamTag::cascade_shuffle(i), num_jen - 1)?;
+                probes.extend(ordered_batches(got));
+            }
+            let dim_rows: u64 = dim_batches.iter().map(|b| b.num_rows() as u64).sum();
+            recv_span.done(0, dim_rows);
+            // per-worker build-side balance, the finish_run ratio's input
+            sys.metrics
+                .add(&format!("net.shuffle.rows.jen-{w}"), dim_rows);
+            let _permit = driver.compute_permit();
+            let build_span = sys.tracer.start(label.clone(), Stage::HashBuild);
+            let mut joiner = LocalJoiner::new(
+                dim_schemas[d].clone(),
+                dq.key,
+                sys.config.jen_memory_limit_rows,
+                sys.query_budget
+                    .as_ref()
+                    .map(|q| q.worker_share(sys.config.jen_workers)),
+                sys.metrics.clone(),
+            )?;
+            for b in dim_batches {
+                joiner.build(b)?;
+            }
+            build_span.done(0, dim_rows);
+            let probe_rows: u64 = probes.iter().map(|b| b.num_rows() as u64).sum();
+            let probe_span = sys.tracer.start(label, Stage::Probe);
+            let joined = joiner.probe_all(&cur_schemas[i], probes, fk_col)?;
+            probe_span.done(0, probe_rows);
+            st.cur = vec![joined];
+            Ok(())
+        });
+    }
+
+    // Finalize: residual predicate + per-worker partial aggregate.
+    let fin = 20 + 10 * steps.len() as u32;
+    jen.step(fin, move |w, st: &mut MwJen| {
+        let _permit = driver.compute_permit();
+        let joined = Batch::concat(
+            cur_schemas.last().expect("seeded").clone(),
+            &std::mem::take(&mut st.cur),
+        )?;
+        st.partial = Some(finalize_partial(
+            sys,
+            star,
+            order,
+            joined,
+            sys.jen_workers[w].span_label(),
+        )?);
+        Ok(())
+    });
+
+    add_star_aggregation_steps(sys, star, &mut jen, &mut db, fin + 2)?;
+
+    let (db_states, _jen_states) = driver.run_pair(db, jen)?;
+    take_star_result(db_states)
+}

@@ -1,0 +1,685 @@
+//! Multiway star-schema joins: cascaded binary plans and the one-shot
+//! hypercube (Shares) shuffle.
+//!
+//! A [`StarQuery`] joins one HDFS fact table against up to
+//! [`MAX_STAR_DIMENSIONS`] database dimension tables on per-dimension
+//! foreign keys. Two execution families cover it:
+//!
+//! * **Cascade** ([`cascade`]) — a left-deep chain of the existing binary
+//!   joins: each step ships one filtered dimension to the JEN cluster
+//!   (broadcast, or hash-routed with an intermediate re-shuffle) and joins
+//!   it into the running intermediate. Every step reuses the two-table
+//!   machinery — mailbox streams, salted routing, spill-aware local
+//!   joiners — so the per-step invariants (bit-identical results at any
+//!   thread/batch count, conservation laws, spill accounting) carry over.
+//! * **Hypercube** ([`hypercube`]) — the Shares scheme of Afrati & Ullman:
+//!   workers form a k-dimensional grid sized by a cost-chosen share
+//!   vector; every fact row routes to exactly one cell (one hash per
+//!   axis), every dimension row replicates along its own axis. All joins
+//!   then run locally in one pass — the fact moves once, however many
+//!   dimensions there are.
+//!
+//! [`run_star`] samples the tables, lets the advisor price the best
+//! cascade order against the best share vector
+//! ([`crate::advisor::advise_multiway`]), and executes the winner — or a
+//! forced family via [`MultiwayPlanner`] / the `HYBRID_MULTIWAY_PLANNER`
+//! env knob.
+//!
+//! Expressions about joined rows (`post_predicate`, `group_expr`, `aggs`)
+//! are written against the **canonical joined layout** `fact' ++ dim_0' ++
+//! … ++ dim_{k-1}'`. Executors produce a physical layout determined by
+//! their join order (each binary join prepends the build side); they remap
+//! canonical expressions through [`physical_map`] before evaluating, so
+//! every plan computes the same answer.
+//!
+//! **Determinism.** Each receive step orders incoming batches by sender
+//! endpoint (stable, per-sender FIFO preserved, own piece first) before
+//! building or probing, so hash-table iteration order, salted round-robin
+//! cursors, and therefore results and row orders are identical at any
+//! thread count.
+
+pub mod cascade;
+pub mod hypercube;
+
+use crate::advisor::{advise_multiway, MultiwayPlan};
+use crate::algorithms::{finish_run, Driver, Mailbox, StreamData, TaskSet};
+use crate::estimation::sample_star_stats;
+use crate::skew::{MIN_HOT_COUNT, SALT_SAMPLE_BLOCKS, SKETCH_CAPACITY};
+use crate::stats::RunOutput;
+use crate::system::HybridSystem;
+use hybrid_common::batch::Batch;
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::expr::Expr;
+use hybrid_common::ids::DbWorkerId;
+use hybrid_common::ops::{AggSpec, HashAggregator};
+use hybrid_common::sketch::SpaceSaving;
+use hybrid_common::trace::Stage;
+use hybrid_net::{Endpoint, StreamTag};
+use hybrid_storage::decode;
+use std::collections::HashSet;
+
+/// Hard cap on star dimensions: stream tags are static (EOS counts
+/// accumulate per tag for a whole run, so cascade steps cannot share one)
+/// and the tag space provides three dimension slots.
+pub const MAX_STAR_DIMENSIONS: usize = 3;
+
+/// Per-axis seed salt for the hypercube's independent hash functions
+/// (axis `i` hashes with `AXIS_SEED ^ i`).
+pub(crate) const AXIS_SEED: u64 = 0xCE11_5EED_A215_0000;
+
+/// One dimension table of a star query.
+#[derive(Debug, Clone)]
+pub struct DimQuery {
+    /// Name of the dimension table in the parallel database.
+    pub table: String,
+    /// Local predicate over the dimension's base schema.
+    pub pred: Expr,
+    /// Columns kept after projection (base-schema indexes).
+    pub proj: Vec<usize>,
+    /// Position of the join key **within `proj`**.
+    pub key: usize,
+}
+
+/// A star-schema query: one HDFS fact table equi-joined against `k`
+/// database dimensions on `k` foreign-key columns, with a residual
+/// predicate and a group-by/aggregate over the joined rows.
+#[derive(Debug, Clone)]
+pub struct StarQuery {
+    /// Name of the fact table on HDFS.
+    pub fact_table: String,
+    /// Local predicate over the fact table's base schema.
+    pub fact_pred: Expr,
+    /// Fact columns kept after projection (base-schema indexes).
+    pub fact_proj: Vec<usize>,
+    /// Position of dimension `i`'s foreign key **within `fact_proj`**.
+    pub fact_keys: Vec<usize>,
+    /// The dimensions, in query order.
+    pub dims: Vec<DimQuery>,
+    /// Residual predicate over the canonical joined layout.
+    pub post_predicate: Option<Expr>,
+    /// Group-by key expression over the canonical joined layout.
+    pub group_expr: Expr,
+    /// Aggregates over the canonical joined layout.
+    pub aggs: Vec<AggSpec>,
+}
+
+impl StarQuery {
+    /// Sanity-check the query against itself (dimension cap, projection
+    /// and key bounds, joined-layout expression bounds).
+    pub fn validate(&self) -> Result<()> {
+        if self.dims.is_empty() {
+            return Err(HybridError::config(
+                "star query needs at least one dimension",
+            ));
+        }
+        if self.dims.len() > MAX_STAR_DIMENSIONS {
+            return Err(HybridError::config(format!(
+                "star query has {} dimensions, the cap is {MAX_STAR_DIMENSIONS}",
+                self.dims.len()
+            )));
+        }
+        if self.fact_keys.len() != self.dims.len() {
+            return Err(HybridError::config(format!(
+                "{} foreign keys for {} dimensions",
+                self.fact_keys.len(),
+                self.dims.len()
+            )));
+        }
+        if self.fact_proj.is_empty() {
+            return Err(HybridError::config("fact projection must be non-empty"));
+        }
+        for (i, &fk) in self.fact_keys.iter().enumerate() {
+            if fk >= self.fact_proj.len() {
+                return Err(HybridError::config(format!(
+                    "fact key {i} at {fk} out of bounds for projection of {}",
+                    self.fact_proj.len()
+                )));
+            }
+        }
+        for (i, d) in self.dims.iter().enumerate() {
+            if d.proj.is_empty() {
+                return Err(HybridError::config(format!(
+                    "dimension {i} projection must be non-empty"
+                )));
+            }
+            if d.key >= d.proj.len() {
+                return Err(HybridError::config(format!(
+                    "dimension {i} key {} out of bounds for projection of {}",
+                    d.key,
+                    d.proj.len()
+                )));
+            }
+        }
+        let joined_width = self.joined_width();
+        for agg in &self.aggs {
+            let col = match *agg {
+                AggSpec::Count => None,
+                AggSpec::SumI64(c) | AggSpec::MinI64(c) | AggSpec::MaxI64(c) => Some(c),
+            };
+            if let Some(c) = col {
+                if c >= joined_width {
+                    return Err(HybridError::config(format!(
+                        "aggregate references column {c}, joined width is {joined_width}"
+                    )));
+                }
+            }
+        }
+        for (name, expr) in [
+            ("post_predicate", self.post_predicate.as_ref()),
+            ("group_expr", Some(&self.group_expr)),
+        ] {
+            if let Some(e) = expr {
+                if let Some(&max) = e.referenced_columns().iter().next_back() {
+                    if max >= joined_width {
+                        return Err(HybridError::config(format!(
+                            "{name} references column {max}, joined width is {joined_width}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Width of the canonical joined layout.
+    pub fn joined_width(&self) -> usize {
+        self.fact_proj.len() + self.dims.iter().map(|d| d.proj.len()).sum::<usize>()
+    }
+}
+
+/// Which multiway execution family to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiwayPlanner {
+    /// Force the best-priced left-deep cascade.
+    Cascade,
+    /// Force the best-priced hypercube share vector.
+    Hypercube,
+    /// Let the advisor pick (the default).
+    Auto,
+}
+
+impl MultiwayPlanner {
+    pub fn name(self) -> &'static str {
+        match self {
+            MultiwayPlanner::Cascade => "cascade",
+            MultiwayPlanner::Hypercube => "hypercube",
+            MultiwayPlanner::Auto => "auto",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<MultiwayPlanner> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cascade" => Some(MultiwayPlanner::Cascade),
+            "hypercube" => Some(MultiwayPlanner::Hypercube),
+            "auto" => Some(MultiwayPlanner::Auto),
+            _ => None,
+        }
+    }
+
+    /// `HYBRID_MULTIWAY_PLANNER` (`cascade` / `hypercube` / `auto`),
+    /// defaulting to `Auto`; unparseable values fall back to `Auto`.
+    pub fn from_env() -> MultiwayPlanner {
+        std::env::var("HYBRID_MULTIWAY_PLANNER")
+            .ok()
+            .and_then(|v| MultiwayPlanner::parse(&v))
+            .unwrap_or(MultiwayPlanner::Auto)
+    }
+}
+
+impl std::fmt::Display for MultiwayPlanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Execute `star` on `system` under `planner`, starting from clean
+/// metrics; returns the result plus the movement summary.
+///
+/// Sampling runs *before* the metric reset (as [`crate::run_auto`] does
+/// for two-table queries), so the run snapshot carries only execution
+/// traffic plus the `advisor.multiway.*` decision counters.
+pub fn run_star(
+    system: &mut HybridSystem,
+    star: &StarQuery,
+    planner: MultiwayPlanner,
+) -> Result<RunOutput> {
+    star.validate()?;
+    let est = sample_star_stats(system, star, 8)?;
+    let choice = advise_multiway(&est);
+    prepare_star_run(system, star)?;
+    // Decision audit trail: integer-rounded costs and the choice live in
+    // the run snapshot (deterministic — derived from strided sampling).
+    system.metrics.add(
+        "advisor.multiway.cost.cascade",
+        choice.cascade.1.round() as u64,
+    );
+    system.metrics.add(
+        "advisor.multiway.cost.hypercube",
+        choice.hypercube.1.round() as u64,
+    );
+    let auto_hypercube = matches!(choice.plan, MultiwayPlan::Hypercube(_));
+    system.metrics.add(
+        "advisor.multiway.chose_hypercube",
+        u64::from(auto_hypercube),
+    );
+    let plan = match planner {
+        MultiwayPlanner::Cascade => MultiwayPlan::Cascade(choice.cascade.0.clone()),
+        MultiwayPlanner::Hypercube => MultiwayPlan::Hypercube(choice.hypercube.0.clone()),
+        MultiwayPlanner::Auto => choice.plan.clone(),
+    };
+    let result = match &plan {
+        MultiwayPlan::Cascade(steps) => {
+            system.metrics.add("advisor.multiway.ran_hypercube", 0);
+            cascade::execute(system, star, steps)?
+        }
+        MultiwayPlan::Hypercube(shares) => {
+            system.metrics.add("advisor.multiway.ran_hypercube", 1);
+            hypercube::execute(system, star, shares)?
+        }
+    };
+    Ok(finish_run(system, result))
+}
+
+/// The multiway prologue, mirroring [`crate::algorithms::prepare_run`]:
+/// validate, claim a memory grant on a budgeted system, and start from
+/// clean metrics, spans, and fabric.
+pub(crate) fn prepare_star_run(system: &mut HybridSystem, star: &StarQuery) -> Result<()> {
+    star.validate()?;
+    if system.query_budget.is_none() && system.mem_pool.is_bounded() {
+        system.query_budget = Some(system.mem_pool.reserve_remaining("direct-run")?);
+    }
+    system.reset_metrics();
+    system.tracer.reset();
+    system.fabric.purge();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// shared per-worker state, plumbing, and helpers
+// ---------------------------------------------------------------------------
+
+/// Per-worker state threaded through a multiway JEN [`TaskSet`].
+pub(crate) struct MwJen {
+    pub mailbox: Mailbox,
+    /// The running intermediate (fact scan output, then join outputs).
+    pub cur: Vec<Batch>,
+    /// This worker's partial aggregate.
+    pub partial: Option<Batch>,
+}
+
+/// Per-worker state threaded through a multiway DB [`TaskSet`].
+pub(crate) struct MwDb {
+    pub mailbox: Mailbox,
+    /// The final query result (worker 0 only).
+    pub result: Option<Batch>,
+}
+
+pub(crate) fn mw_jen_tasks(sys: &HybridSystem, driver: &Driver) -> Result<Vec<MwJen>> {
+    sys.jen_workers
+        .iter()
+        .map(|w| {
+            Ok(MwJen {
+                mailbox: Mailbox::new(sys, Endpoint::Jen(w.id()))?
+                    .with_cancel(driver.cancel_token()),
+                cur: Vec::new(),
+                partial: None,
+            })
+        })
+        .collect()
+}
+
+pub(crate) fn mw_db_tasks(sys: &HybridSystem, driver: &Driver) -> Result<Vec<MwDb>> {
+    (0..sys.config.db_workers)
+        .map(|w| {
+            Ok(MwDb {
+                mailbox: Mailbox::new(sys, Endpoint::Db(DbWorkerId(w)))?
+                    .with_cancel(driver.cancel_token()),
+                result: None,
+            })
+        })
+        .collect()
+}
+
+/// Received batches in canonical sender order: stable-sorted by endpoint
+/// (DB workers before JEN workers, ascending index), per-sender FIFO
+/// arrival order preserved. Every multiway receive step runs its input
+/// through this, which pins hash-build insertion order, probe order, and
+/// salt cursors to the same sequence at any thread count.
+pub(crate) fn ordered_batches(got: StreamData) -> Vec<Batch> {
+    fn key(e: Endpoint) -> (u8, usize) {
+        match e {
+            Endpoint::Db(id) => (0, id.index()),
+            Endpoint::Jen(id) => (1, id.index()),
+            Endpoint::JenCoordinator => (2, 0),
+        }
+    }
+    let mut tagged: Vec<((u8, usize), Batch)> = got
+        .batch_senders
+        .iter()
+        .map(|&e| key(e))
+        .zip(got.batches)
+        .collect();
+    tagged.sort_by_key(|(k, _)| *k);
+    tagged.into_iter().map(|(_, b)| b).collect()
+}
+
+/// The canonical→physical column map after joining dimensions in `order`.
+///
+/// Each binary join prepends its build side, so after the cascade the
+/// physical layout is `dim_{order[k-1]}' ++ … ++ dim_{order[0]}' ++ fact'`
+/// (the hypercube probes in identity order and lands on the same shape
+/// with `order = 0..k`). Index the result with a canonical column to get
+/// its physical position.
+pub(crate) fn physical_map(star: &StarQuery, order: &[usize]) -> Vec<usize> {
+    let fact_width = star.fact_proj.len();
+    let widths: Vec<usize> = star.dims.iter().map(|d| d.proj.len()).collect();
+    // physical segment sequence: reversed join order, then the fact
+    let mut offsets = vec![0usize; star.dims.len() + 1]; // [fact, dim 0, dim 1, ..]
+    let mut at = 0usize;
+    for &d in order.iter().rev() {
+        offsets[d + 1] = at;
+        at += widths[d];
+    }
+    offsets[0] = at;
+    let mut map = Vec::with_capacity(star.joined_width());
+    for c in 0..fact_width {
+        map.push(offsets[0] + c);
+    }
+    for (d, &w) in widths.iter().enumerate() {
+        for c in 0..w {
+            map.push(offsets[d + 1] + c);
+        }
+    }
+    map
+}
+
+/// Rewrite a canonical joined-layout expression for the physical layout of
+/// a join `order` (see [`physical_map`]).
+pub(crate) fn remap_expr(star: &StarQuery, order: &[usize], expr: &Expr) -> Expr {
+    let map = physical_map(star, order);
+    expr.remap_columns(&|c| map.get(c).copied())
+        .expect("validated expressions stay in bounds")
+}
+
+/// Canonical aggregates rewritten for the physical layout of `order`.
+pub(crate) fn remap_aggs(star: &StarQuery, order: &[usize]) -> Vec<AggSpec> {
+    let map = physical_map(star, order);
+    star.aggs
+        .iter()
+        .map(|a| match *a {
+            AggSpec::Count => AggSpec::Count,
+            AggSpec::SumI64(c) => AggSpec::SumI64(map[c]),
+            AggSpec::MinI64(c) => AggSpec::MinI64(map[c]),
+            AggSpec::MaxI64(c) => AggSpec::MaxI64(map[c]),
+        })
+        .collect()
+}
+
+/// Post-join tail of one worker: apply the (remapped) residual predicate
+/// and fold the joined rows into this worker's partial aggregate.
+pub(crate) fn finalize_partial(
+    sys: &HybridSystem,
+    star: &StarQuery,
+    order: &[usize],
+    joined: Batch,
+    label: String,
+) -> Result<Batch> {
+    let joined = match &star.post_predicate {
+        Some(p) => {
+            let mask = remap_expr(star, order, p).eval_predicate(&joined)?;
+            joined.filter(&mask)?
+        }
+        None => joined,
+    };
+    let agg_span = sys.tracer.start(label, Stage::Aggregate);
+    let groups = remap_expr(star, order, &star.group_expr).eval_i64(&joined)?;
+    let mut agg = HashAggregator::new(remap_aggs(star, order));
+    agg.update(&groups, &joined)?;
+    agg_span.done(0, joined.num_rows() as u64);
+    Ok(agg.finish())
+}
+
+/// The shared aggregation epilogue at `seq..seq+2`, mirroring the
+/// two-table [`crate::algorithms::add_final_aggregation_steps`]: partials
+/// travel to the designated JEN worker, which merges them and ships the
+/// final result to DB worker 0.
+pub(crate) fn add_star_aggregation_steps<'env>(
+    sys: &'env HybridSystem,
+    star: &'env StarQuery,
+    jen: &mut TaskSet<'env, MwJen>,
+    db: &mut TaskSet<'env, MwDb>,
+    seq: u32,
+) -> Result<()> {
+    let designated = sys.coordinator.designated_worker()?;
+    let num_jen = sys.config.jen_workers;
+    jen.step(seq, move |w, st| {
+        if w == designated.index() {
+            return Ok(());
+        }
+        let partial = st
+            .partial
+            .take()
+            .ok_or_else(|| HybridError::exec("missing partial aggregate"))?;
+        let to = Endpoint::Jen(designated);
+        st.mailbox.send_data(to, StreamTag::PartialAgg, &partial)?;
+        st.mailbox.send_eos(to, StreamTag::PartialAgg)
+    });
+    jen.step(seq + 1, move |w, st| {
+        if w != designated.index() {
+            return Ok(());
+        }
+        let agg_span = sys
+            .tracer
+            .start(format!("jen-{}", designated.index()), Stage::Aggregate);
+        // merge_partial folds accumulator columns, so the canonical agg
+        // specs serve unchanged — no layout remap applies to partials
+        let mut merger = HashAggregator::new(star.aggs.clone());
+        if let Some(p) = st.partial.take() {
+            merger.merge_partial(&p)?;
+        }
+        let received = st.mailbox.take_stream(StreamTag::PartialAgg, num_jen - 1)?;
+        for p in &received.batches {
+            merger.merge_partial(p)?;
+        }
+        let final_batch = merger.finish();
+        agg_span.done(0, final_batch.num_rows() as u64);
+        let db0 = Endpoint::Db(DbWorkerId(0));
+        st.mailbox
+            .send_data(db0, StreamTag::FinalResult, &final_batch)?;
+        st.mailbox.send_eos(db0, StreamTag::FinalResult)
+    });
+    db.step(seq + 2, move |w, st| {
+        if w != 0 {
+            return Ok(());
+        }
+        let got = st.mailbox.take_stream(StreamTag::FinalResult, 1)?;
+        let schema = HashAggregator::new(star.aggs.clone())
+            .finish()
+            .schema()
+            .clone();
+        st.result = Some(if got.batches.is_empty() {
+            Batch::empty(schema)
+        } else {
+            Batch::concat(schema, &got.batches)?
+        });
+        Ok(())
+    });
+    Ok(())
+}
+
+/// Pull the final result off DB worker 0's state after a driver run.
+pub(crate) fn take_star_result(mut db_states: Vec<MwDb>) -> Result<Batch> {
+    db_states
+        .first_mut()
+        .and_then(|st| st.result.take())
+        .ok_or_else(|| HybridError::exec("no final result on DB worker 0"))
+}
+
+/// Uniform data-movement meters every multiway shuffle send reports
+/// (cross-network only — local pieces never count). `bench_baseline`
+/// compares planners on exactly these counters.
+pub(crate) fn meter_shuffle(sys: &HybridSystem, rows: u64, bytes: u64) {
+    sys.metrics.add("multiway.shuffle.tuples", rows);
+    sys.metrics.add("multiway.shuffle.bytes", bytes);
+}
+
+/// Per-axis heavy-hitter foreign keys of the filtered fact table, gated
+/// exactly like the two-table [`crate::skew::SaltRouter::detect`]: a
+/// `salt_buckets` setting and ≥ 2 JEN workers, strided block sampling,
+/// one [`SpaceSaving`] sketch per axis, fair-share threshold. Empty sets
+/// mean "no salting on this axis".
+pub(crate) fn detect_hot_fact_keys(
+    sys: &HybridSystem,
+    star: &StarQuery,
+) -> Result<Vec<HashSet<i64>>> {
+    let k = star.dims.len();
+    let cold = vec![HashSet::new(); k];
+    if sys.config.salt_buckets.is_none() {
+        return Ok(cold);
+    }
+    let n = sys.config.jen_workers;
+    if n < 2 {
+        return Ok(cold);
+    }
+    let meta = sys.coordinator.lookup_table(&star.fact_table)?;
+    let blocks = sys.hdfs.read().file_blocks(&meta.path)?;
+    let picked = SALT_SAMPLE_BLOCKS.clamp(1, blocks.len().max(1));
+    let mut sketches: Vec<SpaceSaving> =
+        (0..k).map(|_| SpaceSaving::new(SKETCH_CAPACITY)).collect();
+    for i in 0..picked {
+        let idx = i * blocks.len() / picked;
+        let reader = sys.jen_workers[0].datanode();
+        let bytes = sys
+            .hdfs
+            .read()
+            .read_block_into(blocks[idx].id, reader, &sys.metrics)?;
+        let decoded = decode(meta.format, &meta.schema, &bytes, None)?;
+        let mask = star.fact_pred.eval_predicate(&decoded.batch)?;
+        let survivors = decoded.batch.filter(&mask)?.project(&star.fact_proj)?;
+        for (axis, sketch) in sketches.iter_mut().enumerate() {
+            for &key in survivors.column(star.fact_keys[axis])?.keys_i64()?.iter() {
+                sketch.offer(key);
+            }
+        }
+    }
+    // every axis sees the same sampled rows; meter the sample once
+    sys.metrics
+        .add("multiway.salt.sampled_rows", sketches[0].total());
+    let hot: Vec<HashSet<i64>> = sketches
+        .into_iter()
+        .map(|sketch| {
+            let threshold = (sketch.total() / n as u64).max(MIN_HOT_COUNT);
+            sketch
+                .heavy_hitters(threshold)
+                .into_iter()
+                .map(|(key, _)| key)
+                .collect()
+        })
+        .collect();
+    sys.metrics.add(
+        "multiway.salt.hot_keys",
+        hot.iter().map(|h| h.len() as u64).sum(),
+    );
+    Ok(hot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_common::ops::AggSpec;
+
+    fn star(k: usize) -> StarQuery {
+        StarQuery {
+            fact_table: "L".into(),
+            fact_pred: Expr::col_le(1, 10),
+            fact_proj: (0..=k).collect(),
+            fact_keys: (0..k).collect(),
+            dims: (0..k)
+                .map(|i| DimQuery {
+                    table: format!("D{i}"),
+                    pred: Expr::col_le(1, 5),
+                    proj: vec![0, 2],
+                    key: 0,
+                })
+                .collect(),
+            post_predicate: None,
+            group_expr: Expr::col(k),
+            aggs: vec![AggSpec::Count],
+        }
+    }
+
+    #[test]
+    fn validation_guards_shape() {
+        star(2).validate().unwrap();
+        let mut q = star(2);
+        q.dims.clear();
+        q.fact_keys.clear();
+        assert!(q.validate().is_err(), "no dimensions");
+        let mut q = star(2);
+        q.fact_keys = vec![0];
+        assert!(q.validate().is_err(), "key/dim count mismatch");
+        let mut q = star(2);
+        q.fact_keys[1] = 99;
+        assert!(q.validate().is_err(), "fact key out of bounds");
+        let mut q = star(2);
+        q.dims[0].key = 7;
+        assert!(q.validate().is_err(), "dim key out of bounds");
+        let mut q = star(2);
+        q.group_expr = Expr::col(q.joined_width());
+        assert!(q.validate().is_err(), "group expr out of bounds");
+        let mut q = star(2);
+        q.aggs = vec![AggSpec::SumI64(q.joined_width())];
+        assert!(q.validate().is_err(), "agg column out of bounds");
+    }
+
+    #[test]
+    fn planner_parses_and_defaults() {
+        assert_eq!(
+            MultiwayPlanner::parse("Cascade"),
+            Some(MultiwayPlanner::Cascade)
+        );
+        assert_eq!(
+            MultiwayPlanner::parse(" hypercube "),
+            Some(MultiwayPlanner::Hypercube)
+        );
+        assert_eq!(MultiwayPlanner::parse("auto"), Some(MultiwayPlanner::Auto));
+        assert_eq!(MultiwayPlanner::parse("nope"), None);
+        assert_eq!(MultiwayPlanner::Hypercube.name(), "hypercube");
+    }
+
+    #[test]
+    fn physical_map_inverts_the_prefix_stack() {
+        // k = 2, fact width 3 (2 FKs + group), dim width 2. Join order
+        // [1, 0] → physical layout dim0' ++ dim1' ++ fact'.
+        let q = star(2);
+        let map = physical_map(&q, &[1, 0]);
+        // canonical fact cols 0..3 → physical 4..7
+        assert_eq!(&map[0..3], &[4, 5, 6]);
+        // canonical dim0 cols → physical 0..2 (joined last, so outermost)
+        assert_eq!(&map[3..5], &[0, 1]);
+        // canonical dim1 cols → physical 2..4
+        assert_eq!(&map[5..7], &[2, 3]);
+        // identity order stacks the other way round
+        let map = physical_map(&q, &[0, 1]);
+        assert_eq!(&map[0..3], &[4, 5, 6]);
+        assert_eq!(&map[3..5], &[2, 3]);
+        assert_eq!(&map[5..7], &[0, 1]);
+        // a map is a permutation of the joined width
+        let mut sorted = map.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..q.joined_width()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remapped_aggs_follow_the_map() {
+        let q = StarQuery {
+            aggs: vec![AggSpec::Count, AggSpec::SumI64(4)],
+            ..star(2)
+        };
+        let map = physical_map(&q, &[1, 0]);
+        assert_eq!(
+            remap_aggs(&q, &[1, 0]),
+            vec![AggSpec::Count, AggSpec::SumI64(map[4])]
+        );
+    }
+}

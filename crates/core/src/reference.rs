@@ -5,10 +5,13 @@
 //! simple — filter, hash join, filter, aggregate, all on one thread — and
 //! shares only the lowest-level operators with the engines.
 
+use crate::multiway::StarQuery;
 use crate::query::HybridQuery;
 use hybrid_common::batch::Batch;
-use hybrid_common::error::Result;
+use hybrid_common::error::{HybridError, Result};
+use hybrid_common::hash::{hash_bytes, splitmix64};
 use hybrid_common::ops::{HashAggregator, HashJoiner};
+use std::collections::HashMap;
 
 /// Evaluate `query` against the full `T` and `L` tables directly.
 pub fn run_reference(t: &Batch, l: &Batch, query: &HybridQuery) -> Result<Batch> {
@@ -38,6 +41,104 @@ pub fn run_reference(t: &Batch, l: &Batch, query: &HybridQuery) -> Result<Batch>
     let mut agg = HashAggregator::new(query.aggs.clone());
     agg.update(&groups, &joined)?;
     Ok(agg.finish())
+}
+
+/// Evaluate a star query against the full fact and dimension tables
+/// directly: a sequential n-way nested join in the **canonical** layout
+/// `fact' ++ dim_0' ++ … ++ dim_{k-1}'` — ground truth for every
+/// distributed multiway plan.
+///
+/// Deliberately independent of the engines' hash joiners: each dimension
+/// is indexed with a plain `HashMap`, matches expand through explicit pair
+/// selection vectors (fact-row order outer, dimension index order inner),
+/// and columns stack by concatenation. The foreign-key columns stay at
+/// their `fact_proj` positions throughout, because joined dimension
+/// columns only ever append to the right.
+pub fn run_star_reference(fact: &Batch, dims: &[Batch], star: &StarQuery) -> Result<Batch> {
+    star.validate()?;
+    if dims.len() != star.dims.len() {
+        return Err(HybridError::config(format!(
+            "{} dimension tables for {} dimension queries",
+            dims.len(),
+            star.dims.len()
+        )));
+    }
+    let mask = star.fact_pred.eval_predicate(fact)?;
+    let mut cur = fact.filter(&mask)?.project(&star.fact_proj)?;
+    for (i, dq) in star.dims.iter().enumerate() {
+        let mask = dq.pred.eval_predicate(&dims[i])?;
+        let dim = dims[i].filter(&mask)?.project(&dq.proj)?;
+        let mut index: HashMap<i64, Vec<u32>> = HashMap::new();
+        for (row, &key) in dim.column(dq.key)?.keys_i64()?.iter().enumerate() {
+            index.entry(key).or_default().push(row as u32);
+        }
+        let mut sel_cur: Vec<u32> = Vec::new();
+        let mut sel_dim: Vec<u32> = Vec::new();
+        for (row, &key) in cur
+            .column(star.fact_keys[i])?
+            .keys_i64()?
+            .iter()
+            .enumerate()
+        {
+            if let Some(matches) = index.get(&key) {
+                for &m in matches {
+                    sel_cur.push(row as u32);
+                    sel_dim.push(m);
+                }
+            }
+        }
+        let left = cur.take(&sel_cur);
+        let right = dim.take(&sel_dim);
+        let schema = left.schema().join(right.schema());
+        let columns = left
+            .columns()
+            .iter()
+            .chain(right.columns())
+            .cloned()
+            .collect();
+        cur = Batch::new(schema, columns)?;
+    }
+    let joined = match &star.post_predicate {
+        Some(p) => {
+            let mask = p.eval_predicate(&cur)?;
+            cur.filter(&mask)?
+        }
+        None => cur,
+    };
+    let groups = star.group_expr.eval_i64(&joined)?;
+    let mut agg = HashAggregator::new(star.aggs.clone());
+    agg.update(&groups, &joined)?;
+    Ok(agg.finish())
+}
+
+/// An order-sensitive content checksum of a batch: every column's values
+/// fold into one `u64` (strings through [`hash_bytes`], integers through
+/// [`splitmix64`] chained with their position). Two batches compare equal
+/// iff schema-shape, row order, and every value match — the compact
+/// fingerprint the differential grid and the bench baselines pin.
+pub fn batch_checksum(batch: &Batch) -> u64 {
+    use hybrid_common::batch::Column;
+    let mut acc = splitmix64(batch.num_rows() as u64 ^ (batch.schema().len() as u64) << 32);
+    for col in batch.columns() {
+        match col {
+            Column::I32(v) | Column::Date(v) => {
+                for &x in v {
+                    acc = splitmix64(acc ^ x as u64);
+                }
+            }
+            Column::I64(v) => {
+                for &x in v {
+                    acc = splitmix64(acc ^ x as u64);
+                }
+            }
+            Column::Utf8(v) => {
+                for s in v {
+                    acc = splitmix64(acc ^ hash_bytes(s.as_bytes(), 0x5EED));
+                }
+            }
+        }
+    }
+    acc
 }
 
 #[cfg(test)]

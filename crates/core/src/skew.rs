@@ -34,14 +34,16 @@ use hybrid_storage::decode;
 use std::collections::{HashMap, HashSet};
 
 /// How many HDFS blocks the detector decodes (strided through the file).
-const SALT_SAMPLE_BLOCKS: usize = 16;
+/// Shared with the multiway detector so both samplers see the same slice
+/// of the file.
+pub(crate) const SALT_SAMPLE_BLOCKS: usize = 16;
 
 /// Sketch width — far above the handful of keys that can matter.
-const SKETCH_CAPACITY: usize = 64;
+pub(crate) const SKETCH_CAPACITY: usize = 64;
 
 /// Noise floor: a key must have at least this many guaranteed sampled
 /// occurrences before salting it, however small the sample.
-const MIN_HOT_COUNT: u64 = 16;
+pub(crate) const MIN_HOT_COUNT: u64 = 16;
 
 /// Routing table for one query's salted shuffle.
 #[derive(Debug, Clone)]

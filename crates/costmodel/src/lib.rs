@@ -34,9 +34,11 @@ pub mod model;
 pub mod overlap;
 pub mod replan;
 pub mod scale;
+pub mod star;
 
 pub use cluster::ClusterSpec;
 pub use model::{CostBreakdown, CostModel, Phase};
 pub use overlap::OverlapProfile;
 pub use replan::{replan_break_even, SunkWork};
 pub use scale::ScaleFactors;
+pub use star::{cascade_shuffle_bytes, hypercube_shuffle_bytes, StarShuffleVolume};

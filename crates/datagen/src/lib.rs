@@ -27,5 +27,5 @@ pub mod spec;
 pub mod tables;
 pub mod workload;
 
-pub use spec::{KeyPlan, KeySkew, WorkloadSpec};
+pub use spec::{DimSpec, KeyPlan, KeySkew, WorkloadSpec, MAX_DIMENSIONS};
 pub use workload::Workload;

@@ -27,13 +27,54 @@ pub enum KeySkew {
     SingleKey,
 }
 
+/// One DB-resident dimension table of a star-schema workload.
+///
+/// The dimension holds `rows` rows keyed `0..rows` (unique `dimKey`); the
+/// local predicate selects exactly the key prefix `[0, round(sigma·rows))`,
+/// so the selected key set is analytically known. The fact table `L` grows
+/// one foreign-key column per dimension: each FK is drawn from the
+/// *selected* prefix with probability `fk_correlation` and from the full
+/// key range (under `skew`) otherwise — the shared-key correlation knob
+/// that controls the expected join cardinality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimSpec {
+    pub rows: usize,
+    /// Fraction of dimension keys passing the dimension's local predicate.
+    pub sigma: f64,
+    /// Probability that a fact FK is drawn from the selected key prefix.
+    pub fk_correlation: f64,
+    /// Draw distribution of the uncorrelated FK fraction.
+    pub skew: KeySkew,
+}
+
+impl DimSpec {
+    /// Number of keys passing the dimension predicate (the selected prefix).
+    pub fn selected_keys(&self) -> usize {
+        ((self.sigma * self.rows as f64).round() as usize).clamp(1, self.rows)
+    }
+
+    /// Analytic probability that a fact row joins a *selected* dimension
+    /// row, valid for `KeySkew::Uniform` draws (skewed draws concentrate on
+    /// the selected prefix, so this is a lower bound there).
+    pub fn pass_fraction(&self) -> f64 {
+        let sel = self.selected_keys() as f64 / self.rows as f64;
+        self.fk_correlation + (1.0 - self.fk_correlation) * sel
+    }
+}
+
 /// Requested workload shape.
 ///
 /// `sigma_t`/`sigma_l` are the *combined* local-predicate selectivities on
 /// `T`/`L`; `st`/`sl` are the join-key selectivities on `T'`/`L'` as
 /// defined in §3.4:
 /// `S_T' = |JK(T') ∩ JK(L')| / |JK(T')|`, `S_L'` symmetric.
-#[derive(Debug, Clone, Copy)]
+///
+/// A non-empty `dimensions` list turns the workload into a star schema:
+/// `L` becomes the fact table (one extra FK column per dimension) and each
+/// [`DimSpec`] materializes a DB-side dimension table. The base `T`/`L`
+/// column bytes are unchanged by adding dimensions — two-table workloads
+/// generated before and after this field stay bit-identical.
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec {
     pub t_rows: usize,
     pub l_rows: usize,
@@ -53,7 +94,15 @@ pub struct WorkloadSpec {
     pub seed: u64,
     /// Join-key draw distribution for both tables.
     pub skew: KeySkew,
+    /// Star-schema dimension tables (empty for the paper's two-table
+    /// workload). Capped at [`MAX_DIMENSIONS`].
+    pub dimensions: Vec<DimSpec>,
 }
+
+/// Hard cap on the dimension count: the fabric reserves one dim-shipping
+/// and one cascade-reshuffle stream tag per dimension, and the advisor
+/// enumerates all left-deep cascade permutations.
+pub const MAX_DIMENSIONS: usize = 3;
 
 impl WorkloadSpec {
     /// A convenient default at 1/10000 of the paper's row counts: 160 k-row
@@ -75,6 +124,7 @@ impl WorkloadSpec {
             date_days: 32,
             seed: 0xEDB7_2015,
             skew: KeySkew::Uniform,
+            dimensions: Vec::new(),
         }
     }
 
@@ -92,7 +142,35 @@ impl WorkloadSpec {
             date_days: 32,
             seed: 0xEDB7_2015,
             skew: KeySkew::Uniform,
+            dimensions: Vec::new(),
         }
+    }
+
+    /// [`WorkloadSpec::tiny`] extended into a `dims`-dimension star schema
+    /// with analytically convenient (uniform) dimensions.
+    pub fn tiny_star(dims: usize) -> WorkloadSpec {
+        let mut spec = WorkloadSpec::tiny();
+        spec.dimensions = (0..dims)
+            .map(|i| DimSpec {
+                rows: 300 + 100 * i,
+                sigma: 0.5,
+                fk_correlation: 0.6,
+                skew: KeySkew::Uniform,
+            })
+            .collect();
+        spec
+    }
+
+    /// Analytic expected row count of the star join `L' ⋈ dims` (before
+    /// aggregation): fact survivors times the per-dimension pass fractions.
+    /// Exact in expectation for uniform FK draws; a lower bound under skew.
+    pub fn expected_star_rows(&self) -> f64 {
+        self.dimensions
+            .iter()
+            .map(DimSpec::pass_fraction)
+            .product::<f64>()
+            * self.l_rows as f64
+            * self.sigma_l
     }
 
     pub fn validate(&self) -> Result<()> {
@@ -119,6 +197,36 @@ impl WorkloadSpec {
                 return Err(HybridError::config(format!(
                     "zipf exponent s={s} outside (0, 8]"
                 )));
+            }
+        }
+        if self.dimensions.len() > MAX_DIMENSIONS {
+            return Err(HybridError::config(format!(
+                "{} dimensions exceed the cap of {MAX_DIMENSIONS}",
+                self.dimensions.len()
+            )));
+        }
+        for (i, d) in self.dimensions.iter().enumerate() {
+            if d.rows == 0 {
+                return Err(HybridError::config(format!("dimension {i} has 0 rows")));
+            }
+            if !(d.sigma > 0.0 && d.sigma <= 1.0) {
+                return Err(HybridError::config(format!(
+                    "dimension {i} sigma={} outside (0, 1]",
+                    d.sigma
+                )));
+            }
+            if !(0.0..=1.0).contains(&d.fk_correlation) || !d.fk_correlation.is_finite() {
+                return Err(HybridError::config(format!(
+                    "dimension {i} fk_correlation={} outside [0, 1]",
+                    d.fk_correlation
+                )));
+            }
+            if let KeySkew::Zipf { s } = d.skew {
+                if !(s.is_finite() && s > 0.0 && s <= 8.0) {
+                    return Err(HybridError::config(format!(
+                        "dimension {i} zipf exponent s={s} outside (0, 8]"
+                    )));
+                }
             }
         }
         Ok(())
@@ -355,6 +463,42 @@ mod tests {
         assert!(s.validate().is_err());
         s.skew = KeySkew::Zipf { s: 9.0 };
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let mut s = WorkloadSpec::tiny_star(3);
+        assert!(s.validate().is_ok());
+        s.dimensions.push(s.dimensions[0]);
+        assert!(s.validate().is_err(), "4 dims exceed the cap");
+        let mut s = WorkloadSpec::tiny_star(1);
+        s.dimensions[0].rows = 0;
+        assert!(s.validate().is_err());
+        let mut s = WorkloadSpec::tiny_star(1);
+        s.dimensions[0].sigma = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = WorkloadSpec::tiny_star(1);
+        s.dimensions[0].fk_correlation = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = WorkloadSpec::tiny_star(1);
+        s.dimensions[0].skew = KeySkew::Zipf { s: 0.0 };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn star_pass_fraction_arithmetic() {
+        let d = DimSpec {
+            rows: 400,
+            sigma: 0.5,
+            fk_correlation: 0.6,
+            skew: KeySkew::Uniform,
+        };
+        assert_eq!(d.selected_keys(), 200);
+        assert!((d.pass_fraction() - 0.8).abs() < 1e-12);
+        let s = WorkloadSpec::tiny_star(2);
+        let per_dim: f64 = s.dimensions.iter().map(DimSpec::pass_fraction).product();
+        let expect = 12_000.0 * 0.4 * per_dim;
+        assert!((s.expected_star_rows() - expect).abs() < 1e-6);
     }
 
     #[test]

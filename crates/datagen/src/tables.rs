@@ -1,6 +1,6 @@
-//! Row generation for `T` and `L`.
+//! Row generation for `T`, `L`, and the star-schema dimension tables.
 
-use crate::spec::{KeyPlan, KeySkew, WorkloadSpec, PRED_DOMAIN};
+use crate::spec::{DimSpec, KeyPlan, KeySkew, WorkloadSpec, PRED_DOMAIN};
 use hybrid_common::batch::{Batch, Column};
 use hybrid_common::datum::DataType;
 use hybrid_common::error::Result;
@@ -51,6 +51,42 @@ pub mod l_cols {
     pub const IND_PRED: usize = 2;
     pub const DATE: usize = 3;
     pub const GROUP: usize = 4;
+
+    /// Foreign-key column referencing dimension `i` (star schemas append
+    /// one `fk<i>` column per dimension after the base six).
+    pub fn fk(i: usize) -> usize {
+        6 + i
+    }
+}
+
+/// `L`'s schema under `spec`: the base six columns plus one `fk<i>` FK
+/// column per dimension. Equal to [`l_schema`] for two-table specs.
+pub fn l_star_schema(spec: &WorkloadSpec) -> Schema {
+    let mut fields = l_schema().fields().to_vec();
+    for i in 0..spec.dimensions.len() {
+        fields.push(hybrid_common::schema::Field::new(
+            format!("fk{i}"),
+            DataType::I32,
+        ));
+    }
+    Schema::new(fields)
+}
+
+/// Schema of a dimension table (all dimensions share the shape).
+pub fn dim_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("dimKey", DataType::I32),
+        ("dimPred", DataType::I32),
+        ("dimAttr", DataType::I64),
+        ("dimPayload", DataType::Utf8),
+    ])
+}
+
+/// Column indexes of a dimension table.
+pub mod dim_cols {
+    pub const KEY: usize = 0;
+    pub const PRED: usize = 1;
+    pub const ATTR: usize = 2;
 }
 
 /// Key-pool geometry shared by both generators (see [`KeyPlan`] docs).
@@ -272,7 +308,76 @@ pub fn generate_t(spec: &WorkloadSpec, plan: &KeyPlan) -> Result<Batch> {
     )
 }
 
-/// Generate the log table `L`.
+/// Threshold of dimension `d`'s local predicate: `dimPred <= threshold`
+/// passes exactly the selected key prefix `[0, d.selected_keys())`.
+pub fn dim_pred_threshold(d: &DimSpec) -> i64 {
+    cor_threshold(d.selected_keys() as f64 / d.rows as f64) - 1
+}
+
+/// Generate dimension table `i`. Every column is a pure function of the
+/// key id and the spec seed, so regeneration is bit-identical.
+pub fn generate_dim(spec: &WorkloadSpec, i: usize) -> Result<Batch> {
+    let d = &spec.dimensions[i];
+    let sel = d.selected_keys();
+    let frac = sel as f64 / d.rows as f64;
+    let seed = dim_seed(spec, i);
+    let mut key = Vec::with_capacity(d.rows);
+    let mut pred = Vec::with_capacity(d.rows);
+    let mut attr = Vec::with_capacity(d.rows);
+    let mut payload = Vec::with_capacity(d.rows);
+    for k in 0..d.rows {
+        key.push(k as i32);
+        pred.push(cor_pred_value(k, k < sel, frac, seed));
+        attr.push((hash_key_seeded(k as i64, seed ^ 0xA77) % 1000) as i64);
+        payload.push(format!("dim{i}-{:012x}", splitmix64(k as u64 ^ seed)));
+    }
+    Batch::new(
+        dim_schema(),
+        vec![
+            Column::I32(key),
+            Column::I32(pred),
+            Column::I64(attr),
+            Column::Utf8(payload),
+        ],
+    )
+}
+
+/// Foreign-key column of `L` referencing dimension `i`.
+///
+/// Each FK draw flips a correlation coin: with probability
+/// `fk_correlation` the key comes uniformly from the selected prefix,
+/// otherwise from the full key range under the dimension's skew. The
+/// column has its own RNG (seeded per dimension), so adding dimensions
+/// never perturbs the base `L` columns.
+fn generate_fk_column(spec: &WorkloadSpec, i: usize) -> Column {
+    let d = &spec.dimensions[i];
+    let sel = d.selected_keys();
+    let sampler = KeySampler::new(d.skew, d.rows);
+    let mut rng = StdRng::seed_from_u64(dim_seed(spec, i) ^ FK_SEED_X);
+    let corr_cut = if d.fk_correlation >= 1.0 {
+        u64::MAX
+    } else {
+        (d.fk_correlation * u64::MAX as f64) as u64
+    };
+    let mut fk = Vec::with_capacity(spec.l_rows);
+    for _ in 0..spec.l_rows {
+        let correlated = d.fk_correlation >= 1.0 || rng.next_u64() < corr_cut;
+        let key = if correlated {
+            rng.gen_range(0..sel)
+        } else {
+            sampler.draw(&mut rng)
+        };
+        fk.push(key as i32);
+    }
+    Column::I32(fk)
+}
+
+fn dim_seed(spec: &WorkloadSpec, i: usize) -> u64 {
+    spec.seed ^ DIM_SEED_X ^ ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Generate the log table `L` (plus one FK column per dimension for star
+/// specs — the base six columns are byte-identical either way).
 pub fn generate_l(spec: &WorkloadSpec, plan: &KeyPlan) -> Result<Batch> {
     let pools = Pools::new(plan);
     let sampler = KeySampler::new(spec.skew, pools.l_full());
@@ -301,21 +406,24 @@ pub fn generate_l(spec: &WorkloadSpec, plan: &KeyPlan) -> Result<Batch> {
         grp.push(format!("url_{g}/pages/{:024x}", splitmix64(i as u64)));
         dummy.push(format!("{:08x}", splitmix64(i as u64 ^ 0xD)));
     }
-    Batch::new(
-        l_schema(),
-        vec![
-            Column::I32(join),
-            Column::I32(cor),
-            Column::I32(ind),
-            Column::Date(date),
-            Column::Utf8(grp),
-            Column::Utf8(dummy),
-        ],
-    )
+    let mut columns = vec![
+        Column::I32(join),
+        Column::I32(cor),
+        Column::I32(ind),
+        Column::Date(date),
+        Column::Utf8(grp),
+        Column::Utf8(dummy),
+    ];
+    for i in 0..spec.dimensions.len() {
+        columns.push(generate_fk_column(spec, i));
+    }
+    Batch::new(l_star_schema(spec), columns)
 }
 
 const T_SEED_X: u64 = 0x7AB_1E0F_7000;
 const L_SEED_X: u64 = 0x106_0F10_0000;
+const DIM_SEED_X: u64 = 0xD1_0000_0000;
+const FK_SEED_X: u64 = 0xFACC_0000_0000;
 
 #[cfg(test)]
 mod tests {
@@ -483,6 +591,89 @@ mod tests {
         assert_eq!(
             l_schema().field(l_cols::GROUP).unwrap().name,
             "groupByExtractCol"
+        );
+    }
+
+    #[test]
+    fn star_l_keeps_base_columns_byte_identical() {
+        let two = WorkloadSpec::tiny();
+        let star = WorkloadSpec::tiny_star(3);
+        let plan = two.key_plan().unwrap();
+        let l_two = generate_l(&two, &plan).unwrap();
+        let l_star = generate_l(&star, &star.key_plan().unwrap()).unwrap();
+        assert_eq!(l_star.schema().len(), 9, "six base columns + three FKs");
+        for c in 0..l_two.schema().len() {
+            assert_eq!(
+                l_two.column(c).unwrap(),
+                l_star.column(c).unwrap(),
+                "base column {c} perturbed by dimensions"
+            );
+        }
+    }
+
+    #[test]
+    fn dim_predicate_selects_exactly_the_prefix() {
+        let spec = WorkloadSpec::tiny_star(2);
+        for (i, d) in spec.dimensions.iter().enumerate() {
+            let dim = generate_dim(&spec, i).unwrap();
+            let thr = dim_pred_threshold(d);
+            let keys = dim.column(dim_cols::KEY).unwrap().as_i32().unwrap();
+            let preds = dim.column(dim_cols::PRED).unwrap().as_i32().unwrap();
+            for (k, p) in keys.iter().zip(preds) {
+                assert_eq!(
+                    i64::from(*p) <= thr,
+                    (*k as usize) < d.selected_keys(),
+                    "dim {i} key {k}: predicate must select the prefix exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_cardinality_matches_analytic_expectation() {
+        use hybrid_common::expr::Expr;
+        let mut spec = WorkloadSpec::tiny_star(2);
+        spec.l_rows = 40_000;
+        let plan = spec.key_plan().unwrap();
+        let l = generate_l(&spec, &plan).unwrap();
+        // survivors of L's own predicate, then of each dim's FK membership
+        let th = thresholds(&plan);
+        let l_pred =
+            Expr::col_le(l_cols::COR_PRED, th.l_cor).and(Expr::col_le(l_cols::IND_PRED, th.l_ind));
+        let mask = l_pred.eval_predicate(&l).unwrap();
+        let survivors = l.filter(&mask).unwrap();
+        let mut joined = survivors.num_rows() as f64;
+        for (i, d) in spec.dimensions.iter().enumerate() {
+            let fks = survivors.column(l_cols::fk(i)).unwrap().as_i32().unwrap();
+            let hit = fks
+                .iter()
+                .filter(|&&k| (k as usize) < d.selected_keys())
+                .count();
+            joined *= hit as f64 / fks.len() as f64;
+        }
+        let expect = spec.expected_star_rows();
+        assert!(
+            (joined - expect).abs() / expect < 0.05,
+            "ground truth {joined} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn zipf_fk_draws_reproduce_seeded_identically() {
+        let mut spec = WorkloadSpec::tiny_star(2);
+        spec.dimensions[1].skew = KeySkew::Zipf { s: 1.2 };
+        spec.dimensions[1].fk_correlation = 0.2;
+        let plan = spec.key_plan().unwrap();
+        let a = generate_l(&spec, &plan).unwrap();
+        let b = generate_l(&spec, &plan).unwrap();
+        assert_eq!(a, b, "skewed FK generation must be seed-deterministic");
+        // the uncorrelated zipf mass concentrates on key 0
+        let fks = a.column(l_cols::fk(1)).unwrap().as_i32().unwrap();
+        let hot = fks.iter().filter(|&&k| k == 0).count() as f64 / fks.len() as f64;
+        let uniform_share = 1.0 / spec.dimensions[1].rows as f64;
+        assert!(
+            hot > 20.0 * uniform_share,
+            "zipf rank-0 share {hot} vs uniform {uniform_share}"
         );
     }
 

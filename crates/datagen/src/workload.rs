@@ -1,13 +1,14 @@
 //! A generated workload: tables + the paper's query, ready to run.
 
 use crate::spec::WorkloadSpec;
-use crate::tables::{self, l_cols, t_cols, thresholds, Thresholds};
+use crate::tables::{self, dim_cols, l_cols, t_cols, thresholds, Thresholds};
 use hybrid_bloom::BloomParams;
 use hybrid_common::batch::Batch;
 use hybrid_common::error::Result;
 use hybrid_common::expr::Expr;
 use hybrid_common::ops::AggSpec;
-use hybrid_core::advisor::QueryEstimates;
+use hybrid_core::advisor::{DimEstimates, QueryEstimates, StarEstimates};
+use hybrid_core::multiway::{DimQuery, StarQuery};
 use hybrid_core::{HybridQuery, HybridSystem};
 use hybrid_storage::FileFormat;
 
@@ -32,6 +33,8 @@ pub struct Workload {
     pub spec: WorkloadSpec,
     pub t: Batch,
     pub l: Batch,
+    /// Star-schema dimension tables (empty for two-table specs).
+    pub dims: Vec<Batch>,
     pub thresholds: Thresholds,
     bloom: BloomParams,
 }
@@ -40,10 +43,14 @@ impl WorkloadSpec {
     /// Generate the tables and derive the query thresholds.
     pub fn generate(&self) -> Result<Workload> {
         let plan = self.key_plan()?;
+        let dims = (0..self.dimensions.len())
+            .map(|i| tables::generate_dim(self, i))
+            .collect::<Result<Vec<_>>>()?;
         Ok(Workload {
-            spec: *self,
+            spec: self.clone(),
             t: tables::generate_t(self, &plan)?,
             l: tables::generate_l(self, &plan)?,
+            dims,
             thresholds: thresholds(&plan),
             // the paper's ratio: 8 bits/key, 2 hashes (~5% FPR), sized for
             // the key universe
@@ -91,14 +98,68 @@ impl Workload {
         }
     }
 
+    /// The star-schema query over the fact table `L` and the DB
+    /// dimensions `D0..Dk`:
+    ///
+    /// ```sql
+    /// select extract_group(L.groupByExtractCol), count(*), sum(D0.dimAttr)
+    /// from L, D0, ..
+    /// where L.corPred <= c and L.indPred <= d
+    ///   and D<i>.dimPred <= p<i> and L.fk<i> = D<i>.dimKey  (for each i)
+    ///   and D0.dimAttr - Dk.dimAttr between -950 and 950
+    /// group by extract_group(L.groupByExtractCol)
+    /// ```
+    ///
+    /// All expressions are phrased over the canonical joined layout
+    /// `fact' ++ dim_0' ++ … ++ dim_{k-1}'`.
+    pub fn star_query(&self) -> StarQuery {
+        let th = self.thresholds;
+        let k = self.spec.dimensions.len();
+        let fact_proj: Vec<usize> = (0..k).map(l_cols::fk).chain([l_cols::GROUP]).collect();
+        let dims = self
+            .spec
+            .dimensions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| DimQuery {
+                table: format!("D{i}"),
+                pred: Expr::col_le(dim_cols::PRED, tables::dim_pred_threshold(d)),
+                proj: vec![dim_cols::KEY, dim_cols::ATTR],
+                key: 0,
+            })
+            .collect();
+        // dim i's attr sits at canonical column (k+1) + 2i + 1
+        let attr = |i: usize| (k + 1) + 2 * i + 1;
+        let diff = Expr::col(attr(0)).sub(Expr::col(attr(k.saturating_sub(1))));
+        StarQuery {
+            fact_table: "L".into(),
+            fact_pred: Expr::col_le(l_cols::COR_PRED, th.l_cor)
+                .and(Expr::col_le(l_cols::IND_PRED, th.l_ind)),
+            fact_proj,
+            fact_keys: (0..k).collect(),
+            dims,
+            post_predicate: Some(
+                diff.clone()
+                    .ge(Expr::lit_i64(-950))
+                    .and(diff.le(Expr::lit_i64(950))),
+            ),
+            group_expr: Expr::ExtractGroup(Box::new(Expr::col(k))),
+            aggs: vec![AggSpec::Count, AggSpec::SumI64(attr(0))],
+        }
+    }
+
     /// Load `T` into the database (distributed on `uniqKey`, with the
-    /// paper's two covering indexes) and `L` onto HDFS in `format`.
+    /// paper's two covering indexes), every dimension into the database
+    /// (distributed on `dimKey`), and `L` onto HDFS in `format`.
     pub fn load_into(&self, sys: &mut HybridSystem, format: FileFormat) -> Result<()> {
         sys.load_db_table("T", t_cols::UNIQ_KEY, self.t.clone())?;
         // the paper's indexes: (corPred, indPred) and (corPred, indPred, joinKey)
         sys.create_db_index("T", &[t_cols::COR_PRED, t_cols::IND_PRED])?;
         sys.create_db_index("T", &[t_cols::COR_PRED, t_cols::IND_PRED, t_cols::JOIN_KEY])?;
-        sys.load_hdfs_table("L", format, tables::l_schema(), &self.l)
+        for (i, dim) in self.dims.iter().enumerate() {
+            sys.load_db_table(&format!("D{i}"), dim_cols::KEY, dim.clone())?;
+        }
+        sys.load_hdfs_table("L", format, self.l.schema().clone(), &self.l)
     }
 
     /// Advisor inputs derived from the generator's ground truth.
@@ -118,6 +179,29 @@ impl Workload {
             // ground truth carries no memory budget; callers running under
             // a governor set the field from their system's pool
             mem_budget_per_worker: None,
+        }
+    }
+
+    /// Multiway advisor inputs derived from the generator's ground truth.
+    pub fn star_estimates(&self, num_jen_workers: usize) -> StarEstimates {
+        let k = self.spec.dimensions.len();
+        // k FK i32s + the ~40-byte group string survive fact projection
+        let fact_row = 40 + 4 * k as u64;
+        StarEstimates {
+            fact_prime_bytes: (self.spec.l_rows as f64 * self.spec.sigma_l) as u64 * fact_row,
+            fact_prime_rows: (self.spec.l_rows as f64 * self.spec.sigma_l) as u64,
+            dims: self
+                .spec
+                .dimensions
+                .iter()
+                .map(|d| DimEstimates {
+                    // i32 key + i64 attr per selected dimension row
+                    dim_prime_bytes: d.selected_keys() as u64 * 12,
+                    dim_prime_rows: d.selected_keys() as u64,
+                    pass_fraction: d.pass_fraction(),
+                })
+                .collect(),
+            num_jen_workers,
         }
     }
 
@@ -189,6 +273,41 @@ mod tests {
         let expected = run_reference(&w.t, &w.l, &w.query()).unwrap();
         let out = run(&mut sys, &w.query(), JoinAlgorithm::Zigzag).unwrap();
         assert_eq!(out.result, expected);
+    }
+
+    #[test]
+    fn star_query_validates_and_ground_truth_is_seed_stable() {
+        use hybrid_core::{batch_checksum, run_star_reference};
+        let w = WorkloadSpec::tiny_star(3).generate().unwrap();
+        w.star_query().validate().unwrap();
+        let a = run_star_reference(&w.l, &w.dims, &w.star_query()).unwrap();
+        assert!(a.num_rows() > 0, "star workload query produced nothing");
+        // regeneration from the same spec must reproduce the exact ground
+        // truth — count, bytes, and checksum
+        let w2 = WorkloadSpec::tiny_star(3).generate().unwrap();
+        let b = run_star_reference(&w2.l, &w2.dims, &w2.star_query()).unwrap();
+        assert_eq!(a, b, "ground truth must be seed-deterministic");
+        assert_eq!(batch_checksum(&a), batch_checksum(&b));
+    }
+
+    #[test]
+    fn star_ground_truth_count_matches_the_analytic_expectation() {
+        use hybrid_core::run_star_reference;
+        // strip the post-join predicate and aggregate a bare count, so the
+        // reference count is exactly the join cardinality the spec's
+        // analytic model predicts
+        let w = WorkloadSpec::tiny_star(2).generate().unwrap();
+        let mut star = w.star_query();
+        star.post_predicate = None;
+        star.aggs = vec![AggSpec::Count];
+        let out = run_star_reference(&w.l, &w.dims, &star).unwrap();
+        let counts = out.column(1).unwrap().as_i64().unwrap();
+        let joined: i64 = counts.iter().sum();
+        let expect = w.spec.expected_star_rows();
+        assert!(
+            (joined as f64 - expect).abs() / expect < 0.05,
+            "ground truth {joined} vs analytic {expect}"
+        );
     }
 
     #[test]

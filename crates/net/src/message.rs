@@ -40,6 +40,20 @@ pub enum StreamTag {
     /// A positional match bitmap replied to the database (PERF join
     /// phase 2 — Li & Ross's alternative to shipping values back).
     PerfBitmap,
+    /// Dimension-table tuples shipped DB → JEN during multiway step 0 /
+    /// hypercube axis 0. EOS counts accumulate per tag for a whole run, so
+    /// each cascade step needs its own tag — hence one tag per dimension
+    /// slot rather than a reusable one.
+    DimData0,
+    /// Dimension tuples for cascade step 1 / hypercube axis 1.
+    DimData1,
+    /// Dimension tuples for cascade step 2 / hypercube axis 2.
+    DimData2,
+    /// The intermediate-result reshuffle between JEN workers ahead of
+    /// cascade step 0 (step 1 and 2 use the sibling tags below).
+    CascadeShuffle0,
+    CascadeShuffle1,
+    CascadeShuffle2,
 }
 
 impl StreamTag {
@@ -57,6 +71,32 @@ impl StreamTag {
             StreamTag::DbKeySet => "db_keyset",
             StreamTag::PerfKeys => "perf_keys",
             StreamTag::PerfBitmap => "perf_bitmap",
+            StreamTag::DimData0 => "dim_data_0",
+            StreamTag::DimData1 => "dim_data_1",
+            StreamTag::DimData2 => "dim_data_2",
+            StreamTag::CascadeShuffle0 => "cascade_shuffle_0",
+            StreamTag::CascadeShuffle1 => "cascade_shuffle_1",
+            StreamTag::CascadeShuffle2 => "cascade_shuffle_2",
+        }
+    }
+
+    /// The dimension-data tag of cascade step / hypercube axis `i`.
+    pub fn dim_data(i: usize) -> StreamTag {
+        match i {
+            0 => StreamTag::DimData0,
+            1 => StreamTag::DimData1,
+            2 => StreamTag::DimData2,
+            _ => panic!("dimension slot {i} beyond the 3-dim cap"),
+        }
+    }
+
+    /// The intermediate-reshuffle tag of cascade step `i`.
+    pub fn cascade_shuffle(i: usize) -> StreamTag {
+        match i {
+            0 => StreamTag::CascadeShuffle0,
+            1 => StreamTag::CascadeShuffle1,
+            2 => StreamTag::CascadeShuffle2,
+            _ => panic!("cascade step {i} beyond the 3-dim cap"),
         }
     }
 
@@ -77,6 +117,12 @@ impl StreamTag {
                 | StreamTag::HdfsData
                 | StreamTag::PartialAgg
                 | StreamTag::DbKeySet
+                | StreamTag::DimData0
+                | StreamTag::DimData1
+                | StreamTag::DimData2
+                | StreamTag::CascadeShuffle0
+                | StreamTag::CascadeShuffle1
+                | StreamTag::CascadeShuffle2
         )
     }
 }

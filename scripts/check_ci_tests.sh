@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Guard: every integration test under tests/ must actually run in CI.
 #
-# A tests/<name>.rs file is wired if (a) some crate registers it as a
+# A tests/<name>.rs file is wired only if some crate registers it as a
 # [[test]] target — the workflow's blanket `cargo test` then builds and
-# runs it — or (b) a workflow step invokes it by name (`--test <name>`).
-# A file with neither is dead code that looks like coverage: it compiles
-# for nobody and runs nowhere (exactly how a new suite silently goes
-# missing when its Cargo.toml entry is forgotten).
+# runs it. These files sit at the repository root, outside every crate,
+# so cargo's auto-discovery never finds them: without a registration the
+# file is dead code that looks like coverage (exactly how a new suite
+# silently goes missing when its Cargo.toml entry is forgotten). A
+# `--test <name>` mention in the workflow is NOT an acceptable substitute
+# — `cargo test --test <name>` fails against an unregistered root-level
+# file, so a mention alone proves nothing about the suite running.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,13 +19,19 @@ for f in tests/*.rs; do
   if grep -qR --include=Cargo.toml -- "tests/$stem.rs" crates; then
     continue
   fi
-  if grep -q -- "--test $stem" .github/workflows/ci.yml; then
-    continue
-  fi
-  echo "tests/$stem.rs is not wired into CI: no [[test]] target references it" \
-    "and no workflow step names it" >&2
+  echo "tests/$stem.rs is not wired into CI: no crate registers it as a" \
+    "[[test]] target, so no cargo test invocation can ever run it" >&2
   fail=1
 done
+
+# Any workflow step that does invoke a suite by name must point at a
+# registered target, or that step fails for everyone.
+while IFS= read -r stem; do
+  if ! grep -qR --include=Cargo.toml -- "tests/$stem.rs" crates; then
+    echo "ci.yml invokes '--test $stem' but no crate registers tests/$stem.rs" >&2
+    fail=1
+  fi
+done < <(grep -oE -- '--test [a-z_]+' .github/workflows/ci.yml | awk '{print $2}' | sort -u)
 
 # Inverse direction: every [[test]] target that points into tests/ must
 # name a file that exists. A stale entry (file renamed or deleted, target

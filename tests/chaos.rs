@@ -30,8 +30,8 @@ use hybrid_common::error::HybridError;
 use hybrid_common::hash::splitmix64;
 use hybrid_core::reference::run_reference;
 use hybrid_core::{
-    run, run_adaptive, sample_stats, FaultSpec, FaultTarget, HybridQuery, HybridSystem,
-    JoinAlgorithm, QueryEstimates, SystemConfig,
+    run, run_adaptive, run_star, run_star_reference, sample_stats, FaultSpec, FaultTarget,
+    HybridQuery, HybridSystem, JoinAlgorithm, MultiwayPlanner, QueryEstimates, SystemConfig,
 };
 use hybrid_datagen::{Workload, WorkloadSpec};
 use hybrid_service::{QueryRequest, QueryService, ServiceConfig};
@@ -861,5 +861,173 @@ fn conservation_law_survives_mid_query_replans() {
     assert!(
         root_metrics.get("net.chaos.duplicated") > 0,
         "the 50% mix must actually inject faults into the replanned runs"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// multiway chaos: kills and conservation across the star-join planners
+// ---------------------------------------------------------------------------
+
+/// A small 3-dimension star for the multiway chaos cells.
+fn star_chaos_workload() -> Workload {
+    let mut spec = WorkloadSpec::tiny_star(3);
+    spec.l_rows = 1600;
+    spec.generate().unwrap()
+}
+
+/// Kills landing on the multiway executors' seams. Per-set step ordinals
+/// (the driver fires a kill *before* the victim's k-th step):
+///
+/// * cascade JEN: 0 = fact scan, then per join step `i` the pair
+///   `1+2i` = `cur` re-shuffle (a no-op slot on broadcast steps — ordinals
+///   are mode-independent by construction) and `2+2i` = recv/build/probe,
+///   then finalize and the aggregation epilogue;
+/// * cascade DB: ordinal `i` = dimension `i`'s send;
+/// * hypercube JEN: 0 = scan + grid routing, 1 = recv/build/probe/finalize;
+/// * hypercube DB: 0 = all axis replication sends.
+///
+/// Every cell must surface the typed kill — on the first run AND on a
+/// retry of the same query on the same system — and leave no orphaned
+/// spill file and no resident pool bytes behind.
+#[test]
+fn multiway_kills_are_typed_and_leak_free() {
+    let workload = star_chaos_workload();
+    let star = workload.star_query();
+
+    let cells: [(&str, MultiwayPlanner, FaultTarget, usize, usize); 5] = [
+        (
+            "jen killed at the mid-cascade step boundary",
+            MultiwayPlanner::Cascade,
+            FaultTarget::Jen,
+            0,
+            3,
+        ),
+        (
+            "db killed between cascade dimension sends",
+            MultiwayPlanner::Cascade,
+            FaultTarget::Db,
+            1,
+            1,
+        ),
+        (
+            "jen killed at the hypercube routing boundary",
+            MultiwayPlanner::Hypercube,
+            FaultTarget::Jen,
+            2,
+            1,
+        ),
+        (
+            "db killed at hypercube axis replication",
+            MultiwayPlanner::Hypercube,
+            FaultTarget::Db,
+            0,
+            0,
+        ),
+        (
+            "jen killed after the hypercube probe",
+            MultiwayPlanner::Hypercube,
+            FaultTarget::Jen,
+            1,
+            2,
+        ),
+    ];
+    let mut spilled_any = false;
+    for (label, planner, target, worker, step) in cells {
+        let faults = FaultSpec::quiet(5).with_kill(target, worker, step);
+        let mut cfg = chaos_config(1, faults);
+        // a row limit forces the star builds through the spilling grace
+        // path and a small pool puts real bytes in the residency ledger,
+        // so the no-orphans and no-leak checks are non-vacuous
+        cfg.jen_memory_limit_rows = Some(64);
+        cfg.mem_budget_bytes = Some(8 << 10);
+        let mut sys = HybridSystem::new(cfg).unwrap();
+        workload.load_into(&mut sys, FileFormat::Columnar).unwrap();
+
+        // the retry round reruns the killed query on the same system: it
+        // must fail typed again from a cleanly unwound first attempt
+        for round in 0..2 {
+            let err = run_star(&mut sys, &star, planner).unwrap_err();
+            assert_eq!(
+                err,
+                HybridError::Disconnected {
+                    endpoint: format!("{}-worker-{worker}", target.label()),
+                    stream: None,
+                },
+                "{label}: round {round} kill surfaced untyped"
+            );
+        }
+        let created = sys.metrics.get("jen.spill.files_created");
+        let removed = sys.metrics.get("jen.spill.files_removed");
+        assert_eq!(
+            created,
+            removed,
+            "{label}: orphaned {} spill run file(s)",
+            created - removed
+        );
+        spilled_any |= created > 0;
+        assert_eq!(
+            sys.mem_pool.used(),
+            0,
+            "{label}: killed run left resident bytes in the pool ledger"
+        );
+    }
+    assert!(
+        spilled_any,
+        "at least one multiway kill cell must land after real spill activity"
+    );
+}
+
+/// The fabric conservation law covers multiway sessions: under a 50%
+/// duplication + reordering mix, both planner families must return the
+/// bit-identical n-way reference answer, and for every fabric-carried
+/// counter the root registry must equal the exact sum over the per-session
+/// snapshots — root = Σ sessions, star joins included.
+#[test]
+fn conservation_law_holds_across_multiway_sessions() {
+    let workload = star_chaos_workload();
+    let star = workload.star_query();
+    let expected = run_star_reference(&workload.l, &workload.dims, &star).unwrap();
+    assert!(expected.num_rows() > 0);
+
+    let faults = FaultSpec::quiet(23).with_dups(0.5).with_reorders(0.5);
+    let mut root = HybridSystem::new(chaos_config(1, faults)).unwrap();
+    workload.load_into(&mut root, FileFormat::Columnar).unwrap();
+    let mut snapshots = Vec::new();
+    for (i, planner) in [
+        MultiwayPlanner::Cascade,
+        MultiwayPlanner::Hypercube,
+        MultiwayPlanner::Cascade,
+        MultiwayPlanner::Hypercube,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut session = root.session(i as u64 + 1).unwrap();
+        let out = run_star(&mut session, &star, planner).unwrap();
+        assert_eq!(out.result, expected, "session {i} ({planner}) diverged");
+        session.close_session();
+        snapshots.push(out.snapshot);
+    }
+
+    for name in [
+        "net.cross.bytes",
+        "net.cross.msgs",
+        "net.chaos.duplicated",
+        "net.chaos.reordered",
+        "net.chaos.deduped",
+    ] {
+        let session_sum: u64 = snapshots
+            .iter()
+            .map(|s| s.get(name).copied().unwrap_or(0))
+            .sum();
+        assert_eq!(
+            root.metrics.get(name),
+            session_sum,
+            "conservation law violated for {name} across multiway sessions"
+        );
+    }
+    assert!(
+        root.metrics.get("net.chaos.duplicated") > 0,
+        "the 50% mix must actually inject faults into the star joins"
     );
 }

@@ -1,0 +1,250 @@
+//! Multiway star-join differential grid: every planner must be
+//! **observationally identical** to the sequential n-way reference.
+//!
+//! [`run_star_reference`] evaluates the star query one dimension at a time
+//! on a single thread with no shuffles at all — hash-joining whole tables
+//! in canonical order. That is the ground truth each grid cell is measured
+//! against: for {2, 3} dimensions × {cascade, hypercube, auto} × thread
+//! count {1, 8} × both storage formats × salting {off, on}, the run must
+//! produce the **bit-identical** result batch (which subsumes the row
+//! count, the [`batch_checksum`], and any sorted sample), with spill-file
+//! conservation in every cell.
+//!
+//! Dimension 0's foreign key is deliberately skewed (`KeySkew::SingleKey`
+//! on the uncorrelated fraction) so the salted cells are non-vacuous: a
+//! pinned assertion checks the hot-key detector actually fires, and
+//! salting therefore really re-routes rows — which the bit-identical
+//! result then proves harmless.
+//!
+//! A separate sweep pins the determinism contract: the **full metrics
+//! snapshot** — every tuple, byte, and message counter — is
+//! thread-count-invariant for each planner × salt config.
+//!
+//! CI shards the grid via `HYBRID_THREADS` / `HYBRID_MULTIWAY_PLANNER`; a
+//! plain `cargo test` runs all cells. Like the chaos soak, a failing cell
+//! does not abort its sweep: the whole grid runs, the complete failing-cell
+//! list is reported, and `HYBRID_CHAOS_FAIL_LOG` collects it for CI.
+
+mod util;
+
+use std::collections::BTreeMap;
+
+use hybrid_core::{batch_checksum, run_star, run_star_reference, HybridSystem, MultiwayPlanner};
+use hybrid_datagen::{KeySkew, Workload, WorkloadSpec};
+use hybrid_storage::FileFormat;
+use util::{grid_from_env, loaded_system, test_config};
+
+fn thread_grid() -> Vec<usize> {
+    grid_from_env("HYBRID_THREADS", &[1, 8])
+}
+
+/// Planner axis, CI-shardable via `HYBRID_MULTIWAY_PLANNER`. Unlike the
+/// engine's [`MultiwayPlanner::from_env`] (unparseable → auto), a value
+/// that parses to nothing here is a CI wiring bug and must fail loudly.
+fn planner_grid() -> Vec<MultiwayPlanner> {
+    match std::env::var("HYBRID_MULTIWAY_PLANNER").ok().as_deref() {
+        None | Some("") => vec![
+            MultiwayPlanner::Cascade,
+            MultiwayPlanner::Hypercube,
+            MultiwayPlanner::Auto,
+        ],
+        Some(v) => vec![MultiwayPlanner::parse(v)
+            .unwrap_or_else(|| panic!("HYBRID_MULTIWAY_PLANNER={v} is not a planner"))],
+    }
+}
+
+/// The grid workload: the tiny star with a heavy-hitter foreign key on
+/// dimension 0, so salted cells exercise the salt path for real.
+fn star_workload(dims: usize) -> Workload {
+    let mut spec = WorkloadSpec::tiny_star(dims);
+    spec.dimensions[0].skew = KeySkew::SingleKey;
+    spec.generate().unwrap()
+}
+
+fn system(
+    workload: &Workload,
+    format: FileFormat,
+    threads: usize,
+    salt_buckets: Option<usize>,
+) -> HybridSystem {
+    let mut cfg = test_config(3, 4);
+    cfg.threads = threads;
+    cfg.salt_buckets = salt_buckets;
+    loaded_system(cfg, workload, format)
+}
+
+fn counter(snapshot: &BTreeMap<String, u64>, name: &str) -> u64 {
+    snapshot.get(name).copied().unwrap_or(0)
+}
+
+/// Append failing grid cells to `HYBRID_CHAOS_FAIL_LOG` (the shared CI
+/// failure artifact — appended, because suites share one file).
+fn log_failed_cells(failures: &[(String, String)]) {
+    use std::io::Write;
+    let Ok(path) = std::env::var("HYBRID_CHAOS_FAIL_LOG") else {
+        return;
+    };
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            for (cell, msg) in failures {
+                let _ = writeln!(f, "{cell}\t{}", msg.replace('\n', " "));
+            }
+            eprintln!("failing cells appended to {path}");
+        }
+        Err(e) => eprintln!("could not write failing-cell log {path}: {e}"),
+    }
+}
+
+/// One dimension count's full differential grid against the sequential
+/// n-way reference.
+fn assert_star_grid(dims: usize) {
+    let workload = star_workload(dims);
+    let star = workload.star_query();
+    let expected = run_star_reference(&workload.l, &workload.dims, &star).unwrap();
+    assert!(expected.num_rows() > 0, "star query must be non-trivial");
+    let expected_checksum = batch_checksum(&expected);
+
+    let mut failures: Vec<(String, String)> = Vec::new();
+    for planner in planner_grid() {
+        for threads in thread_grid() {
+            for format in [FileFormat::Columnar, FileFormat::Text] {
+                for salt_buckets in [None, Some(4)] {
+                    let ctx = format!(
+                        "dims={dims} planner={planner} threads={threads} format={format:?} \
+                         salt={salt_buckets:?}"
+                    );
+                    // one bad cell must not hide the rest of the grid
+                    let cell = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut sys = system(&workload, format, threads, salt_buckets);
+                        let out = run_star(&mut sys, &star, planner).unwrap();
+                        assert_eq!(
+                            out.result, expected,
+                            "{ctx}: result diverged from the n-way reference"
+                        );
+                        assert_eq!(
+                            batch_checksum(&out.result),
+                            expected_checksum,
+                            "{ctx}: checksum diverged"
+                        );
+                        assert_eq!(
+                            counter(&out.snapshot, "jen.spill.files_created"),
+                            counter(&out.snapshot, "jen.spill.files_removed"),
+                            "{ctx}: leaked spill run files"
+                        );
+                        // the skewed FK axis must actually trip the
+                        // detector, or the salt axis of this grid is
+                        // silently testing nothing
+                        if salt_buckets.is_some() {
+                            assert!(
+                                counter(&out.snapshot, "multiway.salt.hot_keys") >= 1,
+                                "{ctx}: salted cell detected no hot keys"
+                            );
+                        } else {
+                            assert_eq!(
+                                counter(&out.snapshot, "multiway.salt.hot_keys"),
+                                0,
+                                "{ctx}: unsalted cell ran the detector"
+                            );
+                        }
+                        let ran = counter(&out.snapshot, "advisor.multiway.ran_hypercube");
+                        match planner {
+                            MultiwayPlanner::Cascade => assert_eq!(ran, 0, "{ctx}"),
+                            MultiwayPlanner::Hypercube => assert_eq!(ran, 1, "{ctx}"),
+                            MultiwayPlanner::Auto => assert_eq!(
+                                ran,
+                                counter(&out.snapshot, "advisor.multiway.chose_hypercube"),
+                                "{ctx}: auto must run what the advisor chose"
+                            ),
+                        }
+                    }));
+                    if let Err(panic) = cell {
+                        let msg = panic
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        eprintln!("cell {ctx} FAILED: {msg}");
+                        failures.push((ctx, msg));
+                    }
+                }
+            }
+        }
+    }
+    if !failures.is_empty() {
+        log_failed_cells(&failures);
+        let cells: Vec<&str> = failures.iter().map(|(c, _)| c.as_str()).collect();
+        panic!(
+            "{} multiway grid cell(s) failed: {}",
+            failures.len(),
+            cells.join(", ")
+        );
+    }
+}
+
+#[test]
+fn two_dimension_star_grid_matches_the_reference() {
+    assert_star_grid(2);
+}
+
+#[test]
+fn three_dimension_star_grid_matches_the_reference() {
+    assert_star_grid(3);
+}
+
+/// The determinism contract extends to multiway: the full metrics
+/// snapshot — tuples, bytes, *and* messages — must be identical at any
+/// thread count for each planner × salt config.
+#[test]
+fn multiway_snapshots_are_thread_count_invariant() {
+    let workload = star_workload(3);
+    let star = workload.star_query();
+    for planner in [MultiwayPlanner::Cascade, MultiwayPlanner::Hypercube] {
+        for salt_buckets in [None, Some(4)] {
+            let mut base_sys = system(&workload, FileFormat::Columnar, 1, salt_buckets);
+            let base = run_star(&mut base_sys, &star, planner).unwrap();
+            for threads in [2, 8] {
+                let mut sys = system(&workload, FileFormat::Columnar, threads, salt_buckets);
+                let out = run_star(&mut sys, &star, planner).unwrap();
+                assert_eq!(out.result, base.result, "{planner} threads={threads}");
+                assert_eq!(
+                    out.snapshot, base.snapshot,
+                    "{planner} salt={salt_buckets:?}: snapshot varies with threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+/// The one-dimension degenerate star is exactly a binary join; both
+/// planner families must still agree with the reference (the hypercube
+/// collapses to a repartition over share vector `[n]`).
+#[test]
+fn single_dimension_star_degenerates_cleanly() {
+    let workload = star_workload(1);
+    let star = workload.star_query();
+    let expected = run_star_reference(&workload.l, &workload.dims, &star).unwrap();
+    assert!(expected.num_rows() > 0);
+    for planner in [MultiwayPlanner::Cascade, MultiwayPlanner::Hypercube] {
+        let mut sys = system(&workload, FileFormat::Columnar, 1, None);
+        let out = run_star(&mut sys, &star, planner).unwrap();
+        assert_eq!(out.result, expected, "{planner}");
+    }
+}
+
+/// Volume non-vacuity: a forced-hypercube run of the 3-dim star must
+/// actually move data through the grid — fact routing plus dimension
+/// replication — and report it on the `multiway.shuffle.*` meters the
+/// bench comparisons are built on.
+#[test]
+fn hypercube_reports_shuffle_volume() {
+    let workload = star_workload(3);
+    let star = workload.star_query();
+    let mut sys = system(&workload, FileFormat::Columnar, 1, None);
+    let out = run_star(&mut sys, &star, MultiwayPlanner::Hypercube).unwrap();
+    assert!(counter(&out.snapshot, "multiway.shuffle.tuples") > 0);
+    assert!(counter(&out.snapshot, "multiway.shuffle.bytes") > 0);
+}
