@@ -69,6 +69,15 @@
 //! volume next to the cost model's analytic prediction so drift between
 //! the two is visible at a glance.
 //!
+//! `--listen ADDR` starts the framed-TCP front door on `ADDR` instead of
+//! running a join: the workload is generated and loaded, a single `cli`
+//! tenant (token `cli`) is registered, and the server accepts streaming
+//! query connections until Ctrl-C. `--connect ADDR` is the matching
+//! client mode: it dials a running front door, authenticates as `cli`,
+//! sends this invocation's query (binary, or star with `--dims`), and
+//! prints the streamed result summary — the two ends of the wire from one
+//! binary.
+//!
 //! `--chaos-seed N` (with optional `--fault-rate R`, default 0.05)
 //! installs the seeded fault plan from the chaos harness: deliveries are
 //! dropped/duplicated/delayed/reordered per the seed, sends retry with
@@ -111,6 +120,7 @@ fn usage() -> ! {
          [--replan-threshold F|off] [--timeline PATH] [--threads N] \
          [--batch-rows N] [--dims N] [--planner cascade|hypercube|auto] \
          [--chaos-seed N] [--fault-rate R] \
+         [--listen ADDR | --connect ADDR] \
          [--serve [--clients N] [--queries N] [--policy fifo|sjf] [--json PATH]]"
     );
     std::process::exit(2)
@@ -127,6 +137,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut threads: Option<usize> = None;
     let mut batch_rows: Option<usize> = None;
     let mut serve = false;
+    let mut listen: Option<String> = None;
+    let mut connect: Option<String> = None;
     let mut serve_opts = ServeOptions::default();
     let mut json_path: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
@@ -173,6 +185,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             "--serve" => serve = true,
+            "--listen" => listen = Some(value().to_string()),
+            "--connect" => connect = Some(value().to_string()),
             "--clients" => serve_opts.clients = value().parse()?,
             "--queries" => serve_opts.queries = value().parse()?,
             "--json" => json_path = Some(value().to_string()),
@@ -313,6 +327,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serve_opts.fault_rate = rate;
         serve_opts.apply_chaos(&mut cfg);
         println!("chaos: seed {seed}, fault rate {rate}");
+    }
+
+    if let Some(addr) = listen {
+        // server half: load the workload, register the single `cli`
+        // tenant, and accept framed-TCP connections until interrupted
+        let (_workload, system) = build_service_system(spec, format, cfg)?;
+        let svc = std::sync::Arc::new(hybrid_service::QueryService::new(
+            system,
+            serve_opts.service.clone(),
+        ));
+        let server = hybrid_server::JoinServer::bind(
+            svc,
+            addr.as_str(),
+            &[hybrid_server::TenantCred::new(
+                "cli",
+                "cli",
+                hybrid_service::TenantQuota::unlimited(),
+            )],
+            hybrid_server::ServerConfig::default(),
+        )?;
+        println!(
+            "front door listening on {} — connect with: hwjoin --connect {} \
+             [--dims N] (tenant `cli`, token `cli`); Ctrl-C to stop",
+            server.local_addr(),
+            server.local_addr()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
+
+    if let Some(addr) = connect {
+        // client half: dial a running front door and stream one query
+        let workload = spec.generate()?;
+        let mut client = hybrid_server::JoinClient::connect(&addr, "cli", "cli")?;
+        let t0 = std::time::Instant::now();
+        let reply = if dims > 0 {
+            client.star(workload.star_query(), planner, None)?
+        } else {
+            let alg = parse_alg(&alg_arg); // `auto`/unknown routes via advisor
+            client.query(workload.query(), alg, None)?
+        };
+        let wall = t0.elapsed();
+        println!(
+            "\n{} ran {}: {} result groups in {}ms (queue {}us, exec {}us{})",
+            addr,
+            reply.algorithm,
+            reply.rows.num_rows(),
+            wall.as_millis(),
+            reply.queue_wait.as_micros(),
+            reply.exec_time.as_micros(),
+            if reply.from_cache { ", cached" } else { "" }
+        );
+        return Ok(());
     }
 
     if serve {

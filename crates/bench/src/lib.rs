@@ -23,7 +23,9 @@
 
 pub mod harness;
 pub mod report;
+pub mod soak;
 pub mod svc;
 
 pub use harness::{default_system_config, spec_from_env, ExpSystem, Measurement};
+pub use soak::{run_soak, SoakOptions, SoakReport, TenantOutcome};
 pub use svc::{serve_workload, EstError, ServeOptions, ServeReport};

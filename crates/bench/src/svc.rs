@@ -293,7 +293,7 @@ pub fn build_service_system(
 
 /// The workload query with HDFS-side thresholds tightened by `step` —
 /// same database side (same `BF_DB` key), distinct fingerprint and result.
-fn variant(w: &Workload, step: i64) -> HybridQuery {
+pub fn variant(w: &Workload, step: i64) -> HybridQuery {
     let mut q = w.query();
     q.hdfs_pred = Expr::col_le(l_cols::COR_PRED, w.thresholds.l_cor - step)
         .and(Expr::col_le(l_cols::IND_PRED, w.thresholds.l_ind));

@@ -14,7 +14,7 @@
 //! Either way the step ends in a local hash join — dimension rows build,
 //! `cur` probes — which prepends the dimension's columns: after the whole
 //! cascade the physical layout is `dim_{last}' ++ … ++ dim_{first}' ++
-//! fact'`, undone by [`super::physical_map`] at finalize time.
+//! fact'`, undone by `physical_map` at finalize time.
 //!
 //! Salt-role inversion: in a cascade step the *dimension* is the hash-build
 //! side (its keys are near-unique — no build skew), while the skew lives in

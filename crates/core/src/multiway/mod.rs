@@ -29,7 +29,7 @@
 //! are written against the **canonical joined layout** `fact' ++ dim_0' ++
 //! … ++ dim_{k-1}'`. Executors produce a physical layout determined by
 //! their join order (each binary join prepends the build side); they remap
-//! canonical expressions through [`physical_map`] before evaluating, so
+//! canonical expressions through `physical_map` before evaluating, so
 //! every plan computes the same answer.
 //!
 //! **Determinism.** Each receive step orders incoming batches by sender
@@ -68,7 +68,7 @@ pub const MAX_STAR_DIMENSIONS: usize = 3;
 pub(crate) const AXIS_SEED: u64 = 0xCE11_5EED_A215_0000;
 
 /// One dimension table of a star query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DimQuery {
     /// Name of the dimension table in the parallel database.
     pub table: String,
@@ -83,7 +83,7 @@ pub struct DimQuery {
 /// A star-schema query: one HDFS fact table equi-joined against `k`
 /// database dimensions on `k` foreign-key columns, with a residual
 /// predicate and a group-by/aggregate over the joined rows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StarQuery {
     /// Name of the fact table on HDFS.
     pub fact_table: String,

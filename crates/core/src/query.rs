@@ -25,7 +25,7 @@ use hybrid_common::expr::Expr;
 use hybrid_common::ops::AggSpec;
 
 /// A two-table hybrid-warehouse query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HybridQuery {
     /// Name of the table in the parallel database (`T`).
     pub db_table: String,

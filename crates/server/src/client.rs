@@ -1,0 +1,286 @@
+//! Blocking client for the framed-TCP front door.
+//!
+//! One [`JoinClient`] is one authenticated connection running the
+//! request-response protocol in [`crate::protocol`]: queries go out one
+//! at a time, and each answer streams back as
+//! `ResultHeader · ResultChunk* · ResultDone` (reassembled into a single
+//! [`Batch`] here) or one typed error frame. Clients that want
+//! concurrency open more connections — exactly how the soak driver and
+//! `hwjoin --connect` use it.
+
+use crate::codec::CodecError;
+use crate::protocol::{ErrorCode, QueryBody, QueryFrame, Request, Response};
+use crate::wire::{self, WireError};
+use hybrid_common::batch::Batch;
+use hybrid_common::schema::Schema;
+use hybrid_core::{HybridQuery, JoinAlgorithm, MultiwayPlanner, StarQuery};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or framing broke (connection is unusable).
+    Wire(WireError),
+    /// A response frame would not decode (connection is suspect).
+    Codec(CodecError),
+    /// The server answered with a typed error frame; the connection is
+    /// still usable. `retryable` is the server's own judgment.
+    Remote {
+        code: ErrorCode,
+        retryable: bool,
+        message: String,
+    },
+    /// The server broke the protocol state machine (unexpected frame or
+    /// mismatched query id).
+    Protocol(String),
+}
+
+impl ClientError {
+    /// Whether resubmitting the same query can succeed (true exactly for
+    /// retryable remote errors — transport failures need a reconnect).
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Remote {
+                retryable: true,
+                ..
+            }
+        )
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Codec(e) => write!(f, "codec: {e}"),
+            ClientError::Remote {
+                code,
+                retryable,
+                message,
+            } => write!(
+                f,
+                "server error [{}{}]: {message}",
+                code.name(),
+                if *retryable { ", retryable" } else { "" }
+            ),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> ClientError {
+        ClientError::Codec(e)
+    }
+}
+
+/// One completed query as the client observed it.
+#[derive(Debug, Clone)]
+pub struct ClientReply {
+    /// The reassembled result rows.
+    pub rows: Batch,
+    /// Short algorithm name the server executed (`"zigzag"`,
+    /// `"repartition(BF)"`, `"cascade"`, …).
+    pub algorithm: String,
+    pub from_cache: bool,
+    pub queue_wait: Duration,
+    pub exec_time: Duration,
+    /// Server-side submission→result latency (excludes the network).
+    pub latency: Duration,
+    /// The per-query stats snapshot from the end-of-stream trailer
+    /// (empty for cache hits — nothing executed).
+    pub stats: Vec<(String, u64)>,
+}
+
+/// A connected, authenticated front-door session.
+pub struct JoinClient {
+    stream: TcpStream,
+    next_id: u64,
+    tenant_index: u64,
+}
+
+impl JoinClient {
+    /// Connect and authenticate. The first frame out is the hello; the
+    /// call fails with [`ClientError::Remote`] on bad credentials.
+    pub fn connect(addr: &str, tenant: &str, token: &str) -> Result<JoinClient, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Wire(WireError::Io(e)))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = JoinClient {
+            stream,
+            next_id: 0,
+            tenant_index: 0,
+        };
+        client.send(&Request::Hello {
+            tenant: tenant.to_string(),
+            token: token.to_string(),
+        })?;
+        match client.recv()? {
+            Response::HelloAck { tenant_index } => {
+                client.tenant_index = tenant_index;
+                Ok(client)
+            }
+            Response::Error {
+                code,
+                retryable,
+                message,
+                ..
+            } => Err(ClientError::Remote {
+                code,
+                retryable,
+                message,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected hello ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server-side tenant index this connection authenticated as.
+    pub fn tenant_index(&self) -> u64 {
+        self.tenant_index
+    }
+
+    /// Run a two-table hybrid join; blocks until the full result streamed
+    /// back.
+    pub fn query(
+        &mut self,
+        query: HybridQuery,
+        algorithm: Option<JoinAlgorithm>,
+        deadline: Option<Duration>,
+    ) -> Result<ClientReply, ClientError> {
+        self.request(QueryBody::Binary { query, algorithm }, deadline)
+    }
+
+    /// Run a star-schema multiway join.
+    pub fn star(
+        &mut self,
+        star: StarQuery,
+        planner: MultiwayPlanner,
+        deadline: Option<Duration>,
+    ) -> Result<ClientReply, ClientError> {
+        self.request(QueryBody::Star { star, planner }, deadline)
+    }
+
+    fn request(
+        &mut self,
+        body: QueryBody,
+        deadline: Option<Duration>,
+    ) -> Result<ClientReply, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::Query(QueryFrame {
+            id,
+            deadline_ms: deadline.map(|d| d.as_millis() as u64).unwrap_or(0),
+            body,
+        }))?;
+
+        let mut header: Option<(Schema, String, bool)> = None;
+        let mut chunks: Vec<Batch> = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::ResultHeader {
+                    id: rid,
+                    schema,
+                    algorithm,
+                    from_cache,
+                } => {
+                    self.expect_id(rid, id)?;
+                    header = Some((schema, algorithm, from_cache));
+                }
+                Response::ResultChunk { id: rid, payload } => {
+                    self.expect_id(rid, id)?;
+                    let (schema, _, _) = header
+                        .as_ref()
+                        .ok_or_else(|| ClientError::Protocol("chunk before header".into()))?;
+                    let decoded = hybrid_storage::decode(
+                        hybrid_storage::FileFormat::Columnar,
+                        schema,
+                        &payload,
+                        None,
+                    )
+                    .map_err(|e| ClientError::Protocol(format!("chunk decode: {e}")))?;
+                    chunks.push(decoded.batch);
+                }
+                Response::ResultDone {
+                    id: rid,
+                    rows,
+                    queue_us,
+                    exec_us,
+                    latency_us,
+                    stats,
+                } => {
+                    self.expect_id(rid, id)?;
+                    let (schema, algorithm, from_cache) =
+                        header.ok_or_else(|| ClientError::Protocol("done before header".into()))?;
+                    let batch = Batch::concat(schema, &chunks)
+                        .map_err(|e| ClientError::Protocol(format!("chunk concat: {e}")))?;
+                    if batch.num_rows() as u64 != rows {
+                        return Err(ClientError::Protocol(format!(
+                            "trailer says {rows} rows, stream carried {}",
+                            batch.num_rows()
+                        )));
+                    }
+                    return Ok(ClientReply {
+                        rows: batch,
+                        algorithm,
+                        from_cache,
+                        queue_wait: Duration::from_micros(queue_us),
+                        exec_time: Duration::from_micros(exec_us),
+                        latency: Duration::from_micros(latency_us),
+                        stats,
+                    });
+                }
+                Response::Error {
+                    id: rid,
+                    code,
+                    retryable,
+                    message,
+                } => {
+                    // connection-level errors carry CONNECTION_ID; both
+                    // kinds terminate this query
+                    let _ = rid;
+                    return Err(ClientError::Remote {
+                        code,
+                        retryable,
+                        message,
+                    });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame mid-stream: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn expect_id(&self, got: u64, want: u64) -> Result<(), ClientError> {
+        if got != want {
+            return Err(ClientError::Protocol(format!(
+                "response for query {got}, expected {want}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        let (ty, payload) = req.encode();
+        wire::write_frame(&mut self.stream, ty, &payload)
+            .map_err(|e| ClientError::Wire(WireError::Io(e)))
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let (ty, payload) = wire::read_frame(&mut self.stream)?;
+        Ok(Response::decode(ty, &payload)?)
+    }
+}

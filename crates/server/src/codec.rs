@@ -1,0 +1,758 @@
+//! Byte encodings for everything that crosses the wire.
+//!
+//! Hand-rolled (the workspace takes no serialization dependency),
+//! fixed-width little-endian, and defensive on the decode side: every
+//! length prefix is validated against the bytes actually remaining
+//! *before* any allocation, expression trees carry a recursion cap, and
+//! every failure is a typed [`CodecError`] — corrupt payloads can never
+//! panic, recurse unboundedly, or balloon memory. The protocol-robustness
+//! suite feeds this layer garbage to hold it to that.
+//!
+//! Encode and decode are exercised against each other by round-trip tests
+//! below; the wire framing above this sits in [`crate::wire`].
+
+use hybrid_bloom::BloomParams;
+use hybrid_common::datum::{DataType, Datum};
+use hybrid_common::expr::{CmpOp, Expr};
+use hybrid_common::ops::AggSpec;
+use hybrid_common::schema::{Field, Schema};
+use hybrid_core::{DimQuery, HybridQuery, JoinAlgorithm, MultiwayPlanner, StarQuery};
+
+/// Decoding failed: the payload is corrupt, truncated, or exceeds a
+/// structural bound. Carries a human-readable reason for the error frame.
+#[derive(Debug)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+fn err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(CodecError(msg.into()))
+}
+
+/// Deepest expression tree either side will encode or decode. Far above
+/// any real predicate; far below stack-overflow territory.
+const MAX_EXPR_DEPTH: usize = 64;
+/// Cap on decoded collection lengths (projections, aggregate lists,
+/// schema fields, stats entries) — structural sanity, not a wire limit.
+const MAX_LIST: usize = 1 << 16;
+
+// ---------------------------------------------------------------------
+// primitive writers
+// ---------------------------------------------------------------------
+
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_usize_list(out: &mut Vec<u8>, v: &[usize]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_u32(out, x as u32);
+    }
+}
+
+// ---------------------------------------------------------------------
+// bounds-checked reader
+// ---------------------------------------------------------------------
+
+/// Cursor over a received payload. Every read checks the remaining bytes
+/// first; a claimed length is never trusted before the bytes backing it
+/// exist.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decoding must consume the payload exactly — trailing bytes mean a
+    /// peer speaking a different dialect, better rejected than ignored.
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return err(format!("{} trailing bytes", self.remaining()));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return err(format!("need {n} bytes, have {}", self.remaining()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i32(&mut self) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => err(format!("bool byte {v}")),
+        }
+    }
+
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?; // length checked against remaining
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => err("string is not UTF-8"),
+        }
+    }
+
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn list_len(&mut self) -> Result<usize> {
+        let len = self.u32()? as usize;
+        if len > MAX_LIST {
+            return err(format!("list length {len} exceeds cap {MAX_LIST}"));
+        }
+        Ok(len)
+    }
+
+    fn usize_list(&mut self) -> Result<Vec<usize>> {
+        let len = self.list_len()?;
+        // each element is 4 bytes; reject before allocating
+        if self.remaining() < len * 4 {
+            return err("projection list longer than payload");
+        }
+        (0..len).map(|_| Ok(self.u32()? as usize)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// domain types
+// ---------------------------------------------------------------------
+
+pub fn put_datum(out: &mut Vec<u8>, d: &Datum) {
+    match d {
+        Datum::I32(v) => {
+            put_u8(out, 0);
+            put_i32(out, *v);
+        }
+        Datum::I64(v) => {
+            put_u8(out, 1);
+            put_i64(out, *v);
+        }
+        Datum::Date(v) => {
+            put_u8(out, 2);
+            put_i32(out, *v);
+        }
+        Datum::Utf8(s) => {
+            put_u8(out, 3);
+            put_str(out, s);
+        }
+    }
+}
+
+pub fn datum(d: &mut Decoder) -> Result<Datum> {
+    Ok(match d.u8()? {
+        0 => Datum::I32(d.i32()?),
+        1 => Datum::I64(d.i64()?),
+        2 => Datum::Date(d.i32()?),
+        3 => Datum::Utf8(d.str()?),
+        t => return err(format!("datum tag {t}")),
+    })
+}
+
+fn cmp_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_op(tag: u8) -> Result<CmpOp> {
+    Ok(match tag {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        t => return err(format!("cmp op tag {t}")),
+    })
+}
+
+pub fn put_expr(out: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::Col(i) => {
+            put_u8(out, 0);
+            put_u32(out, *i as u32);
+        }
+        Expr::Lit(v) => {
+            put_u8(out, 1);
+            put_datum(out, v);
+        }
+        Expr::Cmp(op, l, r) => {
+            put_u8(out, 2);
+            put_u8(out, cmp_tag(*op));
+            put_expr(out, l);
+            put_expr(out, r);
+        }
+        Expr::And(l, r) => {
+            put_u8(out, 3);
+            put_expr(out, l);
+            put_expr(out, r);
+        }
+        Expr::Or(l, r) => {
+            put_u8(out, 4);
+            put_expr(out, l);
+            put_expr(out, r);
+        }
+        Expr::Not(x) => {
+            put_u8(out, 5);
+            put_expr(out, x);
+        }
+        Expr::Add(l, r) => {
+            put_u8(out, 6);
+            put_expr(out, l);
+            put_expr(out, r);
+        }
+        Expr::Sub(l, r) => {
+            put_u8(out, 7);
+            put_expr(out, l);
+            put_expr(out, r);
+        }
+        Expr::ExtractGroup(x) => {
+            put_u8(out, 8);
+            put_expr(out, x);
+        }
+    }
+}
+
+pub fn expr(d: &mut Decoder) -> Result<Expr> {
+    expr_at(d, 0)
+}
+
+fn expr_at(d: &mut Decoder, depth: usize) -> Result<Expr> {
+    if depth > MAX_EXPR_DEPTH {
+        return err(format!("expression deeper than {MAX_EXPR_DEPTH}"));
+    }
+    let pair = |d: &mut Decoder| -> Result<(Box<Expr>, Box<Expr>)> {
+        Ok((
+            Box::new(expr_at(d, depth + 1)?),
+            Box::new(expr_at(d, depth + 1)?),
+        ))
+    };
+    Ok(match d.u8()? {
+        0 => Expr::Col(d.u32()? as usize),
+        1 => Expr::Lit(datum(d)?),
+        2 => {
+            let op = cmp_op(d.u8()?)?;
+            let (l, r) = pair(d)?;
+            Expr::Cmp(op, l, r)
+        }
+        3 => {
+            let (l, r) = pair(d)?;
+            Expr::And(l, r)
+        }
+        4 => {
+            let (l, r) = pair(d)?;
+            Expr::Or(l, r)
+        }
+        5 => Expr::Not(Box::new(expr_at(d, depth + 1)?)),
+        6 => {
+            let (l, r) = pair(d)?;
+            Expr::Add(l, r)
+        }
+        7 => {
+            let (l, r) = pair(d)?;
+            Expr::Sub(l, r)
+        }
+        8 => Expr::ExtractGroup(Box::new(expr_at(d, depth + 1)?)),
+        t => return err(format!("expr tag {t}")),
+    })
+}
+
+fn put_opt_expr(out: &mut Vec<u8>, e: &Option<Expr>) {
+    match e {
+        None => put_u8(out, 0),
+        Some(e) => {
+            put_u8(out, 1);
+            put_expr(out, e);
+        }
+    }
+}
+
+fn opt_expr(d: &mut Decoder) -> Result<Option<Expr>> {
+    Ok(match d.u8()? {
+        0 => None,
+        1 => Some(expr(d)?),
+        t => return err(format!("option tag {t}")),
+    })
+}
+
+pub fn put_agg(out: &mut Vec<u8>, a: AggSpec) {
+    match a {
+        AggSpec::Count => put_u8(out, 0),
+        AggSpec::SumI64(c) => {
+            put_u8(out, 1);
+            put_u32(out, c as u32);
+        }
+        AggSpec::MinI64(c) => {
+            put_u8(out, 2);
+            put_u32(out, c as u32);
+        }
+        AggSpec::MaxI64(c) => {
+            put_u8(out, 3);
+            put_u32(out, c as u32);
+        }
+    }
+}
+
+pub fn agg(d: &mut Decoder) -> Result<AggSpec> {
+    Ok(match d.u8()? {
+        0 => AggSpec::Count,
+        1 => AggSpec::SumI64(d.u32()? as usize),
+        2 => AggSpec::MinI64(d.u32()? as usize),
+        3 => AggSpec::MaxI64(d.u32()? as usize),
+        t => return err(format!("agg tag {t}")),
+    })
+}
+
+fn put_aggs(out: &mut Vec<u8>, aggs: &[AggSpec]) {
+    put_u32(out, aggs.len() as u32);
+    for &a in aggs {
+        put_agg(out, a);
+    }
+}
+
+fn aggs(d: &mut Decoder) -> Result<Vec<AggSpec>> {
+    let len = d.list_len()?;
+    (0..len).map(|_| agg(d)).collect()
+}
+
+fn data_type_tag(t: DataType) -> u8 {
+    match t {
+        DataType::I32 => 0,
+        DataType::I64 => 1,
+        DataType::Date => 2,
+        DataType::Utf8 => 3,
+    }
+}
+
+fn data_type(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::I32,
+        1 => DataType::I64,
+        2 => DataType::Date,
+        3 => DataType::Utf8,
+        t => return err(format!("data type tag {t}")),
+    })
+}
+
+pub fn put_schema(out: &mut Vec<u8>, s: &Schema) {
+    put_u32(out, s.len() as u32);
+    for f in s.fields() {
+        put_str(out, &f.name);
+        put_u8(out, data_type_tag(f.data_type));
+    }
+}
+
+pub fn schema(d: &mut Decoder) -> Result<Schema> {
+    let len = d.list_len()?;
+    let mut fields = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        let name = d.str()?;
+        let dt = data_type(d.u8()?)?;
+        fields.push(Field::new(name, dt));
+    }
+    Ok(Schema::new(fields))
+}
+
+fn alg_tag(a: JoinAlgorithm) -> u8 {
+    match a {
+        JoinAlgorithm::DbSide { bloom: false } => 0,
+        JoinAlgorithm::DbSide { bloom: true } => 1,
+        JoinAlgorithm::Broadcast => 2,
+        JoinAlgorithm::Repartition { bloom: false } => 3,
+        JoinAlgorithm::Repartition { bloom: true } => 4,
+        JoinAlgorithm::Zigzag => 5,
+        JoinAlgorithm::SemiJoin => 6,
+        JoinAlgorithm::PerfJoin => 7,
+    }
+}
+
+fn algorithm(tag: u8) -> Result<JoinAlgorithm> {
+    Ok(match tag {
+        0 => JoinAlgorithm::DbSide { bloom: false },
+        1 => JoinAlgorithm::DbSide { bloom: true },
+        2 => JoinAlgorithm::Broadcast,
+        3 => JoinAlgorithm::Repartition { bloom: false },
+        4 => JoinAlgorithm::Repartition { bloom: true },
+        5 => JoinAlgorithm::Zigzag,
+        6 => JoinAlgorithm::SemiJoin,
+        7 => JoinAlgorithm::PerfJoin,
+        t => return err(format!("algorithm tag {t}")),
+    })
+}
+
+pub fn put_opt_algorithm(out: &mut Vec<u8>, a: Option<JoinAlgorithm>) {
+    match a {
+        None => put_u8(out, 255),
+        Some(a) => put_u8(out, alg_tag(a)),
+    }
+}
+
+pub fn opt_algorithm(d: &mut Decoder) -> Result<Option<JoinAlgorithm>> {
+    match d.u8()? {
+        255 => Ok(None),
+        t => Ok(Some(algorithm(t)?)),
+    }
+}
+
+pub fn put_planner(out: &mut Vec<u8>, p: MultiwayPlanner) {
+    put_u8(
+        out,
+        match p {
+            MultiwayPlanner::Cascade => 0,
+            MultiwayPlanner::Hypercube => 1,
+            MultiwayPlanner::Auto => 2,
+        },
+    );
+}
+
+pub fn planner(d: &mut Decoder) -> Result<MultiwayPlanner> {
+    Ok(match d.u8()? {
+        0 => MultiwayPlanner::Cascade,
+        1 => MultiwayPlanner::Hypercube,
+        2 => MultiwayPlanner::Auto,
+        t => return err(format!("planner tag {t}")),
+    })
+}
+
+pub fn put_query(out: &mut Vec<u8>, q: &HybridQuery) {
+    put_str(out, &q.db_table);
+    put_str(out, &q.hdfs_table);
+    put_expr(out, &q.db_pred);
+    put_usize_list(out, &q.db_proj);
+    put_u32(out, q.db_key as u32);
+    put_expr(out, &q.hdfs_pred);
+    put_usize_list(out, &q.hdfs_proj);
+    put_u32(out, q.hdfs_key as u32);
+    put_opt_expr(out, &q.post_predicate);
+    put_expr(out, &q.group_expr);
+    put_aggs(out, &q.aggs);
+    put_u64(out, q.bloom.bits as u64);
+    put_u32(out, q.bloom.hashes);
+}
+
+pub fn query(d: &mut Decoder) -> Result<HybridQuery> {
+    let q = HybridQuery {
+        db_table: d.str()?,
+        hdfs_table: d.str()?,
+        db_pred: expr(d)?,
+        db_proj: d.usize_list()?,
+        db_key: d.u32()? as usize,
+        hdfs_pred: expr(d)?,
+        hdfs_proj: d.usize_list()?,
+        hdfs_key: d.u32()? as usize,
+        post_predicate: opt_expr(d)?,
+        group_expr: expr(d)?,
+        aggs: aggs(d)?,
+        bloom: {
+            let bits = d.u64()? as usize;
+            let hashes = d.u32()?;
+            // the validated constructor rejects degenerate geometry here,
+            // before the query reaches the engine
+            BloomParams::new(bits, hashes).map_err(|e| CodecError(e.to_string()))?
+        },
+    };
+    // structural validation at the door: a decoded query that fails its
+    // own invariants is a BadRequest, not a later engine error
+    q.validate().map_err(|e| CodecError(e.to_string()))?;
+    Ok(q)
+}
+
+pub fn put_star(out: &mut Vec<u8>, s: &StarQuery) {
+    put_str(out, &s.fact_table);
+    put_expr(out, &s.fact_pred);
+    put_usize_list(out, &s.fact_proj);
+    put_usize_list(out, &s.fact_keys);
+    put_u32(out, s.dims.len() as u32);
+    for dim in &s.dims {
+        put_str(out, &dim.table);
+        put_expr(out, &dim.pred);
+        put_usize_list(out, &dim.proj);
+        put_u32(out, dim.key as u32);
+    }
+    put_opt_expr(out, &s.post_predicate);
+    put_expr(out, &s.group_expr);
+    put_aggs(out, &s.aggs);
+}
+
+pub fn star(d: &mut Decoder) -> Result<StarQuery> {
+    let fact_table = d.str()?;
+    let fact_pred = expr(d)?;
+    let fact_proj = d.usize_list()?;
+    let fact_keys = d.usize_list()?;
+    let ndims = d.list_len()?;
+    let mut dims = Vec::with_capacity(ndims.min(16));
+    for _ in 0..ndims {
+        dims.push(DimQuery {
+            table: d.str()?,
+            pred: expr(d)?,
+            proj: d.usize_list()?,
+            key: d.u32()? as usize,
+        });
+    }
+    let s = StarQuery {
+        fact_table,
+        fact_pred,
+        fact_proj,
+        fact_keys,
+        dims,
+        post_predicate: opt_expr(d)?,
+        group_expr: expr(d)?,
+        aggs: aggs(d)?,
+    };
+    s.validate().map_err(|e| CodecError(e.to_string()))?;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> HybridQuery {
+        HybridQuery {
+            db_table: "T".into(),
+            hdfs_table: "L".into(),
+            db_pred: Expr::col_le(1, 10),
+            db_proj: vec![0, 1, 3],
+            db_key: 0,
+            hdfs_pred: Expr::col_le(2, 7)
+                .and(Expr::Not(Box::new(Expr::col(4).eq(Expr::lit_i32(0))))),
+            hdfs_proj: vec![0, 2, 4],
+            hdfs_key: 0,
+            post_predicate: Some(
+                Expr::Sub(Box::new(Expr::col(1)), Box::new(Expr::col(4))).le(Expr::lit_i32(30)),
+            ),
+            group_expr: Expr::ExtractGroup(Box::new(Expr::col(5))),
+            aggs: vec![
+                AggSpec::Count,
+                AggSpec::SumI64(2),
+                AggSpec::MinI64(1),
+                AggSpec::MaxI64(1),
+            ],
+            bloom: BloomParams::new(1 << 16, 2).unwrap(),
+        }
+    }
+
+    #[test]
+    fn query_round_trips() {
+        let q = sample_query();
+        let mut buf = Vec::new();
+        put_query(&mut buf, &q);
+        let mut d = Decoder::new(&buf);
+        let back = query(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn star_round_trips() {
+        let s = StarQuery {
+            fact_table: "F".into(),
+            fact_pred: Expr::col_le(1, 100),
+            fact_proj: vec![0, 1, 2, 3],
+            fact_keys: vec![0, 2],
+            dims: vec![
+                DimQuery {
+                    table: "D1".into(),
+                    pred: Expr::col_le(1, 5),
+                    proj: vec![0, 1],
+                    key: 0,
+                },
+                DimQuery {
+                    table: "D2".into(),
+                    pred: Expr::lit_i32(1).eq(Expr::lit_i32(1)),
+                    proj: vec![0],
+                    key: 0,
+                },
+            ],
+            post_predicate: None,
+            group_expr: Expr::col(1),
+            aggs: vec![AggSpec::Count],
+        };
+        let mut buf = Vec::new();
+        put_star(&mut buf, &s);
+        let mut d = Decoder::new(&buf);
+        let back = star(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn schema_and_datum_round_trip() {
+        let s = Schema::from_pairs(&[
+            ("k", DataType::I64),
+            ("d", DataType::Date),
+            ("s", DataType::Utf8),
+            ("v", DataType::I32),
+        ]);
+        let mut buf = Vec::new();
+        put_schema(&mut buf, &s);
+        for v in [
+            Datum::I32(-5),
+            Datum::I64(1 << 40),
+            Datum::Date(7300),
+            Datum::Utf8("url_42/x".into()),
+        ] {
+            put_datum(&mut buf, &v);
+        }
+        let mut d = Decoder::new(&buf);
+        assert_eq!(schema(&mut d).unwrap(), s);
+        assert_eq!(datum(&mut d).unwrap(), Datum::I32(-5));
+        assert_eq!(datum(&mut d).unwrap(), Datum::I64(1 << 40));
+        assert_eq!(datum(&mut d).unwrap(), Datum::Date(7300));
+        assert_eq!(datum(&mut d).unwrap(), Datum::Utf8("url_42/x".into()));
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn algorithm_tags_round_trip() {
+        for a in [
+            None,
+            Some(JoinAlgorithm::DbSide { bloom: false }),
+            Some(JoinAlgorithm::DbSide { bloom: true }),
+            Some(JoinAlgorithm::Broadcast),
+            Some(JoinAlgorithm::Repartition { bloom: false }),
+            Some(JoinAlgorithm::Repartition { bloom: true }),
+            Some(JoinAlgorithm::Zigzag),
+            Some(JoinAlgorithm::SemiJoin),
+            Some(JoinAlgorithm::PerfJoin),
+        ] {
+            let mut buf = Vec::new();
+            put_opt_algorithm(&mut buf, a);
+            assert_eq!(opt_algorithm(&mut Decoder::new(&buf)).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_payloads_fail_typed() {
+        let q = sample_query();
+        let mut buf = Vec::new();
+        put_query(&mut buf, &q);
+        // every proper prefix must fail with a typed error, never panic
+        for cut in 0..buf.len() {
+            assert!(query(&mut Decoder::new(&buf[..cut])).is_err(), "cut {cut}");
+        }
+        // flip each byte: typed error or a different (still valid) query,
+        // never a panic
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0xA5;
+            let _ = query(&mut Decoder::new(&bad));
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // a string claiming u32::MAX bytes in a 4-byte payload
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert!(Decoder::new(&buf).str().is_err());
+        // a projection list claiming 2^31 entries
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1 << 31);
+        assert!(Decoder::new(&buf).usize_list().is_err());
+    }
+
+    #[test]
+    fn expression_recursion_is_capped() {
+        // 2000 nested Not() frames: encoder side is our own (trusted)
+        // tree built iteratively here, decode must refuse at the cap
+        let mut buf = Vec::new();
+        for _ in 0..2000 {
+            put_u8(&mut buf, 5); // Not
+        }
+        put_u8(&mut buf, 0); // Col
+        put_u32(&mut buf, 0);
+        let e = expr(&mut Decoder::new(&buf));
+        assert!(e.is_err(), "deep recursion must be refused, not overflow");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        put_query(&mut buf, &sample_query());
+        buf.push(0);
+        let mut d = Decoder::new(&buf);
+        query(&mut d).unwrap();
+        assert!(d.finish().is_err());
+    }
+}

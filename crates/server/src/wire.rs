@@ -1,0 +1,285 @@
+//! The frame layer: length-prefixed, versioned frames over any byte
+//! stream.
+//!
+//! Every message on a connection is one frame:
+//!
+//! ```text
+//! +--------+---------+-----------+-------------+-----------+
+//! | magic  | version | frame type| payload len | payload   |
+//! | u32 LE |   u8    |    u8     |   u32 LE    | len bytes |
+//! +--------+---------+-----------+-------------+-----------+
+//! ```
+//!
+//! The magic pins the protocol (a client that connects to the wrong port
+//! fails on the first frame, not mid-stream), the version byte gates
+//! incompatible evolutions, and the length prefix bounds every read — a
+//! peer can never make the other side read unframed bytes. `payload len`
+//! is validated against [`MAX_FRAME`] *before* any allocation, so a
+//! corrupt or hostile length can't balloon memory.
+//!
+//! This module does no I/O multiplexing and holds no state: one frame in,
+//! one frame out, over any `Read`/`Write`. The typed payloads live in
+//! [`crate::protocol`]; their byte encodings in [`crate::codec`].
+
+use std::io::{Read, Write};
+
+/// `HWJN` little-endian.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"HWJN");
+/// Protocol version this build speaks. A frame with any other version is
+/// rejected with [`WireError::BadVersion`].
+pub const VERSION: u8 = 1;
+/// Frame header bytes: magic + version + type + payload length.
+pub const HEADER_LEN: usize = 10;
+/// Hard cap on a single frame's payload. Larger results stream as
+/// multiple `ResultChunk` frames, so nothing legitimate approaches this.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Frame discriminator. The numbering is part of the wire contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Client → server: authenticate a tenant. First frame on every
+    /// connection.
+    Hello = 1,
+    /// Server → client: authentication accepted.
+    HelloAck = 2,
+    /// Client → server: one query submission.
+    Query = 3,
+    /// Server → client: result stream starts (schema, algorithm).
+    ResultHeader = 4,
+    /// Server → client: one columnar-encoded slice of result rows.
+    ResultChunk = 5,
+    /// Server → client: end of stream — row count, latency breakdown,
+    /// per-query stats snapshot.
+    ResultDone = 6,
+    /// Server → client: typed failure for one query (or for the
+    /// connection, when `id == u64::MAX`).
+    Error = 7,
+}
+
+impl FrameType {
+    pub fn from_u8(v: u8) -> Option<FrameType> {
+        Some(match v {
+            1 => FrameType::Hello,
+            2 => FrameType::HelloAck,
+            3 => FrameType::Query,
+            4 => FrameType::ResultHeader,
+            5 => FrameType::ResultChunk,
+            6 => FrameType::ResultDone,
+            7 => FrameType::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a frame could not be read. Every variant except `Closed` means the
+/// stream is no longer frame-aligned and the connection must be dropped.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The connection died mid-frame.
+    Truncated,
+    /// The first four bytes were not [`MAGIC`] — not our protocol.
+    BadMagic(u32),
+    /// A frame from an incompatible protocol version.
+    BadVersion(u8),
+    /// An unknown frame discriminator.
+    BadType(u8),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized { len: usize, max: usize },
+    /// The transport failed (includes read-timeout expiry, surfaced as
+    /// `WouldBlock`/`TimedOut` by the socket layer).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "connection died mid-frame"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadType(t) => write!(f, "unknown frame type {t}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame payload {len} bytes exceeds cap {max}")
+            }
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// True when the error is the read timeout (the watchdog tick), not a
+    /// dead or misbehaving peer.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// Write one frame. The payload must already be encoded (see
+/// [`crate::protocol`]); payloads over [`MAX_FRAME`] are a caller bug and
+/// rejected here so they can never hit the wire.
+pub fn write_frame(w: &mut impl Write, ty: FrameType, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("refusing to send {} byte frame", payload.len()),
+        ));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    header[4] = VERSION;
+    header[5] = ty as u8;
+    header[6..10].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Blocks until a full frame arrives, the peer closes, or
+/// the transport's read timeout fires (surfaced as a [`WireError::Io`]
+/// for which [`WireError::is_timeout`] is true, with no bytes consumed —
+/// safe to retry only when nothing has been read yet, which is why the
+/// server's watchdog drops the connection instead of retrying mid-frame).
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameType, Vec<u8>), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    // Read the first byte separately to tell a clean close (EOF between
+    // frames) from a mid-frame death.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Err(WireError::Closed),
+        Ok(_) => {}
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    read_exact(r, &mut header[1..])?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = header[4];
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let ty = FrameType::from_u8(header[5]).ok_or(WireError::BadType(header[5]))?;
+    let len = u32::from_le_bytes(header[6..10].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact(r, &mut payload)?;
+    Ok((ty, payload))
+}
+
+fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<(), WireError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Query, b"hello payload").unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + 13);
+        let (ty, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(ty, FrameType::Query);
+        assert_eq!(payload, b"hello payload");
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::HelloAck, b"").unwrap();
+        let (ty, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(ty, FrameType::HelloAck);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_closed_mid_frame_is_truncated() {
+        assert!(matches!(
+            read_frame(&mut (&[] as &[u8])),
+            Err(WireError::Closed)
+        ));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Query, b"full payload").unwrap();
+        buf.truncate(HEADER_LEN + 4); // die mid-payload
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::Truncated)
+        ));
+        buf.truncate(3); // die mid-header
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_version_type_and_oversize_are_typed() {
+        let mut good = Vec::new();
+        write_frame(&mut good, FrameType::Hello, b"x").unwrap();
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(WireError::BadVersion(99))
+        ));
+
+        let mut bad = good.clone();
+        bad[5] = 0;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(WireError::BadType(0))
+        ));
+
+        let mut bad = good.clone();
+        bad[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        // the length is rejected before any allocation happens
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_send_is_refused_locally() {
+        struct NullSink;
+        impl std::io::Write for NullSink {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut NullSink, FrameType::ResultChunk, &huge).is_err());
+    }
+}

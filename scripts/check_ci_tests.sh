@@ -47,6 +47,30 @@ for toml in crates/*/Cargo.toml; do
   done < <(sed -n 's/^path = "\(\.\.\/\.\.\/tests\/[^"]*\.rs\)"$/\1/p' "$toml")
 done
 
+# Every bench binary must be exercised by at least one CI job. Unlike the
+# [[test]] targets, binaries are NOT covered by the blanket `cargo test`
+# (it builds them, but never runs them), so a bin that no workflow step
+# invokes with `--bin <stem>` is an artifact generator that rots silently
+# — its output drifting from the code until someone runs it by hand.
+for f in crates/bench/src/bin/*.rs; do
+  stem=$(basename "$f" .rs)
+  if ! grep -qE -- "--bin ${stem}\b" .github/workflows/ci.yml; then
+    echo "crates/bench/src/bin/$stem.rs is never run by CI: no workflow" \
+      "step invokes '--bin $stem'" >&2
+    fail=1
+  fi
+done
+
+# And the mirror image: a '--bin' mention must point at a binary that
+# still exists, or the workflow step fails for everyone.
+while IFS= read -r stem; do
+  if [ ! -f "crates/bench/src/bin/$stem.rs" ]; then
+    echo "ci.yml invokes '--bin $stem' but crates/bench/src/bin/$stem.rs" \
+      "does not exist" >&2
+    fail=1
+  fi
+done < <(grep -oE -- '--bin [a-z0-9_]+' .github/workflows/ci.yml | awk '{print $2}' | sort -u)
+
 # The registered targets only execute because the workflow still carries an
 # unfiltered `cargo test` — fail if that blanket run ever disappears.
 if ! grep -qE 'cargo test -q( --release)?$' .github/workflows/ci.yml; then
